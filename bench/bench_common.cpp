@@ -1,0 +1,147 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "protocols/estimator/gmle.hpp"
+#include "protocols/idcollect/sicp.hpp"
+
+namespace nettag::bench {
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atol(v);
+}
+
+void add_energy(ProtocolStats& stats, const sim::EnergySummary& summary) {
+  stats.max_sent_bits.add(summary.max_sent_bits);
+  stats.max_received_bits.add(summary.max_received_bits);
+  stats.avg_sent_bits.add(summary.avg_sent_bits);
+  stats.avg_received_bits.add(summary.avg_received_bits);
+}
+
+}  // namespace
+
+ExperimentConfig config_from_env() {
+  ExperimentConfig config;
+  config.tag_count = static_cast<int>(env_long("NETTAG_TAGS", 10'000));
+  config.trials = static_cast<int>(env_long("NETTAG_TRIALS", 3));
+  config.master_seed =
+      static_cast<Seed>(env_long("NETTAG_SEED", 20'190'707));
+  return config;
+}
+
+std::vector<double> figure_ranges() {
+  return {2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0};
+}
+
+std::vector<double> table_ranges() { return {2.0, 4.0, 6.0, 8.0, 10.0}; }
+
+std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
+                                  const std::vector<double>& ranges,
+                                  const ProtocolMask& mask) {
+  std::vector<SweepPoint> points;
+  points.reserve(ranges.size());
+
+  for (const double r : ranges) {
+    SweepPoint point;
+    point.tag_range_m = r;
+
+    SystemConfig sys;
+    sys.tag_count = config.tag_count;
+    sys.tag_to_tag_range_m = r;
+
+    for (int trial = 0; trial < config.trials; ++trial) {
+      const Seed trial_seed =
+          fmix64(config.master_seed ^ fmix64(static_cast<Seed>(trial) * 7919 +
+                                             static_cast<Seed>(r * 16)));
+      Rng rng(trial_seed);
+      // The paper places n tags and lets unreachable ones (possible at small
+      // r) sit out; they are "not in the system" (SII).
+      const net::Deployment deployment = net::make_disk_deployment(sys, rng);
+      const net::Topology topology(deployment, sys);
+      const int n = topology.tag_count();
+      point.tiers.add(static_cast<double>(topology.tier_count()));
+
+      ccm::CcmConfig ccm_cfg;
+      ccm_cfg.apply_geometry(sys);
+      // BFS depth can exceed the geometric estimate at sparse r: give the
+      // session a safe round budget and a checking frame sized to the real
+      // tier count (the reader would learn it from a first session).
+      ccm_cfg.checking_frame_length =
+          std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+      ccm_cfg.max_rounds = topology.tier_count() + 4;
+
+      if (mask.gmle) {
+        ccm::CcmConfig cfg = ccm_cfg;
+        cfg.frame_size = config.gmle_frame;
+        cfg.request_seed = fmix64(trial_seed ^ 0x61);
+        const double p = protocols::gmle_sampling_probability(
+            config.gmle_frame, static_cast<double>(config.tag_count));
+        sim::EnergyMeter energy(n);
+        const auto session = ccm::run_session(
+            topology, cfg, ccm::HashedSlotSelector(p), energy);
+        point.gmle.time_slots.add(
+            static_cast<double>(session.clock.total_slots()));
+        add_energy(point.gmle, energy.summarize());
+      }
+      if (mask.trp) {
+        ccm::CcmConfig cfg = ccm_cfg;
+        cfg.frame_size = config.trp_frame;
+        cfg.request_seed = fmix64(trial_seed ^ 0x74);
+        sim::EnergyMeter energy(n);
+        const auto session = ccm::run_session(
+            topology, cfg, ccm::HashedSlotSelector(1.0), energy);
+        point.trp.time_slots.add(
+            static_cast<double>(session.clock.total_slots()));
+        add_energy(point.trp, energy.summarize());
+      }
+      if (mask.sicp) {
+        Rng sicp_rng(fmix64(trial_seed ^ 0x73));
+        sim::EnergyMeter energy(n);
+        const auto result =
+            protocols::run_sicp(topology, {}, sicp_rng, energy);
+        point.sicp.time_slots.add(
+            static_cast<double>(result.clock.total_slots()));
+        add_energy(point.sicp, energy.summarize());
+      }
+    }
+    std::fprintf(stderr, "  r=%4.1f done (%d trials)\n", r, config.trials);
+    points.push_back(point);
+  }
+  return points;
+}
+
+void print_banner(const std::string& title, const ExperimentConfig& config) {
+  std::printf("%s\n", title.c_str());
+  std::printf(
+      "setting: n=%d tags, 30 m disk, R=30 m, r'=20 m, %d trials "
+      "(default 3; paper: 100 — set NETTAG_TRIALS), seed=%llu\n\n",
+      config.tag_count, config.trials,
+      static_cast<unsigned long long>(config.master_seed));
+}
+
+void print_row(const std::string& label, const std::vector<double>& means,
+               const std::vector<double>& halfwidths, bool with_ci) {
+  std::printf("%-10s", label.c_str());
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    if (with_ci) {
+      std::printf(" %12.1f (±%.1f)", means[i], halfwidths[i]);
+    } else {
+      std::printf(" %12.1f", means[i]);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace nettag::bench

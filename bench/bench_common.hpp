@@ -1,0 +1,80 @@
+// Shared experiment runner for the paper-reproduction benches.
+//
+// Every figure/table of SVI comes from the same experiment: n tags uniform
+// in a 30 m disk (reader centred, R = 30, r' = 20), the inter-tag range r
+// swept from 2 to 10 m, results averaged over independent trials.  Each
+// bench binary asks this runner for the protocols it needs and prints one
+// paper artifact.
+//
+// Environment knobs (all optional):
+//   NETTAG_TRIALS  — trials per point   (default 3; paper used 100)
+//   NETTAG_TAGS    — deployment size    (default 10,000, the paper's n)
+//   NETTAG_SEED    — master seed        (default 20190707)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::bench {
+
+/// Which protocols a bench needs (SICP dominates runtime; skip when unused).
+struct ProtocolMask {
+  bool gmle = false;
+  bool trp = false;
+  bool sicp = false;
+};
+
+/// Aggregates over trials for one protocol at one r.
+struct ProtocolStats {
+  RunningStats time_slots;          ///< session execution time (Fig. 4)
+  RunningStats max_sent_bits;       ///< Table I
+  RunningStats max_received_bits;   ///< Table II
+  RunningStats avg_sent_bits;       ///< Table III
+  RunningStats avg_received_bits;   ///< Table IV
+};
+
+/// One sweep point: everything SVI reports at a given r.
+struct SweepPoint {
+  double tag_range_m = 0.0;
+  RunningStats tiers;  ///< BFS tier count (Fig. 3)
+  ProtocolStats gmle;
+  ProtocolStats trp;
+  ProtocolStats sicp;
+};
+
+/// Experiment parameters (paper values baked in; env vars override scale).
+struct ExperimentConfig {
+  int tag_count = 10'000;
+  int trials = 3;
+  Seed master_seed = 20'190'707;  // ICDCS 2019, July 7
+  FrameSize gmle_frame = 1671;    // SVI-B for alpha=95%, beta=5%
+  FrameSize trp_frame = 3228;     // SVI-B for delta=95%, m=50
+};
+
+/// Reads NETTAG_* overrides into the paper-default config.
+[[nodiscard]] ExperimentConfig config_from_env();
+
+/// Runs the sweep over `ranges` with the protocols in `mask` enabled.
+/// Prints one progress line per point to stderr.
+[[nodiscard]] std::vector<SweepPoint> run_sweep(
+    const ExperimentConfig& config, const std::vector<double>& ranges,
+    const ProtocolMask& mask);
+
+/// The r values of Fig. 3/4 (2..10 step 1) and of Tables I-IV (2..10 step 2).
+[[nodiscard]] std::vector<double> figure_ranges();
+[[nodiscard]] std::vector<double> table_ranges();
+
+/// Prints a table header naming the experiment and its provenance.
+void print_banner(const std::string& title, const ExperimentConfig& config);
+
+/// Prints one row: label + per-r "mean" cells (95 % CI in parentheses when
+/// `with_ci`).
+void print_row(const std::string& label, const std::vector<double>& means,
+               const std::vector<double>& halfwidths, bool with_ci);
+
+}  // namespace nettag::bench

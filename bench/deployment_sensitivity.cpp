@@ -1,0 +1,88 @@
+// Deployment-shape sensitivity (beyond the paper's uniform disk).
+//
+// The introduction motivates networked tags with goods "piling up" and
+// blocking reader coverage; the evaluation nevertheless uses a uniform
+// disk.  This bench re-runs the r = 6 operating point on three families —
+// uniform, clustered pallets, shelf aisles — and reports connectivity,
+// relay depth and the TRP-CCM cost, showing which conclusions are
+// shape-robust (CCM's costs track the tier count, not the shape per se).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace nettag;
+  bench::ExperimentConfig config = bench::config_from_env();
+  if (std::getenv("NETTAG_TAGS") == nullptr) config.tag_count = 5'000;
+  bench::print_banner("Deployment-shape sensitivity (TRP point, r = 6)",
+                      config);
+
+  SystemConfig sys;
+  sys.tag_count = config.tag_count;
+  sys.tag_to_tag_range_m = 6.0;
+
+  struct Family {
+    const char* name;
+    int id;
+  };
+  std::printf("%-12s %10s %8s %14s %12s %12s\n", "family", "reachable",
+              "tiers", "time (slots)", "avg sent", "avg recv");
+  for (const Family family :
+       {Family{"uniform", 0}, Family{"clustered", 1}, Family{"aisles", 2}}) {
+    RunningStats reachable;
+    RunningStats tiers;
+    RunningStats time_slots;
+    RunningStats sent;
+    RunningStats recv;
+    for (int trial = 0; trial < config.trials; ++trial) {
+      const Seed seed = fmix64(config.master_seed * 7 +
+                               static_cast<Seed>(trial) * 13 +
+                               static_cast<Seed>(family.id));
+      Rng rng(seed);
+      net::Deployment deployment;
+      switch (family.id) {
+        case 1:
+          deployment = net::make_clustered_deployment(sys, rng, 40, 4.0);
+          break;
+        case 2:
+          deployment = net::make_aisle_deployment(sys, rng, 7, 2.0);
+          break;
+        default:
+          deployment = net::make_disk_deployment(sys, rng);
+      }
+      const net::Topology topology(deployment, sys);
+      reachable.add(100.0 * topology.reachable_count() /
+                    topology.tag_count());
+      tiers.add(static_cast<double>(topology.tier_count()));
+
+      ccm::CcmConfig cfg;
+      cfg.frame_size = 3228;
+      cfg.request_seed = fmix64(seed ^ 1);
+      cfg.checking_frame_length =
+          std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+      cfg.max_rounds = topology.tier_count() + 4;
+      sim::EnergyMeter energy(topology.tag_count());
+      const auto session = ccm::run_session(
+          topology, cfg, ccm::HashedSlotSelector(1.0), energy);
+      time_slots.add(static_cast<double>(session.clock.total_slots()));
+      const auto summary = energy.summarize();
+      sent.add(summary.avg_sent_bits);
+      recv.add(summary.avg_received_bits);
+    }
+    std::printf("%-12s %9.2f%% %8.2f %14.0f %12.1f %12.1f\n", family.name,
+                reachable.mean(), tiers.mean(), time_slots.mean(),
+                sent.mean(), recv.mean());
+  }
+  std::printf(
+      "\nreading: clustering and aisles deepen the relay structure (higher "
+      "K) and strand some tags, but CCM's per-round structure is untouched "
+      "— time scales with K, energy with K and neighborhood density, "
+      "exactly as on the uniform disk.\n");
+  return 0;
+}

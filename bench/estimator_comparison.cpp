@@ -1,0 +1,110 @@
+// Estimator study (beyond the paper's single GMLE arm): GMLE vs LoF over
+// CCM on the same deployments.
+//
+// SIV-A recounts the estimator debate (Kodialam/Nandagopal's zero-based
+// family vs later schemes; Chen et al.'s finding that the two-phase design,
+// not the estimator, does the heavy lifting).  Here the two families run on
+// identical networks: GMLE at optimal load (f = 1671, one frame per the
+// paper's sizing) against LoF (reference [2]; one frame of m groups x 32
+// slots).  Reported: mean |error|, the 95th percentile of |error|, and the
+// session cost.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/hash.hpp"
+#include "common/stats.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "protocols/estimator/gmle.hpp"
+#include "protocols/estimator/lof.hpp"
+
+int main() {
+  using namespace nettag;
+  const bench::ExperimentConfig config = bench::config_from_env();
+  bench::print_banner("Estimator comparison — GMLE vs LoF over CCM", config);
+
+  SystemConfig sys;
+  sys.tag_count = config.tag_count;
+  sys.tag_to_tag_range_m = 6.0;
+
+  struct Row {
+    const char* name;
+    RunningStats abs_err_pct;
+    std::vector<double> errors;
+    RunningStats time_slots;
+    RunningStats recv_bits;
+  };
+  Row gmle_row{"GMLE f=1671", {}, {}, {}, {}};
+  Row lof_small{"LoF m=256", {}, {}, {}, {}};
+  Row lof_big{"LoF m=1024", {}, {}, {}, {}};
+
+  const int trials = config.trials;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Seed seed =
+        fmix64(config.master_seed * 131 + static_cast<Seed>(trial));
+    Rng rng(seed);
+    const net::Deployment deployment =
+        net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+    const net::Topology topology(deployment, sys);
+    const double true_n = static_cast<double>(topology.tag_count());
+
+    ccm::CcmConfig tmpl;
+    tmpl.apply_geometry(sys);
+    tmpl.checking_frame_length =
+        std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+    tmpl.max_rounds = topology.tier_count() + 4;
+
+    {  // GMLE, one frame at the paper's operating point.
+      ccm::CcmConfig cfg = tmpl;
+      cfg.frame_size = config.gmle_frame;
+      cfg.request_seed = fmix64(seed ^ 1);
+      const double p =
+          protocols::gmle_sampling_probability(config.gmle_frame, true_n);
+      sim::EnergyMeter energy(topology.tag_count());
+      const auto session = ccm::run_session(
+          topology, cfg, ccm::HashedSlotSelector(p), energy);
+      const protocols::FrameObservation obs{
+          cfg.frame_size, p, cfg.frame_size - session.bitmap.count()};
+      const double n_hat = protocols::gmle_estimate({&obs, 1}).n_hat;
+      const double err = 100.0 * std::abs(n_hat - true_n) / true_n;
+      gmle_row.abs_err_pct.add(err);
+      gmle_row.errors.push_back(err);
+      gmle_row.time_slots.add(static_cast<double>(session.clock.total_slots()));
+      gmle_row.recv_bits.add(energy.summarize().avg_received_bits);
+    }
+    for (Row* row : {&lof_small, &lof_big}) {
+      protocols::LofConfig lof;
+      lof.groups = (row == &lof_small) ? 256 : 1'024;
+      lof.seed = fmix64(seed ^ 2);
+      sim::EnergyMeter energy(topology.tag_count());
+      const auto outcome =
+          protocols::estimate_cardinality_lof(lof, topology, tmpl, energy);
+      const double err =
+          100.0 * std::abs(outcome.estimate.n_hat - true_n) / true_n;
+      row->abs_err_pct.add(err);
+      row->errors.push_back(err);
+      row->time_slots.add(static_cast<double>(outcome.clock.total_slots()));
+      row->recv_bits.add(energy.summarize().avg_received_bits);
+    }
+    std::fprintf(stderr, "  trial %d/%d done\n", trial + 1, trials);
+  }
+
+  std::printf("%-14s %12s %12s %14s %14s\n", "estimator", "mean |err|",
+              "p95 |err|", "time (slots)", "recv bits/tag");
+  for (const Row* row : {&gmle_row, &lof_small, &lof_big}) {
+    std::printf("%-14s %11.2f%% %11.2f%% %14.0f %14.0f\n", row->name,
+                row->abs_err_pct.mean(), percentile(row->errors, 95.0),
+                row->time_slots.mean(), row->recv_bits.mean());
+  }
+  std::printf(
+      "\nreading: GMLE's load-optimal frame dominates here — better accuracy "
+      "at a fraction of LoF's airtime (LoF needs m x 32 slots regardless of "
+      "n).  LoF's niche is requiring no prior on n at all: its error is set "
+      "by m alone, with no rough phase and no p to tune — echoing Chen et "
+      "al.'s point (SIV-A) that the two-phase design, not the estimator, "
+      "drives efficiency.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 4: execution time (number of slots) vs inter-tag range r, for
+// SICP, GMLE-CCM and TRP-CCM (SVI-B.1).
+//
+// Paper anchors at r = 6: SICP = 170,926 slots; GMLE-CCM = 5,076 (97.0 %
+// reduction); TRP-CCM = 9,747 (94.3 % reduction).  Expect the same ordering,
+// roughly the same CCM values (they are structural: K * (f + ceil(f/96) +
+// L_c)), and an order-of-magnitude gap to SICP.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nettag;
+  const bench::ExperimentConfig config = bench::config_from_env();
+  bench::print_banner(
+      "Fig. 4 — execution time (slots) vs inter-tag range r", config);
+
+  bench::ProtocolMask mask;
+  mask.gmle = true;
+  mask.trp = true;
+  mask.sicp = true;
+  const auto ranges = bench::figure_ranges();
+  const auto points = bench::run_sweep(config, ranges, mask);
+
+  std::printf("%-10s", "r (m)");
+  for (const double r : ranges) std::printf(" %12.0f", r);
+  std::printf("\n");
+
+  const auto row = [&points](const char* label, auto metric) {
+    std::printf("%-10s", label);
+    for (const auto& p : points) std::printf(" %12.0f", metric(p).mean());
+    std::printf("\n");
+  };
+  row("SICP", [](const bench::SweepPoint& p) { return p.sicp.time_slots; });
+  row("GMLE-CCM", [](const bench::SweepPoint& p) { return p.gmle.time_slots; });
+  row("TRP-CCM", [](const bench::SweepPoint& p) { return p.trp.time_slots; });
+
+  std::printf(
+      "\npaper @ r=6: SICP 170926, GMLE-CCM 5076, TRP-CCM 9747 "
+      "(97.0%% / 94.3%% reduction)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Microbenchmarks of the hot primitives (google-benchmark).
+//
+// These guard the costs that dominate large sweeps: bitmap algebra (every
+// round ORs f-bit maps per tag), grid-index topology construction (per
+// trial), hash-based slot picks (per tag per frame) and a full CCM session
+// at the paper's GMLE operating point.
+#include <benchmark/benchmark.h>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/bitmap.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "protocols/estimator/gmle.hpp"
+
+namespace {
+
+using namespace nettag;
+
+void BM_BitmapOr(benchmark::State& state) {
+  const auto f = static_cast<FrameSize>(state.range(0));
+  Rng rng(1);
+  Bitmap a(f);
+  Bitmap b(f);
+  for (int i = 0; i < f / 8; ++i) {
+    a.set(static_cast<SlotIndex>(rng.below(static_cast<std::uint64_t>(f))));
+    b.set(static_cast<SlotIndex>(rng.below(static_cast<std::uint64_t>(f))));
+  }
+  for (auto _ : state) {
+    a |= b;
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations() * f);
+}
+BENCHMARK(BM_BitmapOr)->Arg(1671)->Arg(3228);
+
+void BM_BitmapCount(benchmark::State& state) {
+  const auto f = static_cast<FrameSize>(state.range(0));
+  Rng rng(2);
+  Bitmap a(f);
+  for (int i = 0; i < f / 4; ++i)
+    a.set(static_cast<SlotIndex>(rng.below(static_cast<std::uint64_t>(f))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.count());
+  }
+}
+BENCHMARK(BM_BitmapCount)->Arg(1671)->Arg(3228);
+
+void BM_SlotPick(benchmark::State& state) {
+  TagId id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slot_pick(id++, 42, 1671));
+  }
+}
+BENCHMARK(BM_SlotPick);
+
+void BM_TopologyBuild(benchmark::State& state) {
+  SystemConfig sys;
+  sys.tag_count = static_cast<int>(state.range(0));
+  sys.tag_to_tag_range_m = 6.0;
+  Rng rng(3);
+  const net::Deployment deployment = net::make_disk_deployment(sys, rng);
+  for (auto _ : state) {
+    const net::Topology topo(deployment, sys);
+    benchmark::DoNotOptimize(topo.tier_count());
+  }
+  state.SetItemsProcessed(state.iterations() * sys.tag_count);
+}
+BENCHMARK(BM_TopologyBuild)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_CcmSessionGmlePoint(benchmark::State& state) {
+  SystemConfig sys;
+  sys.tag_count = static_cast<int>(state.range(0));
+  sys.tag_to_tag_range_m = 6.0;
+  Rng rng(4);
+  const net::Deployment deployment = net::make_disk_deployment(sys, rng);
+  const net::Topology topology(deployment, sys);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 1671;
+  cfg.apply_geometry(sys);
+  cfg.max_rounds = topology.tier_count() + 4;
+  cfg.checking_frame_length =
+      std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+  const double p = 1.59 * 1671.0 / sys.tag_count;
+  const ccm::HashedSlotSelector selector(p);
+  Seed seed = 0;
+  for (auto _ : state) {
+    ccm::CcmConfig c = cfg;
+    c.request_seed = ++seed;
+    const auto session = ccm::run_session(topology, c, selector);
+    benchmark::DoNotOptimize(session.bitmap.count());
+  }
+  state.SetItemsProcessed(state.iterations() * sys.tag_count);
+}
+BENCHMARK(BM_CcmSessionGmlePoint)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GmleSolve(benchmark::State& state) {
+  std::vector<protocols::FrameObservation> frames;
+  for (int i = 0; i < 8; ++i)
+    frames.push_back({1671, 0.2657, 330 + i});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocols::gmle_estimate(frames));
+  }
+}
+BENCHMARK(BM_GmleSolve);
+
+}  // namespace

@@ -1,0 +1,20 @@
+// Table I: maximum number of bits SENT by any tag, r in {2,4,6,8,10}.
+//
+// Expected shape: SICP in the thousands-to-tens-of-thousands (the busiest
+// relay forwards a whole subtree of 96-bit IDs), CCM protocols in the tens
+// to low hundreds and *growing* with r (larger Gamma_i to relay).
+#include "table_bench.hpp"
+
+int main() {
+  using namespace nettag::bench;
+  PaperReference paper;
+  paper.sicp = {41'767, 17'907, 9'002, 5'956, 5'593};
+  paper.gmle = {28.0, 34.8, 42.0, 49.3, 53.6};
+  paper.trp = {73.3, 93.9, 120.9, 145.0, 164.7};
+  return run_table_bench(
+      "Table I — maximum number of bits sent per tag",
+      [](const ProtocolStats& s) -> const nettag::RunningStats& {
+        return s.max_sent_bits;
+      },
+      paper);
+}

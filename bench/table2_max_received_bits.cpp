@@ -1,0 +1,20 @@
+// Table II: maximum number of bits RECEIVED by any tag, r in {2,4,6,8,10}.
+//
+// Expected shape: SICP in the hundreds of thousands (promiscuous CSMA
+// overhearing of every neighbor transmission), CCM an order of magnitude
+// lower and *falling* with r (fewer rounds).
+#include "table_bench.hpp"
+
+int main() {
+  using namespace nettag::bench;
+  PaperReference paper;
+  paper.sicp = {516'174, 385'927, 376'235, 420'863, 477'507};
+  paper.gmle = {15'903, 9'663, 7'597, 7'563, 7'327};
+  paper.trp = {30'968, 18'940, 14'981, 14'873, 14'714};
+  return run_table_bench(
+      "Table II — maximum number of bits received per tag",
+      [](const ProtocolStats& s) -> const nettag::RunningStats& {
+        return s.max_received_bits;
+      },
+      paper);
+}

@@ -1,0 +1,22 @@
+// Table III: average number of bits SENT per tag, r in {2,4,6,8,10}.
+//
+// Expected shape: SICP in the hundreds (ID relays dominate), CCM in the
+// tens, growing with r.  Note (documented in EXPERIMENTS.md): our faithful
+// Alg.-1 implementation relays every newly heard slot, which lands TRP-CCM
+// on the paper's values but GMLE-CCM ~2x above its Table III row; the
+// paper's own Eq. 12 predicts the larger value.
+#include "table_bench.hpp"
+
+int main() {
+  using namespace nettag::bench;
+  PaperReference paper;
+  paper.sicp = {720.1, 514.6, 456.8, 434.3, 417.4};
+  paper.gmle = {9.3, 12.9, 17.3, 23.5, 27.9};
+  paper.trp = {28.4, 39.8, 56.3, 76.9, 96.6};
+  return run_table_bench(
+      "Table III — average number of bits sent per tag",
+      [](const ProtocolStats& s) -> const nettag::RunningStats& {
+        return s.avg_sent_bits;
+      },
+      paper);
+}

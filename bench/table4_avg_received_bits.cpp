@@ -1,0 +1,20 @@
+// Table IV: average number of bits RECEIVED per tag, r in {2,4,6,8,10}.
+//
+// Expected shape: SICP ~200k (overhearing), CCM ~7k-16k falling with r;
+// CCM's average nearly equals its maximum (Table II) — the load-balance
+// property SVI-B.2 highlights.
+#include "table_bench.hpp"
+
+int main() {
+  using namespace nettag::bench;
+  PaperReference paper;
+  paper.sicp = {218'171, 179'196, 198'332, 245'074, 303'964};
+  paper.gmle = {15'887, 9'648, 7'578, 7'539, 7'300};
+  paper.trp = {30'916, 18'890, 14'919, 14'793, 14'618};
+  return run_table_bench(
+      "Table IV — average number of bits received per tag",
+      [](const ProtocolStats& s) -> const nettag::RunningStats& {
+        return s.avg_received_bits;
+      },
+      paper);
+}

@@ -1,0 +1,58 @@
+// Shared driver for Tables I-IV: same sweep, different per-tag bit metric.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace nettag::bench {
+
+/// Selects one RunningStats member out of a ProtocolStats.
+using MetricSelector =
+    std::function<const RunningStats&(const ProtocolStats&)>;
+
+/// Paper reference values at r = {2, 4, 6, 8, 10} for the three protocols.
+struct PaperReference {
+  std::vector<double> sicp;
+  std::vector<double> gmle;
+  std::vector<double> trp;
+};
+
+/// Runs the table sweep and prints measured-vs-paper rows.
+inline int run_table_bench(const std::string& title,
+                           const MetricSelector& metric,
+                           const PaperReference& paper) {
+  const ExperimentConfig config = config_from_env();
+  print_banner(title, config);
+
+  ProtocolMask mask;
+  mask.gmle = true;
+  mask.trp = true;
+  mask.sicp = true;
+  const auto ranges = table_ranges();
+  const auto points = run_sweep(config, ranges, mask);
+
+  std::printf("%-16s", "r (m)");
+  for (const double r : ranges) std::printf(" %12.0f", r);
+  std::printf("\n");
+
+  const auto row = [&points, &metric](
+                       const char* label,
+                       const ProtocolStats SweepPoint::*stats,
+                       const std::vector<double>& reference) {
+    std::printf("%-16s", label);
+    for (const auto& p : points) std::printf(" %12.1f", metric(p.*stats).mean());
+    std::printf("\n%-16s", "  (paper)");
+    for (const double v : reference) std::printf(" %12.1f", v);
+    std::printf("\n");
+  };
+  row("SICP", &SweepPoint::sicp, paper.sicp);
+  row("GMLE-CCM", &SweepPoint::gmle, paper.gmle);
+  row("TRP-CCM", &SweepPoint::trp, paper.trp);
+  return 0;
+}
+
+}  // namespace nettag::bench

@@ -1,0 +1,64 @@
+// Load balance per tier (SVI-B.2's "max ~= avg" claim, dissected).
+//
+// For TRP-CCM and SICP at the paper's operating point, prints per-tier
+// average/maximum sent and received bits plus the global load-balance index
+// (max / mean over tags).  CCM's index stays near 1; SICP's sent-bit index
+// blows up because inner-tier relays shoulder whole subtrees.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "ccm/diagnostics.hpp"
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "protocols/idcollect/sicp.hpp"
+
+int main() {
+  using namespace nettag;
+  bench::ExperimentConfig config = bench::config_from_env();
+  bench::print_banner("Per-tier load balance (TRP point, r = 6)", config);
+
+  SystemConfig sys;
+  sys.tag_count = config.tag_count;
+  sys.tag_to_tag_range_m = 6.0;
+  Rng rng(config.master_seed);
+  const net::Deployment deployment = net::make_disk_deployment(sys, rng);
+  const net::Topology topology(deployment, sys);
+
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 3228;
+  cfg.request_seed = 99;
+  cfg.checking_frame_length =
+      std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+  cfg.max_rounds = topology.tier_count() + 4;
+
+  sim::EnergyMeter ccm_energy(topology.tag_count());
+  (void)ccm::run_session(topology, cfg, ccm::HashedSlotSelector(1.0),
+                         ccm_energy);
+
+  Rng sicp_rng(fmix64(config.master_seed ^ 0x51));
+  sim::EnergyMeter sicp_energy(topology.tag_count());
+  (void)protocols::run_sicp(topology, {}, sicp_rng, sicp_energy);
+
+  const auto print_breakdown = [&topology](const char* name,
+                                           const sim::EnergyMeter& energy) {
+    std::printf("%s\n", name);
+    std::printf("  %-6s %8s %12s %12s %14s %14s\n", "tier", "tags",
+                "avg sent", "max sent", "avg recv", "max recv");
+    for (const auto& tier : ccm::tier_energy_breakdown(topology, energy)) {
+      std::printf("  %-6d %8d %12.1f %12.1f %14.1f %14.1f\n", tier.tier,
+                  tier.tag_count, tier.avg_sent_bits, tier.max_sent_bits,
+                  tier.avg_received_bits, tier.max_received_bits);
+    }
+    std::printf("  load-balance index: sent %.2f, received %.2f "
+                "(max/mean; 1.0 = perfect)\n\n",
+                ccm::load_balance_index(topology, energy, true),
+                ccm::load_balance_index(topology, energy, false));
+  };
+  print_breakdown("TRP-CCM", ccm_energy);
+  print_breakdown("SICP", sicp_energy);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Continuous inventory monitoring — GMLE-over-CCM through population churn.
+//
+// A retail floor holds a changing number of tagged items.  Each monitoring
+// epoch the reader runs the full two-phase estimator (rough probe frames,
+// then accurate frames at load 1.59 until the (alpha, beta) spec of Eq. 2 is
+// met) and reports the estimate, its error, and what the epoch cost.
+//
+//   ./cardinality_monitoring [epochs]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/config.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "protocols/estimator/estimation_protocol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nettag;
+  const int epochs = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  // Population trajectory: deliveries and sales change n between epochs.
+  int population = 6'000;
+  Rng world(7);
+
+  std::printf("%-6s %8s %10s %9s %7s %7s %12s %12s\n", "epoch", "true n",
+              "estimate", "err", "rough", "frames", "time(slots)",
+              "recv/tag");
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    SystemConfig sys;
+    sys.tag_count = population;
+    sys.tag_to_tag_range_m = 6.0;
+    sys.seed = static_cast<Seed>(epoch) + 100;
+    Rng rng(sys.seed);
+    const net::Deployment deployment =
+        net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+    const net::Topology topology(deployment, sys);
+
+    ccm::CcmConfig tmpl;
+    tmpl.apply_geometry(sys);
+    tmpl.checking_frame_length =
+        std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+    tmpl.max_rounds = topology.tier_count() + 4;
+
+    protocols::EstimationConfig cfg;  // alpha = 95 %, beta = 5 %
+    cfg.base_seed = static_cast<Seed>(epoch) * 7919 + 13;
+    sim::EnergyMeter energy(topology.tag_count());
+    const auto result =
+        protocols::estimate_cardinality_ccm(cfg, topology, tmpl, energy);
+
+    const double err =
+        100.0 * (result.n_hat - topology.tag_count()) / topology.tag_count();
+    std::printf("%-6d %8d %10.0f %8.2f%% %7d %7d %12lld %12.0f\n", epoch,
+                topology.tag_count(), result.n_hat, err, result.rough_frames,
+                result.accurate_frames,
+                static_cast<long long>(result.clock.total_slots()),
+                energy.summarize().avg_received_bits);
+
+    // Overnight churn: a delivery or a sales day (+/- up to 25 %).
+    const double churn = world.uniform(-0.25, 0.25);
+    population = std::max(
+        1'000, population + static_cast<int>(population * churn));
+  }
+  std::printf(
+      "\nEvery epoch meets Prob{|n-hat - n| <= 5%% n} >= 95%% (Eq. 2); the\n"
+      "estimator needs no knowledge of the relay topology — CCM delivers the\n"
+      "exact single-hop bitmap (Theorem 1), so the GMLE math is unchanged.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Customs watch-list search — tag search through CCM (SIII-B's third
+// system-level function).
+//
+// A bonded warehouse holds thousands of tagged consignments; customs wants
+// to know which entries of a 500-item watch list are currently inside,
+// without collecting every ID.  Each tag sets k hashed slots (a Bloom
+// signature); the reader checks the watch list against the collected
+// bitmap.  Theorem 1 guarantees zero false negatives; the frame is sized so
+// false positives stay under 1 %.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "protocols/search/tag_search.hpp"
+
+int main() {
+  using namespace nettag;
+
+  SystemConfig sys;
+  sys.tag_count = 7'000;
+  sys.tag_to_tag_range_m = 6.0;
+  Rng rng(404);
+  const net::Deployment deployment =
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+  const net::Topology topology(deployment, sys);
+
+  // Watch list: 120 consignments actually inside + 380 that are not.
+  std::vector<TagId> wanted;
+  int truly_present = 0;
+  for (int i = 0; i < 120; ++i) {
+    wanted.push_back(deployment.ids[static_cast<std::size_t>(i) * 7]);
+    ++truly_present;
+  }
+  for (int i = 0; i < 380; ++i)
+    wanted.push_back(fmix64(static_cast<TagId>(i) ^ 0xc0ffee));
+
+  // Two-phase search (refs [14,15]'s structure): the reader broadcasts a
+  // Bloom filter of the watch list so only ~|W| tags answer, instead of
+  // all n setting bits in a population-sized frame.
+  protocols::FilteredSearchConfig cfg;
+  cfg.slots_per_tag = 3;
+  cfg.expected_population = static_cast<double>(topology.tag_count());
+  cfg.false_positive_target = 0.01;
+
+  ccm::CcmConfig tmpl;
+  tmpl.apply_geometry(sys);
+  tmpl.checking_frame_length =
+      std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+  tmpl.max_rounds = topology.tier_count() + 4;
+
+  sim::EnergyMeter energy(topology.tag_count());
+  const auto outcome =
+      protocols::search_tags_filtered(wanted, topology, tmpl, cfg, energy);
+
+  int hits = 0;
+  int false_positives = 0;
+  for (std::size_t i = 0; i < outcome.verdicts.size(); ++i) {
+    if (!outcome.verdicts[i].present) continue;
+    if (i < 120) {
+      ++hits;
+    } else {
+      ++false_positives;
+    }
+  }
+
+  const FrameSize filter_bits = protocols::bloom_required_bits(
+      static_cast<int>(wanted.size()), cfg.filter_hashes,
+      cfg.filter_pass_target);
+  const double responders =
+      static_cast<double>(wanted.size()) +
+      cfg.expected_population * cfg.filter_pass_target;
+  const FrameSize f = protocols::search_required_frame_size(
+      responders, cfg.slots_per_tag, cfg.false_positive_target);
+  std::printf("Warehouse: %d consignments, %d relay tiers.\n",
+              topology.tag_count(), topology.tier_count());
+  std::printf("Watch list: %zu entries (%d genuinely inside).\n",
+              wanted.size(), truly_present);
+  std::printf("Phase 1: %d-bit Bloom filter of the watch list broadcast.\n",
+              filter_bits);
+  std::printf("Phase 2: response frame f = %d (k = %d) sized for ~%.0f\n"
+              "responders, <=1%% final false positives.\n\n",
+              f, cfg.slots_per_tag, responders);
+  std::printf("Reported present: %d\n", outcome.present_count);
+  std::printf("  true hits:       %d / %d (no false negatives — Theorem 1)\n",
+              hits, truly_present);
+  std::printf("  false positives: %d / 380 (target <= ~4)\n",
+              false_positives);
+  std::printf(
+      "\nCost: %lld slots (%.0f bit-times counting 96-bit slots); avg %.0f\n"
+      "bits received per tag.  The watch list itself never crosses the\n"
+      "network, and the 1-bit slots keep airtime far below an ID collection\n"
+      "(~%d IDs x 96 bits x relay hops).\n",
+      static_cast<long long>(outcome.clock.total_slots()),
+      outcome.clock.weighted_time(96.0),
+      energy.summarize().avg_received_bits, topology.tag_count());
+  return 0;
+}

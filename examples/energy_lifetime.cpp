@@ -1,0 +1,100 @@
+// Battery-lifetime projection: what CCM's bit counts mean in years.
+//
+// The paper argues (SVI-B.2) that received bits dominate energy because RX
+// and TX currents are comparable on sub-GHz transceivers (e.g. TI CC1120:
+// ~22 mA RX, ~45 mA TX @ +10 dBm, ~50 kbps).  This example converts the
+// simulated per-tag bit counts of one daily estimation plus one daily
+// missing-tag check into charge drawn from a 225 mAh coin cell, for both
+// CCM and the SICP ID-collection alternative.
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "protocols/estimator/gmle.hpp"
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "protocols/idcollect/sicp.hpp"
+
+namespace {
+
+// CC1120-class radio at 50 kbps.
+constexpr double kRxAmp = 0.022;        // A
+constexpr double kTxAmp = 0.045;        // A
+constexpr double kBitSeconds = 1.0 / 50'000.0;
+constexpr double kBatteryAmpHours = 0.225;
+
+double daily_charge_mah(double sent_bits, double received_bits) {
+  const double amp_seconds =
+      sent_bits * kBitSeconds * kTxAmp + received_bits * kBitSeconds * kRxAmp;
+  return amp_seconds / 3.6;  // mAh
+}
+
+}  // namespace
+
+int main() {
+  using namespace nettag;
+
+  SystemConfig sys;  // the paper's deployment at r = 6
+  sys.tag_count = 10'000;
+  sys.tag_to_tag_range_m = 6.0;
+  Rng rng(5);
+  const net::Deployment deployment = net::make_disk_deployment(sys, rng);
+  const net::Topology topology(deployment, sys);
+
+  ccm::CcmConfig cfg;
+  cfg.apply_geometry(sys);
+  cfg.max_rounds = topology.tier_count() + 4;
+  cfg.checking_frame_length =
+      std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+
+  // Daily duty: one GMLE frame (f = 1671) + one TRP execution (f = 3228).
+  sim::EnergyMeter ccm_energy(topology.tag_count());
+  {
+    ccm::CcmConfig gmle = cfg;
+    gmle.frame_size = 1671;
+    gmle.request_seed = 1;
+    (void)ccm::run_session(topology, gmle,
+                           ccm::HashedSlotSelector(1.59 * 1671.0 / 10'000.0),
+                           ccm_energy);
+    ccm::CcmConfig trp = cfg;
+    trp.frame_size = 3228;
+    trp.request_seed = 2;
+    (void)ccm::run_session(topology, trp, ccm::HashedSlotSelector(1.0),
+                           ccm_energy);
+  }
+
+  // The alternative: collect all IDs daily (count + diff for missing).
+  sim::EnergyMeter sicp_energy(topology.tag_count());
+  Rng sicp_rng(6);
+  (void)protocols::run_sicp(topology, {}, sicp_rng, sicp_energy);
+
+  const auto ccm_summary = ccm_energy.summarize();
+  const auto sicp_summary = sicp_energy.summarize();
+
+  std::printf("Daily duty on %d tags (r = 6 m): estimation + missing check\n\n",
+              topology.tag_count());
+  std::printf("%-22s %14s %14s %12s %10s\n", "approach", "sent b/day",
+              "recv b/day", "mAh/day", "years*");
+  const auto report = [](const char* name, double sent, double recv) {
+    const double mah = daily_charge_mah(sent, recv);
+    const double years = kBatteryAmpHours * 1000.0 / mah / 365.0;
+    std::printf("%-22s %14.0f %14.0f %12.4f %10.1f\n", name, sent, recv, mah,
+                years);
+  };
+  report("CCM (GMLE+TRP), avg", ccm_summary.avg_sent_bits,
+         ccm_summary.avg_received_bits);
+  report("CCM (GMLE+TRP), max", ccm_summary.max_sent_bits,
+         ccm_summary.max_received_bits);
+  report("SICP collection, avg", sicp_summary.avg_sent_bits,
+         sicp_summary.avg_received_bits);
+  report("SICP collection, max", sicp_summary.max_sent_bits,
+         sicp_summary.max_received_bits);
+
+  std::printf(
+      "\n* protocol drain only, 225 mAh cell, CC1120-class currents; sleep\n"
+      "  current excluded.  Two observations match SVI-B.2: RX bits dominate\n"
+      "  the budget, and CCM's max ~= avg (load balance) while SICP's\n"
+      "  worst-case tag dies an order of magnitude sooner.\n");
+  return 0;
+}

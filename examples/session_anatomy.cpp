@@ -1,0 +1,49 @@
+// Anatomy of a CCM session — Alg. 1 narrated from a real run.
+//
+// Builds a small three-tier network (the shape of the paper's Fig. 1),
+// runs one session, and prints the round-by-round story: which tier
+// transmitted, what the reader decoded, and how the checking frame decided
+// to continue or stop.  A teaching companion to docs/PROTOCOLS.md §1.
+#include <cstdio>
+
+#include "ccm/report.hpp"
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/config.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+
+int main() {
+  using namespace nettag;
+
+  SystemConfig sys;
+  sys.tag_count = 60;
+  sys.disk_radius_m = 30.0;
+  sys.tag_to_tag_range_m = 8.0;
+  Rng rng(7);
+  const net::Deployment deployment =
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+  const net::Topology topology(deployment, sys);
+
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 96;
+  cfg.request_seed = 2019;
+  cfg.apply_geometry(sys);
+  cfg.max_rounds = topology.tier_count() + 4;
+  cfg.checking_frame_length =
+      std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+
+  const ccm::HashedSlotSelector selector(1.0);
+  sim::EnergyMeter energy(topology.tag_count());
+  const ccm::SessionResult session =
+      ccm::run_session(topology, cfg, selector, energy);
+
+  std::printf("%s\n", ccm::format_session_report(session, topology).c_str());
+  std::printf("%s\n", ccm::format_energy_summary(energy).c_str());
+  std::printf(
+      "\nRead it with SIII-C in hand: round k's \"+bits\" are exactly the\n"
+      "tier-k picks arriving (tier-by-tier convergence); each round's\n"
+      "by-tier transmissions show the indicator vector silencing the inner\n"
+      "tiers while the outer wave still rolls.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Eq. (4): expected number of distinct slots picked by n' tags in an f-slot
+// frame, chi(n') = f (1 - (1 - 1/f)^{n'}).
+#pragma once
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nettag::analysis {
+
+/// chi(n') of Eq. 4; accepts fractional populations (expected counts).
+[[nodiscard]] inline double chi(double n_tags, FrameSize f) {
+  NETTAG_EXPECTS(f > 0, "frame size must be positive");
+  NETTAG_EXPECTS(n_tags >= 0.0, "population must be non-negative");
+  const double keep = std::log1p(-1.0 / static_cast<double>(f));
+  return static_cast<double>(f) * (1.0 - std::exp(n_tags * keep));
+}
+
+}  // namespace nettag::analysis

@@ -1,0 +1,122 @@
+#include "analysis/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/chi.hpp"
+#include "analysis/geometry_model.hpp"
+#include "common/error.hpp"
+
+namespace nettag::analysis {
+
+namespace {
+
+int effective_tier_count(const CostModelInput& input) {
+  return input.tier_count > 0 ? input.tier_count
+                              : input.sys.estimated_tiers();
+}
+
+void validate(const CostModelInput& input) {
+  input.sys.validate();
+  NETTAG_EXPECTS(input.frame_size > 0, "frame size must be positive");
+  NETTAG_EXPECTS(input.participation > 0.0 && input.participation <= 1.0,
+                 "participation must be in (0,1]");
+}
+
+}  // namespace
+
+SlotCount execution_time_slots(const CostModelInput& input,
+                               bool with_requests) {
+  validate(input);
+  const auto k = static_cast<SlotCount>(effective_tier_count(input));
+  const auto f = static_cast<SlotCount>(input.frame_size);
+  const SlotCount indicator = (f + 95) / 96;
+  const auto lc = static_cast<SlotCount>(input.sys.checking_frame_length());
+  const SlotCount request = with_requests ? 1 : 0;
+  return k * (f + indicator + lc + request);
+}
+
+TagCost tag_cost(const CostModelInput& input, int tier) {
+  validate(input);
+  const int k_total = effective_tier_count(input);
+  NETTAG_EXPECTS(tier >= 1 && tier <= k_total, "tier out of range");
+  const GeometryModel geo(input.sys, tier, k_total);
+  const double f = static_cast<double>(input.frame_size);
+  const double p = input.participation;
+
+  TagCost cost;
+  // Eq. 11, first term: in round i (i = 1..K) the tag monitors the slots not
+  // already accounted to Gamma_{i-1} u Gamma'_{i-1}; the expected number of
+  // busy slots among the p-sampled union is chi(p * |union|), so the idle
+  // remainder is f - chi(...).  (For i = 1 the union is {t} itself.)
+  const int k_rounds = k_total;
+  for (int i = 0; i < k_rounds; ++i) {
+    const double known = chi(p * geo.union_reach(i), input.frame_size);
+    cost.monitored_slots += f - known;
+  }
+  cost.indicator_slots =
+      static_cast<double>(k_rounds) *
+      std::ceil(f / 96.0);
+  cost.checking_rx_slots =
+      static_cast<double>(k_rounds) *
+      static_cast<double>(input.sys.checking_frame_length());
+
+  // Eq. 12: first-round own pick (probability p), then relays of the slots
+  // newly heard that neither the tag nor the indicator vector has served.
+  cost.frame_tx_slots = p;
+  for (int i = 2; i <= k_rounds; ++i) {
+    const double mu = p * geo.newly_found(i);
+    const double already =
+        chi(p * geo.union_reach(i - 1), input.frame_size) / f;
+    cost.frame_tx_slots += chi(mu, input.frame_size) * (1.0 - already);
+  }
+  // Checking frame: at most one 1-bit response per round (SIV-C text).
+  cost.checking_tx_slots = static_cast<double>(k_rounds);
+  return cost;
+}
+
+TagCost average_tag_cost(const CostModelInput& input) {
+  validate(input);
+  const int k_total = effective_tier_count(input);
+  TagCost avg;
+  double weight_sum = 0.0;
+  for (int tier = 1; tier <= k_total; ++tier) {
+    const double w = tier_fraction(input.sys, tier);
+    if (w <= 0.0) continue;
+    const TagCost c = tag_cost(input, tier);
+    avg.monitored_slots += w * c.monitored_slots;
+    avg.indicator_slots += w * c.indicator_slots;
+    avg.checking_rx_slots += w * c.checking_rx_slots;
+    avg.frame_tx_slots += w * c.frame_tx_slots;
+    avg.checking_tx_slots += w * c.checking_tx_slots;
+    weight_sum += w;
+  }
+  NETTAG_ASSERT(weight_sum > 0.0, "ring model produced no tiers");
+  avg.monitored_slots /= weight_sum;
+  avg.indicator_slots /= weight_sum;
+  avg.checking_rx_slots /= weight_sum;
+  avg.frame_tx_slots /= weight_sum;
+  avg.checking_tx_slots /= weight_sum;
+  return avg;
+}
+
+WorstTier worst_tag_cost(const CostModelInput& input, bool by_send) {
+  validate(input);
+  const int k_total = effective_tier_count(input);
+  WorstTier worst;
+  worst.tier = 1;
+  worst.cost = tag_cost(input, 1);
+  for (int tier = 2; tier <= k_total; ++tier) {
+    const TagCost c = tag_cost(input, tier);
+    const double value = by_send ? c.send_bits() : c.receive_bits();
+    const double best = by_send ? worst.cost.send_bits()
+                                : worst.cost.receive_bits();
+    if (value > best) {
+      worst.tier = tier;
+      worst.cost = c;
+    }
+  }
+  return worst;
+}
+
+}  // namespace nettag::analysis

@@ -1,0 +1,67 @@
+// Analytical execution-time and energy model of SIV-C (Eqs. 3, 11-13).
+//
+// Predicts, without simulation, the per-tag slot costs of a CCM-based
+// protocol with frame size f and participation p over a uniform deployment:
+// GMLE uses p = 1.59 f / n, TRP uses p = 1 (SV-C).  The bench
+// `analysis_vs_simulation` compares these predictions with the simulator.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace nettag::analysis {
+
+/// Inputs of the cost model.
+struct CostModelInput {
+  SystemConfig sys;
+  FrameSize frame_size = 0;    ///< f
+  double participation = 1.0;  ///< p
+  int tier_count = 0;          ///< K; 0 = derive from the ring model
+};
+
+/// Per-tag predicted costs for a tag at a given tier.
+struct TagCost {
+  double monitored_slots = 0.0;   ///< first term of Eq. 11
+  double indicator_slots = 0.0;   ///< K * ceil(f/96)
+  double checking_rx_slots = 0.0; ///< K * L_c
+  double frame_tx_slots = 0.0;    ///< Eq. 12 summed over rounds
+  double checking_tx_slots = 0.0; ///< <= K (one response per round)
+
+  /// N_r of Eq. 11, in slots.
+  [[nodiscard]] double receive_slots() const {
+    return monitored_slots + indicator_slots + checking_rx_slots;
+  }
+  /// N_s of Eq. 13 (with the text's upper bound K for checking responses).
+  [[nodiscard]] double send_slots() const {
+    return frame_tx_slots + checking_tx_slots;
+  }
+  /// Received bits: monitored and checking slots carry 1 bit, indicator
+  /// segments carry 96.
+  [[nodiscard]] double receive_bits() const {
+    return monitored_slots + 96.0 * indicator_slots + checking_rx_slots;
+  }
+  /// Sent bits (every tag transmission is one bit).
+  [[nodiscard]] double send_bits() const { return send_slots(); }
+};
+
+/// Eq. 3 in slot counts: T = K (f + ceil(f/96) + L_c); `with_requests`
+/// additionally counts the per-round request broadcast our simulator issues.
+[[nodiscard]] SlotCount execution_time_slots(const CostModelInput& input,
+                                             bool with_requests = false);
+
+/// Eqs. 11-13 for a tag at tier `tier`.
+[[nodiscard]] TagCost tag_cost(const CostModelInput& input, int tier);
+
+/// Population-average of `tag_cost` weighted by the ring-model tier mix.
+[[nodiscard]] TagCost average_tag_cost(const CostModelInput& input);
+
+/// The tier whose predicted cost is largest (proxy for Tables I/II maxima)
+/// and its cost.
+struct WorstTier {
+  int tier = 1;
+  TagCost cost;
+};
+[[nodiscard]] WorstTier worst_tag_cost(const CostModelInput& input,
+                                       bool by_send);
+
+}  // namespace nettag::analysis

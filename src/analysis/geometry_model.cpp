@@ -1,0 +1,106 @@
+#include "analysis/geometry_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "geom/circle_math.hpp"
+
+namespace nettag::analysis {
+
+GeometryModel::GeometryModel(const SystemConfig& sys, int tier,
+                             int tier_count)
+    : sys_(sys), tier_(tier) {
+  sys_.validate();
+  NETTAG_EXPECTS(tier >= 1, "tier must be >= 1");
+  NETTAG_EXPECTS(tier_count >= tier, "tier beyond tier count");
+  r0_ = sys_.tag_to_reader_range_m +
+        static_cast<double>(tier - 1) * sys_.tag_to_tag_range_m;
+  // A representative tier-K tag may sit slightly outside the nominal ring
+  // when the deployment disk truncates the last ring; clamp to the disk.
+  r0_ = std::min(r0_, sys_.disk_radius_m);
+}
+
+double GeometryModel::reader_reach(int i) const {
+  NETTAG_EXPECTS(i >= 0, "hop count must be non-negative");
+  if (i == 0) return 0.0;  // Gamma'_0 = empty set
+  const double radius = sys_.tag_to_reader_range_m +
+                        static_cast<double>(i - 1) * sys_.tag_to_tag_range_m;
+  const double clipped = std::min(radius, sys_.disk_radius_m);
+  return sys_.density() * std::numbers::pi * clipped * clipped;
+}
+
+double GeometryModel::tag_disk_area(double radius) const {
+  // Tags exist only inside the deployment disk (radius = disk_radius, which
+  // the paper sets equal to R); Eq. 6's clipping is exactly the lens of the
+  // tag-centred disk with the coverage disk.
+  return geom::circle_intersection_area(radius, sys_.disk_radius_m, r0_);
+}
+
+double GeometryModel::tag_reach(int i) const {
+  NETTAG_EXPECTS(i >= 0, "hop count must be non-negative");
+  if (i == 0) return 1.0;  // Gamma_0 = { t }
+  const double radius = static_cast<double>(i) * sys_.tag_to_tag_range_m;
+  return sys_.density() * tag_disk_area(radius);
+}
+
+double GeometryModel::union_reach(int i) const {
+  NETTAG_EXPECTS(i >= 0, "hop count must be non-negative");
+  if (i == 0) return tag_reach(0);
+  const double tag_radius = static_cast<double>(i) * sys_.tag_to_tag_range_m;
+  const double reader_radius =
+      std::min(sys_.tag_to_reader_range_m +
+                   static_cast<double>(i - 1) * sys_.tag_to_tag_range_m,
+               sys_.disk_radius_m);
+  // Eq. 9's overlap zone S'_i: the lens of the two disks.  The reader disk
+  // lies inside the deployment disk, so no further clipping is needed.
+  const double overlap =
+      geom::circle_intersection_area(tag_radius, reader_radius, r0_);
+  const double total = tag_reach(i) + reader_reach(i) -
+                       sys_.density() * overlap;
+  return std::clamp(total, 0.0, static_cast<double>(sys_.tag_count));
+}
+
+double GeometryModel::newly_found(int i) const {
+  NETTAG_EXPECTS(i >= 2, "newly_found is defined for rounds i >= 2");
+  const double r = sys_.tag_to_tag_range_m;
+  const double inner = static_cast<double>(i - 2) * r;
+  const double outer = static_cast<double>(i - 1) * r;
+  // Annulus of the tag-centred disk between hops i-2 and i-1 (R-clipped) ...
+  const double annulus = tag_disk_area(outer) - tag_disk_area(inner);
+  // ... minus its part inside Gamma'_{i-1} (reader disk radius r'+(i-2)r).
+  const double reader_radius =
+      std::min(sys_.tag_to_reader_range_m + static_cast<double>(i - 2) * r,
+               sys_.disk_radius_m);
+  const double overlap_outer =
+      geom::circle_intersection_area(outer, reader_radius, r0_);
+  const double overlap_inner =
+      inner > 0.0
+          ? geom::circle_intersection_area(inner, reader_radius, r0_)
+          : 0.0;
+  const double area = annulus - (overlap_outer - overlap_inner);
+  return std::max(0.0, sys_.density() * area);
+}
+
+double tier_fraction(const SystemConfig& sys, int tier) {
+  sys.validate();
+  NETTAG_EXPECTS(tier >= 1, "tier must be >= 1");
+  const double disk = sys.disk_radius_m;
+  const double inner =
+      tier == 1 ? 0.0
+                : std::min(sys.tag_to_reader_range_m +
+                               static_cast<double>(tier - 2) *
+                                   sys.tag_to_tag_range_m,
+                           disk);
+  const double outer =
+      std::min(sys.tag_to_reader_range_m +
+                   static_cast<double>(tier - 1) * sys.tag_to_tag_range_m,
+               disk);
+  if (outer <= inner) return 0.0;
+  return (outer * outer - inner * inner) / (disk * disk);
+}
+
+int ring_tier_count(const SystemConfig& sys) { return sys.estimated_tiers(); }
+
+}  // namespace nettag::analysis

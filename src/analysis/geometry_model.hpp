@@ -1,0 +1,61 @@
+// Geometric population model of SIV-C (Eqs. 5-10).
+//
+// For a uniform deployment of density rho, the analysis tracks two tag sets
+// around a tier-k tag t:
+//   Gamma_i  — tags within i tag-to-tag hops of t: the disk of radius i*r
+//              centred on t (at distance r0 = r' + (k-1) r from the reader),
+//              clipped to the reader's coverage disk R (Eqs. 6-8);
+//   Gamma'_i — tags within i hops of the reader: the disk of radius
+//              r' + (i-1) r centred on the reader (Eq. 5).
+// The union (Eq. 10) subtracts the lens where the two disks overlap (Eq. 9).
+// We compute every case through the exact two-circle intersection area, which
+// reproduces the paper's piecewise arccos formulas without case analysis.
+#pragma once
+
+#include "common/config.hpp"
+
+namespace nettag::analysis {
+
+/// Expected-population model for one (deployment, tier) pair.
+class GeometryModel {
+ public:
+  /// `tier_count` is K; `tier` is the tag's tier k in [1, K].
+  GeometryModel(const SystemConfig& sys, int tier, int tier_count);
+
+  /// |Gamma'_i| of Eq. 5 (0 for i = 0).
+  [[nodiscard]] double reader_reach(int i) const;
+
+  /// |Gamma_i| of Eq. 8 (1 for i = 0: the tag itself).
+  [[nodiscard]] double tag_reach(int i) const;
+
+  /// |Gamma_i ∪ Gamma'_i| of Eq. 10.
+  [[nodiscard]] double union_reach(int i) const;
+
+  /// |Gamma_{i-1} - Gamma_{i-2} - Gamma'_{i-1}|: the tags newly discovered by
+  /// t in round i-1 that the indicator vector has not silenced — the mu_i
+  /// population of Eq. 12.
+  [[nodiscard]] double newly_found(int i) const;
+
+  /// The tag's assumed distance from the reader, r0 = r' + (k-1) r.
+  [[nodiscard]] double tag_distance() const noexcept { return r0_; }
+
+ private:
+  /// Area of the disk of radius `radius` centred on the tag that lies inside
+  /// the reader's coverage (Eqs. 6-7 via the exact lens area).
+  [[nodiscard]] double tag_disk_area(double radius) const;
+
+  SystemConfig sys_;
+  int tier_;
+  double r0_;
+};
+
+/// Fraction of the population at tier k under the ring model of SIV-C
+/// (tier 1: distance <= r'; tier k: r' + (k-2) r < distance <= r' + (k-1) r,
+/// clipped to the deployment disk).
+[[nodiscard]] double tier_fraction(const SystemConfig& sys, int tier);
+
+/// Number of tiers implied by the ring model (same as
+/// SystemConfig::estimated_tiers, exposed here for symmetry).
+[[nodiscard]] int ring_tier_count(const SystemConfig& sys);
+
+}  // namespace nettag::analysis

@@ -1,0 +1,56 @@
+#include "analysis/sicp_model.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/geometry_model.hpp"
+#include "common/error.hpp"
+
+namespace nettag::analysis {
+
+SicpCosts sicp_cost_model(const SystemConfig& sys, double window_load,
+                          double beacon_attempts) {
+  sys.validate();
+  NETTAG_EXPECTS(window_load > 0.0 && window_load <= 1.0,
+                 "window load must be in (0,1]");
+  NETTAG_EXPECTS(beacon_attempts >= 1.0, "attempts must be >= 1");
+
+  const double n = static_cast<double>(sys.tag_count);
+  const int tiers = sys.estimated_tiers();
+
+  SicpCosts costs;
+  double tier1_fraction = 0.0;
+  for (int k = 1; k <= tiers; ++k) {
+    const double w = tier_fraction(sys, k);
+    costs.expected_tier += w * static_cast<double>(k);
+    if (k == 1) tier1_fraction = w;
+  }
+
+  costs.data_hops = n * costs.expected_tier;
+  costs.poll_slots = n;
+
+  // Tree build: every tag beacons ~`attempts` windows and registers in
+  // ~`attempts` windows, each window sized contenders/load; summed over
+  // levels that is ~attempts * n / load slots per phase.  Registration is
+  // acknowledged once per tag (serialized 96-bit slots).
+  costs.tree_slots = 2.0 * beacon_attempts * n / window_load + n;
+  costs.total_slots = costs.tree_slots + costs.data_hops + costs.poll_slots;
+
+  // Per-tag transmissions: subtree payloads (E[subtree] = E[tier]), one
+  // poll and one registration-ACK per child (E[children] = 1 - tier-1
+  // fraction: every non-tier-1 tag is someone's child), plus the beacon and
+  // registration attempts.
+  const double children = 1.0 - tier1_fraction;
+  const double messages =
+      costs.expected_tier + 2.0 * children + 2.0 * beacon_attempts;
+  costs.avg_sent_bits = 96.0 * messages;
+
+  // Received: overhearing of every neighbor's transmissions plus 1-bit
+  // idle preamble sampling across the serialized schedule.
+  const double degree = sys.density() * std::numbers::pi *
+                        sys.tag_to_tag_range_m * sys.tag_to_tag_range_m;
+  costs.avg_received_bits = degree * costs.avg_sent_bits + costs.total_slots;
+  return costs;
+}
+
+}  // namespace nettag::analysis

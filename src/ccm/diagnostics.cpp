@@ -1,0 +1,57 @@
+#include "ccm/diagnostics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nettag::ccm {
+
+std::vector<TierEnergy> tier_energy_breakdown(
+    const net::Topology& topology, const sim::EnergyMeter& energy) {
+  NETTAG_EXPECTS(energy.tag_count() == topology.tag_count(),
+                 "meter sized for a different tag count");
+  std::vector<TierEnergy> tiers(
+      static_cast<std::size_t>(std::max(topology.tier_count(), 0)));
+  for (std::size_t k = 0; k < tiers.size(); ++k)
+    tiers[k].tier = static_cast<int>(k) + 1;
+
+  for (TagIndex t = 0; t < topology.tag_count(); ++t) {
+    const int tier = topology.tier(t);
+    if (tier == net::kUnreachable) continue;
+    TierEnergy& entry = tiers[static_cast<std::size_t>(tier - 1)];
+    const auto sent = static_cast<double>(energy.sent(t));
+    const auto received = static_cast<double>(energy.received(t));
+    entry.avg_sent_bits += sent;
+    entry.avg_received_bits += received;
+    entry.max_sent_bits = std::max(entry.max_sent_bits, sent);
+    entry.max_received_bits = std::max(entry.max_received_bits, received);
+    ++entry.tag_count;
+  }
+  for (auto& entry : tiers) {
+    if (entry.tag_count == 0) continue;
+    entry.avg_sent_bits /= entry.tag_count;
+    entry.avg_received_bits /= entry.tag_count;
+  }
+  return tiers;
+}
+
+double load_balance_index(const net::Topology& topology,
+                          const sim::EnergyMeter& energy, bool by_sent) {
+  NETTAG_EXPECTS(energy.tag_count() == topology.tag_count(),
+                 "meter sized for a different tag count");
+  double total = 0.0;
+  double peak = 0.0;
+  int count = 0;
+  for (TagIndex t = 0; t < topology.tag_count(); ++t) {
+    if (topology.tier(t) == net::kUnreachable) continue;
+    const auto value = static_cast<double>(by_sent ? energy.sent(t)
+                                                   : energy.received(t));
+    total += value;
+    peak = std::max(peak, value);
+    ++count;
+  }
+  if (count == 0 || total == 0.0) return 1.0;
+  return peak / (total / count);
+}
+
+}  // namespace nettag::ccm

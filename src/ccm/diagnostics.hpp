@@ -1,0 +1,36 @@
+// Post-run diagnostics: how cost distributes over the network.
+//
+// SVI-B.2 highlights that CCM's per-tag maximum nearly equals its average —
+// "a great load-balanced communication model".  These helpers break the
+// energy meter down by tier so benches and operators can see WHERE bits are
+// spent (inner tiers relay toward the reader; outer tiers monitor longer).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::ccm {
+
+/// Energy aggregates of the tags at one tier.
+struct TierEnergy {
+  int tier = 0;          ///< 1-based tier (unreachable tags are excluded)
+  int tag_count = 0;
+  double avg_sent_bits = 0.0;
+  double max_sent_bits = 0.0;
+  double avg_received_bits = 0.0;
+  double max_received_bits = 0.0;
+};
+
+/// Per-tier breakdown of `energy` over `topology`; entry i is tier i+1.
+[[nodiscard]] std::vector<TierEnergy> tier_energy_breakdown(
+    const net::Topology& topology, const sim::EnergyMeter& energy);
+
+/// Load-balance index of a cost vector: max/mean over reachable tags
+/// (1.0 = perfectly balanced).  `by_sent` selects sent vs received bits.
+[[nodiscard]] double load_balance_index(const net::Topology& topology,
+                                        const sim::EnergyMeter& energy,
+                                        bool by_sent);
+
+}  // namespace nettag::ccm

@@ -1,0 +1,94 @@
+#include "ccm/duty_cycle.hpp"
+
+#include "common/error.hpp"
+
+namespace nettag::ccm {
+
+void DutyCycleConfig::validate() const {
+  NETTAG_EXPECTS(sleep_slots > 0.0, "sleep period must be positive");
+  NETTAG_EXPECTS(listen_window_slots > 0.0, "listen window must be positive");
+  NETTAG_EXPECTS(margin_slots >= 0.0, "margin must be non-negative");
+  NETTAG_EXPECTS(drift >= 0.0 && drift < 0.1, "drift must be in [0, 0.1)");
+  NETTAG_EXPECTS(operations >= 1, "need at least one operation");
+}
+
+double required_margin_slots(double sleep_slots, double drift) {
+  NETTAG_EXPECTS(sleep_slots > 0.0 && drift >= 0.0, "bad inputs");
+  return sleep_slots * drift;
+}
+
+double required_listen_window_slots(double sleep_slots, double drift,
+                                    double margin_slots) {
+  NETTAG_EXPECTS(margin_slots >= 0.0, "margin must be non-negative");
+  // The earliest waker (rate -drift) waits margin + sleep*drift of REAL
+  // time, but its own window also runs on the fast clock — divide by
+  // (1 - drift) so the local window covers it (second-order term).
+  return (margin_slots + required_margin_slots(sleep_slots, drift)) /
+         (1.0 - drift);
+}
+
+DutyCycleReport simulate_duty_cycle(const DutyCycleConfig& cfg, int tag_count,
+                                    Rng& rng) {
+  cfg.validate();
+  NETTAG_EXPECTS(tag_count >= 1, "need at least one tag");
+
+  // Per-tag clock-rate offset (fixed hardware property) and the real time
+  // of each tag's last synchronization (request it actually heard).
+  std::vector<double> rate(static_cast<std::size_t>(tag_count));
+  std::vector<double> synced_at(static_cast<std::size_t>(tag_count), 0.0);
+  for (auto& r : rate) r = rng.uniform(-cfg.drift, cfg.drift);
+
+  DutyCycleReport report;
+  double participation_sum = 0.0;
+  double idle_sum = 0.0;
+  std::int64_t idle_count = 0;
+
+  for (int op = 1; op <= cfg.operations; ++op) {
+    // The reader transmits the op-th request at the nominal cadence.
+    const double request_time =
+        static_cast<double>(op) * (cfg.sleep_slots + cfg.margin_slots);
+    OperationStats stats;
+    for (int t = 0; t < tag_count; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      // The tag re-arms its sleep timer at its last sync; while unsynced it
+      // keeps cycling sleep+window on its local clock.  Find its listening
+      // interval that could contain this request.
+      const double local_cycle =
+          (cfg.sleep_slots + cfg.listen_window_slots) * (1.0 + rate[i]);
+      const double sleep_real = cfg.sleep_slots * (1.0 + rate[i]);
+      const double window_real = cfg.listen_window_slots * (1.0 + rate[i]);
+      const double first_wake = synced_at[i] + sleep_real;
+      double wake = first_wake;
+      while (wake + window_real < request_time) wake += local_cycle;
+
+      if (request_time < wake) {
+        // The request fell into one of the tag's sleep gaps: either it was
+        // still in its first sleep (woke too late), or it had already woken
+        // at least once and its window expired before the broadcast.
+        if (request_time < first_wake) {
+          ++stats.late_wakers;
+        } else {
+          ++stats.timed_out;
+        }
+      } else {
+        ++stats.participants;
+        idle_sum += request_time - wake;  // idle listening until the request
+        ++idle_count;
+        stats.avg_idle_listen_slots += request_time - wake;
+        synced_at[i] = request_time;  // loose re-synchronization (SII)
+      }
+    }
+    if (stats.participants > 0)
+      stats.avg_idle_listen_slots /= stats.participants;
+    participation_sum +=
+        static_cast<double>(stats.participants) / tag_count;
+    report.operations.push_back(stats);
+  }
+  report.participation_rate =
+      participation_sum / static_cast<double>(cfg.operations);
+  report.avg_idle_listen_slots =
+      idle_count > 0 ? idle_sum / static_cast<double>(idle_count) : 0.0;
+  return report;
+}
+
+}  // namespace nettag::ccm

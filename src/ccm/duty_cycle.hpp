@@ -1,0 +1,76 @@
+// Sleep/wake duty cycling with clock drift (SII).
+//
+// "To conserve energy, networked tags are likely configured to sleep and
+//  wake up periodically ... the broadcast request will also serve the
+//  purpose of loosely re-synchronizing the tag clock.  The reader will time
+//  its next request a little later than the timeout period set by the tags
+//  to compensate for the clock drift ..."
+//
+// This module makes that paragraph concrete.  Tags sleep a nominal period
+// on their own (drifting) clocks, wake, and listen for up to a window; the
+// reader schedules each request `margin` after the nominal period.  A tag
+// participates in the operation iff the request falls inside its listening
+// window; participation re-synchronizes its clock, a miss leaves the drift
+// to accumulate into the next cycle.  Misses are not just lost energy: a
+// dormant tag looks exactly like a missing one, so TRP's false-alarm rate
+// rides on this margin (see bench/duty_cycle).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace nettag::ccm {
+
+/// Timing of the periodic operations, in 1-bit slot units.
+struct DutyCycleConfig {
+  /// Nominal sleep period between operations (tag-side timeout).
+  double sleep_slots = 1e6;
+
+  /// How long a woken tag listens for the request before giving up.
+  double listen_window_slots = 500.0;
+
+  /// Reader delay beyond the nominal period ("a little later", SII).
+  double margin_slots = 200.0;
+
+  /// Maximum relative clock error; each tag draws a rate offset uniform in
+  /// [-drift, +drift].  100 ppm = 1e-4, typical for cheap crystals.
+  double drift = 1e-4;
+
+  /// Number of consecutive operations to simulate.
+  int operations = 10;
+
+  void validate() const;
+};
+
+/// Outcome of one simulated operation.
+struct OperationStats {
+  int participants = 0;  ///< tags that caught the request
+  int late_wakers = 0;   ///< woke after the request (drift ate the margin)
+  int timed_out = 0;     ///< window expired before the request arrived
+  double avg_idle_listen_slots = 0.0;  ///< wake-to-request wait of catchers
+};
+
+/// Aggregate over all operations.
+struct DutyCycleReport {
+  std::vector<OperationStats> operations;
+  double participation_rate = 0.0;     ///< mean fraction catching requests
+  double avg_idle_listen_slots = 0.0;  ///< mean idle listening per catch
+};
+
+/// Simulates `tag_count` drifting tags through the configured operations.
+[[nodiscard]] DutyCycleReport simulate_duty_cycle(const DutyCycleConfig& cfg,
+                                                  int tag_count, Rng& rng);
+
+/// The smallest reader margin guaranteeing every tag (worst-case drift) is
+/// awake when the request starts: sleep * drift.
+[[nodiscard]] double required_margin_slots(double sleep_slots, double drift);
+
+/// The smallest listening window guaranteeing no tag times out under
+/// `margin`: margin + sleep * drift (the earliest waker waits longest).
+[[nodiscard]] double required_listen_window_slots(double sleep_slots,
+                                                  double drift,
+                                                  double margin_slots);
+
+}  // namespace nettag::ccm

@@ -1,0 +1,46 @@
+// Result and per-round trace of a CCM session.
+#pragma once
+
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/types.hpp"
+#include "sim/clock.hpp"
+
+namespace nettag::ccm {
+
+/// What happened in one round — used by tests to pin the tier-by-tier
+/// convergence property and by benches to show per-round progress.
+struct RoundTrace {
+  int round = 0;                 ///< 1-based round number
+  int new_reader_bits = 0;       ///< bits newly decoded by the reader
+  SlotCount relay_transmissions = 0;  ///< slot-transmissions by all tags
+  int checking_slots_used = 0;   ///< executed checking-frame slots
+  bool reader_saw_pending = false;  ///< checking frame sensed busy
+
+  /// Frame transmissions by tier (index 0 = tier 1); shows the relay wave
+  /// rolling inward round by round.  Unreachable tags are excluded.
+  std::vector<SlotCount> relays_by_tier;
+};
+
+/// Outcome of one CCM session.
+struct SessionResult {
+  /// The collected information bitmap B (Alg. 1 output).
+  Bitmap bitmap;
+
+  /// Number of rounds executed.
+  int rounds = 0;
+
+  /// True when the session drained: no reachable tag still holds data that
+  /// has not been delivered to the reader.
+  bool completed = false;
+
+  /// Execution time: frame slots + checking slots as 1-bit slots; request
+  /// and indicator-vector broadcasts as 96-bit slots.
+  sim::SlotClock clock;
+
+  /// Per-round details, rounds.size() == rounds.
+  std::vector<RoundTrace> round_trace;
+};
+
+}  // namespace nettag::ccm

@@ -1,0 +1,119 @@
+#include "ccm/multi_reader.hpp"
+
+#include <algorithm>
+
+#include "ccm/session.hpp"
+#include "common/error.hpp"
+#include "geom/point.hpp"
+#include "net/topology.hpp"
+
+namespace nettag::ccm {
+
+namespace {
+
+/// Runs every reader's session and fills everything but the clock.
+MultiReaderResult run_all_readers(const net::Deployment& deployment,
+                                  const SystemConfig& sys,
+                                  const CcmConfig& config,
+                                  const SlotSelector& selector,
+                                  sim::EnergyMeter& energy) {
+  MultiReaderResult result;
+  result.bitmap = Bitmap(config.frame_size);
+  std::vector<bool> covered(static_cast<std::size_t>(deployment.tag_count()),
+                            false);
+  for (int m = 0; m < static_cast<int>(deployment.readers.size()); ++m) {
+    const net::Topology topology(deployment, sys, m);
+    for (TagIndex t = 0; t < topology.tag_count(); ++t) {
+      if (topology.reader_covers(t)) covered[static_cast<std::size_t>(t)] = true;
+    }
+    SessionResult session = run_session(topology, config, selector, energy);
+    result.bitmap |= session.bitmap;
+    result.per_reader.push_back(std::move(session));
+  }
+  for (const bool c : covered) result.covered_tags += c ? 1 : 0;
+  return result;
+}
+
+}  // namespace
+
+ReaderSchedule schedule_readers(const net::Deployment& deployment,
+                                const SystemConfig& sys,
+                                double guard_band_m) {
+  sys.validate();
+  NETTAG_EXPECTS(guard_band_m >= 0.0, "guard band must be non-negative");
+  const int m = static_cast<int>(deployment.readers.size());
+  const double clearance =
+      2.0 * sys.reader_to_tag_range_m + guard_band_m;
+
+  // Greedy colouring in index order: assign each reader the first group
+  // whose members all sit beyond the interference clearance.
+  ReaderSchedule schedule;
+  for (int reader = 0; reader < m; ++reader) {
+    bool placed = false;
+    for (auto& group : schedule.groups) {
+      const bool clashes = std::any_of(
+          group.begin(), group.end(), [&](int other) {
+            return geom::distance(
+                       deployment.readers[static_cast<std::size_t>(reader)],
+                       deployment.readers[static_cast<std::size_t>(other)]) <
+                   clearance;
+          });
+      if (!clashes) {
+        group.push_back(reader);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) schedule.groups.push_back({reader});
+  }
+  return schedule;
+}
+
+MultiReaderResult run_multi_reader_session(const net::Deployment& deployment,
+                                           const SystemConfig& sys,
+                                           const CcmConfig& config,
+                                           const SlotSelector& selector,
+                                           sim::EnergyMeter& energy) {
+  NETTAG_EXPECTS(!deployment.readers.empty(), "need at least one reader");
+  config.validate();
+  MultiReaderResult result =
+      run_all_readers(deployment, sys, config, selector, energy);
+  // Round-robin: every window is serialized.
+  for (int m = 0; m < static_cast<int>(result.per_reader.size()); ++m) {
+    result.clock.merge(result.per_reader[static_cast<std::size_t>(m)].clock);
+    result.schedule.groups.push_back({m});
+  }
+  return result;
+}
+
+MultiReaderResult run_multi_reader_session_parallel(
+    const net::Deployment& deployment, const SystemConfig& sys,
+    const CcmConfig& config, const SlotSelector& selector,
+    sim::EnergyMeter& energy, double guard_band_m) {
+  NETTAG_EXPECTS(!deployment.readers.empty(), "need at least one reader");
+  config.validate();
+  if (guard_band_m < 0.0) guard_band_m = 2.0 * sys.tag_to_tag_range_m;
+
+  MultiReaderResult result =
+      run_all_readers(deployment, sys, config, selector, energy);
+  result.schedule = schedule_readers(deployment, sys, guard_band_m);
+
+  // Each group costs its slowest member; groups run back to back.
+  for (const auto& group : result.schedule.groups) {
+    SlotCount worst_bits = 0;
+    SlotCount worst_ids = 0;
+    for (const int m : group) {
+      const auto& clock =
+          result.per_reader[static_cast<std::size_t>(m)].clock;
+      if (clock.total_slots() > worst_bits + worst_ids) {
+        worst_bits = clock.bit_slots();
+        worst_ids = clock.id_slots();
+      }
+    }
+    result.clock.add_bit_slots(worst_bits);
+    result.clock.add_id_slots(worst_ids);
+  }
+  return result;
+}
+
+}  // namespace nettag::ccm

@@ -1,0 +1,72 @@
+// Multi-reader CCM (SIII-G, Eq. 1).
+//
+// Each reader runs Alg. 1 in its own time window (round-robin — equivalent
+// to any collision-free schedule since tag-side hashing is deterministic in
+// the request seed, not in time).  The final bitmap is the bitwise OR of the
+// per-reader bitmaps; because a tag picks the same slot under every reader,
+// the OR deduplicates tags heard by several readers.
+#pragma once
+
+#include <vector>
+
+#include "ccm/metrics.hpp"
+#include "ccm/options.hpp"
+#include "ccm/slot_selector.hpp"
+#include "net/deployment.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::ccm {
+
+/// Reader-to-reader interference schedule (SIII-G: "readers can execute in
+/// parallel if no reader-to-reader collision happens or be scheduled in a
+/// round-robin way otherwise").  Two readers interfere when their coverage
+/// disks plus a tag-to-tag guard band overlap: a tag hearing both requests,
+/// or relay traffic bleeding across the seam, would corrupt the frames.
+struct ReaderSchedule {
+  /// Reader indices grouped into parallel windows; groups run one after
+  /// another, members of a group run concurrently.
+  std::vector<std::vector<int>> groups;
+};
+
+/// Greedy-colours the interference graph of `deployment`'s readers.
+[[nodiscard]] ReaderSchedule schedule_readers(const net::Deployment& deployment,
+                                              const SystemConfig& sys,
+                                              double guard_band_m);
+
+/// Outcome of one multi-reader session.
+struct MultiReaderResult {
+  /// B = B_1 | B_2 | ... | B_M (Eq. 1).
+  Bitmap bitmap;
+
+  /// Per-reader session outcomes, indexed by reader.
+  std::vector<SessionResult> per_reader;
+
+  /// Total execution time: serialized across groups, parallel within one.
+  sim::SlotClock clock;
+
+  /// Number of tags covered by at least one reader's broadcast.
+  int covered_tags = 0;
+
+  /// The schedule that produced `clock` (one singleton group per reader
+  /// when parallel scheduling is off).
+  ReaderSchedule schedule;
+};
+
+/// Runs one CCM session per reader of `deployment` (round-robin windows) and
+/// combines the bitmaps per Eq. 1.  `energy` accumulates per-tag cost across
+/// all windows; a tag only spends energy in windows of readers that cover it.
+[[nodiscard]] MultiReaderResult run_multi_reader_session(
+    const net::Deployment& deployment, const SystemConfig& sys,
+    const CcmConfig& config, const SlotSelector& selector,
+    sim::EnergyMeter& energy);
+
+/// As above, but non-interfering readers share a window: execution time is
+/// the sum over schedule groups of the slowest member's session.  Bitmaps
+/// and per-tag energy are unaffected by the schedule (coverage groups are
+/// disjoint beyond `guard_band_m`, default one tag-to-tag hop each side).
+[[nodiscard]] MultiReaderResult run_multi_reader_session_parallel(
+    const net::Deployment& deployment, const SystemConfig& sys,
+    const CcmConfig& config, const SlotSelector& selector,
+    sim::EnergyMeter& energy, double guard_band_m = -1.0);
+
+}  // namespace nettag::ccm

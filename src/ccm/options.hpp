@@ -1,0 +1,78 @@
+// Configuration of one CCM session (Alg. 1 of the paper).
+#pragma once
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nettag::ccm {
+
+/// Parameters and feature switches for a CCM session.
+///
+/// `frame_size` and the request seed come from the application (GMLE, TRP);
+/// `checking_frame_length` (L_c) comes from the deployment geometry,
+/// L_c = 2 * (1 + ceil((R - r') / r)) (SIII-E).  The two `use_*` switches
+/// exist for the ablation benches: the paper's CCM has both enabled.
+struct CcmConfig {
+  /// Slots per frame (paper: f).  GMLE uses 1671, TRP 3228 in SVI.
+  FrameSize frame_size = 0;
+
+  /// Request seed eta; all tag-side hashing is deterministic in this.
+  Seed request_seed = 0;
+
+  /// Checking-frame length L_c; also Alg. 1's upper bound on round count.
+  int checking_frame_length = 0;
+
+  /// Hard cap on rounds.  0 means "use checking_frame_length" per Alg. 1
+  /// line 2-3.  Synthetic deep topologies (e.g. a 50-hop line) need a cap
+  /// of at least their tier count.
+  int max_rounds = 0;
+
+  /// SIII-D indicator vector: reader silences slots it has already decoded
+  /// busy.  Disabling reproduces the "rolling snowball" flooding.
+  bool use_indicator_vector = true;
+
+  /// Delta-encode the indicator vector: each round the reader broadcasts
+  /// only the 96-bit segments that gained busy bits, prefixed by one
+  /// segment-map slot (SIII-D says V "can be split into small segments";
+  /// unchanged segments need not be resent since V is cumulative and tags
+  /// remember it).  Off reproduces the paper's full-vector broadcast.
+  bool indicator_delta_segments = false;
+
+  /// SIII-E checking frame: terminate when no on-the-way data remains.
+  /// When disabled the session always runs the full round budget.
+  bool use_checking_frame = true;
+
+  /// Unreliable-channel extension (beyond the paper, which assumes reliable
+  /// links; cf. Luo et al. [11] on unreliable channels): probability that
+  /// any single (transmitter, receiver, slot) reception is lost.  0 is the
+  /// paper's model.  Losses can only turn busy observations into idle ones,
+  /// so the collected bitmap stays a subset of the truth — missing-tag
+  /// detection gains false alarms, estimation a downward bias.
+  double link_loss_probability = 0.0;
+
+  /// Stream seed for loss draws (losses are reproducible).
+  Seed loss_seed = 0;
+
+  /// Convenience: L_c and round budget from the deployment geometry.
+  void apply_geometry(const SystemConfig& sys) {
+    checking_frame_length = sys.checking_frame_length();
+    max_rounds = 0;
+  }
+
+  [[nodiscard]] int round_budget() const {
+    return max_rounds > 0 ? max_rounds : checking_frame_length;
+  }
+
+  void validate() const {
+    NETTAG_EXPECTS(frame_size > 0, "frame size must be positive");
+    NETTAG_EXPECTS(checking_frame_length >= 2 || !use_checking_frame,
+                   "checking frame needs at least two slots");
+    NETTAG_EXPECTS(round_budget() >= 1, "round budget must be >= 1");
+    NETTAG_EXPECTS(
+        link_loss_probability >= 0.0 && link_loss_probability < 1.0,
+        "loss probability must be in [0,1)");
+  }
+};
+
+}  // namespace nettag::ccm

@@ -1,0 +1,53 @@
+#include "ccm/report.hpp"
+
+#include <sstream>
+
+namespace nettag::ccm {
+
+std::string format_session_summary(const SessionResult& result) {
+  std::ostringstream os;
+  os << "session: " << result.rounds << " round(s), "
+     << result.bitmap.count() << "/" << result.bitmap.size()
+     << " busy slots, " << result.clock.total_slots() << " slots ("
+     << result.clock.bit_slots() << " bit + " << result.clock.id_slots()
+     << " id), " << (result.completed ? "drained" : "INCOMPLETE");
+  return os.str();
+}
+
+std::string format_session_report(const SessionResult& result,
+                                  const net::Topology& topology) {
+  std::ostringstream os;
+  os << format_session_summary(result) << "\n";
+  os << "network: " << topology.tag_count() << " tags, "
+     << topology.tier_count() << " tier(s), "
+     << topology.reachable_count() << " reachable\n";
+  for (const auto& round : result.round_trace) {
+    os << "  round " << round.round << ": " << round.relay_transmissions
+       << " transmissions";
+    if (!round.relays_by_tier.empty()) {
+      os << " (by tier:";
+      for (std::size_t k = 0; k < round.relays_by_tier.size(); ++k)
+        os << " " << k + 1 << ":" << round.relays_by_tier[k];
+      os << ")";
+    }
+    os << ", +" << round.new_reader_bits << " reader bits";
+    if (round.checking_slots_used > 0) {
+      os << ", check " << round.checking_slots_used << " slot(s) -> "
+         << (round.reader_saw_pending ? "more data pending"
+                                      : "silence, terminate");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string format_energy_summary(const sim::EnergyMeter& energy) {
+  const auto s = energy.summarize();
+  std::ostringstream os;
+  os << "energy (bits/tag): sent avg " << s.avg_sent_bits << " max "
+     << s.max_sent_bits << ", received avg " << s.avg_received_bits
+     << " max " << s.max_received_bits;
+  return os.str();
+}
+
+}  // namespace nettag::ccm

@@ -1,0 +1,28 @@
+// Human-readable session reports.
+//
+// Renders a SessionResult as the round-by-round story of Alg. 1: which tier
+// transmitted, what the reader decoded, how the checking frame decided —
+// the narration of SIII-C/Fig. 1 generated from an actual run.  Meant for
+// debugging, teaching, and example programs.
+#pragma once
+
+#include <string>
+
+#include "ccm/metrics.hpp"
+#include "net/topology.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::ccm {
+
+/// Multi-line text report of one session.
+[[nodiscard]] std::string format_session_report(
+    const SessionResult& result, const net::Topology& topology);
+
+/// One-line summary: rounds, bits, slots.
+[[nodiscard]] std::string format_session_summary(const SessionResult& result);
+
+/// Text table of an energy meter's summary (avg/max sent and received).
+[[nodiscard]] std::string format_energy_summary(
+    const sim::EnergyMeter& energy);
+
+}  // namespace nettag::ccm

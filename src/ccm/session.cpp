@@ -1,0 +1,283 @@
+#include "ccm/session.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace nettag::ccm {
+
+namespace {
+
+/// Per-tag state across the rounds of one session.
+struct TagState {
+  /// Slots this tag knows are busy: its own transmissions, everything heard
+  /// from neighbors, and everything silenced by the indicator vector.  The
+  /// tag neither listens nor transmits in a known slot again — this is the
+  /// duplicate-suppression rule of SIII-C/D.
+  Bitmap known;
+
+  /// Slots heard in the previous frame, still owed to downstream neighbors.
+  std::vector<SlotIndex> pending;
+};
+
+}  // namespace
+
+SessionResult run_session(const net::Topology& topology,
+                          const CcmConfig& config,
+                          const SlotSelector& selector,
+                          sim::EnergyMeter& energy) {
+  config.validate();
+  NETTAG_EXPECTS(energy.tag_count() == topology.tag_count(),
+                 "energy meter sized for a different tag count");
+
+  const FrameSize f = config.frame_size;
+  const int n = topology.tag_count();
+  const SlotCount indicator_segments = (static_cast<SlotCount>(f) + 95) / 96;
+  const BitCount request_bits = kTagIdBits;  // request carries (f, p, seed)
+
+  SessionResult result;
+  result.bitmap = Bitmap(f);
+  if (n == 0) {
+    result.completed = true;
+    return result;
+  }
+
+  std::vector<TagState> tags(static_cast<std::size_t>(n));
+  for (auto& ts : tags) ts.known = Bitmap(f);
+
+  // Tags outside the reader's broadcast range never hear the request and sit
+  // out the whole session (relevant only for multi-reader deployments).
+  std::vector<char> active(static_cast<std::size_t>(n), 0);
+  for (TagIndex t = 0; t < n; ++t)
+    active[static_cast<std::size_t>(t)] = topology.reader_covers(t) ? 1 : 0;
+
+  Bitmap silenced(f);  // the reader's cumulative indicator vector V
+
+  // Unreliable-channel extension: per-reception loss draws from a dedicated
+  // stream.  `delivered()` is true for every reception in the paper's
+  // (reliable) model.
+  const bool lossy = config.link_loss_probability > 0.0;
+  Rng loss_rng(config.loss_seed ^ 0x10553ULL);
+  const auto delivered = [&loss_rng, lossy, &config]() {
+    return !lossy || !loss_rng.bernoulli(config.link_loss_probability);
+  };
+
+  // Reusable per-round buffers.
+  std::vector<std::vector<SlotIndex>> tx(static_cast<std::size_t>(n));
+  std::vector<std::vector<SlotIndex>> new_heard(static_cast<std::size_t>(n));
+
+  const int budget = config.round_budget();
+  bool reader_wants_more = true;
+
+  for (int round = 1; round <= budget && reader_wants_more; ++round) {
+    RoundTrace trace;
+    trace.round = round;
+
+    // --- Reader broadcasts the round request (one 96-bit slot). ---
+    result.clock.add_id_slots(1);
+    for (TagIndex t = 0; t < n; ++t) {
+      if (active[static_cast<std::size_t>(t)])
+        energy.add_received(t, request_bits);
+    }
+
+    // --- Tags decide what to transmit this frame. ---
+    for (TagIndex t = 0; t < n; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      tx[i].clear();
+      new_heard[i].clear();
+      if (!active[i]) continue;
+      TagState& ts = tags[i];
+      if (round == 1) {
+        for (const SlotIndex s : selector.pick(topology.id_of(t),
+                                               config.request_seed, f)) {
+          NETTAG_EXPECTS(s >= 0 && s < f, "selector produced slot out of range");
+          if (!ts.known.test(s)) {
+            ts.known.set(s);  // served: never transmit or listen here again
+            tx[i].push_back(s);
+          }
+        }
+      } else {
+        // Relay what was heard last round, except slots the indicator vector
+        // has since silenced (they are already known).
+        for (const SlotIndex s : ts.pending) {
+          if (!silenced.test(s)) tx[i].push_back(s);
+        }
+        ts.pending.clear();
+      }
+      // Listening cost: every slot not known busy is monitored (the tag's
+      // own transmissions are in `known`, and half duplex makes it deaf in
+      // those slots anyway).
+      const int monitored = f - ts.known.count();
+      energy.add_received(t, monitored);
+      energy.add_sent(t, static_cast<BitCount>(tx[i].size()));
+      trace.relay_transmissions += static_cast<SlotCount>(tx[i].size());
+      const int tier = topology.tier(t);
+      if (tier != net::kUnreachable && !tx[i].empty()) {
+        if (static_cast<int>(trace.relays_by_tier.size()) < tier)
+          trace.relays_by_tier.resize(static_cast<std::size_t>(tier), 0);
+        trace.relays_by_tier[static_cast<std::size_t>(tier - 1)] +=
+            static_cast<SlotCount>(tx[i].size());
+      }
+    }
+
+    // --- The frame itself: f one-bit slots; collisions merge benignly. ---
+    result.clock.add_bit_slots(f);
+    Bitmap reader_busy(f);
+    for (TagIndex u = 0; u < n; ++u) {
+      const auto iu = static_cast<std::size_t>(u);
+      if (tx[iu].empty()) continue;
+      for (const TagIndex v : topology.neighbors(u)) {
+        const auto iv = static_cast<std::size_t>(v);
+        if (!active[iv]) continue;
+        TagState& vs = tags[iv];
+        for (const SlotIndex s : tx[iu]) {
+          // known covers: v transmitting in s this frame (half duplex),
+          // silenced slots (asleep), and slots already heard or served.
+          if (!vs.known.test(s) && delivered()) {
+            vs.known.set(s);
+            new_heard[iv].push_back(s);
+          }
+        }
+      }
+      if (topology.reader_hears(u)) {
+        for (const SlotIndex s : tx[iu]) {
+          if (delivered()) reader_busy.set(s);
+        }
+      }
+    }
+
+    // --- Reader folds the frame into B and V (Alg. 1 lines 11-13). ---
+    const Bitmap fresh = reader_busy.difference(result.bitmap);
+    trace.new_reader_bits = fresh.count();
+    result.bitmap |= reader_busy;
+
+    if (config.use_indicator_vector) {
+      silenced |= reader_busy;
+      SlotCount segments_sent = indicator_segments;
+      if (config.indicator_delta_segments) {
+        // Only segments that gained bits travel, plus one segment-map slot.
+        std::vector<char> touched(
+            static_cast<std::size_t>(indicator_segments), 0);
+        fresh.for_each_set([&touched](SlotIndex s) {
+          touched[static_cast<std::size_t>(s) / 96] = 1;
+        });
+        SlotCount changed = 0;
+        for (const char c : touched) changed += c;
+        segments_sent = 1 + changed;
+      }
+      result.clock.add_id_slots(segments_sent);
+      const BitCount indicator_bits = segments_sent * 96;
+      for (TagIndex t = 0; t < n; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        if (!active[i]) continue;
+        energy.add_received(t, indicator_bits);
+        tags[i].known |= silenced;
+      }
+    }
+
+    // --- Next-round relay queues (drop slots V just silenced). ---
+    for (TagIndex t = 0; t < n; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      if (!active[i]) continue;
+      auto& pending = tags[i].pending;
+      pending.clear();
+      for (const SlotIndex s : new_heard[i]) {
+        if (!silenced.test(s)) pending.push_back(s);
+      }
+    }
+
+    // --- Checking frame: "is there still on-the-way data?" (SIII-E). ---
+    if (config.use_checking_frame) {
+      const int lc = config.checking_frame_length;
+      std::vector<int> respond_slot(static_cast<std::size_t>(n), 0);
+      std::vector<TagIndex> current;
+      for (TagIndex t = 0; t < n; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        if (active[i] && !tags[i].pending.empty()) current.push_back(t);
+      }
+
+      bool reader_sensed = false;
+      int slots_used = 0;
+      for (int j = 1; j <= lc; ++j) {
+        slots_used = j;
+        for (const TagIndex u : current)
+          respond_slot[static_cast<std::size_t>(u)] = j;
+        for (const TagIndex u : current) {
+          if (topology.reader_hears(u) && delivered()) {
+            reader_sensed = true;
+            break;
+          }
+        }
+        if (reader_sensed) break;  // reader advances to the next round now
+        // Wave: neighbors that heard a response and have not responded yet
+        // reply in the next slot.
+        std::vector<TagIndex> next;
+        for (const TagIndex u : current) {
+          for (const TagIndex v : topology.neighbors(u)) {
+            const auto iv = static_cast<std::size_t>(v);
+            if (active[iv] && respond_slot[iv] == 0 && delivered()) {
+              respond_slot[iv] = -1;  // queued for slot j+1
+              next.push_back(v);
+            }
+          }
+        }
+        for (const TagIndex v : next)
+          respond_slot[static_cast<std::size_t>(v)] = 0;  // unmark; set on TX
+        if (next.empty()) {
+          // The wave died without reaching the reader (or never started):
+          // the remaining slots stay silent and the reader waits them out.
+          slots_used = lc;
+          break;
+        }
+        current = std::move(next);
+      }
+
+      result.clock.add_bit_slots(slots_used);
+      for (TagIndex t = 0; t < n; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        if (!active[i]) continue;
+        const int jr = respond_slot[i];
+        if (jr > 0) {
+          energy.add_sent(t, 1);
+          energy.add_received(t, jr - 1);  // listened until it was its turn
+        } else {
+          energy.add_received(t, slots_used);
+        }
+      }
+
+      trace.checking_slots_used = slots_used;
+      trace.reader_saw_pending = reader_sensed;
+      reader_wants_more = reader_sensed;
+    } else {
+      // Ablation: no checking frame — the reader blindly runs its full round
+      // budget (Alg. 1 without lines 14-24).
+      reader_wants_more = true;
+    }
+
+    result.round_trace.push_back(trace);
+    ++result.rounds;
+  }
+
+  // Drained iff no reachable, covered tag still owes a relay.
+  result.completed = true;
+  for (TagIndex t = 0; t < n; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    if (!active[i] || topology.tier(t) == net::kUnreachable) continue;
+    if (!tags[i].pending.empty()) {
+      result.completed = false;
+      break;
+    }
+  }
+  return result;
+}
+
+SessionResult run_session(const net::Topology& topology,
+                          const CcmConfig& config,
+                          const SlotSelector& selector) {
+  sim::EnergyMeter meter(topology.tag_count());
+  return run_session(topology, config, selector, meter);
+}
+
+}  // namespace nettag::ccm

@@ -1,0 +1,53 @@
+// The CCM session engine — Algorithm 1 of the paper.
+//
+// One session collects an f-bit bitmap from every tag reachable from the
+// reader, using only busy/idle channel sensing:
+//
+//   round i:  reader broadcasts the request (one 96-bit slot);
+//             tags transmit — round 1: their picked slot(s); round i >= 2:
+//             the slots newly heard from neighbors in round i-1 — and listen
+//             in every slot not yet known busy (half duplex: never in a slot
+//             they transmit);
+//             reader ORs what it heard into the indicator vector V and
+//             broadcasts V (ceil(f/96) 96-bit slots); tags sleep forever in
+//             silenced slots (SIII-D);
+//             a checking frame of up to L_c 1-bit slots asks "anyone still
+//             holding undelivered data?" — responses wave tier-by-tier toward
+//             the reader, which starts the next round at the first busy slot
+//             and ends the session after a fully silent frame (SIII-E).
+//
+// Energy accounting (Tables I-IV convention):
+//   sent:     one bit per frame-slot transmission and per checking response;
+//   received: one bit per monitored frame slot (carrier sensing), 96 bits per
+//             request, 96 bits per indicator-vector segment, one bit per
+//             checking slot listened to.
+#pragma once
+
+#include "ccm/metrics.hpp"
+#include "ccm/options.hpp"
+#include "ccm/slot_selector.hpp"
+#include "net/topology.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::ccm {
+
+/// Runs one CCM session over `topology`.
+///
+/// Tags not covered by the reader's broadcast (possible in multi-reader
+/// deployments) take no part: they neither pick slots nor relay nor spend
+/// energy.  Tags covered but unable to reach the reader behave naturally —
+/// they transmit and relay within their component — but their bits never
+/// arrive; the paper excludes such tags from the system definition (SII).
+///
+/// Per-tag costs are accumulated into `energy` (indices = topology indices).
+[[nodiscard]] SessionResult run_session(const net::Topology& topology,
+                                        const CcmConfig& config,
+                                        const SlotSelector& selector,
+                                        sim::EnergyMeter& energy);
+
+/// Convenience overload that discards energy accounting.
+[[nodiscard]] SessionResult run_session(const net::Topology& topology,
+                                        const CcmConfig& config,
+                                        const SlotSelector& selector);
+
+}  // namespace nettag::ccm

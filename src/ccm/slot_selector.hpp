@@ -1,0 +1,81 @@
+// First-round slot selection policies.
+//
+// A CCM session is application-agnostic: the application only decides which
+// slot(s) each tag sets in round 1 (SIII-B "each tag chooses one or multiple
+// bits").  GMLE samples tags with probability p and picks one hashed slot;
+// TRP has every tag pick one hashed slot; tag-search style functions pick
+// several.  Selection must be a pure function of (tag ID, seed) so the reader
+// can reproduce it — this is what Theorem 1 and TRP prediction rest on.
+#pragma once
+
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace nettag::ccm {
+
+/// Interface: the slots tag `id` sets in the round-1 frame.  Must be
+/// deterministic in (id, seed, frame size); an empty result means the tag
+/// does not participate (sampled out).
+class SlotSelector {
+ public:
+  virtual ~SlotSelector() = default;
+  [[nodiscard]] virtual std::vector<SlotIndex> pick(TagId id, Seed seed,
+                                                    FrameSize f) const = 0;
+};
+
+/// GMLE-style selection: participate with probability `p`, then one hashed
+/// slot.  p = 1 gives TRP-style "every tag, one slot".
+class HashedSlotSelector final : public SlotSelector {
+ public:
+  explicit HashedSlotSelector(double participation = 1.0)
+      : participation_(participation) {}
+
+  [[nodiscard]] std::vector<SlotIndex> pick(TagId id, Seed seed,
+                                            FrameSize f) const override {
+    if (!participates(id, seed, participation_)) return {};
+    return {slot_pick(id, seed, f)};
+  }
+
+  [[nodiscard]] double participation() const noexcept {
+    return participation_;
+  }
+
+ private:
+  double participation_;
+};
+
+/// Tag-search style selection: `k` independent hashed slots per tag.
+class MultiSlotSelector final : public SlotSelector {
+ public:
+  explicit MultiSlotSelector(int k) : k_(k) {}
+
+  [[nodiscard]] std::vector<SlotIndex> pick(TagId id, Seed seed,
+                                            FrameSize f) const override {
+    std::vector<SlotIndex> slots;
+    slots.reserve(static_cast<std::size_t>(k_));
+    for (int i = 0; i < k_; ++i) slots.push_back(slot_pick_k(id, seed, f, i));
+    return slots;
+  }
+
+ private:
+  int k_;
+};
+
+/// Computes the ground-truth "traditional RFID" bitmap: the frame status a
+/// reader would observe if every tag in `ids` were in its direct
+/// neighborhood (the right-hand side of Theorem 1).
+template <typename IdRange>
+[[nodiscard]] inline Bitmap traditional_bitmap(const IdRange& ids,
+                                               const SlotSelector& selector,
+                                               Seed seed, FrameSize f) {
+  Bitmap b(f);
+  for (const TagId id : ids) {
+    for (const SlotIndex s : selector.pick(id, seed, f)) b.set(s);
+  }
+  return b;
+}
+
+}  // namespace nettag::ccm

@@ -1,0 +1,78 @@
+#include "common/bitmap.hpp"
+
+#include <bit>
+
+namespace nettag {
+
+int Bitmap::count() const noexcept {
+  int total = 0;
+  for (const auto w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool Bitmap::any() const noexcept {
+  for (const auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+Bitmap& Bitmap::operator|=(const Bitmap& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::subtract(const Bitmap& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool Bitmap::is_subset_of(const Bitmap& other) const {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitmap::intersects(const Bitmap& other) const {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<SlotIndex> Bitmap::set_bits() const {
+  std::vector<SlotIndex> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for_each_set([&out](SlotIndex i) { out.push_back(i); });
+  return out;
+}
+
+int Bitmap::lowest_bit(std::uint64_t word) noexcept {
+  return std::countr_zero(word);
+}
+
+int union_count(const Bitmap& a, const Bitmap& b, const Bitmap& c) {
+  NETTAG_EXPECTS(a.size() == b.size() && b.size() == c.size(),
+                 "bitmap size mismatch");
+  const auto& wa = a.words();
+  const auto& wb = b.words();
+  const auto& wc = c.words();
+  int total = 0;
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    total += std::popcount(wa[i] | wb[i] | wc[i]);
+  return total;
+}
+
+}  // namespace nettag

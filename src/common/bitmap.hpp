@@ -1,0 +1,155 @@
+// Dynamic fixed-size bitmap — the paper's central data structure.
+//
+// The information model (SIII-B) collects an f-bit bitmap from the tags:
+// each busy slot is a 1, each idle slot a 0, and concurrent transmissions
+// merge by bitwise OR.  This class provides exactly those semantics plus the
+// set-algebra the CCM session engine needs (known-slot suppression, indicator
+// vectors) and fast iteration over set bits for sparse relay scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nettag {
+
+/// Fixed-size bit vector backed by 64-bit words.
+///
+/// All binary operations require operands of identical size; mixing frame
+/// sizes is a logic error in every protocol this library implements, so it is
+/// checked rather than silently widened.
+class Bitmap {
+ public:
+  Bitmap() = default;
+
+  /// Creates a bitmap of `size` bits, all zero.
+  explicit Bitmap(FrameSize size) : size_(size) {
+    NETTAG_EXPECTS(size >= 0, "bitmap size must be non-negative");
+    words_.resize(word_count(size), 0);
+  }
+
+  [[nodiscard]] FrameSize size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Sets bit `i` to 1.
+  void set(SlotIndex i) {
+    check_index(i);
+    words_[word_of(i)] |= bit_of(i);
+  }
+
+  /// Clears bit `i`.
+  void reset(SlotIndex i) {
+    check_index(i);
+    words_[word_of(i)] &= ~bit_of(i);
+  }
+
+  /// Returns bit `i`.
+  [[nodiscard]] bool test(SlotIndex i) const {
+    check_index(i);
+    return (words_[word_of(i)] & bit_of(i)) != 0;
+  }
+
+  /// Sets every bit to zero, keeping the size.
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] int count() const noexcept;
+
+  /// True iff at least one bit is set.
+  [[nodiscard]] bool any() const noexcept;
+
+  /// True iff no bit is set.
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// In-place bitwise OR — the collision-merge of the paper (Eq. 1, line 13
+  /// of Alg. 1).
+  Bitmap& operator|=(const Bitmap& other);
+
+  /// In-place bitwise AND.
+  Bitmap& operator&=(const Bitmap& other);
+
+  /// In-place set subtraction: clears every bit that is set in `other`.
+  /// CCM tags use this to drop slots already relayed or silenced.
+  Bitmap& subtract(const Bitmap& other);
+
+  [[nodiscard]] friend Bitmap operator|(Bitmap a, const Bitmap& b) {
+    a |= b;
+    return a;
+  }
+  [[nodiscard]] friend Bitmap operator&(Bitmap a, const Bitmap& b) {
+    a &= b;
+    return a;
+  }
+
+  /// Bits set in *this but not in `other`.
+  [[nodiscard]] Bitmap difference(const Bitmap& other) const {
+    Bitmap r = *this;
+    r.subtract(other);
+    return r;
+  }
+
+  /// True iff every set bit of *this is also set in `other`.
+  [[nodiscard]] bool is_subset_of(const Bitmap& other) const;
+
+  /// True iff *this and `other` share at least one set bit.
+  [[nodiscard]] bool intersects(const Bitmap& other) const;
+
+  bool operator==(const Bitmap& other) const = default;
+
+  /// Calls `fn(SlotIndex)` for every set bit in increasing order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = lowest_bit(word);
+        fn(static_cast<SlotIndex>(w * 64 + static_cast<std::size_t>(bit)));
+        word &= word - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<SlotIndex> set_bits() const;
+
+  /// Direct word access for hot loops (channel fan-out, popcount batches).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  /// Number of 64-bit words needed for `bits` bits.
+  [[nodiscard]] static std::size_t word_count(FrameSize bits) noexcept {
+    return (static_cast<std::size_t>(bits) + 63) / 64;
+  }
+
+ private:
+  static int lowest_bit(std::uint64_t word) noexcept;
+
+  void check_index(SlotIndex i) const {
+    NETTAG_EXPECTS(i >= 0 && i < size_, "bit index out of range");
+  }
+  void check_same_size(const Bitmap& other) const {
+    NETTAG_EXPECTS(size_ == other.size_, "bitmap size mismatch");
+  }
+
+  static std::size_t word_of(SlotIndex i) noexcept {
+    return static_cast<std::size_t>(i) / 64;
+  }
+  static std::uint64_t bit_of(SlotIndex i) noexcept {
+    return std::uint64_t{1} << (static_cast<std::size_t>(i) % 64);
+  }
+
+  FrameSize size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Number of set bits in the union a|b|c without materialising it; used by
+/// the CCM engine to price per-round listening in O(words).
+[[nodiscard]] int union_count(const Bitmap& a, const Bitmap& b,
+                              const Bitmap& c);
+
+}  // namespace nettag

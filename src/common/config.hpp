@@ -1,0 +1,73 @@
+// Scenario configuration shared across the library.
+//
+// SystemConfig captures the physical scenario of the paper's evaluation
+// (SVI-A): a disk deployment with a central reader and the three asymmetric
+// communication ranges R (reader->tag), r' (tag->reader) and r (tag->tag).
+// Defaults reproduce the paper's setting exactly.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nettag {
+
+/// Physical deployment scenario.
+struct SystemConfig {
+  /// Number of networked tags (paper: n = 10,000).
+  int tag_count = 10'000;
+
+  /// Radius of the deployment disk in metres (paper: 30 m).
+  double disk_radius_m = 30.0;
+
+  /// Reader-to-tag (uplink broadcast) range R in metres (paper: 30 m).
+  /// Every tag in the field of view decodes reader requests in one hop.
+  double reader_to_tag_range_m = 30.0;
+
+  /// Tag-to-reader (downlink) range r' in metres (paper: 20 m).
+  /// Tags within r' of the reader form tier 1.
+  double tag_to_reader_range_m = 20.0;
+
+  /// Tag-to-tag range r in metres (paper sweep: 2..10 m).
+  double tag_to_tag_range_m = 6.0;
+
+  /// Master seed; trial t uses a deterministic stream derived from it.
+  Seed seed = 1;
+
+  /// Tag density rho = n / (pi * disk_radius^2) — paper: ~3.54 tags/m^2.
+  [[nodiscard]] double density() const noexcept {
+    return static_cast<double>(tag_count) /
+           (std::numbers::pi * disk_radius_m * disk_radius_m);
+  }
+
+  /// The paper's geometric estimate of the number of tiers,
+  /// 1 + ceil((R - r') / r), used to size the checking frame (SIII-E).
+  [[nodiscard]] int estimated_tiers() const {
+    validate();
+    const double extra =
+        (reader_to_tag_range_m - tag_to_reader_range_m) / tag_to_tag_range_m;
+    return 1 + static_cast<int>(std::ceil(extra - 1e-12));
+  }
+
+  /// Checking-frame length L_c = 2 * (1 + ceil((R - r') / r)) (SIII-E).
+  [[nodiscard]] int checking_frame_length() const {
+    return 2 * estimated_tiers();
+  }
+
+  /// Throws nettag::Error when a field is out of its legal domain.
+  void validate() const {
+    NETTAG_EXPECTS(tag_count > 0, "tag_count must be positive");
+    NETTAG_EXPECTS(disk_radius_m > 0.0, "disk radius must be positive");
+    NETTAG_EXPECTS(reader_to_tag_range_m > 0.0, "R must be positive");
+    NETTAG_EXPECTS(tag_to_reader_range_m > 0.0, "r' must be positive");
+    NETTAG_EXPECTS(tag_to_tag_range_m > 0.0, "r must be positive");
+    NETTAG_EXPECTS(reader_to_tag_range_m >= tag_to_reader_range_m,
+                   "paper assumes R >= r'");
+    NETTAG_EXPECTS(reader_to_tag_range_m >= tag_to_tag_range_m,
+                   "paper assumes R >= r");
+  }
+};
+
+}  // namespace nettag

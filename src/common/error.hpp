@@ -1,0 +1,49 @@
+// Error handling helpers.
+//
+// The library throws `nettag::Error` (derived from std::runtime_error) for
+// precondition violations on public interfaces.  Internal invariants use
+// NETTAG_ASSERT, which is active in all build types: simulations silently
+// producing wrong numbers are worse than aborting.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nettag {
+
+/// Exception type thrown on public-API precondition violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+/// Throws nettag::Error when `cond` is false.  Used for caller-facing
+/// precondition checks; always enabled.
+#define NETTAG_EXPECTS(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::nettag::detail::fail("Precondition", #cond, __FILE__, __LINE__,   \
+                             (msg));                                      \
+  } while (false)
+
+/// Internal invariant check; always enabled (simulation correctness first).
+#define NETTAG_ASSERT(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::nettag::detail::fail("Invariant", #cond, __FILE__, __LINE__,      \
+                             (msg));                                      \
+  } while (false)
+
+}  // namespace nettag

@@ -1,0 +1,60 @@
+// Deterministic tag-side hashing.
+//
+// CCM applications rely on tags and reader computing the *same* pseudo-random
+// choices from (tag ID, request seed): GMLE needs identical sampling and slot
+// picks in networked and traditional systems (Theorem 1), TRP needs the
+// reader to predict which slots must be busy, and the multi-reader OR (Eq. 1)
+// deduplicates only because a tag picks the same slot under every reader.
+// These helpers are pure functions of their inputs — no hidden state.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nettag {
+
+/// Murmur3 64-bit finalizer: a fast bijective mixer with good avalanche.
+[[nodiscard]] constexpr std::uint64_t fmix64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Combines a tag ID and a request seed into one 64-bit hash.
+[[nodiscard]] constexpr std::uint64_t tag_hash(TagId id, Seed seed) noexcept {
+  return fmix64(fmix64(id) ^ seed);
+}
+
+/// The slot a tag picks in an f-slot frame for request seed `seed`
+/// ("pseudo-randomly selecting a slot by hashing its ID together with the
+/// random seed", SV-A).
+[[nodiscard]] inline SlotIndex slot_pick(TagId id, Seed seed, FrameSize f) {
+  NETTAG_EXPECTS(f > 0, "frame size must be positive");
+  return static_cast<SlotIndex>(tag_hash(id, seed) %
+                                static_cast<std::uint64_t>(f));
+}
+
+/// Whether a tag participates in a frame under sampling probability `p`
+/// (GMLE request (f, p), SIV-B).  Deterministic in (id, seed).
+[[nodiscard]] inline bool participates(TagId id, Seed seed, double p) {
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  // Domain-separate from slot_pick so participation and slot are independent.
+  const std::uint64_t h = tag_hash(id, seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+
+/// The k-th of several independent slot picks (tag-search style applications
+/// where each tag sets multiple bits, SIII-B).
+[[nodiscard]] inline SlotIndex slot_pick_k(TagId id, Seed seed, FrameSize f,
+                                           int k) {
+  NETTAG_EXPECTS(k >= 0, "pick index must be non-negative");
+  return slot_pick(id, seed ^ fmix64(static_cast<std::uint64_t>(k) + 1), f);
+}
+
+}  // namespace nettag

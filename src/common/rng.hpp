@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (tag placement, ALOHA backoff,
+// trial seeds) flows through this generator so that any experiment is exactly
+// reproducible from a single 64-bit seed.  xoshiro256** is small, fast and
+// statistically strong; seeds are expanded with splitmix64 as its authors
+// recommend.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nettag {
+
+/// splitmix64 step: returns the next value of the sequence and advances `x`.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& x) noexcept;
+
+/// xoshiro256** generator satisfying UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(Seed seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  /// Re-initialises the state from `seed` via splitmix64 expansion.
+  void reseed(Seed seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method (unbiased).  `bound` must be positive.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo,
+                                         std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Derives an independent child generator; used to give each trial or each
+  /// tag its own stream without correlation.
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace nettag

@@ -1,0 +1,68 @@
+// Small statistics toolkit for trial aggregation.
+//
+// The paper reports per-tag maxima and averages over 100 independent trials
+// (SVI-A).  RunningStats accumulates moments in one pass (Welford);
+// TrialSummary aggregates per-trial scalars into the mean +/- CI rows the
+// bench harness prints.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace nettag {
+
+/// One-pass mean / variance / extrema accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Mean of the samples; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Smallest / largest sample seen; 0 when empty.
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Sum of all samples.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Half-width of the normal-approximation confidence interval around the mean
+/// at the given two-sided confidence level (e.g. 0.95).
+[[nodiscard]] double confidence_halfwidth(const RunningStats& s,
+                                          double confidence);
+
+/// z-quantile of the standard normal for two-sided confidence `c`
+/// (e.g. c = 0.95 -> 1.960).  Computed via the Acklam inverse-CDF
+/// approximation — good to ~1e-9, far more than trial aggregation needs.
+[[nodiscard]] double normal_quantile_two_sided(double confidence);
+
+/// Inverse CDF of the standard normal at probability `p` in (0, 1).
+[[nodiscard]] double normal_inverse_cdf(double p);
+
+/// `q`-th percentile (0..100) of a sample by linear interpolation.
+/// The input is copied and sorted.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+}  // namespace nettag

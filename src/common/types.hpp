@@ -1,0 +1,44 @@
+// Fundamental vocabulary types shared by every nettag module.
+//
+// The paper's world is made of tags (96-bit EPC IDs, modelled as 64-bit
+// integers here), 1-bit time slots grouped into frames, and rounds of a CCM
+// session.  Using named aliases keeps interfaces precisely typed (Core
+// Guidelines I.4) without the friction of full strong types for what are,
+// throughout, plain indices and counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nettag {
+
+/// Unique identifier of a tag (stand-in for the 96-bit EPC; 64 bits is enough
+/// for simulation while keeping hashing cheap and deterministic).
+using TagId = std::uint64_t;
+
+/// Dense index of a tag inside one deployment: 0 .. n-1.
+using TagIndex = std::int32_t;
+
+/// Index of a slot within a frame: 0 .. f-1.
+using SlotIndex = std::int32_t;
+
+/// Number of slots in a frame (paper: f).
+using FrameSize = std::int32_t;
+
+/// A count of time slots (execution-time metric of the paper's Fig. 4).
+using SlotCount = std::int64_t;
+
+/// A count of bits sent or received (energy metric of Tables I-IV).
+using BitCount = std::int64_t;
+
+/// Seed type for all deterministic pseudo-randomness.
+using Seed = std::uint64_t;
+
+/// Number of bits in a tag ID transmission (EPC Gen2 ID length, paper SVI-A).
+inline constexpr int kTagIdBits = 96;
+
+/// Sentinel for "no tag" / "no slot".
+inline constexpr TagIndex kInvalidTagIndex = -1;
+inline constexpr SlotIndex kInvalidSlot = -1;
+
+}  // namespace nettag

@@ -1,0 +1,46 @@
+#include "geom/circle_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace nettag::geom {
+
+namespace {
+/// arccos with the argument clamped into [-1, 1]; the circle formulas push
+/// arguments epsilon outside the domain at tangency.
+double safe_acos(double x) noexcept {
+  return std::acos(std::clamp(x, -1.0, 1.0));
+}
+}  // namespace
+
+double circle_intersection_area(double r1, double r2, double d) {
+  NETTAG_EXPECTS(r1 >= 0.0 && r2 >= 0.0 && d >= 0.0,
+                 "radii and distance must be non-negative");
+  if (r1 == 0.0 || r2 == 0.0) return 0.0;
+  if (d >= r1 + r2) return 0.0;  // disjoint
+  const double r_min = std::min(r1, r2);
+  const double r_max = std::max(r1, r2);
+  if (d <= r_max - r_min) {
+    // Smaller circle fully contained.
+    return std::numbers::pi * r_min * r_min;
+  }
+  // Standard lens area: sum of the two circular segments.
+  const double alpha =
+      safe_acos((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1));
+  const double beta =
+      safe_acos((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2));
+  return r1 * r1 * (alpha - std::sin(2.0 * alpha) / 2.0) +
+         r2 * r2 * (beta - std::sin(2.0 * beta) / 2.0);
+}
+
+double area_outside(double rc, double d, double rb) {
+  NETTAG_EXPECTS(rc >= 0.0 && rb >= 0.0 && d >= 0.0,
+                 "radii and distance must be non-negative");
+  const double full = std::numbers::pi * rc * rc;
+  return full - circle_intersection_area(rc, rb, d);
+}
+
+}  // namespace nettag::geom

@@ -1,0 +1,21 @@
+// Circle-intersection geometry used by the analytical cost model (SIV-C).
+//
+// Equations (6), (7) and (9) of the paper reduce to the classic area of the
+// lens formed by two intersecting circles.  We implement the general
+// two-circle intersection area once, numerically robustly, and derive the
+// paper's shadow-zone S_i and overlap-zone S'_i from it; the tests validate
+// both against Monte-Carlo integration.
+#pragma once
+
+namespace nettag::geom {
+
+/// Area of the intersection of two circles with radii `r1`, `r2` whose
+/// centres are `d` apart.  Handles containment and disjointness exactly.
+[[nodiscard]] double circle_intersection_area(double r1, double r2, double d);
+
+/// Area of the part of a circle of radius `rc` (centred `d` away from the
+/// origin) lying *outside* the circle of radius `rb` centred at the origin.
+/// This is the paper's "shadow zone" S_i (Fig. 2(b)) with rb = R.
+[[nodiscard]] double area_outside(double rc, double d, double rb);
+
+}  // namespace nettag::geom

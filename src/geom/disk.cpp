@@ -1,0 +1,36 @@
+#include "geom/disk.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace nettag::geom {
+
+Point sample_disk(Rng& rng, Point center, double radius) {
+  return sample_annulus(rng, center, 0.0, radius);
+}
+
+Point sample_annulus(Rng& rng, Point center, double r_inner, double r_outer) {
+  NETTAG_EXPECTS(r_inner >= 0.0 && r_outer >= r_inner,
+                 "annulus radii must satisfy 0 <= inner <= outer");
+  // Inverse-CDF in the radial coordinate: area grows with rho^2, so
+  // rho = sqrt(U * (ro^2 - ri^2) + ri^2) is uniform over the annulus.
+  const double u = rng.uniform01();
+  const double rho = std::sqrt(u * (r_outer * r_outer - r_inner * r_inner) +
+                               r_inner * r_inner);
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  return {center.x + rho * std::cos(theta), center.y + rho * std::sin(theta)};
+}
+
+std::vector<Point> sample_disk_points(Rng& rng, Point center, double radius,
+                                      int count) {
+  NETTAG_EXPECTS(count >= 0, "count must be non-negative");
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    points.push_back(sample_disk(rng, center, radius));
+  return points;
+}
+
+}  // namespace nettag::geom

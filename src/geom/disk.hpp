@@ -1,0 +1,26 @@
+// Uniform sampling over disks and annuli.
+//
+// The evaluation deploys tags uniformly at random inside a disk of radius
+// 30 m centred on the reader (SVI-A).  Annulus sampling is used by tests and
+// by synthetic topologies that pin tags to specific tiers.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/point.hpp"
+
+namespace nettag::geom {
+
+/// One point uniform over the disk of radius `radius` centred at `center`.
+[[nodiscard]] Point sample_disk(Rng& rng, Point center, double radius);
+
+/// One point uniform over the annulus r_inner <= |p - center| <= r_outer.
+[[nodiscard]] Point sample_annulus(Rng& rng, Point center, double r_inner,
+                                   double r_outer);
+
+/// `count` i.i.d. uniform points in the disk.
+[[nodiscard]] std::vector<Point> sample_disk_points(Rng& rng, Point center,
+                                                    double radius, int count);
+
+}  // namespace nettag::geom

@@ -1,0 +1,59 @@
+#include "geom/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nettag::geom {
+
+GridIndex::GridIndex(std::vector<Point> points, double cell_size)
+    : points_(std::move(points)), cell_size_(cell_size) {
+  NETTAG_EXPECTS(cell_size > 0.0, "cell size must be positive");
+  if (points_.empty()) {
+    starts_.assign(2, 0);
+    return;
+  }
+  double max_x = points_[0].x;
+  double max_y = points_[0].y;
+  min_x_ = points_[0].x;
+  min_y_ = points_[0].y;
+  for (const Point& p : points_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  cells_x_ = std::max(1, static_cast<int>((max_x - min_x_) / cell_size_) + 1);
+  cells_y_ = std::max(1, static_cast<int>((max_y - min_y_) / cell_size_) + 1);
+
+  const std::size_t cell_total =
+      static_cast<std::size_t>(cells_x_) * static_cast<std::size_t>(cells_y_);
+  std::vector<std::size_t> counts(cell_total, 0);
+  auto cell_of = [this](const Point& p) {
+    const auto cx = static_cast<std::size_t>(cell_coord(p.x - min_x_));
+    const auto cy = static_cast<std::size_t>(cell_coord(p.y - min_y_));
+    return cy * static_cast<std::size_t>(cells_x_) + cx;
+  };
+  for (const Point& p : points_) ++counts[cell_of(p)];
+
+  starts_.assign(cell_total + 1, 0);
+  for (std::size_t c = 0; c < cell_total; ++c)
+    starts_[c + 1] = starts_[c] + counts[c];
+
+  ordered_.resize(points_.size());
+  std::vector<std::size_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const std::size_t c = cell_of(points_[i]);
+    ordered_[cursor[c]++] = static_cast<TagIndex>(i);
+  }
+}
+
+std::vector<TagIndex> GridIndex::query(Point q, double radius,
+                                       TagIndex exclude) const {
+  std::vector<TagIndex> out;
+  for_each_in_range(q, radius, exclude,
+                    [&out](TagIndex idx) { out.push_back(idx); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nettag::geom

@@ -1,0 +1,78 @@
+// Uniform-grid spatial index for fixed-radius neighbor queries.
+//
+// Building the tag-to-tag topology at n = 10,000 requires ~n range queries;
+// a grid with cell size = query radius answers each by scanning at most nine
+// cells, giving O(n * density * r^2) total work instead of O(n^2).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "geom/point.hpp"
+
+namespace nettag::geom {
+
+/// Immutable point set indexed on a uniform grid.
+class GridIndex {
+ public:
+  /// Indexes `points` (copied) with grid cells of size `cell_size` metres.
+  GridIndex(std::vector<Point> points, double cell_size);
+
+  /// Indices of all points with distance(p, q) <= radius, EXCLUDING any point
+  /// at index `exclude` (pass kInvalidTagIndex to keep all).  `radius` must
+  /// not exceed the cell size (one-ring scan correctness).
+  [[nodiscard]] std::vector<TagIndex> query(Point q, double radius,
+                                            TagIndex exclude) const;
+
+  /// Calls fn(index) for every point within `radius` of `q`, excluding
+  /// `exclude`.  Avoids the vector allocation of query().
+  template <typename Fn>
+  void for_each_in_range(Point q, double radius, TagIndex exclude,
+                         Fn&& fn) const {
+    NETTAG_EXPECTS(radius >= 0.0 && radius <= cell_size_ + 1e-12,
+                   "query radius must not exceed the grid cell size");
+    const double r_sq = radius * radius;
+    const int cq_x = cell_coord(q.x - min_x_);
+    const int cq_y = cell_coord(q.y - min_y_);
+    for (int cy = cq_y - 1; cy <= cq_y + 1; ++cy) {
+      if (cy < 0 || cy >= cells_y_) continue;
+      for (int cx = cq_x - 1; cx <= cq_x + 1; ++cx) {
+        if (cx < 0 || cx >= cells_x_) continue;
+        const std::size_t cell = static_cast<std::size_t>(cy) *
+                                     static_cast<std::size_t>(cells_x_) +
+                                 static_cast<std::size_t>(cx);
+        for (std::size_t k = starts_[cell]; k < starts_[cell + 1]; ++k) {
+          const TagIndex idx = ordered_[k];
+          if (idx == exclude) continue;
+          if (distance_sq(points_[static_cast<std::size_t>(idx)], q) <= r_sq)
+            fn(idx);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  [[nodiscard]] int cell_coord(double offset) const noexcept {
+    const int c = static_cast<int>(offset / cell_size_);
+    return c;
+  }
+
+  std::vector<Point> points_;
+  double cell_size_;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  int cells_x_ = 1;
+  int cells_y_ = 1;
+  // CSR layout: ordered_ holds point indices grouped by cell;
+  // starts_[c]..starts_[c+1] is cell c's slice.
+  std::vector<std::size_t> starts_;
+  std::vector<TagIndex> ordered_;
+};
+
+}  // namespace nettag::geom

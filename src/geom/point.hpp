@@ -1,0 +1,45 @@
+// 2-D points and distances for the planar deployment model.
+#pragma once
+
+#include <cmath>
+
+namespace nettag::geom {
+
+/// A point in the deployment plane, in metres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(Point a, double s) noexcept {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr bool operator==(Point a, Point b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Squared Euclidean distance — the hot-path primitive; avoids sqrt in
+/// neighbor queries.
+[[nodiscard]] constexpr double distance_sq(Point a, Point b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+[[nodiscard]] inline double distance(Point a, Point b) noexcept {
+  return std::sqrt(distance_sq(a, b));
+}
+
+/// Distance of `p` from the origin.
+[[nodiscard]] inline double norm(Point p) noexcept {
+  return std::sqrt(p.x * p.x + p.y * p.y);
+}
+
+}  // namespace nettag::geom

@@ -1,0 +1,138 @@
+#include "net/deployment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "geom/disk.hpp"
+
+namespace nettag::net {
+
+void Deployment::remove_tags(std::vector<TagIndex> indices) {
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  NETTAG_EXPECTS(indices.empty() ||
+                     (indices.front() >= 0 && indices.back() < tag_count()),
+                 "tag index out of range");
+  std::vector<TagId> kept_ids;
+  std::vector<geom::Point> kept_pos;
+  kept_ids.reserve(ids.size() - indices.size());
+  kept_pos.reserve(ids.size() - indices.size());
+  std::size_t next_removed = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (next_removed < indices.size() &&
+        static_cast<TagIndex>(i) == indices[next_removed]) {
+      ++next_removed;
+      continue;
+    }
+    kept_ids.push_back(ids[i]);
+    kept_pos.push_back(positions[i]);
+  }
+  ids = std::move(kept_ids);
+  positions = std::move(kept_pos);
+}
+
+std::vector<TagId> make_tag_ids(Rng& rng, int count) {
+  NETTAG_EXPECTS(count >= 0, "count must be non-negative");
+  std::unordered_set<TagId> seen;
+  seen.reserve(static_cast<std::size_t>(count) * 2);
+  std::vector<TagId> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  while (static_cast<int>(ids.size()) < count) {
+    const TagId id = rng();
+    if (id != 0 && seen.insert(id).second) ids.push_back(id);
+  }
+  return ids;
+}
+
+Deployment make_disk_deployment(const SystemConfig& cfg, Rng& rng) {
+  cfg.validate();
+  Deployment d;
+  d.readers = {geom::Point{0.0, 0.0}};
+  d.ids = make_tag_ids(rng, cfg.tag_count);
+  d.positions = geom::sample_disk_points(rng, {0.0, 0.0}, cfg.disk_radius_m,
+                                         cfg.tag_count);
+  return d;
+}
+
+Deployment make_clustered_deployment(const SystemConfig& cfg, Rng& rng,
+                                     int cluster_count,
+                                     double cluster_radius_m) {
+  cfg.validate();
+  NETTAG_EXPECTS(cluster_count >= 1, "need at least one cluster");
+  NETTAG_EXPECTS(cluster_radius_m > 0.0, "cluster radius must be positive");
+  Deployment d;
+  d.readers = {geom::Point{0.0, 0.0}};
+  d.ids = make_tag_ids(rng, cfg.tag_count);
+
+  std::vector<geom::Point> centers;
+  centers.reserve(static_cast<std::size_t>(cluster_count));
+  for (int c = 0; c < cluster_count; ++c)
+    centers.push_back(geom::sample_disk(rng, {0.0, 0.0},
+                                        cfg.disk_radius_m - cluster_radius_m));
+
+  d.positions.reserve(static_cast<std::size_t>(cfg.tag_count));
+  for (int i = 0; i < cfg.tag_count; ++i) {
+    const auto c = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(cluster_count)));
+    geom::Point p = geom::sample_disk(rng, centers[c], cluster_radius_m);
+    // Clamp stragglers back into the deployment disk.
+    const double norm = geom::norm(p);
+    if (norm > cfg.disk_radius_m) p = p * (cfg.disk_radius_m / norm);
+    d.positions.push_back(p);
+  }
+  return d;
+}
+
+Deployment make_aisle_deployment(const SystemConfig& cfg, Rng& rng,
+                                 int aisle_count, double row_width_m) {
+  cfg.validate();
+  NETTAG_EXPECTS(aisle_count >= 1, "need at least one aisle");
+  NETTAG_EXPECTS(row_width_m >= 0.0, "row width must be non-negative");
+  Deployment d;
+  d.readers = {geom::Point{0.0, 0.0}};
+  d.ids = make_tag_ids(rng, cfg.tag_count);
+
+  const double radius = cfg.disk_radius_m;
+  const double spacing =
+      2.0 * radius / static_cast<double>(aisle_count + 1);
+  d.positions.reserve(static_cast<std::size_t>(cfg.tag_count));
+  for (int i = 0; i < cfg.tag_count; ++i) {
+    const auto row = static_cast<double>(
+        rng.below(static_cast<std::uint64_t>(aisle_count)));
+    const double y = -radius + (row + 1.0) * spacing +
+                     rng.uniform(-row_width_m / 2.0, row_width_m / 2.0);
+    // x spans the chord of the disk at height y.
+    const double half_chord =
+        std::sqrt(std::max(0.0, radius * radius - y * y));
+    const double x = rng.uniform(-half_chord, half_chord);
+    d.positions.push_back({x, y});
+  }
+  return d;
+}
+
+Deployment make_multi_reader_deployment(const SystemConfig& cfg, Rng& rng,
+                                        int reader_count,
+                                        double reader_ring_radius_m,
+                                        bool include_center) {
+  cfg.validate();
+  NETTAG_EXPECTS(reader_count >= 1, "need at least one reader");
+  NETTAG_EXPECTS(reader_ring_radius_m >= 0.0, "ring radius must be >= 0");
+  Deployment d;
+  if (include_center) d.readers.push_back({0.0, 0.0});
+  for (int i = 0; i < reader_count; ++i) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(i) /
+        static_cast<double>(reader_count);
+    d.readers.push_back({reader_ring_radius_m * std::cos(theta),
+                         reader_ring_radius_m * std::sin(theta)});
+  }
+  d.ids = make_tag_ids(rng, cfg.tag_count);
+  d.positions = geom::sample_disk_points(rng, {0.0, 0.0}, cfg.disk_radius_m,
+                                         cfg.tag_count);
+  return d;
+}
+
+}  // namespace nettag::net

@@ -1,0 +1,69 @@
+// Physical deployment generation.
+//
+// A Deployment is the ground truth of one trial: tag IDs, tag positions, and
+// reader positions.  The paper's evaluation (SVI-A) places one reader at the
+// centre of a 30 m disk with 10,000 uniformly scattered tags; helpers also
+// support multi-reader layouts (SIII-G) and removing tags to stage
+// missing-tag events (SV).
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "geom/point.hpp"
+
+namespace nettag::net {
+
+/// Tag IDs and positions plus reader positions for one trial.
+struct Deployment {
+  std::vector<TagId> ids;             ///< unique 64-bit IDs, one per tag
+  std::vector<geom::Point> positions; ///< tag positions, same order as ids
+  std::vector<geom::Point> readers;   ///< reader positions (>= 1)
+
+  [[nodiscard]] int tag_count() const noexcept {
+    return static_cast<int>(ids.size());
+  }
+
+  /// Removes the tags at the given dense indices (missing-tag scenario).
+  /// Indices must be valid and are deduplicated internally.
+  void remove_tags(std::vector<TagIndex> indices);
+};
+
+/// Uniform-disk deployment per the paper's setting: reader at the origin,
+/// `cfg.tag_count` tags uniform in the disk of `cfg.disk_radius_m`.
+[[nodiscard]] Deployment make_disk_deployment(const SystemConfig& cfg,
+                                              Rng& rng);
+
+/// Multi-reader variant: `reader_count` readers evenly spaced on a circle of
+/// radius `reader_ring_radius_m` around the origin (plus one at the centre
+/// when `include_center`), tags uniform in the disk.
+[[nodiscard]] Deployment make_multi_reader_deployment(
+    const SystemConfig& cfg, Rng& rng, int reader_count,
+    double reader_ring_radius_m, bool include_center);
+
+/// Draws `count` distinct random tag IDs.
+[[nodiscard]] std::vector<TagId> make_tag_ids(Rng& rng, int count);
+
+/// Clustered deployment: tags arrive in pallets.  `cluster_count` cluster
+/// centres uniform in the disk; each tag joins a random cluster and lands
+/// Gaussian-ish (uniform disk of `cluster_radius_m`) around its centre,
+/// clamped into the deployment disk.  Models goods stacked in piles — the
+/// situation the paper's introduction gives for readers failing to reach
+/// every tag.
+[[nodiscard]] Deployment make_clustered_deployment(const SystemConfig& cfg,
+                                                   Rng& rng,
+                                                   int cluster_count,
+                                                   double cluster_radius_m);
+
+/// Aisle deployment: tags on parallel shelf rows.  `aisle_count` rows span
+/// the disk horizontally, `row_spacing_m` apart and centred vertically;
+/// tags scatter uniformly along their row with `row_width_m` of lateral
+/// jitter.  Connectivity across rows exists only where r exceeds the
+/// spacing — the worst case for relay depth.
+[[nodiscard]] Deployment make_aisle_deployment(const SystemConfig& cfg,
+                                               Rng& rng, int aisle_count,
+                                               double row_width_m);
+
+}  // namespace nettag::net

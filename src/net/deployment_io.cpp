@@ -1,0 +1,78 @@
+#include "net/deployment_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ios>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace nettag::net {
+
+namespace {
+constexpr const char* kMagic = "nettag-deployment v1";
+}
+
+void save_deployment(std::ostream& out, const Deployment& deployment) {
+  NETTAG_EXPECTS(deployment.ids.size() == deployment.positions.size(),
+                 "corrupt deployment: ids/positions size mismatch");
+  out << kMagic << '\n';
+  out << "readers " << deployment.readers.size() << '\n';
+  out << std::setprecision(17);
+  for (const auto& r : deployment.readers) out << r.x << ' ' << r.y << '\n';
+  out << "tags " << deployment.ids.size() << '\n';
+  for (std::size_t i = 0; i < deployment.ids.size(); ++i) {
+    out << std::hex << deployment.ids[i] << std::dec << ' '
+        << deployment.positions[i].x << ' ' << deployment.positions[i].y
+        << '\n';
+  }
+  NETTAG_EXPECTS(out.good(), "write failure while saving deployment");
+}
+
+Deployment load_deployment(std::istream& in) {
+  std::string line;
+  NETTAG_EXPECTS(std::getline(in, line) && line == kMagic,
+                 "not a nettag deployment file");
+  std::string keyword;
+  std::size_t count = 0;
+
+  Deployment deployment;
+  NETTAG_EXPECTS(static_cast<bool>(in >> keyword >> count) &&
+                     keyword == "readers",
+                 "expected 'readers <count>'");
+  deployment.readers.resize(count);
+  for (auto& r : deployment.readers) {
+    NETTAG_EXPECTS(static_cast<bool>(in >> r.x >> r.y),
+                   "truncated reader list");
+  }
+
+  NETTAG_EXPECTS(static_cast<bool>(in >> keyword >> count) &&
+                     keyword == "tags",
+                 "expected 'tags <count>'");
+  deployment.ids.resize(count);
+  deployment.positions.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    NETTAG_EXPECTS(static_cast<bool>(in >> std::hex >> deployment.ids[i] >>
+                                     std::dec >> deployment.positions[i].x >>
+                                     deployment.positions[i].y),
+                   "truncated tag list");
+  }
+  return deployment;
+}
+
+void save_deployment_file(const std::string& path,
+                          const Deployment& deployment) {
+  std::ofstream out(path);
+  NETTAG_EXPECTS(out.is_open(), "cannot open file for writing: " + path);
+  save_deployment(out, deployment);
+}
+
+Deployment load_deployment_file(const std::string& path) {
+  std::ifstream in(path);
+  NETTAG_EXPECTS(in.is_open(), "cannot open file for reading: " + path);
+  return load_deployment(in);
+}
+
+}  // namespace nettag::net

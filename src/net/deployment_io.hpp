@@ -1,0 +1,33 @@
+// Deployment persistence.
+//
+// Trials are deterministic from a seed, but real studies also want to pin
+// a deployment down as an artifact (share the exact network a result came
+// from, re-run a different protocol on it, feed a measured floor plan in).
+// The format is a minimal line-oriented text file:
+//
+//   nettag-deployment v1
+//   readers <count>
+//   <x> <y>                 (one line per reader)
+//   tags <count>
+//   <id-hex> <x> <y>        (one line per tag)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/deployment.hpp"
+
+namespace nettag::net {
+
+/// Writes `deployment` to `out`; throws nettag::Error on stream failure.
+void save_deployment(std::ostream& out, const Deployment& deployment);
+
+/// Parses a deployment; throws nettag::Error on malformed input.
+[[nodiscard]] Deployment load_deployment(std::istream& in);
+
+/// File convenience wrappers.
+void save_deployment_file(const std::string& path,
+                          const Deployment& deployment);
+[[nodiscard]] Deployment load_deployment_file(const std::string& path);
+
+}  // namespace nettag::net

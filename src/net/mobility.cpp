@@ -1,0 +1,71 @@
+#include "net/mobility.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "geom/disk.hpp"
+#include "net/topology.hpp"
+
+namespace nettag::net {
+
+Deployment move_tags(const Deployment& deployment, const MobilityModel& model,
+                     Rng& rng) {
+  NETTAG_EXPECTS(model.move_fraction >= 0.0 && model.move_fraction <= 1.0,
+                 "move fraction must be in [0,1]");
+  NETTAG_EXPECTS(model.max_step_m >= 0.0, "step must be non-negative");
+  NETTAG_EXPECTS(model.region_radius_m > 0.0, "region must be positive");
+
+  Deployment moved = deployment;
+  for (auto& position : moved.positions) {
+    if (!rng.bernoulli(model.move_fraction)) continue;
+    // Re-draw until the step lands inside the region (rejection; the step
+    // is small relative to the region so this terminates fast).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const geom::Point candidate =
+          geom::sample_disk(rng, position, model.max_step_m);
+      if (geom::norm(candidate) <= model.region_radius_m) {
+        position = candidate;
+        break;
+      }
+    }
+  }
+  return moved;
+}
+
+double link_churn(const Deployment& before, const Deployment& after,
+                  const SystemConfig& cfg) {
+  NETTAG_EXPECTS(before.ids == after.ids,
+                 "link churn requires the same tag set");
+  const Topology a(before, cfg);
+  const Topology b(after, cfg);
+
+  std::int64_t common = 0;
+  std::int64_t total_a = 0;
+  std::int64_t total_b = 0;
+  for (TagIndex t = 0; t < a.tag_count(); ++t) {
+    const auto na = a.neighbors(t);
+    const auto nb = b.neighbors(t);
+    total_a += static_cast<std::int64_t>(na.size());
+    total_b += static_cast<std::int64_t>(nb.size());
+    // Both lists are sorted: count the intersection linearly.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < na.size() && j < nb.size()) {
+      if (na[i] == nb[j]) {
+        ++common;
+        ++i;
+        ++j;
+      } else if (na[i] < nb[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+  const std::int64_t unions = total_a + total_b - common;
+  if (unions == 0) return 0.0;
+  return 1.0 - static_cast<double>(common) / static_cast<double>(unions);
+}
+
+}  // namespace nettag::net

@@ -1,0 +1,42 @@
+// Inter-operation tag mobility.
+//
+// The system model (SII) fixes tags during an operation but lets them move
+// between operations — the very reason the paper argues for STATE-FREE
+// tags: any neighbor table or routing tree built yesterday is stale today,
+// while CCM needs nothing carried over.  These helpers perturb a deployment
+// between operations; tests and benches verify protocols run unchanged on
+// the moved network (and that the stateful SICP tree must be rebuilt).
+#pragma once
+
+#include "common/rng.hpp"
+#include "net/deployment.hpp"
+
+namespace nettag::net {
+
+/// How tags move between two operations.
+struct MobilityModel {
+  /// Fraction of tags that move at all (forklifts move pallets; most stay).
+  double move_fraction = 0.2;
+
+  /// Maximum displacement of a moving tag, metres (uniform in the disk of
+  /// this radius around its old position).
+  double max_step_m = 5.0;
+
+  /// Tags never leave the deployment region (re-sampled into it).
+  double region_radius_m = 30.0;
+};
+
+/// Returns a copy of `deployment` with tags displaced per `model`.
+/// IDs and readers are unchanged; only positions move.
+[[nodiscard]] Deployment move_tags(const Deployment& deployment,
+                                   const MobilityModel& model, Rng& rng);
+
+/// Fraction of tag-to-tag links that differ between the topologies implied
+/// by two deployments of the SAME tag set under `cfg` (Jaccard distance of
+/// the edge sets).  Quantifies how much state a stateful design would have
+/// had to repair.
+[[nodiscard]] double link_churn(const Deployment& before,
+                                const Deployment& after,
+                                const SystemConfig& cfg);
+
+}  // namespace nettag::net

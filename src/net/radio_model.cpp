@@ -1,0 +1,108 @@
+#include "net/radio_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "geom/grid_index.hpp"
+
+namespace nettag::net {
+
+namespace {
+
+/// Standard normal upper-tail probability Q(x) = 1 - Phi(x).
+double q_function(double x) {
+  return 0.5 * std::erfc(x / std::numbers::sqrt2);
+}
+
+/// Deterministic standard-normal draw for an unordered tag pair: both
+/// endpoints must compute the SAME shadowing value (link symmetry), so the
+/// draw hashes the pair rather than consuming a generator stream.
+double pair_normal(TagId a, TagId b, Seed seed) {
+  const TagId lo = std::min(a, b);
+  const TagId hi = std::max(a, b);
+  const std::uint64_t h = fmix64(fmix64(lo ^ seed) ^ hi);
+  const std::uint64_t h2 = fmix64(h ^ 0x9e3779b97f4a7c15ULL);
+  // Box-Muller from two hash-derived uniforms in (0, 1).
+  const double u1 =
+      (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace
+
+void RadioModel::validate() const {
+  NETTAG_EXPECTS(path_loss_exponent >= 1.5 && path_loss_exponent <= 6.0,
+                 "path-loss exponent out of the physical range");
+  NETTAG_EXPECTS(shadowing_sigma_db >= 0.0, "sigma must be non-negative");
+  NETTAG_EXPECTS(reference_range_m > 0.0, "reference range must be positive");
+  NETTAG_EXPECTS(max_range_factor >= 1.0, "max range factor must be >= 1");
+}
+
+double RadioModel::link_probability(double distance_m) const {
+  validate();
+  NETTAG_EXPECTS(distance_m >= 0.0, "distance must be non-negative");
+  if (distance_m <= 0.0) return 1.0;
+  const double loss_db = 10.0 * path_loss_exponent *
+                         std::log10(distance_m / reference_range_m);
+  if (shadowing_sigma_db == 0.0) return loss_db <= 0.0 ? 1.0 : 0.0;
+  return q_function(loss_db / shadowing_sigma_db);
+}
+
+Topology build_shadowed_topology(const Deployment& deployment,
+                                 const SystemConfig& sys,
+                                 const RadioModel& model) {
+  model.validate();
+  sys.validate();
+  NETTAG_EXPECTS(deployment.ids.size() == deployment.positions.size(),
+                 "deployment ids/positions size mismatch");
+  const int n = deployment.tag_count();
+  const double max_range = model.reference_range_m * model.max_range_factor;
+
+  const geom::GridIndex index(deployment.positions, max_range);
+  std::vector<std::vector<TagIndex>> adjacency(static_cast<std::size_t>(n));
+  for (TagIndex t = 0; t < n; ++t) {
+    index.for_each_in_range(
+        deployment.positions[static_cast<std::size_t>(t)], max_range, t,
+        [&](TagIndex other) {
+          if (other < t) return;  // evaluate each pair once, then mirror
+          const double d = geom::distance(
+              deployment.positions[static_cast<std::size_t>(t)],
+              deployment.positions[static_cast<std::size_t>(other)]);
+          const double loss_db =
+              d <= 0.0 ? -1e9
+                       : 10.0 * model.path_loss_exponent *
+                             std::log10(d / model.reference_range_m);
+          const double shadow =
+              model.shadowing_sigma_db *
+              pair_normal(deployment.ids[static_cast<std::size_t>(t)],
+                          deployment.ids[static_cast<std::size_t>(other)],
+                          model.shadowing_seed);
+          if (loss_db <= shadow) {
+            adjacency[static_cast<std::size_t>(t)].push_back(other);
+            adjacency[static_cast<std::size_t>(other)].push_back(t);
+          }
+        });
+  }
+  for (auto& list : adjacency) std::sort(list.begin(), list.end());
+
+  std::vector<bool> hears(static_cast<std::size_t>(n), false);
+  std::vector<bool> covers(static_cast<std::size_t>(n), false);
+  const geom::Point reader = deployment.readers.empty()
+                                 ? geom::Point{0.0, 0.0}
+                                 : deployment.readers.front();
+  for (TagIndex t = 0; t < n; ++t) {
+    const double d = geom::distance(
+        deployment.positions[static_cast<std::size_t>(t)], reader);
+    hears[static_cast<std::size_t>(t)] = d <= sys.tag_to_reader_range_m;
+    covers[static_cast<std::size_t>(t)] = d <= sys.reader_to_tag_range_m;
+  }
+  return Topology(deployment.ids, adjacency, std::move(hears),
+                  std::move(covers));
+}
+
+}  // namespace nettag::net

@@ -1,0 +1,59 @@
+// Irregular radio links: log-distance path loss with log-normal shadowing.
+//
+// The paper's model is a unit disk ("as long as t can sense transmissions
+// by t', the latter is a neighbor" — SII deliberately abstracts the radio).
+// Real links are irregular.  This builder replaces the disk with the
+// standard log-distance + shadowing model: the link budget is exhausted on
+// average at `reference_range_m`, and a zero-mean Gaussian shadowing term
+// (sigma dB) makes links probabilistic in the transition region:
+//
+//   link(u,v)  <=>  10 * eta * log10(d/ref) <= X_{uv},
+//   X_{uv} ~ N(0, sigma^2),  drawn once per PAIR (symmetric, stable).
+//
+// sigma = 0 recovers the disk model exactly.  CCM itself never looks at
+// geometry — Theorem 1 holds on any connected graph — so this module is how
+// the repository demonstrates that the paper's results survive radio
+// irregularity (bench/irregular_radio).
+#pragma once
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+
+namespace nettag::net {
+
+/// Parameters of the shadowed link model.
+struct RadioModel {
+  /// Path-loss exponent eta (2 free space .. 4 cluttered indoor).
+  double path_loss_exponent = 3.0;
+
+  /// Shadowing standard deviation, dB.  0 = pure disk model.
+  double shadowing_sigma_db = 4.0;
+
+  /// Distance at which the tag-to-tag link budget is exhausted on average
+  /// (the disk model's r).
+  double reference_range_m = 6.0;
+
+  /// Links are never evaluated beyond this multiple of the reference range
+  /// (keeps neighbor queries bounded; at 2x the link probability is already
+  /// < Q(3 eta / sigma), negligible for sane parameters).
+  double max_range_factor = 2.0;
+
+  /// Seed for the per-pair shadowing draws (deterministic, symmetric).
+  Seed shadowing_seed = 0x5ad0;
+
+  void validate() const;
+
+  /// P(link exists | distance d): Q(10 eta log10(d/ref) / sigma).
+  [[nodiscard]] double link_probability(double distance_m) const;
+};
+
+/// Builds the topology of `deployment` under the shadowed link model.
+/// Reader relations (hears within r', covers within R) stay deterministic —
+/// the reader is engineered infrastructure with margin to spare.
+[[nodiscard]] Topology build_shadowed_topology(const Deployment& deployment,
+                                               const SystemConfig& sys,
+                                               const RadioModel& model);
+
+}  // namespace nettag::net

@@ -1,0 +1,152 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+#include "geom/grid_index.hpp"
+
+namespace nettag::net {
+
+Topology::Topology(const Deployment& deployment, const SystemConfig& cfg,
+                   int reader_index) {
+  cfg.validate();
+  NETTAG_EXPECTS(reader_index >= 0 &&
+                     reader_index < static_cast<int>(deployment.readers.size()),
+                 "reader index out of range");
+  NETTAG_EXPECTS(deployment.ids.size() == deployment.positions.size(),
+                 "deployment ids/positions size mismatch");
+  ids_ = deployment.ids;
+  const int n = tag_count();
+  const geom::Point reader = deployment.readers[static_cast<std::size_t>(reader_index)];
+
+  const geom::GridIndex index(deployment.positions, cfg.tag_to_tag_range_m);
+  std::vector<std::vector<TagIndex>> adjacency(static_cast<std::size_t>(n));
+  for (TagIndex t = 0; t < n; ++t) {
+    index.for_each_in_range(
+        deployment.positions[static_cast<std::size_t>(t)],
+        cfg.tag_to_tag_range_m, t, [&adjacency, t](TagIndex other) {
+          adjacency[static_cast<std::size_t>(t)].push_back(other);
+        });
+    auto& list = adjacency[static_cast<std::size_t>(t)];
+    std::sort(list.begin(), list.end());
+  }
+  build_from_adjacency(adjacency);
+
+  reader_hears_.assign(static_cast<std::size_t>(n), false);
+  reader_covers_.assign(static_cast<std::size_t>(n), false);
+  const double hear_sq =
+      cfg.tag_to_reader_range_m * cfg.tag_to_reader_range_m;
+  const double cover_sq =
+      cfg.reader_to_tag_range_m * cfg.reader_to_tag_range_m;
+  for (TagIndex t = 0; t < n; ++t) {
+    const double d_sq =
+        geom::distance_sq(deployment.positions[static_cast<std::size_t>(t)], reader);
+    reader_hears_[static_cast<std::size_t>(t)] = d_sq <= hear_sq;
+    reader_covers_[static_cast<std::size_t>(t)] = d_sq <= cover_sq;
+  }
+  compute_tiers();
+}
+
+Topology::Topology(std::vector<TagId> ids,
+                   const std::vector<std::vector<TagIndex>>& adjacency,
+                   std::vector<bool> reader_hears,
+                   std::vector<bool> reader_covers)
+    : ids_(std::move(ids)),
+      reader_hears_(std::move(reader_hears)),
+      reader_covers_(std::move(reader_covers)) {
+  const auto n = ids_.size();
+  NETTAG_EXPECTS(adjacency.size() == n, "adjacency size mismatch");
+  NETTAG_EXPECTS(reader_hears_.size() == n, "reader_hears size mismatch");
+  if (reader_covers_.empty()) reader_covers_.assign(n, true);
+  NETTAG_EXPECTS(reader_covers_.size() == n, "reader_covers size mismatch");
+  // Validate symmetry: a sensing link under one uniform range is mutual.
+  for (std::size_t t = 0; t < n; ++t) {
+    for (const TagIndex u : adjacency[t]) {
+      NETTAG_EXPECTS(u >= 0 && static_cast<std::size_t>(u) < n,
+                     "neighbor index out of range");
+      NETTAG_EXPECTS(static_cast<std::size_t>(u) != t,
+                     "self-loop in adjacency");
+      const auto& back = adjacency[static_cast<std::size_t>(u)];
+      NETTAG_EXPECTS(
+          std::find(back.begin(), back.end(), static_cast<TagIndex>(t)) !=
+              back.end(),
+          "tag-to-tag adjacency must be symmetric");
+    }
+  }
+  build_from_adjacency(adjacency);
+  compute_tiers();
+}
+
+void Topology::build_from_adjacency(
+    const std::vector<std::vector<TagIndex>>& adjacency) {
+  const std::size_t n = ids_.size();
+  neighbor_starts_.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    total += adjacency[t].size();
+    neighbor_starts_[t + 1] = total;
+  }
+  neighbor_data_.reserve(total);
+  neighbor_data_.clear();
+  for (std::size_t t = 0; t < n; ++t)
+    neighbor_data_.insert(neighbor_data_.end(), adjacency[t].begin(),
+                          adjacency[t].end());
+}
+
+void Topology::compute_tiers() {
+  const int n = tag_count();
+  tiers_.assign(static_cast<std::size_t>(n), kUnreachable);
+  std::deque<TagIndex> queue;
+  for (TagIndex t = 0; t < n; ++t) {
+    if (reader_hears_[static_cast<std::size_t>(t)]) {
+      tiers_[static_cast<std::size_t>(t)] = 1;
+      queue.push_back(t);
+    }
+  }
+  reachable_count_ = static_cast<int>(queue.size());
+  tier_count_ = queue.empty() ? 0 : 1;
+  while (!queue.empty()) {
+    const TagIndex t = queue.front();
+    queue.pop_front();
+    const int next_tier = tiers_[static_cast<std::size_t>(t)] + 1;
+    for (const TagIndex u : neighbors(t)) {
+      if (tiers_[static_cast<std::size_t>(u)] != kUnreachable) continue;
+      tiers_[static_cast<std::size_t>(u)] = next_tier;
+      tier_count_ = std::max(tier_count_, next_tier);
+      ++reachable_count_;
+      queue.push_back(u);
+    }
+  }
+}
+
+std::vector<TagIndex> Topology::tags_at_tier(int k) const {
+  std::vector<TagIndex> out;
+  for (TagIndex t = 0; t < tag_count(); ++t) {
+    if (tiers_[static_cast<std::size_t>(t)] == k) out.push_back(t);
+  }
+  return out;
+}
+
+std::int64_t Topology::total_hops() const noexcept {
+  std::int64_t total = 0;
+  for (const int k : tiers_) {
+    if (k != kUnreachable) total += k;
+  }
+  return total;
+}
+
+Deployment connected_subset(const Deployment& deployment,
+                            const SystemConfig& cfg, int reader_index) {
+  const Topology topo(deployment, cfg, reader_index);
+  Deployment out;
+  out.readers = deployment.readers;
+  for (TagIndex t = 0; t < topo.tag_count(); ++t) {
+    if (topo.tier(t) == kUnreachable) continue;
+    out.ids.push_back(deployment.ids[static_cast<std::size_t>(t)]);
+    out.positions.push_back(deployment.positions[static_cast<std::size_t>(t)]);
+  }
+  return out;
+}
+
+}  // namespace nettag::net

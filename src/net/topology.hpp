@@ -1,0 +1,131 @@
+// Network topology: the asymmetric link structure of a networked tag system.
+//
+// Three link classes exist (SII, SIII-A):
+//   * reader -> tag  (range R): the reader's request reaches every covered tag
+//     in one hop;
+//   * tag -> reader  (range r'): only tier-1 tags are heard by the reader;
+//   * tag <-> tag    (range r): the multi-hop relay fabric.
+//
+// A Topology stores tag-to-tag adjacency in CSR form plus the two reader
+// relations, and the BFS tier of every tag ("tier-k tags are those whose
+// shortest paths to the reader are k hops long", SIII-C).  Tags that cannot
+// reach the reader are "not considered to be in the system" (SII) and carry
+// tier kUnreachable; callers either exclude them up front (connected_subset)
+// or let protocol engines skip them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "net/deployment.hpp"
+
+namespace nettag::net {
+
+/// Tier value of tags with no path to the reader.
+inline constexpr int kUnreachable = -1;
+
+/// Immutable link structure + tiers for one reader over one tag set.
+class Topology {
+ public:
+  /// Builds the geometric topology of `deployment` under `cfg` ranges, using
+  /// reader `reader_index` of the deployment as the sink.
+  Topology(const Deployment& deployment, const SystemConfig& cfg,
+           int reader_index = 0);
+
+  /// Builds a topology from an explicit undirected tag-to-tag adjacency list
+  /// and the set of tags the reader hears (`reader_hears`).  `reader_covers`
+  /// marks tags that decode reader broadcasts; pass empty to mean "all".
+  /// Used by tests and synthetic scenarios.
+  Topology(std::vector<TagId> ids,
+           const std::vector<std::vector<TagIndex>>& adjacency,
+           std::vector<bool> reader_hears, std::vector<bool> reader_covers);
+
+  [[nodiscard]] int tag_count() const noexcept {
+    return static_cast<int>(ids_.size());
+  }
+
+  [[nodiscard]] const std::vector<TagId>& ids() const noexcept { return ids_; }
+  [[nodiscard]] TagId id_of(TagIndex t) const {
+    return ids_[checked(t)];
+  }
+
+  /// Neighbors of tag `t` (tags whose transmissions `t` senses and vice
+  /// versa — links are symmetric under a uniform tag-to-tag range).
+  [[nodiscard]] std::span<const TagIndex> neighbors(TagIndex t) const {
+    const auto i = checked(t);
+    return {neighbor_data_.data() + neighbor_starts_[i],
+            neighbor_starts_[i + 1] - neighbor_starts_[i]};
+  }
+
+  [[nodiscard]] int degree(TagIndex t) const {
+    return static_cast<int>(neighbors(t).size());
+  }
+
+  /// True when the reader senses tag `t` (distance <= r'; tier-1 candidates).
+  [[nodiscard]] bool reader_hears(TagIndex t) const {
+    return reader_hears_[checked(t)];
+  }
+
+  /// True when tag `t` decodes the reader's broadcast (distance <= R).
+  [[nodiscard]] bool reader_covers(TagIndex t) const {
+    return reader_covers_[checked(t)];
+  }
+
+  /// BFS tier of tag `t` (1 = heard directly; kUnreachable = no path).
+  [[nodiscard]] int tier(TagIndex t) const { return tiers_[checked(t)]; }
+
+  [[nodiscard]] const std::vector<int>& tiers() const noexcept {
+    return tiers_;
+  }
+
+  /// Largest tier present, 0 when no tag is reachable (paper: K).
+  [[nodiscard]] int tier_count() const noexcept { return tier_count_; }
+
+  /// Indices of all tags at tier `k`, ascending.
+  [[nodiscard]] std::vector<TagIndex> tags_at_tier(int k) const;
+
+  /// Number of reachable tags.
+  [[nodiscard]] int reachable_count() const noexcept {
+    return reachable_count_;
+  }
+
+  /// True iff every tag has a path to the reader.
+  [[nodiscard]] bool fully_connected() const noexcept {
+    return reachable_count_ == tag_count();
+  }
+
+  /// Sum of tiers over reachable tags — the total number of hops every ID
+  /// must travel in an ID-collection protocol; drives SICP's cost.
+  [[nodiscard]] std::int64_t total_hops() const noexcept;
+
+ private:
+  void build_from_adjacency(
+      const std::vector<std::vector<TagIndex>>& adjacency);
+  void compute_tiers();
+
+  [[nodiscard]] std::size_t checked(TagIndex t) const {
+    NETTAG_EXPECTS(t >= 0 && t < tag_count(), "tag index out of range");
+    return static_cast<std::size_t>(t);
+  }
+
+  std::vector<TagId> ids_;
+  std::vector<std::size_t> neighbor_starts_;  // CSR offsets, size n+1
+  std::vector<TagIndex> neighbor_data_;
+  std::vector<bool> reader_hears_;
+  std::vector<bool> reader_covers_;
+  std::vector<int> tiers_;
+  int tier_count_ = 0;
+  int reachable_count_ = 0;
+};
+
+/// Copies `deployment` keeping only tags that can reach reader
+/// `reader_index` under `cfg` — the paper's "tags that cannot reach any
+/// reader are not in the system".
+[[nodiscard]] Deployment connected_subset(const Deployment& deployment,
+                                          const SystemConfig& cfg,
+                                          int reader_index = 0);
+
+}  // namespace nettag::net

@@ -1,0 +1,138 @@
+#include "net/topology_builders.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace nettag::net {
+
+namespace {
+
+std::vector<TagId> sequential_ids(int n) {
+  std::vector<TagId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ids.push_back(static_cast<TagId>(i) + 1000);
+  return ids;
+}
+
+void add_edge(std::vector<std::vector<TagIndex>>& adj, TagIndex a,
+              TagIndex b) {
+  if (a == b) return;
+  auto& la = adj[static_cast<std::size_t>(a)];
+  if (std::find(la.begin(), la.end(), b) != la.end()) return;
+  la.push_back(b);
+  adj[static_cast<std::size_t>(b)].push_back(a);
+}
+
+Topology finish(int n, std::vector<std::vector<TagIndex>> adj,
+                std::vector<bool> hears) {
+  for (auto& list : adj) std::sort(list.begin(), list.end());
+  return Topology(sequential_ids(n), adj, std::move(hears), {});
+}
+
+}  // namespace
+
+Topology make_line(int n) {
+  NETTAG_EXPECTS(n >= 1, "line needs at least one tag");
+  std::vector<std::vector<TagIndex>> adj(static_cast<std::size_t>(n));
+  for (TagIndex t = 0; t + 1 < n; ++t) add_edge(adj, t, t + 1);
+  std::vector<bool> hears(static_cast<std::size_t>(n), false);
+  hears[0] = true;
+  return finish(n, std::move(adj), std::move(hears));
+}
+
+Topology make_star(int n) {
+  NETTAG_EXPECTS(n >= 1, "star needs at least one tag");
+  std::vector<std::vector<TagIndex>> adj(static_cast<std::size_t>(n));
+  std::vector<bool> hears(static_cast<std::size_t>(n), true);
+  return finish(n, std::move(adj), std::move(hears));
+}
+
+Topology make_ring(int n, int gateway_count) {
+  NETTAG_EXPECTS(n >= 3, "ring needs at least three tags");
+  NETTAG_EXPECTS(gateway_count >= 1 && gateway_count <= n,
+                 "gateway count out of range");
+  std::vector<std::vector<TagIndex>> adj(static_cast<std::size_t>(n));
+  for (TagIndex t = 0; t < n; ++t) add_edge(adj, t, (t + 1) % n);
+  std::vector<bool> hears(static_cast<std::size_t>(n), false);
+  for (int g = 0; g < gateway_count; ++g)
+    hears[static_cast<std::size_t>(g)] = true;
+  return finish(n, std::move(adj), std::move(hears));
+}
+
+Topology make_layered(int tiers, int width) {
+  NETTAG_EXPECTS(tiers >= 1 && width >= 1, "layered needs tiers,width >= 1");
+  const int n = tiers * width;
+  std::vector<std::vector<TagIndex>> adj(static_cast<std::size_t>(n));
+  auto node = [width](int layer, int i) {
+    return static_cast<TagIndex>(layer * width + i);
+  };
+  for (int layer = 0; layer + 1 < tiers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      for (int j = 0; j < width; ++j)
+        add_edge(adj, node(layer, i), node(layer + 1, j));
+    }
+  }
+  // Link tags within each layer too (they can hear each other).
+  for (int layer = 0; layer < tiers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      for (int j = i + 1; j < width; ++j)
+        add_edge(adj, node(layer, i), node(layer, j));
+    }
+  }
+  std::vector<bool> hears(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < width; ++i) hears[static_cast<std::size_t>(node(0, i))] = true;
+  return finish(n, std::move(adj), std::move(hears));
+}
+
+Topology make_binary_tree(int depth) {
+  NETTAG_EXPECTS(depth >= 1, "tree needs depth >= 1");
+  const int n = (1 << depth) - 1;
+  std::vector<std::vector<TagIndex>> adj(static_cast<std::size_t>(n));
+  for (TagIndex t = 0; t < n; ++t) {
+    const TagIndex left = 2 * t + 1;
+    const TagIndex right = 2 * t + 2;
+    if (left < n) add_edge(adj, t, left);
+    if (right < n) add_edge(adj, t, right);
+  }
+  std::vector<bool> hears(static_cast<std::size_t>(n), false);
+  hears[0] = true;
+  return finish(n, std::move(adj), std::move(hears));
+}
+
+Topology make_random_connected(int n, int extra_edges, int gateway_count,
+                               Rng& rng) {
+  NETTAG_EXPECTS(n >= 1, "need at least one tag");
+  NETTAG_EXPECTS(gateway_count >= 1 && gateway_count <= n,
+                 "gateway count out of range");
+  NETTAG_EXPECTS(extra_edges >= 0, "extra edges must be >= 0");
+  std::vector<std::vector<TagIndex>> adj(static_cast<std::size_t>(n));
+  // Uniform random recursive tree keeps the graph connected.
+  for (TagIndex t = 1; t < n; ++t)
+    add_edge(adj, t, static_cast<TagIndex>(rng.below(static_cast<std::uint64_t>(t))));
+  for (int e = 0; e < extra_edges && n >= 2; ++e) {
+    const auto a = static_cast<TagIndex>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto b = static_cast<TagIndex>(rng.below(static_cast<std::uint64_t>(n)));
+    add_edge(adj, a, b);
+  }
+  std::vector<bool> hears(static_cast<std::size_t>(n), false);
+  // Tag 0 is always a gateway so the whole tree is reachable.
+  hears[0] = true;
+  int placed = 1;
+  while (placed < gateway_count) {
+    const auto g = static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(n)));
+    if (!hears[g]) {
+      hears[g] = true;
+      ++placed;
+    }
+  }
+  for (auto& list : adj) std::sort(list.begin(), list.end());
+  std::vector<TagId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    ids.push_back(fmix64(static_cast<TagId>(i) + 7'777));
+  return Topology(std::move(ids), adj, std::move(hears), {});
+}
+
+}  // namespace nettag::net

@@ -1,0 +1,42 @@
+// Hand-crafted topologies with known tier structure.
+//
+// The CCM invariants (Theorem 1, tier-by-tier convergence, termination) are
+// easiest to pin down on topologies whose shape is exact rather than sampled.
+// Every builder returns a Topology whose reader hears precisely the declared
+// tier-1 tags; reader broadcast coverage is total, as in the paper.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace nettag::net {
+
+/// A chain: reader - t0 - t1 - ... - t(n-1).  Tag k sits at tier k+1; the
+/// deepest topology per tag count (worst case for round count).
+[[nodiscard]] Topology make_line(int n);
+
+/// A star: every tag heard directly by the reader (single-tier; the
+/// "traditional RFID system" of Theorem 1's right-hand side).
+[[nodiscard]] Topology make_star(int n);
+
+/// A ring of n tags where `gateway_count` consecutive tags are heard by the
+/// reader; tiers grow away from the gateways on both arcs.
+[[nodiscard]] Topology make_ring(int n, int gateway_count);
+
+/// `tiers` fully-connected layers of `width` tags each; layer j is fully
+/// linked to layer j+1, layer 0 is heard by the reader.  Gives exact tier
+/// = layer + 1 with heavy redundancy (stress for duplicate suppression).
+[[nodiscard]] Topology make_layered(int tiers, int width);
+
+/// Complete binary tree of `depth` levels (root heard by the reader); tier of
+/// a node = its level + 1.  Unbalanced relay load (stress for max-vs-avg).
+[[nodiscard]] Topology make_binary_tree(int depth);
+
+/// Random connected topology: n tags, each wired to a uniformly chosen
+/// earlier tag plus `extra_edges` random chords; `gateway_count` random tags
+/// are heard by the reader.  For property sweeps over irregular shapes.
+[[nodiscard]] Topology make_random_connected(int n, int extra_edges,
+                                             int gateway_count, Rng& rng);
+
+}  // namespace nettag::net

@@ -1,0 +1,110 @@
+#include "protocols/estimator/estimation_protocol.hpp"
+
+#include <cmath>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace nettag::protocols {
+
+namespace {
+
+Seed frame_seed(Seed base, int phase, int index) {
+  return fmix64(base ^ fmix64(static_cast<Seed>(phase) * 1'000'003 +
+                              static_cast<Seed>(index)));
+}
+
+}  // namespace
+
+EstimationResult estimate_cardinality(const EstimationConfig& config,
+                                      const BitmapSource& source) {
+  NETTAG_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0,
+                 "alpha must be in (0,1)");
+  NETTAG_EXPECTS(config.beta > 0.0 && config.beta < 1.0,
+                 "beta must be in (0,1)");
+  NETTAG_EXPECTS(config.max_frames >= 1, "need at least one frame");
+
+  EstimationResult result;
+  double n_hat = config.initial_n_hat;
+
+  // --- Rough phase: find the order of magnitude of n (SIV-A's two-phase
+  // design; Chen et al. showed estimators owe their accuracy to it). ---
+  if (n_hat <= 0.0) {
+    const FrameSize f0 = config.rough_frame_size;
+    NETTAG_EXPECTS(f0 > 0, "rough frame size must be positive");
+    double p = 1.0;
+    for (int i = 0; i < config.max_rough_frames; ++i) {
+      const Bitmap bitmap = source(f0, p, frame_seed(config.base_seed, 0, i));
+      ++result.rough_frames;
+      const int zeros = f0 - bitmap.count();
+      if (bitmap.none()) {
+        // Nothing answered: either n = 0 or p got too small to sample
+        // anyone.  Treat a first all-idle probe as an empty system.
+        if (i == 0) {
+          result.n_hat = 0.0;
+          result.accuracy_met = true;
+          return result;
+        }
+        p = std::min(1.0, p * 4.0);  // back off: we overshot the halving
+        continue;
+      }
+      if (zeros > 0) {
+        // Zero-estimator: E[zeros] = f (1 - p/f)^n.
+        n_hat = std::log(static_cast<double>(f0) /
+                         static_cast<double>(zeros)) /
+                -std::log1p(-p / static_cast<double>(f0));
+        n_hat = std::max(n_hat, 1.0);
+        break;
+      }
+      p /= 2.0;  // saturated: sample fewer tags
+    }
+    if (n_hat <= 0.0) n_hat = 1.0;  // pathological: proceed conservatively
+  }
+
+  // --- Accurate phase: frames at optimal load until Eq. 2 is met. ---
+  const FrameSize f = config.frame_size > 0
+                          ? config.frame_size
+                          : gmle_required_frame_size(config.alpha,
+                                                     config.beta);
+  GmleEstimate estimate;
+  for (int i = 0; i < config.max_frames; ++i) {
+    const double p = gmle_sampling_probability(f, n_hat);
+    const Bitmap bitmap = source(f, p, frame_seed(config.base_seed, 1, i));
+    ++result.accurate_frames;
+    result.frames.push_back(
+        {.frame_size = f, .participation = p, .empty_slots = f - bitmap.count()});
+    estimate = gmle_estimate(result.frames);
+    n_hat = std::max(estimate.n_hat, 1.0);
+    if (gmle_accuracy_met(estimate, config.alpha, config.beta)) {
+      result.accuracy_met = true;
+      break;
+    }
+  }
+  result.n_hat = estimate.n_hat;
+  result.std_error = estimate.std_error;
+  return result;
+}
+
+EstimationResult estimate_cardinality_ccm(const EstimationConfig& config,
+                                          const net::Topology& topology,
+                                          const ccm::CcmConfig& ccm_template,
+                                          sim::EnergyMeter& energy) {
+  sim::SlotClock clock;
+  const BitmapSource source = [&](FrameSize f, double p, Seed seed) {
+    ccm::CcmConfig session_config = ccm_template;
+    session_config.frame_size = f;
+    session_config.request_seed = seed;
+    const ccm::HashedSlotSelector selector(p);
+    ccm::SessionResult session =
+        ccm::run_session(topology, session_config, selector, energy);
+    clock.merge(session.clock);
+    return session.bitmap;
+  };
+  EstimationResult result = estimate_cardinality(config, source);
+  result.clock = clock;
+  return result;
+}
+
+}  // namespace nettag::protocols

@@ -1,0 +1,74 @@
+// GMLE-based RFID estimation over CCM (SIV-B).
+//
+// From the reader's point of view each CCM session behaves exactly like one
+// framed request in a traditional RFID system (Theorem 1): it sends (f, p)
+// and receives back the status bitmap of the whole tag population.  The
+// estimator therefore plugs in unchanged: a rough phase finds the order of
+// magnitude of n, then accurate frames at optimal load c = 1.59 accumulate
+// Fisher information until the (alpha, beta) requirement of Eq. 2 is met.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ccm/options.hpp"
+#include "common/bitmap.hpp"
+#include "net/topology.hpp"
+#include "protocols/estimator/gmle.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::protocols {
+
+/// Tuning of the estimation protocol.
+struct EstimationConfig {
+  double alpha = 0.95;  ///< confidence level of Eq. 2
+  double beta = 0.05;   ///< relative error bound of Eq. 2
+
+  /// Accurate-phase frame size; 0 derives the single-frame size from
+  /// (alpha, beta) — 1671 for the paper's setting.
+  FrameSize frame_size = 0;
+
+  /// Safety cap on accurate frames.
+  int max_frames = 64;
+
+  /// Rough phase: small frames with halving participation until the bitmap
+  /// desaturates.  Skipped when `initial_n_hat` > 0 (the paper's evaluation
+  /// assumes the right p is known, SVI-B).
+  double initial_n_hat = 0.0;
+  FrameSize rough_frame_size = 64;
+  int max_rough_frames = 40;
+
+  /// Base seed; frame i uses a seed derived from it.
+  Seed base_seed = 0x5eed;
+};
+
+/// Outcome of one estimation run.
+struct EstimationResult {
+  double n_hat = 0.0;
+  double std_error = 0.0;
+  bool accuracy_met = false;
+  int rough_frames = 0;
+  int accurate_frames = 0;
+  sim::SlotClock clock;  ///< total execution time over all sessions
+  std::vector<FrameObservation> frames;  ///< accurate-phase observations
+};
+
+/// A source of status bitmaps for a request (f, p, seed).  The networked
+/// implementation runs a CCM session; tests may substitute the traditional
+/// single-hop bitmap (Theorem 1 says they are the same).
+using BitmapSource =
+    std::function<Bitmap(FrameSize f, double p, Seed seed)>;
+
+/// Runs the full two-phase estimation against an abstract bitmap source.
+[[nodiscard]] EstimationResult estimate_cardinality(
+    const EstimationConfig& config, const BitmapSource& source);
+
+/// Networked-tag front end: each frame is one CCM session over `topology`
+/// with `ccm_template` supplying L_c and the feature switches; time and
+/// per-tag energy accumulate into the result / `energy`.
+[[nodiscard]] EstimationResult estimate_cardinality_ccm(
+    const EstimationConfig& config, const net::Topology& topology,
+    const ccm::CcmConfig& ccm_template, sim::EnergyMeter& energy);
+
+}  // namespace nettag::protocols

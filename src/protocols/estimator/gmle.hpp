@@ -1,0 +1,70 @@
+// Generalized Maximum Likelihood Estimator for RFID cardinality (SIV-A).
+//
+// Following Li et al. (ToN 2012), the reader issues requests (f, p); each tag
+// participates with probability p and sets one hashed slot of the f-slot
+// frame.  The estimate n̂ maximises the joint likelihood of the observed
+// empty-slot counts across all frames so far; the Fisher information of the
+// same likelihood yields the confidence interval that drives the stopping
+// rule Prob{ n̂(1-β) <= n <= n̂(1+β) } >= α (Eq. 2).
+//
+// The optimal per-frame load is p·n/f ≈ 1.59 (the paper's p = 1.59 f / n̂);
+// at that load the frame size needed to reach (α, β) in a single frame is
+// f = (z_α/β)² (1-q)/(c² q) with c = 1.59, q = e^{-c} — which reproduces the
+// paper's f = 1671 for α = 95 %, β = 5 % exactly.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nettag::protocols {
+
+/// One frame's sufficient statistic for the estimator.
+struct FrameObservation {
+  FrameSize frame_size = 0;  ///< f_i
+  double participation = 1.0;  ///< p_i
+  int empty_slots = 0;  ///< z_i: number of 0-bits in the status bitmap
+};
+
+/// The load factor c = p n / f that maximises information per slot.
+inline constexpr double kOptimalLoad = 1.59;
+
+/// Result of a maximum-likelihood solve.
+struct GmleEstimate {
+  double n_hat = 0.0;        ///< MLE of the tag population
+  double std_error = 0.0;    ///< 1 / sqrt(Fisher information) at n_hat
+  bool saturated = false;    ///< every slot busy in every frame: only a lower
+                             ///< bound on n is known
+};
+
+/// Maximum-likelihood estimate of the population from `frames`.
+///
+/// Solves d/dn sum_i [ z_i ln q_i + (f_i - z_i) ln(1 - q_i) ] = 0 with
+/// q_i = (1 - p_i/f_i)^n by bisection (the score is strictly decreasing).
+/// `n_max` bounds the search.  Frames with p_i = 0 or f_i = 0 are rejected.
+[[nodiscard]] GmleEstimate gmle_estimate(
+    std::span<const FrameObservation> frames, double n_max = 1e9);
+
+/// Fisher information about n carried by `frames` at population `n`:
+/// I(n) = sum_i f_i w_i^2 q_i / (1 - q_i),  w_i = ln(1 - p_i/f_i).
+[[nodiscard]] double gmle_fisher_information(
+    std::span<const FrameObservation> frames, double n);
+
+/// True when the estimate satisfies the (alpha, beta) requirement of Eq. 2
+/// under the normal approximation: z_alpha * std_error <= beta * n_hat.
+/// `alpha` follows the paper's convention (z from the one-sided quantile,
+/// which reproduces f = 1671 at alpha=0.95, beta=0.05).
+[[nodiscard]] bool gmle_accuracy_met(const GmleEstimate& estimate,
+                                     double alpha, double beta);
+
+/// Frame size at optimal load for which a single frame meets (alpha, beta).
+/// Independent of n (the load is normalised by p).  Paper SVI-B: 1671.
+[[nodiscard]] FrameSize gmle_required_frame_size(double alpha, double beta);
+
+/// The sampling probability for the next frame, p = 1.59 f / n̂, clamped to
+/// (0, 1].
+[[nodiscard]] double gmle_sampling_probability(FrameSize f, double n_hat);
+
+}  // namespace nettag::protocols

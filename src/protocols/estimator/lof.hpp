@@ -1,0 +1,80 @@
+// Lottery-Frame (LoF) cardinality estimation over CCM.
+//
+// Qian et al.'s LoF (the paper's reference [2]) is the PCSA/Flajolet-Martin
+// style alternative to GMLE: each tag hashes itself into one of m groups and
+// into a geometrically distributed slot within the group (slot i with
+// probability 2^-(i+1)).  The reader estimates n from the position of the
+// lowest idle slot of each group:  n ~= (m / phi) * 2^{mean(R_g)},
+// phi = 0.77351.  LoF needs only ONE frame of m * s slots regardless of n —
+// cheaper than GMLE's load-optimal frames but with a fixed relative error
+// ~0.78/sqrt(m) that cannot be tightened by re-running with the same m.
+//
+// Under CCM the whole LoF frame is one session bitmap: groups are laid out
+// consecutively, and Theorem 1 again makes the networked bitmap exact.
+#pragma once
+
+#include <vector>
+
+#include "ccm/options.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/bitmap.hpp"
+#include "net/topology.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::protocols {
+
+/// Fisher-Martin correction constant: E[2^R] = phi * n for one group.
+inline constexpr double kLofPhi = 0.77351;
+
+/// Layout of one LoF frame.
+struct LofConfig {
+  /// Number of groups m; relative error ~ 0.78 / sqrt(m).
+  int groups = 256;
+
+  /// Slots per group (geometric depth); 32 supports n up to ~2^32 / m.
+  int slots_per_group = 32;
+
+  Seed seed = 0x10f;
+
+  [[nodiscard]] FrameSize frame_size() const {
+    return static_cast<FrameSize>(groups * slots_per_group);
+  }
+
+  void validate() const;
+};
+
+/// Slot selector implementing the LoF lottery: group by one hash, slot by
+/// the number of leading zeros of another (geometric).
+class LofSlotSelector final : public ccm::SlotSelector {
+ public:
+  explicit LofSlotSelector(const LofConfig& config) : config_(config) {
+    config_.validate();
+  }
+
+  [[nodiscard]] std::vector<SlotIndex> pick(TagId id, Seed seed,
+                                            FrameSize f) const override;
+
+ private:
+  LofConfig config_;
+};
+
+/// Estimates n from a collected LoF bitmap.
+struct LofEstimate {
+  double n_hat = 0.0;
+  /// Predicted relative standard error, ~0.78 / sqrt(m).
+  double relative_std_error = 0.0;
+};
+[[nodiscard]] LofEstimate lof_estimate(const Bitmap& bitmap,
+                                       const LofConfig& config);
+
+/// Runs one LoF session over a networked-tag system and estimates n.
+struct LofOutcome {
+  LofEstimate estimate;
+  sim::SlotClock clock;
+};
+[[nodiscard]] LofOutcome estimate_cardinality_lof(
+    const LofConfig& config, const net::Topology& topology,
+    const ccm::CcmConfig& ccm_template, sim::EnergyMeter& energy);
+
+}  // namespace nettag::protocols

@@ -1,0 +1,123 @@
+#include "protocols/idcollect/cicp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace nettag::protocols {
+
+IdCollectionResult run_cicp(const net::Topology& topology,
+                            const TreeBuildConfig& config, Rng& rng,
+                            sim::EnergyMeter& energy) {
+  const int n = topology.tag_count();
+  IdCollectionResult result;
+  result.tree = build_spanning_tree(topology, config, rng, energy, result.clock);
+  const SpanningTree& tree = result.tree;
+
+  // Per-tag queue of IDs still to be pushed one hop up.
+  std::vector<std::deque<TagId>> queue(static_cast<std::size_t>(n));
+  int undelivered = 0;
+  for (TagIndex t = 0; t < n; ++t) {
+    if (tree.level[static_cast<std::size_t>(t)] == net::kUnreachable) continue;
+    queue[static_cast<std::size_t>(t)].push_back(topology.id_of(t));
+    ++undelivered;  // counts IDs not yet at the reader
+  }
+  // An ID at tier k needs k successful hops; track remaining hops via queues.
+
+  std::vector<int> slot_of(static_cast<std::size_t>(n), -1);
+  int guard = 0;
+  while (undelivered > 0) {
+    NETTAG_ASSERT(++guard <= 1'000'000, "CICP failed to converge");
+
+    std::vector<TagIndex> active;
+    for (TagIndex t = 0; t < n; ++t) {
+      if (!queue[static_cast<std::size_t>(t)].empty()) active.push_back(t);
+    }
+    NETTAG_ASSERT(!active.empty(), "undelivered IDs but no active tag");
+
+    const int w = std::max(
+        config.min_window,
+        static_cast<int>(std::ceil(static_cast<double>(active.size()) /
+                                   config.window_load)));
+    result.clock.add_id_slots(w);
+    for (const TagIndex u : active)
+      slot_of[static_cast<std::size_t>(u)] =
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(w)));
+
+    // TX + overhearing (same physical rules as the tree-build windows).
+    for (const TagIndex u : active) {
+      energy.add_sent(u, kTagIdBits);
+      for (const TagIndex v : topology.neighbors(u)) {
+        const int vs = slot_of[static_cast<std::size_t>(v)];
+        if (vs >= 0 && vs == slot_of[static_cast<std::size_t>(u)]) continue;
+        energy.add_received(v, kTagIdBits);
+      }
+    }
+
+    // Decode at each receiver.  The reader hears all tier-1 transmitters;
+    // a parent tag hears all its neighbors.  In both cases a slot decodes
+    // iff exactly one in-range transmission occupies it, and the receiver
+    // itself must not be transmitting in that slot (half duplex).
+    std::unordered_map<int, int> reader_per_slot;
+    for (const TagIndex u : active) {
+      if (topology.reader_hears(u))
+        ++reader_per_slot[slot_of[static_cast<std::size_t>(u)]];
+    }
+
+    std::vector<std::pair<TagIndex, TagIndex>> successes;  // (child, parent)
+    for (const TagIndex u : active) {
+      const auto iu = static_cast<std::size_t>(u);
+      const TagIndex p = tree.parent[iu];
+      if (p == kInvalidTagIndex) {
+        if (reader_per_slot[slot_of[iu]] == 1)
+          successes.emplace_back(u, kInvalidTagIndex);
+        continue;
+      }
+      const auto ip = static_cast<std::size_t>(p);
+      if (slot_of[ip] == slot_of[iu]) continue;  // parent deaf: same slot
+      int same = 0;
+      for (const TagIndex x : topology.neighbors(p)) {
+        const int xs = slot_of[static_cast<std::size_t>(x)];
+        if (xs >= 0 && xs == slot_of[iu]) ++same;
+      }
+      if (same == 1) successes.emplace_back(u, p);
+    }
+    for (const TagIndex u : active) slot_of[static_cast<std::size_t>(u)] = -1;
+
+    // Serialized ACKs; the decoded ID moves one hop up (or out).
+    for (const auto& [c, p] : successes) {
+      const auto ic = static_cast<std::size_t>(c);
+      const TagId id = queue[ic].front();
+      queue[ic].pop_front();
+      result.clock.add_id_slots(1);
+      result.ack_slots += 1;
+      if (p == kInvalidTagIndex) {
+        result.collected.push_back(id);
+        --undelivered;
+        // Reader ACK: decoded by the addressed child only (DESIGN.md).
+        energy.add_received(c, kTagIdBits);
+      } else {
+        queue[static_cast<std::size_t>(p)].push_back(id);
+        energy.add_sent(p, kTagIdBits);
+        for (const TagIndex v : topology.neighbors(p))
+          energy.add_received(v, kTagIdBits);
+      }
+      result.data_slots += 1;  // the decoded hop carried an ID payload
+    }
+  }
+
+  // Idle listening: 1 bit preamble-sample per elapsed slot for every awake
+  // (reachable) tag — same accounting rule as SICP and CCM.  The tag's own
+  // transmission slots are a negligible fraction and are not subtracted.
+  const SlotCount elapsed = result.clock.id_slots();
+  for (TagIndex t = 0; t < n; ++t) {
+    if (tree.level[static_cast<std::size_t>(t)] != net::kUnreachable)
+      energy.add_received(t, elapsed);
+  }
+  return result;
+}
+
+}  // namespace nettag::protocols

@@ -1,0 +1,23 @@
+// Contention-based ID Collection Protocol (CICP) — the second baseline of
+// [16] (SVI-A notes SICP outperforms it; we implement both).
+//
+// The same spanning tree routes IDs, but instead of serialized DFS polling,
+// every tag holding undelivered IDs contends in framed-ALOHA windows: it
+// picks a random slot and transmits the head of its ID queue to its parent.
+// The hop succeeds only when the parent hears exactly one transmission in
+// that slot (any same-slot transmission anywhere in the parent's range
+// collides); successes are acknowledged in serialized 96-bit slots.  The
+// process repeats until the reader holds every reachable ID.
+#pragma once
+
+#include "protocols/idcollect/sicp.hpp"
+
+namespace nettag::protocols {
+
+/// Runs CICP over `topology`.  Same result type as SICP; `poll_slots` stays
+/// zero (CICP has no polls) and window slots are reported through the clock.
+[[nodiscard]] IdCollectionResult run_cicp(const net::Topology& topology,
+                                          const TreeBuildConfig& config,
+                                          Rng& rng, sim::EnergyMeter& energy);
+
+}  // namespace nettag::protocols

@@ -1,0 +1,80 @@
+#include "protocols/idcollect/sicp.hpp"
+
+#include "common/error.hpp"
+
+namespace nettag::protocols {
+
+IdCollectionResult run_sicp(const net::Topology& topology,
+                            const TreeBuildConfig& config, Rng& rng,
+                            sim::EnergyMeter& energy) {
+  const int n = topology.tag_count();
+  IdCollectionResult result;
+  result.tree = build_spanning_tree(topology, config, rng, energy, result.clock);
+  const SpanningTree& tree = result.tree;
+  const std::vector<int> subtree = tree.subtree_sizes();
+
+  // Phase 2 is serialized and collision-free, so its cost is a deterministic
+  // function of the tree; we account it edge-by-edge instead of slot-by-slot.
+  // No link ACKs are needed: serialization guarantees delivery.
+  //
+  // Per tag u (reachable):
+  //   polls sent       = |children(u)|   (one DFS poll per child)
+  //   ID payloads sent = subtree(u)      (own ID + every descendant's, each
+  //                                       forwarded one hop up)
+  // The reader sends |reader_children| polls.
+  //
+  // Energy: every tag transmission (96 bits) is overheard by every neighbor
+  // (promiscuous CSMA listening); the reader's downlink polls are decoded
+  // only by the addressed child (preamble filtering, DESIGN.md).
+
+  std::vector<BitCount> tx_messages(static_cast<std::size_t>(n), 0);
+
+  for (TagIndex u = 0; u < n; ++u) {
+    const auto i = static_cast<std::size_t>(u);
+    if (tree.level[i] == net::kUnreachable) continue;
+    const auto polls = static_cast<BitCount>(tree.children[i].size());
+    const auto payloads = static_cast<BitCount>(subtree[i]);
+    tx_messages[i] = polls + payloads;
+    result.poll_slots += polls;
+    result.data_slots += payloads;
+  }
+  SlotCount reader_tx = 0;
+  for (const TagIndex c : tree.reader_children) {
+    reader_tx += 1;  // poll, decoded by the polled child only
+    energy.add_received(c, kTagIdBits);
+    result.poll_slots += 1;
+  }
+
+  // Time: one 96-bit slot per serialized transmission (tags + reader).
+  SlotCount total_tx = reader_tx;
+  for (const BitCount m : tx_messages) total_tx += m;
+  result.clock.add_id_slots(total_tx);
+
+  // Energy: TX bits, then promiscuous overhearing by all neighbors.
+  for (TagIndex u = 0; u < n; ++u) {
+    const auto i = static_cast<std::size_t>(u);
+    if (tx_messages[i] == 0) continue;
+    energy.add_sent(u, tx_messages[i] * kTagIdBits);
+    for (const TagIndex v : topology.neighbors(u))
+      energy.add_received(v, tx_messages[i] * kTagIdBits);
+  }
+
+  // Idle listening: a state-free tag cannot know when its subtree is
+  // addressed, so it preamble-samples every slot it is not transmitting in
+  // (1 bit per slot, the same charge CCM pays per monitored slot).
+  const SlotCount elapsed = result.clock.id_slots();
+  for (TagIndex u = 0; u < n; ++u) {
+    const auto i = static_cast<std::size_t>(u);
+    if (tree.level[i] == net::kUnreachable) continue;
+    energy.add_received(u, elapsed - tx_messages[i]);
+  }
+
+  // Collected IDs: every reachable tag's, exactly once.
+  for (TagIndex t = 0; t < n; ++t) {
+    if (tree.level[static_cast<std::size_t>(t)] != net::kUnreachable)
+      result.collected.push_back(topology.id_of(t));
+  }
+  return result;
+}
+
+}  // namespace nettag::protocols

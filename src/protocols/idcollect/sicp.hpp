@@ -1,0 +1,49 @@
+// Serialized ID Collection Protocol (SICP) — the paper's baseline (SVI-A).
+//
+// After the spanning tree is built, collection is fully serialized (one
+// transmission in the whole network at a time), so phase 2 is collision-free
+// by construction: the reader DFS-polls its children; a polled tag reports
+// its own 96-bit ID, which bubbles hop by hop to the reader (one 96-bit slot
+// per hop plus a 96-bit link ACK), then polls each of its children in turn.
+// Every ID therefore crosses tier(t) hops — the Sigma_t tier(t) term that
+// dominates SICP's cost; promiscuous overhearing charges each transmission
+// to every neighbor of the transmitter, which is what makes SICP's received
+// bits balloon (Table II/IV).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+#include "protocols/idcollect/spanning_tree.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::protocols {
+
+/// Outcome of one ID-collection run (SICP or CICP).
+struct IdCollectionResult {
+  /// IDs decoded by the reader (unordered).
+  std::vector<TagId> collected;
+
+  /// Total execution time; all slots are 96-bit id-slots.
+  sim::SlotClock clock;
+
+  /// The routing tree that was built (for diagnostics/tests).
+  SpanningTree tree;
+
+  /// Slot breakdown of the collection phase (SVI-B notes roughly one third
+  /// of SICP's slots carry IDs).
+  SlotCount data_slots = 0;  ///< 96-bit ID payload hops
+  SlotCount poll_slots = 0;  ///< DFS polls
+  SlotCount ack_slots = 0;   ///< link-layer ACKs
+};
+
+/// Runs SICP over `topology`: distributed tree build (stochastic, via `rng`)
+/// followed by the serialized DFS collection (deterministic).
+[[nodiscard]] IdCollectionResult run_sicp(const net::Topology& topology,
+                                          const TreeBuildConfig& config,
+                                          Rng& rng, sim::EnergyMeter& energy);
+
+}  // namespace nettag::protocols

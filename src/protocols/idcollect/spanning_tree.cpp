@@ -1,0 +1,239 @@
+#include "protocols/idcollect/spanning_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace nettag::protocols {
+
+namespace {
+
+/// Window size for `contenders` transmitters at the configured load.
+int window_size(const TreeBuildConfig& config, std::size_t contenders) {
+  const double w = static_cast<double>(contenders) / config.window_load;
+  return std::max(config.min_window, static_cast<int>(std::ceil(w)));
+}
+
+/// Charges TX bits to each transmitter and overheard RX bits to every
+/// neighbor not transmitting in the same slot (half duplex).
+void charge_window_energy(const net::Topology& topology,
+                          const std::vector<TagIndex>& transmitters,
+                          const std::vector<int>& slot_of,
+                          sim::EnergyMeter& energy) {
+  for (const TagIndex u : transmitters) {
+    energy.add_sent(u, kTagIdBits);
+    for (const TagIndex v : topology.neighbors(u)) {
+      const int v_slot = slot_of[static_cast<std::size_t>(v)];
+      if (v_slot >= 0 && v_slot == slot_of[static_cast<std::size_t>(u)])
+        continue;  // v is deaf: transmitting in the same slot
+      energy.add_received(v, kTagIdBits);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> SpanningTree::subtree_sizes() const {
+  const auto n = parent.size();
+  std::vector<int> size(n, 0);
+  // Children lists are acyclic by construction; accumulate deepest-first.
+  std::vector<TagIndex> order;
+  order.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (level[t] != net::kUnreachable) order.push_back(static_cast<TagIndex>(t));
+  }
+  std::sort(order.begin(), order.end(), [this](TagIndex a, TagIndex b) {
+    return level[static_cast<std::size_t>(a)] >
+           level[static_cast<std::size_t>(b)];
+  });
+  for (const TagIndex t : order) {
+    const auto i = static_cast<std::size_t>(t);
+    size[i] += 1;  // the tag's own ID
+    const TagIndex p = parent[i];
+    if (p != kInvalidTagIndex) size[static_cast<std::size_t>(p)] += size[i];
+  }
+  return size;
+}
+
+SpanningTree build_spanning_tree(const net::Topology& topology,
+                                 const TreeBuildConfig& config, Rng& rng,
+                                 sim::EnergyMeter& energy,
+                                 sim::SlotClock& clock) {
+  NETTAG_EXPECTS(config.window_load > 0.0 && config.window_load <= 1.0,
+                 "window load must be in (0,1]");
+  NETTAG_EXPECTS(config.min_window >= 2, "minimum window too small");
+  const int n = topology.tag_count();
+
+  SpanningTree tree;
+  tree.parent.assign(static_cast<std::size_t>(n), kInvalidTagIndex);
+  tree.level.assign(static_cast<std::size_t>(n), net::kUnreachable);
+  tree.children.assign(static_cast<std::size_t>(n), {});
+
+  // Scratch: slot picked by each tag in the current window (-1 = silent).
+  std::vector<int> slot_of(static_cast<std::size_t>(n), -1);
+
+  // --- Registration: `pending` tags announce themselves to their parent
+  // (the reader when parent_of is empty) until each is cleanly decoded. ---
+  const auto run_registration = [&](std::vector<TagIndex> pending,
+                                    bool to_reader) {
+    int windows = 0;
+    while (!pending.empty()) {
+      NETTAG_ASSERT(++windows <= config.max_windows_per_phase,
+                    "registration phase failed to converge");
+      ++tree.reg_windows;
+      const int w = window_size(config, pending.size());
+      clock.add_id_slots(w);
+      for (const TagIndex c : pending)
+        slot_of[static_cast<std::size_t>(c)] =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(w)));
+      charge_window_energy(topology, pending, slot_of, energy);
+
+      std::vector<TagIndex> still_pending;
+      std::vector<std::pair<TagIndex, TagIndex>> successes;  // (child, parent)
+      if (to_reader) {
+        // Decode at the reader: unique tier-1 transmitter per slot.
+        std::unordered_map<int, int> per_slot;
+        for (const TagIndex c : pending)
+          ++per_slot[slot_of[static_cast<std::size_t>(c)]];
+        for (const TagIndex c : pending) {
+          if (per_slot[slot_of[static_cast<std::size_t>(c)]] == 1) {
+            successes.emplace_back(c, kInvalidTagIndex);
+          } else {
+            still_pending.push_back(c);
+          }
+        }
+      } else {
+        for (const TagIndex c : pending) {
+          const TagIndex p = tree.parent[static_cast<std::size_t>(c)];
+          NETTAG_ASSERT(p != kInvalidTagIndex, "pending tag without parent");
+          // Decode at p: c's slot must be unique among p's transmitting
+          // neighbors (any same-slot transmission in p's range collides).
+          int same_slot = 0;
+          for (const TagIndex w2 : topology.neighbors(p)) {
+            const int ws = slot_of[static_cast<std::size_t>(w2)];
+            if (ws >= 0 && ws == slot_of[static_cast<std::size_t>(c)])
+              ++same_slot;
+          }
+          if (same_slot == 1) {
+            successes.emplace_back(c, p);
+          } else {
+            still_pending.push_back(c);
+          }
+        }
+      }
+      for (const TagIndex c : pending) slot_of[static_cast<std::size_t>(c)] = -1;
+
+      // Serialized ACKs: one 96-bit slot per decoded registration.  A tag
+      // ACK is overheard by the whole neighborhood; the reader's downlink
+      // ACK is decoded only by the addressed child (preamble filtering —
+      // see DESIGN.md's accounting rules).
+      for (const auto& [c, p] : successes) {
+        clock.add_id_slots(1);
+        if (p == kInvalidTagIndex) {
+          tree.reader_children.push_back(c);
+          energy.add_received(c, kTagIdBits);
+        } else {
+          tree.children[static_cast<std::size_t>(p)].push_back(c);
+          energy.add_sent(p, kTagIdBits);
+          for (const TagIndex v : topology.neighbors(p))
+            energy.add_received(v, kTagIdBits);
+        }
+      }
+      pending = std::move(still_pending);
+    }
+  };
+
+  // --- Initial broadcast: the request reaches only tags within r'. ---
+  clock.add_id_slots(1);
+  std::vector<TagIndex> newly_covered;
+  for (TagIndex t = 0; t < n; ++t) {
+    if (topology.reader_hears(t)) {
+      energy.add_received(t, kTagIdBits);
+      tree.level[static_cast<std::size_t>(t)] = 1;
+      newly_covered.push_back(t);
+    }
+  }
+  run_registration(newly_covered, /*to_reader=*/true);
+
+  // --- Level-by-level flooding. ---
+  int k = 1;
+  std::vector<TagIndex> contenders = std::move(newly_covered);
+  while (!contenders.empty()) {
+    // Beacon until every uncovered neighbor of a level-k tag is covered.
+    newly_covered.clear();
+    int windows = 0;
+    while (true) {
+      std::vector<TagIndex> active;
+      for (const TagIndex u : contenders) {
+        for (const TagIndex v : topology.neighbors(u)) {
+          if (tree.level[static_cast<std::size_t>(v)] == net::kUnreachable) {
+            active.push_back(u);
+            break;
+          }
+        }
+      }
+      if (active.empty()) break;
+      NETTAG_ASSERT(++windows <= config.max_windows_per_phase,
+                    "beacon phase failed to converge");
+      ++tree.beacon_windows;
+      const int w = window_size(config, active.size());
+      clock.add_id_slots(w);
+      for (const TagIndex u : active)
+        slot_of[static_cast<std::size_t>(u)] =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(w)));
+      charge_window_energy(topology, active, slot_of, energy);
+
+      // Each uncovered tag adopts the transmitter of the earliest slot in
+      // which exactly one of its neighbors transmitted.
+      std::vector<TagIndex> targets;
+      for (const TagIndex u : active) {
+        for (const TagIndex v : topology.neighbors(u)) {
+          const auto iv = static_cast<std::size_t>(v);
+          if (tree.level[iv] == net::kUnreachable && slot_of[iv] != -2) {
+            slot_of[iv] = -2;  // stamp: queued as a target this window
+            targets.push_back(v);
+          }
+        }
+      }
+      for (const TagIndex v : targets) {
+        const auto iv = static_cast<std::size_t>(v);
+        slot_of[iv] = -1;  // clear the stamp before decoding
+        std::unordered_map<int, std::pair<int, TagIndex>> per_slot;
+        for (const TagIndex x : topology.neighbors(v)) {
+          const int xs = slot_of[static_cast<std::size_t>(x)];
+          if (xs < 0) continue;
+          auto [it, inserted] = per_slot.try_emplace(xs, 0, x);
+          (void)inserted;
+          ++it->second.first;
+        }
+        // Adopt one cleanly decoded beaconer, chosen uniformly: picking the
+        // earliest slot instead would make low-slot beaconers parents of
+        // hundreds of tags and wildly unbalance the tree.
+        std::vector<TagIndex> candidates;
+        for (const auto& [s, entry] : per_slot) {
+          (void)s;
+          if (entry.first == 1) candidates.push_back(entry.second);
+        }
+        if (!candidates.empty()) {
+          tree.level[iv] = k + 1;
+          tree.parent[iv] = candidates[rng.below(candidates.size())];
+          newly_covered.push_back(v);
+        }
+      }
+      for (const TagIndex u : active) slot_of[static_cast<std::size_t>(u)] = -1;
+    }
+
+    std::sort(newly_covered.begin(), newly_covered.end());
+    newly_covered.erase(
+        std::unique(newly_covered.begin(), newly_covered.end()),
+        newly_covered.end());
+    run_registration(newly_covered, /*to_reader=*/false);
+    contenders = newly_covered;
+    ++k;
+  }
+  return tree;
+}
+
+}  // namespace nettag::protocols

@@ -1,0 +1,73 @@
+// Distributed spanning-tree construction for ID-collection protocols.
+//
+// SICP/CICP (Chen et al., ToN 2017 — the paper's baseline [16]) "first use a
+// system-wide broadcast to establish a spanning tree for routing".  The
+// reader's request only reaches tags within r' (SVI-A), so the request is
+// flooded level by level: covered tags beacon (96-bit ID + level) in framed-
+// ALOHA contention windows until every neighbor has decoded some beacon; a
+// newly covered tag adopts the first cleanly decoded beaconer as its parent,
+// then registers with it (96-bit REG, contention + serialized 96-bit ACK) so
+// parents learn their child lists.  All message lengths, collision rules
+// (decode iff exactly one in-range transmitter per slot) and promiscuous
+// overhearing costs (every transmission charges 96 received bits to every
+// listening neighbor) follow the reconstruction documented in DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::protocols {
+
+/// Contention-window tuning for the tree build.
+struct TreeBuildConfig {
+  /// Expected transmissions per slot; W = max(min_window, contenders/load).
+  /// 0.5 keeps per-receiver collision probability low at any density.
+  double window_load = 0.5;
+
+  /// Smallest contention window ever issued.
+  int min_window = 16;
+
+  /// Safety bound on windows per phase (the build terminates with
+  /// probability 1; this guards simulation bugs, not the protocol).
+  int max_windows_per_phase = 10'000;
+};
+
+/// The established routing structure.
+struct SpanningTree {
+  /// Parent of each tag; kInvalidTagIndex for tier-1 tags (parent = reader)
+  /// and for unreachable tags.
+  std::vector<TagIndex> parent;
+
+  /// Discovered level (hop count of the request); equals the topology's BFS
+  /// tier for every reachable tag, net::kUnreachable otherwise.
+  std::vector<int> level;
+
+  /// Children lists (registration order).
+  std::vector<std::vector<TagIndex>> children;
+
+  /// The reader's direct children (registered tier-1 tags).
+  std::vector<TagIndex> reader_children;
+
+  /// Contention windows spent beaconing / registering (diagnostics).
+  int beacon_windows = 0;
+  int reg_windows = 0;
+
+  /// Number of descendants of `t` including `t` itself; 0 for unreachable.
+  [[nodiscard]] std::vector<int> subtree_sizes() const;
+};
+
+/// Runs the distributed build over `topology`, charging time to `clock`
+/// (contention and ACK slots are 96-bit id-slots) and per-tag bits to
+/// `energy`.  Covers exactly the reachable tags.
+[[nodiscard]] SpanningTree build_spanning_tree(const net::Topology& topology,
+                                               const TreeBuildConfig& config,
+                                               Rng& rng,
+                                               sim::EnergyMeter& energy,
+                                               sim::SlotClock& clock);
+
+}  // namespace nettag::protocols

@@ -1,0 +1,65 @@
+#include "protocols/missing/detection_plan.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "protocols/missing/trp.hpp"
+
+namespace nettag::protocols {
+
+std::vector<DetectionPlan> enumerate_detection_plans(const SystemConfig& sys,
+                                                     int n, int m,
+                                                     double delta,
+                                                     int max_executions) {
+  sys.validate();
+  NETTAG_EXPECTS(max_executions >= 1, "need at least one execution");
+  NETTAG_EXPECTS(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+
+  const auto k = static_cast<SlotCount>(sys.estimated_tiers());
+  const auto lc = static_cast<SlotCount>(sys.checking_frame_length());
+
+  std::vector<DetectionPlan> plans;
+  plans.reserve(static_cast<std::size_t>(max_executions));
+  for (int executions = 1; executions <= max_executions; ++executions) {
+    DetectionPlan plan;
+    plan.executions = executions;
+    // Independent executions: overall miss = product of per-execution
+    // misses, so each must reach delta_e = 1 - (1-delta)^(1/E).
+    plan.per_execution_delta =
+        1.0 - std::pow(1.0 - delta, 1.0 / static_cast<double>(executions));
+    plan.frame_size = trp_required_frame_size(n, m, plan.per_execution_delta);
+
+    const auto f = static_cast<SlotCount>(plan.frame_size);
+    plan.slots_per_execution = k * (f + (f + 95) / 96 + lc + 1);
+
+    plan.expected_slots_null =
+        static_cast<double>(executions) *
+        static_cast<double>(plan.slots_per_execution);
+    // Event (exactly m+1 missing, the spec's worst case): execution e runs
+    // iff the first e-1 all missed, so E[count] = sum (1-delta_e)^e.
+    double expected_runs = 0.0;
+    for (int e = 0; e < executions; ++e)
+      expected_runs += std::pow(1.0 - plan.per_execution_delta, e);
+    plan.expected_slots_event =
+        expected_runs * static_cast<double>(plan.slots_per_execution);
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+DetectionPlan best_detection_plan(const SystemConfig& sys, int n, int m,
+                                  double delta, int max_executions,
+                                  double p_event) {
+  NETTAG_EXPECTS(p_event >= 0.0 && p_event <= 1.0,
+                 "event probability must be in [0,1]");
+  const auto plans =
+      enumerate_detection_plans(sys, n, m, delta, max_executions);
+  const DetectionPlan* best = &plans.front();
+  for (const auto& plan : plans) {
+    if (plan.expected_slots(p_event) < best->expected_slots(p_event))
+      best = &plan;
+  }
+  return *best;
+}
+
+}  // namespace nettag::protocols

@@ -1,0 +1,56 @@
+// Detection planning: one big frame or several small ones?
+//
+// Eq. 14's requirement can be met by a single execution at frame size
+// f(delta) or by E executions at f(delta_e), delta_e = 1 - (1-delta)^(1/E).
+// The frame shrinks only logarithmically as E grows, so under the null
+// hypothesis ("nothing is missing") one big execution is cheapest.  But a
+// detection run may stop at the first alarm: when tags ARE missing, small
+// executions alarm after ~1/delta_e of them and skip the rest.  Which plan
+// wins therefore depends on how likely a missing event is — the energy/time
+// tradeoff Luo et al. (the paper's [11]) study for the single-hop setting,
+// transplanted to CCM.
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace nettag::protocols {
+
+/// One candidate plan: E executions at the per-execution frame size that
+/// makes the whole run meet (m, delta).
+struct DetectionPlan {
+  int executions = 1;
+  FrameSize frame_size = 0;
+  double per_execution_delta = 0.0;
+
+  /// Slots for one execution (K rounds of f + indicator + L_c + request).
+  SlotCount slots_per_execution = 0;
+
+  /// Expected total slots when nothing is missing (all E executions run).
+  double expected_slots_null = 0.0;
+
+  /// Expected total slots when m+1 tags are missing (stop at first alarm).
+  double expected_slots_event = 0.0;
+
+  /// Expected cost under P(missing event) = p:
+  /// (1-p) * null + p * event.
+  [[nodiscard]] double expected_slots(double p_event) const {
+    return (1.0 - p_event) * expected_slots_null +
+           p_event * expected_slots_event;
+  }
+};
+
+/// Enumerates plans for E = 1..max_executions over the deployment `sys`
+/// (its geometry fixes K and L_c) and inventory size `n`.
+[[nodiscard]] std::vector<DetectionPlan> enumerate_detection_plans(
+    const SystemConfig& sys, int n, int m, double delta, int max_executions);
+
+/// The plan with the lowest expected cost at the given event probability.
+[[nodiscard]] DetectionPlan best_detection_plan(const SystemConfig& sys,
+                                                int n, int m, double delta,
+                                                int max_executions,
+                                                double p_event);
+
+}  // namespace nettag::protocols

@@ -1,0 +1,78 @@
+#include "protocols/missing/identification.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace nettag::protocols {
+
+IdentificationOutcome identify_missing_tags(
+    const MissingTagDetector& detector, const net::Topology& topology,
+    const ccm::CcmConfig& ccm_template, const IdentificationConfig& config,
+    sim::EnergyMeter& energy) {
+  NETTAG_EXPECTS(config.completeness > 0.0 && config.completeness < 1.0,
+                 "completeness must be in (0,1)");
+  NETTAG_EXPECTS(config.max_executions >= 1, "need at least one execution");
+
+  const auto inventory_size =
+      static_cast<double>(detector.inventory().size());
+  const int present = topology.reachable_count();
+  const FrameSize f =
+      config.frame_size > 0
+          ? config.frame_size
+          : std::max<FrameSize>(
+                64, static_cast<FrameSize>(std::ceil(
+                        1.44 * static_cast<double>(present))));
+
+  // Per-execution isolation probability of a hidden missing tag.
+  const double q = std::exp(static_cast<double>(present) *
+                            std::log1p(-1.0 / static_cast<double>(f)));
+  NETTAG_ASSERT(q > 0.0 && q < 1.0, "degenerate isolation probability");
+  (void)inventory_size;
+
+  IdentificationOutcome outcome;
+  std::unordered_set<TagId> found;
+  const ccm::HashedSlotSelector everyone(1.0);
+
+  // Stop once the chance that some hidden tag survived `streak` consecutive
+  // fruitless executions falls below 1 - completeness.
+  double survive_streak = 1.0;
+  for (int e = 0; e < config.max_executions; ++e) {
+    const Seed seed = fmix64(config.base_seed + static_cast<Seed>(e));
+    ccm::CcmConfig session_config = ccm_template;
+    session_config.frame_size = f;
+    session_config.request_seed = seed;
+    const ccm::SessionResult session =
+        ccm::run_session(topology, session_config, everyone, energy);
+    outcome.clock.merge(session.clock);
+    ++outcome.executions;
+
+    Bitmap predicted(f);
+    for (const TagId id : detector.inventory())
+      predicted.set(slot_pick(id, seed, f));
+    predicted.subtract(session.bitmap);  // silent => every occupant missing
+
+    bool new_find = false;
+    if (predicted.any()) {
+      for (const TagId id : detector.inventory()) {
+        if (predicted.test(slot_pick(id, seed, f)) &&
+            found.insert(id).second) {
+          outcome.missing.push_back(id);
+          new_find = true;
+        }
+      }
+    }
+    survive_streak = new_find ? (1.0 - q) : survive_streak * (1.0 - q);
+    if (survive_streak <= 1.0 - config.completeness) {
+      outcome.confident = true;
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace nettag::protocols

@@ -1,0 +1,57 @@
+// Iterative missing-tag identification over CCM.
+//
+// TRP answers "is anything missing?"; its follow-up problem (the paper's
+// reference [9]) is naming WHICH tags are gone.  CCM makes this simple and
+// exact: in every execution, an inventory tag whose predicted slot stays
+// idle is *certainly* missing (Theorem 1 — present tags always light their
+// slot).  A missing tag hides only while some present tag shares its slot,
+// which a fresh seed re-randomises: per execution it is isolated — and thus
+// identified — with probability q = (1 - 1/f)^{n_present}.  Executions
+// repeat until the probability that any hidden missing tag survived the run
+// of empty executions drops below 1 - completeness.
+#pragma once
+
+#include <vector>
+
+#include "ccm/options.hpp"
+#include "net/topology.hpp"
+#include "protocols/missing/missing_protocol.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::protocols {
+
+/// Tuning of the identification loop.
+struct IdentificationConfig {
+  /// Frame size; 0 sizes the frame so q ~= 0.5 at the expected present
+  /// population (f ~= 1.44 n), making each execution identify about half
+  /// of the still-hidden missing tags.
+  FrameSize frame_size = 0;
+
+  /// Target probability that every missing tag has been named on exit.
+  double completeness = 0.99;
+
+  /// Hard cap on executions.
+  int max_executions = 64;
+
+  Seed base_seed = 0x1de;
+};
+
+/// Result of an identification run.
+struct IdentificationOutcome {
+  /// Tags proven missing (each observed with an idle predicted slot).
+  std::vector<TagId> missing;
+
+  int executions = 0;
+  bool confident = false;  ///< stopping rule met (vs. execution cap hit)
+  sim::SlotClock clock;
+};
+
+/// Repeats TRP executions over the present-tag `topology` until the
+/// stopping rule of `config` is met, accumulating certainly-missing IDs.
+[[nodiscard]] IdentificationOutcome identify_missing_tags(
+    const MissingTagDetector& detector, const net::Topology& topology,
+    const ccm::CcmConfig& ccm_template, const IdentificationConfig& config,
+    sim::EnergyMeter& energy);
+
+}  // namespace nettag::protocols

@@ -1,0 +1,71 @@
+#include "protocols/missing/missing_protocol.hpp"
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "protocols/missing/trp.hpp"
+
+namespace nettag::protocols {
+
+MissingTagDetector::MissingTagDetector(std::vector<TagId> inventory)
+    : inventory_(std::move(inventory)) {
+  NETTAG_EXPECTS(!inventory_.empty(), "inventory must not be empty");
+}
+
+FrameSize MissingTagDetector::effective_frame_size(
+    const DetectionConfig& config) const {
+  if (config.frame_size > 0) return config.frame_size;
+  return trp_required_frame_size(static_cast<int>(inventory_.size()),
+                                 config.tolerance_m, config.delta);
+}
+
+std::vector<SlotIndex> MissingTagDetector::silent_expected_slots(
+    const Bitmap& observed, Seed seed) const {
+  Bitmap predicted(observed.size());
+  for (const TagId id : inventory_)
+    predicted.set(slot_pick(id, seed, observed.size()));
+  predicted.subtract(observed);  // busy-in-prediction, idle-in-observation
+  return predicted.set_bits();
+}
+
+DetectionOutcome MissingTagDetector::detect(const net::Topology& topology,
+                                            const ccm::CcmConfig& ccm_template,
+                                            const DetectionConfig& config,
+                                            sim::EnergyMeter& energy) const {
+  NETTAG_EXPECTS(config.executions >= 1, "need at least one execution");
+  const FrameSize f = effective_frame_size(config);
+
+  DetectionOutcome outcome;
+  const ccm::HashedSlotSelector everyone(1.0);  // TRP: p = 1 (SV-C)
+
+  for (int e = 0; e < config.executions; ++e) {
+    const Seed seed = fmix64(config.base_seed + static_cast<Seed>(e));
+    ccm::CcmConfig session_config = ccm_template;
+    session_config.frame_size = f;
+    session_config.request_seed = seed;
+
+    const ccm::SessionResult session =
+        ccm::run_session(topology, session_config, everyone, energy);
+    outcome.clock.merge(session.clock);
+    ++outcome.executions_run;
+
+    const std::vector<SlotIndex> silent =
+        silent_expected_slots(session.bitmap, seed);
+    if (!silent.empty()) {
+      outcome.alarm = true;
+      outcome.silent_slots.insert(outcome.silent_slots.end(), silent.begin(),
+                                  silent.end());
+      Bitmap silent_mask(f);
+      for (const SlotIndex s : silent) silent_mask.set(s);
+      for (const TagId id : inventory_) {
+        if (silent_mask.test(slot_pick(id, seed, f)))
+          outcome.missing_candidates.push_back(id);
+      }
+      if (config.stop_on_alarm) break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace nettag::protocols

@@ -1,0 +1,85 @@
+// TRP-based missing-tag detection over CCM (SV-B).
+//
+// One CCM session (K rounds) corresponds to one TRP execution in the
+// traditional system: the reader broadcasts (f, eta), every present tag sets
+// its hashed slot, and Theorem 1 guarantees the reader's final bitmap equals
+// the traditional status bitmap.  The reader compares it against the bitmap
+// predicted from the full inventory; any predicted-busy slot observed idle
+// raises the alarm and incriminates the tags hashing there.
+#pragma once
+
+#include <vector>
+
+#include "ccm/options.hpp"
+#include "common/bitmap.hpp"
+#include "net/topology.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::protocols {
+
+/// Tuning of the detection protocol.
+struct DetectionConfig {
+  double delta = 0.95;   ///< required per-execution detection probability
+  int tolerance_m = 50;  ///< Eq. 14's m: alarms required when > m missing
+
+  /// Frame size; 0 derives it from (inventory size, m, delta).
+  FrameSize frame_size = 0;
+
+  /// Number of executions (each with a fresh seed).  Multiple executions
+  /// push the overall detection probability toward 1 (SV-A).
+  int executions = 1;
+
+  /// Stop at the first execution that raises an alarm.
+  bool stop_on_alarm = true;
+
+  Seed base_seed = 0xdead;
+};
+
+/// Outcome of one detection run.
+struct DetectionOutcome {
+  bool alarm = false;
+
+  /// Slots predicted busy but observed idle, across all executions run.
+  std::vector<SlotIndex> silent_slots;
+
+  /// Inventory IDs that hash into a silent slot of the execution that
+  /// observed it — each is certainly missing (a present tag would have made
+  /// its slot busy; Theorem 1 rules out transport loss).
+  std::vector<TagId> missing_candidates;
+
+  int executions_run = 0;
+  sim::SlotClock clock;
+};
+
+/// Detector owning the inventory (the a-priori ID list of SV-A).
+class MissingTagDetector {
+ public:
+  explicit MissingTagDetector(std::vector<TagId> inventory);
+
+  /// Frame size that will be used under `config` for this inventory.
+  [[nodiscard]] FrameSize effective_frame_size(
+      const DetectionConfig& config) const;
+
+  /// Pure bitmap comparison for one execution: predicted-busy slots of
+  /// `inventory` under `seed` that are idle in `observed`.  Exposed for unit
+  /// tests and for readers that obtained the bitmap elsewhere.
+  [[nodiscard]] std::vector<SlotIndex> silent_expected_slots(
+      const Bitmap& observed, Seed seed) const;
+
+  /// Runs up to `config.executions` CCM sessions over the present-tag
+  /// `topology` and reports.  `energy` accumulates per-tag costs.
+  [[nodiscard]] DetectionOutcome detect(const net::Topology& topology,
+                                        const ccm::CcmConfig& ccm_template,
+                                        const DetectionConfig& config,
+                                        sim::EnergyMeter& energy) const;
+
+  [[nodiscard]] const std::vector<TagId>& inventory() const noexcept {
+    return inventory_;
+  }
+
+ private:
+  std::vector<TagId> inventory_;
+};
+
+}  // namespace nettag::protocols

@@ -1,0 +1,39 @@
+#include "protocols/missing/trp.hpp"
+
+#include <cmath>
+
+namespace nettag::protocols {
+
+double trp_detection_probability(int n, int missing, FrameSize f) {
+  NETTAG_EXPECTS(n >= 0 && missing >= 0 && missing <= n,
+                 "need 0 <= missing <= n");
+  NETTAG_EXPECTS(f > 0, "frame size must be positive");
+  if (missing == 0) return 0.0;
+  const int present = n - missing;
+  const double q =
+      std::exp(static_cast<double>(present) *
+               std::log1p(-1.0 / static_cast<double>(f)));
+  return 1.0 - std::pow(1.0 - q, static_cast<double>(missing));
+}
+
+FrameSize trp_required_frame_size(int n, int m, double delta) {
+  NETTAG_EXPECTS(n >= 1, "population must be positive");
+  NETTAG_EXPECTS(m >= 0 && m < n, "tolerance must satisfy 0 <= m < n");
+  NETTAG_EXPECTS(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  const int threshold = m + 1;  // Eq. 14 requires detection for i > m
+  // Need q >= 1 - (1-delta)^(1/threshold); invert q = (1-1/f)^(n-threshold).
+  const double q_req =
+      1.0 - std::exp(std::log(1.0 - delta) / static_cast<double>(threshold));
+  const int present = n - threshold;
+  if (present == 0) return 1;  // everything may be missing: any frame works
+  const double log_keep = std::log(q_req) / static_cast<double>(present);
+  // log(1 - 1/f) = log_keep  =>  f = 1 / (1 - e^{log_keep}).
+  const double f = 1.0 / -std::expm1(log_keep);
+  auto sized = static_cast<FrameSize>(std::ceil(f - 1e-9));
+  // Guard the ceil against approximation slack: grow until the exact
+  // probability clears delta (at most a few steps).
+  while (trp_detection_probability(n, threshold, sized) < delta) ++sized;
+  return sized;
+}
+
+}  // namespace nettag::protocols

@@ -1,0 +1,218 @@
+#include "protocols/search/tag_search.hpp"
+
+#include <cmath>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace nettag::protocols {
+
+double search_false_positive_rate(double population, FrameSize f, int k) {
+  NETTAG_EXPECTS(population >= 0.0, "population must be non-negative");
+  NETTAG_EXPECTS(f > 0, "frame size must be positive");
+  NETTAG_EXPECTS(k >= 1, "need at least one slot per tag");
+  // Busy probability of one slot under n tags setting k hashed slots each.
+  const double busy =
+      1.0 - std::exp(population * static_cast<double>(k) *
+                     std::log1p(-1.0 / static_cast<double>(f)));
+  return std::pow(busy, static_cast<double>(k));
+}
+
+FrameSize search_required_frame_size(double population, int k,
+                                     double target) {
+  NETTAG_EXPECTS(target > 0.0 && target < 1.0, "target must be in (0,1)");
+  NETTAG_EXPECTS(k >= 1, "need at least one slot per tag");
+  // busy <= target^(1/k)  =>  f >= -k n / ln(1 - target^(1/k)).
+  const double busy_max = std::pow(target, 1.0 / static_cast<double>(k));
+  const double f = -static_cast<double>(k) * population /
+                   std::log1p(-busy_max);
+  auto sized = static_cast<FrameSize>(std::ceil(std::max(f, 1.0)));
+  while (search_false_positive_rate(population, sized, k) > target) ++sized;
+  return sized;
+}
+
+std::vector<SearchVerdict> verdicts_from_bitmap(
+    const std::vector<TagId>& wanted, const Bitmap& bitmap, Seed seed,
+    int slots_per_tag) {
+  NETTAG_EXPECTS(slots_per_tag >= 1, "need at least one slot per tag");
+  std::vector<SearchVerdict> verdicts;
+  verdicts.reserve(wanted.size());
+  for (const TagId id : wanted) {
+    SearchVerdict v;
+    v.id = id;
+    v.present = true;
+    for (int i = 0; i < slots_per_tag; ++i) {
+      if (!bitmap.test(slot_pick_k(id, seed, bitmap.size(), i))) {
+        v.present = false;  // an idle signature slot proves absence
+        break;
+      }
+    }
+    verdicts.push_back(v);
+  }
+  return verdicts;
+}
+
+Bitmap build_bloom_filter(const std::vector<TagId>& ids, FrameSize bits,
+                          int hashes, Seed seed) {
+  NETTAG_EXPECTS(bits > 0, "filter size must be positive");
+  NETTAG_EXPECTS(hashes >= 1, "need at least one hash");
+  Bitmap filter(bits);
+  for (const TagId id : ids) {
+    for (int h = 0; h < hashes; ++h)
+      filter.set(slot_pick_k(id, seed ^ 0xb100f, bits, h));
+  }
+  return filter;
+}
+
+bool bloom_contains(const Bitmap& filter, TagId id, int hashes, Seed seed) {
+  NETTAG_EXPECTS(hashes >= 1, "need at least one hash");
+  for (int h = 0; h < hashes; ++h) {
+    if (!filter.test(slot_pick_k(id, seed ^ 0xb100f, filter.size(), h)))
+      return false;
+  }
+  return true;
+}
+
+FrameSize bloom_required_bits(int wanted_count, int hashes,
+                              double pass_target) {
+  NETTAG_EXPECTS(wanted_count >= 1, "wanted set must be non-empty");
+  NETTAG_EXPECTS(hashes >= 1, "need at least one hash");
+  NETTAG_EXPECTS(pass_target > 0.0 && pass_target < 1.0,
+                 "pass target must be in (0,1)");
+  // Standard Bloom arithmetic: pass = (1 - e^{-k w / b})^k.
+  const double busy_max =
+      std::pow(pass_target, 1.0 / static_cast<double>(hashes));
+  const double bits = -static_cast<double>(hashes) *
+                      static_cast<double>(wanted_count) /
+                      std::log1p(-busy_max);
+  auto sized = static_cast<FrameSize>(std::ceil(std::max(bits, 8.0)));
+  return sized;
+}
+
+namespace {
+
+/// Round-1 policy of the filtered response frame: only filter-passers set
+/// their signature slots.
+class FilteredSelector final : public ccm::SlotSelector {
+ public:
+  FilteredSelector(const Bitmap* filter, int filter_hashes, Seed filter_seed,
+                   int slots_per_tag)
+      : filter_(filter),
+        filter_hashes_(filter_hashes),
+        filter_seed_(filter_seed),
+        signature_(slots_per_tag) {}
+
+  [[nodiscard]] std::vector<SlotIndex> pick(TagId id, Seed seed,
+                                            FrameSize f) const override {
+    if (!bloom_contains(*filter_, id, filter_hashes_, filter_seed_))
+      return {};
+    return signature_.pick(id, seed, f);
+  }
+
+ private:
+  const Bitmap* filter_;
+  int filter_hashes_;
+  Seed filter_seed_;
+  ccm::MultiSlotSelector signature_;
+};
+
+}  // namespace
+
+SearchOutcome search_tags_filtered(const std::vector<TagId>& wanted,
+                                   const net::Topology& topology,
+                                   const ccm::CcmConfig& ccm_template,
+                                   const FilteredSearchConfig& config,
+                                   sim::EnergyMeter& energy) {
+  NETTAG_EXPECTS(!wanted.empty(), "wanted list must not be empty");
+  const FrameSize filter_bits =
+      config.filter_bits > 0
+          ? config.filter_bits
+          : bloom_required_bits(static_cast<int>(wanted.size()),
+                                config.filter_hashes,
+                                config.filter_pass_target);
+  const Seed seed = fmix64(config.base_seed);
+  const Bitmap filter =
+      build_bloom_filter(wanted, filter_bits, config.filter_hashes, seed);
+
+  SearchOutcome outcome;
+
+  // Phase 1: the reader broadcasts the filter (96-bit segments); every
+  // covered tag decodes it to learn whether it must answer.
+  const SlotCount filter_segments =
+      (static_cast<SlotCount>(filter_bits) + 95) / 96;
+  outcome.clock.add_id_slots(filter_segments);
+  for (TagIndex t = 0; t < topology.tag_count(); ++t) {
+    if (topology.reader_covers(t))
+      energy.add_received(t, filter_segments * 96);
+  }
+
+  // Phase 2: response frame sized for the expected responders.
+  const double expected_responders =
+      static_cast<double>(wanted.size()) +
+      config.expected_population * config.filter_pass_target;
+  const FrameSize f =
+      config.response_frame > 0
+          ? config.response_frame
+          : search_required_frame_size(expected_responders,
+                                       config.slots_per_tag,
+                                       config.false_positive_target);
+
+  ccm::CcmConfig session_config = ccm_template;
+  session_config.frame_size = f;
+  session_config.request_seed = fmix64(seed ^ 0x2);
+  const FilteredSelector selector(&filter, config.filter_hashes, seed,
+                                  config.slots_per_tag);
+  const ccm::SessionResult session =
+      ccm::run_session(topology, session_config, selector, energy);
+  outcome.clock.merge(session.clock);
+
+  outcome.verdicts = verdicts_from_bitmap(
+      wanted, session.bitmap, session_config.request_seed,
+      config.slots_per_tag);
+  for (const auto& v : outcome.verdicts)
+    outcome.present_count += v.present ? 1 : 0;
+  return outcome;
+}
+
+SearchOutcome search_tags(const std::vector<TagId>& wanted,
+                          const net::Topology& topology,
+                          const ccm::CcmConfig& ccm_template,
+                          const SearchConfig& config,
+                          sim::EnergyMeter& energy) {
+  NETTAG_EXPECTS(!wanted.empty(), "wanted list must not be empty");
+  NETTAG_EXPECTS(config.frames >= 1, "need at least one frame");
+  const FrameSize f =
+      config.frame_size > 0
+          ? config.frame_size
+          : search_required_frame_size(config.expected_population,
+                                       config.slots_per_tag,
+                                       config.false_positive_target);
+
+  SearchOutcome outcome;
+  outcome.verdicts.reserve(wanted.size());
+  for (const TagId id : wanted) outcome.verdicts.push_back({id, true});
+
+  const ccm::MultiSlotSelector selector(config.slots_per_tag);
+  for (int frame = 0; frame < config.frames; ++frame) {
+    const Seed seed = fmix64(config.base_seed + static_cast<Seed>(frame));
+    ccm::CcmConfig session_config = ccm_template;
+    session_config.frame_size = f;
+    session_config.request_seed = seed;
+    const ccm::SessionResult session =
+        ccm::run_session(topology, session_config, selector, energy);
+    outcome.clock.merge(session.clock);
+
+    const auto verdicts = verdicts_from_bitmap(wanted, session.bitmap, seed,
+                                               config.slots_per_tag);
+    // A tag is present only if every frame agrees (absence proof is final).
+    for (std::size_t i = 0; i < verdicts.size(); ++i)
+      outcome.verdicts[i].present &= verdicts[i].present;
+  }
+  for (const auto& v : outcome.verdicts)
+    outcome.present_count += v.present ? 1 : 0;
+  return outcome;
+}
+
+}  // namespace nettag::protocols

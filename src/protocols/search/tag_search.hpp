@@ -1,0 +1,132 @@
+// Tag search over CCM — the third system-level function of SIII-B ("if each
+// tag chooses multiple random slots in the time frame, we can perform tag
+// search based on the bitmap", citing Zheng & Li and Chen et al.).
+//
+// The reader holds a wanted list W and asks which of those tags are present.
+// Every tag sets k hashed slots of the frame (a Bloom-filter signature);
+// the collected bitmap is the union of all present tags' signatures.  A
+// wanted tag whose k slots are all busy is reported PRESENT; any idle slot
+// proves ABSENCE.  Theorem 1 makes the bitmap exact, so:
+//   * no false negatives: a present wanted tag is always reported present;
+//   * false positives only from slot collisions, at the classic Bloom rate
+//     (1 - q)^k with q the per-slot idle probability.
+#pragma once
+
+#include <vector>
+
+#include "ccm/options.hpp"
+#include "common/bitmap.hpp"
+#include "net/topology.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::protocols {
+
+/// Tuning of the search protocol.
+struct SearchConfig {
+  /// Slots each tag sets (Bloom hash count).
+  int slots_per_tag = 3;
+
+  /// Frame size; 0 derives it from the expected population and the target
+  /// false-positive rate.
+  FrameSize frame_size = 0;
+
+  /// Population estimate used when deriving the frame size (run GMLE first
+  /// in a real deployment).
+  double expected_population = 10'000.0;
+
+  /// Target probability that an absent wanted tag is misreported present.
+  double false_positive_target = 0.01;
+
+  /// Number of independent frames (each halves^k the false-positive rate).
+  int frames = 1;
+
+  Seed base_seed = 0xbee;
+};
+
+/// Verdict for one wanted ID.
+struct SearchVerdict {
+  TagId id = 0;
+  bool present = false;  ///< all signature slots busy in every frame
+};
+
+/// Outcome of one search run.
+struct SearchOutcome {
+  std::vector<SearchVerdict> verdicts;  ///< one per wanted ID, input order
+  int present_count = 0;
+  sim::SlotClock clock;
+};
+
+/// Per-frame false-positive probability for an absent tag:
+/// (1 - (1 - k/f)^n)^k under k-slot signatures from n present tags.
+[[nodiscard]] double search_false_positive_rate(double population,
+                                                FrameSize f, int k);
+
+/// Smallest frame size whose single-frame false-positive rate meets
+/// `target` for `population` tags with `k` slots each.
+[[nodiscard]] FrameSize search_required_frame_size(double population, int k,
+                                                   double target);
+
+/// Runs the search for `wanted` over the present-tag `topology` through CCM
+/// sessions configured by `ccm_template` (frame size/seed overridden).
+[[nodiscard]] SearchOutcome search_tags(const std::vector<TagId>& wanted,
+                                        const net::Topology& topology,
+                                        const ccm::CcmConfig& ccm_template,
+                                        const SearchConfig& config,
+                                        sim::EnergyMeter& energy);
+
+/// Pure helper: verdicts from an already-collected bitmap (one frame).
+[[nodiscard]] std::vector<SearchVerdict> verdicts_from_bitmap(
+    const std::vector<TagId>& wanted, const Bitmap& bitmap, Seed seed,
+    int slots_per_tag);
+
+// ---------------------------------------------------------------------------
+// Two-phase filtered search — the structure of the real tag-search protocols
+// (Zheng & Li's CATS, Chen et al.; the paper's refs [14], [15]).  The naive
+// variant above makes EVERY tag answer, so the response frame must scale
+// with n.  Instead the reader first broadcasts a Bloom filter of the wanted
+// set; only tags passing it (wanted ones plus a tunable sliver of false
+// passers) respond, shrinking the response frame to ~|W| slots.
+// ---------------------------------------------------------------------------
+
+/// Tuning of the filtered search.
+struct FilteredSearchConfig {
+  /// Bloom filter of the wanted set broadcast by the reader.
+  int filter_hashes = 4;
+  /// Filter size in bits; 0 sizes it for `filter_pass_target` false passes.
+  FrameSize filter_bits = 0;
+  /// Target probability that a non-wanted tag passes the filter.
+  double filter_pass_target = 0.02;
+
+  /// Response-frame parameters (as in SearchConfig).
+  int slots_per_tag = 3;
+  FrameSize response_frame = 0;  ///< 0 = derive from expected responders
+  double false_positive_target = 0.01;
+
+  /// Population estimate (for sizing the expected responder count).
+  double expected_population = 10'000.0;
+
+  Seed base_seed = 0xf117e4;
+};
+
+/// Builds the k-hash Bloom filter of `ids` over `bits` bits.
+[[nodiscard]] Bitmap build_bloom_filter(const std::vector<TagId>& ids,
+                                        FrameSize bits, int hashes,
+                                        Seed seed);
+
+/// Membership test against a filter built with the same parameters.
+[[nodiscard]] bool bloom_contains(const Bitmap& filter, TagId id, int hashes,
+                                  Seed seed);
+
+/// Smallest filter meeting `pass_target` for `wanted_count` entries.
+[[nodiscard]] FrameSize bloom_required_bits(int wanted_count, int hashes,
+                                            double pass_target);
+
+/// Runs the two-phase search: filter broadcast (charged to every covered
+/// tag), then one CCM session in which only passing tags respond.
+[[nodiscard]] SearchOutcome search_tags_filtered(
+    const std::vector<TagId>& wanted, const net::Topology& topology,
+    const ccm::CcmConfig& ccm_template, const FilteredSearchConfig& config,
+    sim::EnergyMeter& energy);
+
+}  // namespace nettag::protocols

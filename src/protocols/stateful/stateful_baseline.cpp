@@ -1,0 +1,79 @@
+#include "protocols/stateful/stateful_baseline.hpp"
+
+#include <numbers>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/sicp_model.hpp"
+#include "common/error.hpp"
+
+namespace nettag::protocols {
+
+void StatefulConfig::validate() const {
+  NETTAG_EXPECTS(beacon_period_slots > 0.0, "beacon period must be positive");
+  NETTAG_EXPECTS(churn_per_interval >= 0.0 && churn_per_interval <= 1.0,
+                 "churn must be in [0,1]");
+  NETTAG_EXPECTS(interval_slots > 0.0, "interval must be positive");
+}
+
+StatefulCosts stateful_costs(const SystemConfig& sys,
+                             const StatefulConfig& cfg) {
+  sys.validate();
+  cfg.validate();
+  const double degree = sys.density() * std::numbers::pi *
+                        sys.tag_to_tag_range_m * sys.tag_to_tag_range_m;
+
+  StatefulCosts costs;
+  costs.beacons_sent = cfg.interval_slots / cfg.beacon_period_slots;
+
+  // Repairs: each churned incident link costs ~2 messages (neighbor-table
+  // update + parent/route re-selection handshake).
+  const double repair_messages = 2.0 * cfg.churn_per_interval * degree;
+  costs.maintenance_sent_bits =
+      96.0 * (costs.beacons_sent + repair_messages);
+  // Symmetric network: a tag overhears from each neighbor what it sends.
+  costs.maintenance_recv_bits = degree * costs.maintenance_sent_bits;
+
+  // Operation with a live tree: SICP phase 2 only.
+  const analysis::SicpCosts full = analysis::sicp_cost_model(sys);
+  const double phase2_messages =
+      full.expected_tier /* subtree payloads */ + 1.0 /* polls, ~1/child */;
+  costs.operation_sent_bits = 96.0 * phase2_messages;
+  const double phase2_slots = full.data_hops + full.poll_slots;
+  costs.operation_recv_bits =
+      degree * costs.operation_sent_bits + phase2_slots /* idle sampling */;
+  return costs;
+}
+
+StateFreeCosts state_free_costs(const SystemConfig& sys,
+                                FrameSize ccm_frame) {
+  sys.validate();
+  StateFreeCosts costs;
+  const analysis::SicpCosts sicp = analysis::sicp_cost_model(sys);
+  costs.sicp_bits_per_op = sicp.avg_sent_bits + sicp.avg_received_bits;
+
+  analysis::CostModelInput input;
+  input.sys = sys;
+  input.frame_size = ccm_frame;
+  input.participation = 1.0;
+  const analysis::TagCost ccm = analysis::average_tag_cost(input);
+  costs.ccm_bits_per_op = ccm.send_bits() + ccm.receive_bits();
+  return costs;
+}
+
+double stateful_break_even_ops(const SystemConfig& sys,
+                               const StatefulConfig& cfg, double max_ops) {
+  NETTAG_EXPECTS(max_ops > 0.0, "max_ops must be positive");
+  const StatefulCosts stateful = stateful_costs(sys, cfg);
+  const StateFreeCosts state_free = state_free_costs(sys, 3228);
+
+  const double maintenance =
+      stateful.maintenance_sent_bits + stateful.maintenance_recv_bits;
+  const double per_op_saving =
+      state_free.sicp_bits_per_op -
+      (stateful.operation_sent_bits + stateful.operation_recv_bits);
+  if (per_op_saving <= 0.0) return max_ops;
+  const double ops = maintenance / per_op_saving;
+  return ops < max_ops ? ops : max_ops;
+}
+
+}  // namespace nettag::protocols

@@ -1,0 +1,84 @@
+// Stateful networked-tag baseline — the design the paper argues AGAINST.
+//
+// SI/SII contrast two tag designs: STATE-FREE tags (this library's subject:
+// no network state, everything rebuilt per operation) and STATEFUL tags
+// that keep neighbor tables and a routing tree alive between operations by
+// beaconing, like sensor-network nodes.  The paper's premise is economic:
+// "maintaining the neighbor relationship and updating the routing tables
+// require frequent network-wide communications, a cost not worthwhile for
+// infrequent operations".  This module prices that premise.
+//
+// Maintenance model (standard neighborhood-management arithmetic):
+//   * every tag beacons once per `beacon_period_slots` (96-bit HELLO,
+//     overheard by all neighbors — the dominant term, degree * 96 bits
+//     received per period);
+//   * tag movement invalidates state: after each inter-operation interval
+//     a `churn` fraction of links changed; affected tags exchange repair
+//     traffic (REG-style parent re-selection, 2 x 96 bits per changed
+//     link endpoint);
+//   * at operation time the tree already exists, so an ID collection runs
+//     ONLY SICP's serialized phase 2 (no tree build) — the payoff the
+//     maintenance bought.
+//
+// The comparison (`bench/stateful_vs_statefree`) then asks: at how many
+// operations per day does keeping state break even with rebuilding it?
+#pragma once
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace nettag::protocols {
+
+/// Parameters of the stateful maintenance regime.
+struct StatefulConfig {
+  /// Nominal slots between two HELLO beacons of one tag.
+  double beacon_period_slots = 1e5;
+
+  /// Fraction of links that change per inter-operation interval (from
+  /// net::link_churn of the mobility model in force).
+  double churn_per_interval = 0.1;
+
+  /// Slots between operations.
+  double interval_slots = 1e7;
+
+  void validate() const;
+};
+
+/// Per-interval cost prediction for one tag (averages over the network).
+struct StatefulCosts {
+  double beacons_sent = 0.0;          ///< HELLOs per interval
+  double maintenance_sent_bits = 0.0; ///< beacons + repairs, transmitted
+  double maintenance_recv_bits = 0.0; ///< overheard beacons + repairs
+  double operation_sent_bits = 0.0;   ///< phase-2-only collection, per op
+  double operation_recv_bits = 0.0;
+
+  /// Total bits (TX + RX) per interval if `operations` collections run.
+  [[nodiscard]] double total_bits(double operations) const {
+    return maintenance_sent_bits + maintenance_recv_bits +
+           operations * (operation_sent_bits + operation_recv_bits);
+  }
+};
+
+/// Predicts the stateful regime's per-tag costs for deployment `sys` with
+/// mean degree implied by its density and range.
+[[nodiscard]] StatefulCosts stateful_costs(const SystemConfig& sys,
+                                           const StatefulConfig& cfg);
+
+/// The state-free comparison point: per-operation bits of a full SICP run
+/// (tree build included) or of a CCM session, taken from the analytical
+/// models so the comparison needs no simulation.
+struct StateFreeCosts {
+  double sicp_bits_per_op = 0.0;  ///< avg sent+recv, tree rebuilt each op
+  double ccm_bits_per_op = 0.0;   ///< avg sent+recv, TRP operating point
+};
+[[nodiscard]] StateFreeCosts state_free_costs(const SystemConfig& sys,
+                                              FrameSize ccm_frame);
+
+/// Operations per interval at which the stateful regime's total cost first
+/// drops below stateless SICP (infinity-like large value when it never
+/// does within `max_ops`).
+[[nodiscard]] double stateful_break_even_ops(const SystemConfig& sys,
+                                             const StatefulConfig& cfg,
+                                             double max_ops = 1e6);
+
+}  // namespace nettag::protocols

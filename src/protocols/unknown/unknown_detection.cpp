@@ -1,0 +1,93 @@
+#include "protocols/unknown/unknown_detection.hpp"
+
+#include <cmath>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace nettag::protocols {
+
+double unknown_detection_probability(int n_inventory, int unknown,
+                                     FrameSize f) {
+  NETTAG_EXPECTS(n_inventory >= 0 && unknown >= 0, "counts must be >= 0");
+  NETTAG_EXPECTS(f > 0, "frame size must be positive");
+  if (unknown == 0) return 0.0;
+  const double q =
+      std::exp(static_cast<double>(n_inventory) *
+               std::log1p(-1.0 / static_cast<double>(f)));
+  return 1.0 - std::pow(1.0 - q, static_cast<double>(unknown));
+}
+
+FrameSize unknown_required_frame_size(int n_inventory, int tolerance,
+                                      double delta) {
+  NETTAG_EXPECTS(n_inventory >= 1, "inventory must be non-empty");
+  NETTAG_EXPECTS(tolerance >= 0, "tolerance must be >= 0");
+  NETTAG_EXPECTS(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  const int threshold = tolerance + 1;
+  const double q_req =
+      1.0 - std::exp(std::log(1.0 - delta) / static_cast<double>(threshold));
+  const double log_keep =
+      std::log(q_req) / static_cast<double>(n_inventory);
+  auto sized = static_cast<FrameSize>(
+      std::ceil(1.0 / -std::expm1(log_keep) - 1e-9));
+  while (unknown_detection_probability(n_inventory, threshold, sized) <
+         delta) {
+    ++sized;
+  }
+  return sized;
+}
+
+UnknownTagDetector::UnknownTagDetector(std::vector<TagId> inventory)
+    : inventory_(std::move(inventory)) {
+  NETTAG_EXPECTS(!inventory_.empty(), "inventory must not be empty");
+}
+
+FrameSize UnknownTagDetector::effective_frame_size(
+    const UnknownDetectionConfig& config) const {
+  if (config.frame_size > 0) return config.frame_size;
+  return unknown_required_frame_size(static_cast<int>(inventory_.size()),
+                                     config.tolerance, config.delta);
+}
+
+std::vector<SlotIndex> UnknownTagDetector::foreign_slots(
+    const Bitmap& observed, Seed seed) const {
+  Bitmap unexplained = observed;
+  Bitmap predicted(observed.size());
+  for (const TagId id : inventory_)
+    predicted.set(slot_pick(id, seed, observed.size()));
+  unexplained.subtract(predicted);
+  return unexplained.set_bits();
+}
+
+UnknownDetectionOutcome UnknownTagDetector::detect(
+    const net::Topology& topology, const ccm::CcmConfig& ccm_template,
+    const UnknownDetectionConfig& config, sim::EnergyMeter& energy) const {
+  NETTAG_EXPECTS(config.executions >= 1, "need at least one execution");
+  const FrameSize f = effective_frame_size(config);
+
+  UnknownDetectionOutcome outcome;
+  const ccm::HashedSlotSelector everyone(1.0);
+  for (int e = 0; e < config.executions; ++e) {
+    const Seed seed = fmix64(config.base_seed + static_cast<Seed>(e));
+    ccm::CcmConfig session_config = ccm_template;
+    session_config.frame_size = f;
+    session_config.request_seed = seed;
+    const ccm::SessionResult session =
+        ccm::run_session(topology, session_config, everyone, energy);
+    outcome.clock.merge(session.clock);
+    ++outcome.executions_run;
+
+    const auto foreign = foreign_slots(session.bitmap, seed);
+    if (!foreign.empty()) {
+      outcome.alarm = true;
+      outcome.foreign_slots.insert(outcome.foreign_slots.end(),
+                                   foreign.begin(), foreign.end());
+      if (config.stop_on_alarm) break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace nettag::protocols

@@ -1,0 +1,88 @@
+// Unknown-tag detection over CCM — the dual of missing-tag detection.
+//
+// The paper's related work (refs [12], [13]) studies the converse inventory
+// fault: tags present in the field that are NOT on the books (misplaced
+// deliveries, counterfeits, foreign pallets).  The bitmap model handles it
+// with the same machinery mirrored: the reader predicts the busy set from
+// the inventory; a busy slot it did NOT predict can only have been lit by a
+// non-inventory tag.  Theorem 1 makes this sound — zero false alarms, every
+// flagged slot proves at least one unknown tag.
+//
+// An unknown tag hides only when its slot collides with a predicted one,
+// so one execution detects it with probability q ~= (1 - 1/f)^n_inventory;
+// sizing and multi-execution boosting mirror TRP exactly.
+#pragma once
+
+#include <vector>
+
+#include "ccm/options.hpp"
+#include "common/bitmap.hpp"
+#include "net/topology.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::protocols {
+
+/// Probability that one execution with frame size `f` exposes at least one
+/// of `unknown` foreign tags against an inventory of `n_inventory` tags:
+/// P = 1 - (1 - q)^unknown, q = (1 - 1/f)^n_inventory.
+[[nodiscard]] double unknown_detection_probability(int n_inventory,
+                                                   int unknown, FrameSize f);
+
+/// Smallest frame size detecting more than `tolerance` unknown tags with
+/// probability >= delta (sizing at tolerance + 1, mirroring Eq. 14).
+[[nodiscard]] FrameSize unknown_required_frame_size(int n_inventory,
+                                                    int tolerance,
+                                                    double delta);
+
+/// Tuning of the detection run.
+struct UnknownDetectionConfig {
+  double delta = 0.95;
+  int tolerance = 50;
+
+  /// Frame size; 0 derives it from (inventory, tolerance, delta).
+  FrameSize frame_size = 0;
+
+  int executions = 1;
+  bool stop_on_alarm = true;
+  Seed base_seed = 0x0ddba11;
+};
+
+/// Outcome of a run.
+struct UnknownDetectionOutcome {
+  bool alarm = false;
+
+  /// Busy-but-unpredicted slots observed (across executions run).
+  std::vector<SlotIndex> foreign_slots;
+
+  int executions_run = 0;
+  sim::SlotClock clock;
+};
+
+/// Detector holding the trusted inventory.
+class UnknownTagDetector {
+ public:
+  explicit UnknownTagDetector(std::vector<TagId> inventory);
+
+  [[nodiscard]] FrameSize effective_frame_size(
+      const UnknownDetectionConfig& config) const;
+
+  /// Pure helper: busy slots of `observed` that no inventory tag explains.
+  [[nodiscard]] std::vector<SlotIndex> foreign_slots(const Bitmap& observed,
+                                                     Seed seed) const;
+
+  /// Runs up to `config.executions` CCM sessions over the field `topology`
+  /// (which may contain foreign tags) and reports.
+  [[nodiscard]] UnknownDetectionOutcome detect(
+      const net::Topology& topology, const ccm::CcmConfig& ccm_template,
+      const UnknownDetectionConfig& config, sim::EnergyMeter& energy) const;
+
+  [[nodiscard]] const std::vector<TagId>& inventory() const noexcept {
+    return inventory_;
+  }
+
+ private:
+  std::vector<TagId> inventory_;
+};
+
+}  // namespace nettag::protocols

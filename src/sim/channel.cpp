@@ -1,0 +1,64 @@
+#include "sim/channel.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace nettag::sim {
+
+SlotObservation simulate_slot(const net::Topology& topology,
+                              std::span<const TagIndex> transmitters) {
+  const auto n = static_cast<std::size_t>(topology.tag_count());
+  SlotObservation obs;
+  obs.heard_count.assign(n, 0);
+  obs.decoded_from.assign(n, kInvalidTagIndex);
+
+  std::vector<bool> is_transmitting(n, false);
+  for (const TagIndex t : transmitters) {
+    NETTAG_EXPECTS(t >= 0 && static_cast<std::size_t>(t) < n,
+                   "transmitter index out of range");
+    NETTAG_EXPECTS(!is_transmitting[static_cast<std::size_t>(t)],
+                   "duplicate transmitter in one slot");
+    is_transmitting[static_cast<std::size_t>(t)] = true;
+  }
+
+  for (const TagIndex tx : transmitters) {
+    for (const TagIndex rx : topology.neighbors(tx)) {
+      const auto r = static_cast<std::size_t>(rx);
+      if (is_transmitting[r]) continue;  // half duplex: TX cannot hear
+      if (++obs.heard_count[r] == 1) {
+        obs.decoded_from[r] = tx;
+      } else {
+        obs.decoded_from[r] = kInvalidTagIndex;  // collision destroys decode
+      }
+    }
+    if (topology.reader_hears(tx)) {
+      if (++obs.reader_heard_count == 1) {
+        obs.reader_decoded_from = tx;
+      } else {
+        obs.reader_decoded_from = kInvalidTagIndex;
+      }
+    }
+  }
+  return obs;
+}
+
+BusySense sense_busy(const net::Topology& topology,
+                     std::span<const TagIndex> transmitters) {
+  const auto n = static_cast<std::size_t>(topology.tag_count());
+  BusySense sense;
+  sense.tag_busy.assign(n, false);
+  std::vector<bool> is_transmitting(n, false);
+  for (const TagIndex t : transmitters)
+    is_transmitting[static_cast<std::size_t>(t)] = true;
+  for (const TagIndex tx : transmitters) {
+    for (const TagIndex rx : topology.neighbors(tx)) {
+      if (!is_transmitting[static_cast<std::size_t>(rx)])
+        sense.tag_busy[static_cast<std::size_t>(rx)] = true;
+    }
+    if (topology.reader_hears(tx)) sense.reader_busy = true;
+  }
+  return sense;
+}
+
+}  // namespace nettag::sim

@@ -1,0 +1,52 @@
+// Slot-synchronous broadcast channel.
+//
+// The physical layer of the paper is deliberately minimal: in each slot a
+// tag either transmits, listens, or sleeps; a listener senses BUSY when at
+// least one in-range transmitter is active (collisions merge into "busy" —
+// exactly what CCM exploits), and can DECODE a payload only when exactly one
+// neighbor transmits (what the ID-collection baselines must fight for).
+// Half duplex: a transmitting tag senses nothing in that slot (SII).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace nettag::sim {
+
+/// What every listener observed in one slot, given the transmitter set.
+struct SlotObservation {
+  /// Per tag: number of neighboring transmitters sensed (0 = idle channel).
+  /// A transmitting tag senses 0 regardless (half duplex).
+  std::vector<int> heard_count;
+
+  /// Per tag: the single neighbor whose payload was decodable, or
+  /// kInvalidTagIndex (idle, collision, or self transmitting).
+  std::vector<TagIndex> decoded_from;
+
+  /// Number of tier-1 transmitters the reader sensed in this slot.
+  int reader_heard_count = 0;
+
+  /// The single transmitter the reader decoded, or kInvalidTagIndex.
+  TagIndex reader_decoded_from = kInvalidTagIndex;
+};
+
+/// Simulates one slot: `transmitters` transmit simultaneously; everyone else
+/// listens.  Duplicate entries in `transmitters` are a caller bug.
+[[nodiscard]] SlotObservation simulate_slot(
+    const net::Topology& topology, std::span<const TagIndex> transmitters);
+
+/// Fast predicate used by wave-style frames (CCM checking frame): returns,
+/// for each tag, whether it sensed a busy channel (>= 1 neighbor
+/// transmitting), plus whether the reader sensed anything.  Cheaper than a
+/// full SlotObservation when decode identity is irrelevant.
+struct BusySense {
+  std::vector<bool> tag_busy;
+  bool reader_busy = false;
+};
+[[nodiscard]] BusySense sense_busy(const net::Topology& topology,
+                                   std::span<const TagIndex> transmitters);
+
+}  // namespace nettag::sim

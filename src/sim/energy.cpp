@@ -1,0 +1,41 @@
+#include "sim/energy.hpp"
+
+#include <algorithm>
+
+namespace nettag::sim {
+
+BitCount EnergyMeter::total_sent() const noexcept {
+  BitCount total = 0;
+  for (const auto b : sent_) total += b;
+  return total;
+}
+
+BitCount EnergyMeter::total_received() const noexcept {
+  BitCount total = 0;
+  for (const auto b : received_) total += b;
+  return total;
+}
+
+EnergySummary EnergyMeter::summarize() const {
+  EnergySummary s;
+  if (sent_.empty()) return s;
+  const auto n = static_cast<double>(sent_.size());
+  s.max_sent_bits =
+      static_cast<double>(*std::max_element(sent_.begin(), sent_.end()));
+  s.max_received_bits = static_cast<double>(
+      *std::max_element(received_.begin(), received_.end()));
+  s.avg_sent_bits = static_cast<double>(total_sent()) / n;
+  s.avg_received_bits = static_cast<double>(total_received()) / n;
+  return s;
+}
+
+void EnergyMeter::merge(const EnergyMeter& other) {
+  NETTAG_EXPECTS(other.sent_.size() == sent_.size(),
+                 "cannot merge meters of different sizes");
+  for (std::size_t i = 0; i < sent_.size(); ++i) {
+    sent_[i] += other.sent_[i];
+    received_[i] += other.received_[i];
+  }
+}
+
+}  // namespace nettag::sim

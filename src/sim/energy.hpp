@@ -1,0 +1,78 @@
+// Per-tag energy accounting.
+//
+// Energy is the paper's headline metric, measured indirectly as the number
+// of bits each tag sends and receives (SVI-A; Tables I-IV).  Listening to a
+// slot costs like receiving its bit (carrier sensing keeps the radio in RX),
+// so protocols charge one received bit per monitored slot, and the full
+// payload length for decoded messages (indicator-vector segments, IDs).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nettag::sim {
+
+/// Aggregate of the per-tag counters — one row of Tables I-IV.
+struct EnergySummary {
+  double max_sent_bits = 0.0;
+  double avg_sent_bits = 0.0;
+  double max_received_bits = 0.0;
+  double avg_received_bits = 0.0;
+};
+
+/// Counts bits sent/received for every tag of one trial.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(int tag_count) {
+    NETTAG_EXPECTS(tag_count >= 0, "tag count must be non-negative");
+    sent_.assign(static_cast<std::size_t>(tag_count), 0);
+    received_.assign(static_cast<std::size_t>(tag_count), 0);
+  }
+
+  void add_sent(TagIndex t, BitCount bits) {
+    NETTAG_EXPECTS(bits >= 0, "bit count must be non-negative");
+    sent_[checked(t)] += bits;
+  }
+
+  void add_received(TagIndex t, BitCount bits) {
+    NETTAG_EXPECTS(bits >= 0, "bit count must be non-negative");
+    received_[checked(t)] += bits;
+  }
+
+  /// Charges every tag for decoding one reader broadcast of `bits` bits.
+  void charge_broadcast(BitCount bits) {
+    NETTAG_EXPECTS(bits >= 0, "bit count must be non-negative");
+    for (auto& r : received_) r += bits;
+  }
+
+  [[nodiscard]] BitCount sent(TagIndex t) const { return sent_[checked(t)]; }
+  [[nodiscard]] BitCount received(TagIndex t) const {
+    return received_[checked(t)];
+  }
+
+  [[nodiscard]] int tag_count() const noexcept {
+    return static_cast<int>(sent_.size());
+  }
+
+  [[nodiscard]] BitCount total_sent() const noexcept;
+  [[nodiscard]] BitCount total_received() const noexcept;
+
+  /// Max/average over all tags (the paper averages over the full population).
+  [[nodiscard]] EnergySummary summarize() const;
+
+  void merge(const EnergyMeter& other);
+
+ private:
+  [[nodiscard]] std::size_t checked(TagIndex t) const {
+    NETTAG_EXPECTS(t >= 0 && static_cast<std::size_t>(t) < sent_.size(),
+                   "tag index out of range");
+    return static_cast<std::size_t>(t);
+  }
+
+  std::vector<BitCount> sent_;
+  std::vector<BitCount> received_;
+};
+
+}  // namespace nettag::sim

@@ -1,0 +1,112 @@
+// Gen2-flavoured air-interface timing.
+//
+// The paper reports execution time in slot counts because "the RFID Gen2
+// standard just specifies a time interval of each slot but does not give an
+// exact value" (SVI-B.1).  This module supplies the missing conversion as a
+// configurable profile following the EPC C1G2 / ISO 18000-63 timing
+// structure: reader symbols are PIE-coded around a base Tari, tag replies
+// are FM0/Miller-coded at the backscatter link frequency (BLF), and every
+// exchange pays the T1/T2 turnarounds.  Networked tags are active radios,
+// not backscatterers, but keeping the Gen2 parameterisation makes the
+// wall-clock numbers comparable with the RFID literature.
+#pragma once
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sim/clock.hpp"
+
+namespace nettag::sim {
+
+/// Air-interface parameters (defaults: a common mid-rate Gen2 profile).
+struct Gen2Timing {
+  /// Reference interval of reader PIE symbols, microseconds (6.25..25).
+  double tari_us = 12.5;
+
+  /// Backscatter link frequency, kHz (40..640).
+  double blf_khz = 320.0;
+
+  /// Tag-to-reader modulation: 1 = FM0, 2/4/8 = Miller subcarrier cycles.
+  int miller = 4;
+
+  /// Extended preamble (TRext): longer pilot tone, more robust decoding.
+  bool pilot_tone = true;
+
+  /// --- Derived reader-link quantities ---
+
+  /// Reader-to-tag calibration symbol, RTcal in [2.5, 3] Tari; we fix the
+  /// customary 2.75 Tari.
+  [[nodiscard]] double rtcal_us() const { return 2.75 * tari_us; }
+
+  /// Average reader data-bit time: data-0 is one Tari, data-1 is 1.5..2
+  /// Tari; balanced payloads average ~1.625 Tari.
+  [[nodiscard]] double reader_bit_us() const { return 1.625 * tari_us; }
+
+  /// --- Derived tag-link quantities ---
+
+  /// Backscatter link period T_pri = 1 / BLF, microseconds.
+  [[nodiscard]] double tpri_us() const { return 1'000.0 / blf_khz; }
+
+  /// Tag data-bit time: `miller` subcarrier cycles per bit.
+  [[nodiscard]] double tag_bit_us() const {
+    return static_cast<double>(miller) * tpri_us();
+  }
+
+  /// Tag preamble length in bits (C1G2 Table: FM0 6/18, Miller 10/22,
+  /// depending on TRext).
+  [[nodiscard]] int tag_preamble_bits() const {
+    const int base = (miller == 1) ? 6 : 10;
+    return pilot_tone ? base + 12 : base;
+  }
+
+  /// --- Turnarounds ---
+
+  /// T1: reader-to-tag turnaround, max(RTcal, 10 T_pri).
+  [[nodiscard]] double t1_us() const {
+    return std::max(rtcal_us(), 10.0 * tpri_us());
+  }
+
+  /// T2: tag-to-reader turnaround, 3..20 T_pri; we use the midpoint.
+  [[nodiscard]] double t2_us() const { return 11.5 * tpri_us(); }
+
+  /// --- Slot durations of this library's two slot kinds ---
+
+  /// t_s: a 1-bit tag slot = T1 + preamble + payload bit + end dummy + T2.
+  [[nodiscard]] double bit_slot_us() const {
+    return t1_us() + (tag_preamble_bits() + 2) * tag_bit_us() + t2_us();
+  }
+
+  /// t_id: a 96-bit slot.  Tag-originated (IDs relayed in SICP) by default;
+  /// pass reader_link = true for reader-originated segments (requests,
+  /// indicator-vector chunks) which use the PIE reader rate.
+  [[nodiscard]] double id_slot_us(bool reader_link = false) const {
+    if (reader_link) {
+      // Frame-sync (~ RTcal + Tari + delimiter 12.5 us) + 96 PIE bits + T1.
+      return 12.5 + rtcal_us() + tari_us + 96.0 * reader_bit_us() + t1_us();
+    }
+    return t1_us() + (tag_preamble_bits() + 96 + 1) * tag_bit_us() + t2_us();
+  }
+
+  /// Wall-clock seconds for a recorded slot budget.  `reader_id_slots`
+  /// selects which timing the 96-bit slots use (CCM's id-slots are reader
+  /// broadcasts; SICP's are mostly tag transmissions).
+  [[nodiscard]] double seconds(const SlotClock& clock,
+                               bool reader_id_slots) const {
+    return (static_cast<double>(clock.bit_slots()) * bit_slot_us() +
+            static_cast<double>(clock.id_slots()) *
+                id_slot_us(reader_id_slots)) *
+           1e-6;
+  }
+
+  void validate() const {
+    NETTAG_EXPECTS(tari_us >= 6.25 && tari_us <= 25.0,
+                   "Tari must be in [6.25, 25] us");
+    NETTAG_EXPECTS(blf_khz >= 40.0 && blf_khz <= 640.0,
+                   "BLF must be in [40, 640] kHz");
+    NETTAG_EXPECTS(miller == 1 || miller == 2 || miller == 4 || miller == 8,
+                   "miller must be 1, 2, 4 or 8");
+  }
+};
+
+}  // namespace nettag::sim

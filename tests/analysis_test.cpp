@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/chi.hpp"
+#include "analysis/cost_model.hpp"
+#include "analysis/geometry_model.hpp"
+#include "common/rng.hpp"
+#include "geom/disk.hpp"
+#include "geom/point.hpp"
+
+namespace nettag::analysis {
+namespace {
+
+TEST(Chi, BasicValues) {
+  EXPECT_DOUBLE_EQ(chi(0.0, 100), 0.0);
+  EXPECT_NEAR(chi(1.0, 100), 1.0, 1e-9);
+  // Saturation: far more tags than slots fills the frame.
+  EXPECT_NEAR(chi(10'000.0, 100), 100.0, 1e-6);
+  // Known closed form at n' = f: f (1 - (1-1/f)^f) ~ f (1 - 1/e).
+  EXPECT_NEAR(chi(1000.0, 1000), 1000.0 * (1.0 - std::exp(-1.0)), 1.0);
+}
+
+TEST(Chi, MonotoneAndBounded) {
+  double prev = -1.0;
+  for (double n = 0.0; n <= 5000.0; n += 250.0) {
+    const double c = chi(n, 1671);
+    EXPECT_GT(c, prev);
+    EXPECT_LE(c, 1671.0);
+    prev = c;
+  }
+}
+
+TEST(Chi, RejectsBadInput) {
+  EXPECT_THROW((void)chi(-1.0, 100), Error);
+  EXPECT_THROW((void)chi(1.0, 0), Error);
+}
+
+SystemConfig paper_config(double r) {
+  SystemConfig sys;
+  sys.tag_to_tag_range_m = r;
+  return sys;
+}
+
+TEST(GeometryModel, ReaderReachMatchesRingFormula) {
+  const SystemConfig sys = paper_config(6.0);
+  const GeometryModel geo(sys, 2, 3);
+  EXPECT_DOUBLE_EQ(geo.reader_reach(0), 0.0);
+  // |Gamma'_1| = rho * pi * r'^2.
+  EXPECT_NEAR(geo.reader_reach(1),
+              sys.density() * std::numbers::pi * 400.0, 1e-6);
+  // |Gamma'_2| = rho * pi * 26^2.
+  EXPECT_NEAR(geo.reader_reach(2),
+              sys.density() * std::numbers::pi * 676.0, 1e-6);
+  // Clipped at the deployment disk: radius 32 -> 30.
+  EXPECT_NEAR(geo.reader_reach(3),
+              sys.density() * std::numbers::pi * 900.0, 1e-6);
+}
+
+TEST(GeometryModel, TagReachInteriorDisk) {
+  // A tier-1-representative tag sits at r0 = 20 m; its 6 m disk lies fully
+  // inside the 30 m deployment, so |Gamma_1| = rho pi r^2.
+  const SystemConfig sys = paper_config(6.0);
+  const GeometryModel geo(sys, 1, 3);
+  EXPECT_DOUBLE_EQ(geo.tag_reach(0), 1.0);
+  EXPECT_NEAR(geo.tag_reach(1), sys.density() * std::numbers::pi * 36.0,
+              1e-6);
+}
+
+TEST(GeometryModel, TagReachClippedForOuterTiers) {
+  // A tier-3 tag sits at 30 m (clamped to the disk edge): roughly half its
+  // neighborhood is outside the deployment (Eq. 6's shadow zone).
+  const SystemConfig sys = paper_config(6.0);
+  const GeometryModel geo(sys, 3, 3);
+  const double full = sys.density() * std::numbers::pi * 36.0;
+  const double clipped = geo.tag_reach(1);
+  EXPECT_LT(clipped, 0.6 * full);
+  EXPECT_GT(clipped, 0.4 * full);
+}
+
+TEST(GeometryModel, UnionReachVsMonteCarlo) {
+  // Validate Eq. 10 against direct counting over a synthetic uniform cloud.
+  const SystemConfig sys = paper_config(6.0);
+  const int k = 2;
+  const GeometryModel geo(sys, k, 3);
+  const double r0 = geo.tag_distance();
+
+  Rng rng(17);
+  constexpr int kPoints = 200'000;  // dense proxy cloud
+  const double scale =
+      static_cast<double>(sys.tag_count) / static_cast<double>(kPoints);
+  for (int i = 1; i <= 2; ++i) {
+    const double tag_radius = i * sys.tag_to_tag_range_m;
+    const double reader_radius =
+        sys.tag_to_reader_range_m + (i - 1) * sys.tag_to_tag_range_m;
+    int in_union = 0;
+    for (int s = 0; s < kPoints; ++s) {
+      const geom::Point p =
+          geom::sample_disk(rng, {0, 0}, sys.disk_radius_m);
+      const bool near_tag = geom::distance(p, {r0, 0.0}) <= tag_radius;
+      const bool near_reader = geom::norm(p) <= reader_radius;
+      if (near_tag || near_reader) ++in_union;
+    }
+    const double mc = in_union * scale;
+    EXPECT_NEAR(geo.union_reach(i), mc, 0.03 * mc + 20.0) << "i = " << i;
+  }
+}
+
+TEST(GeometryModel, NewlyFoundIsNonNegativeAndBounded) {
+  const SystemConfig sys = paper_config(4.0);
+  for (int tier = 1; tier <= 4; ++tier) {
+    const GeometryModel geo(sys, tier, 4);
+    for (int i = 2; i <= 4; ++i) {
+      const double nf = geo.newly_found(i);
+      EXPECT_GE(nf, 0.0) << "tier " << tier << " i " << i;
+      // Can never exceed the whole annulus population.
+      EXPECT_LE(nf, geo.tag_reach(i - 1) + 1.0);
+    }
+  }
+}
+
+TEST(TierFraction, SumsToOne) {
+  for (const double r : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+    const SystemConfig sys = paper_config(r);
+    double total = 0.0;
+    for (int tier = 1; tier <= sys.estimated_tiers(); ++tier)
+      total += tier_fraction(sys, tier);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "r = " << r;
+  }
+}
+
+TEST(TierFraction, PaperPopulationsAtR6) {
+  // Tier 1 = (20/30)^2, tier 2 = (26^2-20^2)/30^2, tier 3 = rest.
+  const SystemConfig sys = paper_config(6.0);
+  EXPECT_NEAR(tier_fraction(sys, 1), 400.0 / 900.0, 1e-9);
+  EXPECT_NEAR(tier_fraction(sys, 2), 276.0 / 900.0, 1e-9);
+  EXPECT_NEAR(tier_fraction(sys, 3), 224.0 / 900.0, 1e-9);
+}
+
+TEST(CostModel, ExecutionTimeReproducesPaperFigure) {
+  // GMLE at r = 6: T = K (f + ceil(f/96) + L_c) = 3 * 1695 = 5085 slots,
+  // the paper's Fig. 4 reports 5076.
+  CostModelInput input;
+  input.sys = paper_config(6.0);
+  input.frame_size = 1671;
+  input.participation = 0.2657;
+  EXPECT_EQ(execution_time_slots(input), 3 * (1671 + 18 + 6));
+  // TRP at r = 6: 3 * (3228 + 34 + 6) = 9804; paper reports 9747.
+  input.frame_size = 3228;
+  input.participation = 1.0;
+  EXPECT_EQ(execution_time_slots(input), 3 * (3228 + 34 + 6));
+  EXPECT_EQ(execution_time_slots(input, /*with_requests=*/true),
+            3 * (3228 + 34 + 6 + 1));
+}
+
+TEST(CostModel, ReceiveDominatedByMonitoringAndIndicator) {
+  CostModelInput input;
+  input.sys = paper_config(6.0);
+  input.frame_size = 1671;
+  input.participation = 0.2657;
+  const TagCost avg = average_tag_cost(input);
+  // Paper Table IV: ~7.5k received bits per tag at r = 6.
+  EXPECT_GT(avg.receive_bits(), 4'000.0);
+  EXPECT_LT(avg.receive_bits(), 12'000.0);
+  // Sent bits are orders of magnitude below received bits.
+  EXPECT_LT(avg.send_bits(), 0.05 * avg.receive_bits());
+}
+
+TEST(CostModel, SendGrowsWithRange) {
+  // Table I/III: CCM sent bits increase with r (bigger Gamma_i to relay).
+  double prev = 0.0;
+  for (const double r : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+    CostModelInput input;
+    input.sys = paper_config(r);
+    input.frame_size = 3228;
+    input.participation = 1.0;
+    const double sent = average_tag_cost(input).send_bits() -
+                        average_tag_cost(input).checking_tx_slots;
+    if (prev > 0.0) {
+      EXPECT_GT(sent, 0.5 * prev) << "r = " << r;
+    }
+    prev = sent;
+  }
+}
+
+TEST(CostModel, ReceiveFallsWithRange) {
+  // Table II/IV: received bits decrease with r (fewer rounds).
+  CostModelInput small;
+  small.sys = paper_config(2.0);
+  small.frame_size = 1671;
+  small.participation = 0.2657;
+  CostModelInput large = small;
+  large.sys = paper_config(10.0);
+  EXPECT_GT(average_tag_cost(small).receive_bits(),
+            average_tag_cost(large).receive_bits());
+}
+
+TEST(CostModel, WorstTierIsOuterForSends) {
+  CostModelInput input;
+  input.sys = paper_config(6.0);
+  input.frame_size = 3228;
+  input.participation = 1.0;
+  const WorstTier worst = worst_tag_cost(input, /*by_send=*/true);
+  EXPECT_GE(worst.tier, 2);  // outer tags relay more
+  EXPECT_GE(worst.cost.send_bits(),
+            tag_cost(input, 1).send_bits());
+}
+
+TEST(CostModel, RejectsBadInput) {
+  CostModelInput input;
+  input.sys = paper_config(6.0);
+  input.frame_size = 0;
+  EXPECT_THROW((void)execution_time_slots(input), Error);
+  input.frame_size = 100;
+  input.participation = 0.0;
+  EXPECT_THROW((void)average_tag_cost(input), Error);
+  input.participation = 0.5;
+  EXPECT_THROW((void)tag_cost(input, 0), Error);
+  EXPECT_THROW((void)tag_cost(input, 99), Error);
+}
+
+}  // namespace
+}  // namespace nettag::analysis

@@ -1,0 +1,193 @@
+#include "common/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace nettag {
+namespace {
+
+TEST(Bitmap, StartsAllZero) {
+  const Bitmap b(130);
+  EXPECT_EQ(b.size(), 130);
+  EXPECT_EQ(b.count(), 0);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  for (SlotIndex i = 0; i < 130; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(Bitmap, SetTestReset) {
+  Bitmap b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3);
+}
+
+TEST(Bitmap, SetIsIdempotent) {
+  Bitmap b(10);
+  b.set(3);
+  b.set(3);
+  EXPECT_EQ(b.count(), 1);
+}
+
+TEST(Bitmap, ClearZeroesEverything) {
+  Bitmap b(200);
+  for (SlotIndex i = 0; i < 200; i += 7) b.set(i);
+  b.clear();
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.size(), 200);
+}
+
+TEST(Bitmap, OutOfRangeAccessThrows) {
+  Bitmap b(10);
+  EXPECT_THROW(b.set(10), Error);
+  EXPECT_THROW(b.set(-1), Error);
+  EXPECT_THROW((void)b.test(10), Error);
+  EXPECT_THROW(b.reset(64), Error);
+}
+
+TEST(Bitmap, SizeMismatchThrows) {
+  Bitmap a(10);
+  Bitmap b(11);
+  EXPECT_THROW(a |= b, Error);
+  EXPECT_THROW(a &= b, Error);
+  EXPECT_THROW(a.subtract(b), Error);
+  EXPECT_THROW((void)a.is_subset_of(b), Error);
+}
+
+TEST(Bitmap, OrMergesLikeCollidingTransmissions) {
+  Bitmap a(70);
+  Bitmap b(70);
+  a.set(1);
+  a.set(65);
+  b.set(65);  // "collision": both set the same slot
+  b.set(3);
+  const Bitmap merged = a | b;
+  EXPECT_EQ(merged.count(), 3);
+  EXPECT_TRUE(merged.test(1));
+  EXPECT_TRUE(merged.test(3));
+  EXPECT_TRUE(merged.test(65));
+}
+
+TEST(Bitmap, SubtractRemovesOnlySharedBits) {
+  Bitmap a(70);
+  Bitmap b(70);
+  a.set(5);
+  a.set(6);
+  b.set(6);
+  b.set(7);
+  a.subtract(b);
+  EXPECT_TRUE(a.test(5));
+  EXPECT_FALSE(a.test(6));
+  EXPECT_FALSE(a.test(7));
+}
+
+TEST(Bitmap, DifferenceDoesNotMutate) {
+  Bitmap a(10);
+  a.set(1);
+  a.set(2);
+  Bitmap b(10);
+  b.set(2);
+  const Bitmap d = a.difference(b);
+  EXPECT_TRUE(d.test(1));
+  EXPECT_FALSE(d.test(2));
+  EXPECT_TRUE(a.test(2));  // a unchanged
+}
+
+TEST(Bitmap, SubsetAndIntersects) {
+  Bitmap small(128);
+  small.set(100);
+  Bitmap big(128);
+  big.set(100);
+  big.set(5);
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.intersects(big));
+  Bitmap other(128);
+  other.set(6);
+  EXPECT_FALSE(small.intersects(other));
+  EXPECT_TRUE(Bitmap(128).is_subset_of(small));  // empty set
+}
+
+TEST(Bitmap, ForEachSetVisitsAscending) {
+  Bitmap b(300);
+  const std::set<SlotIndex> expected{0, 63, 64, 127, 128, 255, 299};
+  for (const SlotIndex s : expected) b.set(s);
+  std::vector<SlotIndex> seen;
+  b.for_each_set([&seen](SlotIndex s) { seen.push_back(s); });
+  EXPECT_EQ(seen, std::vector<SlotIndex>(expected.begin(), expected.end()));
+  EXPECT_EQ(b.set_bits(), seen);
+}
+
+TEST(Bitmap, EqualityComparesContent) {
+  Bitmap a(50);
+  Bitmap b(50);
+  EXPECT_EQ(a, b);
+  a.set(17);
+  EXPECT_NE(a, b);
+  b.set(17);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bitmap, UnionCountMatchesMaterializedUnion) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FrameSize f = 1 + static_cast<FrameSize>(rng.below(500));
+    Bitmap a(f);
+    Bitmap b(f);
+    Bitmap c(f);
+    for (int i = 0; i < f / 3; ++i) {
+      a.set(static_cast<SlotIndex>(rng.below(static_cast<std::uint64_t>(f))));
+      b.set(static_cast<SlotIndex>(rng.below(static_cast<std::uint64_t>(f))));
+      c.set(static_cast<SlotIndex>(rng.below(static_cast<std::uint64_t>(f))));
+    }
+    const Bitmap u = a | b | c;
+    EXPECT_EQ(union_count(a, b, c), u.count());
+  }
+}
+
+// Property: OR is commutative, associative, idempotent — the algebra the
+// multi-round merge (Alg. 1 line 13, Eq. 1) relies on.
+TEST(Bitmap, OrAlgebraProperties) {
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    const FrameSize f = 64 + static_cast<FrameSize>(rng.below(256));
+    auto random_bitmap = [&rng, f] {
+      Bitmap b(f);
+      for (int i = 0; i < f / 4; ++i)
+        b.set(static_cast<SlotIndex>(rng.below(static_cast<std::uint64_t>(f))));
+      return b;
+    };
+    const Bitmap a = random_bitmap();
+    const Bitmap b = random_bitmap();
+    const Bitmap c = random_bitmap();
+    EXPECT_EQ(a | b, b | a);
+    EXPECT_EQ((a | b) | c, a | (b | c));
+    EXPECT_EQ(a | a, a);
+    EXPECT_TRUE(a.is_subset_of(a | b));
+  }
+}
+
+TEST(Bitmap, EmptyBitmapIsLegal) {
+  const Bitmap b(0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0);
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitmap, NegativeSizeThrows) { EXPECT_THROW(Bitmap(-1), Error); }
+
+}  // namespace
+}  // namespace nettag

@@ -1,0 +1,123 @@
+// Ablations of CCM's two control mechanisms (SIII-D, SIII-E): correctness
+// must survive disabling them; cost must not.
+#include <gtest/gtest.h>
+
+#include "ccm/session.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+#include "test_util.hpp"
+
+namespace nettag::ccm {
+namespace {
+
+using test::ground_truth_bitmap;
+
+net::Topology small_disk_topology() {
+  SystemConfig sys;
+  sys.tag_count = 600;
+  sys.tag_to_tag_range_m = 7.0;
+  Rng rng(17);
+  return net::Topology(
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys), sys);
+}
+
+CcmConfig base_config(const net::Topology& topo) {
+  CcmConfig cfg;
+  cfg.frame_size = 512;
+  cfg.request_seed = 11;
+  cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+  return cfg;
+}
+
+TEST(IndicatorVectorAblation, BitmapStaysCorrectWithoutIt) {
+  const net::Topology topo = small_disk_topology();
+  const HashedSlotSelector selector(0.5);
+  CcmConfig cfg = base_config(topo);
+  cfg.use_indicator_vector = false;
+  // Without V the outward flood takes ~the graph diameter to drain, which
+  // can far exceed the tier count.
+  cfg.max_rounds = 6 * topo.tier_count() + 10;
+  const SessionResult session = run_session(topo, cfg, selector);
+  ASSERT_TRUE(session.completed);
+  EXPECT_EQ(session.bitmap,
+            ground_truth_bitmap(topo, selector, 11, 512));
+}
+
+TEST(IndicatorVectorAblation, FloodingCostsMoreTransmissions) {
+  // The "rolling snowball" (SIII-D): without V, inner-tier information fans
+  // outward and every tag relays far more slots.
+  const net::Topology topo = small_disk_topology();
+  const HashedSlotSelector selector(0.5);
+
+  sim::EnergyMeter with_v(topo.tag_count());
+  CcmConfig cfg_on = base_config(topo);
+  cfg_on.max_rounds = 6 * topo.tier_count() + 10;
+  const SessionResult on = run_session(topo, cfg_on, selector, with_v);
+
+  sim::EnergyMeter without_v(topo.tag_count());
+  CcmConfig cfg_off = cfg_on;
+  cfg_off.use_indicator_vector = false;
+  const SessionResult off = run_session(topo, cfg_off, selector, without_v);
+
+  ASSERT_TRUE(on.completed);
+  ASSERT_TRUE(off.completed);
+  EXPECT_GT(without_v.total_sent(), 2 * with_v.total_sent());
+}
+
+TEST(CheckingFrameAblation, WithoutItSessionRunsFullBudget) {
+  const auto line = net::make_line(3);
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg;
+  cfg.frame_size = 64;
+  cfg.request_seed = 4;
+  cfg.checking_frame_length = 10;
+  cfg.use_checking_frame = false;
+  cfg.max_rounds = 9;  // deliberately larger than the 3 needed
+  const SessionResult session = run_session(line, cfg, selector);
+  EXPECT_EQ(session.rounds, 9);
+  EXPECT_TRUE(session.completed);
+  EXPECT_EQ(session.bitmap, ground_truth_bitmap(line, selector, 4, 64));
+  // No checking slots were spent...
+  for (const auto& tr : session.round_trace)
+    EXPECT_EQ(tr.checking_slots_used, 0);
+  // ...but the blind rounds cost full frames: 9 * 64 bit slots.
+  EXPECT_EQ(session.clock.bit_slots(), 9 * 64);
+}
+
+TEST(CheckingFrameAblation, EarlyExitBeatsFixedBudget) {
+  const net::Topology topo = small_disk_topology();
+  const HashedSlotSelector selector(1.0);
+
+  CcmConfig with_check = base_config(topo);
+  with_check.max_rounds = topo.tier_count() + 6;
+  const SessionResult a = run_session(topo, with_check, selector);
+
+  CcmConfig without_check = with_check;
+  without_check.use_checking_frame = false;
+  const SessionResult b = run_session(topo, without_check, selector);
+
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.bitmap, b.bitmap);
+  EXPECT_LT(a.rounds, b.rounds);
+  EXPECT_LT(a.clock.total_slots(), b.clock.total_slots());
+}
+
+TEST(Ablation, BothDisabledStillCorrect) {
+  const auto tree = net::make_binary_tree(4);
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg;
+  cfg.frame_size = 128;
+  cfg.request_seed = 8;
+  cfg.checking_frame_length = 12;
+  cfg.use_indicator_vector = false;
+  cfg.use_checking_frame = false;
+  cfg.max_rounds = 8;
+  const SessionResult session = run_session(tree, cfg, selector);
+  ASSERT_TRUE(session.completed);
+  EXPECT_EQ(session.bitmap, ground_truth_bitmap(tree, selector, 8, 128));
+}
+
+}  // namespace
+}  // namespace nettag::ccm

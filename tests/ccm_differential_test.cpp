@@ -1,0 +1,188 @@
+// Differential testing of the CCM engine.
+//
+// The production engine (ccm::run_session) is optimised: sparse relay
+// propagation, incremental `known` bitmaps, O(words) listening accounting.
+// This file re-implements Alg. 1 as a deliberately naive, slot-by-slot
+// reference — sets of (tag, slot) pairs, no incremental state, quadratic
+// everything — and checks both produce the same bitmap, round count and
+// per-round reader progress across random graphs and parameters.  Any
+// optimisation bug in the engine must disagree with the reference
+// somewhere in this sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "ccm/session.hpp"
+#include "net/topology_builders.hpp"
+
+namespace nettag::ccm {
+namespace {
+
+struct ReferenceResult {
+  Bitmap bitmap;
+  int rounds = 0;
+  std::vector<int> new_bits_per_round;
+};
+
+/// Naive Alg. 1: explicit per-tag sets, full re-derivation every round.
+ReferenceResult reference_session(const net::Topology& topo,
+                                  const CcmConfig& cfg,
+                                  const SlotSelector& selector) {
+  const int n = topo.tag_count();
+  const FrameSize f = cfg.frame_size;
+
+  std::vector<std::set<SlotIndex>> known(static_cast<std::size_t>(n));
+  std::vector<std::set<SlotIndex>> pending(static_cast<std::size_t>(n));
+  std::set<SlotIndex> silenced;
+  std::set<SlotIndex> reader_bits;
+
+  ReferenceResult result;
+  result.bitmap = Bitmap(f);
+
+  for (int round = 1; round <= cfg.round_budget(); ++round) {
+    // Decide transmissions.
+    std::vector<std::set<SlotIndex>> tx(static_cast<std::size_t>(n));
+    for (TagIndex t = 0; t < n; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      if (!topo.reader_covers(t)) continue;
+      if (round == 1) {
+        for (const SlotIndex s :
+             selector.pick(topo.id_of(t), cfg.request_seed, f)) {
+          if (!known[i].count(s)) {
+            tx[i].insert(s);
+            known[i].insert(s);
+          }
+        }
+      } else {
+        for (const SlotIndex s : pending[i]) {
+          if (!silenced.count(s)) tx[i].insert(s);
+        }
+        pending[i].clear();
+      }
+    }
+    // Propagate: every listener that does not know a slot hears it.
+    std::vector<std::set<SlotIndex>> heard(static_cast<std::size_t>(n));
+    for (TagIndex u = 0; u < n; ++u) {
+      for (const SlotIndex s : tx[static_cast<std::size_t>(u)]) {
+        for (const TagIndex v : topo.neighbors(u)) {
+          const auto iv = static_cast<std::size_t>(v);
+          if (!topo.reader_covers(v)) continue;
+          if (!known[iv].count(s)) heard[iv].insert(s);
+        }
+        if (topo.reader_hears(u)) reader_bits.insert(s);
+      }
+    }
+    for (TagIndex t = 0; t < n; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      for (const SlotIndex s : heard[i]) known[i].insert(s);
+    }
+    // Reader folds V; tags learn it.
+    int fresh = 0;
+    for (const SlotIndex s : reader_bits) {
+      if (!result.bitmap.test(s)) {
+        result.bitmap.set(s);
+        ++fresh;
+      }
+      if (cfg.use_indicator_vector) silenced.insert(s);
+    }
+    result.new_bits_per_round.push_back(fresh);
+    if (cfg.use_indicator_vector) {
+      for (TagIndex t = 0; t < n; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        for (const SlotIndex s : silenced) known[i].insert(s);
+      }
+    }
+    // Next-round queues.
+    for (TagIndex t = 0; t < n; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      for (const SlotIndex s : heard[i]) {
+        if (!silenced.count(s)) pending[i].insert(s);
+      }
+    }
+    ++result.rounds;
+    if (cfg.use_checking_frame) {
+      // Abstract checking frame: the reader continues iff any covered,
+      // READER-CONNECTED tag still has pending data (the wave reaches it
+      // within L_c slots by construction when L_c >= tier depth).
+      bool any = false;
+      for (TagIndex t = 0; t < n; ++t) {
+        if (topo.tier(t) == net::kUnreachable) continue;
+        if (!pending[static_cast<std::size_t>(t)].empty()) any = true;
+      }
+      if (!any) break;
+    }
+  }
+  return result;
+}
+
+TEST(Differential, EngineMatchesReferenceOnRandomGraphs) {
+  Rng rng(20'260'704);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 10 + static_cast<int>(rng.below(60));
+    const int extra = static_cast<int>(rng.below(80));
+    const int gateways = 1 + static_cast<int>(rng.below(4));
+    const net::Topology topo =
+        net::make_random_connected(n, extra, gateways, rng);
+
+    CcmConfig cfg;
+    cfg.frame_size = 16 + static_cast<FrameSize>(rng.below(200));
+    cfg.request_seed = rng();
+    cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+    cfg.max_rounds = topo.tier_count() + 2;
+    const double p = 0.2 + 0.8 * rng.uniform01();
+    const HashedSlotSelector selector(p);
+
+    const SessionResult engine = run_session(topo, cfg, selector);
+    const ReferenceResult reference = reference_session(topo, cfg, selector);
+
+    ASSERT_EQ(engine.bitmap, reference.bitmap)
+        << "trial " << trial << " n=" << n << " f=" << cfg.frame_size;
+    ASSERT_EQ(engine.rounds, reference.rounds) << "trial " << trial;
+    for (int r = 0; r < engine.rounds; ++r) {
+      ASSERT_EQ(engine.round_trace[static_cast<std::size_t>(r)].new_reader_bits,
+                reference.new_bits_per_round[static_cast<std::size_t>(r)])
+          << "trial " << trial << " round " << r + 1;
+    }
+  }
+}
+
+TEST(Differential, AgreesWithIndicatorVectorDisabled) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const net::Topology topo = net::make_random_connected(
+        10 + static_cast<int>(rng.below(30)), 20, 2, rng);
+    CcmConfig cfg;
+    cfg.frame_size = 64;
+    cfg.request_seed = rng();
+    cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+    cfg.use_indicator_vector = false;
+    cfg.max_rounds = 6 * topo.tier_count() + 10;  // flooding drain time
+    const HashedSlotSelector selector(1.0);
+    const SessionResult engine = run_session(topo, cfg, selector);
+    const ReferenceResult reference = reference_session(topo, cfg, selector);
+    ASSERT_EQ(engine.bitmap, reference.bitmap) << "trial " << trial;
+    ASSERT_EQ(engine.rounds, reference.rounds) << "trial " << trial;
+  }
+}
+
+TEST(Differential, AgreesOnMultiSlotSelectors) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const net::Topology topo = net::make_random_connected(
+        15 + static_cast<int>(rng.below(40)), 30, 3, rng);
+    CcmConfig cfg;
+    cfg.frame_size = 256;
+    cfg.request_seed = rng();
+    cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+    cfg.max_rounds = topo.tier_count() + 2;
+    const MultiSlotSelector selector(3);
+    const SessionResult engine = run_session(topo, cfg, selector);
+    const ReferenceResult reference = reference_session(topo, cfg, selector);
+    ASSERT_EQ(engine.bitmap, reference.bitmap) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace nettag::ccm

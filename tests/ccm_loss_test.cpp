@@ -1,0 +1,136 @@
+// Failure injection: CCM under an unreliable channel (extension; the paper
+// assumes reliable links).  Losses only erase receptions, so the collected
+// bitmap must remain a SUBSET of the truth; completeness degrades gracefully
+// with the loss rate and recovers with relay redundancy.
+#include <gtest/gtest.h>
+
+#include "ccm/session.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+#include "test_util.hpp"
+
+namespace nettag::ccm {
+namespace {
+
+using test::ground_truth_bitmap;
+
+CcmConfig lossy_config(const net::Topology& topo, double loss, Seed seed) {
+  CcmConfig cfg;
+  cfg.frame_size = 512;
+  cfg.request_seed = 9;
+  cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+  cfg.link_loss_probability = loss;
+  cfg.loss_seed = seed;
+  return cfg;
+}
+
+TEST(CcmLoss, ZeroLossIsBitIdenticalToReliableRun) {
+  const auto topo = net::make_layered(3, 8);
+  const HashedSlotSelector selector(1.0);
+  const CcmConfig reliable = lossy_config(topo, 0.0, 1);
+  CcmConfig also_reliable = reliable;
+  also_reliable.loss_seed = 999;  // must not matter at loss = 0
+  const auto a = run_session(topo, reliable, selector);
+  const auto b = run_session(topo, also_reliable, selector);
+  EXPECT_EQ(a.bitmap, b.bitmap);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.bitmap, ground_truth_bitmap(topo, selector, 9, 512));
+}
+
+TEST(CcmLoss, BitmapNeverExceedsTruth) {
+  // Soundness under arbitrary loss: no busy bit can appear from nowhere.
+  Rng rng(4);
+  for (const double loss : {0.05, 0.2, 0.5, 0.9}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto topo = net::make_random_connected(60, 40, 3, rng);
+      const HashedSlotSelector selector(1.0);
+      const CcmConfig cfg =
+          lossy_config(topo, loss, static_cast<Seed>(trial) + 1);
+      const auto session = run_session(topo, cfg, selector);
+      EXPECT_TRUE(session.bitmap.is_subset_of(
+          ground_truth_bitmap(topo, selector, 9, 512)))
+          << "loss " << loss << " trial " << trial;
+    }
+  }
+}
+
+TEST(CcmLoss, CompletenessDegradesMonotonically) {
+  SystemConfig sys;
+  sys.tag_count = 800;
+  sys.tag_to_tag_range_m = 7.0;
+  Rng rng(11);
+  const net::Topology topo(
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys), sys);
+  const HashedSlotSelector selector(1.0);
+  const Bitmap truth = ground_truth_bitmap(topo, selector, 9, 512);
+
+  double prev_fraction = 1.1;
+  for (const double loss : {0.0, 0.3, 0.7}) {
+    double delivered = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+      CcmConfig cfg = lossy_config(topo, loss, static_cast<Seed>(trial) + 7);
+      cfg.max_rounds = topo.tier_count() + 4;
+      const auto session = run_session(topo, cfg, selector);
+      delivered += static_cast<double>((session.bitmap & truth).count());
+    }
+    const double fraction = delivered / (3.0 * truth.count());
+    EXPECT_LE(fraction, prev_fraction + 0.02) << "loss " << loss;
+    prev_fraction = fraction;
+  }
+  // Even at 70 % loss the dense neighborhood redundancy keeps a good share.
+  EXPECT_GT(prev_fraction, 0.3);
+}
+
+TEST(CcmLoss, DenseRedundancyMasksModerateLoss) {
+  // With hundreds of relays per slot, 10 % per-reception loss should barely
+  // dent completeness (every busy slot has many chances to get through).
+  SystemConfig sys;
+  sys.tag_count = 1'000;
+  sys.tag_to_tag_range_m = 8.0;
+  Rng rng(13);
+  const net::Topology topo(
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys), sys);
+  const HashedSlotSelector selector(1.0);
+  const Bitmap truth = ground_truth_bitmap(topo, selector, 9, 512);
+  CcmConfig cfg = lossy_config(topo, 0.10, 21);
+  cfg.max_rounds = topo.tier_count() + 4;
+  const auto session = run_session(topo, cfg, selector);
+  EXPECT_GE(session.bitmap.count(), truth.count() * 97 / 100);
+}
+
+TEST(CcmLoss, LineIsFragile) {
+  // A 1-wide chain has zero redundancy: the deepest tag's bit must survive
+  // every hop, so even moderate loss visibly hurts — the redundancy
+  // contrast to the dense case above.
+  const auto line = net::make_line(10);
+  const HashedSlotSelector selector(1.0);
+  int delivered = 0;
+  int trials = 0;
+  for (Seed s = 1; s <= 30; ++s) {
+    CcmConfig cfg = lossy_config(line, 0.15, s);
+    cfg.max_rounds = 30;
+    cfg.checking_frame_length = 40;
+    const auto session = run_session(line, cfg, selector);
+    const Bitmap truth = ground_truth_bitmap(line, selector, 9, 512);
+    delivered += session.bitmap.count();
+    trials += truth.count();
+  }
+  EXPECT_LT(delivered, trials);  // some bits were genuinely lost
+  // A lost checking-frame response can also end the session early, so the
+  // chain suffers both per-hop erasure and premature termination.
+  EXPECT_GT(delivered, trials / 6);
+}
+
+TEST(CcmLoss, InvalidLossRejected) {
+  const auto star = net::make_star(2);
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg = lossy_config(star, 0.0, 1);
+  cfg.link_loss_probability = 1.0;
+  EXPECT_THROW((void)run_session(star, cfg, selector), Error);
+  cfg.link_loss_probability = -0.1;
+  EXPECT_THROW((void)run_session(star, cfg, selector), Error);
+}
+
+}  // namespace
+}  // namespace nettag::ccm

@@ -1,0 +1,235 @@
+#include "ccm/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology_builders.hpp"
+#include "test_util.hpp"
+
+namespace nettag::ccm {
+namespace {
+
+using net::make_line;
+using net::make_star;
+using test::FixedSlotSelector;
+using test::ground_truth_bitmap;
+
+CcmConfig config_for(const net::Topology& topo, FrameSize f) {
+  CcmConfig cfg;
+  cfg.frame_size = f;
+  cfg.request_seed = 99;
+  // Generous budget: synthetic topologies can be deeper than any geometric
+  // deployment, so derive L_c from the actual tier count.
+  cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+  return cfg;
+}
+
+TEST(CcmSession, StarCollectsEverythingInOneRound) {
+  const auto star = make_star(10);
+  const HashedSlotSelector selector(1.0);
+  const CcmConfig cfg = config_for(star, 64);
+  const SessionResult result = run_session(star, cfg, selector);
+  EXPECT_EQ(result.rounds, 1);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.bitmap, ground_truth_bitmap(star, selector, 99, 64));
+}
+
+TEST(CcmSession, LineDeliversTierByTier) {
+  // Tags 0..4 at tiers 1..5, each picking a distinct slot.
+  const auto line = make_line(5);
+  std::map<TagId, std::vector<SlotIndex>> picks;
+  for (TagIndex t = 0; t < 5; ++t)
+    picks[line.id_of(t)] = {static_cast<SlotIndex>(10 + t)};
+  const FixedSlotSelector selector(picks);
+  const CcmConfig cfg = config_for(line, 32);
+  const SessionResult result = run_session(line, cfg, selector);
+
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 5);  // tier-5 data needs exactly 5 rounds
+  EXPECT_EQ(result.bitmap, ground_truth_bitmap(line, selector, 0, 32));
+  // Tier-k's bit arrives exactly at round k (SIII-C).
+  ASSERT_EQ(result.round_trace.size(), 5u);
+  for (int k = 0; k < 5; ++k)
+    EXPECT_EQ(result.round_trace[static_cast<std::size_t>(k)].new_reader_bits,
+              1)
+        << "round " << k + 1;
+}
+
+TEST(CcmSession, IndicatorVectorStopsOutwardFlooding) {
+  // Line of 3 with distinct slots: after round 1 the reader knows tag 0's
+  // slot and silences it, so tag 1 must NOT relay it in round 2; it only
+  // relays tag 2's slot.
+  const auto line = make_line(3);
+  const FixedSlotSelector selector({{line.id_of(0), {1}},
+                                    {line.id_of(1), {2}},
+                                    {line.id_of(2), {3}}});
+  const CcmConfig cfg = config_for(line, 8);
+  sim::EnergyMeter energy(3);
+  const SessionResult result = run_session(line, cfg, selector, energy);
+  EXPECT_TRUE(result.completed);
+  ASSERT_EQ(result.round_trace.size(), 3u);
+  // Round 2: tag0 relays slot 2, tag1 relays slot 3, tag2 relays slot 2
+  // (heard from tag1; the reader has not decoded it yet).  Tag1 does NOT
+  // relay slot 1 — V silenced it after round 1.  Exactly 3 transmissions.
+  EXPECT_EQ(result.round_trace[1].relay_transmissions, 3);
+  // Round 3: only tag0 relays slot 3 (tag1 served it already; slot 2 is now
+  // silenced; tag2's own pick was slot 3, so nothing is pending there).
+  EXPECT_EQ(result.round_trace[2].relay_transmissions, 1);
+  // One new reader bit per round: tiers deliver strictly inward.
+  for (const auto& tr : result.round_trace)
+    EXPECT_EQ(tr.new_reader_bits, 1) << "round " << tr.round;
+}
+
+TEST(CcmSession, SameSlotPicksMergeBenignly) {
+  // Tags 1 and 2 share a slot; the union bitmap must still be exact and the
+  // session must still terminate (SIII-C's half-duplex discussion).
+  const auto line = make_line(3);
+  const FixedSlotSelector selector({{line.id_of(0), {4}},
+                                    {line.id_of(1), {6}},
+                                    {line.id_of(2), {6}}});
+  const CcmConfig cfg = config_for(line, 8);
+  const SessionResult result = run_session(line, cfg, selector);
+  EXPECT_TRUE(result.completed);
+  Bitmap expected(8);
+  expected.set(4);
+  expected.set(6);
+  EXPECT_EQ(result.bitmap, expected);
+}
+
+TEST(CcmSession, NonParticipantsStaySilent) {
+  const auto star = make_star(5);
+  const HashedSlotSelector nobody(0.0);
+  const CcmConfig cfg = config_for(star, 16);
+  sim::EnergyMeter energy(5);
+  const SessionResult result = run_session(star, cfg, nobody, energy);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.bitmap.none());
+  EXPECT_EQ(result.rounds, 1);
+  for (TagIndex t = 0; t < 5; ++t) EXPECT_EQ(energy.sent(t), 0);
+}
+
+TEST(CcmSession, RoundBudgetTooSmallReportsIncomplete) {
+  const auto line = make_line(6);
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg = config_for(line, 64);
+  cfg.max_rounds = 3;  // tier-6 data needs 6 rounds
+  const SessionResult result = run_session(line, cfg, selector);
+  EXPECT_EQ(result.rounds, 3);
+  EXPECT_FALSE(result.completed);
+  EXPECT_NE(result.bitmap, ground_truth_bitmap(line, selector, 99, 64));
+}
+
+TEST(CcmSession, UncoveredTagsTakeNoPart) {
+  // Explicit topology where tag 2 is outside the reader's broadcast.
+  const std::vector<std::vector<TagIndex>> adj{{1}, {0, 2}, {1}};
+  const net::Topology topo({1, 2, 3}, adj, {true, false, false},
+                           {true, true, false});
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg;
+  cfg.frame_size = 64;
+  cfg.request_seed = 5;
+  cfg.checking_frame_length = 8;
+  sim::EnergyMeter energy(3);
+  const SessionResult result = run_session(topo, cfg, selector, energy);
+  EXPECT_EQ(energy.sent(2), 0);
+  EXPECT_EQ(energy.received(2), 0);
+  // Tag 2's slot must be absent unless tags 0/1 picked it too.
+  Bitmap expected(64);
+  expected.set(slot_pick(1, 5, 64));
+  expected.set(slot_pick(2, 5, 64));
+  EXPECT_EQ(result.bitmap, expected);
+}
+
+TEST(CcmSession, DisconnectedComponentNeverReachesReader) {
+  // Two tags adjacent to each other but neither heard by the reader.
+  const std::vector<std::vector<TagIndex>> adj{{}, {2}, {1}};
+  const net::Topology topo({1, 2, 3}, adj, {true, false, false}, {});
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg;
+  cfg.frame_size = 64;
+  cfg.request_seed = 5;
+  cfg.checking_frame_length = 8;
+  const SessionResult result = run_session(topo, cfg, selector);
+  Bitmap expected(64);
+  expected.set(slot_pick(1, 5, 64));  // only the reachable tag's bit
+  EXPECT_EQ(result.bitmap, expected);
+  EXPECT_TRUE(result.completed);  // unreachable pendings don't count
+}
+
+TEST(CcmSession, EnergyConservation) {
+  // Total sent bits = frame relays + checking responses, per the meter.
+  const auto line = make_line(4);
+  const HashedSlotSelector selector(1.0);
+  const CcmConfig cfg = config_for(line, 128);
+  sim::EnergyMeter energy(4);
+  const SessionResult result = run_session(line, cfg, selector, energy);
+  SlotCount relays = 0;
+  for (const auto& tr : result.round_trace) relays += tr.relay_transmissions;
+  BitCount checking_responses = energy.total_sent() - relays;
+  EXPECT_GE(checking_responses, 0);
+  // At most one checking response per tag per round.
+  EXPECT_LE(checking_responses,
+            static_cast<BitCount>(result.rounds) * line.tag_count());
+}
+
+TEST(CcmSession, TimeAccountingMatchesStructure) {
+  const auto star = make_star(6);
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg = config_for(star, 200);
+  const SessionResult result = run_session(star, cfg, selector);
+  ASSERT_EQ(result.rounds, 1);
+  const SlotCount segments = (200 + 95) / 96;  // 3
+  // bit slots: frame (200) + checking slots used.
+  EXPECT_EQ(result.clock.bit_slots(),
+            200 + result.round_trace[0].checking_slots_used);
+  // id slots: request (1) + indicator segments (3).
+  EXPECT_EQ(result.clock.id_slots(), 1 + segments);
+  // One silent full checking frame ended the session.
+  EXPECT_EQ(result.round_trace[0].checking_slots_used,
+            cfg.checking_frame_length);
+  EXPECT_FALSE(result.round_trace[0].reader_saw_pending);
+}
+
+TEST(CcmSession, EmptyTopology) {
+  const net::Topology topo({}, {}, {}, {});
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg;
+  cfg.frame_size = 16;
+  cfg.checking_frame_length = 4;
+  const SessionResult result = run_session(topo, cfg, selector);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 0);
+  EXPECT_TRUE(result.bitmap.none());
+}
+
+TEST(CcmSession, InvalidConfigThrows) {
+  const auto star = make_star(2);
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg;  // frame_size = 0
+  cfg.checking_frame_length = 4;
+  EXPECT_THROW((void)run_session(star, cfg, selector), Error);
+  cfg.frame_size = 8;
+  cfg.checking_frame_length = 1;  // too short
+  EXPECT_THROW((void)run_session(star, cfg, selector), Error);
+}
+
+TEST(CcmSession, MeterSizeMismatchThrows) {
+  const auto star = make_star(3);
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg = config_for(star, 8);
+  sim::EnergyMeter wrong(2);
+  EXPECT_THROW((void)run_session(star, cfg, selector, wrong), Error);
+}
+
+TEST(CcmSession, MultiSlotPicksAllDelivered) {
+  const auto line = make_line(4);
+  const MultiSlotSelector selector(3);
+  const CcmConfig cfg = config_for(line, 256);
+  const SessionResult result = run_session(line, cfg, selector);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.bitmap, ground_truth_bitmap(line, selector, 99, 256));
+  EXPECT_LE(result.bitmap.count(), 12);
+  EXPECT_GE(result.bitmap.count(), 1);
+}
+
+}  // namespace
+}  // namespace nettag::ccm

@@ -1,0 +1,134 @@
+// Theorem 1 (SIV-B): the status bitmap a reader collects through CCM in a
+// networked tag system is identical to the bitmap of a traditional RFID
+// system holding the same tags.  This is THE correctness property of the
+// whole model; we sweep it across topology families, frame sizes,
+// participation probabilities and seeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ccm/session.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+#include "test_util.hpp"
+
+namespace nettag::ccm {
+namespace {
+
+using test::ground_truth_bitmap;
+
+struct Theorem1Case {
+  std::string name;
+  FrameSize frame_size;
+  double participation;
+  Seed seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Theorem1Case>& info) {
+  std::string p = std::to_string(static_cast<int>(info.param.participation *
+                                                  100.0));
+  return info.param.name + "_f" + std::to_string(info.param.frame_size) +
+         "_p" + p + "_s" + std::to_string(info.param.seed);
+}
+
+net::Topology build(const std::string& name) {
+  Rng rng(4242);
+  if (name == "line") return net::make_line(12);
+  if (name == "ring") return net::make_ring(15, 2);
+  if (name == "layered") return net::make_layered(4, 6);
+  if (name == "tree") return net::make_binary_tree(5);
+  if (name == "random") return net::make_random_connected(80, 40, 4, rng);
+  if (name == "star") return net::make_star(30);
+  throw Error("unknown topology: " + name);
+}
+
+class Theorem1 : public ::testing::TestWithParam<Theorem1Case> {};
+
+TEST_P(Theorem1, NetworkedBitmapEqualsTraditional) {
+  const auto& param = GetParam();
+  const net::Topology topology = build(param.name);
+  const HashedSlotSelector selector(param.participation);
+
+  CcmConfig cfg;
+  cfg.frame_size = param.frame_size;
+  cfg.request_seed = param.seed;
+  cfg.checking_frame_length = 2 * (topology.tier_count() + 1);
+
+  const SessionResult session = run_session(topology, cfg, selector);
+  ASSERT_TRUE(session.completed);
+  EXPECT_EQ(session.bitmap, ground_truth_bitmap(topology, selector,
+                                                param.seed, param.frame_size));
+  // Rounds never exceed the tier count: information moves one tier per
+  // round and nothing deeper exists.
+  EXPECT_LE(session.rounds, topology.tier_count() + 1);
+}
+
+std::vector<Theorem1Case> make_cases() {
+  std::vector<Theorem1Case> cases;
+  for (const char* name : {"line", "ring", "layered", "tree", "random",
+                           "star"}) {
+    for (const FrameSize f : {16, 128, 1671}) {
+      for (const double p : {0.25, 1.0}) {
+        for (const Seed s : {Seed{1}, Seed{77}}) {
+          cases.push_back({name, f, p, s});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, Theorem1,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+// The same property on a geometric deployment — the exact setting of the
+// paper's evaluation, scaled down for test speed.
+TEST(Theorem1Geometric, DiskDeployment) {
+  SystemConfig sys;
+  sys.tag_count = 1500;
+  sys.tag_to_tag_range_m = 6.0;
+  Rng rng(99);
+  const net::Deployment deployment =
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+  const net::Topology topology(deployment, sys);
+  ASSERT_GT(topology.tag_count(), 1000);
+
+  const HashedSlotSelector selector(0.4);
+  CcmConfig cfg;
+  cfg.frame_size = 512;
+  cfg.request_seed = 2026;
+  cfg.apply_geometry(sys);
+  cfg.max_rounds = topology.tier_count() + 4;  // BFS depth can beat L_c
+
+  const SessionResult session = run_session(topology, cfg, selector);
+  ASSERT_TRUE(session.completed);
+  EXPECT_EQ(session.bitmap,
+            ground_truth_bitmap(topology, selector, 2026, 512));
+}
+
+// Rounds equal exactly the deepest tier holding a participant whose slot is
+// not covered by an inner tag (upper bound: tier count).
+TEST(Theorem1Geometric, RoundsBoundedByTiers) {
+  SystemConfig sys;
+  sys.tag_count = 800;
+  sys.tag_to_tag_range_m = 8.0;
+  Rng rng(5);
+  const net::Deployment deployment =
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+  const net::Topology topology(deployment, sys);
+  const HashedSlotSelector selector(1.0);
+  CcmConfig cfg;
+  cfg.frame_size = 2048;
+  cfg.request_seed = 3;
+  cfg.apply_geometry(sys);
+  cfg.max_rounds = topology.tier_count() + 4;
+  const SessionResult session = run_session(topology, cfg, selector);
+  ASSERT_TRUE(session.completed);
+  EXPECT_LE(session.rounds, topology.tier_count() + 1);
+  EXPECT_GE(session.rounds, topology.tier_count());
+}
+
+}  // namespace
+}  // namespace nettag::ccm

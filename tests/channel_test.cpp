@@ -1,0 +1,99 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology_builders.hpp"
+
+namespace nettag::sim {
+namespace {
+
+using net::make_line;
+using net::make_star;
+
+TEST(Channel, SingleTransmitterDecodedByNeighbors) {
+  const auto line = make_line(3);  // 0 - 1 - 2
+  const std::vector<TagIndex> tx{1};
+  const SlotObservation obs = simulate_slot(line, tx);
+  EXPECT_EQ(obs.heard_count[0], 1);
+  EXPECT_EQ(obs.decoded_from[0], 1);
+  EXPECT_EQ(obs.heard_count[2], 1);
+  EXPECT_EQ(obs.decoded_from[2], 1);
+  EXPECT_EQ(obs.heard_count[1], 0);  // transmitter hears nothing
+  EXPECT_EQ(obs.decoded_from[1], kInvalidTagIndex);
+}
+
+TEST(Channel, CollisionDestroysDecodeButStaysBusy) {
+  const auto line = make_line(3);
+  const std::vector<TagIndex> tx{0, 2};  // both neighbors of 1
+  const SlotObservation obs = simulate_slot(line, tx);
+  EXPECT_EQ(obs.heard_count[1], 2);  // busy: CCM's benign merge
+  EXPECT_EQ(obs.decoded_from[1], kInvalidTagIndex);  // decode destroyed
+}
+
+TEST(Channel, HalfDuplexTransmitterIsDeaf) {
+  const auto line = make_line(3);
+  const std::vector<TagIndex> tx{0, 1};
+  const SlotObservation obs = simulate_slot(line, tx);
+  EXPECT_EQ(obs.heard_count[0], 0);  // 0 transmits: cannot hear 1
+  EXPECT_EQ(obs.heard_count[1], 0);  // 1 transmits: cannot hear 0
+  EXPECT_EQ(obs.heard_count[2], 1);  // 2 listens: hears 1
+  EXPECT_EQ(obs.decoded_from[2], 1);
+}
+
+TEST(Channel, ReaderHearsOnlyTierOne) {
+  const auto line = make_line(3);  // only tag 0 is heard by the reader
+  {
+    const SlotObservation obs = simulate_slot(line, std::vector<TagIndex>{0});
+    EXPECT_EQ(obs.reader_heard_count, 1);
+    EXPECT_EQ(obs.reader_decoded_from, 0);
+  }
+  {
+    const SlotObservation obs = simulate_slot(line, std::vector<TagIndex>{1});
+    EXPECT_EQ(obs.reader_heard_count, 0);
+    EXPECT_EQ(obs.reader_decoded_from, kInvalidTagIndex);
+  }
+}
+
+TEST(Channel, ReaderCollision) {
+  const auto star = make_star(4);
+  const std::vector<TagIndex> tx{0, 1, 2};
+  const SlotObservation obs = simulate_slot(star, tx);
+  EXPECT_EQ(obs.reader_heard_count, 3);
+  EXPECT_EQ(obs.reader_decoded_from, kInvalidTagIndex);
+}
+
+TEST(Channel, DuplicateTransmitterIsCallerBug) {
+  const auto line = make_line(2);
+  const std::vector<TagIndex> tx{0, 0};
+  EXPECT_THROW((void)simulate_slot(line, tx), Error);
+}
+
+TEST(Channel, EmptySlotIsSilentEverywhere) {
+  const auto line = make_line(4);
+  const SlotObservation obs = simulate_slot(line, {});
+  for (const int c : obs.heard_count) EXPECT_EQ(c, 0);
+  EXPECT_EQ(obs.reader_heard_count, 0);
+}
+
+TEST(BusySense, MatchesFullObservation) {
+  const auto ring = net::make_ring(6, 2);
+  const std::vector<TagIndex> tx{0, 3};
+  const SlotObservation obs = simulate_slot(ring, tx);
+  const BusySense sense = sense_busy(ring, tx);
+  for (TagIndex t = 0; t < 6; ++t) {
+    EXPECT_EQ(sense.tag_busy[static_cast<std::size_t>(t)],
+              obs.heard_count[static_cast<std::size_t>(t)] > 0)
+        << "tag " << t;
+  }
+  EXPECT_EQ(sense.reader_busy, obs.reader_heard_count > 0);
+}
+
+TEST(BusySense, TransmitterNotBusyToItself) {
+  const auto line = make_line(2);
+  const BusySense sense = sense_busy(line, std::vector<TagIndex>{0, 1});
+  EXPECT_FALSE(sense.tag_busy[0]);
+  EXPECT_FALSE(sense.tag_busy[1]);
+}
+
+}  // namespace
+}  // namespace nettag::sim

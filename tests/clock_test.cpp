@@ -1,0 +1,53 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nettag::sim {
+namespace {
+
+TEST(SlotClock, StartsAtZero) {
+  const SlotClock c;
+  EXPECT_EQ(c.bit_slots(), 0);
+  EXPECT_EQ(c.id_slots(), 0);
+  EXPECT_EQ(c.total_slots(), 0);
+}
+
+TEST(SlotClock, AccumulatesByKind) {
+  SlotClock c;
+  c.add_bit_slots(1671);
+  c.add_bit_slots(6);
+  c.add_id_slots(18);
+  EXPECT_EQ(c.bit_slots(), 1677);
+  EXPECT_EQ(c.id_slots(), 18);
+  EXPECT_EQ(c.total_slots(), 1695);  // the paper's Fig. 4 metric
+}
+
+TEST(SlotClock, WeightedTimeAppliesIdWeight) {
+  SlotClock c;
+  c.add_bit_slots(100);
+  c.add_id_slots(10);
+  EXPECT_DOUBLE_EQ(c.weighted_time(96.0), 100.0 + 960.0);
+  EXPECT_DOUBLE_EQ(c.weighted_time(1.0),
+                   static_cast<double>(c.total_slots()));
+}
+
+TEST(SlotClock, MergeSums) {
+  SlotClock a;
+  SlotClock b;
+  a.add_bit_slots(5);
+  b.add_bit_slots(7);
+  b.add_id_slots(2);
+  a.merge(b);
+  EXPECT_EQ(a.bit_slots(), 12);
+  EXPECT_EQ(a.id_slots(), 2);
+}
+
+TEST(SlotClock, RejectsNegative) {
+  SlotClock c;
+  EXPECT_THROW(c.add_bit_slots(-1), Error);
+  EXPECT_THROW(c.add_id_slots(-1), Error);
+  EXPECT_THROW((void)c.weighted_time(0.0), Error);
+}
+
+}  // namespace
+}  // namespace nettag::sim

@@ -1,0 +1,87 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace nettag {
+namespace {
+
+TEST(SystemConfig, PaperDefaults) {
+  const SystemConfig cfg;
+  EXPECT_EQ(cfg.tag_count, 10'000);
+  EXPECT_DOUBLE_EQ(cfg.disk_radius_m, 30.0);
+  EXPECT_DOUBLE_EQ(cfg.reader_to_tag_range_m, 30.0);
+  EXPECT_DOUBLE_EQ(cfg.tag_to_reader_range_m, 20.0);
+  EXPECT_NO_THROW(cfg.validate());
+  // Paper SVI-A: rho = 10000 / (pi * 30^2) ~ 3.54.
+  EXPECT_NEAR(cfg.density(), 3.54, 0.01);
+}
+
+// L_c = 2 * (1 + ceil((R - r')/r)) — SIII-E's empirical setting, swept over
+// the paper's r values.
+struct TierCase {
+  double r;
+  int expected_tiers;
+  int expected_lc;
+};
+
+class CheckingFrameLength : public ::testing::TestWithParam<TierCase> {};
+
+TEST_P(CheckingFrameLength, MatchesFormula) {
+  SystemConfig cfg;
+  cfg.tag_to_tag_range_m = GetParam().r;
+  EXPECT_EQ(cfg.estimated_tiers(), GetParam().expected_tiers);
+  EXPECT_EQ(cfg.checking_frame_length(), GetParam().expected_lc);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSweep, CheckingFrameLength,
+                         ::testing::Values(TierCase{2.0, 6, 12},
+                                           TierCase{3.0, 5, 10},
+                                           TierCase{4.0, 4, 8},
+                                           TierCase{5.0, 3, 6},
+                                           TierCase{6.0, 3, 6},
+                                           TierCase{7.0, 3, 6},
+                                           TierCase{8.0, 3, 6},
+                                           TierCase{9.0, 3, 6},
+                                           TierCase{10.0, 2, 4}));
+
+TEST(SystemConfig, ExactDivisionTierCount) {
+  SystemConfig cfg;
+  cfg.tag_to_tag_range_m = 10.0;  // (30-20)/10 = 1 exactly
+  EXPECT_EQ(cfg.estimated_tiers(), 2);
+  cfg.tag_to_tag_range_m = 5.0;  // exactly 2
+  EXPECT_EQ(cfg.estimated_tiers(), 3);
+}
+
+TEST(SystemConfig, ValidationRejectsBadFields) {
+  SystemConfig cfg;
+  cfg.tag_count = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = {};
+  cfg.disk_radius_m = -1.0;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = {};
+  cfg.tag_to_tag_range_m = 0.0;
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = {};
+  cfg.tag_to_reader_range_m = 40.0;  // r' > R violates the paper's model
+  EXPECT_THROW(cfg.validate(), Error);
+
+  cfg = {};
+  cfg.tag_to_tag_range_m = 35.0;  // r > R violates the paper's model
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(SystemConfig, DensityScalesWithCount) {
+  SystemConfig cfg;
+  cfg.tag_count = 20'000;
+  EXPECT_NEAR(cfg.density(),
+              20'000.0 / (std::numbers::pi * 900.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace nettag

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "test_util.hpp"
+
+namespace nettag::net {
+namespace {
+
+SystemConfig sys_of(int n, double r) {
+  SystemConfig sys;
+  sys.tag_count = n;
+  sys.tag_to_tag_range_m = r;
+  return sys;
+}
+
+TEST(ClusteredDeployment, StaysInDiskAndKeepsCount) {
+  const SystemConfig sys = sys_of(2'000, 6.0);
+  Rng rng(1);
+  const Deployment d = make_clustered_deployment(sys, rng, 12, 4.0);
+  EXPECT_EQ(d.tag_count(), 2'000);
+  for (const auto& p : d.positions)
+    ASSERT_LE(geom::norm(p), sys.disk_radius_m + 1e-9);
+}
+
+TEST(ClusteredDeployment, IsActuallyClustered) {
+  // Mean nearest-neighbor distance under clustering is far below the
+  // uniform deployment's.
+  const SystemConfig sys = sys_of(800, 6.0);
+  Rng rng(2);
+  const Deployment clustered = make_clustered_deployment(sys, rng, 8, 2.5);
+  const Deployment uniform = make_disk_deployment(sys, rng);
+  const auto mean_nn = [](const Deployment& d) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < d.positions.size(); ++i) {
+      double best = 1e18;
+      for (std::size_t j = 0; j < d.positions.size(); ++j) {
+        if (i == j) continue;
+        best = std::min(best,
+                        geom::distance(d.positions[i], d.positions[j]));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(d.positions.size());
+  };
+  EXPECT_LT(mean_nn(clustered), 0.5 * mean_nn(uniform));
+}
+
+TEST(AisleDeployment, RowsAreWhereTheyShouldBe) {
+  const SystemConfig sys = sys_of(3'000, 6.0);
+  Rng rng(3);
+  const int aisles = 5;
+  const double width = 1.0;
+  const Deployment d = make_aisle_deployment(sys, rng, aisles, width);
+  EXPECT_EQ(d.tag_count(), 3'000);
+  const double spacing = 60.0 / (aisles + 1);
+  for (const auto& p : d.positions) {
+    ASSERT_LE(geom::norm(p), sys.disk_radius_m + 1e-9);
+    // Each y sits within width/2 of some nominal row.
+    double best = 1e18;
+    for (int row = 0; row < aisles; ++row) {
+      const double y = -30.0 + (row + 1) * spacing;
+      best = std::min(best, std::abs(p.y - y));
+    }
+    ASSERT_LE(best, width / 2.0 + 1e-9);
+  }
+}
+
+TEST(AisleDeployment, CrossAisleConnectivityNeedsRange) {
+  // 7 aisles 7.5 m apart put the outermost rows (y = +/-22.5) beyond the
+  // reader's r' = 20; with r = 4 nothing bridges the aisle gap, so those
+  // rows are stranded.  r = 12 bridges them.
+  const SystemConfig narrow = sys_of(2'000, 4.0);
+  Rng rng(4);
+  const Deployment d = make_aisle_deployment(narrow, rng, 7, 0.5);
+  const Topology sparse(d, narrow);
+
+  SystemConfig wide = narrow;
+  wide.tag_to_tag_range_m = 12.0;
+  const Topology dense(d, wide);
+
+  EXPECT_LT(sparse.reachable_count(), dense.reachable_count());
+  EXPECT_EQ(dense.reachable_count(), 2'000);
+}
+
+TEST(DeploymentFamilies, CcmExactOnAllFamilies) {
+  // Theorem 1 is deployment-agnostic; pin it on both new families.
+  const SystemConfig sys = sys_of(1'200, 7.0);
+  Rng rng(5);
+  const Deployment clustered =
+      connected_subset(make_clustered_deployment(sys, rng, 10, 3.0), sys);
+  const Deployment aisles =
+      connected_subset(make_aisle_deployment(sys, rng, 4, 2.0), sys);
+  for (const Deployment* d : {&clustered, &aisles}) {
+    const Topology topo(*d, sys);
+    ccm::CcmConfig cfg;
+    cfg.frame_size = 512;
+    cfg.request_seed = 6;
+    cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+    cfg.max_rounds = topo.tier_count() + 4;
+    const ccm::HashedSlotSelector selector(0.5);
+    const auto session = ccm::run_session(topo, cfg, selector);
+    ASSERT_TRUE(session.completed);
+    EXPECT_EQ(session.bitmap,
+              test::ground_truth_bitmap(topo, selector, 6, 512));
+  }
+}
+
+TEST(DeploymentFamilies, RejectBadArguments) {
+  const SystemConfig sys = sys_of(10, 6.0);
+  Rng rng(6);
+  EXPECT_THROW((void)make_clustered_deployment(sys, rng, 0, 2.0), Error);
+  EXPECT_THROW((void)make_clustered_deployment(sys, rng, 3, 0.0), Error);
+  EXPECT_THROW((void)make_aisle_deployment(sys, rng, 0, 1.0), Error);
+  EXPECT_THROW((void)make_aisle_deployment(sys, rng, 3, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace nettag::net

@@ -1,0 +1,90 @@
+#include "net/deployment_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/topology.hpp"
+
+namespace nettag::net {
+namespace {
+
+Deployment sample_deployment() {
+  SystemConfig cfg;
+  cfg.tag_count = 200;
+  Rng rng(42);
+  return make_disk_deployment(cfg, rng);
+}
+
+TEST(DeploymentIo, RoundTripPreservesEverything) {
+  const Deployment original = sample_deployment();
+  std::stringstream buffer;
+  save_deployment(buffer, original);
+  const Deployment loaded = load_deployment(buffer);
+  EXPECT_EQ(loaded.ids, original.ids);
+  ASSERT_EQ(loaded.positions.size(), original.positions.size());
+  for (std::size_t i = 0; i < loaded.positions.size(); ++i) {
+    // setprecision(17) round-trips doubles exactly.
+    EXPECT_EQ(loaded.positions[i], original.positions[i]) << i;
+  }
+  ASSERT_EQ(loaded.readers.size(), original.readers.size());
+  EXPECT_EQ(loaded.readers[0], original.readers[0]);
+}
+
+TEST(DeploymentIo, RoundTripYieldsIdenticalTopology) {
+  const Deployment original = sample_deployment();
+  std::stringstream buffer;
+  save_deployment(buffer, original);
+  const Deployment loaded = load_deployment(buffer);
+
+  SystemConfig cfg;
+  cfg.tag_count = 200;
+  const Topology a(original, cfg);
+  const Topology b(loaded, cfg);
+  for (TagIndex t = 0; t < a.tag_count(); ++t) {
+    EXPECT_EQ(a.tier(t), b.tier(t));
+    EXPECT_EQ(a.degree(t), b.degree(t));
+  }
+}
+
+TEST(DeploymentIo, EmptyDeployment) {
+  Deployment empty;
+  empty.readers = {{1.5, -2.5}};
+  std::stringstream buffer;
+  save_deployment(buffer, empty);
+  const Deployment loaded = load_deployment(buffer);
+  EXPECT_EQ(loaded.tag_count(), 0);
+  ASSERT_EQ(loaded.readers.size(), 1u);
+  EXPECT_EQ(loaded.readers[0], (geom::Point{1.5, -2.5}));
+}
+
+TEST(DeploymentIo, RejectsWrongMagic) {
+  std::stringstream buffer("something else\nreaders 0\ntags 0\n");
+  EXPECT_THROW((void)load_deployment(buffer), Error);
+}
+
+TEST(DeploymentIo, RejectsTruncation) {
+  const Deployment original = sample_deployment();
+  std::stringstream buffer;
+  save_deployment(buffer, original);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)load_deployment(truncated), Error);
+}
+
+TEST(DeploymentIo, RejectsMissingKeywords) {
+  std::stringstream buffer("nettag-deployment v1\nrdrs 1\n0 0\ntags 0\n");
+  EXPECT_THROW((void)load_deployment(buffer), Error);
+}
+
+TEST(DeploymentIo, FileRoundTrip) {
+  const Deployment original = sample_deployment();
+  const std::string path = "/tmp/nettag_test_deployment.txt";
+  save_deployment_file(path, original);
+  const Deployment loaded = load_deployment_file(path);
+  EXPECT_EQ(loaded.ids, original.ids);
+  EXPECT_THROW((void)load_deployment_file("/nonexistent/nope"), Error);
+}
+
+}  // namespace
+}  // namespace nettag::net

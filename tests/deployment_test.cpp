@@ -1,0 +1,105 @@
+#include "net/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "geom/point.hpp"
+
+namespace nettag::net {
+namespace {
+
+TEST(TagIds, UniqueAndNonZero) {
+  Rng rng(1);
+  const auto ids = make_tag_ids(rng, 5000);
+  EXPECT_EQ(ids.size(), 5000u);
+  std::unordered_set<TagId> set(ids.begin(), ids.end());
+  EXPECT_EQ(set.size(), ids.size());
+  EXPECT_EQ(set.count(0), 0u);
+}
+
+TEST(DiskDeployment, MatchesConfig) {
+  SystemConfig cfg;
+  cfg.tag_count = 2000;
+  Rng rng(2);
+  const Deployment d = make_disk_deployment(cfg, rng);
+  EXPECT_EQ(d.tag_count(), 2000);
+  EXPECT_EQ(d.ids.size(), d.positions.size());
+  ASSERT_EQ(d.readers.size(), 1u);
+  EXPECT_EQ(d.readers[0].x, 0.0);
+  for (const auto& p : d.positions)
+    ASSERT_LE(geom::norm(p), cfg.disk_radius_m + 1e-9);
+}
+
+TEST(DiskDeployment, DeterministicUnderSameSeed) {
+  SystemConfig cfg;
+  cfg.tag_count = 100;
+  Rng a(7);
+  Rng b(7);
+  const Deployment d1 = make_disk_deployment(cfg, a);
+  const Deployment d2 = make_disk_deployment(cfg, b);
+  EXPECT_EQ(d1.ids, d2.ids);
+  EXPECT_EQ(d1.positions.size(), d2.positions.size());
+  for (std::size_t i = 0; i < d1.positions.size(); ++i)
+    EXPECT_EQ(d1.positions[i], d2.positions[i]);
+}
+
+TEST(RemoveTags, RemovesExactlyTheRequested) {
+  SystemConfig cfg;
+  cfg.tag_count = 50;
+  Rng rng(3);
+  Deployment d = make_disk_deployment(cfg, rng);
+  const TagId keep_first = d.ids[0];
+  const TagId removed_a = d.ids[10];
+  const TagId removed_b = d.ids[49];
+  d.remove_tags({10, 49, 10});  // duplicate index must be harmless
+  EXPECT_EQ(d.tag_count(), 48);
+  EXPECT_EQ(d.ids[0], keep_first);
+  EXPECT_EQ(std::count(d.ids.begin(), d.ids.end(), removed_a), 0);
+  EXPECT_EQ(std::count(d.ids.begin(), d.ids.end(), removed_b), 0);
+  EXPECT_EQ(d.ids.size(), d.positions.size());
+}
+
+TEST(RemoveTags, EmptyListIsNoop) {
+  SystemConfig cfg;
+  cfg.tag_count = 10;
+  Rng rng(4);
+  Deployment d = make_disk_deployment(cfg, rng);
+  const auto ids = d.ids;
+  d.remove_tags({});
+  EXPECT_EQ(d.ids, ids);
+}
+
+TEST(RemoveTags, OutOfRangeThrows) {
+  SystemConfig cfg;
+  cfg.tag_count = 10;
+  Rng rng(5);
+  Deployment d = make_disk_deployment(cfg, rng);
+  EXPECT_THROW(d.remove_tags({10}), Error);
+  EXPECT_THROW(d.remove_tags({-1}), Error);
+}
+
+TEST(MultiReaderDeployment, PlacesReadersOnRing) {
+  SystemConfig cfg;
+  cfg.tag_count = 100;
+  Rng rng(6);
+  const Deployment d =
+      make_multi_reader_deployment(cfg, rng, 4, 15.0, /*include_center=*/true);
+  ASSERT_EQ(d.readers.size(), 5u);
+  EXPECT_EQ(geom::norm(d.readers[0]), 0.0);
+  for (std::size_t i = 1; i < d.readers.size(); ++i)
+    EXPECT_NEAR(geom::norm(d.readers[i]), 15.0, 1e-9);
+}
+
+TEST(MultiReaderDeployment, RejectsBadArguments) {
+  SystemConfig cfg;
+  Rng rng(7);
+  EXPECT_THROW((void)make_multi_reader_deployment(cfg, rng, 0, 5.0, false),
+               Error);
+  EXPECT_THROW((void)make_multi_reader_deployment(cfg, rng, 2, -5.0, false),
+               Error);
+}
+
+}  // namespace
+}  // namespace nettag::net

@@ -1,0 +1,90 @@
+#include "protocols/missing/detection_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/missing/trp.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+SystemConfig paper_sys() { return {}; }  // n=10k, r=6 defaults
+
+TEST(DetectionPlan, SingleExecutionMatchesTrpSizing) {
+  const auto plans =
+      enumerate_detection_plans(paper_sys(), 10'000, 50, 0.95, 1);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].frame_size, trp_required_frame_size(10'000, 50, 0.95));
+  EXPECT_DOUBLE_EQ(plans[0].per_execution_delta, 0.95);
+  // Null cost = exactly one execution; event cost = the same (must run it).
+  EXPECT_DOUBLE_EQ(plans[0].expected_slots_null,
+                   plans[0].expected_slots_event);
+}
+
+TEST(DetectionPlan, CombinedDeltaMeetsTheSpec) {
+  for (const int executions : {2, 4, 8}) {
+    const auto plans = enumerate_detection_plans(paper_sys(), 10'000, 50,
+                                                 0.95, executions);
+    const auto& plan = plans.back();
+    // 1 - (1 - delta_e)^E >= delta.
+    const double overall =
+        1.0 - std::pow(1.0 - plan.per_execution_delta, executions);
+    EXPECT_GE(overall, 0.95 - 1e-9);
+    // Per-execution frames really are smaller than the one-shot frame.
+    EXPECT_LT(plan.frame_size, plans.front().frame_size);
+  }
+}
+
+TEST(DetectionPlan, CostShapesAcrossExecutions) {
+  const auto plans =
+      enumerate_detection_plans(paper_sys(), 10'000, 50, 0.95, 8);
+  ASSERT_EQ(plans.size(), 8u);
+  // Under the null, more executions always cost more in total (f shrinks
+  // only logarithmically while E grows linearly).
+  EXPECT_GT(plans.back().expected_slots_null,
+            plans.front().expected_slots_null);
+  // Under the event the cost is U-shaped: a small split (early stopping)
+  // beats one big frame, but heavy splitting loses to the 1/delta_e run
+  // count.  The minimum sits strictly inside the range.
+  std::size_t argmin = 0;
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    if (plans[i].expected_slots_event < plans[argmin].expected_slots_event)
+      argmin = i;
+  }
+  EXPECT_GT(argmin, 0u);
+  EXPECT_LT(argmin, plans.size() - 1);
+  EXPECT_LT(plans[argmin].expected_slots_event,
+            plans.front().expected_slots_event);
+}
+
+TEST(DetectionPlan, BestPlanFlipsWithEventProbability) {
+  const SystemConfig sys = paper_sys();
+  const auto quiet = best_detection_plan(sys, 10'000, 50, 0.95, 8, 0.01);
+  const auto loud = best_detection_plan(sys, 10'000, 50, 0.95, 8, 0.99);
+  // A quiet warehouse audits with one big frame; a loss-prone one splits.
+  EXPECT_EQ(quiet.executions, 1);
+  EXPECT_GT(loud.executions, 1);
+  // Each is optimal at its own p.
+  EXPECT_LE(quiet.expected_slots(0.01), loud.expected_slots(0.01));
+  EXPECT_LE(loud.expected_slots(0.99), quiet.expected_slots(0.99));
+}
+
+TEST(DetectionPlan, ExpectedCostInterpolatesLinearly) {
+  const auto plan = best_detection_plan(paper_sys(), 5'000, 20, 0.9, 4, 0.5);
+  const double at0 = plan.expected_slots(0.0);
+  const double at1 = plan.expected_slots(1.0);
+  EXPECT_DOUBLE_EQ(plan.expected_slots(0.5), 0.5 * (at0 + at1));
+  EXPECT_DOUBLE_EQ(at0, plan.expected_slots_null);
+  EXPECT_DOUBLE_EQ(at1, plan.expected_slots_event);
+}
+
+TEST(DetectionPlan, RejectsBadArguments) {
+  EXPECT_THROW(
+      (void)enumerate_detection_plans(paper_sys(), 100, 5, 0.9, 0), Error);
+  EXPECT_THROW(
+      (void)enumerate_detection_plans(paper_sys(), 100, 5, 1.0, 2), Error);
+  EXPECT_THROW(
+      (void)best_detection_plan(paper_sys(), 100, 5, 0.9, 2, 1.5), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

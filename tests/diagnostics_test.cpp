@@ -1,0 +1,78 @@
+#include "ccm/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "net/topology_builders.hpp"
+
+namespace nettag::ccm {
+namespace {
+
+TEST(Diagnostics, BreakdownPartitionsTheTags) {
+  const auto layered = net::make_layered(4, 6);
+  sim::EnergyMeter energy(layered.tag_count());
+  for (TagIndex t = 0; t < layered.tag_count(); ++t) {
+    energy.add_sent(t, 10 * (layered.tier(t)));
+    energy.add_received(t, 100);
+  }
+  const auto tiers = tier_energy_breakdown(layered, energy);
+  ASSERT_EQ(tiers.size(), 4u);
+  int total = 0;
+  for (const auto& tier : tiers) {
+    EXPECT_EQ(tier.tag_count, 6);
+    EXPECT_DOUBLE_EQ(tier.avg_sent_bits, 10.0 * tier.tier);
+    EXPECT_DOUBLE_EQ(tier.max_sent_bits, 10.0 * tier.tier);
+    EXPECT_DOUBLE_EQ(tier.avg_received_bits, 100.0);
+    total += tier.tag_count;
+  }
+  EXPECT_EQ(total, layered.tag_count());
+}
+
+TEST(Diagnostics, UnreachableTagsExcluded) {
+  const std::vector<std::vector<TagIndex>> adj{{1}, {0}, {}};
+  const net::Topology topo({1, 2, 3}, adj, {true, false, false}, {});
+  sim::EnergyMeter energy(3);
+  energy.add_sent(2, 999);  // the unreachable tag
+  energy.add_sent(0, 10);
+  const auto tiers = tier_energy_breakdown(topo, energy);
+  ASSERT_EQ(tiers.size(), 2u);
+  EXPECT_EQ(tiers[0].tag_count + tiers[1].tag_count, 2);
+  EXPECT_DOUBLE_EQ(tiers[0].max_sent_bits, 10.0);
+  // The load-balance index ignores the unreachable tag's 999 bits.
+  EXPECT_DOUBLE_EQ(load_balance_index(topo, energy, true), 2.0);
+}
+
+TEST(Diagnostics, PerfectBalanceIsOne) {
+  const auto star = net::make_star(8);
+  sim::EnergyMeter energy(8);
+  for (TagIndex t = 0; t < 8; ++t) energy.add_received(t, 500);
+  EXPECT_DOUBLE_EQ(load_balance_index(star, energy, false), 1.0);
+  // All-zero cost defaults to 1.0 (balanced by vacuity).
+  EXPECT_DOUBLE_EQ(load_balance_index(star, energy, true), 1.0);
+}
+
+TEST(Diagnostics, CcmSessionIsReceiveBalanced) {
+  const auto layered = net::make_layered(3, 12);
+  CcmConfig cfg;
+  cfg.frame_size = 1024;
+  cfg.request_seed = 5;
+  cfg.checking_frame_length = 8;
+  sim::EnergyMeter energy(layered.tag_count());
+  const auto session =
+      run_session(layered, cfg, HashedSlotSelector(1.0), energy);
+  ASSERT_TRUE(session.completed);
+  // SVI-B.2's observation on a controlled topology: received bits are
+  // nearly uniform across the network.
+  EXPECT_LT(load_balance_index(layered, energy, false), 1.1);
+}
+
+TEST(Diagnostics, SizeMismatchThrows) {
+  const auto star = net::make_star(3);
+  sim::EnergyMeter wrong(2);
+  EXPECT_THROW((void)tier_energy_breakdown(star, wrong), Error);
+  EXPECT_THROW((void)load_balance_index(star, wrong, true), Error);
+}
+
+}  // namespace
+}  // namespace nettag::ccm

@@ -1,0 +1,132 @@
+#include "ccm/duty_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nettag::ccm {
+namespace {
+
+TEST(DutyCycle, PerfectClocksAlwaysParticipate) {
+  DutyCycleConfig cfg;
+  cfg.drift = 0.0;
+  cfg.margin_slots = 0.0;
+  Rng rng(1);
+  const auto report = simulate_duty_cycle(cfg, 500, rng);
+  EXPECT_DOUBLE_EQ(report.participation_rate, 1.0);
+  // Everyone wakes exactly at the request: zero idle listening.
+  EXPECT_DOUBLE_EQ(report.avg_idle_listen_slots, 0.0);
+}
+
+TEST(DutyCycle, SizedMarginAndWindowGiveFullParticipation) {
+  DutyCycleConfig cfg;
+  cfg.sleep_slots = 2e6;
+  cfg.drift = 2e-4;  // 200 ppm
+  cfg.margin_slots = required_margin_slots(cfg.sleep_slots, cfg.drift);
+  cfg.listen_window_slots = required_listen_window_slots(
+      cfg.sleep_slots, cfg.drift, cfg.margin_slots);
+  cfg.operations = 20;
+  Rng rng(2);
+  const auto report = simulate_duty_cycle(cfg, 1'000, rng);
+  EXPECT_DOUBLE_EQ(report.participation_rate, 1.0);
+  for (const auto& op : report.operations) {
+    EXPECT_EQ(op.participants, 1'000);
+    EXPECT_EQ(op.late_wakers, 0);
+    EXPECT_EQ(op.timed_out, 0);
+  }
+  // Idle listening per catch is bounded by margin + sleep * drift.
+  EXPECT_LE(report.avg_idle_listen_slots,
+            cfg.margin_slots + cfg.sleep_slots * cfg.drift + 1e-6);
+}
+
+TEST(DutyCycle, ZeroMarginLosesTheSlowClocks) {
+  DutyCycleConfig cfg;
+  cfg.sleep_slots = 2e6;
+  cfg.drift = 2e-4;
+  cfg.margin_slots = 0.0;  // reader fires exactly at the nominal timeout
+  cfg.listen_window_slots = 1'000.0;
+  cfg.operations = 5;
+  Rng rng(3);
+  const auto report = simulate_duty_cycle(cfg, 2'000, rng);
+  // Tags with positive rate offsets (half of them) wake after the request.
+  EXPECT_LT(report.participation_rate, 0.7);
+  EXPECT_GT(report.participation_rate, 0.3);
+  EXPECT_GT(report.operations[0].late_wakers, 0);
+}
+
+TEST(DutyCycle, TightWindowTimesOutFastClocks) {
+  DutyCycleConfig cfg;
+  cfg.sleep_slots = 2e6;
+  cfg.drift = 2e-4;
+  cfg.margin_slots = required_margin_slots(cfg.sleep_slots, cfg.drift);
+  cfg.listen_window_slots = 10.0;  // far below margin + sleep*drift
+  cfg.operations = 3;
+  Rng rng(4);
+  const auto report = simulate_duty_cycle(cfg, 1'000, rng);
+  EXPECT_LT(report.participation_rate, 0.5);
+  EXPECT_GT(report.operations[0].timed_out, 0);
+  EXPECT_EQ(report.operations[0].late_wakers, 0);  // margin covers the slow
+}
+
+TEST(DutyCycle, ResyncStopsDriftAccumulation) {
+  // With sizing for single-period drift, participation holds across MANY
+  // operations only because every catch re-synchronizes the tag clock.
+  DutyCycleConfig cfg;
+  cfg.sleep_slots = 1e6;
+  cfg.drift = 1e-4;
+  cfg.margin_slots = required_margin_slots(cfg.sleep_slots, cfg.drift);
+  cfg.listen_window_slots = required_listen_window_slots(
+      cfg.sleep_slots, cfg.drift, cfg.margin_slots);
+  cfg.operations = 50;
+  Rng rng(5);
+  const auto report = simulate_duty_cycle(cfg, 300, rng);
+  EXPECT_DOUBLE_EQ(report.participation_rate, 1.0);
+  EXPECT_EQ(report.operations.back().participants, 300);
+}
+
+TEST(DutyCycle, MissesAreRecoverable) {
+  // A missed operation leaves the tag cycling on its local clock; with a
+  // generous window it reacquires a later request instead of being lost
+  // forever.
+  DutyCycleConfig cfg;
+  cfg.sleep_slots = 1e6;
+  cfg.drift = 5e-4;
+  cfg.margin_slots = 0.0;  // deliberately lossy
+  cfg.listen_window_slots = 2'000.0;
+  cfg.operations = 12;
+  Rng rng(6);
+  const auto report = simulate_duty_cycle(cfg, 1'000, rng);
+  int recovered = 0;
+  for (std::size_t op = 1; op < report.operations.size(); ++op) {
+    if (report.operations[op].participants >
+        report.operations[op - 1].participants)
+      ++recovered;
+  }
+  EXPECT_GT(report.participation_rate, 0.0);
+  EXPECT_LT(report.participation_rate, 1.0);
+  (void)recovered;  // participation fluctuates as drifting tags re-lock
+}
+
+TEST(DutyCycle, SizingHelpers) {
+  EXPECT_DOUBLE_EQ(required_margin_slots(1e6, 1e-4), 100.0);
+  // margin + sleep*drift, inflated by 1/(1-drift) for the fast clock's own
+  // shortened window.
+  EXPECT_NEAR(required_listen_window_slots(1e6, 1e-4, 100.0), 200.02, 0.01);
+  EXPECT_THROW((void)required_margin_slots(0.0, 1e-4), Error);
+}
+
+TEST(DutyCycle, RejectsBadConfig) {
+  Rng rng(7);
+  DutyCycleConfig cfg;
+  cfg.sleep_slots = 0.0;
+  EXPECT_THROW((void)simulate_duty_cycle(cfg, 10, rng), Error);
+  cfg = {};
+  cfg.drift = 0.5;
+  EXPECT_THROW((void)simulate_duty_cycle(cfg, 10, rng), Error);
+  cfg = {};
+  cfg.operations = 0;
+  EXPECT_THROW((void)simulate_duty_cycle(cfg, 10, rng), Error);
+  cfg = {};
+  EXPECT_THROW((void)simulate_duty_cycle(cfg, 0, rng), Error);
+}
+
+}  // namespace
+}  // namespace nettag::ccm

@@ -1,0 +1,83 @@
+#include "sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nettag::sim {
+namespace {
+
+TEST(EnergyMeter, StartsAtZero) {
+  const EnergyMeter m(5);
+  EXPECT_EQ(m.tag_count(), 5);
+  for (TagIndex t = 0; t < 5; ++t) {
+    EXPECT_EQ(m.sent(t), 0);
+    EXPECT_EQ(m.received(t), 0);
+  }
+  EXPECT_EQ(m.total_sent(), 0);
+  EXPECT_EQ(m.total_received(), 0);
+}
+
+TEST(EnergyMeter, Accumulates) {
+  EnergyMeter m(3);
+  m.add_sent(0, 10);
+  m.add_sent(0, 5);
+  m.add_received(2, 96);
+  EXPECT_EQ(m.sent(0), 15);
+  EXPECT_EQ(m.received(2), 96);
+  EXPECT_EQ(m.total_sent(), 15);
+  EXPECT_EQ(m.total_received(), 96);
+}
+
+TEST(EnergyMeter, ChargeBroadcastHitsEveryTag) {
+  EnergyMeter m(4);
+  m.charge_broadcast(96);
+  for (TagIndex t = 0; t < 4; ++t) EXPECT_EQ(m.received(t), 96);
+}
+
+TEST(EnergyMeter, SummaryMaxAndAverage) {
+  EnergyMeter m(4);
+  m.add_sent(0, 8);
+  m.add_sent(1, 4);
+  m.add_received(2, 100);
+  m.add_received(3, 50);
+  const EnergySummary s = m.summarize();
+  EXPECT_DOUBLE_EQ(s.max_sent_bits, 8.0);
+  EXPECT_DOUBLE_EQ(s.avg_sent_bits, 3.0);
+  EXPECT_DOUBLE_EQ(s.max_received_bits, 100.0);
+  EXPECT_DOUBLE_EQ(s.avg_received_bits, 37.5);
+}
+
+TEST(EnergyMeter, EmptyMeterSummary) {
+  const EnergyMeter m(0);
+  const EnergySummary s = m.summarize();
+  EXPECT_DOUBLE_EQ(s.max_sent_bits, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_received_bits, 0.0);
+}
+
+TEST(EnergyMeter, MergeAddsPerTag) {
+  EnergyMeter a(2);
+  EnergyMeter b(2);
+  a.add_sent(0, 1);
+  b.add_sent(0, 2);
+  b.add_received(1, 7);
+  a.merge(b);
+  EXPECT_EQ(a.sent(0), 3);
+  EXPECT_EQ(a.received(1), 7);
+}
+
+TEST(EnergyMeter, MergeSizeMismatchThrows) {
+  EnergyMeter a(2);
+  EnergyMeter b(3);
+  EXPECT_THROW(a.merge(b), Error);
+}
+
+TEST(EnergyMeter, RejectsBadArguments) {
+  EnergyMeter m(2);
+  EXPECT_THROW(m.add_sent(2, 1), Error);
+  EXPECT_THROW(m.add_sent(-1, 1), Error);
+  EXPECT_THROW(m.add_sent(0, -1), Error);
+  EXPECT_THROW(m.add_received(0, -5), Error);
+  EXPECT_THROW(EnergyMeter(-1), Error);
+}
+
+}  // namespace
+}  // namespace nettag::sim

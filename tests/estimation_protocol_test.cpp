@@ -1,0 +1,159 @@
+#include "protocols/estimator/estimation_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccm/slot_selector.hpp"
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+/// Traditional single-hop bitmap source over a synthetic ID population —
+/// legitimate by Theorem 1, and fast enough for statistical sweeps.
+BitmapSource traditional_source(int n) {
+  return [n](FrameSize f, double p, Seed seed) {
+    Bitmap bitmap(f);
+    for (int i = 0; i < n; ++i) {
+      const TagId id = fmix64(static_cast<TagId>(i) + 12'345);
+      if (participates(id, seed, p)) bitmap.set(slot_pick(id, seed, f));
+    }
+    return bitmap;
+  };
+}
+
+TEST(EstimationProtocol, TwoPhaseMeetsAccuracyOnTraditionalSource) {
+  EstimationConfig cfg;
+  cfg.base_seed = 7;
+  const EstimationResult result =
+      estimate_cardinality(cfg, traditional_source(10'000));
+  EXPECT_TRUE(result.accuracy_met);
+  EXPECT_GT(result.rough_frames, 0);
+  EXPECT_GE(result.accurate_frames, 1);
+  EXPECT_NEAR(result.n_hat, 10'000.0, 700.0);
+}
+
+TEST(EstimationProtocol, StatisticalGuaranteeHolds) {
+  // Eq. 2: the estimate is within +/- 5 % of n with probability >= ~95 %.
+  int within = 0;
+  constexpr int kTrials = 60;
+  const int n = 4'000;
+  for (int t = 0; t < kTrials; ++t) {
+    EstimationConfig cfg;
+    cfg.base_seed = static_cast<Seed>(t) * 977 + 3;
+    const EstimationResult r = estimate_cardinality(cfg, traditional_source(n));
+    EXPECT_TRUE(r.accuracy_met);
+    if (std::abs(r.n_hat - n) <= 0.05 * n) ++within;
+  }
+  EXPECT_GE(within, kTrials * 85 / 100);
+}
+
+TEST(EstimationProtocol, SkipsRoughPhaseWithPrior) {
+  EstimationConfig cfg;
+  cfg.initial_n_hat = 10'000.0;
+  const EstimationResult result =
+      estimate_cardinality(cfg, traditional_source(10'000));
+  EXPECT_EQ(result.rough_frames, 0);
+  EXPECT_TRUE(result.accuracy_met);
+}
+
+TEST(EstimationProtocol, SmallFramesNeedMoreOfThem) {
+  EstimationConfig big;
+  big.initial_n_hat = 5'000.0;
+  const auto r_big = estimate_cardinality(big, traditional_source(5'000));
+
+  EstimationConfig small = big;
+  small.frame_size = 300;
+  const auto r_small = estimate_cardinality(small, traditional_source(5'000));
+
+  EXPECT_TRUE(r_big.accuracy_met);
+  EXPECT_TRUE(r_small.accuracy_met);
+  EXPECT_GT(r_small.accurate_frames, r_big.accurate_frames);
+}
+
+TEST(EstimationProtocol, EmptySystemDetectedImmediately) {
+  EstimationConfig cfg;
+  const EstimationResult result =
+      estimate_cardinality(cfg, traditional_source(0));
+  EXPECT_TRUE(result.accuracy_met);
+  EXPECT_DOUBLE_EQ(result.n_hat, 0.0);
+  EXPECT_EQ(result.accurate_frames, 0);
+}
+
+TEST(EstimationProtocol, SmallPopulations) {
+  for (const int n : {1, 5, 50}) {
+    EstimationConfig cfg;
+    cfg.base_seed = 11;
+    const EstimationResult r = estimate_cardinality(cfg, traditional_source(n));
+    // Tiny populations: absolute error of a few tags is acceptable, the
+    // protocol must simply terminate with a sane value.
+    EXPECT_NEAR(r.n_hat, n, std::max(3.0, 0.5 * n)) << "n = " << n;
+  }
+}
+
+TEST(EstimationProtocol, RoughPhaseHandlesHugePopulations) {
+  // 200k tags saturate many probe frames before p gets small enough.
+  EstimationConfig cfg;
+  cfg.base_seed = 5;
+  const EstimationResult r = estimate_cardinality(cfg, traditional_source(200'000));
+  EXPECT_TRUE(r.accuracy_met);
+  EXPECT_NEAR(r.n_hat, 200'000.0, 0.06 * 200'000.0);
+  EXPECT_GT(r.rough_frames, 3);
+}
+
+TEST(EstimationProtocol, OverCcmMatchesTraditional) {
+  // End-to-end: estimation through actual CCM sessions on a network equals
+  // (bit-for-bit) estimation on the traditional source with the same seeds.
+  SystemConfig sys;
+  sys.tag_count = 1'200;
+  sys.tag_to_tag_range_m = 7.0;
+  Rng rng(31);
+  const net::Deployment deployment =
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+  const net::Topology topology(deployment, sys);
+
+  ccm::CcmConfig ccm_template;
+  ccm_template.apply_geometry(sys);
+  ccm_template.max_rounds = topology.tier_count() + 4;
+
+  EstimationConfig cfg;
+  cfg.initial_n_hat = 1'000.0;  // skip the rough phase to keep the test fast
+  cfg.frame_size = 512;
+  sim::EnergyMeter energy(topology.tag_count());
+  const EstimationResult networked =
+      estimate_cardinality_ccm(cfg, topology, ccm_template, energy);
+
+  const BitmapSource truth = [&topology](FrameSize f, double p, Seed seed) {
+    Bitmap bitmap(f);
+    for (TagIndex t = 0; t < topology.tag_count(); ++t) {
+      const TagId id = topology.id_of(t);
+      if (participates(id, seed, p)) bitmap.set(slot_pick(id, seed, f));
+    }
+    return bitmap;
+  };
+  const EstimationResult traditional = estimate_cardinality(cfg, truth);
+
+  EXPECT_DOUBLE_EQ(networked.n_hat, traditional.n_hat);
+  EXPECT_EQ(networked.accurate_frames, traditional.accurate_frames);
+  EXPECT_TRUE(networked.accuracy_met);
+  EXPECT_GT(networked.clock.total_slots(), 0);
+  EXPECT_GT(energy.total_sent(), 0);
+}
+
+TEST(EstimationProtocol, RejectsBadConfig) {
+  EstimationConfig cfg;
+  cfg.alpha = 1.5;
+  EXPECT_THROW((void)estimate_cardinality(cfg, traditional_source(10)), Error);
+  cfg = {};
+  cfg.beta = 0.0;
+  EXPECT_THROW((void)estimate_cardinality(cfg, traditional_source(10)), Error);
+  cfg = {};
+  cfg.max_frames = 0;
+  EXPECT_THROW((void)estimate_cardinality(cfg, traditional_source(10)), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+#include "protocols/search/tag_search.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+ccm::CcmConfig template_for(const net::Topology& topo) {
+  ccm::CcmConfig cfg;
+  cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+  cfg.max_rounds = topo.tier_count() + 4;
+  return cfg;
+}
+
+TEST(BloomFilter, MembersAlwaysPass) {
+  std::vector<TagId> ids;
+  for (int i = 0; i < 500; ++i) ids.push_back(fmix64(static_cast<TagId>(i)));
+  const FrameSize bits = bloom_required_bits(500, 4, 0.02);
+  const Bitmap filter = build_bloom_filter(ids, bits, 4, 7);
+  for (const TagId id : ids) EXPECT_TRUE(bloom_contains(filter, id, 4, 7));
+}
+
+TEST(BloomFilter, PassRateMeetsTarget) {
+  std::vector<TagId> ids;
+  for (int i = 0; i < 400; ++i)
+    ids.push_back(fmix64(static_cast<TagId>(i) + 9'000));
+  const double target = 0.05;
+  const FrameSize bits = bloom_required_bits(400, 4, target);
+  const Bitmap filter = build_bloom_filter(ids, bits, 4, 3);
+  int passes = 0;
+  constexpr int kProbes = 20'000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bloom_contains(filter, fmix64(static_cast<TagId>(i) + 777'777), 4, 3))
+      ++passes;
+  }
+  EXPECT_LE(static_cast<double>(passes) / kProbes, target * 1.5);
+  EXPECT_GT(passes, 0);  // a Bloom filter does have false passes
+}
+
+TEST(BloomFilter, SizingMonotoneInTarget) {
+  EXPECT_GT(bloom_required_bits(100, 4, 0.001),
+            bloom_required_bits(100, 4, 0.05));
+  EXPECT_GT(bloom_required_bits(1'000, 4, 0.01),
+            bloom_required_bits(100, 4, 0.01));
+}
+
+TEST(FilteredSearch, NoFalseNegatives) {
+  const auto topo = net::make_layered(3, 12);
+  std::vector<TagId> wanted;
+  for (TagIndex t = 0; t < topo.tag_count(); t += 4)
+    wanted.push_back(topo.id_of(t));
+  FilteredSearchConfig cfg;
+  cfg.expected_population = static_cast<double>(topo.tag_count());
+  sim::EnergyMeter energy(topo.tag_count());
+  const auto outcome =
+      search_tags_filtered(wanted, topo, template_for(topo), cfg, energy);
+  for (const auto& v : outcome.verdicts)
+    EXPECT_TRUE(v.present) << "wanted tag " << v.id;
+}
+
+TEST(FilteredSearch, AbsentWantedMostlyRejected) {
+  const auto topo = net::make_star(300);
+  std::vector<TagId> ghosts;
+  for (int i = 0; i < 200; ++i)
+    ghosts.push_back(fmix64(static_cast<TagId>(i) ^ 0xfade));
+  FilteredSearchConfig cfg;
+  cfg.expected_population = 300.0;
+  sim::EnergyMeter energy(topo.tag_count());
+  const auto outcome =
+      search_tags_filtered(ghosts, topo, template_for(topo), cfg, energy);
+  EXPECT_LE(outcome.present_count, 12);  // ~1% target + slack
+}
+
+TEST(FilteredSearch, BeatsNaiveSearchOnAirtimeAndEnergy) {
+  // Large population, small watch list: the filter keeps the response
+  // frame at watch-list scale instead of population scale.
+  SystemConfig sys;
+  sys.tag_count = 3'000;
+  sys.tag_to_tag_range_m = 7.0;
+  Rng rng(5);
+  const net::Topology topo(
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys), sys);
+  std::vector<TagId> wanted;
+  for (TagIndex t = 0; t < 60; ++t) wanted.push_back(topo.id_of(t * 3));
+
+  SearchConfig naive;
+  naive.expected_population = static_cast<double>(topo.tag_count());
+  sim::EnergyMeter e1(topo.tag_count());
+  const auto plain =
+      search_tags(wanted, topo, template_for(topo), naive, e1);
+
+  FilteredSearchConfig filtered;
+  filtered.expected_population = static_cast<double>(topo.tag_count());
+  sim::EnergyMeter e2(topo.tag_count());
+  const auto two_phase = search_tags_filtered(wanted, topo,
+                                              template_for(topo), filtered,
+                                              e2);
+
+  // Same answers on the wanted set.
+  ASSERT_EQ(plain.verdicts.size(), two_phase.verdicts.size());
+  for (std::size_t i = 0; i < wanted.size(); ++i)
+    EXPECT_TRUE(two_phase.verdicts[i].present);
+  // And a lot cheaper: >5x on slots, >3x on received bits.
+  EXPECT_LT(two_phase.clock.total_slots() * 5, plain.clock.total_slots());
+  EXPECT_LT(e2.total_received() * 3, e1.total_received());
+}
+
+TEST(FilteredSearch, RejectsBadArguments) {
+  const auto topo = net::make_star(3);
+  FilteredSearchConfig cfg;
+  sim::EnergyMeter energy(3);
+  EXPECT_THROW(
+      (void)search_tags_filtered({}, topo, template_for(topo), cfg, energy),
+      Error);
+  EXPECT_THROW((void)bloom_required_bits(0, 4, 0.01), Error);
+  EXPECT_THROW((void)bloom_required_bits(10, 0, 0.01), Error);
+  EXPECT_THROW((void)bloom_required_bits(10, 4, 1.0), Error);
+  EXPECT_THROW((void)build_bloom_filter({1}, 0, 4, 1), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

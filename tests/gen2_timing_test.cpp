@@ -1,0 +1,101 @@
+#include "sim/gen2_timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nettag::sim {
+namespace {
+
+TEST(Gen2Timing, DefaultsAreValidAndSane) {
+  const Gen2Timing timing;
+  EXPECT_NO_THROW(timing.validate());
+  // BLF 320 kHz -> T_pri = 3.125 us; Miller-4 -> 12.5 us per tag bit.
+  EXPECT_DOUBLE_EQ(timing.tpri_us(), 3.125);
+  EXPECT_DOUBLE_EQ(timing.tag_bit_us(), 12.5);
+  // Tari 12.5 -> RTcal = 34.375 us; T1 = max(34.375, 31.25) = 34.375.
+  EXPECT_DOUBLE_EQ(timing.rtcal_us(), 34.375);
+  EXPECT_DOUBLE_EQ(timing.t1_us(), 34.375);
+}
+
+TEST(Gen2Timing, FastProfileT1DominatedByTpri) {
+  Gen2Timing fast;
+  fast.tari_us = 6.25;
+  fast.blf_khz = 640.0;
+  fast.miller = 1;
+  fast.validate();
+  // RTcal = 17.1875 us vs 10 T_pri = 15.625 us: RTcal wins.
+  EXPECT_DOUBLE_EQ(fast.t1_us(), 17.1875);
+  // Tag rate = BLF/1 = 640 kbps -> 1.5625 us/bit.
+  EXPECT_DOUBLE_EQ(fast.tag_bit_us(), 1.5625);
+}
+
+TEST(Gen2Timing, SlowProfileT1DominatedByRtcal) {
+  Gen2Timing slow;
+  slow.tari_us = 25.0;
+  slow.blf_khz = 40.0;
+  slow.miller = 8;
+  slow.validate();
+  // 10 T_pri = 250 us > RTcal = 68.75 us.
+  EXPECT_DOUBLE_EQ(slow.t1_us(), 250.0);
+}
+
+TEST(Gen2Timing, PreambleLengths) {
+  Gen2Timing t;
+  t.miller = 1;
+  t.pilot_tone = false;
+  EXPECT_EQ(t.tag_preamble_bits(), 6);  // FM0, TRext = 0
+  t.pilot_tone = true;
+  EXPECT_EQ(t.tag_preamble_bits(), 18);  // FM0, TRext = 1
+  t.miller = 4;
+  EXPECT_EQ(t.tag_preamble_bits(), 22);  // Miller, TRext = 1
+  t.pilot_tone = false;
+  EXPECT_EQ(t.tag_preamble_bits(), 10);  // Miller, TRext = 0
+}
+
+TEST(Gen2Timing, IdSlotLongerThanBitSlot) {
+  const Gen2Timing timing;
+  EXPECT_GT(timing.id_slot_us(false), timing.bit_slot_us());
+  EXPECT_GT(timing.id_slot_us(true), timing.bit_slot_us());
+  // 95 extra tag bits at 12.5 us each.
+  EXPECT_NEAR(timing.id_slot_us(false) - timing.bit_slot_us(), 95.0 * 12.5,
+              1e-9);
+}
+
+TEST(Gen2Timing, SessionConversion) {
+  const Gen2Timing timing;
+  SlotClock clock;
+  clock.add_bit_slots(1'000);
+  clock.add_id_slots(10);
+  const double expected =
+      (1'000.0 * timing.bit_slot_us() + 10.0 * timing.id_slot_us(true)) *
+      1e-6;
+  EXPECT_DOUBLE_EQ(timing.seconds(clock, true), expected);
+  EXPECT_GT(timing.seconds(clock, true), 0.0);
+}
+
+TEST(Gen2Timing, PaperScaleSanity) {
+  // GMLE-CCM at r = 6 is ~5,078 slots (mostly 1-bit): with the default
+  // profile that is well under a second — the practicality the paper
+  // implies but does not compute.
+  const Gen2Timing timing;
+  SlotClock clock;
+  clock.add_bit_slots(5'023);
+  clock.add_id_slots(55);
+  const double seconds = timing.seconds(clock, true);
+  EXPECT_GT(seconds, 0.2);
+  EXPECT_LT(seconds, 2.0);
+}
+
+TEST(Gen2Timing, ValidationRejectsOutOfSpec) {
+  Gen2Timing t;
+  t.tari_us = 5.0;
+  EXPECT_THROW(t.validate(), Error);
+  t = {};
+  t.blf_khz = 1'000.0;
+  EXPECT_THROW(t.validate(), Error);
+  t = {};
+  t.miller = 3;
+  EXPECT_THROW(t.validate(), Error);
+}
+
+}  // namespace
+}  // namespace nettag::sim

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "geom/circle_math.hpp"
+#include "geom/disk.hpp"
+#include "geom/point.hpp"
+
+namespace nettag::geom {
+namespace {
+
+TEST(Point, DistanceBasics) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(norm(b), 5.0);
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+}
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Point{2.0, 4.0}));
+}
+
+TEST(DiskSampling, StaysInsideDisk) {
+  Rng rng(3);
+  const Point center{5.0, -2.0};
+  for (int i = 0; i < 10'000; ++i) {
+    const Point p = sample_disk(rng, center, 7.5);
+    ASSERT_LE(distance(p, center), 7.5 + 1e-12);
+  }
+}
+
+TEST(DiskSampling, AnnulusRespectsBothRadii) {
+  Rng rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const Point p = sample_annulus(rng, {0, 0}, 2.0, 3.0);
+    const double d = norm(p);
+    ASSERT_GE(d, 2.0 - 1e-12);
+    ASSERT_LE(d, 3.0 + 1e-12);
+  }
+}
+
+TEST(DiskSampling, RadiallyUniform) {
+  // Uniform-over-area means P(|p| <= t*Rad) = t^2; check at t = 1/2:
+  // a quarter of the samples inside half the radius.
+  Rng rng(5);
+  constexpr int kSamples = 100'000;
+  int inside = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (norm(sample_disk(rng, {0, 0}, 10.0)) <= 5.0) ++inside;
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / kSamples, 0.25, 0.01);
+}
+
+TEST(DiskSampling, AngularlyUniform) {
+  Rng rng(6);
+  constexpr int kSamples = 100'000;
+  int right_half = 0;
+  int top_half = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const Point p = sample_disk(rng, {0, 0}, 1.0);
+    right_half += p.x > 0.0 ? 1 : 0;
+    top_half += p.y > 0.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(right_half) / kSamples, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(top_half) / kSamples, 0.5, 0.01);
+}
+
+TEST(DiskSampling, BatchHasRequestedCount) {
+  Rng rng(7);
+  EXPECT_EQ(sample_disk_points(rng, {0, 0}, 1.0, 321).size(), 321u);
+  EXPECT_TRUE(sample_disk_points(rng, {0, 0}, 1.0, 0).empty());
+}
+
+TEST(DiskSampling, InvalidAnnulusThrows) {
+  Rng rng(8);
+  EXPECT_THROW((void)sample_annulus(rng, {0, 0}, 3.0, 2.0), Error);
+  EXPECT_THROW((void)sample_annulus(rng, {0, 0}, -1.0, 2.0), Error);
+}
+
+TEST(CircleMath, DisjointCirclesShareNothing) {
+  EXPECT_DOUBLE_EQ(circle_intersection_area(1.0, 1.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(circle_intersection_area(1.0, 1.0, 2.0), 0.0);  // tangent
+}
+
+TEST(CircleMath, ContainedCircleGivesSmallerArea) {
+  const double area = circle_intersection_area(2.0, 10.0, 1.0);
+  EXPECT_NEAR(area, std::numbers::pi * 4.0, 1e-9);
+  // Symmetric in the arguments.
+  EXPECT_NEAR(circle_intersection_area(10.0, 2.0, 1.0), area, 1e-9);
+}
+
+TEST(CircleMath, EqualCirclesHalfOverlapKnownValue) {
+  // Two unit circles at distance 1: lens area = 2*pi/3 - sqrt(3)/2.
+  const double expected = 2.0 * std::numbers::pi / 3.0 - std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(circle_intersection_area(1.0, 1.0, 1.0), expected, 1e-9);
+}
+
+TEST(CircleMath, ZeroRadiusGivesZero) {
+  EXPECT_DOUBLE_EQ(circle_intersection_area(0.0, 5.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(circle_intersection_area(5.0, 0.0, 1.0), 0.0);
+}
+
+TEST(CircleMath, MonotoneInDistance) {
+  double prev = circle_intersection_area(3.0, 4.0, 0.0);
+  for (double d = 0.5; d <= 8.0; d += 0.5) {
+    const double area = circle_intersection_area(3.0, 4.0, d);
+    EXPECT_LE(area, prev + 1e-12) << "d = " << d;
+    prev = area;
+  }
+}
+
+TEST(CircleMath, MatchesMonteCarlo) {
+  // Property check of the closed form against rejection sampling for a
+  // handful of awkward geometries (tangency, near-containment, generic).
+  Rng rng(11);
+  struct Case {
+    double r1, r2, d;
+  };
+  for (const auto& c : {Case{2.0, 3.0, 2.5}, Case{1.0, 1.0, 0.1},
+                        Case{6.0, 30.0, 23.0}, Case{12.0, 20.0, 23.0},
+                        Case{4.0, 4.1, 8.0}}) {
+    constexpr int kSamples = 400'000;
+    int hits = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      const Point p = sample_disk(rng, {0, 0}, c.r1);
+      if (distance(p, {c.d, 0.0}) <= c.r2) ++hits;
+    }
+    const double mc = std::numbers::pi * c.r1 * c.r1 *
+                      static_cast<double>(hits) / kSamples;
+    const double exact = circle_intersection_area(c.r1, c.r2, c.d);
+    EXPECT_NEAR(exact, mc, 0.02 * std::numbers::pi * c.r1 * c.r1 + 0.05)
+        << "r1=" << c.r1 << " r2=" << c.r2 << " d=" << c.d;
+  }
+}
+
+TEST(CircleMath, AreaOutsideComplementsIntersection) {
+  const double rc = 6.0;
+  const double full = std::numbers::pi * rc * rc;
+  for (const double d : {0.0, 10.0, 25.0, 28.0, 40.0}) {
+    const double outside = area_outside(rc, d, 30.0);
+    const double inside = circle_intersection_area(rc, 30.0, d);
+    EXPECT_NEAR(outside + inside, full, 1e-9) << "d = " << d;
+  }
+  // Fully inside the big circle: nothing outside.
+  EXPECT_NEAR(area_outside(6.0, 0.0, 30.0), 0.0, 1e-9);
+  // Fully beyond it: everything outside.
+  EXPECT_NEAR(area_outside(6.0, 100.0, 30.0), std::numbers::pi * 36.0, 1e-9);
+}
+
+TEST(CircleMath, RejectsNegativeInputs) {
+  EXPECT_THROW((void)circle_intersection_area(-1.0, 1.0, 1.0), Error);
+  EXPECT_THROW((void)circle_intersection_area(1.0, -1.0, 1.0), Error);
+  EXPECT_THROW((void)circle_intersection_area(1.0, 1.0, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace nettag::geom

@@ -1,0 +1,162 @@
+#include "protocols/estimator/gmle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitmap.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+/// Simulates the empty-slot count of one traditional frame.
+int simulate_empty_slots(int n, FrameSize f, double p, Seed seed) {
+  Bitmap bitmap(f);
+  for (int i = 0; i < n; ++i) {
+    const TagId id = fmix64(static_cast<TagId>(i) + 1 + (seed << 20));
+    if (participates(id, seed, p)) bitmap.set(slot_pick(id, seed, f));
+  }
+  return f - bitmap.count();
+}
+
+TEST(Gmle, RecoversPopulationFromExpectedCounts) {
+  // Feed the estimator the *expected* empty-slot count; the MLE must invert
+  // it exactly (up to rounding of z).
+  for (const int n : {100, 1'000, 10'000}) {
+    const FrameSize f = 1671;
+    const double p = gmle_sampling_probability(f, n);
+    const double q = std::exp(n * std::log1p(-p / f));
+    const FrameObservation obs{f, p, static_cast<int>(std::round(f * q))};
+    const auto est = gmle_estimate({&obs, 1});
+    EXPECT_NEAR(est.n_hat, n, 0.02 * n) << "n = " << n;
+  }
+}
+
+TEST(Gmle, SingleFrameAtPaperSettingHitsFivePercent) {
+  // f = 1671 was derived so one frame at optimal load meets (95 %, 5 %).
+  Rng rng(1);
+  int within = 0;
+  constexpr int kTrials = 200;
+  const int n = 10'000;
+  const FrameSize f = 1671;
+  const double p = gmle_sampling_probability(f, n);
+  for (int t = 0; t < kTrials; ++t) {
+    const FrameObservation obs{
+        f, p, simulate_empty_slots(n, f, p, static_cast<Seed>(t) + 1)};
+    const auto est = gmle_estimate({&obs, 1});
+    if (std::abs(est.n_hat - n) <= 0.05 * n) ++within;
+  }
+  // Expect ~95 %; allow slack for the binomial noise of 200 trials.
+  EXPECT_GE(within, kTrials * 88 / 100);
+}
+
+TEST(Gmle, MultipleFramesTightenTheEstimate) {
+  const int n = 5'000;
+  const FrameSize f = 256;  // deliberately small per-frame information
+  const double p = gmle_sampling_probability(f, n);
+  std::vector<FrameObservation> frames;
+  double prev_err = 1e18;
+  for (int count : {1, 4, 16}) {
+    frames.clear();
+    for (int i = 0; i < count; ++i)
+      frames.push_back(
+          {f, p, simulate_empty_slots(n, f, p, static_cast<Seed>(i) + 50)});
+    const auto est = gmle_estimate(frames);
+    EXPECT_LT(est.std_error, prev_err) << count << " frames";
+    prev_err = est.std_error;
+  }
+  // 16 frames of f=256 carry ~2.4x the information of one f=1671 frame.
+  EXPECT_LT(prev_err, 0.05 * n);
+}
+
+TEST(Gmle, AllEmptyMeansZeroPopulation) {
+  const FrameObservation obs{100, 0.5, 100};
+  const auto est = gmle_estimate({&obs, 1});
+  EXPECT_DOUBLE_EQ(est.n_hat, 0.0);
+  EXPECT_FALSE(est.saturated);
+}
+
+TEST(Gmle, AllBusyIsSaturated) {
+  const FrameObservation obs{100, 1.0, 0};
+  const auto est = gmle_estimate({&obs, 1}, 1e6);
+  EXPECT_TRUE(est.saturated);
+  EXPECT_DOUBLE_EQ(est.n_hat, 1e6);
+  EXPECT_FALSE(gmle_accuracy_met(est, 0.95, 0.05));
+}
+
+TEST(Gmle, MixedFrameSizesAndProbabilities) {
+  // Heterogeneous frames (the protocol adapts p between frames) must still
+  // produce a consistent joint estimate.
+  const int n = 2'000;
+  std::vector<FrameObservation> frames;
+  int idx = 0;
+  for (const FrameSize f : {128, 512, 1671}) {
+    for (const double p : {0.2, 0.8}) {
+      frames.push_back(
+          {f, p, simulate_empty_slots(n, f, p, static_cast<Seed>(++idx))});
+    }
+  }
+  const auto est = gmle_estimate(frames);
+  EXPECT_NEAR(est.n_hat, n, 0.1 * n);
+}
+
+TEST(Gmle, FisherInformationAdditive) {
+  const FrameObservation a{512, 0.5, 300};
+  const FrameObservation b{1024, 0.25, 700};
+  const std::vector<FrameObservation> both{a, b};
+  const double n = 1'000.0;
+  EXPECT_NEAR(gmle_fisher_information(both, n),
+              gmle_fisher_information({&a, 1}, n) +
+                  gmle_fisher_information({&b, 1}, n),
+              1e-9);
+}
+
+TEST(Gmle, RequiredFrameSizeReproducesPaperValue) {
+  // alpha = 95 %, beta = 5 % -> f = 1671 (SVI-B).
+  EXPECT_EQ(gmle_required_frame_size(0.95, 0.05), 1671);
+  // Tighter accuracy needs quadratically larger frames.
+  EXPECT_NEAR(static_cast<double>(gmle_required_frame_size(0.95, 0.025)),
+              4.0 * 1671.0, 10.0);
+}
+
+TEST(Gmle, OptimalLoadMaximisesInformation) {
+  // Information per slot at load c: c^2 q/(1-q), q = e^-c; c = 1.59 must
+  // beat nearby loads.
+  const auto info = [](double c) {
+    const double q = std::exp(-c);
+    return c * c * q / (1.0 - q);
+  };
+  EXPECT_GT(info(kOptimalLoad), info(1.2));
+  EXPECT_GT(info(kOptimalLoad), info(2.0));
+}
+
+TEST(Gmle, SamplingProbabilityClampedToOne) {
+  EXPECT_DOUBLE_EQ(gmle_sampling_probability(1671, 100.0), 1.0);
+  EXPECT_NEAR(gmle_sampling_probability(1671, 10'000.0), 0.2657, 1e-3);
+  EXPECT_DOUBLE_EQ(gmle_sampling_probability(100, 0.0), 1.0);
+}
+
+TEST(Gmle, AccuracyPredicateMatchesDefinition) {
+  GmleEstimate est;
+  est.n_hat = 10'000.0;
+  est.std_error = 200.0;
+  // z(0.95) * 200 = 329 <= 0.05 * 10000 = 500.
+  EXPECT_TRUE(gmle_accuracy_met(est, 0.95, 0.05));
+  est.std_error = 400.0;  // 658 > 500
+  EXPECT_FALSE(gmle_accuracy_met(est, 0.95, 0.05));
+}
+
+TEST(Gmle, RejectsInvalidFrames) {
+  const FrameObservation bad_f{0, 0.5, 0};
+  EXPECT_THROW((void)gmle_estimate({&bad_f, 1}), Error);
+  const FrameObservation bad_p{100, 0.0, 10};
+  EXPECT_THROW((void)gmle_estimate({&bad_p, 1}), Error);
+  const FrameObservation bad_z{100, 0.5, 101};
+  EXPECT_THROW((void)gmle_estimate({&bad_z, 1}), Error);
+  EXPECT_THROW((void)gmle_estimate({}), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

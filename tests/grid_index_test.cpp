@@ -1,0 +1,104 @@
+#include "geom/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "geom/disk.hpp"
+
+namespace nettag::geom {
+namespace {
+
+std::vector<TagIndex> brute_force(const std::vector<Point>& points, Point q,
+                                  double radius, TagIndex exclude) {
+  std::vector<TagIndex> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (static_cast<TagIndex>(i) == exclude) continue;
+    if (distance(points[i], q) <= radius) out.push_back(static_cast<TagIndex>(i));
+  }
+  return out;
+}
+
+TEST(GridIndex, EmptyPointSet) {
+  const GridIndex index({}, 1.0);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.query({0, 0}, 1.0, kInvalidTagIndex).empty());
+}
+
+TEST(GridIndex, SinglePoint) {
+  const GridIndex index({{1.0, 1.0}}, 2.0);
+  EXPECT_EQ(index.query({0, 0}, 2.0, kInvalidTagIndex),
+            std::vector<TagIndex>{0});
+  EXPECT_TRUE(index.query({5, 5}, 2.0, kInvalidTagIndex).empty());
+  EXPECT_TRUE(index.query({0, 0}, 2.0, 0).empty());  // excluded
+}
+
+TEST(GridIndex, BoundaryPointIncluded) {
+  const GridIndex index({{3.0, 0.0}}, 3.0);
+  // Exactly on the radius: included (<=), matching link semantics.
+  EXPECT_EQ(index.query({0, 0}, 3.0, kInvalidTagIndex).size(), 1u);
+}
+
+TEST(GridIndex, RadiusAboveCellSizeThrows) {
+  const GridIndex index({{0.0, 0.0}}, 1.0);
+  EXPECT_THROW((void)index.query({0, 0}, 1.5, kInvalidTagIndex), Error);
+}
+
+TEST(GridIndex, MatchesBruteForceOnRandomClouds) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double radius = rng.uniform(0.5, 4.0);
+    const auto points = sample_disk_points(rng, {0, 0}, 30.0, 800);
+    const GridIndex index(points, radius);
+    for (int q = 0; q < 50; ++q) {
+      const Point query = sample_disk(rng, {0, 0}, 32.0);
+      const TagIndex exclude =
+          (q % 3 == 0) ? static_cast<TagIndex>(rng.below(800))
+                       : kInvalidTagIndex;
+      auto got = index.query(query, radius, exclude);
+      auto want = brute_force(points, query, radius, exclude);
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "trial " << trial << " query " << q;
+    }
+  }
+}
+
+TEST(GridIndex, ForEachVisitsSameSetAsQuery) {
+  Rng rng(22);
+  const auto points = sample_disk_points(rng, {0, 0}, 10.0, 300);
+  const GridIndex index(points, 2.0);
+  const Point q{1.0, -2.0};
+  std::vector<TagIndex> visited;
+  index.for_each_in_range(q, 2.0, kInvalidTagIndex,
+                          [&visited](TagIndex t) { visited.push_back(t); });
+  std::sort(visited.begin(), visited.end());
+  EXPECT_EQ(visited, index.query(q, 2.0, kInvalidTagIndex));
+}
+
+TEST(GridIndex, DegenerateColinearPoints) {
+  // All points on a line exercise single-row grids.
+  std::vector<Point> points;
+  for (int i = 0; i < 100; ++i)
+    points.push_back({static_cast<double>(i) * 0.1, 0.0});
+  const GridIndex index(points, 1.0);
+  const auto got = index.query({0.0, 0.0}, 1.0, 0);
+  EXPECT_EQ(got.size(), 10u);  // indices 1..10 at distances 0.1..1.0
+  EXPECT_EQ(got.front(), 1);
+  EXPECT_EQ(got.back(), 10);
+}
+
+TEST(GridIndex, DuplicatePositionsAllReturned) {
+  const std::vector<Point> points(5, Point{2.0, 2.0});
+  const GridIndex index(points, 1.0);
+  EXPECT_EQ(index.query({2.0, 2.0}, 0.5, kInvalidTagIndex).size(), 5u);
+  EXPECT_EQ(index.query({2.0, 2.0}, 0.5, 2).size(), 4u);
+}
+
+TEST(GridIndex, InvalidCellSizeThrows) {
+  EXPECT_THROW(GridIndex({{0, 0}}, 0.0), Error);
+  EXPECT_THROW(GridIndex({{0, 0}}, -2.0), Error);
+}
+
+}  // namespace
+}  // namespace nettag::geom

@@ -1,0 +1,127 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace nettag {
+namespace {
+
+TEST(Hash, SlotPickDeterministic) {
+  EXPECT_EQ(slot_pick(42, 7, 100), slot_pick(42, 7, 100));
+  EXPECT_EQ(slot_pick(42, 7, 1671), slot_pick(42, 7, 1671));
+}
+
+TEST(Hash, SlotPickInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const TagId id = rng();
+    const Seed seed = rng();
+    const FrameSize f = 1 + static_cast<FrameSize>(rng.below(5000));
+    const SlotIndex s = slot_pick(id, seed, f);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, f);
+  }
+}
+
+TEST(Hash, SlotPickChangesWithSeed) {
+  // A fresh seed must re-randomise picks (each TRP execution / GMLE frame
+  // uses a new seed).  Expect ~1/f agreement rate.
+  Rng rng(2);
+  int same = 0;
+  constexpr int kSamples = 2000;
+  for (int i = 0; i < kSamples; ++i) {
+    const TagId id = rng();
+    same += (slot_pick(id, 1, 256) == slot_pick(id, 2, 256)) ? 1 : 0;
+  }
+  EXPECT_LT(same, kSamples / 50);  // ~8 expected at 1/256
+}
+
+TEST(Hash, SlotPickApproximatelyUniform) {
+  constexpr FrameSize kF = 16;
+  std::array<int, kF> counts{};
+  constexpr int kSamples = 160'000;
+  for (int i = 0; i < kSamples; ++i)
+    ++counts[static_cast<std::size_t>(slot_pick(static_cast<TagId>(i), 99, kF))];
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kSamples) / kF;
+  for (const int c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 37.7);  // chi2(15 dof) 99.9th percentile
+}
+
+TEST(Hash, ParticipationEdgeCases) {
+  EXPECT_TRUE(participates(1, 2, 1.0));
+  EXPECT_TRUE(participates(1, 2, 1.5));
+  EXPECT_FALSE(participates(1, 2, 0.0));
+  EXPECT_FALSE(participates(1, 2, -0.5));
+}
+
+TEST(Hash, ParticipationRateMatchesProbability) {
+  for (const double p : {0.1, 0.265689, 0.5, 0.9}) {
+    int hits = 0;
+    constexpr int kSamples = 100'000;
+    for (int i = 0; i < kSamples; ++i)
+      hits += participates(static_cast<TagId>(i) * 2654435761u, 7, p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, p, 0.01)
+        << "p = " << p;
+  }
+}
+
+TEST(Hash, ParticipationIndependentOfSlotPick) {
+  // Among participants, slot picks must still be uniform (no correlation
+  // between the two hash uses).
+  constexpr FrameSize kF = 8;
+  std::array<int, kF> counts{};
+  int participants = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    const TagId id = fmix64(static_cast<TagId>(i) + 1);
+    if (!participates(id, 5, 0.25)) continue;
+    ++participants;
+    ++counts[static_cast<std::size_t>(slot_pick(id, 5, kF))];
+  }
+  const double expected = static_cast<double>(participants) / kF;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 29.9);  // chi2(7 dof) 99.99th percentile ~ 29.9
+}
+
+TEST(Hash, MultiPickIndependentPerIndex) {
+  // slot_pick_k(k) must differ across k for most IDs.
+  int all_same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const TagId id = fmix64(static_cast<TagId>(i) + 17);
+    const SlotIndex a = slot_pick_k(id, 3, 512, 0);
+    const SlotIndex b = slot_pick_k(id, 3, 512, 1);
+    const SlotIndex c = slot_pick_k(id, 3, 512, 2);
+    if (a == b && b == c) ++all_same;
+  }
+  EXPECT_EQ(all_same, 0);
+}
+
+TEST(Hash, Fmix64IsBijectiveOnSamples) {
+  // fmix64 is a bijection; no two distinct small inputs may collide.
+  std::array<std::uint64_t, 1000> outs{};
+  for (std::size_t i = 0; i < outs.size(); ++i) outs[i] = fmix64(i);
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    for (std::size_t j = i + 1; j < outs.size(); ++j)
+      ASSERT_NE(outs[i], outs[j]);
+  }
+}
+
+TEST(Hash, InvalidFrameSizeThrows) {
+  EXPECT_THROW((void)slot_pick(1, 2, 0), Error);
+  EXPECT_THROW((void)slot_pick(1, 2, -5), Error);
+  EXPECT_THROW((void)slot_pick_k(1, 2, 10, -1), Error);
+}
+
+}  // namespace
+}  // namespace nettag

@@ -1,0 +1,141 @@
+#include "protocols/missing/identification.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+struct Staged {
+  std::vector<TagId> inventory;
+  net::Topology present;
+  std::vector<TagId> truly_missing;
+};
+
+/// Builds a geometric deployment, removes `missing_count` tags from the
+/// network while keeping the full inventory.
+Staged stage(int n, int missing_count, Seed seed) {
+  SystemConfig sys;
+  sys.tag_count = n;
+  sys.tag_to_tag_range_m = 7.0;
+  Rng rng(seed);
+  net::Deployment full =
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+  std::vector<TagId> inventory = full.ids;
+
+  std::vector<TagIndex> gone;
+  for (int i = 0; i < missing_count; ++i)
+    gone.push_back(static_cast<TagIndex>(i * 11 % full.tag_count()));
+  std::sort(gone.begin(), gone.end());
+  gone.erase(std::unique(gone.begin(), gone.end()), gone.end());
+  std::vector<TagId> missing_ids;
+  for (const TagIndex t : gone)
+    missing_ids.push_back(full.ids[static_cast<std::size_t>(t)]);
+  full.remove_tags(gone);
+
+  return {std::move(inventory), net::Topology(full, sys),
+          std::move(missing_ids)};
+}
+
+ccm::CcmConfig template_for(const net::Topology& topo) {
+  ccm::CcmConfig cfg;
+  cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+  cfg.max_rounds = topo.tier_count() + 4;
+  return cfg;
+}
+
+TEST(Identification, FindsEveryMissingTagAndOnlyThose) {
+  const Staged staged = stage(1'200, 30, 5);
+  const MissingTagDetector detector(staged.inventory);
+  IdentificationConfig cfg;
+  cfg.completeness = 0.99;
+  sim::EnergyMeter energy(staged.present.tag_count());
+  const auto outcome = identify_missing_tags(
+      detector, staged.present, template_for(staged.present), cfg, energy);
+
+  EXPECT_TRUE(outcome.confident);
+  // Soundness: every named tag is genuinely missing (Theorem 1 exactness).
+  const std::unordered_set<TagId> truth(staged.truly_missing.begin(),
+                                        staged.truly_missing.end());
+  for (const TagId id : outcome.missing)
+    EXPECT_TRUE(truth.count(id)) << "false accusation of " << id;
+  // Completeness: with the 99 % rule every staged tag should be found here.
+  EXPECT_EQ(outcome.missing.size(), truth.size());
+}
+
+TEST(Identification, NoMissingTagsTerminatesQuickly) {
+  const Staged staged = stage(800, 0, 6);
+  const MissingTagDetector detector(staged.inventory);
+  IdentificationConfig cfg;
+  sim::EnergyMeter energy(staged.present.tag_count());
+  const auto outcome = identify_missing_tags(
+      detector, staged.present, template_for(staged.present), cfg, energy);
+  EXPECT_TRUE(outcome.missing.empty());
+  EXPECT_TRUE(outcome.confident);
+  // q ~ 0.5 at the auto frame size: ~7 empty executions reach 99 %.
+  EXPECT_LE(outcome.executions, 12);
+}
+
+TEST(Identification, HigherCompletenessCostsMoreExecutions) {
+  const Staged staged = stage(700, 10, 7);
+  const MissingTagDetector detector(staged.inventory);
+
+  IdentificationConfig loose;
+  loose.completeness = 0.9;
+  IdentificationConfig strict;
+  strict.completeness = 0.999;
+  sim::EnergyMeter e1(staged.present.tag_count());
+  sim::EnergyMeter e2(staged.present.tag_count());
+  const auto a = identify_missing_tags(detector, staged.present,
+                                       template_for(staged.present), loose, e1);
+  const auto b = identify_missing_tags(
+      detector, staged.present, template_for(staged.present), strict, e2);
+  EXPECT_LE(a.executions, b.executions);
+  EXPECT_TRUE(b.confident);
+}
+
+TEST(Identification, SmallFrameStillConvergesSlowly) {
+  // An undersized frame lowers q, needing more executions, but the result
+  // stays sound.
+  const Staged staged = stage(600, 15, 8);
+  const MissingTagDetector detector(staged.inventory);
+  IdentificationConfig cfg;
+  cfg.frame_size = 256;  // q = (1-1/256)^~585 ~ 0.10
+  cfg.max_executions = 200;
+  sim::EnergyMeter energy(staged.present.tag_count());
+  const auto outcome = identify_missing_tags(
+      detector, staged.present, template_for(staged.present), cfg, energy);
+  EXPECT_TRUE(outcome.confident);
+  const std::unordered_set<TagId> truth(staged.truly_missing.begin(),
+                                        staged.truly_missing.end());
+  for (const TagId id : outcome.missing) EXPECT_TRUE(truth.count(id));
+  EXPECT_GT(outcome.executions, 10);
+}
+
+TEST(Identification, RejectsBadConfig) {
+  const Staged staged = stage(100, 0, 9);
+  const MissingTagDetector detector(staged.inventory);
+  sim::EnergyMeter energy(staged.present.tag_count());
+  IdentificationConfig cfg;
+  cfg.completeness = 1.0;
+  EXPECT_THROW(
+      (void)identify_missing_tags(detector, staged.present,
+                                  template_for(staged.present), cfg, energy),
+      Error);
+  cfg = {};
+  cfg.max_executions = 0;
+  EXPECT_THROW(
+      (void)identify_missing_tags(detector, staged.present,
+                                  template_for(staged.present), cfg, energy),
+      Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

@@ -1,0 +1,143 @@
+#include "protocols/estimator/lof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+#include "test_util.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+/// Traditional (single-hop) LoF bitmap over a synthetic population.
+Bitmap traditional_lof_bitmap(int n, const LofConfig& config) {
+  const LofSlotSelector selector(config);
+  Bitmap bitmap(config.frame_size());
+  for (int i = 0; i < n; ++i) {
+    const TagId id = fmix64(static_cast<TagId>(i) + 31'337);
+    for (const SlotIndex s :
+         selector.pick(id, config.seed, config.frame_size()))
+      bitmap.set(s);
+  }
+  return bitmap;
+}
+
+TEST(Lof, SelectorLayout) {
+  LofConfig cfg;
+  cfg.groups = 8;
+  cfg.slots_per_group = 16;
+  const LofSlotSelector selector(cfg);
+  for (int i = 0; i < 2'000; ++i) {
+    const auto picks =
+        selector.pick(fmix64(static_cast<TagId>(i)), 5, cfg.frame_size());
+    ASSERT_EQ(picks.size(), 1u);
+    ASSERT_GE(picks[0], 0);
+    ASSERT_LT(picks[0], cfg.frame_size());
+  }
+}
+
+TEST(Lof, GeometricSlotDistribution) {
+  // Within a group, slot i is picked with probability ~2^-(i+1).
+  LofConfig cfg;
+  cfg.groups = 1;
+  cfg.slots_per_group = 20;
+  const LofSlotSelector selector(cfg);
+  std::vector<int> counts(20, 0);
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto picks =
+        selector.pick(fmix64(static_cast<TagId>(i) + 9), 77, 20);
+    ++counts[static_cast<std::size_t>(picks[0])];
+  }
+  for (int s = 0; s < 6; ++s) {
+    const double expected = kSamples * std::pow(0.5, s + 1);
+    EXPECT_NEAR(counts[static_cast<std::size_t>(s)], expected,
+                5.0 * std::sqrt(expected))
+        << "slot " << s;
+  }
+}
+
+TEST(Lof, EstimateWithinPredictedError) {
+  LofConfig cfg;
+  cfg.groups = 1'024;
+  for (const int n : {1'000, 10'000, 100'000}) {
+    const auto estimate = lof_estimate(traditional_lof_bitmap(n, cfg), cfg);
+    // ~2.4 % predicted: allow 4 sigma.
+    EXPECT_NEAR(estimate.n_hat, n,
+                4.0 * estimate.relative_std_error * n)
+        << "n = " << n;
+  }
+}
+
+TEST(Lof, MoreGroupsTightenTheError) {
+  LofConfig small;
+  small.groups = 64;
+  LofConfig large;
+  large.groups = 4'096;
+  const auto e_small = lof_estimate(traditional_lof_bitmap(20'000, small), small);
+  const auto e_large = lof_estimate(traditional_lof_bitmap(20'000, large), large);
+  EXPECT_LT(e_large.relative_std_error, e_small.relative_std_error);
+  EXPECT_LT(std::abs(e_large.n_hat - 20'000.0),
+            4.0 * e_large.relative_std_error * 20'000.0);
+}
+
+TEST(Lof, EmptyBitmapEstimatesZero) {
+  LofConfig cfg;
+  cfg.groups = 256;
+  const Bitmap empty(cfg.frame_size());
+  const auto estimate = lof_estimate(empty, cfg);
+  // Linear-counting regime: all groups empty -> n = -m ln(m/m) = 0.
+  EXPECT_DOUBLE_EQ(estimate.n_hat, 0.0);
+}
+
+TEST(Lof, OverCcmEqualsTraditional) {
+  // Theorem 1 again: the networked LoF bitmap is the traditional one.
+  SystemConfig sys;
+  sys.tag_count = 1'500;
+  sys.tag_to_tag_range_m = 7.0;
+  Rng rng(3);
+  const net::Topology topo(
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys), sys);
+
+  LofConfig cfg;
+  cfg.groups = 512;
+  ccm::CcmConfig tmpl;
+  tmpl.apply_geometry(sys);
+  tmpl.checking_frame_length =
+      std::max(sys.checking_frame_length(), 2 * topo.tier_count());
+  tmpl.max_rounds = topo.tier_count() + 4;
+
+  sim::EnergyMeter energy(topo.tag_count());
+  const auto outcome = estimate_cardinality_lof(cfg, topo, tmpl, energy);
+
+  // Compare against the traditional bitmap of the same (real) population.
+  const LofSlotSelector selector(cfg);
+  const Bitmap truth =
+      test::ground_truth_bitmap(topo, selector, cfg.seed, cfg.frame_size());
+  EXPECT_DOUBLE_EQ(outcome.estimate.n_hat, lof_estimate(truth, cfg).n_hat);
+  EXPECT_NEAR(outcome.estimate.n_hat, topo.tag_count(),
+              4.0 * outcome.estimate.relative_std_error * topo.tag_count());
+  EXPECT_GT(outcome.clock.total_slots(), 0);
+}
+
+TEST(Lof, RejectsBadConfig) {
+  LofConfig cfg;
+  cfg.groups = 0;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  cfg.slots_per_group = 1;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  cfg.slots_per_group = 65;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  Bitmap wrong(10);
+  EXPECT_THROW((void)lof_estimate(wrong, cfg), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

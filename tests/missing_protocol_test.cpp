@@ -1,0 +1,184 @@
+#include "protocols/missing/missing_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+#include "protocols/missing/trp.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+ccm::CcmConfig template_for(const net::Topology& topo) {
+  ccm::CcmConfig cfg;
+  cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+  return cfg;
+}
+
+TEST(MissingProtocol, NoAlarmWhenNothingMissing) {
+  const auto topo = net::make_layered(3, 8);
+  std::vector<TagId> inventory;
+  for (TagIndex t = 0; t < topo.tag_count(); ++t)
+    inventory.push_back(topo.id_of(t));
+  const MissingTagDetector detector(std::move(inventory));
+
+  DetectionConfig cfg;
+  cfg.frame_size = 512;
+  cfg.executions = 5;
+  cfg.stop_on_alarm = false;
+  sim::EnergyMeter energy(topo.tag_count());
+  const DetectionOutcome outcome =
+      detector.detect(topo, template_for(topo), cfg, energy);
+  EXPECT_FALSE(outcome.alarm);  // Theorem 1: zero false positives, ever
+  EXPECT_TRUE(outcome.silent_slots.empty());
+  EXPECT_EQ(outcome.executions_run, 5);
+}
+
+TEST(MissingProtocol, DetectsAndIncriminatesMissingTag) {
+  // Build a line, then drop the deepest tag from the NETWORK while keeping
+  // it in the inventory.
+  const int n = 8;
+  std::vector<std::vector<TagIndex>> adj(static_cast<std::size_t>(n - 1));
+  for (TagIndex t = 0; t + 1 < n - 1; ++t) {
+    adj[static_cast<std::size_t>(t)].push_back(t + 1);
+    adj[static_cast<std::size_t>(t + 1)].push_back(t);
+  }
+  std::vector<TagId> inventory;
+  for (int i = 0; i < n; ++i) inventory.push_back(fmix64(static_cast<TagId>(i) + 5));
+  std::vector<TagId> present_ids(inventory.begin(), inventory.end() - 1);
+  std::vector<bool> hears(static_cast<std::size_t>(n - 1), false);
+  hears[0] = true;
+  const net::Topology present(present_ids, adj, hears, {});
+
+  const MissingTagDetector detector(inventory);
+  DetectionConfig cfg;
+  cfg.frame_size = 4096;  // big frame: the missing tag's slot is empty w.h.p.
+  cfg.executions = 8;
+  cfg.stop_on_alarm = true;
+  sim::EnergyMeter energy(present.tag_count());
+  const DetectionOutcome outcome =
+      detector.detect(present, template_for(present), cfg, energy);
+
+  ASSERT_TRUE(outcome.alarm);
+  // The genuinely missing tag is among the candidates; with f = 4096 and 7
+  // present tags it is almost surely alone in its slot.
+  EXPECT_NE(std::find(outcome.missing_candidates.begin(),
+                      outcome.missing_candidates.end(), inventory.back()),
+            outcome.missing_candidates.end());
+  // Every candidate genuinely hashes into a silent slot — and present tags
+  // can never be candidates (their slot is busy by Theorem 1).
+  for (const TagId candidate : outcome.missing_candidates)
+    EXPECT_EQ(candidate, inventory.back());
+}
+
+TEST(MissingProtocol, DetectionProbabilityAcrossTrials) {
+  // Geometric deployment, 5 % of tags removed, paper-style sizing at the
+  // derived frame size: the per-execution alarm rate must be >= ~delta.
+  SystemConfig sys;
+  sys.tag_count = 1'000;
+  sys.tag_to_tag_range_m = 7.0;
+  Rng rng(71);
+  const net::Deployment full =
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+  const MissingTagDetector detector(full.ids);
+
+  const int m = 20;
+  const FrameSize f =
+      trp_required_frame_size(full.tag_count(), m, 0.95);
+
+  int alarms = 0;
+  constexpr int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    net::Deployment depleted = full;
+    std::vector<TagIndex> gone;
+    while (static_cast<int>(gone.size()) < m + 5) {
+      const auto t = static_cast<TagIndex>(
+          rng.below(static_cast<std::uint64_t>(full.tag_count())));
+      if (std::find(gone.begin(), gone.end(), t) == gone.end())
+        gone.push_back(t);
+    }
+    depleted.remove_tags(gone);
+    const net::Topology present(depleted, sys);
+
+    DetectionConfig cfg;
+    cfg.frame_size = f;
+    cfg.base_seed = static_cast<Seed>(trial) * 131 + 7;
+    sim::EnergyMeter energy(present.tag_count());
+    ccm::CcmConfig tmpl;
+    tmpl.apply_geometry(sys);
+    tmpl.max_rounds = present.tier_count() + 4;
+    alarms += detector.detect(present, tmpl, cfg, energy).alarm ? 1 : 0;
+  }
+  EXPECT_GE(alarms, kTrials * 85 / 100);
+}
+
+TEST(MissingProtocol, MultipleExecutionsBoostDetection) {
+  // With a deliberately undersized frame a single execution often misses;
+  // eight executions almost never do.
+  const auto star = net::make_star(200);
+  std::vector<TagId> inventory;
+  for (TagIndex t = 0; t < star.tag_count(); ++t)
+    inventory.push_back(star.id_of(t));
+  inventory.push_back(0xdeadbeefULL);  // one tag that is not in the network
+
+  const MissingTagDetector detector(inventory);
+  DetectionConfig single;
+  single.frame_size = 64;  // tiny: e^{-200/64} ~ 4 % per-execution
+  single.executions = 1;
+
+  DetectionConfig many = single;
+  many.executions = 64;
+
+  int single_hits = 0;
+  int many_hits = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    sim::EnergyMeter e1(star.tag_count());
+    sim::EnergyMeter e2(star.tag_count());
+    DetectionConfig s = single;
+    s.base_seed = static_cast<Seed>(trial) + 1;
+    DetectionConfig m = many;
+    m.base_seed = static_cast<Seed>(trial) + 1;
+    single_hits += detector.detect(star, template_for(star), s, e1).alarm;
+    many_hits += detector.detect(star, template_for(star), m, e2).alarm;
+  }
+  EXPECT_GT(many_hits, single_hits);
+  EXPECT_GE(many_hits, 25);
+}
+
+TEST(MissingProtocol, EffectiveFrameSizeDerivation) {
+  std::vector<TagId> inventory(1000);
+  for (std::size_t i = 0; i < inventory.size(); ++i)
+    inventory[i] = fmix64(i + 1);
+  const MissingTagDetector detector(inventory);
+  DetectionConfig cfg;
+  cfg.tolerance_m = 50;
+  cfg.delta = 0.95;
+  EXPECT_EQ(detector.effective_frame_size(cfg),
+            trp_required_frame_size(1000, 50, 0.95));
+  cfg.frame_size = 777;
+  EXPECT_EQ(detector.effective_frame_size(cfg), 777);
+}
+
+TEST(MissingProtocol, SilentSlotHelperPure) {
+  std::vector<TagId> inventory{10, 20, 30};
+  const MissingTagDetector detector(inventory);
+  Bitmap observed(128);
+  const Seed seed = 9;
+  observed.set(slot_pick(10, seed, 128));
+  observed.set(slot_pick(20, seed, 128));
+  // Tag 30's slot left idle.
+  const auto silent = detector.silent_expected_slots(observed, seed);
+  ASSERT_EQ(silent.size(), 1u);
+  EXPECT_EQ(silent[0], slot_pick(30, seed, 128));
+}
+
+TEST(MissingProtocol, EmptyInventoryRejected) {
+  EXPECT_THROW(MissingTagDetector({}), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

@@ -1,0 +1,133 @@
+#include "net/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "geom/point.hpp"
+#include "net/topology.hpp"
+#include "test_util.hpp"
+
+namespace nettag::net {
+namespace {
+
+SystemConfig small_sys(int n) {
+  SystemConfig sys;
+  sys.tag_count = n;
+  sys.tag_to_tag_range_m = 6.0;
+  return sys;
+}
+
+TEST(Mobility, OnlyPositionsChange) {
+  const SystemConfig sys = small_sys(500);
+  Rng rng(1);
+  const Deployment before = make_disk_deployment(sys, rng);
+  MobilityModel model;
+  model.move_fraction = 0.5;
+  Rng move_rng(2);
+  const Deployment after = move_tags(before, model, move_rng);
+  EXPECT_EQ(after.ids, before.ids);
+  EXPECT_EQ(after.readers.size(), before.readers.size());
+  int moved = 0;
+  for (std::size_t i = 0; i < before.positions.size(); ++i) {
+    const double step =
+        geom::distance(before.positions[i], after.positions[i]);
+    EXPECT_LE(step, model.max_step_m + 1e-9);
+    EXPECT_LE(geom::norm(after.positions[i]), model.region_radius_m + 1e-9);
+    moved += step > 0.0 ? 1 : 0;
+  }
+  // ~half the tags moved.
+  EXPECT_GT(moved, 150);
+  EXPECT_LT(moved, 350);
+}
+
+TEST(Mobility, ZeroFractionIsIdentity) {
+  const SystemConfig sys = small_sys(100);
+  Rng rng(3);
+  const Deployment before = make_disk_deployment(sys, rng);
+  MobilityModel model;
+  model.move_fraction = 0.0;
+  Rng move_rng(4);
+  const Deployment after = move_tags(before, model, move_rng);
+  for (std::size_t i = 0; i < before.positions.size(); ++i)
+    EXPECT_EQ(before.positions[i], after.positions[i]);
+}
+
+TEST(Mobility, LinkChurnGrowsWithMovement) {
+  const SystemConfig sys = small_sys(600);
+  Rng rng(5);
+  const Deployment before = make_disk_deployment(sys, rng);
+  double prev = -1.0;
+  for (const double fraction : {0.0, 0.2, 0.8}) {
+    MobilityModel model;
+    model.move_fraction = fraction;
+    Rng move_rng(6);
+    const Deployment after = move_tags(before, model, move_rng);
+    const double churn = link_churn(before, after, sys);
+    EXPECT_GE(churn, prev) << "fraction " << fraction;
+    EXPECT_GE(churn, 0.0);
+    EXPECT_LE(churn, 1.0);
+    prev = churn;
+  }
+  EXPECT_GT(prev, 0.2);  // heavy movement really does rewire the network
+}
+
+TEST(Mobility, CcmNeedsNoStateAcrossOperations) {
+  // The state-free thesis (SI): run a session, move a third of the tags,
+  // run the next session with NOTHING carried over — both sessions are
+  // exact for their respective topologies.
+  const SystemConfig sys = small_sys(800);
+  Rng rng(7);
+  const Deployment day1 = connected_subset(make_disk_deployment(sys, rng), sys);
+
+  MobilityModel model;
+  model.move_fraction = 0.3;
+  Rng move_rng(8);
+  const Deployment day2_raw = move_tags(day1, model, move_rng);
+  const Deployment day2 = connected_subset(day2_raw, sys);
+
+  const ccm::HashedSlotSelector selector(1.0);
+  for (const Deployment* day : {&day1, &day2}) {
+    const Topology topology(*day, sys);
+    ccm::CcmConfig cfg;
+    cfg.frame_size = 1024;
+    cfg.request_seed = 99;
+    cfg.checking_frame_length =
+        std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+    cfg.max_rounds = topology.tier_count() + 4;
+    const auto session = ccm::run_session(topology, cfg, selector);
+    ASSERT_TRUE(session.completed);
+    EXPECT_EQ(session.bitmap,
+              test::ground_truth_bitmap(topology, selector, 99, 1024));
+  }
+  // The network genuinely changed between the operations.
+  EXPECT_GT(link_churn(day1, move_tags(day1, model, move_rng), sys), 0.05);
+}
+
+TEST(Mobility, RejectsBadModel) {
+  const SystemConfig sys = small_sys(10);
+  Rng rng(9);
+  const Deployment d = make_disk_deployment(sys, rng);
+  Rng move_rng(10);
+  MobilityModel model;
+  model.move_fraction = 1.5;
+  EXPECT_THROW((void)move_tags(d, model, move_rng), Error);
+  model = {};
+  model.max_step_m = -1.0;
+  EXPECT_THROW((void)move_tags(d, model, move_rng), Error);
+  model = {};
+  model.region_radius_m = 0.0;
+  EXPECT_THROW((void)move_tags(d, model, move_rng), Error);
+}
+
+TEST(Mobility, ChurnRequiresSameTagSet) {
+  const SystemConfig sys = small_sys(20);
+  Rng rng(11);
+  const Deployment a = make_disk_deployment(sys, rng);
+  Deployment b = a;
+  b.remove_tags({0});
+  EXPECT_THROW((void)link_churn(a, b, sys), Error);
+}
+
+}  // namespace
+}  // namespace nettag::net

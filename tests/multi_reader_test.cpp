@@ -1,0 +1,137 @@
+#include "ccm/multi_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccm/session.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+
+namespace nettag::ccm {
+namespace {
+
+/// Deployment with explicit tag/reader positions.
+net::Deployment custom(std::vector<geom::Point> tags,
+                       std::vector<geom::Point> readers) {
+  net::Deployment d;
+  d.readers = std::move(readers);
+  for (std::size_t i = 0; i < tags.size(); ++i)
+    d.ids.push_back(fmix64(static_cast<TagId>(i) + 1));
+  d.positions = std::move(tags);
+  return d;
+}
+
+SystemConfig tight_config() {
+  SystemConfig sys;
+  sys.tag_count = 1;  // not used by the explicit deployments here
+  sys.disk_radius_m = 100.0;
+  sys.reader_to_tag_range_m = 12.0;
+  sys.tag_to_reader_range_m = 8.0;
+  sys.tag_to_tag_range_m = 5.0;
+  return sys;
+}
+
+CcmConfig session_config() {
+  CcmConfig cfg;
+  cfg.frame_size = 128;
+  cfg.request_seed = 31;
+  cfg.checking_frame_length = 8;
+  return cfg;
+}
+
+TEST(MultiReader, UnionCoversTagsNoSingleReaderSees) {
+  // Two readers 40 m apart; one tag near each.  Neither reader hears or
+  // covers the other's tag.
+  const auto d = custom({{0, 0}, {40, 0}}, {{2, 0}, {38, 0}});
+  const SystemConfig sys = tight_config();
+  const CcmConfig cfg = session_config();
+  const HashedSlotSelector selector(1.0);
+
+  sim::EnergyMeter energy(2);
+  const MultiReaderResult result =
+      run_multi_reader_session(d, sys, cfg, selector, energy);
+
+  Bitmap expected(cfg.frame_size);
+  expected.set(slot_pick(d.ids[0], cfg.request_seed, cfg.frame_size));
+  expected.set(slot_pick(d.ids[1], cfg.request_seed, cfg.frame_size));
+  EXPECT_EQ(result.bitmap, expected);
+  EXPECT_EQ(result.covered_tags, 2);
+  ASSERT_EQ(result.per_reader.size(), 2u);
+  // Each individual reader saw exactly one bit.
+  EXPECT_EQ(result.per_reader[0].bitmap.count(), 1);
+  EXPECT_EQ(result.per_reader[1].bitmap.count(), 1);
+}
+
+TEST(MultiReader, SharedTagDeduplicatesInUnion) {
+  // One tag covered by both readers: it picks the same slot in both windows
+  // (deterministic hashing), so the OR holds one bit, not two.
+  const auto d = custom({{10, 0}}, {{5, 0}, {15, 0}});
+  const SystemConfig sys = tight_config();
+  const CcmConfig cfg = session_config();
+  const HashedSlotSelector selector(1.0);
+  sim::EnergyMeter energy(1);
+  const MultiReaderResult result =
+      run_multi_reader_session(d, sys, cfg, selector, energy);
+  EXPECT_EQ(result.bitmap.count(), 1);
+  EXPECT_EQ(result.per_reader[0].bitmap, result.per_reader[1].bitmap);
+  // The tag spent energy in both windows.
+  EXPECT_GE(energy.sent(0), 2);
+}
+
+TEST(MultiReader, ClockSumsSerializedWindows) {
+  const auto d = custom({{2, 0}, {38, 0}}, {{2, 0}, {38, 0}});
+  const SystemConfig sys = tight_config();
+  const CcmConfig cfg = session_config();
+  const HashedSlotSelector selector(1.0);
+  sim::EnergyMeter energy(2);
+  const MultiReaderResult result =
+      run_multi_reader_session(d, sys, cfg, selector, energy);
+  SlotCount sum = 0;
+  for (const auto& s : result.per_reader) sum += s.clock.total_slots();
+  EXPECT_EQ(result.clock.total_slots(), sum);
+}
+
+TEST(MultiReader, TagOutsideEveryReaderIsSilent) {
+  const auto d = custom({{2, 0}, {70, 0}}, {{0, 0}});
+  const SystemConfig sys = tight_config();
+  const CcmConfig cfg = session_config();
+  const HashedSlotSelector selector(1.0);
+  sim::EnergyMeter energy(2);
+  const MultiReaderResult result =
+      run_multi_reader_session(d, sys, cfg, selector, energy);
+  EXPECT_EQ(result.covered_tags, 1);
+  EXPECT_EQ(result.bitmap.count(), 1);
+  EXPECT_EQ(energy.sent(1), 0);
+  EXPECT_EQ(energy.received(1), 0);
+}
+
+TEST(MultiReader, RelayBridgesToTheCloserReader) {
+  // Three-tag chain: t0 (5 m) is heard (r' = 8); t1 (8.5 m) and t2 (12 m)
+  // are covered (R = 12) and relay over 3.5 m tag-to-tag hops.
+  const auto d = custom({{5, 0}, {8.5, 0}, {12, 0}}, {{0, 0}});
+  const SystemConfig sys = tight_config();
+  const CcmConfig cfg = session_config();
+  const HashedSlotSelector selector(1.0);
+  sim::EnergyMeter energy(3);
+  const MultiReaderResult result =
+      run_multi_reader_session(d, sys, cfg, selector, energy);
+  Bitmap expected(cfg.frame_size);
+  for (const TagId id : d.ids)
+    expected.set(slot_pick(id, cfg.request_seed, cfg.frame_size));
+  EXPECT_EQ(result.bitmap, expected);  // t2's bit relayed over two hops
+  EXPECT_TRUE(result.per_reader[0].completed);
+}
+
+TEST(MultiReader, NoReadersThrows) {
+  net::Deployment d;
+  d.ids = {1};
+  d.positions = {{0, 0}};
+  const SystemConfig sys = tight_config();
+  const CcmConfig cfg = session_config();
+  const HashedSlotSelector selector(1.0);
+  sim::EnergyMeter energy(1);
+  EXPECT_THROW(
+      (void)run_multi_reader_session(d, sys, cfg, selector, energy), Error);
+}
+
+}  // namespace
+}  // namespace nettag::ccm

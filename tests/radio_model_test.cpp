@@ -1,0 +1,145 @@
+#include "net/radio_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "test_util.hpp"
+
+namespace nettag::net {
+namespace {
+
+SystemConfig sys_for(int n) {
+  SystemConfig sys;
+  sys.tag_count = n;
+  sys.tag_to_tag_range_m = 6.0;
+  return sys;
+}
+
+TEST(RadioModel, LinkProbabilityShape) {
+  RadioModel model;
+  model.reference_range_m = 6.0;
+  model.shadowing_sigma_db = 4.0;
+  // Exactly 1/2 at the reference range.
+  EXPECT_NEAR(model.link_probability(6.0), 0.5, 1e-9);
+  // Monotone decreasing in distance.
+  double prev = 1.1;
+  for (const double d : {0.5, 2.0, 4.0, 6.0, 8.0, 12.0, 20.0}) {
+    const double p = model.link_probability(d);
+    EXPECT_LT(p, prev) << "d = " << d;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  // Contact range is certain.
+  EXPECT_DOUBLE_EQ(model.link_probability(0.0), 1.0);
+}
+
+TEST(RadioModel, ZeroSigmaIsTheDiskModel) {
+  RadioModel model;
+  model.shadowing_sigma_db = 0.0;
+  model.reference_range_m = 6.0;
+  EXPECT_DOUBLE_EQ(model.link_probability(5.999), 1.0);
+  EXPECT_DOUBLE_EQ(model.link_probability(6.001), 0.0);
+
+  // Topology under sigma = 0 equals the geometric disk topology.
+  const SystemConfig sys = sys_for(400);
+  Rng rng(3);
+  const Deployment d = make_disk_deployment(sys, rng);
+  const Topology disk(d, sys);
+  const Topology shadowed = build_shadowed_topology(d, sys, model);
+  for (TagIndex t = 0; t < disk.tag_count(); ++t) {
+    const auto a = disk.neighbors(t);
+    const auto b = shadowed.neighbors(t);
+    ASSERT_EQ(std::vector<TagIndex>(a.begin(), a.end()),
+              std::vector<TagIndex>(b.begin(), b.end()))
+        << "tag " << t;
+  }
+}
+
+TEST(RadioModel, LinksAreSymmetricAndStable) {
+  const SystemConfig sys = sys_for(500);
+  Rng rng(5);
+  const Deployment d = make_disk_deployment(sys, rng);
+  RadioModel model;
+  model.shadowing_sigma_db = 6.0;
+  // The Topology constructor itself validates symmetry; building twice must
+  // give the identical graph (pair-hash draws, no stream consumption).
+  const Topology a = build_shadowed_topology(d, sys, model);
+  const Topology b = build_shadowed_topology(d, sys, model);
+  for (TagIndex t = 0; t < a.tag_count(); ++t)
+    EXPECT_EQ(a.degree(t), b.degree(t));
+}
+
+TEST(RadioModel, EmpiricalLinkRateMatchesProbability) {
+  // Place many pairs at a fixed distance and compare the realised link rate
+  // with link_probability().
+  RadioModel model;
+  model.shadowing_sigma_db = 4.0;
+  model.reference_range_m = 6.0;
+  const double d = 7.5;
+  const double expected = model.link_probability(d);
+
+  SystemConfig sys = sys_for(2);
+  sys.disk_radius_m = 1'000.0;
+  sys.reader_to_tag_range_m = 1'000.0;
+  sys.tag_to_reader_range_m = 900.0;
+  int links = 0;
+  constexpr int kPairs = 4'000;
+  for (int i = 0; i < kPairs; ++i) {
+    Deployment pair;
+    pair.readers = {{0.0, 0.0}};
+    pair.ids = {fmix64(static_cast<TagId>(i) * 2 + 1),
+                fmix64(static_cast<TagId>(i) * 2 + 2)};
+    pair.positions = {{static_cast<double>(i % 60) * 20.0, 0.0},
+                      {static_cast<double>(i % 60) * 20.0 + d, 0.0}};
+    const Topology topo = build_shadowed_topology(pair, sys, model);
+    links += topo.degree(0) > 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(links) / kPairs, expected, 0.025);
+}
+
+TEST(RadioModel, Theorem1SurvivesIrregularLinks) {
+  // CCM is link-model agnostic: the session bitmap is exact on the shadowed
+  // graph too (restricted to reachable tags).
+  const SystemConfig sys = sys_for(900);
+  Rng rng(9);
+  const Deployment d = make_disk_deployment(sys, rng);
+  RadioModel model;
+  model.shadowing_sigma_db = 6.0;
+  const Topology topo = build_shadowed_topology(d, sys, model);
+  ASSERT_GT(topo.reachable_count(), 500);
+
+  const ccm::HashedSlotSelector selector(0.6);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 512;
+  cfg.request_seed = 17;
+  cfg.checking_frame_length = 2 * (topo.tier_count() + 2);
+  cfg.max_rounds = topo.tier_count() + 6;
+  const auto session = ccm::run_session(topo, cfg, selector);
+  ASSERT_TRUE(session.completed);
+  EXPECT_EQ(session.bitmap,
+            test::ground_truth_bitmap(topo, selector, 17, 512));
+}
+
+TEST(RadioModel, RejectsUnphysicalParameters) {
+  RadioModel model;
+  model.path_loss_exponent = 0.5;
+  EXPECT_THROW(model.validate(), Error);
+  model = {};
+  model.shadowing_sigma_db = -1.0;
+  EXPECT_THROW(model.validate(), Error);
+  model = {};
+  model.reference_range_m = 0.0;
+  EXPECT_THROW(model.validate(), Error);
+  model = {};
+  model.max_range_factor = 0.5;
+  EXPECT_THROW(model.validate(), Error);
+  model = {};
+  EXPECT_THROW((void)model.link_probability(-1.0), Error);
+}
+
+}  // namespace
+}  // namespace nettag::net

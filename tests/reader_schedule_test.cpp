@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "ccm/multi_reader.hpp"
+#include "ccm/slot_selector.hpp"
+#include "geom/point.hpp"
+
+namespace nettag::ccm {
+namespace {
+
+net::Deployment with_readers(std::vector<geom::Point> readers,
+                             std::vector<geom::Point> tags) {
+  net::Deployment d;
+  d.readers = std::move(readers);
+  for (std::size_t i = 0; i < tags.size(); ++i)
+    d.ids.push_back(fmix64(static_cast<TagId>(i) + 1));
+  d.positions = std::move(tags);
+  return d;
+}
+
+SystemConfig sys_small() {
+  SystemConfig sys;
+  sys.tag_count = 1;
+  sys.disk_radius_m = 500.0;
+  sys.reader_to_tag_range_m = 10.0;
+  sys.tag_to_reader_range_m = 7.0;
+  sys.tag_to_tag_range_m = 3.0;
+  return sys;
+}
+
+TEST(ReaderSchedule, FarApartReadersShareOneGroup) {
+  // Clearance = 2*10 + guard 6 = 26 m; readers 100 m apart.
+  const auto d = with_readers({{0, 0}, {100, 0}, {200, 0}}, {});
+  const ReaderSchedule schedule = schedule_readers(d, sys_small(), 6.0);
+  ASSERT_EQ(schedule.groups.size(), 1u);
+  EXPECT_EQ(schedule.groups[0].size(), 3u);
+}
+
+TEST(ReaderSchedule, OverlappingReadersSplit) {
+  const auto d = with_readers({{0, 0}, {15, 0}, {100, 0}}, {});
+  const ReaderSchedule schedule = schedule_readers(d, sys_small(), 6.0);
+  ASSERT_EQ(schedule.groups.size(), 2u);
+  // Readers 0 and 2 are compatible; reader 1 clashes with 0.
+  EXPECT_EQ(schedule.groups[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(schedule.groups[1], std::vector<int>{1});
+}
+
+TEST(ReaderSchedule, ScheduleIsAlwaysValid) {
+  // Property: no two members of one group within the clearance.
+  Rng rng(4);
+  SystemConfig sys = sys_small();
+  for (int trial = 0; trial < 10; ++trial) {
+    net::Deployment d;
+    const int m = 2 + static_cast<int>(rng.below(10));
+    for (int i = 0; i < m; ++i)
+      d.readers.push_back(
+          {rng.uniform(0.0, 120.0), rng.uniform(0.0, 120.0)});
+    const double guard = rng.uniform(0.0, 10.0);
+    const ReaderSchedule schedule = schedule_readers(d, sys, guard);
+    const double clearance = 2.0 * sys.reader_to_tag_range_m + guard;
+    std::size_t placed = 0;
+    for (const auto& group : schedule.groups) {
+      placed += group.size();
+      for (std::size_t a = 0; a < group.size(); ++a) {
+        for (std::size_t b = a + 1; b < group.size(); ++b) {
+          EXPECT_GE(
+              geom::distance(
+                  d.readers[static_cast<std::size_t>(group[a])],
+                  d.readers[static_cast<std::size_t>(group[b])]),
+              clearance);
+        }
+      }
+    }
+    EXPECT_EQ(placed, d.readers.size());
+  }
+}
+
+TEST(ReaderSchedule, ParallelExecutionSavesTime) {
+  // Two far-apart readers, one tag each: parallel runs both windows at
+  // once; round-robin pays them back to back.  Bitmaps must agree.
+  const auto d = with_readers({{0, 0}, {100, 0}},
+                              {{2, 0}, {98, 0}});
+  const SystemConfig sys = sys_small();
+  CcmConfig cfg;
+  cfg.frame_size = 64;
+  cfg.request_seed = 9;
+  cfg.checking_frame_length = 6;
+
+  const HashedSlotSelector selector(1.0);
+  sim::EnergyMeter e1(2);
+  sim::EnergyMeter e2(2);
+  const auto serial = run_multi_reader_session(d, sys, cfg, selector, e1);
+  const auto parallel =
+      run_multi_reader_session_parallel(d, sys, cfg, selector, e2);
+
+  EXPECT_EQ(serial.bitmap, parallel.bitmap);
+  EXPECT_EQ(parallel.schedule.groups.size(), 1u);
+  EXPECT_EQ(serial.schedule.groups.size(), 2u);
+  EXPECT_EQ(parallel.clock.total_slots(), serial.clock.total_slots() / 2);
+  // Per-tag energy identical: the schedule never changes who transmits.
+  EXPECT_EQ(e1.total_sent(), e2.total_sent());
+  EXPECT_EQ(e1.total_received(), e2.total_received());
+}
+
+TEST(ReaderSchedule, InterferingReadersStaySerialized) {
+  const auto d = with_readers({{0, 0}, {12, 0}}, {{2, 0}, {10, 0}});
+  const SystemConfig sys = sys_small();
+  CcmConfig cfg;
+  cfg.frame_size = 64;
+  cfg.request_seed = 9;
+  cfg.checking_frame_length = 6;
+  const HashedSlotSelector selector(1.0);
+  sim::EnergyMeter energy(2);
+  const auto parallel =
+      run_multi_reader_session_parallel(d, sys, cfg, selector, energy);
+  EXPECT_EQ(parallel.schedule.groups.size(), 2u);
+  SlotCount sum = 0;
+  for (const auto& s : parallel.per_reader) sum += s.clock.total_slots();
+  EXPECT_EQ(parallel.clock.total_slots(), sum);
+}
+
+TEST(ReaderSchedule, RejectsNegativeGuard) {
+  const auto d = with_readers({{0, 0}}, {});
+  EXPECT_THROW((void)schedule_readers(d, sys_small(), -1.0), Error);
+}
+
+}  // namespace
+}  // namespace nettag::ccm

@@ -1,0 +1,101 @@
+#include "ccm/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "net/topology_builders.hpp"
+#include "test_util.hpp"
+
+namespace nettag::ccm {
+namespace {
+
+using test::FixedSlotSelector;
+
+TEST(RoundTrace, RelaysByTierShowTheInwardWave) {
+  // Line of 4, distinct slots: round 1 everyone transmits (tiers 1-4);
+  // round 2 relays happen at tiers 1-3 (tier 4 has nothing new to relay
+  // inward: its only neighbor's slot is silenced... not necessarily —
+  // check the exact wave on this controlled topology).
+  const auto line = net::make_line(4);
+  std::map<TagId, std::vector<SlotIndex>> picks;
+  for (TagIndex t = 0; t < 4; ++t)
+    picks[line.id_of(t)] = {static_cast<SlotIndex>(t)};
+  const FixedSlotSelector selector(picks);
+  CcmConfig cfg;
+  cfg.frame_size = 8;
+  cfg.checking_frame_length = 10;
+  const SessionResult result = run_session(line, cfg, selector);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.rounds, 4);
+
+  // Round 1: one transmission per tier.
+  ASSERT_EQ(result.round_trace[0].relays_by_tier.size(), 4u);
+  for (const SlotCount c : result.round_trace[0].relays_by_tier)
+    EXPECT_EQ(c, 1);
+  // Final round: only tier 1 relays the deepest slot inward.
+  const auto& last = result.round_trace[3].relays_by_tier;
+  ASSERT_GE(last.size(), 1u);
+  EXPECT_EQ(last[0], 1);
+  for (std::size_t k = 1; k < last.size(); ++k) EXPECT_EQ(last[k], 0);
+  // Per-round totals match the by-tier split.
+  for (const auto& round : result.round_trace) {
+    SlotCount sum = 0;
+    for (const SlotCount c : round.relays_by_tier) sum += c;
+    EXPECT_EQ(sum, round.relay_transmissions);
+  }
+}
+
+TEST(Report, SummaryMentionsTheEssentials) {
+  const auto star = net::make_star(5);
+  CcmConfig cfg;
+  cfg.frame_size = 64;
+  cfg.request_seed = 3;
+  cfg.checking_frame_length = 4;
+  const SessionResult result =
+      run_session(star, cfg, HashedSlotSelector(1.0));
+  const std::string summary = format_session_summary(result);
+  EXPECT_NE(summary.find("1 round"), std::string::npos);
+  EXPECT_NE(summary.find("drained"), std::string::npos);
+  EXPECT_NE(summary.find("/64"), std::string::npos);
+}
+
+TEST(Report, FullReportNarratesRounds) {
+  const auto line = net::make_line(3);
+  CcmConfig cfg;
+  cfg.frame_size = 32;
+  cfg.request_seed = 5;
+  cfg.checking_frame_length = 8;
+  const SessionResult result =
+      run_session(line, cfg, HashedSlotSelector(1.0));
+  const std::string report = format_session_report(result, line);
+  EXPECT_NE(report.find("3 tags"), std::string::npos);
+  EXPECT_NE(report.find("round 1:"), std::string::npos);
+  EXPECT_NE(report.find("silence, terminate"), std::string::npos);
+  EXPECT_NE(report.find("by tier:"), std::string::npos);
+}
+
+TEST(Report, IncompleteSessionFlagged) {
+  const auto line = net::make_line(6);
+  CcmConfig cfg;
+  cfg.frame_size = 32;
+  cfg.checking_frame_length = 14;
+  cfg.max_rounds = 2;  // not enough for 6 tiers
+  const SessionResult result =
+      run_session(line, cfg, HashedSlotSelector(1.0));
+  EXPECT_NE(format_session_summary(result).find("INCOMPLETE"),
+            std::string::npos);
+}
+
+TEST(Report, EnergySummaryFormat) {
+  sim::EnergyMeter energy(2);
+  energy.add_sent(0, 10);
+  energy.add_received(1, 20);
+  const std::string text = format_energy_summary(energy);
+  EXPECT_NE(text.find("sent avg 5"), std::string::npos);
+  EXPECT_NE(text.find("max 10"), std::string::npos);
+  EXPECT_NE(text.find("received avg 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nettag::ccm

@@ -1,0 +1,75 @@
+#include "analysis/sicp_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "protocols/idcollect/sicp.hpp"
+
+namespace nettag::analysis {
+namespace {
+
+TEST(SicpModel, ExpectedTierMatchesRingArithmetic) {
+  SystemConfig sys;  // r defaults to 6: fractions 4/9, 276/900, 224/900
+  const SicpCosts costs = sicp_cost_model(sys);
+  const double expected =
+      1.0 * (400.0 / 900.0) + 2.0 * (276.0 / 900.0) + 3.0 * (224.0 / 900.0);
+  EXPECT_NEAR(costs.expected_tier, expected, 1e-9);
+  EXPECT_NEAR(costs.data_hops, 10'000.0 * expected, 1e-6);
+  EXPECT_DOUBLE_EQ(costs.poll_slots, 10'000.0);
+}
+
+TEST(SicpModel, CostsScaleWithPopulation) {
+  SystemConfig small;
+  small.tag_count = 1'000;
+  SystemConfig large;
+  large.tag_count = 10'000;
+  const SicpCosts a = sicp_cost_model(small);
+  const SicpCosts b = sicp_cost_model(large);
+  EXPECT_NEAR(b.total_slots / a.total_slots, 10.0, 0.2);
+  // Per-tag sent bits are population-independent under the ring model.
+  EXPECT_NEAR(a.avg_sent_bits, b.avg_sent_bits, 1e-9);
+}
+
+TEST(SicpModel, TracksSimulationWithinTolerance) {
+  SystemConfig sys;
+  sys.tag_count = 4'000;
+  sys.tag_to_tag_range_m = 6.0;
+  Rng rng(11);
+  const net::Topology topo(net::make_disk_deployment(sys, rng), sys);
+  sim::EnergyMeter energy(topo.tag_count());
+  Rng protocol_rng(12);
+  const auto result = protocols::run_sicp(topo, {}, protocol_rng, energy);
+  const auto summary = energy.summarize();
+
+  const SicpCosts predicted = sicp_cost_model(sys);
+  const auto measured_slots =
+      static_cast<double>(result.clock.total_slots());
+  EXPECT_NEAR(predicted.total_slots, measured_slots, 0.35 * measured_slots);
+  EXPECT_NEAR(predicted.avg_sent_bits, summary.avg_sent_bits,
+              0.35 * summary.avg_sent_bits);
+  EXPECT_NEAR(predicted.avg_received_bits, summary.avg_received_bits,
+              0.40 * summary.avg_received_bits);
+}
+
+TEST(SicpModel, SentRisesReceivedVariesWithRange) {
+  SystemConfig sys;
+  double prev_sent = 1e18;
+  for (const double r : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+    sys.tag_to_tag_range_m = r;
+    const SicpCosts costs = sicp_cost_model(sys);
+    // Shallower trees -> fewer relays per tag.
+    EXPECT_LT(costs.avg_sent_bits, prev_sent + 1e-9) << "r = " << r;
+    prev_sent = costs.avg_sent_bits;
+    EXPECT_GT(costs.avg_received_bits, costs.avg_sent_bits);
+  }
+}
+
+TEST(SicpModel, RejectsBadInput) {
+  SystemConfig sys;
+  EXPECT_THROW((void)sicp_cost_model(sys, 0.0), Error);
+  EXPECT_THROW((void)sicp_cost_model(sys, 0.5, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace nettag::analysis

@@ -1,0 +1,120 @@
+#include "protocols/idcollect/sicp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/deployment.hpp"
+#include "net/topology_builders.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+std::vector<TagId> sorted(std::vector<TagId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<TagId> reachable_ids(const net::Topology& topo) {
+  std::vector<TagId> ids;
+  for (TagIndex t = 0; t < topo.tag_count(); ++t) {
+    if (topo.tier(t) != net::kUnreachable) ids.push_back(topo.id_of(t));
+  }
+  return ids;
+}
+
+TEST(Sicp, CollectsEveryIdExactlyOnce) {
+  const auto layered = net::make_layered(3, 6);
+  Rng rng(1);
+  sim::EnergyMeter energy(layered.tag_count());
+  const IdCollectionResult result = run_sicp(layered, {}, rng, energy);
+  EXPECT_EQ(sorted(result.collected), sorted(reachable_ids(layered)));
+}
+
+TEST(Sicp, SkipsUnreachableTags) {
+  const std::vector<std::vector<TagIndex>> adj{{1}, {0}, {}};
+  const net::Topology topo({10, 20, 30}, adj, {true, false, false}, {});
+  Rng rng(2);
+  sim::EnergyMeter energy(3);
+  const IdCollectionResult result = run_sicp(topo, {}, rng, energy);
+  EXPECT_EQ(sorted(result.collected), (std::vector<TagId>{10, 20}));
+}
+
+TEST(Sicp, SlotBreakdownConsistent) {
+  const auto line = net::make_line(5);
+  Rng rng(3);
+  sim::EnergyMeter energy(5);
+  const IdCollectionResult result = run_sicp(line, {}, rng, energy);
+  // Data hops: each tag's ID crosses tier(t) hops = 1+2+3+4+5 = 15.
+  EXPECT_EQ(result.data_slots, 15);
+  // Polls: one per tree edge incl. reader's = 5 in a line.
+  EXPECT_EQ(result.poll_slots, 5);
+  // Serialized phase needs no link ACKs.
+  EXPECT_EQ(result.ack_slots, 0);
+  // The serialized phase is all 96-bit slots; total time covers the tree
+  // build windows too.
+  EXPECT_GE(result.clock.id_slots(),
+            result.data_slots + result.poll_slots + result.ack_slots);
+  EXPECT_EQ(result.clock.bit_slots(), 0);
+}
+
+TEST(Sicp, EnergyReflectsSubtreeRelaying) {
+  // In a line the tier-1 tag forwards every ID: its sent bits dominate.
+  const auto line = net::make_line(6);
+  Rng rng(4);
+  sim::EnergyMeter energy(6);
+  (void)run_sicp(line, {}, rng, energy);
+  for (TagIndex t = 1; t < 6; ++t)
+    EXPECT_GT(energy.sent(0), energy.sent(t)) << "tag " << t;
+  // And the deepest tag sends the least (only its own traffic).
+  for (TagIndex t = 0; t < 5; ++t)
+    EXPECT_GT(energy.sent(t), energy.sent(5));
+}
+
+TEST(Sicp, OverhearingMakesReceiveDominateSend) {
+  // On a dense geometric deployment every transmission is overheard by
+  // hundreds of neighbors: avg received >> avg sent (Tables II-IV shape).
+  SystemConfig sys;
+  sys.tag_count = 700;
+  sys.tag_to_tag_range_m = 7.0;
+  Rng rng(5);
+  const net::Topology topo(net::make_disk_deployment(sys, rng), sys);
+  sim::EnergyMeter energy(topo.tag_count());
+  Rng protocol_rng(6);
+  const IdCollectionResult result = run_sicp(topo, {}, protocol_rng, energy);
+  EXPECT_EQ(result.collected.size(),
+            static_cast<std::size_t>(topo.reachable_count()));
+  const auto summary = energy.summarize();
+  EXPECT_GT(summary.avg_received_bits, 20.0 * summary.avg_sent_bits);
+}
+
+TEST(Sicp, StarNeedsNoRelay) {
+  const auto star = net::make_star(12);
+  Rng rng(7);
+  sim::EnergyMeter energy(12);
+  const IdCollectionResult result = run_sicp(star, {}, rng, energy);
+  EXPECT_EQ(result.collected.size(), 12u);
+  EXPECT_EQ(result.data_slots, 12);  // one hop each
+  EXPECT_EQ(result.poll_slots, 12);  // reader polls each tag
+  // No tag relays anyone else's ID: per-tag payload = own ID only.
+  for (TagIndex t = 0; t < 12; ++t) {
+    // own ID + registration beacons; never another tag's payload.
+    EXPECT_LT(energy.sent(t), 8 * 96) << "tag " << t;
+  }
+}
+
+TEST(Sicp, DeterministicGivenSeed) {
+  const auto tree = net::make_binary_tree(4);
+  sim::EnergyMeter e1(tree.tag_count());
+  sim::EnergyMeter e2(tree.tag_count());
+  Rng r1(9);
+  Rng r2(9);
+  const auto a = run_sicp(tree, {}, r1, e1);
+  const auto b = run_sicp(tree, {}, r2, e2);
+  EXPECT_EQ(a.clock.total_slots(), b.clock.total_slots());
+  EXPECT_EQ(sorted(a.collected), sorted(b.collected));
+  EXPECT_EQ(e1.total_sent(), e2.total_sent());
+}
+
+}  // namespace
+}  // namespace nettag::protocols

@@ -1,0 +1,166 @@
+#include "protocols/idcollect/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/deployment.hpp"
+#include "net/topology_builders.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+TreeBuildConfig default_config() { return {}; }
+
+void check_tree_valid(const net::Topology& topo, const SpanningTree& tree) {
+  for (TagIndex t = 0; t < topo.tag_count(); ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    if (topo.tier(t) == net::kUnreachable) {
+      EXPECT_EQ(tree.level[i], net::kUnreachable);
+      EXPECT_EQ(tree.parent[i], kInvalidTagIndex);
+      continue;
+    }
+    // Levels found by flooding equal BFS tiers (coverage completes level by
+    // level before the next wave starts).
+    EXPECT_EQ(tree.level[i], topo.tier(t)) << "tag " << t;
+    if (tree.level[i] == 1) {
+      EXPECT_EQ(tree.parent[i], kInvalidTagIndex);
+    } else {
+      const TagIndex p = tree.parent[i];
+      ASSERT_NE(p, kInvalidTagIndex) << "tag " << t;
+      // The parent is a real neighbor one level up.
+      EXPECT_EQ(tree.level[static_cast<std::size_t>(p)], tree.level[i] - 1);
+      const auto nb = topo.neighbors(t);
+      EXPECT_NE(std::find(nb.begin(), nb.end(), p), nb.end());
+    }
+  }
+  // Children lists are the inverse of the parent relation.
+  int children_total = static_cast<int>(tree.reader_children.size());
+  for (TagIndex t = 0; t < topo.tag_count(); ++t) {
+    for (const TagIndex c : tree.children[static_cast<std::size_t>(t)]) {
+      EXPECT_EQ(tree.parent[static_cast<std::size_t>(c)], t);
+      ++children_total;
+    }
+  }
+  // Every reachable tag registered exactly once.
+  int reachable = 0;
+  for (TagIndex t = 0; t < topo.tag_count(); ++t)
+    reachable += topo.tier(t) != net::kUnreachable ? 1 : 0;
+  EXPECT_EQ(children_total, reachable);
+  for (const TagIndex c : tree.reader_children)
+    EXPECT_EQ(tree.level[static_cast<std::size_t>(c)], 1);
+}
+
+TEST(SpanningTree, LineBuildsTheOnlyPossibleTree) {
+  const auto line = net::make_line(6);
+  Rng rng(1);
+  sim::EnergyMeter energy(6);
+  sim::SlotClock clock;
+  const SpanningTree tree =
+      build_spanning_tree(line, default_config(), rng, energy, clock);
+  check_tree_valid(line, tree);
+  for (TagIndex t = 1; t < 6; ++t)
+    EXPECT_EQ(tree.parent[static_cast<std::size_t>(t)], t - 1);
+  EXPECT_EQ(tree.reader_children, std::vector<TagIndex>{0});
+  const auto sizes = tree.subtree_sizes();
+  EXPECT_EQ(sizes[0], 6);
+  EXPECT_EQ(sizes[5], 1);
+  EXPECT_GT(clock.id_slots(), 0);
+  EXPECT_GT(energy.total_sent(), 0);
+}
+
+TEST(SpanningTree, LayeredRedundancyStillYieldsValidTree) {
+  const auto layered = net::make_layered(4, 7);
+  Rng rng(2);
+  sim::EnergyMeter energy(layered.tag_count());
+  sim::SlotClock clock;
+  const SpanningTree tree =
+      build_spanning_tree(layered, default_config(), rng, energy, clock);
+  check_tree_valid(layered, tree);
+}
+
+TEST(SpanningTree, GeometricDeploymentCoversAllReachable) {
+  SystemConfig sys;
+  sys.tag_count = 800;
+  sys.tag_to_tag_range_m = 6.0;
+  Rng rng(3);
+  const net::Topology topo(net::make_disk_deployment(sys, rng), sys);
+  sim::EnergyMeter energy(topo.tag_count());
+  sim::SlotClock clock;
+  Rng protocol_rng(4);
+  const SpanningTree tree =
+      build_spanning_tree(topo, default_config(), protocol_rng, energy, clock);
+  check_tree_valid(topo, tree);
+  // Subtree sizes over reader children account for every reachable tag.
+  const auto sizes = tree.subtree_sizes();
+  int total = 0;
+  for (const TagIndex c : tree.reader_children)
+    total += sizes[static_cast<std::size_t>(c)];
+  EXPECT_EQ(total, topo.reachable_count());
+}
+
+TEST(SpanningTree, UnreachableTagsLeftOut) {
+  // Two disconnected pairs; only the pair with a gateway is covered.
+  const std::vector<std::vector<TagIndex>> adj{{1}, {0}, {3}, {2}};
+  const net::Topology topo({1, 2, 3, 4}, adj, {true, false, false, false},
+                           {});
+  Rng rng(5);
+  sim::EnergyMeter energy(4);
+  sim::SlotClock clock;
+  const SpanningTree tree =
+      build_spanning_tree(topo, default_config(), rng, energy, clock);
+  check_tree_valid(topo, tree);
+  EXPECT_EQ(tree.level[2], net::kUnreachable);
+  EXPECT_EQ(tree.level[3], net::kUnreachable);
+  EXPECT_EQ(energy.sent(2), 0);
+}
+
+TEST(SpanningTree, EnergyIncludesOverhearing) {
+  // In a line, tag 1's beacons/registrations are overheard by both 0 and 2.
+  const auto line = net::make_line(3);
+  Rng rng(6);
+  sim::EnergyMeter energy(3);
+  sim::SlotClock clock;
+  (void)build_spanning_tree(line, default_config(), rng, energy, clock);
+  // Every tag both sent and overheard something (96-bit messages).
+  for (TagIndex t = 0; t < 3; ++t) {
+    EXPECT_GE(energy.sent(t), 96) << "tag " << t;
+    EXPECT_GE(energy.received(t), 96) << "tag " << t;
+    EXPECT_EQ(energy.sent(t) % 96, 0);
+  }
+}
+
+TEST(SpanningTree, DeterministicGivenRngSeed) {
+  const auto tree_topo = net::make_binary_tree(5);
+  sim::SlotClock c1;
+  sim::SlotClock c2;
+  sim::EnergyMeter e1(tree_topo.tag_count());
+  sim::EnergyMeter e2(tree_topo.tag_count());
+  Rng r1(7);
+  Rng r2(7);
+  const SpanningTree a =
+      build_spanning_tree(tree_topo, default_config(), r1, e1, c1);
+  const SpanningTree b =
+      build_spanning_tree(tree_topo, default_config(), r2, e2, c2);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(c1.id_slots(), c2.id_slots());
+  EXPECT_EQ(e1.total_received(), e2.total_received());
+}
+
+TEST(SpanningTree, RejectsBadConfig) {
+  const auto star = net::make_star(3);
+  Rng rng(8);
+  sim::EnergyMeter energy(3);
+  sim::SlotClock clock;
+  TreeBuildConfig cfg;
+  cfg.window_load = 0.0;
+  EXPECT_THROW(
+      (void)build_spanning_tree(star, cfg, rng, energy, clock), Error);
+  cfg = {};
+  cfg.min_window = 1;
+  EXPECT_THROW(
+      (void)build_spanning_tree(star, cfg, rng, energy, clock), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

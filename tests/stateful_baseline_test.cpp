@@ -1,0 +1,89 @@
+#include "protocols/stateful/stateful_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nettag::protocols {
+namespace {
+
+SystemConfig paper_sys() { return {}; }
+
+TEST(StatefulBaseline, MaintenanceDominatedByOverhearing) {
+  StatefulConfig cfg;
+  const StatefulCosts costs = stateful_costs(paper_sys(), cfg);
+  // Degree ~400 at r = 6: received maintenance is ~400x the sent side.
+  EXPECT_GT(costs.maintenance_recv_bits,
+            100.0 * costs.maintenance_sent_bits);
+  EXPECT_GT(costs.beacons_sent, 0.0);
+}
+
+TEST(StatefulBaseline, MaintenanceScalesWithBeaconRate) {
+  StatefulConfig slow;
+  slow.beacon_period_slots = 1e6;
+  slow.churn_per_interval = 0.0;  // isolate the beacon term
+  StatefulConfig fast = slow;
+  fast.beacon_period_slots = 1e5;
+  const auto a = stateful_costs(paper_sys(), slow);
+  const auto b = stateful_costs(paper_sys(), fast);
+  EXPECT_NEAR(b.maintenance_sent_bits, 10.0 * a.maintenance_sent_bits, 1e-6);
+  EXPECT_NEAR(b.beacons_sent, 10.0 * a.beacons_sent, 1e-9);
+  // Operation cost is independent of the beacon rate.
+  EXPECT_DOUBLE_EQ(a.operation_sent_bits, b.operation_sent_bits);
+}
+
+TEST(StatefulBaseline, StatefulOperationCheaperThanFullSicp) {
+  // The whole point of keeping state: the per-operation collection skips
+  // the tree build.
+  const StatefulConfig cfg;
+  const auto stateful = stateful_costs(paper_sys(), cfg);
+  const auto state_free = state_free_costs(paper_sys(), 3228);
+  EXPECT_LT(stateful.operation_sent_bits + stateful.operation_recv_bits,
+            state_free.sicp_bits_per_op);
+}
+
+TEST(StatefulBaseline, CcmBeatsBothOnBitsPerOperation) {
+  // And the paper's actual answer: CCM needs neither the state nor the IDs.
+  const auto state_free = state_free_costs(paper_sys(), 3228);
+  const StatefulConfig cfg;
+  const auto stateful = stateful_costs(paper_sys(), cfg);
+  EXPECT_LT(state_free.ccm_bits_per_op,
+            stateful.operation_sent_bits + stateful.operation_recv_bits);
+  EXPECT_LT(state_free.ccm_bits_per_op, 0.2 * state_free.sicp_bits_per_op);
+}
+
+TEST(StatefulBaseline, BreakEvenMovesWithOperationFrequency) {
+  // More aggressive beaconing -> more maintenance -> more operations per
+  // interval needed before keeping state pays off.
+  StatefulConfig lazy;
+  lazy.beacon_period_slots = 1e6;
+  StatefulConfig eager;
+  eager.beacon_period_slots = 1e4;
+  const double lazy_ops = stateful_break_even_ops(paper_sys(), lazy);
+  const double eager_ops = stateful_break_even_ops(paper_sys(), eager);
+  EXPECT_GT(eager_ops, 10.0 * lazy_ops);
+  EXPECT_GT(lazy_ops, 0.0);
+}
+
+TEST(StatefulBaseline, TotalBitsLinearInOperations) {
+  const StatefulConfig cfg;
+  const auto costs = stateful_costs(paper_sys(), cfg);
+  const double at0 = costs.total_bits(0.0);
+  const double at2 = costs.total_bits(2.0);
+  const double at4 = costs.total_bits(4.0);
+  EXPECT_NEAR(at4 - at2, at2 - at0, 1e-6);
+  EXPECT_DOUBLE_EQ(at0,
+                   costs.maintenance_sent_bits + costs.maintenance_recv_bits);
+}
+
+TEST(StatefulBaseline, RejectsBadConfig) {
+  StatefulConfig cfg;
+  cfg.beacon_period_slots = 0.0;
+  EXPECT_THROW((void)stateful_costs(paper_sys(), cfg), Error);
+  cfg = {};
+  cfg.churn_per_interval = 1.5;
+  EXPECT_THROW((void)stateful_costs(paper_sys(), cfg), Error);
+  cfg = {};
+  EXPECT_THROW((void)stateful_break_even_ops(paper_sys(), cfg, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

@@ -1,0 +1,137 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace nettag {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(4);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 11.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  RunningStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_inverse_cdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(normal_inverse_cdf(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_inverse_cdf(0.95), 1.644854, 1e-4);
+  EXPECT_NEAR(normal_inverse_cdf(0.025), -1.959964, 1e-4);
+  EXPECT_NEAR(normal_quantile_two_sided(0.95), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_quantile_two_sided(0.99), 2.575829, 1e-4);
+}
+
+TEST(NormalQuantile, SymmetricTails) {
+  for (const double p : {0.001, 0.01, 0.2, 0.4}) {
+    EXPECT_NEAR(normal_inverse_cdf(p), -normal_inverse_cdf(1.0 - p), 1e-7);
+  }
+}
+
+TEST(NormalQuantile, RejectsOutOfDomain) {
+  EXPECT_THROW((void)normal_inverse_cdf(0.0), Error);
+  EXPECT_THROW((void)normal_inverse_cdf(1.0), Error);
+  EXPECT_THROW((void)normal_quantile_two_sided(1.5), Error);
+}
+
+TEST(ConfidenceHalfwidth, ShrinksWithSamples) {
+  Rng rng(8);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform(0.0, 1.0));
+  EXPECT_GT(confidence_halfwidth(small, 0.95),
+            confidence_halfwidth(large, 0.95));
+}
+
+TEST(ConfidenceHalfwidth, CoversTrueMean) {
+  // Property: ~95 % of intervals over repeated trials contain the true mean.
+  Rng rng(15);
+  int covered = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    RunningStats s;
+    for (int i = 0; i < 50; ++i) s.add(rng.uniform(0.0, 2.0));  // mean 1
+    const double hw = confidence_halfwidth(s, 0.95);
+    if (std::abs(s.mean() - 1.0) <= hw) ++covered;
+  }
+  EXPECT_GT(covered, kTrials * 85 / 100);
+  EXPECT_LE(covered, kTrials);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 17.5);
+}
+
+TEST(Percentile, HandlesSingletonAndErrors) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+  EXPECT_THROW((void)percentile({}, 50.0), Error);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), Error);
+}
+
+TEST(Percentile, UnsortedInputIsSortedInternally) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+}  // namespace
+}  // namespace nettag

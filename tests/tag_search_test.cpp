@@ -1,0 +1,153 @@
+#include "protocols/search/tag_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+ccm::CcmConfig template_for(const net::Topology& topo) {
+  ccm::CcmConfig cfg;
+  cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+  return cfg;
+}
+
+TEST(TagSearch, NoFalseNegativesEver) {
+  // Theorem 1 makes the bitmap exact, so a present wanted tag can never be
+  // reported absent — regardless of frame size or collisions.
+  const auto topo = net::make_layered(3, 10);
+  std::vector<TagId> wanted;
+  for (TagIndex t = 0; t < topo.tag_count(); t += 3)
+    wanted.push_back(topo.id_of(t));
+
+  SearchConfig cfg;
+  cfg.frame_size = 64;  // deliberately tiny: collisions everywhere
+  cfg.slots_per_tag = 2;
+  sim::EnergyMeter energy(topo.tag_count());
+  const auto outcome =
+      search_tags(wanted, topo, template_for(topo), cfg, energy);
+  for (const auto& v : outcome.verdicts)
+    EXPECT_TRUE(v.present) << "wanted tag " << v.id;
+  EXPECT_EQ(outcome.present_count, static_cast<int>(wanted.size()));
+}
+
+TEST(TagSearch, AbsentTagsMostlyRejected) {
+  const auto topo = net::make_layered(2, 50);  // 100 present tags
+  std::vector<TagId> ghosts;
+  for (int i = 0; i < 200; ++i)
+    ghosts.push_back(fmix64(static_cast<TagId>(i) + 0xabcdef));
+
+  SearchConfig cfg;
+  cfg.slots_per_tag = 3;
+  cfg.expected_population = 100.0;
+  cfg.false_positive_target = 0.02;
+  sim::EnergyMeter energy(topo.tag_count());
+  const auto outcome =
+      search_tags(ghosts, topo, template_for(topo), cfg, energy);
+  // Expected false positives ~ 2% of 200 = 4; allow generous slack.
+  EXPECT_LE(outcome.present_count, 15);
+}
+
+TEST(TagSearch, MixedWantedList) {
+  const auto topo = net::make_binary_tree(5);  // 31 tags
+  std::vector<TagId> wanted{topo.id_of(0), fmix64(0x111), topo.id_of(30),
+                            fmix64(0x222), topo.id_of(15)};
+  SearchConfig cfg;
+  cfg.slots_per_tag = 4;
+  cfg.expected_population = 31.0;
+  cfg.false_positive_target = 0.001;
+  sim::EnergyMeter energy(topo.tag_count());
+  const auto outcome =
+      search_tags(wanted, topo, template_for(topo), cfg, energy);
+  ASSERT_EQ(outcome.verdicts.size(), 5u);
+  EXPECT_TRUE(outcome.verdicts[0].present);
+  EXPECT_TRUE(outcome.verdicts[2].present);
+  EXPECT_TRUE(outcome.verdicts[4].present);
+  EXPECT_FALSE(outcome.verdicts[1].present);
+  EXPECT_FALSE(outcome.verdicts[3].present);
+}
+
+TEST(TagSearch, MultipleFramesShrinkFalsePositives) {
+  const auto topo = net::make_star(300);
+  std::vector<TagId> ghosts;
+  for (int i = 0; i < 400; ++i)
+    ghosts.push_back(fmix64(static_cast<TagId>(i) + 0x9999));
+
+  SearchConfig one;
+  one.frame_size = 512;  // under-sized on purpose: high per-frame FP rate
+  one.slots_per_tag = 2;
+  SearchConfig four = one;
+  four.frames = 4;
+
+  sim::EnergyMeter e1(topo.tag_count());
+  sim::EnergyMeter e2(topo.tag_count());
+  const auto fp_one =
+      search_tags(ghosts, topo, template_for(topo), one, e1).present_count;
+  const auto fp_four =
+      search_tags(ghosts, topo, template_for(topo), four, e2).present_count;
+  EXPECT_LT(fp_four, fp_one);
+  EXPECT_GT(fp_one, 0);  // the small frame really does misfire
+}
+
+TEST(TagSearch, FalsePositiveFormulaMatchesSimulation) {
+  // Star topology = traditional system: validate the analytic FP rate.
+  const int n = 500;
+  const auto topo = net::make_star(n);
+  std::vector<TagId> ghosts;
+  for (int i = 0; i < 2'000; ++i)
+    ghosts.push_back(fmix64(static_cast<TagId>(i) + 0x4444));
+
+  SearchConfig cfg;
+  cfg.frame_size = 4'096;
+  cfg.slots_per_tag = 2;
+  sim::EnergyMeter energy(topo.tag_count());
+  const auto outcome =
+      search_tags(ghosts, topo, template_for(topo), cfg, energy);
+  const double measured =
+      static_cast<double>(outcome.present_count) / 2'000.0;
+  const double predicted =
+      search_false_positive_rate(n, cfg.frame_size, cfg.slots_per_tag);
+  EXPECT_NEAR(measured, predicted, 0.035);
+}
+
+TEST(TagSearch, FrameSizingMeetsTarget) {
+  for (const double target : {0.05, 0.01, 0.001}) {
+    const FrameSize f = search_required_frame_size(1'000.0, 3, target);
+    EXPECT_LE(search_false_positive_rate(1'000.0, f, 3), target);
+    // Minimality within a modest slack.
+    EXPECT_GT(search_false_positive_rate(1'000.0, f * 9 / 10, 3), target);
+  }
+}
+
+TEST(TagSearch, VerdictsFromBitmapPure) {
+  Bitmap bitmap(256);
+  const Seed seed = 3;
+  const TagId present = 42;
+  for (int i = 0; i < 3; ++i)
+    bitmap.set(slot_pick_k(present, seed, 256, i));
+  const auto verdicts =
+      verdicts_from_bitmap({present, 43}, bitmap, seed, 3);
+  EXPECT_TRUE(verdicts[0].present);
+  EXPECT_FALSE(verdicts[1].present);  // 43's slots not all set (w.h.p.)
+}
+
+TEST(TagSearch, RejectsBadArguments) {
+  const auto topo = net::make_star(3);
+  SearchConfig cfg;
+  sim::EnergyMeter energy(3);
+  EXPECT_THROW((void)search_tags({}, topo, template_for(topo), cfg, energy),
+               Error);
+  cfg.frames = 0;
+  EXPECT_THROW(
+      (void)search_tags({1}, topo, template_for(topo), cfg, energy), Error);
+  EXPECT_THROW((void)search_false_positive_rate(10.0, 0, 2), Error);
+  EXPECT_THROW((void)search_required_frame_size(10.0, 0, 0.1), Error);
+  EXPECT_THROW((void)search_required_frame_size(10.0, 2, 1.5), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

@@ -1,0 +1,44 @@
+// Shared helpers for the nettag test suite.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ccm/slot_selector.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+
+namespace nettag::test {
+
+/// Selector with explicit per-ID slot assignments (unlisted IDs sit out).
+/// Lets tests control exactly who picks which slot.
+class FixedSlotSelector final : public ccm::SlotSelector {
+ public:
+  explicit FixedSlotSelector(std::map<TagId, std::vector<SlotIndex>> picks)
+      : picks_(std::move(picks)) {}
+
+  [[nodiscard]] std::vector<SlotIndex> pick(TagId id, Seed /*seed*/,
+                                            FrameSize /*f*/) const override {
+    const auto it = picks_.find(id);
+    return it == picks_.end() ? std::vector<SlotIndex>{} : it->second;
+  }
+
+ private:
+  std::map<TagId, std::vector<SlotIndex>> picks_;
+};
+
+/// Ground-truth bitmap of a topology's reachable tags under `selector` —
+/// the "traditional RFID system" side of Theorem 1.
+inline Bitmap ground_truth_bitmap(const net::Topology& topology,
+                                  const ccm::SlotSelector& selector, Seed seed,
+                                  FrameSize f) {
+  Bitmap truth(f);
+  for (TagIndex t = 0; t < topology.tag_count(); ++t) {
+    if (topology.tier(t) == net::kUnreachable) continue;
+    for (const SlotIndex s : selector.pick(topology.id_of(t), seed, f))
+      truth.set(s);
+  }
+  return truth;
+}
+
+}  // namespace nettag::test

@@ -1,0 +1,109 @@
+#include "net/topology_builders.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nettag::net {
+namespace {
+
+TEST(Builders, LineTiersAreDepth) {
+  const Topology line = make_line(7);
+  for (TagIndex t = 0; t < 7; ++t) EXPECT_EQ(line.tier(t), t + 1);
+  EXPECT_EQ(line.tier_count(), 7);
+  EXPECT_EQ(line.degree(0), 1);
+  EXPECT_EQ(line.degree(3), 2);
+  EXPECT_EQ(line.degree(6), 1);
+}
+
+TEST(Builders, SingleTagLine) {
+  const Topology line = make_line(1);
+  EXPECT_EQ(line.tier(0), 1);
+  EXPECT_EQ(line.degree(0), 0);
+  EXPECT_TRUE(line.fully_connected());
+}
+
+TEST(Builders, StarIsSingleTier) {
+  const Topology star = make_star(25);
+  EXPECT_EQ(star.tier_count(), 1);
+  for (TagIndex t = 0; t < 25; ++t) {
+    EXPECT_EQ(star.tier(t), 1);
+    EXPECT_TRUE(star.reader_hears(t));
+    EXPECT_EQ(star.degree(t), 0);
+  }
+}
+
+TEST(Builders, RingTiersGrowFromGateways) {
+  const Topology ring = make_ring(8, 1);
+  // Gateway 0; tiers around the ring: 1,2,3,4,5,4,3,2.
+  EXPECT_EQ(ring.tier(0), 1);
+  EXPECT_EQ(ring.tier(1), 2);
+  EXPECT_EQ(ring.tier(4), 5);
+  EXPECT_EQ(ring.tier(7), 2);
+  EXPECT_EQ(ring.tier_count(), 5);
+  EXPECT_TRUE(ring.fully_connected());
+}
+
+TEST(Builders, RingWithAllGateways) {
+  const Topology ring = make_ring(6, 6);
+  EXPECT_EQ(ring.tier_count(), 1);
+}
+
+TEST(Builders, LayeredTiersMatchLayers) {
+  const Topology layered = make_layered(4, 5);
+  EXPECT_EQ(layered.tag_count(), 20);
+  EXPECT_EQ(layered.tier_count(), 4);
+  for (TagIndex t = 0; t < 20; ++t) EXPECT_EQ(layered.tier(t), t / 5 + 1);
+  // Middle-layer degree: own layer (4) + both adjacent layers (10).
+  EXPECT_EQ(layered.degree(7), 14);
+  // First-layer degree: own layer (4) + next layer (5).
+  EXPECT_EQ(layered.degree(0), 9);
+}
+
+TEST(Builders, BinaryTreeTiersAreLevels) {
+  const Topology tree = make_binary_tree(4);  // 15 nodes
+  EXPECT_EQ(tree.tag_count(), 15);
+  EXPECT_EQ(tree.tier(0), 1);
+  EXPECT_EQ(tree.tier(1), 2);
+  EXPECT_EQ(tree.tier(2), 2);
+  EXPECT_EQ(tree.tier(7), 4);
+  EXPECT_EQ(tree.tier(14), 4);
+  EXPECT_EQ(tree.tier_count(), 4);
+  EXPECT_EQ(tree.degree(0), 2);
+  EXPECT_EQ(tree.degree(14), 1);
+}
+
+TEST(Builders, RandomConnectedIsConnected) {
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Topology topo = make_random_connected(60, 30, 3, rng);
+    EXPECT_TRUE(topo.fully_connected()) << "trial " << trial;
+    EXPECT_GE(topo.tier_count(), 1);
+    int gateways = 0;
+    for (TagIndex t = 0; t < topo.tag_count(); ++t)
+      gateways += topo.reader_hears(t) ? 1 : 0;
+    EXPECT_EQ(gateways, 3);
+  }
+}
+
+TEST(Builders, RandomConnectedDeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  const Topology ta = make_random_connected(40, 10, 2, a);
+  const Topology tb = make_random_connected(40, 10, 2, b);
+  for (TagIndex t = 0; t < 40; ++t) {
+    EXPECT_EQ(ta.tier(t), tb.tier(t));
+    EXPECT_EQ(ta.degree(t), tb.degree(t));
+  }
+}
+
+TEST(Builders, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW((void)make_line(0), Error);
+  EXPECT_THROW((void)make_ring(2, 1), Error);
+  EXPECT_THROW((void)make_ring(5, 0), Error);
+  EXPECT_THROW((void)make_layered(0, 3), Error);
+  EXPECT_THROW((void)make_binary_tree(0), Error);
+  EXPECT_THROW((void)make_random_connected(5, 0, 6, rng), Error);
+}
+
+}  // namespace
+}  // namespace nettag::net

@@ -1,0 +1,151 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/point.hpp"
+#include "net/deployment.hpp"
+
+namespace nettag::net {
+namespace {
+
+/// A deployment with tags at explicit positions (reader at origin).
+Deployment at_positions(std::vector<geom::Point> positions) {
+  Deployment d;
+  d.readers = {geom::Point{0.0, 0.0}};
+  for (std::size_t i = 0; i < positions.size(); ++i)
+    d.ids.push_back(static_cast<TagId>(i) + 1);
+  d.positions = std::move(positions);
+  return d;
+}
+
+SystemConfig small_config() {
+  SystemConfig cfg;
+  cfg.tag_count = 1;  // validated against deployments separately
+  cfg.disk_radius_m = 100.0;
+  cfg.reader_to_tag_range_m = 100.0;
+  cfg.tag_to_reader_range_m = 10.0;
+  cfg.tag_to_tag_range_m = 5.0;
+  return cfg;
+}
+
+TEST(Topology, GeometricLineTiers) {
+  // Tags at x = 8, 12, 16, 20: tag0 within r'=10 (tier 1), then a 4 m chain
+  // under r=5: tiers 1,2,3,4.
+  const auto d = at_positions({{8, 0}, {12, 0}, {16, 0}, {20, 0}});
+  const Topology topo(d, small_config());
+  EXPECT_EQ(topo.tier(0), 1);
+  EXPECT_EQ(topo.tier(1), 2);
+  EXPECT_EQ(topo.tier(2), 3);
+  EXPECT_EQ(topo.tier(3), 4);
+  EXPECT_EQ(topo.tier_count(), 4);
+  EXPECT_TRUE(topo.fully_connected());
+  EXPECT_EQ(topo.total_hops(), 1 + 2 + 3 + 4);
+}
+
+TEST(Topology, NeighborSymmetryAndRange) {
+  const auto d = at_positions({{8, 0}, {12, 0}, {16, 0}, {30, 0}});
+  const Topology topo(d, small_config());
+  // 0<->1 (4 m), 1<->2 (4 m); 3 is isolated (14 m from 2).
+  const auto n0 = topo.neighbors(0);
+  ASSERT_EQ(n0.size(), 1u);
+  EXPECT_EQ(n0[0], 1);
+  const auto n1 = topo.neighbors(1);
+  EXPECT_EQ(std::vector<TagIndex>(n1.begin(), n1.end()),
+            (std::vector<TagIndex>{0, 2}));
+  EXPECT_EQ(topo.degree(3), 0);
+}
+
+TEST(Topology, UnreachableTagsGetSentinelTier) {
+  const auto d = at_positions({{8, 0}, {50, 0}});
+  const Topology topo(d, small_config());
+  EXPECT_EQ(topo.tier(0), 1);
+  EXPECT_EQ(topo.tier(1), kUnreachable);
+  EXPECT_FALSE(topo.fully_connected());
+  EXPECT_EQ(topo.reachable_count(), 1);
+  EXPECT_EQ(topo.total_hops(), 1);  // unreachable tags excluded
+}
+
+TEST(Topology, ReaderRelationsUseDistinctRanges) {
+  // Tag at 9 m: heard (r'=10) and covered (R=100).
+  // Tag at 15 m: covered but not heard.
+  const auto d = at_positions({{9, 0}, {15, 0}});
+  const Topology topo(d, small_config());
+  EXPECT_TRUE(topo.reader_hears(0));
+  EXPECT_TRUE(topo.reader_covers(0));
+  EXPECT_FALSE(topo.reader_hears(1));
+  EXPECT_TRUE(topo.reader_covers(1));
+}
+
+TEST(Topology, BoundaryDistancesInclusive) {
+  SystemConfig cfg = small_config();
+  const auto d = at_positions({{10.0, 0.0}, {15.0, 0.0}});
+  const Topology topo(d, cfg);
+  EXPECT_TRUE(topo.reader_hears(0));   // exactly r'
+  ASSERT_EQ(topo.neighbors(0).size(), 1u);  // exactly r apart
+}
+
+TEST(Topology, TiersTakeShortestPath) {
+  // Diamond: two tier-1 tags both adjacent to one far tag; its tier is 2,
+  // not 3, regardless of adjacency ordering.
+  const auto d = at_positions({{9, 1}, {9, -1}, {13, 0}});
+  const Topology topo(d, small_config());
+  EXPECT_EQ(topo.tier(2), 2);
+}
+
+TEST(Topology, TagsAtTierEnumerates) {
+  const auto d = at_positions({{8, 0}, {12, 0}, {16, 0}, {9, 1}});
+  const Topology topo(d, small_config());
+  const auto tier1 = topo.tags_at_tier(1);
+  EXPECT_EQ(tier1, (std::vector<TagIndex>{0, 3}));
+  EXPECT_EQ(topo.tags_at_tier(2), std::vector<TagIndex>{1});
+  EXPECT_TRUE(topo.tags_at_tier(9).empty());
+}
+
+TEST(Topology, ExplicitAdjacencyConstructor) {
+  const std::vector<std::vector<TagIndex>> adj{{1}, {0, 2}, {1}};
+  const Topology topo({11, 22, 33}, adj, {true, false, false}, {});
+  EXPECT_EQ(topo.tier(0), 1);
+  EXPECT_EQ(topo.tier(1), 2);
+  EXPECT_EQ(topo.tier(2), 3);
+  EXPECT_EQ(topo.id_of(1), 22);
+  EXPECT_TRUE(topo.reader_covers(2));  // empty reader_covers means all
+}
+
+TEST(Topology, AsymmetricAdjacencyRejected) {
+  const std::vector<std::vector<TagIndex>> adj{{1}, {}};
+  EXPECT_THROW(Topology({1, 2}, adj, {true, false}, {}), Error);
+}
+
+TEST(Topology, SelfLoopRejected) {
+  const std::vector<std::vector<TagIndex>> adj{{0}};
+  EXPECT_THROW(Topology({1}, adj, {true}, {}), Error);
+}
+
+TEST(ConnectedSubset, DropsOnlyUnreachable) {
+  const auto d = at_positions({{8, 0}, {12, 0}, {60, 0}, {66, 0}});
+  const Deployment kept = connected_subset(d, small_config());
+  EXPECT_EQ(kept.tag_count(), 2);
+  EXPECT_EQ(kept.ids, (std::vector<TagId>{1, 2}));
+  const Topology topo(kept, small_config());
+  EXPECT_TRUE(topo.fully_connected());
+}
+
+TEST(Topology, LargeDeploymentTiersMatchRingModelApproximately) {
+  // At r = 6 the paper's geometry predicts 3 tiers; the BFS over a dense
+  // random deployment must agree (detours only appear at sparse r).
+  SystemConfig cfg;  // paper defaults
+  cfg.tag_count = 10'000;
+  cfg.tag_to_tag_range_m = 6.0;
+  Rng rng(1234);
+  const Deployment d = make_disk_deployment(cfg, rng);
+  const Topology topo(d, cfg);
+  EXPECT_EQ(topo.tier_count(), 3);
+  EXPECT_GT(topo.reachable_count(), 9'990);
+  // Tier-1 population ~ n * (r'/disk)^2 = 4444.
+  EXPECT_NEAR(static_cast<double>(topo.tags_at_tier(1).size()), 4444.0, 200.0);
+}
+
+}  // namespace
+}  // namespace nettag::net

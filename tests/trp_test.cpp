@@ -1,0 +1,111 @@
+#include "protocols/missing/trp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitmap.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+TEST(Trp, DetectionProbabilityBasics) {
+  EXPECT_DOUBLE_EQ(trp_detection_probability(1000, 0, 500), 0.0);
+  // Everything missing, huge frame: detection certain-ish.
+  EXPECT_GT(trp_detection_probability(100, 100, 10'000), 0.99);
+  // Monotone in the number missing.
+  double prev = 0.0;
+  for (const int m : {1, 5, 20, 100}) {
+    const double pd = trp_detection_probability(10'000, m, 3228);
+    EXPECT_GT(pd, prev);
+    prev = pd;
+  }
+  // Monotone in the frame size.
+  EXPECT_GT(trp_detection_probability(10'000, 50, 6000),
+            trp_detection_probability(10'000, 50, 2000));
+}
+
+TEST(Trp, RequiredFrameSizeMeetsDelta) {
+  for (const double delta : {0.9, 0.95, 0.99}) {
+    for (const int m : {10, 50, 200}) {
+      const FrameSize f = trp_required_frame_size(10'000, m, delta);
+      EXPECT_GE(trp_detection_probability(10'000, m + 1, f), delta)
+          << "delta=" << delta << " m=" << m;
+      // Minimality: one slot less must fail (within float slack).
+      if (f > 1) {
+        EXPECT_LT(trp_detection_probability(10'000, m + 1, f - 25), delta)
+            << "delta=" << delta << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(Trp, PaperSettingIsSameOrderAsPaperValue) {
+  // SVI-B reports f = 3228 for n = 10,000, m = 50, delta = 95 %.  Our exact
+  // sizing gives ~3500 (the original TRP approximation differs slightly);
+  // both must agree to well within a factor.
+  const FrameSize f = trp_required_frame_size(10'000, 50, 0.95);
+  EXPECT_GT(f, 2'500);
+  EXPECT_LT(f, 4'500);
+  // The paper's own f detects with ~90 % per execution under the exact
+  // formula — close to, but below, the 95 % target.
+  const double pd = trp_detection_probability(10'000, 51, kPaperTrpFrameSize);
+  EXPECT_GT(pd, 0.85);
+  EXPECT_LT(pd, 0.95);
+}
+
+TEST(Trp, EmpiricalDetectionRateMatchesFormula) {
+  // Simulate the bitmap comparison directly: n tags, m missing, count how
+  // often a would-be-busy slot goes silent.
+  Rng rng(3);
+  const int n = 2'000;
+  const int missing = 20;
+  const FrameSize f = trp_required_frame_size(n, missing - 1, 0.9);
+  constexpr int kTrials = 300;
+  int alarms = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Seed seed = static_cast<Seed>(trial) + 1;
+    Bitmap predicted(f);
+    Bitmap observed(f);
+    for (int i = 0; i < n; ++i) {
+      const TagId id = fmix64(static_cast<TagId>(i) + 1);
+      const SlotIndex s = slot_pick(id, seed, f);
+      predicted.set(s);
+      if (i >= missing) observed.set(s);  // first `missing` tags absent
+    }
+    predicted.subtract(observed);
+    alarms += predicted.any() ? 1 : 0;
+  }
+  const double rate = static_cast<double>(alarms) / kTrials;
+  const double expected = trp_detection_probability(n, missing, f);
+  EXPECT_NEAR(rate, expected, 0.06);
+  EXPECT_GE(rate, 0.85);  // sized for delta = 0.9 at m+1 = missing
+}
+
+TEST(Trp, FrameSizeScalesWithPopulation) {
+  const FrameSize f1 = trp_required_frame_size(1'000, 50, 0.95);
+  const FrameSize f2 = trp_required_frame_size(10'000, 50, 0.95);
+  // f grows ~linearly with n for fixed (m, delta).
+  const double ratio = static_cast<double>(f2) / static_cast<double>(f1);
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+TEST(Trp, DegenerateTolerances) {
+  // m = n-1: only full disappearance must be detected; any frame works.
+  EXPECT_GE(trp_required_frame_size(100, 99, 0.95), 1);
+  // m = 0: a single missing tag must be caught.
+  const FrameSize f = trp_required_frame_size(1'000, 0, 0.95);
+  EXPECT_GE(trp_detection_probability(1'000, 1, f), 0.95);
+}
+
+TEST(Trp, RejectsBadArguments) {
+  EXPECT_THROW((void)trp_detection_probability(10, 11, 100), Error);
+  EXPECT_THROW((void)trp_detection_probability(10, 5, 0), Error);
+  EXPECT_THROW((void)trp_required_frame_size(0, 0, 0.9), Error);
+  EXPECT_THROW((void)trp_required_frame_size(10, 10, 0.9), Error);
+  EXPECT_THROW((void)trp_required_frame_size(10, 2, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

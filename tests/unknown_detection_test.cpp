@@ -1,0 +1,113 @@
+#include "protocols/unknown/unknown_detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+
+namespace nettag::protocols {
+namespace {
+
+ccm::CcmConfig template_for(const net::Topology& topo) {
+  ccm::CcmConfig cfg;
+  cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+  cfg.max_rounds = topo.tier_count() + 4;
+  return cfg;
+}
+
+TEST(UnknownDetection, ProbabilityAndSizingMirrorTrp) {
+  EXPECT_DOUBLE_EQ(unknown_detection_probability(1'000, 0, 100), 0.0);
+  EXPECT_GT(unknown_detection_probability(1'000, 50, 4'000),
+            unknown_detection_probability(1'000, 5, 4'000));
+  for (const double delta : {0.9, 0.95}) {
+    const FrameSize f = unknown_required_frame_size(5'000, 20, delta);
+    EXPECT_GE(unknown_detection_probability(5'000, 21, f), delta);
+    EXPECT_LT(unknown_detection_probability(5'000, 21, f - 50), delta);
+  }
+}
+
+TEST(UnknownDetection, NoAlarmWhenFieldMatchesInventory) {
+  const auto topo = net::make_layered(3, 10);
+  std::vector<TagId> inventory;
+  for (TagIndex t = 0; t < topo.tag_count(); ++t)
+    inventory.push_back(topo.id_of(t));
+  const UnknownTagDetector detector(inventory);
+  UnknownDetectionConfig cfg;
+  cfg.frame_size = 512;
+  cfg.executions = 6;
+  cfg.stop_on_alarm = false;
+  sim::EnergyMeter energy(topo.tag_count());
+  const auto outcome =
+      detector.detect(topo, template_for(topo), cfg, energy);
+  EXPECT_FALSE(outcome.alarm);  // Theorem 1: zero false alarms
+  EXPECT_TRUE(outcome.foreign_slots.empty());
+  EXPECT_EQ(outcome.executions_run, 6);
+}
+
+TEST(UnknownDetection, ForeignTagsRaiseTheAlarm) {
+  // Field = inventory + 5 foreign tags wired into the network.
+  const int known = 60;
+  std::vector<std::vector<TagIndex>> adj(static_cast<std::size_t>(known + 5));
+  // Star-of-chains: all tags tier-1 for simplicity.
+  std::vector<bool> hears(static_cast<std::size_t>(known + 5), true);
+  std::vector<TagId> ids;
+  for (int i = 0; i < known + 5; ++i)
+    ids.push_back(fmix64(static_cast<TagId>(i) + 41));
+  const net::Topology field(ids, adj, hears, {});
+  const UnknownTagDetector detector(
+      std::vector<TagId>(ids.begin(), ids.begin() + known));
+
+  UnknownDetectionConfig cfg;
+  cfg.frame_size = 4'096;  // collisions unlikely: certain detection
+  cfg.executions = 4;
+  sim::EnergyMeter energy(field.tag_count());
+  const auto outcome =
+      detector.detect(field, template_for(field), cfg, energy);
+  ASSERT_TRUE(outcome.alarm);
+  // Every flagged slot is genuinely foreign: it belongs to one of the five.
+  const Seed seed = fmix64(cfg.base_seed);  // execution 0's seed
+  for (const SlotIndex s : outcome.foreign_slots) {
+    bool owned_by_foreign = false;
+    for (int i = known; i < known + 5; ++i)
+      owned_by_foreign |= (slot_pick(ids[static_cast<std::size_t>(i)], seed,
+                                     cfg.frame_size) == s);
+    EXPECT_TRUE(owned_by_foreign) << "slot " << s;
+  }
+}
+
+TEST(UnknownDetection, DetectionRateMeetsDelta) {
+  // Geometric field with 25 foreign pallets; frame sized for (20, 0.9).
+  SystemConfig sys;
+  sys.tag_count = 1'000;
+  sys.tag_to_tag_range_m = 7.0;
+  int alarms = 0;
+  constexpr int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(static_cast<Seed>(trial) * 17 + 5);
+    const net::Deployment field =
+        net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+    const net::Topology topo(field, sys);
+    // Inventory = all but the last 25 (those are "foreign").
+    std::vector<TagId> inventory(field.ids.begin(), field.ids.end() - 25);
+    const UnknownTagDetector detector(inventory);
+    UnknownDetectionConfig cfg;
+    cfg.delta = 0.9;
+    cfg.tolerance = 20;
+    cfg.base_seed = static_cast<Seed>(trial) + 1;
+    sim::EnergyMeter energy(topo.tag_count());
+    alarms += detector.detect(topo, template_for(topo), cfg, energy).alarm;
+  }
+  EXPECT_GE(alarms, kTrials * 80 / 100);
+}
+
+TEST(UnknownDetection, RejectsBadArguments) {
+  EXPECT_THROW(UnknownTagDetector({}), Error);
+  EXPECT_THROW((void)unknown_detection_probability(10, -1, 5), Error);
+  EXPECT_THROW((void)unknown_required_frame_size(0, 5, 0.9), Error);
+  EXPECT_THROW((void)unknown_required_frame_size(10, 5, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace nettag::protocols

@@ -1,0 +1,347 @@
+// nettag — command-line driver for the library.
+//
+//   nettag estimate [options]   GMLE cardinality estimation over CCM
+//   nettag lof      [options]   LoF cardinality estimation over CCM
+//   nettag detect   [options]   TRP missing-tag detection (+ identification)
+//   nettag search   [options]   watch-list tag search
+//   nettag collect  [options]   SICP/CICP ID collection baselines
+//   nettag sweep    [options]   the paper's r-sweep, CSV to stdout
+//
+// Common options:
+//   --tags N        deployment size                (default 10000)
+//   --range R       tag-to-tag range r, metres     (default 6)
+//   --seed S        master seed                    (default 1)
+//   --trials T      independent trials             (default 1)
+// Command-specific options are listed in usage().
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/config.hpp"
+#include "common/hash.hpp"
+#include "common/stats.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "protocols/estimator/estimation_protocol.hpp"
+#include "protocols/estimator/lof.hpp"
+#include "protocols/idcollect/cicp.hpp"
+#include "protocols/idcollect/sicp.hpp"
+#include "protocols/missing/identification.hpp"
+#include "protocols/missing/missing_protocol.hpp"
+#include "protocols/search/tag_search.hpp"
+
+namespace {
+
+using namespace nettag;
+
+struct Options {
+  int tags = 10'000;
+  double range = 6.0;
+  Seed seed = 1;
+  int trials = 1;
+  // detect / search extras
+  int missing = 50;
+  double delta = 0.95;
+  bool identify = false;
+  int wanted = 100;
+  // collect extras
+  bool use_cicp = false;
+};
+
+void usage() {
+  std::puts(
+      "usage: nettag <estimate|lof|detect|search|collect|sweep> [options]\n"
+      "  --tags N --range R --seed S --trials T\n"
+      "  detect:  --missing M (staged missing tags)  --delta D  --identify\n"
+      "  search:  --wanted W (watch-list size)\n"
+      "  collect: --cicp (contention-based instead of serialized)");
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--tags") {
+      const char* v = next();
+      if (!v) return false;
+      opt.tags = std::atoi(v);
+    } else if (arg == "--range") {
+      const char* v = next();
+      if (!v) return false;
+      opt.range = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opt.seed = static_cast<Seed>(std::atoll(v));
+    } else if (arg == "--trials") {
+      const char* v = next();
+      if (!v) return false;
+      opt.trials = std::atoi(v);
+    } else if (arg == "--missing") {
+      const char* v = next();
+      if (!v) return false;
+      opt.missing = std::atoi(v);
+    } else if (arg == "--delta") {
+      const char* v = next();
+      if (!v) return false;
+      opt.delta = std::atof(v);
+    } else if (arg == "--identify") {
+      opt.identify = true;
+    } else if (arg == "--wanted") {
+      const char* v = next();
+      if (!v) return false;
+      opt.wanted = std::atoi(v);
+    } else if (arg == "--cicp") {
+      opt.use_cicp = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return opt.tags > 0 && opt.range > 0.0 && opt.trials > 0;
+}
+
+struct Scenario {
+  SystemConfig sys;
+  net::Deployment deployment;
+  net::Topology topology;
+  ccm::CcmConfig ccm;
+};
+
+Scenario build_scenario(const Options& opt, int trial) {
+  SystemConfig sys;
+  sys.tag_count = opt.tags;
+  sys.tag_to_tag_range_m = opt.range;
+  Rng rng(fmix64(opt.seed + static_cast<Seed>(trial) * 7919));
+  net::Deployment d =
+      net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+  net::Topology topo(d, sys);
+  ccm::CcmConfig ccm;
+  ccm.apply_geometry(sys);
+  ccm.checking_frame_length =
+      std::max(sys.checking_frame_length(), 2 * topo.tier_count());
+  ccm.max_rounds = topo.tier_count() + 4;
+  return {sys, std::move(d), std::move(topo), ccm};
+}
+
+int cmd_estimate(const Options& opt) {
+  RunningStats err;
+  RunningStats slots;
+  for (int t = 0; t < opt.trials; ++t) {
+    Scenario sc = build_scenario(opt, t);
+    protocols::EstimationConfig cfg;
+    cfg.base_seed = fmix64(opt.seed ^ static_cast<Seed>(t));
+    sim::EnergyMeter energy(sc.topology.tag_count());
+    const auto r =
+        protocols::estimate_cardinality_ccm(cfg, sc.topology, sc.ccm, energy);
+    const double e =
+        100.0 * (r.n_hat - sc.topology.tag_count()) / sc.topology.tag_count();
+    err.add(e);
+    slots.add(static_cast<double>(r.clock.total_slots()));
+    std::printf("trial %d: n=%d n_hat=%.0f (%+.2f%%) frames=%d+%d "
+                "slots=%lld recv/tag=%.0f\n",
+                t, sc.topology.tag_count(), r.n_hat, e, r.rough_frames,
+                r.accurate_frames,
+                static_cast<long long>(r.clock.total_slots()),
+                energy.summarize().avg_received_bits);
+  }
+  std::printf("summary: mean err %.2f%%, mean slots %.0f\n", err.mean(),
+              slots.mean());
+  return 0;
+}
+
+int cmd_lof(const Options& opt) {
+  for (int t = 0; t < opt.trials; ++t) {
+    Scenario sc = build_scenario(opt, t);
+    protocols::LofConfig cfg;
+    cfg.seed = fmix64(opt.seed ^ static_cast<Seed>(t) ^ 0x10f);
+    sim::EnergyMeter energy(sc.topology.tag_count());
+    const auto r =
+        protocols::estimate_cardinality_lof(cfg, sc.topology, sc.ccm, energy);
+    std::printf("trial %d: n=%d n_hat=%.0f (+/-%.1f%% predicted) slots=%lld\n",
+                t, sc.topology.tag_count(), r.estimate.n_hat,
+                100.0 * r.estimate.relative_std_error,
+                static_cast<long long>(r.clock.total_slots()));
+  }
+  return 0;
+}
+
+int cmd_detect(const Options& opt) {
+  for (int t = 0; t < opt.trials; ++t) {
+    Scenario sc = build_scenario(opt, t);
+    const protocols::MissingTagDetector detector(sc.deployment.ids);
+
+    net::Deployment depleted = sc.deployment;
+    std::vector<TagIndex> gone;
+    Rng rng(fmix64(opt.seed ^ 0xdead ^ static_cast<Seed>(t)));
+    while (static_cast<int>(gone.size()) <
+           std::min(opt.missing, sc.deployment.tag_count())) {
+      const auto idx = static_cast<TagIndex>(
+          rng.below(static_cast<std::uint64_t>(sc.deployment.tag_count())));
+      if (std::find(gone.begin(), gone.end(), idx) == gone.end())
+        gone.push_back(idx);
+    }
+    depleted.remove_tags(gone);
+    const net::Topology present(depleted, sc.sys);
+
+    protocols::DetectionConfig cfg;
+    cfg.delta = opt.delta;
+    cfg.tolerance_m = std::max(1, opt.missing - 1);
+    cfg.base_seed = fmix64(opt.seed + static_cast<Seed>(t));
+    sim::EnergyMeter energy(present.tag_count());
+    const auto outcome = detector.detect(present, sc.ccm, cfg, energy);
+    std::printf("trial %d: staged %zu missing -> alarm=%s certain=%zu "
+                "slots=%lld\n",
+                t, gone.size(), outcome.alarm ? "YES" : "no",
+                outcome.missing_candidates.size(),
+                static_cast<long long>(outcome.clock.total_slots()));
+
+    if (opt.identify) {
+      protocols::IdentificationConfig id_cfg;
+      sim::EnergyMeter id_energy(present.tag_count());
+      const auto id = protocols::identify_missing_tags(
+          detector, present, sc.ccm, id_cfg, id_energy);
+      std::printf("  identification: %zu/%zu named in %d executions "
+                  "(confident=%d)\n",
+                  id.missing.size(), gone.size(), id.executions,
+                  id.confident ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+int cmd_search(const Options& opt) {
+  for (int t = 0; t < opt.trials; ++t) {
+    Scenario sc = build_scenario(opt, t);
+    std::vector<TagId> wanted;
+    const int inside = opt.wanted / 2;
+    for (int i = 0; i < inside && i < sc.deployment.tag_count(); ++i)
+      wanted.push_back(sc.deployment.ids[static_cast<std::size_t>(i)]);
+    for (int i = inside; i < opt.wanted; ++i)
+      wanted.push_back(fmix64(static_cast<TagId>(i) ^ 0xfeed));
+
+    protocols::SearchConfig cfg;
+    cfg.expected_population = static_cast<double>(sc.topology.tag_count());
+    sim::EnergyMeter energy(sc.topology.tag_count());
+    const auto outcome =
+        protocols::search_tags(wanted, sc.topology, sc.ccm, cfg, energy);
+    int hits = 0;
+    for (int i = 0; i < inside; ++i)
+      hits += outcome.verdicts[static_cast<std::size_t>(i)].present ? 1 : 0;
+    std::printf("trial %d: %d/%d present found, %d reported of %zu wanted, "
+                "slots=%lld\n",
+                t, hits, inside, outcome.present_count, wanted.size(),
+                static_cast<long long>(outcome.clock.total_slots()));
+  }
+  return 0;
+}
+
+int cmd_collect(const Options& opt) {
+  for (int t = 0; t < opt.trials; ++t) {
+    Scenario sc = build_scenario(opt, t);
+    Rng rng(fmix64(opt.seed ^ 0x5109 ^ static_cast<Seed>(t)));
+    sim::EnergyMeter energy(sc.topology.tag_count());
+    const auto result =
+        opt.use_cicp ? protocols::run_cicp(sc.topology, {}, rng, energy)
+                     : protocols::run_sicp(sc.topology, {}, rng, energy);
+    const auto summary = energy.summarize();
+    std::printf("trial %d: %s collected %zu/%d ids, slots=%lld, "
+                "sent/tag avg %.0f max %.0f, recv/tag avg %.0f\n",
+                t, opt.use_cicp ? "CICP" : "SICP", result.collected.size(),
+                sc.topology.tag_count(),
+                static_cast<long long>(result.clock.total_slots()),
+                summary.avg_sent_bits, summary.max_sent_bits,
+                summary.avg_received_bits);
+  }
+  return 0;
+}
+
+int cmd_sweep(const Options& opt) {
+  std::printf(
+      "r,protocol,time_slots,avg_sent,max_sent,avg_recv,max_recv\n");
+  for (double r = 2.0; r <= 10.0; r += 1.0) {
+    Options point = opt;
+    point.range = r;
+    RunningStats time_gmle;
+    RunningStats time_trp;
+    RunningStats time_sicp;
+    sim::EnergySummary gmle_sum{};
+    sim::EnergySummary trp_sum{};
+    sim::EnergySummary sicp_sum{};
+    for (int t = 0; t < opt.trials; ++t) {
+      Scenario sc = build_scenario(point, t);
+      {
+        ccm::CcmConfig cfg = sc.ccm;
+        cfg.frame_size = 1671;
+        cfg.request_seed = fmix64(opt.seed + static_cast<Seed>(t));
+        sim::EnergyMeter energy(sc.topology.tag_count());
+        const double p = 1.59 * 1671.0 / opt.tags;
+        const auto s = ccm::run_session(sc.topology, cfg,
+                                        ccm::HashedSlotSelector(p), energy);
+        time_gmle.add(static_cast<double>(s.clock.total_slots()));
+        gmle_sum = energy.summarize();
+      }
+      {
+        ccm::CcmConfig cfg = sc.ccm;
+        cfg.frame_size = 3228;
+        cfg.request_seed = fmix64(opt.seed + static_cast<Seed>(t) + 1);
+        sim::EnergyMeter energy(sc.topology.tag_count());
+        const auto s = ccm::run_session(sc.topology, cfg,
+                                        ccm::HashedSlotSelector(1.0), energy);
+        time_trp.add(static_cast<double>(s.clock.total_slots()));
+        trp_sum = energy.summarize();
+      }
+      {
+        Rng rng(fmix64(opt.seed ^ 0x51c9 ^ static_cast<Seed>(t)));
+        sim::EnergyMeter energy(sc.topology.tag_count());
+        const auto s = protocols::run_sicp(sc.topology, {}, rng, energy);
+        time_sicp.add(static_cast<double>(s.clock.total_slots()));
+        sicp_sum = energy.summarize();
+      }
+    }
+    const auto row = [r](const char* name, const RunningStats& time,
+                         const sim::EnergySummary& e) {
+      std::printf("%.0f,%s,%.0f,%.1f,%.1f,%.1f,%.1f\n", r, name, time.mean(),
+                  e.avg_sent_bits, e.max_sent_bits, e.avg_received_bits,
+                  e.max_received_bits);
+    };
+    row("GMLE-CCM", time_gmle, gmle_sum);
+    row("TRP-CCM", time_trp, trp_sum);
+    row("SICP", time_sicp, sicp_sum);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "estimate") return cmd_estimate(opt);
+    if (cmd == "lof") return cmd_lof(opt);
+    if (cmd == "detect") return cmd_detect(opt);
+    if (cmd == "search") return cmd_search(opt);
+    if (cmd == "collect") return cmd_collect(opt);
+    if (cmd == "sweep") return cmd_sweep(opt);
+  } catch (const nettag::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
