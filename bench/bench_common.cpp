@@ -10,6 +10,8 @@
 #include "common/hash.hpp"
 #include "net/deployment.hpp"
 #include "net/topology.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
 #include "protocols/estimator/gmle.hpp"
 #include "protocols/idcollect/sicp.hpp"
 
@@ -23,11 +25,52 @@ long env_long(const char* name, long fallback) {
   return std::atol(v);
 }
 
+std::string env_string(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? std::string() : std::string(v);
+}
+
 void add_energy(ProtocolStats& stats, const sim::EnergySummary& summary) {
   stats.max_sent_bits.add(summary.max_sent_bits);
   stats.max_received_bits.add(summary.max_received_bits);
   stats.avg_sent_bits.add(summary.avg_sent_bits);
   stats.avg_received_bits.add(summary.avg_received_bits);
+}
+
+std::string stats_json(const RunningStats& s) {
+  std::string out = "{\"mean\":" + obs::json_number(s.mean());
+  out += ",\"stddev\":" + obs::json_number(s.stddev());
+  out += ",\"min\":" + obs::json_number(s.min());
+  out += ",\"max\":" + obs::json_number(s.max());
+  out += ",\"count\":" + std::to_string(s.count());
+  out += "}";
+  return out;
+}
+
+std::string proto_json(const ProtocolStats& p) {
+  std::string out = "{\"time_slots\":" + stats_json(p.time_slots);
+  out += ",\"max_sent_bits\":" + stats_json(p.max_sent_bits);
+  out += ",\"max_received_bits\":" + stats_json(p.max_received_bits);
+  out += ",\"avg_sent_bits\":" + stats_json(p.avg_sent_bits);
+  out += ",\"avg_received_bits\":" + stats_json(p.avg_received_bits);
+  out += "}";
+  return out;
+}
+
+std::string points_json(const std::vector<SweepPoint>& points) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    if (i > 0) out += ",";
+    out += "{\"tag_range_m\":" + obs::json_number(p.tag_range_m);
+    out += ",\"tiers\":" + stats_json(p.tiers);
+    if (!p.gmle.time_slots.empty()) out += ",\"gmle\":" + proto_json(p.gmle);
+    if (!p.trp.time_slots.empty()) out += ",\"trp\":" + proto_json(p.trp);
+    if (!p.sicp.time_slots.empty()) out += ",\"sicp\":" + proto_json(p.sicp);
+    out += "}";
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace
@@ -38,7 +81,14 @@ ExperimentConfig config_from_env() {
   config.trials = static_cast<int>(env_long("NETTAG_TRIALS", 3));
   config.master_seed =
       static_cast<Seed>(env_long("NETTAG_SEED", 20'190'707));
+  config.manifest_path = env_string("NETTAG_MANIFEST");
+  config.trace_path = env_string("NETTAG_TRACE");
   return config;
+}
+
+obs::Registry& registry() {
+  static obs::Registry instance;
+  return instance;
 }
 
 std::vector<double> figure_ranges() {
@@ -49,11 +99,15 @@ std::vector<double> table_ranges() { return {2.0, 4.0, 6.0, 8.0, 10.0}; }
 
 std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
                                   const std::vector<double>& ranges,
-                                  const ProtocolMask& mask) {
+                                  const ProtocolMask& mask,
+                                  obs::TraceSink& sink) {
   std::vector<SweepPoint> points;
   points.reserve(ranges.size());
+  const obs::ScopedTimer sweep_timer(registry(), "bench.sweep");
 
   for (const double r : ranges) {
+    const obs::ScopedTimer point_timer(registry(), "bench.sweep_point");
+    registry().add("bench.points");
     SweepPoint point;
     point.tag_range_m = r;
 
@@ -82,6 +136,8 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
           std::max(sys.checking_frame_length(), 2 * topology.tier_count());
       ccm_cfg.max_rounds = topology.tier_count() + 4;
 
+      registry().add("bench.trials");
+
       if (mask.gmle) {
         ccm::CcmConfig cfg = ccm_cfg;
         cfg.frame_size = config.gmle_frame;
@@ -89,8 +145,10 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
         const double p = protocols::gmle_sampling_probability(
             config.gmle_frame, static_cast<double>(config.tag_count));
         sim::EnergyMeter energy(n);
+        const obs::ScopedTimer timer(registry(), "bench.gmle_session");
         const auto session = ccm::run_session(
-            topology, cfg, ccm::HashedSlotSelector(p), energy);
+            topology, cfg, ccm::HashedSlotSelector(p), energy, sink);
+        registry().add("bench.sessions.gmle");
         point.gmle.time_slots.add(
             static_cast<double>(session.clock.total_slots()));
         add_energy(point.gmle, energy.summarize());
@@ -100,8 +158,10 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
         cfg.frame_size = config.trp_frame;
         cfg.request_seed = fmix64(trial_seed ^ 0x74);
         sim::EnergyMeter energy(n);
+        const obs::ScopedTimer timer(registry(), "bench.trp_session");
         const auto session = ccm::run_session(
-            topology, cfg, ccm::HashedSlotSelector(1.0), energy);
+            topology, cfg, ccm::HashedSlotSelector(1.0), energy, sink);
+        registry().add("bench.sessions.trp");
         point.trp.time_slots.add(
             static_cast<double>(session.clock.total_slots()));
         add_energy(point.trp, energy.summarize());
@@ -109,8 +169,10 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
       if (mask.sicp) {
         Rng sicp_rng(fmix64(trial_seed ^ 0x73));
         sim::EnergyMeter energy(n);
+        const obs::ScopedTimer timer(registry(), "bench.sicp_run");
         const auto result =
-            protocols::run_sicp(topology, {}, sicp_rng, energy);
+            protocols::run_sicp(topology, {}, sicp_rng, energy, sink);
+        registry().add("bench.sessions.sicp");
         point.sicp.time_slots.add(
             static_cast<double>(result.clock.total_slots()));
         add_energy(point.sicp, energy.summarize());
@@ -120,6 +182,26 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
     points.push_back(point);
   }
   return points;
+}
+
+bool emit_manifest(const std::string& bench_name,
+                   const ExperimentConfig& config,
+                   const std::vector<SweepPoint>& points) {
+  if (config.manifest_path.empty()) return true;
+  obs::RunManifest manifest(bench_name, "run_sweep");
+  manifest.set("tags", config.tag_count);
+  manifest.set("trials", config.trials);
+  manifest.set("seed", static_cast<std::uint64_t>(config.master_seed));
+  manifest.set("gmle_frame", config.gmle_frame);
+  manifest.set("trp_frame", config.trp_frame);
+  if (!config.trace_path.empty()) manifest.set("trace", config.trace_path);
+  manifest.add_section("points", points_json(points));
+  const bool ok = manifest.write_file(config.manifest_path, &registry());
+  if (!ok) {
+    std::fprintf(stderr, "cannot write manifest to %s\n",
+                 config.manifest_path.c_str());
+  }
+  return ok;
 }
 
 void print_banner(const std::string& title, const ExperimentConfig& config) {

@@ -7,9 +7,11 @@
 // paper artifact.
 //
 // Environment knobs (all optional):
-//   NETTAG_TRIALS  — trials per point   (default 3; paper used 100)
-//   NETTAG_TAGS    — deployment size    (default 10,000, the paper's n)
-//   NETTAG_SEED    — master seed        (default 20190707)
+//   NETTAG_TRIALS   — trials per point   (default 3; paper used 100)
+//   NETTAG_TAGS     — deployment size    (default 10,000, the paper's n)
+//   NETTAG_SEED     — master seed        (default 20190707)
+//   NETTAG_MANIFEST — write a run-manifest JSON artifact to this path
+//   NETTAG_TRACE    — stream protocol events here (.csv → CSV, else JSONL)
 #pragma once
 
 #include <string>
@@ -18,6 +20,8 @@
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/energy.hpp"
 
 namespace nettag::bench {
@@ -54,16 +58,34 @@ struct ExperimentConfig {
   Seed master_seed = 20'190'707;  // ICDCS 2019, July 7
   FrameSize gmle_frame = 1671;    // SVI-B for alpha=95%, beta=5%
   FrameSize trp_frame = 3228;     // SVI-B for delta=95%, m=50
+
+  /// NETTAG_MANIFEST: run-manifest artifact destination ("" = off).
+  std::string manifest_path;
+  /// NETTAG_TRACE: event-trace destination ("" = off).
+  std::string trace_path;
 };
+
+/// The process-wide metrics registry the benches accumulate into.
+[[nodiscard]] obs::Registry& registry();
 
 /// Reads NETTAG_* overrides into the paper-default config.
 [[nodiscard]] ExperimentConfig config_from_env();
 
 /// Runs the sweep over `ranges` with the protocols in `mask` enabled.
-/// Prints one progress line per point to stderr.
+/// Prints one progress line per point to stderr.  Sessions forward their
+/// events to `sink`; per-point wall-clock and session counters land in
+/// `registry()`.
 [[nodiscard]] std::vector<SweepPoint> run_sweep(
     const ExperimentConfig& config, const std::vector<double>& ranges,
-    const ProtocolMask& mask);
+    const ProtocolMask& mask, obs::TraceSink& sink = obs::null_sink());
+
+/// Writes the "nettag.run_manifest/1" artifact for one finished bench run to
+/// `config.manifest_path` (no-op when empty): config, git revision, the
+/// sweep rows as a "points" section, and a `registry()` dump.  Returns false
+/// on I/O failure.
+bool emit_manifest(const std::string& bench_name,
+                   const ExperimentConfig& config,
+                   const std::vector<SweepPoint>& points);
 
 /// The r values of Fig. 3/4 (2..10 step 1) and of Tables I-IV (2..10 step 2).
 [[nodiscard]] std::vector<double> figure_ranges();

@@ -15,7 +15,9 @@ int main() {
                       config);
 
   const auto ranges = bench::figure_ranges();
-  const auto points = bench::run_sweep(config, ranges, {});  // topology only
+  obs::TraceFile trace(config.trace_path);
+  const auto points =
+      bench::run_sweep(config, ranges, {}, trace.sink());  // topology only
 
   std::printf("%-10s", "r (m)");
   for (const double r : ranges) std::printf(" %8.0f", r);
@@ -34,5 +36,5 @@ int main() {
   }
   std::printf("\n\npaper shape: tiers decrease monotonically with r "
               "(6 tiers at r=2 down to 2 at r=10 under the ring model).\n");
-  return 0;
+  return bench::emit_manifest("fig3_tiers", config, points) ? 0 : 1;
 }

@@ -20,7 +20,8 @@ int main() {
   mask.trp = true;
   mask.sicp = true;
   const auto ranges = bench::figure_ranges();
-  const auto points = bench::run_sweep(config, ranges, mask);
+  obs::TraceFile trace(config.trace_path);
+  const auto points = bench::run_sweep(config, ranges, mask, trace.sink());
 
   std::printf("%-10s", "r (m)");
   for (const double r : ranges) std::printf(" %12.0f", r);
@@ -38,5 +39,5 @@ int main() {
   std::printf(
       "\npaper @ r=6: SICP 170926, GMLE-CCM 5076, TRP-CCM 9747 "
       "(97.0%% / 94.3%% reduction)\n");
-  return 0;
+  return bench::emit_manifest("fig4_execution_time", config, points) ? 0 : 1;
 }

@@ -13,6 +13,7 @@ int main() {
   paper.trp = {73.3, 93.9, 120.9, 145.0, 164.7};
   return run_table_bench(
       "Table I — maximum number of bits sent per tag",
+      "table1_max_sent_bits",
       [](const ProtocolStats& s) -> const nettag::RunningStats& {
         return s.max_sent_bits;
       },

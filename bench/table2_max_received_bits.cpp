@@ -13,6 +13,7 @@ int main() {
   paper.trp = {30'968, 18'940, 14'981, 14'873, 14'714};
   return run_table_bench(
       "Table II — maximum number of bits received per tag",
+      "table2_max_received_bits",
       [](const ProtocolStats& s) -> const nettag::RunningStats& {
         return s.max_received_bits;
       },

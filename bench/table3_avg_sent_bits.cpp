@@ -15,6 +15,7 @@ int main() {
   paper.trp = {28.4, 39.8, 56.3, 76.9, 96.6};
   return run_table_bench(
       "Table III — average number of bits sent per tag",
+      "table3_avg_sent_bits",
       [](const ProtocolStats& s) -> const nettag::RunningStats& {
         return s.avg_sent_bits;
       },

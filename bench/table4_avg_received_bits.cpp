@@ -13,6 +13,7 @@ int main() {
   paper.trp = {30'916, 18'890, 14'919, 14'793, 14'618};
   return run_table_bench(
       "Table IV — average number of bits received per tag",
+      "table4_avg_received_bits",
       [](const ProtocolStats& s) -> const nettag::RunningStats& {
         return s.avg_received_bits;
       },

@@ -21,8 +21,10 @@ struct PaperReference {
   std::vector<double> trp;
 };
 
-/// Runs the table sweep and prints measured-vs-paper rows.
+/// Runs the table sweep and prints measured-vs-paper rows.  `bench_name`
+/// labels the optional NETTAG_MANIFEST artifact.
 inline int run_table_bench(const std::string& title,
+                           const std::string& bench_name,
                            const MetricSelector& metric,
                            const PaperReference& paper) {
   const ExperimentConfig config = config_from_env();
@@ -33,7 +35,8 @@ inline int run_table_bench(const std::string& title,
   mask.trp = true;
   mask.sicp = true;
   const auto ranges = table_ranges();
-  const auto points = run_sweep(config, ranges, mask);
+  obs::TraceFile trace(config.trace_path);
+  const auto points = run_sweep(config, ranges, mask, trace.sink());
 
   std::printf("%-16s", "r (m)");
   for (const double r : ranges) std::printf(" %12.0f", r);
@@ -52,7 +55,7 @@ inline int run_table_bench(const std::string& title,
   row("SICP", &SweepPoint::sicp, paper.sicp);
   row("GMLE-CCM", &SweepPoint::gmle, paper.gmle);
   row("TRP-CCM", &SweepPoint::trp, paper.trp);
-  return 0;
+  return emit_manifest(bench_name, config, points) ? 0 : 1;
 }
 
 }  // namespace nettag::bench

@@ -24,7 +24,8 @@ int main() {
   mask.trp = true;
   mask.sicp = true;
   const std::vector<double> ranges{2.0, 6.0, 10.0};
-  const auto points = bench::run_sweep(config, ranges, mask);
+  obs::TraceFile trace(config.trace_path);
+  const auto points = bench::run_sweep(config, ranges, mask, trace.sink());
 
   struct Profile {
     const char* name;
@@ -70,5 +71,5 @@ int main() {
       "\nreading: in airtime the CCM-vs-SICP gap widens well past the slot "
       "counts (SICP slots carry 96 bits each) — SVI-B.1's closing remark, "
       "quantified.\n");
-  return 0;
+  return bench::emit_manifest("wall_clock", config, points) ? 0 : 1;
 }

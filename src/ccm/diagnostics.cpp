@@ -54,4 +54,22 @@ double load_balance_index(const net::Topology& topology,
   return peak / (total / count);
 }
 
+void register_tier_metrics(const net::Topology& topology,
+                           const sim::EnergyMeter& energy,
+                           obs::Registry& registry,
+                           const std::string& prefix) {
+  for (const TierEnergy& tier : tier_energy_breakdown(topology, energy)) {
+    const std::string base = prefix + ".tier" + std::to_string(tier.tier);
+    registry.set(base + ".tags", static_cast<double>(tier.tag_count));
+    registry.set(base + ".avg_sent_bits", tier.avg_sent_bits);
+    registry.set(base + ".max_sent_bits", tier.max_sent_bits);
+    registry.set(base + ".avg_received_bits", tier.avg_received_bits);
+    registry.set(base + ".max_received_bits", tier.max_received_bits);
+  }
+  registry.set(prefix + ".load_balance_sent",
+               load_balance_index(topology, energy, /*by_sent=*/true));
+  registry.set(prefix + ".load_balance_received",
+               load_balance_index(topology, energy, /*by_sent=*/false));
+}
+
 }  // namespace nettag::ccm

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "obs/registry.hpp"
 #include "sim/energy.hpp"
 
 namespace nettag::ccm {
@@ -32,5 +33,14 @@ struct TierEnergy {
 [[nodiscard]] double load_balance_index(const net::Topology& topology,
                                         const sim::EnergyMeter& energy,
                                         bool by_sent);
+
+/// Folds the per-tier breakdown and both load-balance indices into
+/// `registry`: gauges `prefix.tier<k>.{tags,avg_sent_bits,max_sent_bits,
+/// avg_received_bits,max_received_bits}` plus `prefix.load_balance_sent`
+/// and `prefix.load_balance_received`.
+void register_tier_metrics(const net::Topology& topology,
+                           const sim::EnergyMeter& energy,
+                           obs::Registry& registry,
+                           const std::string& prefix = "tier");
 
 }  // namespace nettag::ccm

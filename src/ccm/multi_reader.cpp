@@ -16,22 +16,47 @@ MultiReaderResult run_all_readers(const net::Deployment& deployment,
                                   const SystemConfig& sys,
                                   const CcmConfig& config,
                                   const SlotSelector& selector,
-                                  sim::EnergyMeter& energy) {
+                                  sim::EnergyMeter& energy,
+                                  obs::TraceSink& sink) {
   MultiReaderResult result;
   result.bitmap = Bitmap(config.frame_size);
+  sink.event("multi_begin",
+             {{"readers", static_cast<int>(deployment.readers.size())},
+              {"tags", deployment.tag_count()}});
   std::vector<bool> covered(static_cast<std::size_t>(deployment.tag_count()),
                             false);
   for (int m = 0; m < static_cast<int>(deployment.readers.size()); ++m) {
     const net::Topology topology(deployment, sys, m);
+    int reader_covered = 0;
     for (TagIndex t = 0; t < topology.tag_count(); ++t) {
-      if (topology.reader_covers(t)) covered[static_cast<std::size_t>(t)] = true;
+      if (topology.reader_covers(t)) {
+        covered[static_cast<std::size_t>(t)] = true;
+        ++reader_covered;
+      }
     }
-    SessionResult session = run_session(topology, config, selector, energy);
+    SessionResult session = run_session(topology, config, selector, energy,
+                                        sink);
+    sink.event("reader_window",
+               {{"reader", m},
+                {"covered", reader_covered},
+                {"rounds", session.rounds},
+                {"completed", session.completed},
+                {"bit_slots", session.clock.bit_slots()},
+                {"id_slots", session.clock.id_slots()}});
     result.bitmap |= session.bitmap;
     result.per_reader.push_back(std::move(session));
   }
   for (const bool c : covered) result.covered_tags += c ? 1 : 0;
   return result;
+}
+
+void emit_multi_end(obs::TraceSink& sink, const MultiReaderResult& result) {
+  sink.event("multi_end",
+             {{"covered_tags", result.covered_tags},
+              {"groups", static_cast<int>(result.schedule.groups.size())},
+              {"bitmap_bits", result.bitmap.count()},
+              {"bit_slots", result.clock.bit_slots()},
+              {"id_slots", result.clock.id_slots()}});
 }
 
 }  // namespace
@@ -73,29 +98,31 @@ MultiReaderResult run_multi_reader_session(const net::Deployment& deployment,
                                            const SystemConfig& sys,
                                            const CcmConfig& config,
                                            const SlotSelector& selector,
-                                           sim::EnergyMeter& energy) {
+                                           sim::EnergyMeter& energy,
+                                           obs::TraceSink& sink) {
   NETTAG_EXPECTS(!deployment.readers.empty(), "need at least one reader");
   config.validate();
   MultiReaderResult result =
-      run_all_readers(deployment, sys, config, selector, energy);
+      run_all_readers(deployment, sys, config, selector, energy, sink);
   // Round-robin: every window is serialized.
   for (int m = 0; m < static_cast<int>(result.per_reader.size()); ++m) {
     result.clock.merge(result.per_reader[static_cast<std::size_t>(m)].clock);
     result.schedule.groups.push_back({m});
   }
+  emit_multi_end(sink, result);
   return result;
 }
 
 MultiReaderResult run_multi_reader_session_parallel(
     const net::Deployment& deployment, const SystemConfig& sys,
     const CcmConfig& config, const SlotSelector& selector,
-    sim::EnergyMeter& energy, double guard_band_m) {
+    sim::EnergyMeter& energy, double guard_band_m, obs::TraceSink& sink) {
   NETTAG_EXPECTS(!deployment.readers.empty(), "need at least one reader");
   config.validate();
   if (guard_band_m < 0.0) guard_band_m = 2.0 * sys.tag_to_tag_range_m;
 
   MultiReaderResult result =
-      run_all_readers(deployment, sys, config, selector, energy);
+      run_all_readers(deployment, sys, config, selector, energy, sink);
   result.schedule = schedule_readers(deployment, sys, guard_band_m);
 
   // Each group costs its slowest member; groups run back to back.
@@ -113,6 +140,7 @@ MultiReaderResult run_multi_reader_session_parallel(
     result.clock.add_bit_slots(worst_bits);
     result.clock.add_id_slots(worst_ids);
   }
+  emit_multi_end(sink, result);
   return result;
 }
 

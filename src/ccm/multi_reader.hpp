@@ -13,6 +13,7 @@
 #include "ccm/options.hpp"
 #include "ccm/slot_selector.hpp"
 #include "net/deployment.hpp"
+#include "obs/trace.hpp"
 #include "sim/energy.hpp"
 
 namespace nettag::ccm {
@@ -58,7 +59,7 @@ struct MultiReaderResult {
 [[nodiscard]] MultiReaderResult run_multi_reader_session(
     const net::Deployment& deployment, const SystemConfig& sys,
     const CcmConfig& config, const SlotSelector& selector,
-    sim::EnergyMeter& energy);
+    sim::EnergyMeter& energy, obs::TraceSink& sink = obs::null_sink());
 
 /// As above, but non-interfering readers share a window: execution time is
 /// the sum over schedule groups of the slowest member's session.  Bitmaps
@@ -67,6 +68,7 @@ struct MultiReaderResult {
 [[nodiscard]] MultiReaderResult run_multi_reader_session_parallel(
     const net::Deployment& deployment, const SystemConfig& sys,
     const CcmConfig& config, const SlotSelector& selector,
-    sim::EnergyMeter& energy, double guard_band_m = -1.0);
+    sim::EnergyMeter& energy, double guard_band_m = -1.0,
+    obs::TraceSink& sink = obs::null_sink());
 
 }  // namespace nettag::ccm

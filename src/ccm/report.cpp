@@ -42,11 +42,73 @@ std::string format_session_report(const SessionResult& result,
 }
 
 std::string format_energy_summary(const sim::EnergyMeter& energy) {
-  const auto s = energy.summarize();
+  // Render from the registry so this report and the machine-readable dumps
+  // can never disagree about what "avg sent" means.
+  obs::Registry registry;
+  register_energy_metrics(energy, registry, "energy");
+  const auto gauge = [&registry](const char* name) {
+    return registry.gauge(name).value;
+  };
   std::ostringstream os;
-  os << "energy (bits/tag): sent avg " << s.avg_sent_bits << " max "
-     << s.max_sent_bits << ", received avg " << s.avg_received_bits
-     << " max " << s.max_received_bits;
+  os << "energy (bits/tag): sent avg " << gauge("energy.avg_sent_bits")
+     << " max " << gauge("energy.max_sent_bits") << ", received avg "
+     << gauge("energy.avg_received_bits") << " max "
+     << gauge("energy.max_received_bits");
+  return os.str();
+}
+
+void register_session_metrics(const SessionResult& result,
+                              obs::Registry& registry,
+                              const std::string& prefix) {
+  registry.add(prefix + ".sessions");
+  registry.add(prefix + ".rounds", result.rounds);
+  if (!result.completed) registry.add(prefix + ".incomplete");
+  registry.add(prefix + ".bit_slots", result.clock.bit_slots());
+  registry.add(prefix + ".id_slots", result.clock.id_slots());
+  registry.add(prefix + ".bitmap_bits", result.bitmap.count());
+  registry.observe(prefix + ".rounds_per_session",
+                   static_cast<double>(result.rounds));
+}
+
+void register_energy_metrics(const sim::EnergyMeter& energy,
+                             obs::Registry& registry,
+                             const std::string& prefix) {
+  const sim::EnergySummary s = energy.summarize();
+  registry.set(prefix + ".avg_sent_bits", s.avg_sent_bits);
+  registry.set(prefix + ".max_sent_bits", s.max_sent_bits);
+  registry.set(prefix + ".avg_received_bits", s.avg_received_bits);
+  registry.set(prefix + ".max_received_bits", s.max_received_bits);
+}
+
+std::string format_registry(const obs::Registry& registry) {
+  std::ostringstream os;
+  if (!registry.counters().empty()) {
+    os << "counters:\n";
+    for (const auto& [name, c] : registry.counters())
+      os << "  " << name << " = " << c.value << "\n";
+  }
+  if (!registry.gauges().empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, g] : registry.gauges())
+      os << "  " << name << " = " << g.value << "\n";
+  }
+  if (!registry.timings().empty()) {
+    os << "timings:\n";
+    for (const auto& [name, t] : registry.timings()) {
+      const double total_ms = static_cast<double>(t.total_ns) / 1e6;
+      const double mean_ms =
+          t.calls > 0 ? total_ms / static_cast<double>(t.calls) : 0.0;
+      os << "  " << name << ": " << t.calls << " call(s), " << total_ms
+         << " ms total, " << mean_ms << " ms mean\n";
+    }
+  }
+  if (!registry.histograms().empty()) {
+    os << "histograms:\n";
+    for (const auto& [name, h] : registry.histograms()) {
+      os << "  " << name << ": n=" << h.count() << " mean=" << h.mean()
+         << " min=" << h.min() << " max=" << h.max() << "\n";
+    }
+  }
   return os.str();
 }
 

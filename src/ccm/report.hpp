@@ -10,6 +10,7 @@
 
 #include "ccm/metrics.hpp"
 #include "net/topology.hpp"
+#include "obs/registry.hpp"
 #include "sim/energy.hpp"
 
 namespace nettag::ccm {
@@ -22,7 +23,32 @@ namespace nettag::ccm {
 [[nodiscard]] std::string format_session_summary(const SessionResult& result);
 
 /// Text table of an energy meter's summary (avg/max sent and received).
+/// Rendered through the metrics registry (register_energy_metrics).
 [[nodiscard]] std::string format_energy_summary(
     const sim::EnergyMeter& energy);
+
+// ---------------------------------------------------------------------------
+// Registry integration: every aggregate a report can print flows through
+// obs::Registry, so benches, the CLI, and run manifests count sessions the
+// same way instead of each re-deriving their own numbers.
+// ---------------------------------------------------------------------------
+
+/// Folds one session's headline numbers into `registry` under `prefix.*`:
+/// counters `sessions`, `rounds`, `incomplete`, `bit_slots`, `id_slots`,
+/// `bitmap_bits`; histogram `rounds_per_session`.
+void register_session_metrics(const SessionResult& result,
+                              obs::Registry& registry,
+                              const std::string& prefix = "ccm");
+
+/// Folds an energy meter's summary into gauges `prefix.avg_sent_bits`,
+/// `prefix.max_sent_bits`, `prefix.avg_received_bits`,
+/// `prefix.max_received_bits`.
+void register_energy_metrics(const sim::EnergyMeter& energy,
+                             obs::Registry& registry,
+                             const std::string& prefix = "energy");
+
+/// Multi-line text rendering of a registry: counters, gauges, timings
+/// (total/mean milliseconds), and histogram summaries, sorted by name.
+[[nodiscard]] std::string format_registry(const obs::Registry& registry);
 
 }  // namespace nettag::ccm

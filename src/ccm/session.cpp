@@ -27,7 +27,7 @@ struct TagState {
 SessionResult run_session(const net::Topology& topology,
                           const CcmConfig& config,
                           const SlotSelector& selector,
-                          sim::EnergyMeter& energy) {
+                          sim::EnergyMeter& energy, obs::TraceSink& sink) {
   config.validate();
   NETTAG_EXPECTS(energy.tag_count() == topology.tag_count(),
                  "energy meter sized for a different tag count");
@@ -37,10 +37,24 @@ SessionResult run_session(const net::Topology& topology,
   const SlotCount indicator_segments = (static_cast<SlotCount>(f) + 95) / 96;
   const BitCount request_bits = kTagIdBits;  // request carries (f, p, seed)
 
+  sink.event("session_begin",
+             {{"f", f},
+              {"tags", n},
+              {"budget", config.round_budget()},
+              {"lc", config.checking_frame_length},
+              {"seed", config.request_seed},
+              {"indicator", config.use_indicator_vector},
+              {"checking", config.use_checking_frame}});
+
   SessionResult result;
   result.bitmap = Bitmap(f);
   if (n == 0) {
     result.completed = true;
+    sink.event("session_end", {{"rounds", 0},
+                               {"completed", true},
+                               {"bitmap_bits", 0},
+                               {"bit_slots", result.clock.bit_slots()},
+                               {"id_slots", result.clock.id_slots()}});
     return result;
   }
 
@@ -81,6 +95,8 @@ SessionResult run_session(const net::Topology& topology,
       if (active[static_cast<std::size_t>(t)])
         energy.add_received(t, request_bits);
     }
+    sink.event("slot_batch",
+               {{"round", round}, {"kind", "request"}, {"slots", 1}});
 
     // --- Tags decide what to transmit this frame. ---
     for (TagIndex t = 0; t < n; ++t) {
@@ -124,6 +140,8 @@ SessionResult run_session(const net::Topology& topology,
 
     // --- The frame itself: f one-bit slots; collisions merge benignly. ---
     result.clock.add_bit_slots(f);
+    sink.event("slot_batch",
+               {{"round", round}, {"kind", "frame"}, {"slots", f}});
     Bitmap reader_busy(f);
     for (TagIndex u = 0; u < n; ++u) {
       const auto iu = static_cast<std::size_t>(u);
@@ -168,6 +186,9 @@ SessionResult run_session(const net::Topology& topology,
         segments_sent = 1 + changed;
       }
       result.clock.add_id_slots(segments_sent);
+      sink.event(
+          "slot_batch",
+          {{"round", round}, {"kind", "indicator"}, {"slots", segments_sent}});
       const BitCount indicator_bits = segments_sent * 96;
       for (TagIndex t = 0; t < n; ++t) {
         const auto i = static_cast<std::size_t>(t);
@@ -250,12 +271,21 @@ SessionResult run_session(const net::Topology& topology,
       trace.checking_slots_used = slots_used;
       trace.reader_saw_pending = reader_sensed;
       reader_wants_more = reader_sensed;
+      sink.event("slot_batch", {{"round", round},
+                                {"kind", "checking"},
+                                {"slots", slots_used}});
     } else {
       // Ablation: no checking frame — the reader blindly runs its full round
       // budget (Alg. 1 without lines 14-24).
       reader_wants_more = true;
     }
 
+    sink.event("round", {{"round", round},
+                         {"new_reader_bits", trace.new_reader_bits},
+                         {"relay_tx", trace.relay_transmissions},
+                         {"checking_slots", trace.checking_slots_used},
+                         {"pending", trace.reader_saw_pending},
+                         {"bitmap_bits", result.bitmap.count()}});
     result.round_trace.push_back(trace);
     ++result.rounds;
   }
@@ -270,14 +300,19 @@ SessionResult run_session(const net::Topology& topology,
       break;
     }
   }
+  sink.event("session_end", {{"rounds", result.rounds},
+                             {"completed", result.completed},
+                             {"bitmap_bits", result.bitmap.count()},
+                             {"bit_slots", result.clock.bit_slots()},
+                             {"id_slots", result.clock.id_slots()}});
   return result;
 }
 
 SessionResult run_session(const net::Topology& topology,
                           const CcmConfig& config,
-                          const SlotSelector& selector) {
+                          const SlotSelector& selector, obs::TraceSink& sink) {
   sim::EnergyMeter meter(topology.tag_count());
-  return run_session(topology, config, selector, meter);
+  return run_session(topology, config, selector, meter, sink);
 }
 
 }  // namespace nettag::ccm

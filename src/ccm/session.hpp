@@ -27,6 +27,7 @@
 #include "ccm/options.hpp"
 #include "ccm/slot_selector.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/energy.hpp"
 
 namespace nettag::ccm {
@@ -40,14 +41,19 @@ namespace nettag::ccm {
 /// arrive; the paper excludes such tags from the system definition (SII).
 ///
 /// Per-tag costs are accumulated into `energy` (indices = topology indices).
-[[nodiscard]] SessionResult run_session(const net::Topology& topology,
-                                        const CcmConfig& config,
-                                        const SlotSelector& selector,
-                                        sim::EnergyMeter& energy);
+///
+/// `sink` receives the session's event stream (session_begin, one round and
+/// its slot_batch events per executed round, session_end); the default
+/// NullSink short-circuits every event site, so untraced runs are
+/// bit-identical to the uninstrumented engine.
+[[nodiscard]] SessionResult run_session(
+    const net::Topology& topology, const CcmConfig& config,
+    const SlotSelector& selector, sim::EnergyMeter& energy,
+    obs::TraceSink& sink = obs::null_sink());
 
 /// Convenience overload that discards energy accounting.
-[[nodiscard]] SessionResult run_session(const net::Topology& topology,
-                                        const CcmConfig& config,
-                                        const SlotSelector& selector);
+[[nodiscard]] SessionResult run_session(
+    const net::Topology& topology, const CcmConfig& config,
+    const SlotSelector& selector, obs::TraceSink& sink = obs::null_sink());
 
 }  // namespace nettag::ccm

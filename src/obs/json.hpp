@@ -1,0 +1,22 @@
+// Minimal JSON formatting helpers shared by the observability exporters.
+//
+// The exporters only ever WRITE JSON (JSONL traces, registry dumps, run
+// manifests), so a full parser would be dead weight; these two functions are
+// the entire serialization substrate.  Doubles render via std::to_chars
+// (shortest round-trip form), non-finite values as null per RFC 8259.
+#pragma once
+
+#include <string>
+
+namespace nettag::obs {
+
+/// `s` with JSON string escaping applied (quotes NOT added).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// `s` as a quoted JSON string literal.
+[[nodiscard]] std::string json_string(const std::string& s);
+
+/// `v` as a JSON number literal (shortest round-trip); "null" if non-finite.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace nettag::obs

@@ -1,0 +1,89 @@
+#include "obs/manifest.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace nettag::obs {
+
+const char* build_git_describe() noexcept {
+#ifdef NETTAG_GIT_DESCRIBE
+  return NETTAG_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string iso8601_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &now);
+#else
+  gmtime_r(&now, &utc);
+#endif
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec);
+  return buf;
+}
+
+void RunManifest::set(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, json_string(value));
+}
+void RunManifest::set(const std::string& key, const char* value) {
+  config_.emplace_back(key, json_string(value));
+}
+void RunManifest::set(const std::string& key, std::int64_t value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+void RunManifest::set(const std::string& key, std::uint64_t value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+void RunManifest::set(const std::string& key, int value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+void RunManifest::set(const std::string& key, double value) {
+  config_.emplace_back(key, json_number(value));
+}
+void RunManifest::set(const std::string& key, bool value) {
+  config_.emplace_back(key, value ? "true" : "false");
+}
+
+void RunManifest::add_section(const std::string& key, std::string raw_json) {
+  sections_.emplace_back(key, std::move(raw_json));
+}
+
+std::string RunManifest::to_json(const Registry* metrics) const {
+  std::ostringstream os;
+  os << "{\"schema\":\"nettag.run_manifest/1\""
+     << ",\"tool\":" << json_string(tool_)
+     << ",\"command\":" << json_string(command_)
+     << ",\"git\":" << json_string(build_git_describe())
+     << ",\"written_at\":" << json_string(iso8601_utc_now());
+  os << ",\"config\":{";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i) os << ",";
+    os << json_string(config_[i].first) << ":" << config_[i].second;
+  }
+  os << "}";
+  if (metrics != nullptr) os << ",\"metrics\":" << metrics->to_json();
+  for (const auto& [key, raw] : sections_)
+    os << "," << json_string(key) << ":" << raw;
+  os << "}";
+  return os.str();
+}
+
+bool RunManifest::write_file(const std::string& path,
+                             const Registry* metrics) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json(metrics) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace nettag::obs

@@ -1,0 +1,70 @@
+// Machine-readable run manifests.
+//
+// A run manifest is the provenance record of one bench/CLI invocation: what
+// tool ran, with which configuration and seed, against which source revision,
+// and what the metrics registry accumulated.  Benches write one per run (see
+// bench_common's NETTAG_MANIFEST hook) so the BENCH_*.json trajectory can be
+// diffed run-over-run; the CLI writes one behind `--metrics FILE`.
+//
+// Schema ("nettag.run_manifest/1"):
+//   {
+//     "schema": "nettag.run_manifest/1",
+//     "tool": "fig4_execution_time",
+//     "command": "run_sweep",
+//     "git": "<git describe --always --dirty at configure time>",
+//     "written_at": "2026-08-07T12:00:00Z",
+//     "config": { "tags": 10000, "seed": 20190707, ... },
+//     "metrics": { "counters": {...}, "gauges": {...}, ... },   // Registry
+//     ...one top-level section per add_section() call...
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace nettag::obs {
+
+/// Source revision baked in at configure time ("unknown" outside git).
+[[nodiscard]] const char* build_git_describe() noexcept;
+
+/// Current wall-clock time as ISO-8601 UTC (e.g. "2026-08-07T12:00:00Z").
+[[nodiscard]] std::string iso8601_utc_now();
+
+/// Builder for one manifest document.
+class RunManifest {
+ public:
+  RunManifest(std::string tool, std::string command)
+      : tool_(std::move(tool)), command_(std::move(command)) {}
+
+  // Config entries render inside the "config" object, in insertion order.
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, std::uint64_t value);
+  void set(const std::string& key, int value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, bool value);
+
+  /// Adds a top-level section; `raw_json` must be a complete JSON value.
+  void add_section(const std::string& key, std::string raw_json);
+
+  /// The full document; `metrics` (when non-null) dumps as "metrics".
+  [[nodiscard]] std::string to_json(const Registry* metrics = nullptr) const;
+
+  /// Writes to_json() + newline to `path`; false on I/O failure.
+  bool write_file(const std::string& path,
+                  const Registry* metrics = nullptr) const;
+
+ private:
+  std::string tool_;
+  std::string command_;
+  /// Config values pre-rendered as JSON literals.
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+}  // namespace nettag::obs

@@ -1,0 +1,146 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace nettag::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  NETTAG_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be sorted ascending");
+}
+
+void Histogram::observe(double v) noexcept {
+  std::size_t bucket = bounds_.size();  // overflow by default
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  NETTAG_EXPECTS(bounds_ == other.bounds_,
+                 "cannot merge histograms with different bounds");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e9; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  return bounds;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].add(c.value);
+  for (const auto& [name, g] : other.gauges_) gauges_[name] = g;
+  for (const auto& [name, t] : other.timings_) {
+    Timing& mine = timings_[name];
+    mine.calls += t.calls;
+    mine.total_ns += t.total_ns;
+    mine.max_ns = std::max(mine.max_ns, t.max_ns);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+void Registry::clear() noexcept {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  timings_.clear();
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  {
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      if (!first) os << ",";
+      first = false;
+      os << json_string(name) << ":" << c.value;
+    }
+  }
+  os << "},\"gauges\":{";
+  {
+    bool first = true;
+    for (const auto& [name, g] : gauges_) {
+      if (!first) os << ",";
+      first = false;
+      os << json_string(name) << ":" << json_number(g.value);
+    }
+  }
+  os << "},\"timings\":{";
+  {
+    bool first = true;
+    for (const auto& [name, t] : timings_) {
+      if (!first) os << ",";
+      first = false;
+      os << json_string(name) << ":{\"calls\":" << t.calls
+         << ",\"total_ns\":" << t.total_ns << ",\"max_ns\":" << t.max_ns
+         << "}";
+    }
+  }
+  os << "},\"histograms\":{";
+  {
+    bool first = true;
+    for (const auto& [name, h] : histograms_) {
+      if (!first) os << ",";
+      first = false;
+      os << json_string(name) << ":{\"bounds\":[";
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        if (i) os << ",";
+        os << json_number(h.bounds()[i]);
+      }
+      os << "],\"counts\":[";
+      for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+        if (i) os << ",";
+        os << h.bucket_counts()[i];
+      }
+      os << "],\"count\":" << h.count() << ",\"sum\":" << json_number(h.sum())
+         << ",\"min\":" << json_number(h.min())
+         << ",\"max\":" << json_number(h.max()) << "}";
+    }
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace nettag::obs

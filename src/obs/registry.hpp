@@ -1,0 +1,195 @@
+// Metrics registry: named counters, gauges, fixed-bucket histograms, and
+// wall-clock timing scopes.
+//
+// This is the aggregation substrate the benches, the CLI, and the report
+// renderers share — one place where per-run numbers accumulate, one JSON
+// dump format for machine-readable artifacts.  Naming convention (see
+// docs/OBSERVABILITY.md): lowercase dotted paths, `subsystem.metric`, e.g.
+// `ccm.rounds`, `bench.trials`, `cli.detect` — units spelled out in a
+// suffix when they are not obvious (`_bits`, `_slots`, `_ns`).
+//
+// The registry is deliberately single-threaded (one per run/driver); merge()
+// exists so future parallel trial execution can reduce worker registries.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nettag::obs {
+
+/// Monotonically increasing integer metric.
+struct Counter {
+  std::int64_t value = 0;
+
+  void add(std::int64_t delta = 1) noexcept { value += delta; }
+};
+
+/// Last-write-wins floating-point metric.
+struct Gauge {
+  double value = 0.0;
+};
+
+/// Aggregate of a wall-clock timing scope (see ScopedTimer).
+struct Timing {
+  std::int64_t calls = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t max_ns = 0;
+
+  void record(std::int64_t ns) noexcept {
+    ++calls;
+    total_ns += ns;
+    if (ns > max_ns) max_ns = ns;
+  }
+};
+
+/// Fixed-bucket histogram: bucket i counts samples v <= bounds[i] (first
+/// match wins); one implicit overflow bucket catches the rest.
+class Histogram {
+ public:
+  Histogram() : Histogram(default_bounds()) {}
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::int64_t>& bucket_counts()
+      const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  void merge(const Histogram& other);
+
+  /// 1-2-5 decades from 1 to 1e9 — a sane default for counts and sizes.
+  [[nodiscard]] static std::vector<double> default_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metric store.  Lookup creates on first use; references stay valid
+/// for the registry's lifetime (node-based map storage).
+class Registry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return counters_[name];
+  }
+  [[nodiscard]] Gauge& gauge(const std::string& name) {
+    return gauges_[name];
+  }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+  [[nodiscard]] Timing& timing(const std::string& name) {
+    return timings_[name];
+  }
+
+  // Shorthands for the common one-shot updates.
+  void add(const std::string& name, std::int64_t delta = 1) {
+    counter(name).add(delta);
+  }
+  void set(const std::string& name, double value) {
+    gauge(name).value = value;
+  }
+  void observe(const std::string& name, double value) {
+    histogram(name).observe(value);
+  }
+  void record_timing(const std::string& name, std::int64_t ns) {
+    timing(name).record(ns);
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+  [[nodiscard]] const std::map<std::string, Timing>& timings()
+      const noexcept {
+    return timings_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           timings_.empty();
+  }
+
+  /// Folds `other` in: counters/timings add, gauges last-write-wins,
+  /// histograms with identical bounds merge (mismatched bounds throw).
+  void merge(const Registry& other);
+
+  void clear() noexcept;
+
+  /// Deterministic JSON dump (names sorted), e.g.
+  ///   {"counters":{"ccm.rounds":12},"gauges":{...},
+  ///    "timings":{"bench.sweep":{"calls":1,"total_ns":...,"max_ns":...}},
+  ///    "histograms":{"ccm.rounds_per_session":{"bounds":[...],
+  ///      "counts":[...],"count":3,"sum":7,"min":1,"max":4}}}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Timing> timings_;
+};
+
+/// RAII wall-clock scope: records elapsed steady-clock nanoseconds into
+/// `registry.timing(name)` on destruction (or on an early `stop()`).
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry& registry, std::string name)
+      : registry_(registry),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Nanoseconds since construction; non-negative and non-decreasing
+  /// (steady_clock is monotonic by contract).
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Records the elapsed time now; the destructor then does nothing.
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    registry_.record_timing(name_, elapsed_ns());
+  }
+
+ private:
+  Registry& registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace nettag::obs

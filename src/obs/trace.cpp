@@ -1,0 +1,100 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace nettag::obs {
+
+std::string Field::value_json() const {
+  switch (type_) {
+    case Type::kInt: return std::to_string(int_);
+    case Type::kUint: return std::to_string(uint_);
+    case Type::kDouble: return json_number(double_);
+    case Type::kBool: return bool_ ? "true" : "false";
+    case Type::kStr: return json_string(str_);
+  }
+  return "null";
+}
+
+TraceSink& null_sink() noexcept {
+  static NullSink sink;
+  return sink;
+}
+
+void JsonlSink::emit(const char* kind, std::initializer_list<Field> fields) {
+  out_ << "{\"seq\":" << seq_++ << ",\"event\":" << json_string(kind);
+  for (const Field& f : fields)
+    out_ << "," << json_string(f.key()) << ":" << f.value_json();
+  out_ << "}\n";
+}
+
+namespace {
+
+/// CSV-quotes `cell` when it contains a delimiter, quote, or newline.
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CsvSink::CsvSink(std::ostream& out) : TraceSink(true), out_(out) {
+  out_ << "seq,event,field,value\n";
+}
+
+void CsvSink::emit(const char* kind, std::initializer_list<Field> fields) {
+  if (fields.size() == 0) {
+    out_ << seq_ << "," << csv_cell(kind) << ",,\n";
+  } else {
+    for (const Field& f : fields) {
+      out_ << seq_ << "," << csv_cell(kind) << "," << csv_cell(f.key()) << ","
+           << csv_cell(f.value_json()) << "\n";
+    }
+  }
+  ++seq_;
+}
+
+TraceFile::TraceFile(const std::string& path) {
+  if (path.empty()) return;
+  out_.open(path);
+  NETTAG_EXPECTS(out_.is_open(), "cannot open trace file");
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    sink_ = std::make_unique<CsvSink>(out_);
+  } else {
+    sink_ = std::make_unique<JsonlSink>(out_);
+  }
+}
+
+std::string RecordingSink::Event::value(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+std::size_t RecordingSink::count(const std::string& kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += e.kind == kind ? 1 : 0;
+  return n;
+}
+
+void RecordingSink::emit(const char* kind,
+                         std::initializer_list<Field> fields) {
+  Event e;
+  e.kind = kind;
+  e.fields.reserve(fields.size());
+  for (const Field& f : fields) e.fields.emplace_back(f.key(), f.value_json());
+  events_.push_back(std::move(e));
+}
+
+}  // namespace nettag::obs

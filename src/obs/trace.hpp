@@ -1,0 +1,182 @@
+// Event tracing for the CCM stack.
+//
+// Every layer that does interesting work — the session engine, the protocol
+// drivers, the multi-reader scheduler — emits structured events through a
+// TraceSink it receives as a (defaulted) parameter.  The default sink is a
+// process-wide NullSink whose `enabled()` flag short-circuits `event()`
+// before any field is serialized, so an untraced run pays one branch per
+// event site and nothing else; in particular tracing never touches any RNG
+// stream, which is what keeps traced and untraced runs bit-identical.
+//
+// Event vocabulary (see docs/OBSERVABILITY.md for the full schema):
+//   session_begin / round / slot_batch / session_end      — ccm::run_session
+//   multi_begin / reader_window / multi_end               — ccm::multi_reader
+//   estimate_frame / estimate_end                         — GMLE estimation
+//   lof_end                                               — LoF estimation
+//   detect_execution / detect_end                         — TRP detection
+//   search_filter / search_frame / search_end             — tag search
+//   idcollect_tree / idcollect_end                        — SICP / CICP
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nettag::obs {
+
+/// One key/value pair of a trace event.  Keys are string literals (never
+/// owned); values are a small tagged union so sinks can serialize with the
+/// right JSON type.
+class Field {
+ public:
+  enum class Type { kInt, kUint, kDouble, kBool, kStr };
+
+  constexpr Field(const char* key, int v) noexcept
+      : key_(key), type_(Type::kInt), int_(v) {}
+  constexpr Field(const char* key, long v) noexcept
+      : key_(key), type_(Type::kInt), int_(v) {}
+  constexpr Field(const char* key, long long v) noexcept
+      : key_(key), type_(Type::kInt), int_(v) {}
+  constexpr Field(const char* key, unsigned long v) noexcept
+      : key_(key), type_(Type::kUint), uint_(v) {}
+  constexpr Field(const char* key, unsigned long long v) noexcept
+      : key_(key), type_(Type::kUint), uint_(v) {}
+  constexpr Field(const char* key, double v) noexcept
+      : key_(key), type_(Type::kDouble), double_(v) {}
+  constexpr Field(const char* key, bool v) noexcept
+      : key_(key), type_(Type::kBool), bool_(v) {}
+  constexpr Field(const char* key, const char* v) noexcept
+      : key_(key), type_(Type::kStr), str_(v) {}
+
+  [[nodiscard]] const char* key() const noexcept { return key_; }
+  [[nodiscard]] Type type() const noexcept { return type_; }
+
+  /// The value rendered as a JSON literal (numbers bare, strings quoted).
+  [[nodiscard]] std::string value_json() const;
+
+ private:
+  const char* key_;
+  Type type_;
+  union {
+    std::int64_t int_;
+    std::uint64_t uint_;
+    double double_;
+    bool bool_;
+    const char* str_;
+  };
+};
+
+/// Destination of trace events.  Derived sinks implement `emit`; call sites
+/// go through `event`, which skips the virtual dispatch when disabled.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void event(const char* kind, std::initializer_list<Field> fields) {
+    if (enabled_) emit(kind, fields);
+  }
+
+ protected:
+  explicit TraceSink(bool enabled) noexcept : enabled_(enabled) {}
+  virtual void emit(const char* kind,
+                    std::initializer_list<Field> fields) = 0;
+
+ private:
+  bool enabled_;
+};
+
+/// Discards everything; `enabled()` is false so event sites short-circuit.
+class NullSink final : public TraceSink {
+ public:
+  NullSink() noexcept : TraceSink(false) {}
+
+ private:
+  void emit(const char* /*kind*/,
+            std::initializer_list<Field> /*fields*/) override {}
+};
+
+/// The process-wide default sink (a shared NullSink).
+[[nodiscard]] TraceSink& null_sink() noexcept;
+
+/// Writes one JSON object per event, one per line:
+///   {"seq":0,"event":"round","round":1,...}
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(std::ostream& out) noexcept
+      : TraceSink(true), out_(out) {}
+
+ private:
+  void emit(const char* kind, std::initializer_list<Field> fields) override;
+
+  std::ostream& out_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Long-format CSV: header "seq,event,field,value", then one row per field
+/// (events without fields still get one row with an empty field column).
+class CsvSink final : public TraceSink {
+ public:
+  explicit CsvSink(std::ostream& out);
+
+ private:
+  void emit(const char* kind, std::initializer_list<Field> fields) override;
+
+  std::ostream& out_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Owns an optional file-backed sink.  An empty path yields the null sink
+/// (no file is touched); a path ending in ".csv" yields a CsvSink; any other
+/// path yields a JsonlSink.  Throws via NETTAG_EXPECTS when the file cannot
+/// be opened.  The object must outlive every use of `sink()`.
+class TraceFile {
+ public:
+  TraceFile() = default;
+  explicit TraceFile(const std::string& path);
+
+  [[nodiscard]] TraceSink& sink() noexcept {
+    return sink_ ? *sink_ : null_sink();
+  }
+  [[nodiscard]] bool is_open() const noexcept { return sink_ != nullptr; }
+
+ private:
+  std::ofstream out_;
+  std::unique_ptr<TraceSink> sink_;
+};
+
+/// Buffers events in memory — for tests and for post-run rendering.
+class RecordingSink final : public TraceSink {
+ public:
+  struct Event {
+    std::string kind;
+    /// Field values pre-rendered as JSON literals, in emission order.
+    std::vector<std::pair<std::string, std::string>> fields;
+
+    /// JSON-literal value of `key`; empty string when absent.
+    [[nodiscard]] std::string value(const std::string& key) const;
+  };
+
+  RecordingSink() noexcept : TraceSink(true) {}
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t count(const std::string& kind) const;
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  void emit(const char* kind, std::initializer_list<Field> fields) override;
+
+  std::vector<Event> events_;
+};
+
+}  // namespace nettag::obs

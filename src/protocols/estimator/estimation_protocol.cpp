@@ -19,7 +19,8 @@ Seed frame_seed(Seed base, int phase, int index) {
 }  // namespace
 
 EstimationResult estimate_cardinality(const EstimationConfig& config,
-                                      const BitmapSource& source) {
+                                      const BitmapSource& source,
+                                      obs::TraceSink& sink) {
   NETTAG_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0,
                  "alpha must be in (0,1)");
   NETTAG_EXPECTS(config.beta > 0.0 && config.beta < 1.0,
@@ -39,12 +40,23 @@ EstimationResult estimate_cardinality(const EstimationConfig& config,
       const Bitmap bitmap = source(f0, p, frame_seed(config.base_seed, 0, i));
       ++result.rough_frames;
       const int zeros = f0 - bitmap.count();
+      sink.event("estimate_frame", {{"phase", "rough"},
+                                    {"index", i},
+                                    {"f", f0},
+                                    {"p", p},
+                                    {"empty_slots", zeros}});
       if (bitmap.none()) {
         // Nothing answered: either n = 0 or p got too small to sample
         // anyone.  Treat a first all-idle probe as an empty system.
         if (i == 0) {
           result.n_hat = 0.0;
           result.accuracy_met = true;
+          sink.event("estimate_end",
+                     {{"n_hat", result.n_hat},
+                      {"std_error", result.std_error},
+                      {"accuracy_met", result.accuracy_met},
+                      {"rough_frames", result.rough_frames},
+                      {"accurate_frames", result.accurate_frames}});
           return result;
         }
         p = std::min(1.0, p * 4.0);  // back off: we overshot the halving
@@ -77,6 +89,12 @@ EstimationResult estimate_cardinality(const EstimationConfig& config,
         {.frame_size = f, .participation = p, .empty_slots = f - bitmap.count()});
     estimate = gmle_estimate(result.frames);
     n_hat = std::max(estimate.n_hat, 1.0);
+    sink.event("estimate_frame", {{"phase", "accurate"},
+                                  {"index", i},
+                                  {"f", f},
+                                  {"p", p},
+                                  {"empty_slots", f - bitmap.count()},
+                                  {"n_hat", estimate.n_hat}});
     if (gmle_accuracy_met(estimate, config.alpha, config.beta)) {
       result.accuracy_met = true;
       break;
@@ -84,13 +102,19 @@ EstimationResult estimate_cardinality(const EstimationConfig& config,
   }
   result.n_hat = estimate.n_hat;
   result.std_error = estimate.std_error;
+  sink.event("estimate_end", {{"n_hat", result.n_hat},
+                              {"std_error", result.std_error},
+                              {"accuracy_met", result.accuracy_met},
+                              {"rough_frames", result.rough_frames},
+                              {"accurate_frames", result.accurate_frames}});
   return result;
 }
 
 EstimationResult estimate_cardinality_ccm(const EstimationConfig& config,
                                           const net::Topology& topology,
                                           const ccm::CcmConfig& ccm_template,
-                                          sim::EnergyMeter& energy) {
+                                          sim::EnergyMeter& energy,
+                                          obs::TraceSink& sink) {
   sim::SlotClock clock;
   const BitmapSource source = [&](FrameSize f, double p, Seed seed) {
     ccm::CcmConfig session_config = ccm_template;
@@ -98,11 +122,11 @@ EstimationResult estimate_cardinality_ccm(const EstimationConfig& config,
     session_config.request_seed = seed;
     const ccm::HashedSlotSelector selector(p);
     ccm::SessionResult session =
-        ccm::run_session(topology, session_config, selector, energy);
+        ccm::run_session(topology, session_config, selector, energy, sink);
     clock.merge(session.clock);
     return session.bitmap;
   };
-  EstimationResult result = estimate_cardinality(config, source);
+  EstimationResult result = estimate_cardinality(config, source, sink);
   result.clock = clock;
   return result;
 }

@@ -14,6 +14,7 @@
 #include "ccm/options.hpp"
 #include "common/bitmap.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "protocols/estimator/gmle.hpp"
 #include "sim/clock.hpp"
 #include "sim/energy.hpp"
@@ -61,14 +62,19 @@ using BitmapSource =
     std::function<Bitmap(FrameSize f, double p, Seed seed)>;
 
 /// Runs the full two-phase estimation against an abstract bitmap source.
+/// `sink` receives one `estimate_frame` event per frame (both phases) and a
+/// final `estimate_end`.
 [[nodiscard]] EstimationResult estimate_cardinality(
-    const EstimationConfig& config, const BitmapSource& source);
+    const EstimationConfig& config, const BitmapSource& source,
+    obs::TraceSink& sink = obs::null_sink());
 
 /// Networked-tag front end: each frame is one CCM session over `topology`
 /// with `ccm_template` supplying L_c and the feature switches; time and
-/// per-tag energy accumulate into the result / `energy`.
+/// per-tag energy accumulate into the result / `energy`.  The per-session
+/// event stream is forwarded to `sink` as well.
 [[nodiscard]] EstimationResult estimate_cardinality_ccm(
     const EstimationConfig& config, const net::Topology& topology,
-    const ccm::CcmConfig& ccm_template, sim::EnergyMeter& energy);
+    const ccm::CcmConfig& ccm_template, sim::EnergyMeter& energy,
+    obs::TraceSink& sink = obs::null_sink());
 
 }  // namespace nettag::protocols

@@ -65,17 +65,23 @@ LofEstimate lof_estimate(const Bitmap& bitmap, const LofConfig& config) {
 LofOutcome estimate_cardinality_lof(const LofConfig& config,
                                     const net::Topology& topology,
                                     const ccm::CcmConfig& ccm_template,
-                                    sim::EnergyMeter& energy) {
+                                    sim::EnergyMeter& energy,
+                                    obs::TraceSink& sink) {
   config.validate();
   ccm::CcmConfig session_config = ccm_template;
   session_config.frame_size = config.frame_size();
   session_config.request_seed = config.seed;
   const LofSlotSelector selector(config);
   const ccm::SessionResult session =
-      ccm::run_session(topology, session_config, selector, energy);
+      ccm::run_session(topology, session_config, selector, energy, sink);
   LofOutcome outcome;
   outcome.estimate = lof_estimate(session.bitmap, config);
   outcome.clock = session.clock;
+  sink.event("lof_end",
+             {{"n_hat", outcome.estimate.n_hat},
+              {"relative_std_error", outcome.estimate.relative_std_error},
+              {"groups", config.groups},
+              {"f", config.frame_size()}});
   return outcome;
 }
 

@@ -19,6 +19,7 @@
 #include "ccm/slot_selector.hpp"
 #include "common/bitmap.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "sim/energy.hpp"
 
@@ -75,6 +76,7 @@ struct LofOutcome {
 };
 [[nodiscard]] LofOutcome estimate_cardinality_lof(
     const LofConfig& config, const net::Topology& topology,
-    const ccm::CcmConfig& ccm_template, sim::EnergyMeter& energy);
+    const ccm::CcmConfig& ccm_template, sim::EnergyMeter& energy,
+    obs::TraceSink& sink = obs::null_sink());
 
 }  // namespace nettag::protocols

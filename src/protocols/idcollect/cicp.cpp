@@ -9,13 +9,34 @@
 
 namespace nettag::protocols {
 
+namespace {
+
+/// Post-build tree summary (mirrors SICP's event for comparable traces).
+void emit_tree_event(obs::TraceSink& sink, const SpanningTree& tree,
+                     const sim::SlotClock& clock) {
+  if (!sink.enabled()) return;
+  int reachable = 0;
+  int depth = 0;
+  for (const int level : tree.level) {
+    if (level == net::kUnreachable) continue;
+    ++reachable;
+    depth = std::max(depth, level);
+  }
+  sink.event("idcollect_tree", {{"reachable", reachable},
+                                {"depth", depth},
+                                {"build_slots", clock.id_slots()}});
+}
+
+}  // namespace
+
 IdCollectionResult run_cicp(const net::Topology& topology,
                             const TreeBuildConfig& config, Rng& rng,
-                            sim::EnergyMeter& energy) {
+                            sim::EnergyMeter& energy, obs::TraceSink& sink) {
   const int n = topology.tag_count();
   IdCollectionResult result;
   result.tree = build_spanning_tree(topology, config, rng, energy, result.clock);
   const SpanningTree& tree = result.tree;
+  emit_tree_event(sink, tree, result.clock);
 
   // Per-tag queue of IDs still to be pushed one hop up.
   std::vector<std::deque<TagId>> queue(static_cast<std::size_t>(n));
@@ -107,6 +128,11 @@ IdCollectionResult run_cicp(const net::Topology& topology,
       }
       result.data_slots += 1;  // the decoded hop carried an ID payload
     }
+    sink.event("cicp_window", {{"window", guard},
+                               {"active", static_cast<int>(active.size())},
+                               {"slots", w},
+                               {"successes", static_cast<int>(successes.size())},
+                               {"undelivered", undelivered}});
   }
 
   // Idle listening: 1 bit preamble-sample per elapsed slot for every awake
@@ -117,6 +143,13 @@ IdCollectionResult run_cicp(const net::Topology& topology,
     if (tree.level[static_cast<std::size_t>(t)] != net::kUnreachable)
       energy.add_received(t, elapsed);
   }
+  sink.event("idcollect_end",
+             {{"protocol", "cicp"},
+              {"collected", static_cast<int>(result.collected.size())},
+              {"data_slots", result.data_slots},
+              {"poll_slots", result.poll_slots},
+              {"ack_slots", result.ack_slots},
+              {"id_slots", result.clock.id_slots()}});
   return result;
 }
 

@@ -16,8 +16,10 @@ namespace nettag::protocols {
 
 /// Runs CICP over `topology`.  Same result type as SICP; `poll_slots` stays
 /// zero (CICP has no polls) and window slots are reported through the clock.
-[[nodiscard]] IdCollectionResult run_cicp(const net::Topology& topology,
-                                          const TreeBuildConfig& config,
-                                          Rng& rng, sim::EnergyMeter& energy);
+/// `sink` receives `idcollect_tree`, one `cicp_window` per contention
+/// window, and a final `idcollect_end`.
+[[nodiscard]] IdCollectionResult run_cicp(
+    const net::Topology& topology, const TreeBuildConfig& config, Rng& rng,
+    sim::EnergyMeter& energy, obs::TraceSink& sink = obs::null_sink());
 
 }  // namespace nettag::protocols

@@ -1,16 +1,39 @@
 #include "protocols/idcollect/sicp.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace nettag::protocols {
 
+namespace {
+
+/// Emits the post-build tree summary shared by SICP and CICP.
+void emit_tree_event(obs::TraceSink& sink, const SpanningTree& tree,
+                     const sim::SlotClock& clock) {
+  if (!sink.enabled()) return;
+  int reachable = 0;
+  int depth = 0;
+  for (const int level : tree.level) {
+    if (level == net::kUnreachable) continue;
+    ++reachable;
+    depth = std::max(depth, level);
+  }
+  sink.event("idcollect_tree", {{"reachable", reachable},
+                                {"depth", depth},
+                                {"build_slots", clock.id_slots()}});
+}
+
+}  // namespace
+
 IdCollectionResult run_sicp(const net::Topology& topology,
                             const TreeBuildConfig& config, Rng& rng,
-                            sim::EnergyMeter& energy) {
+                            sim::EnergyMeter& energy, obs::TraceSink& sink) {
   const int n = topology.tag_count();
   IdCollectionResult result;
   result.tree = build_spanning_tree(topology, config, rng, energy, result.clock);
   const SpanningTree& tree = result.tree;
+  emit_tree_event(sink, tree, result.clock);
   const std::vector<int> subtree = tree.subtree_sizes();
 
   // Phase 2 is serialized and collision-free, so its cost is a deterministic
@@ -74,6 +97,13 @@ IdCollectionResult run_sicp(const net::Topology& topology,
     if (tree.level[static_cast<std::size_t>(t)] != net::kUnreachable)
       result.collected.push_back(topology.id_of(t));
   }
+  sink.event("idcollect_end",
+             {{"protocol", "sicp"},
+              {"collected", static_cast<int>(result.collected.size())},
+              {"data_slots", result.data_slots},
+              {"poll_slots", result.poll_slots},
+              {"ack_slots", result.ack_slots},
+              {"id_slots", result.clock.id_slots()}});
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "protocols/idcollect/spanning_tree.hpp"
 #include "sim/clock.hpp"
 #include "sim/energy.hpp"
@@ -41,9 +42,11 @@ struct IdCollectionResult {
 };
 
 /// Runs SICP over `topology`: distributed tree build (stochastic, via `rng`)
-/// followed by the serialized DFS collection (deterministic).
-[[nodiscard]] IdCollectionResult run_sicp(const net::Topology& topology,
-                                          const TreeBuildConfig& config,
-                                          Rng& rng, sim::EnergyMeter& energy);
+/// followed by the serialized DFS collection (deterministic).  `sink`
+/// receives an `idcollect_tree` event after the build and a final
+/// `idcollect_end`.
+[[nodiscard]] IdCollectionResult run_sicp(
+    const net::Topology& topology, const TreeBuildConfig& config, Rng& rng,
+    sim::EnergyMeter& energy, obs::TraceSink& sink = obs::null_sink());
 
 }  // namespace nettag::protocols

@@ -32,7 +32,8 @@ std::vector<SlotIndex> MissingTagDetector::silent_expected_slots(
 DetectionOutcome MissingTagDetector::detect(const net::Topology& topology,
                                             const ccm::CcmConfig& ccm_template,
                                             const DetectionConfig& config,
-                                            sim::EnergyMeter& energy) const {
+                                            sim::EnergyMeter& energy,
+                                            obs::TraceSink& sink) const {
   NETTAG_EXPECTS(config.executions >= 1, "need at least one execution");
   const FrameSize f = effective_frame_size(config);
 
@@ -46,12 +47,17 @@ DetectionOutcome MissingTagDetector::detect(const net::Topology& topology,
     session_config.request_seed = seed;
 
     const ccm::SessionResult session =
-        ccm::run_session(topology, session_config, everyone, energy);
+        ccm::run_session(topology, session_config, everyone, energy, sink);
     outcome.clock.merge(session.clock);
     ++outcome.executions_run;
 
     const std::vector<SlotIndex> silent =
         silent_expected_slots(session.bitmap, seed);
+    sink.event("detect_execution",
+               {{"execution", e},
+                {"f", f},
+                {"silent_slots", static_cast<int>(silent.size())},
+                {"alarm", !silent.empty()}});
     if (!silent.empty()) {
       outcome.alarm = true;
       outcome.silent_slots.insert(outcome.silent_slots.end(), silent.begin(),
@@ -65,6 +71,12 @@ DetectionOutcome MissingTagDetector::detect(const net::Topology& topology,
       if (config.stop_on_alarm) break;
     }
   }
+  sink.event(
+      "detect_end",
+      {{"alarm", outcome.alarm},
+       {"executions", outcome.executions_run},
+       {"candidates", static_cast<int>(outcome.missing_candidates.size())},
+       {"silent_slots", static_cast<int>(outcome.silent_slots.size())}});
   return outcome;
 }
 

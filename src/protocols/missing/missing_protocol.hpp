@@ -13,6 +13,7 @@
 #include "ccm/options.hpp"
 #include "common/bitmap.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "sim/energy.hpp"
 
@@ -68,11 +69,13 @@ class MissingTagDetector {
       const Bitmap& observed, Seed seed) const;
 
   /// Runs up to `config.executions` CCM sessions over the present-tag
-  /// `topology` and reports.  `energy` accumulates per-tag costs.
-  [[nodiscard]] DetectionOutcome detect(const net::Topology& topology,
-                                        const ccm::CcmConfig& ccm_template,
-                                        const DetectionConfig& config,
-                                        sim::EnergyMeter& energy) const;
+  /// `topology` and reports.  `energy` accumulates per-tag costs; `sink`
+  /// receives one `detect_execution` event per execution, a final
+  /// `detect_end`, and the forwarded per-session stream.
+  [[nodiscard]] DetectionOutcome detect(
+      const net::Topology& topology, const ccm::CcmConfig& ccm_template,
+      const DetectionConfig& config, sim::EnergyMeter& energy,
+      obs::TraceSink& sink = obs::null_sink()) const;
 
   [[nodiscard]] const std::vector<TagId>& inventory() const noexcept {
     return inventory_;

@@ -124,7 +124,8 @@ SearchOutcome search_tags_filtered(const std::vector<TagId>& wanted,
                                    const net::Topology& topology,
                                    const ccm::CcmConfig& ccm_template,
                                    const FilteredSearchConfig& config,
-                                   sim::EnergyMeter& energy) {
+                                   sim::EnergyMeter& energy,
+                                   obs::TraceSink& sink) {
   NETTAG_EXPECTS(!wanted.empty(), "wanted list must not be empty");
   const FrameSize filter_bits =
       config.filter_bits > 0
@@ -159,13 +160,19 @@ SearchOutcome search_tags_filtered(const std::vector<TagId>& wanted,
                                        config.slots_per_tag,
                                        config.false_positive_target);
 
+  sink.event("search_filter", {{"bits", filter_bits},
+                               {"segments", filter_segments},
+                               {"hashes", config.filter_hashes},
+                               {"expected_responders", expected_responders},
+                               {"f", f}});
+
   ccm::CcmConfig session_config = ccm_template;
   session_config.frame_size = f;
   session_config.request_seed = fmix64(seed ^ 0x2);
   const FilteredSelector selector(&filter, config.filter_hashes, seed,
                                   config.slots_per_tag);
   const ccm::SessionResult session =
-      ccm::run_session(topology, session_config, selector, energy);
+      ccm::run_session(topology, session_config, selector, energy, sink);
   outcome.clock.merge(session.clock);
 
   outcome.verdicts = verdicts_from_bitmap(
@@ -173,6 +180,9 @@ SearchOutcome search_tags_filtered(const std::vector<TagId>& wanted,
       config.slots_per_tag);
   for (const auto& v : outcome.verdicts)
     outcome.present_count += v.present ? 1 : 0;
+  sink.event("search_end", {{"present", outcome.present_count},
+                            {"wanted", static_cast<int>(wanted.size())},
+                            {"filtered", true}});
   return outcome;
 }
 
@@ -180,7 +190,7 @@ SearchOutcome search_tags(const std::vector<TagId>& wanted,
                           const net::Topology& topology,
                           const ccm::CcmConfig& ccm_template,
                           const SearchConfig& config,
-                          sim::EnergyMeter& energy) {
+                          sim::EnergyMeter& energy, obs::TraceSink& sink) {
   NETTAG_EXPECTS(!wanted.empty(), "wanted list must not be empty");
   NETTAG_EXPECTS(config.frames >= 1, "need at least one frame");
   const FrameSize f =
@@ -201,7 +211,7 @@ SearchOutcome search_tags(const std::vector<TagId>& wanted,
     session_config.frame_size = f;
     session_config.request_seed = seed;
     const ccm::SessionResult session =
-        ccm::run_session(topology, session_config, selector, energy);
+        ccm::run_session(topology, session_config, selector, energy, sink);
     outcome.clock.merge(session.clock);
 
     const auto verdicts = verdicts_from_bitmap(wanted, session.bitmap, seed,
@@ -209,9 +219,15 @@ SearchOutcome search_tags(const std::vector<TagId>& wanted,
     // A tag is present only if every frame agrees (absence proof is final).
     for (std::size_t i = 0; i < verdicts.size(); ++i)
       outcome.verdicts[i].present &= verdicts[i].present;
+    sink.event("search_frame", {{"frame", frame},
+                                {"f", f},
+                                {"bitmap_bits", session.bitmap.count()}});
   }
   for (const auto& v : outcome.verdicts)
     outcome.present_count += v.present ? 1 : 0;
+  sink.event("search_end", {{"present", outcome.present_count},
+                            {"wanted", static_cast<int>(wanted.size())},
+                            {"filtered", false}});
   return outcome;
 }
 

@@ -17,6 +17,7 @@
 #include "ccm/options.hpp"
 #include "common/bitmap.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 #include "sim/energy.hpp"
 
@@ -69,11 +70,12 @@ struct SearchOutcome {
 
 /// Runs the search for `wanted` over the present-tag `topology` through CCM
 /// sessions configured by `ccm_template` (frame size/seed overridden).
-[[nodiscard]] SearchOutcome search_tags(const std::vector<TagId>& wanted,
-                                        const net::Topology& topology,
-                                        const ccm::CcmConfig& ccm_template,
-                                        const SearchConfig& config,
-                                        sim::EnergyMeter& energy);
+/// `sink` receives one `search_frame` event per frame, a final `search_end`,
+/// and the forwarded per-session stream.
+[[nodiscard]] SearchOutcome search_tags(
+    const std::vector<TagId>& wanted, const net::Topology& topology,
+    const ccm::CcmConfig& ccm_template, const SearchConfig& config,
+    sim::EnergyMeter& energy, obs::TraceSink& sink = obs::null_sink());
 
 /// Pure helper: verdicts from an already-collected bitmap (one frame).
 [[nodiscard]] std::vector<SearchVerdict> verdicts_from_bitmap(
@@ -127,6 +129,6 @@ struct FilteredSearchConfig {
 [[nodiscard]] SearchOutcome search_tags_filtered(
     const std::vector<TagId>& wanted, const net::Topology& topology,
     const ccm::CcmConfig& ccm_template, const FilteredSearchConfig& config,
-    sim::EnergyMeter& energy);
+    sim::EnergyMeter& energy, obs::TraceSink& sink = obs::null_sink());
 
 }  // namespace nettag::protocols

@@ -1,0 +1,303 @@
+// Tests of the observability layer: registry semantics, sink output
+// formats, manifest schema, and the invariants the instrumented session
+// engine must keep (event counts, and bit-identical results under the
+// default NullSink).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "net/topology_builders.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sim/energy.hpp"
+#include "test_util.hpp"
+
+namespace nettag::obs {
+namespace {
+
+// --------------------------------------------------------------------------
+// JSON helpers
+// --------------------------------------------------------------------------
+
+TEST(ObsJson, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_string("plain"), "\"plain\"");
+  EXPECT_EQ(json_string("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_string("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_string("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json_string(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(ObsJson, NumbersRoundTripAndNonFiniteIsNull) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(2.5), "2.5");
+  EXPECT_EQ(json_number(1e300), "1e+300");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+TEST(Registry, CountersAccumulate) {
+  Registry reg;
+  reg.add("a");
+  reg.add("a", 4);
+  reg.add("b");
+  EXPECT_EQ(reg.counters().at("a").value, 5);
+  EXPECT_EQ(reg.counters().at("b").value, 1);
+}
+
+TEST(Registry, GaugesLastWriteWins) {
+  Registry reg;
+  reg.set("g", 1.5);
+  reg.set("g", -2.0);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("g").value, -2.0);
+}
+
+TEST(Registry, HistogramBucketsAndMoments) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (v <= 1)
+  h.observe(1.0);    // bucket 0 (inclusive upper bound)
+  h.observe(7.0);    // bucket 1
+  h.observe(1000.0); // overflow
+  EXPECT_EQ(h.count(), 4);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2);
+  EXPECT_EQ(h.bucket_counts()[1], 1);
+  EXPECT_EQ(h.bucket_counts()[2], 0);
+  EXPECT_EQ(h.bucket_counts()[3], 1);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 1008.5);
+}
+
+TEST(Registry, MergeFoldsEverything) {
+  Registry a;
+  a.add("c", 2);
+  a.set("g", 1.0);
+  a.observe("h", 3.0);
+  a.record_timing("t", 100);
+
+  Registry b;
+  b.add("c", 3);
+  b.set("g", 9.0);
+  b.observe("h", 30.0);
+  b.record_timing("t", 50);
+
+  a.merge(b);
+  EXPECT_EQ(a.counters().at("c").value, 5);
+  EXPECT_DOUBLE_EQ(a.gauges().at("g").value, 9.0);  // last write wins
+  EXPECT_EQ(a.histograms().at("h").count(), 2);
+  EXPECT_EQ(a.timings().at("t").calls, 2);
+  EXPECT_EQ(a.timings().at("t").total_ns, 150);
+  EXPECT_EQ(a.timings().at("t").max_ns, 100);
+}
+
+TEST(Registry, JsonDumpIsDeterministicAndSorted) {
+  Registry reg;
+  reg.add("z.last");
+  reg.add("a.first");
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json, reg.to_json());  // stable across calls
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+}
+
+TEST(ScopedTimer, RecordsMonotonicNonNegativeTime) {
+  Registry reg;
+  {
+    ScopedTimer timer(reg, "scope");
+    const auto first = timer.elapsed_ns();
+    EXPECT_GE(first, 0);
+    EXPECT_GE(timer.elapsed_ns(), first);  // steady clock: non-decreasing
+  }
+  EXPECT_EQ(reg.timings().at("scope").calls, 1);
+  EXPECT_GE(reg.timings().at("scope").total_ns, 0);
+  EXPECT_GE(reg.timings().at("scope").max_ns, 0);
+}
+
+TEST(ScopedTimer, StopIsIdempotent) {
+  Registry reg;
+  ScopedTimer timer(reg, "scope");
+  timer.stop();
+  timer.stop();  // destructor must not double-record either
+  EXPECT_EQ(reg.timings().at("scope").calls, 1);
+}
+
+// --------------------------------------------------------------------------
+// Sinks
+// --------------------------------------------------------------------------
+
+TEST(Sinks, JsonlGoldenOutput) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.event("round", {{"round", 1}, {"p", 0.5}, {"done", false}});
+  sink.event("end", {{"label", "a\"b"}});
+  EXPECT_EQ(out.str(),
+            "{\"seq\":0,\"event\":\"round\",\"round\":1,\"p\":0.5,"
+            "\"done\":false}\n"
+            "{\"seq\":1,\"event\":\"end\",\"label\":\"a\\\"b\"}\n");
+}
+
+TEST(Sinks, CsvLongFormat) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.event("round", {{"round", 2}, {"kind", "frame"}});
+  sink.event("bare", {});
+  EXPECT_EQ(out.str(),
+            "seq,event,field,value\n"
+            "0,round,round,2\n"
+            "0,round,kind,\"\"\"frame\"\"\"\n"
+            "1,bare,,\n");
+}
+
+TEST(Sinks, NullSinkShortCircuits) {
+  EXPECT_FALSE(null_sink().enabled());
+  // Must be callable with arbitrary fields and do nothing.
+  null_sink().event("anything", {{"x", 1}});
+}
+
+TEST(Sinks, RecordingSinkCapturesInOrder) {
+  RecordingSink sink;
+  sink.event("a", {{"k", 1}});
+  sink.event("b", {{"k", 2}});
+  sink.event("a", {{"k", 3}});
+  EXPECT_EQ(sink.count("a"), 2u);
+  EXPECT_EQ(sink.count("b"), 1u);
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.events()[2].value("k"), "3");
+  EXPECT_EQ(sink.events()[2].value("missing"), "");
+}
+
+TEST(Sinks, TraceFilePicksFormatFromSuffix) {
+  const std::string dir = ::testing::TempDir();
+  {
+    TraceFile jsonl(dir + "/t.jsonl");
+    ASSERT_TRUE(jsonl.is_open());
+    jsonl.sink().event("e", {{"v", 1}});
+  }
+  {
+    TraceFile csv(dir + "/t.csv");
+    ASSERT_TRUE(csv.is_open());
+    csv.sink().event("e", {{"v", 1}});
+  }
+  TraceFile off;
+  EXPECT_FALSE(off.is_open());
+  EXPECT_FALSE(off.sink().enabled());
+
+  std::ifstream jf(dir + "/t.jsonl");
+  std::string line;
+  ASSERT_TRUE(std::getline(jf, line));
+  EXPECT_EQ(line, "{\"seq\":0,\"event\":\"e\",\"v\":1}");
+  std::ifstream cf(dir + "/t.csv");
+  ASSERT_TRUE(std::getline(cf, line));
+  EXPECT_EQ(line, "seq,event,field,value");
+}
+
+// --------------------------------------------------------------------------
+// Manifest
+// --------------------------------------------------------------------------
+
+TEST(Manifest, DocumentCarriesSchemaConfigAndMetrics) {
+  RunManifest manifest("tool", "cmd");
+  manifest.set("tags", 100);
+  manifest.set("label", "x");
+  manifest.set("ratio", 0.25);
+  manifest.set("flag", true);
+  manifest.add_section("extra", "[1,2,3]");
+
+  Registry reg;
+  reg.add("runs", 7);
+  const std::string json = manifest.to_json(&reg);
+  EXPECT_NE(json.find("\"schema\":\"nettag.run_manifest/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tool\":\"tool\""), std::string::npos);
+  EXPECT_NE(json.find("\"command\":\"cmd\""), std::string::npos);
+  EXPECT_NE(json.find("\"tags\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"ratio\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"flag\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"extra\":[1,2,3]"), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"git\":"), std::string::npos);
+  EXPECT_NE(json.find("\"written_at\":"), std::string::npos);
+}
+
+TEST(Manifest, WriteFileRoundTrips) {
+  RunManifest manifest("t", "c");
+  const std::string path = ::testing::TempDir() + "/manifest.json";
+  ASSERT_TRUE(manifest.write_file(path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, manifest.to_json() + "\n");
+  EXPECT_FALSE(manifest.write_file("/nonexistent-dir/x/manifest.json"));
+}
+
+// --------------------------------------------------------------------------
+// Session instrumentation invariants
+// --------------------------------------------------------------------------
+
+ccm::CcmConfig session_config(const net::Topology& topo, FrameSize f) {
+  ccm::CcmConfig cfg;
+  cfg.frame_size = f;
+  cfg.request_seed = 99;
+  cfg.checking_frame_length = 2 * (topo.tier_count() + 1);
+  return cfg;
+}
+
+TEST(SessionTracing, EmitsExactlyOneRoundEventPerRound) {
+  const auto line = net::make_line(5);
+  const ccm::HashedSlotSelector selector(1.0);
+  const ccm::CcmConfig cfg = session_config(line, 64);
+
+  RecordingSink sink;
+  sim::EnergyMeter energy(line.tag_count());
+  const ccm::SessionResult result =
+      ccm::run_session(line, cfg, selector, energy, sink);
+
+  EXPECT_EQ(sink.count("session_begin"), 1u);
+  EXPECT_EQ(sink.count("session_end"), 1u);
+  EXPECT_EQ(sink.count("round"), static_cast<std::size_t>(result.rounds));
+  // Every round sends a request and a frame.
+  std::size_t frames = 0;
+  for (const auto& e : sink.events()) {
+    if (e.kind == "slot_batch" && e.value("kind") == "\"frame\"") ++frames;
+  }
+  EXPECT_EQ(frames, static_cast<std::size_t>(result.rounds));
+}
+
+TEST(SessionTracing, NullSinkRunIsBitIdenticalToTracedRun) {
+  const auto star = net::make_star(40);
+  const ccm::HashedSlotSelector selector(0.7);
+  const ccm::CcmConfig cfg = session_config(star, 128);
+
+  sim::EnergyMeter energy_plain(star.tag_count());
+  const ccm::SessionResult plain =
+      ccm::run_session(star, cfg, selector, energy_plain);
+
+  RecordingSink sink;
+  sim::EnergyMeter energy_traced(star.tag_count());
+  const ccm::SessionResult traced =
+      ccm::run_session(star, cfg, selector, energy_traced, sink);
+
+  EXPECT_EQ(plain.bitmap, traced.bitmap);
+  EXPECT_EQ(plain.rounds, traced.rounds);
+  EXPECT_EQ(plain.completed, traced.completed);
+  EXPECT_EQ(plain.clock.total_slots(), traced.clock.total_slots());
+  const auto p = energy_plain.summarize();
+  const auto t = energy_traced.summarize();
+  EXPECT_EQ(p.avg_sent_bits, t.avg_sent_bits);
+  EXPECT_EQ(p.max_sent_bits, t.max_sent_bits);
+  EXPECT_EQ(p.avg_received_bits, t.avg_received_bits);
+  EXPECT_EQ(p.max_received_bits, t.max_received_bits);
+  EXPECT_FALSE(sink.events().empty());
+}
+
+}  // namespace
+}  // namespace nettag::obs

@@ -1,0 +1,70 @@
+# ctest script: runs the CLI with --trace/--metrics/--json and verifies that
+# every machine-readable artifact is valid JSON (per line for JSONL).
+#
+# Inputs: NETTAG_CLI (binary path), PYTHON (interpreter), WORK_DIR (scratch).
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${err}")
+  endif()
+endfunction()
+
+# estimate with a JSONL trace and a manifest.
+run_checked(${NETTAG_CLI} estimate --tags 400 --range 7 --trials 1
+  --trace ${WORK_DIR}/estimate.jsonl --metrics ${WORK_DIR}/estimate.json)
+run_checked(${PYTHON} -m json.tool ${WORK_DIR}/estimate.json)
+run_checked(${PYTHON} -c "
+import json, sys
+lines = open(sys.argv[1]).readlines()
+assert lines, 'trace is empty'
+for line in lines:
+    json.loads(line)
+events = [json.loads(l)['event'] for l in lines]
+assert 'session_begin' in events and 'session_end' in events, events
+" ${WORK_DIR}/estimate.jsonl)
+
+# detect with a CSV trace (header + rows expected).
+run_checked(${NETTAG_CLI} detect --tags 400 --range 7 --missing 10 --trials 1
+  --trace ${WORK_DIR}/detect.csv --metrics ${WORK_DIR}/detect.json)
+run_checked(${PYTHON} -m json.tool ${WORK_DIR}/detect.json)
+run_checked(${PYTHON} -c "
+import csv, sys
+rows = list(csv.reader(open(sys.argv[1])))
+assert rows[0] == ['seq', 'event', 'field', 'value'], rows[0]
+assert len(rows) > 1, 'CSV trace has no event rows'
+" ${WORK_DIR}/detect.csv)
+
+# sweep --json document.
+execute_process(
+  COMMAND ${NETTAG_CLI} sweep --tags 300 --range 7 --trials 1 --json
+  RESULT_VARIABLE rc
+  OUTPUT_FILE ${WORK_DIR}/sweep.json
+  ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nettag sweep --json failed (${rc})")
+endif()
+run_checked(${PYTHON} -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc['schema'] == 'nettag.sweep/1', doc.get('schema')
+assert doc['rows'], 'sweep produced no rows'
+for row in doc['rows']:
+    assert {'r', 'protocol', 'time_slots'} <= set(row), row
+" ${WORK_DIR}/sweep.json)
+
+# manifest schema sanity.
+run_checked(${PYTHON} -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc['schema'] == 'nettag.run_manifest/1', doc.get('schema')
+assert doc['tool'] == 'nettag' and doc['command'] == 'estimate'
+assert 'metrics' in doc and 'counters' in doc['metrics']
+assert doc['config']['tags'] == 400
+" ${WORK_DIR}/estimate.json)
+
+message(STATUS "observability artifacts OK")

@@ -12,6 +12,8 @@
 //   --range R       tag-to-tag range r, metres     (default 6)
 //   --seed S        master seed                    (default 1)
 //   --trials T      independent trials             (default 1)
+//   --trace FILE    stream protocol events (.csv → CSV, else JSONL)
+//   --metrics FILE  write a run-manifest JSON artifact on exit
 // Command-specific options are listed in usage().
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +28,10 @@
 #include "common/stats.hpp"
 #include "net/deployment.hpp"
 #include "net/topology.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "protocols/estimator/estimation_protocol.hpp"
 #include "protocols/estimator/lof.hpp"
 #include "protocols/idcollect/cicp.hpp"
@@ -50,15 +56,22 @@ struct Options {
   int wanted = 100;
   // collect extras
   bool use_cicp = false;
+  // observability
+  std::string trace_path;    ///< --trace: event stream destination
+  std::string metrics_path;  ///< --metrics: run-manifest destination
+  bool json = false;         ///< sweep: JSON document instead of CSV
 };
 
 void usage() {
   std::puts(
       "usage: nettag <estimate|lof|detect|search|collect|sweep> [options]\n"
       "  --tags N --range R --seed S --trials T\n"
+      "  --trace FILE (event stream; .csv -> CSV, else JSONL)\n"
+      "  --metrics FILE (run-manifest JSON artifact)\n"
       "  detect:  --missing M (staged missing tags)  --delta D  --identify\n"
       "  search:  --wanted W (watch-list size)\n"
-      "  collect: --cicp (contention-based instead of serialized)");
+      "  collect: --cicp (contention-based instead of serialized)\n"
+      "  sweep:   --json (machine-readable document instead of CSV)");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -99,6 +112,16 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.wanted = std::atoi(v);
     } else if (arg == "--cicp") {
       opt.use_cicp = true;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      opt.trace_path = v;
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (!v) return false;
+      opt.metrics_path = v;
+    } else if (arg == "--json") {
+      opt.json = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -130,20 +153,24 @@ Scenario build_scenario(const Options& opt, int trial) {
   return {sys, std::move(d), std::move(topo), ccm};
 }
 
-int cmd_estimate(const Options& opt) {
+int cmd_estimate(const Options& opt, obs::TraceSink& sink,
+                 obs::Registry& reg) {
   RunningStats err;
   RunningStats slots;
   for (int t = 0; t < opt.trials; ++t) {
+    const obs::ScopedTimer timer(reg, "cli.estimate_trial");
+    reg.add("cli.trials");
     Scenario sc = build_scenario(opt, t);
     protocols::EstimationConfig cfg;
     cfg.base_seed = fmix64(opt.seed ^ static_cast<Seed>(t));
     sim::EnergyMeter energy(sc.topology.tag_count());
-    const auto r =
-        protocols::estimate_cardinality_ccm(cfg, sc.topology, sc.ccm, energy);
+    const auto r = protocols::estimate_cardinality_ccm(cfg, sc.topology,
+                                                       sc.ccm, energy, sink);
     const double e =
         100.0 * (r.n_hat - sc.topology.tag_count()) / sc.topology.tag_count();
     err.add(e);
     slots.add(static_cast<double>(r.clock.total_slots()));
+    reg.observe("cli.estimate.slots", static_cast<double>(r.clock.total_slots()));
     std::printf("trial %d: n=%d n_hat=%.0f (%+.2f%%) frames=%d+%d "
                 "slots=%lld recv/tag=%.0f\n",
                 t, sc.topology.tag_count(), r.n_hat, e, r.rough_frames,
@@ -153,17 +180,20 @@ int cmd_estimate(const Options& opt) {
   }
   std::printf("summary: mean err %.2f%%, mean slots %.0f\n", err.mean(),
               slots.mean());
+  reg.set("cli.estimate.mean_err_pct", err.mean());
   return 0;
 }
 
-int cmd_lof(const Options& opt) {
+int cmd_lof(const Options& opt, obs::TraceSink& sink, obs::Registry& reg) {
   for (int t = 0; t < opt.trials; ++t) {
+    const obs::ScopedTimer timer(reg, "cli.lof_trial");
+    reg.add("cli.trials");
     Scenario sc = build_scenario(opt, t);
     protocols::LofConfig cfg;
     cfg.seed = fmix64(opt.seed ^ static_cast<Seed>(t) ^ 0x10f);
     sim::EnergyMeter energy(sc.topology.tag_count());
-    const auto r =
-        protocols::estimate_cardinality_lof(cfg, sc.topology, sc.ccm, energy);
+    const auto r = protocols::estimate_cardinality_lof(cfg, sc.topology,
+                                                       sc.ccm, energy, sink);
     std::printf("trial %d: n=%d n_hat=%.0f (+/-%.1f%% predicted) slots=%lld\n",
                 t, sc.topology.tag_count(), r.estimate.n_hat,
                 100.0 * r.estimate.relative_std_error,
@@ -172,8 +202,10 @@ int cmd_lof(const Options& opt) {
   return 0;
 }
 
-int cmd_detect(const Options& opt) {
+int cmd_detect(const Options& opt, obs::TraceSink& sink, obs::Registry& reg) {
   for (int t = 0; t < opt.trials; ++t) {
+    const obs::ScopedTimer timer(reg, "cli.detect_trial");
+    reg.add("cli.trials");
     Scenario sc = build_scenario(opt, t);
     const protocols::MissingTagDetector detector(sc.deployment.ids);
 
@@ -195,7 +227,8 @@ int cmd_detect(const Options& opt) {
     cfg.tolerance_m = std::max(1, opt.missing - 1);
     cfg.base_seed = fmix64(opt.seed + static_cast<Seed>(t));
     sim::EnergyMeter energy(present.tag_count());
-    const auto outcome = detector.detect(present, sc.ccm, cfg, energy);
+    const auto outcome = detector.detect(present, sc.ccm, cfg, energy, sink);
+    if (outcome.alarm) reg.add("cli.detect.alarms");
     std::printf("trial %d: staged %zu missing -> alarm=%s certain=%zu "
                 "slots=%lld\n",
                 t, gone.size(), outcome.alarm ? "YES" : "no",
@@ -216,8 +249,10 @@ int cmd_detect(const Options& opt) {
   return 0;
 }
 
-int cmd_search(const Options& opt) {
+int cmd_search(const Options& opt, obs::TraceSink& sink, obs::Registry& reg) {
   for (int t = 0; t < opt.trials; ++t) {
+    const obs::ScopedTimer timer(reg, "cli.search_trial");
+    reg.add("cli.trials");
     Scenario sc = build_scenario(opt, t);
     std::vector<TagId> wanted;
     const int inside = opt.wanted / 2;
@@ -230,10 +265,12 @@ int cmd_search(const Options& opt) {
     cfg.expected_population = static_cast<double>(sc.topology.tag_count());
     sim::EnergyMeter energy(sc.topology.tag_count());
     const auto outcome =
-        protocols::search_tags(wanted, sc.topology, sc.ccm, cfg, energy);
+        protocols::search_tags(wanted, sc.topology, sc.ccm, cfg, energy, sink);
     int hits = 0;
     for (int i = 0; i < inside; ++i)
       hits += outcome.verdicts[static_cast<std::size_t>(i)].present ? 1 : 0;
+    reg.add("cli.search.hits", hits);
+    reg.add("cli.search.reported", outcome.present_count);
     std::printf("trial %d: %d/%d present found, %d reported of %zu wanted, "
                 "slots=%lld\n",
                 t, hits, inside, outcome.present_count, wanted.size(),
@@ -242,14 +279,18 @@ int cmd_search(const Options& opt) {
   return 0;
 }
 
-int cmd_collect(const Options& opt) {
+int cmd_collect(const Options& opt, obs::TraceSink& sink, obs::Registry& reg) {
   for (int t = 0; t < opt.trials; ++t) {
+    const obs::ScopedTimer timer(reg, "cli.collect_trial");
+    reg.add("cli.trials");
     Scenario sc = build_scenario(opt, t);
     Rng rng(fmix64(opt.seed ^ 0x5109 ^ static_cast<Seed>(t)));
     sim::EnergyMeter energy(sc.topology.tag_count());
     const auto result =
-        opt.use_cicp ? protocols::run_cicp(sc.topology, {}, rng, energy)
-                     : protocols::run_sicp(sc.topology, {}, rng, energy);
+        opt.use_cicp ? protocols::run_cicp(sc.topology, {}, rng, energy, sink)
+                     : protocols::run_sicp(sc.topology, {}, rng, energy, sink);
+    reg.add("cli.collect.ids",
+            static_cast<std::int64_t>(result.collected.size()));
     const auto summary = energy.summarize();
     std::printf("trial %d: %s collected %zu/%d ids, slots=%lld, "
                 "sent/tag avg %.0f max %.0f, recv/tag avg %.0f\n",
@@ -262,10 +303,32 @@ int cmd_collect(const Options& opt) {
   return 0;
 }
 
-int cmd_sweep(const Options& opt) {
-  std::printf(
-      "r,protocol,time_slots,avg_sent,max_sent,avg_recv,max_recv\n");
+/// One protocol's aggregates at one r of the sweep.
+struct SweepRow {
+  double r = 0.0;
+  const char* protocol = "";
+  double time_slots = 0.0;
+  sim::EnergySummary energy{};
+};
+
+std::string sweep_row_json(const SweepRow& row) {
+  std::string out = "{\"r\":" + obs::json_number(row.r);
+  out += ",\"protocol\":" + obs::json_string(row.protocol);
+  out += ",\"time_slots\":" + obs::json_number(row.time_slots);
+  out += ",\"avg_sent_bits\":" + obs::json_number(row.energy.avg_sent_bits);
+  out += ",\"max_sent_bits\":" + obs::json_number(row.energy.max_sent_bits);
+  out += ",\"avg_received_bits\":" +
+         obs::json_number(row.energy.avg_received_bits);
+  out += ",\"max_received_bits\":" +
+         obs::json_number(row.energy.max_received_bits);
+  out += "}";
+  return out;
+}
+
+int cmd_sweep(const Options& opt, obs::TraceSink& sink, obs::Registry& reg) {
+  std::vector<SweepRow> rows;
   for (double r = 2.0; r <= 10.0; r += 1.0) {
+    const obs::ScopedTimer timer(reg, "cli.sweep_point");
     Options point = opt;
     point.range = r;
     RunningStats time_gmle;
@@ -275,6 +338,7 @@ int cmd_sweep(const Options& opt) {
     sim::EnergySummary trp_sum{};
     sim::EnergySummary sicp_sum{};
     for (int t = 0; t < opt.trials; ++t) {
+      reg.add("cli.trials");
       Scenario sc = build_scenario(point, t);
       {
         ccm::CcmConfig cfg = sc.ccm;
@@ -282,8 +346,8 @@ int cmd_sweep(const Options& opt) {
         cfg.request_seed = fmix64(opt.seed + static_cast<Seed>(t));
         sim::EnergyMeter energy(sc.topology.tag_count());
         const double p = 1.59 * 1671.0 / opt.tags;
-        const auto s = ccm::run_session(sc.topology, cfg,
-                                        ccm::HashedSlotSelector(p), energy);
+        const auto s = ccm::run_session(
+            sc.topology, cfg, ccm::HashedSlotSelector(p), energy, sink);
         time_gmle.add(static_cast<double>(s.clock.total_slots()));
         gmle_sum = energy.summarize();
       }
@@ -292,28 +356,45 @@ int cmd_sweep(const Options& opt) {
         cfg.frame_size = 3228;
         cfg.request_seed = fmix64(opt.seed + static_cast<Seed>(t) + 1);
         sim::EnergyMeter energy(sc.topology.tag_count());
-        const auto s = ccm::run_session(sc.topology, cfg,
-                                        ccm::HashedSlotSelector(1.0), energy);
+        const auto s = ccm::run_session(
+            sc.topology, cfg, ccm::HashedSlotSelector(1.0), energy, sink);
         time_trp.add(static_cast<double>(s.clock.total_slots()));
         trp_sum = energy.summarize();
       }
       {
         Rng rng(fmix64(opt.seed ^ 0x51c9 ^ static_cast<Seed>(t)));
         sim::EnergyMeter energy(sc.topology.tag_count());
-        const auto s = protocols::run_sicp(sc.topology, {}, rng, energy);
+        const auto s = protocols::run_sicp(sc.topology, {}, rng, energy, sink);
         time_sicp.add(static_cast<double>(s.clock.total_slots()));
         sicp_sum = energy.summarize();
       }
     }
-    const auto row = [r](const char* name, const RunningStats& time,
-                         const sim::EnergySummary& e) {
-      std::printf("%.0f,%s,%.0f,%.1f,%.1f,%.1f,%.1f\n", r, name, time.mean(),
-                  e.avg_sent_bits, e.max_sent_bits, e.avg_received_bits,
-                  e.max_received_bits);
-    };
-    row("GMLE-CCM", time_gmle, gmle_sum);
-    row("TRP-CCM", time_trp, trp_sum);
-    row("SICP", time_sicp, sicp_sum);
+    rows.push_back({r, "GMLE-CCM", time_gmle.mean(), gmle_sum});
+    rows.push_back({r, "TRP-CCM", time_trp.mean(), trp_sum});
+    rows.push_back({r, "SICP", time_sicp.mean(), sicp_sum});
+  }
+
+  if (opt.json) {
+    std::string doc = "{\"schema\":\"nettag.sweep/1\",\"config\":{";
+    doc += "\"tags\":" + std::to_string(opt.tags);
+    doc += ",\"trials\":" + std::to_string(opt.trials);
+    doc += ",\"seed\":" + std::to_string(opt.seed);
+    doc += "},\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) doc += ",";
+      doc += sweep_row_json(rows[i]);
+    }
+    doc += "]}";
+    std::printf("%s\n", doc.c_str());
+  } else {
+    std::printf(
+        "r,protocol,time_slots,avg_sent,max_sent,avg_recv,max_recv\n");
+    for (const SweepRow& row : rows) {
+      std::printf("%.0f,%s,%.0f,%.1f,%.1f,%.1f,%.1f\n", row.r, row.protocol,
+                  row.time_slots, row.energy.avg_sent_bits,
+                  row.energy.max_sent_bits, row.energy.avg_received_bits,
+                  row.energy.max_received_bits);
+    }
   }
   return 0;
 }
@@ -332,16 +413,47 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
-    if (cmd == "estimate") return cmd_estimate(opt);
-    if (cmd == "lof") return cmd_lof(opt);
-    if (cmd == "detect") return cmd_detect(opt);
-    if (cmd == "search") return cmd_search(opt);
-    if (cmd == "collect") return cmd_collect(opt);
-    if (cmd == "sweep") return cmd_sweep(opt);
+    obs::TraceFile trace(opt.trace_path);
+    obs::TraceSink& sink = trace.sink();
+    obs::Registry registry;
+
+    int rc = -1;
+    if (cmd == "estimate") rc = cmd_estimate(opt, sink, registry);
+    else if (cmd == "lof") rc = cmd_lof(opt, sink, registry);
+    else if (cmd == "detect") rc = cmd_detect(opt, sink, registry);
+    else if (cmd == "search") rc = cmd_search(opt, sink, registry);
+    else if (cmd == "collect") rc = cmd_collect(opt, sink, registry);
+    else if (cmd == "sweep") rc = cmd_sweep(opt, sink, registry);
+    if (rc < 0) {
+      usage();
+      return 2;
+    }
+
+    if (!opt.metrics_path.empty()) {
+      obs::RunManifest manifest("nettag", cmd);
+      manifest.set("tags", opt.tags);
+      manifest.set("range", opt.range);
+      manifest.set("seed", static_cast<std::uint64_t>(opt.seed));
+      manifest.set("trials", opt.trials);
+      if (cmd == "detect") {
+        manifest.set("missing", opt.missing);
+        manifest.set("delta", opt.delta);
+        manifest.set("identify", opt.identify);
+      } else if (cmd == "search") {
+        manifest.set("wanted", opt.wanted);
+      } else if (cmd == "collect") {
+        manifest.set("cicp", opt.use_cicp);
+      }
+      if (!opt.trace_path.empty()) manifest.set("trace", opt.trace_path);
+      if (!manifest.write_file(opt.metrics_path, &registry)) {
+        std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                     opt.metrics_path.c_str());
+        return 1;
+      }
+    }
+    return rc;
   } catch (const nettag::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage();
-  return 2;
 }
