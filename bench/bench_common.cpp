@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include <algorithm>
+#include <optional>
 
 #include "ccm/session.hpp"
 #include "ccm/slot_selector.hpp"
@@ -12,6 +13,8 @@
 #include "net/topology.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_analysis.hpp"
 #include "protocols/estimator/gmle.hpp"
 #include "protocols/idcollect/sicp.hpp"
 
@@ -83,6 +86,7 @@ ExperimentConfig config_from_env() {
       static_cast<Seed>(env_long("NETTAG_SEED", 20'190'707));
   config.manifest_path = env_string("NETTAG_MANIFEST");
   config.trace_path = env_string("NETTAG_TRACE");
+  config.profile_path = env_string("NETTAG_PROFILE");
   return config;
 }
 
@@ -103,10 +107,18 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
                                   obs::TraceSink& sink) {
   std::vector<SweepPoint> points;
   points.reserve(ranges.size());
+  if (!config.profile_path.empty()) obs::Profiler::instance().enable();
+  // When the run is traced, tally trace.* totals into the registry so the
+  // manifest and the trace can be cross-validated by `nettag-obs check`.
+  std::optional<obs::AccountingSink> accounting;
+  if (sink.enabled()) accounting.emplace(sink, registry());
+  obs::TraceSink& active = accounting ? *accounting : sink;
   const obs::ScopedTimer sweep_timer(registry(), "bench.sweep");
+  const obs::ProfileScope sweep_span("sweep.run");
 
   for (const double r : ranges) {
     const obs::ScopedTimer point_timer(registry(), "bench.sweep_point");
+    const obs::ProfileScope point_span("sweep.point");
     registry().add("bench.points");
     SweepPoint point;
     point.tag_range_m = r;
@@ -116,6 +128,7 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
     sys.tag_to_tag_range_m = r;
 
     for (int trial = 0; trial < config.trials; ++trial) {
+      const obs::ProfileScope trial_span("sweep.trial");
       const Seed trial_seed =
           fmix64(config.master_seed ^ fmix64(static_cast<Seed>(trial) * 7919 +
                                              static_cast<Seed>(r * 16)));
@@ -147,7 +160,7 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
         sim::EnergyMeter energy(n);
         const obs::ScopedTimer timer(registry(), "bench.gmle_session");
         const auto session = ccm::run_session(
-            topology, cfg, ccm::HashedSlotSelector(p), energy, sink);
+            topology, cfg, ccm::HashedSlotSelector(p), energy, active);
         registry().add("bench.sessions.gmle");
         point.gmle.time_slots.add(
             static_cast<double>(session.clock.total_slots()));
@@ -160,7 +173,7 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
         sim::EnergyMeter energy(n);
         const obs::ScopedTimer timer(registry(), "bench.trp_session");
         const auto session = ccm::run_session(
-            topology, cfg, ccm::HashedSlotSelector(1.0), energy, sink);
+            topology, cfg, ccm::HashedSlotSelector(1.0), energy, active);
         registry().add("bench.sessions.trp");
         point.trp.time_slots.add(
             static_cast<double>(session.clock.total_slots()));
@@ -171,7 +184,7 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
         sim::EnergyMeter energy(n);
         const obs::ScopedTimer timer(registry(), "bench.sicp_run");
         const auto result =
-            protocols::run_sicp(topology, {}, sicp_rng, energy, sink);
+            protocols::run_sicp(topology, {}, sicp_rng, energy, active);
         registry().add("bench.sessions.sicp");
         point.sicp.time_slots.add(
             static_cast<double>(result.clock.total_slots()));
@@ -187,6 +200,15 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
 bool emit_manifest(const std::string& bench_name,
                    const ExperimentConfig& config,
                    const std::vector<SweepPoint>& points) {
+  obs::Profiler& profiler = obs::Profiler::instance();
+  if (!config.profile_path.empty() && profiler.enabled()) {
+    profiler.disable();
+    if (!profiler.write_chrome_trace(config.profile_path)) {
+      std::fprintf(stderr, "cannot write profile to %s\n",
+                   config.profile_path.c_str());
+      return false;
+    }
+  }
   if (config.manifest_path.empty()) return true;
   obs::RunManifest manifest(bench_name, "run_sweep");
   manifest.set("tags", config.tag_count);
@@ -195,7 +217,11 @@ bool emit_manifest(const std::string& bench_name,
   manifest.set("gmle_frame", config.gmle_frame);
   manifest.set("trp_frame", config.trp_frame);
   if (!config.trace_path.empty()) manifest.set("trace", config.trace_path);
+  if (!config.profile_path.empty())
+    manifest.set("profile", config.profile_path);
   manifest.add_section("points", points_json(points));
+  if (!config.profile_path.empty())
+    manifest.add_section("profile", profiler.to_json());
   const bool ok = manifest.write_file(config.manifest_path, &registry());
   if (!ok) {
     std::fprintf(stderr, "cannot write manifest to %s\n",

@@ -12,6 +12,9 @@
 //   NETTAG_SEED     — master seed        (default 20190707)
 //   NETTAG_MANIFEST — write a run-manifest JSON artifact to this path
 //   NETTAG_TRACE    — stream protocol events here (.csv → CSV, else JSONL)
+//   NETTAG_PROFILE  — enable the hierarchical profiler and write a Chrome
+//                     trace-event file (Perfetto-loadable) to this path; the
+//                     span tree also lands in the manifest's "profile" section
 #pragma once
 
 #include <string>
@@ -63,6 +66,8 @@ struct ExperimentConfig {
   std::string manifest_path;
   /// NETTAG_TRACE: event-trace destination ("" = off).
   std::string trace_path;
+  /// NETTAG_PROFILE: Chrome trace-event destination ("" = profiler off).
+  std::string profile_path;
 };
 
 /// The process-wide metrics registry the benches accumulate into.
@@ -74,15 +79,19 @@ struct ExperimentConfig {
 /// Runs the sweep over `ranges` with the protocols in `mask` enabled.
 /// Prints one progress line per point to stderr.  Sessions forward their
 /// events to `sink`; per-point wall-clock and session counters land in
-/// `registry()`.
+/// `registry()`.  When `sink` is enabled it is wrapped in an AccountingSink
+/// so the manifest carries `trace.*` totals for `nettag-obs check`; when
+/// `config.profile_path` is set the hierarchical profiler is enabled for the
+/// duration of the sweep.
 [[nodiscard]] std::vector<SweepPoint> run_sweep(
     const ExperimentConfig& config, const std::vector<double>& ranges,
     const ProtocolMask& mask, obs::TraceSink& sink = obs::null_sink());
 
 /// Writes the "nettag.run_manifest/1" artifact for one finished bench run to
 /// `config.manifest_path` (no-op when empty): config, git revision, the
-/// sweep rows as a "points" section, and a `registry()` dump.  Returns false
-/// on I/O failure.
+/// sweep rows as a "points" section, a "profile" section when the profiler
+/// ran, and a `registry()` dump.  Also writes the Chrome trace-event file to
+/// `config.profile_path` when set.  Returns false on I/O failure.
 bool emit_manifest(const std::string& bench_name,
                    const ExperimentConfig& config,
                    const std::vector<SweepPoint>& points);

@@ -1,0 +1,67 @@
+# ctest script: the manifest regression gate, run locally against the
+# committed baseline.
+#
+# Regenerates the fig4 manifest at the pinned baseline configuration
+# (NETTAG_TAGS=400, NETTAG_TRIALS=1, NETTAG_SEED=20190707,
+# SOURCE_DATE_EPOCH=1562457600 — see tools/refresh_baselines.sh) and
+# requires:
+#   * `nettag-obs check` certifies the fresh trace/manifest pair;
+#   * `nettag-obs diff` finds no structural drift vs bench/baselines/;
+#   * two runs with the same SOURCE_DATE_EPOCH are byte-identical.
+#
+# Inputs: FIG4 (bench binary), NETTAG_OBS (analyzer binary), WORK_DIR
+# (scratch), BASELINE (committed fig4 baseline manifest).
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(pinned_env
+  NETTAG_TAGS=400
+  NETTAG_TRIALS=1
+  NETTAG_SEED=20190707
+  SOURCE_DATE_EPOCH=1562457600)
+
+function(run_fig4 manifest trace)
+  set(env ${pinned_env} NETTAG_MANIFEST=${manifest})
+  if(trace)
+    list(APPEND env NETTAG_TRACE=${trace})
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ${env} ${FIG4}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fig4 bench failed (${rc})\n${err}")
+  endif()
+endfunction()
+
+# Traced run: the analyzer must certify the trace/manifest pair.
+run_fig4(${WORK_DIR}/fig4_traced.json ${WORK_DIR}/fig4.jsonl)
+execute_process(
+  COMMAND ${NETTAG_OBS} check ${WORK_DIR}/fig4.jsonl ${WORK_DIR}/fig4_traced.json
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "nettag-obs check rejected the fig4 artifacts (${rc})\n${err}")
+endif()
+
+# Untraced runs: byte-identical under a pinned SOURCE_DATE_EPOCH, and no
+# structural drift against the committed baseline.
+run_fig4(${WORK_DIR}/fig4_a.json "")
+run_fig4(${WORK_DIR}/fig4_b.json "")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/fig4_a.json ${WORK_DIR}/fig4_b.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "two fig4 runs with the same SOURCE_DATE_EPOCH are not byte-identical")
+endif()
+
+execute_process(
+  COMMAND ${NETTAG_OBS} diff ${BASELINE} ${WORK_DIR}/fig4_a.json
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "fig4 manifest drifted from bench/baselines (${rc}) — if intentional, "
+    "refresh with tools/refresh_baselines.sh\n${err}")
+endif()
+
+message(STATUS "manifest regression gate OK")

@@ -1,10 +1,14 @@
-// Anatomy of a CCM session — Alg. 1 narrated from a real run.
+// Anatomy of a CCM session — Alg. 1 narrated from a real run's trace.
 //
-// Builds a small three-tier network (the shape of the paper's Fig. 1),
-// runs one session, and prints the round-by-round story: which tier
-// transmitted, what the reader decoded, and how the checking frame decided
-// to continue or stop.  A teaching companion to docs/PROTOCOLS.md §1.
+// Builds a small three-tier network (the shape of the paper's Fig. 1), runs
+// one session with a JSONL event trace attached, then turns the tables: the
+// round-by-round story is NOT printed from the in-memory SessionResult but
+// reconstructed from the trace itself, through the same reader/summarizer
+// code path `nettag-obs summarize` uses.  What you see is exactly what any
+// offline consumer of a `--trace` / NETTAG_TRACE artifact would see.
+// A teaching companion to docs/PROTOCOLS.md §1 and docs/OBSERVABILITY.md.
 #include <cstdio>
+#include <sstream>
 
 #include "ccm/report.hpp"
 #include "ccm/session.hpp"
@@ -12,6 +16,9 @@
 #include "common/config.hpp"
 #include "net/deployment.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
+#include "obs/trace_reader.hpp"
 
 int main() {
   using namespace nettag;
@@ -33,17 +40,34 @@ int main() {
   cfg.checking_frame_length =
       std::max(sys.checking_frame_length(), 2 * topology.tier_count());
 
+  // Run the session with a JSONL trace attached (here an in-memory stream;
+  // `nettag --trace session.jsonl ...` writes the same bytes to a file).
+  std::ostringstream trace_bytes;
+  obs::JsonlSink sink(trace_bytes);
   const ccm::HashedSlotSelector selector(1.0);
   sim::EnergyMeter energy(topology.tag_count());
   const ccm::SessionResult session =
-      ccm::run_session(topology, cfg, selector, energy);
+      ccm::run_session(topology, cfg, selector, energy, sink);
 
-  std::printf("%s\n", ccm::format_session_report(session, topology).c_str());
-  std::printf("%s\n", ccm::format_energy_summary(energy).c_str());
+  // Read the trace back and render it — the `nettag-obs summarize` path.
+  std::istringstream replay(trace_bytes.str());
+  const auto events = obs::read_trace(replay);
+  const auto summaries = obs::summarize_sessions(events);
+  std::printf("reconstructed from %zu trace events:\n\n", events.size());
+  for (const auto& summary : summaries)
+    std::printf("%s\n", obs::render_session_table(summary).c_str());
+
+  // The trace must agree with itself (slot_batch sums vs session_end) —
+  // the invariant `nettag-obs check` enforces on every artifact.
+  const obs::TraceCheckResult check = obs::check_trace(events);
+  std::printf("trace self-check: %s\n",
+              check.ok() ? "consistent" : check.errors.front().c_str());
+
+  std::printf("\n%s\n", ccm::format_energy_summary(energy).c_str());
   std::printf(
       "\nRead it with SIII-C in hand: round k's \"+bits\" are exactly the\n"
       "tier-k picks arriving (tier-by-tier convergence); each round's\n"
       "by-tier transmissions show the indicator vector silencing the inner\n"
       "tiers while the outer wave still rolls.\n");
-  return 0;
+  return session.completed && check.ok() ? 0 : 1;
 }

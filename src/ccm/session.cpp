@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/profiler.hpp"
 
 namespace nettag::ccm {
 
@@ -31,6 +32,7 @@ SessionResult run_session(const net::Topology& topology,
   config.validate();
   NETTAG_EXPECTS(energy.tag_count() == topology.tag_count(),
                  "energy meter sized for a different tag count");
+  const obs::ProfileScope profile_session("ccm.session");
 
   const FrameSize f = config.frame_size;
   const int n = topology.tag_count();
@@ -99,42 +101,46 @@ SessionResult run_session(const net::Topology& topology,
                {{"round", round}, {"kind", "request"}, {"slots", 1}});
 
     // --- Tags decide what to transmit this frame. ---
-    for (TagIndex t = 0; t < n; ++t) {
-      const auto i = static_cast<std::size_t>(t);
-      tx[i].clear();
-      new_heard[i].clear();
-      if (!active[i]) continue;
-      TagState& ts = tags[i];
-      if (round == 1) {
-        for (const SlotIndex s : selector.pick(topology.id_of(t),
-                                               config.request_seed, f)) {
-          NETTAG_EXPECTS(s >= 0 && s < f, "selector produced slot out of range");
-          if (!ts.known.test(s)) {
-            ts.known.set(s);  // served: never transmit or listen here again
-            tx[i].push_back(s);
+    {
+      const obs::ProfileScope profile_relay("ccm.relay_select");
+      for (TagIndex t = 0; t < n; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        tx[i].clear();
+        new_heard[i].clear();
+        if (!active[i]) continue;
+        TagState& ts = tags[i];
+        if (round == 1) {
+          for (const SlotIndex s : selector.pick(topology.id_of(t),
+                                                 config.request_seed, f)) {
+            NETTAG_EXPECTS(s >= 0 && s < f,
+                           "selector produced slot out of range");
+            if (!ts.known.test(s)) {
+              ts.known.set(s);  // served: never transmit or listen here again
+              tx[i].push_back(s);
+            }
           }
+        } else {
+          // Relay what was heard last round, except slots the indicator
+          // vector has since silenced (they are already known).
+          for (const SlotIndex s : ts.pending) {
+            if (!silenced.test(s)) tx[i].push_back(s);
+          }
+          ts.pending.clear();
         }
-      } else {
-        // Relay what was heard last round, except slots the indicator vector
-        // has since silenced (they are already known).
-        for (const SlotIndex s : ts.pending) {
-          if (!silenced.test(s)) tx[i].push_back(s);
+        // Listening cost: every slot not known busy is monitored (the tag's
+        // own transmissions are in `known`, and half duplex makes it deaf in
+        // those slots anyway).
+        const int monitored = f - ts.known.count();
+        energy.add_received(t, monitored);
+        energy.add_sent(t, static_cast<BitCount>(tx[i].size()));
+        trace.relay_transmissions += static_cast<SlotCount>(tx[i].size());
+        const int tier = topology.tier(t);
+        if (tier != net::kUnreachable && !tx[i].empty()) {
+          if (static_cast<int>(trace.relays_by_tier.size()) < tier)
+            trace.relays_by_tier.resize(static_cast<std::size_t>(tier), 0);
+          trace.relays_by_tier[static_cast<std::size_t>(tier - 1)] +=
+              static_cast<SlotCount>(tx[i].size());
         }
-        ts.pending.clear();
-      }
-      // Listening cost: every slot not known busy is monitored (the tag's
-      // own transmissions are in `known`, and half duplex makes it deaf in
-      // those slots anyway).
-      const int monitored = f - ts.known.count();
-      energy.add_received(t, monitored);
-      energy.add_sent(t, static_cast<BitCount>(tx[i].size()));
-      trace.relay_transmissions += static_cast<SlotCount>(tx[i].size());
-      const int tier = topology.tier(t);
-      if (tier != net::kUnreachable && !tx[i].empty()) {
-        if (static_cast<int>(trace.relays_by_tier.size()) < tier)
-          trace.relays_by_tier.resize(static_cast<std::size_t>(tier), 0);
-        trace.relays_by_tier[static_cast<std::size_t>(tier - 1)] +=
-            static_cast<SlotCount>(tx[i].size());
       }
     }
 
@@ -143,25 +149,28 @@ SessionResult run_session(const net::Topology& topology,
     sink.event("slot_batch",
                {{"round", round}, {"kind", "frame"}, {"slots", f}});
     Bitmap reader_busy(f);
-    for (TagIndex u = 0; u < n; ++u) {
-      const auto iu = static_cast<std::size_t>(u);
-      if (tx[iu].empty()) continue;
-      for (const TagIndex v : topology.neighbors(u)) {
-        const auto iv = static_cast<std::size_t>(v);
-        if (!active[iv]) continue;
-        TagState& vs = tags[iv];
-        for (const SlotIndex s : tx[iu]) {
-          // known covers: v transmitting in s this frame (half duplex),
-          // silenced slots (asleep), and slots already heard or served.
-          if (!vs.known.test(s) && delivered()) {
-            vs.known.set(s);
-            new_heard[iv].push_back(s);
+    {
+      const obs::ProfileScope profile_frame("ccm.frame_propagate");
+      for (TagIndex u = 0; u < n; ++u) {
+        const auto iu = static_cast<std::size_t>(u);
+        if (tx[iu].empty()) continue;
+        for (const TagIndex v : topology.neighbors(u)) {
+          const auto iv = static_cast<std::size_t>(v);
+          if (!active[iv]) continue;
+          TagState& vs = tags[iv];
+          for (const SlotIndex s : tx[iu]) {
+            // known covers: v transmitting in s this frame (half duplex),
+            // silenced slots (asleep), and slots already heard or served.
+            if (!vs.known.test(s) && delivered()) {
+              vs.known.set(s);
+              new_heard[iv].push_back(s);
+            }
           }
         }
-      }
-      if (topology.reader_hears(u)) {
-        for (const SlotIndex s : tx[iu]) {
-          if (delivered()) reader_busy.set(s);
+        if (topology.reader_hears(u)) {
+          for (const SlotIndex s : tx[iu]) {
+            if (delivered()) reader_busy.set(s);
+          }
         }
       }
     }
@@ -172,6 +181,7 @@ SessionResult run_session(const net::Topology& topology,
     result.bitmap |= reader_busy;
 
     if (config.use_indicator_vector) {
+      const obs::ProfileScope profile_indicator("ccm.indicator_scan");
       silenced |= reader_busy;
       SlotCount segments_sent = indicator_segments;
       if (config.indicator_delta_segments) {
@@ -211,6 +221,7 @@ SessionResult run_session(const net::Topology& topology,
 
     // --- Checking frame: "is there still on-the-way data?" (SIII-E). ---
     if (config.use_checking_frame) {
+      const obs::ProfileScope profile_checking("ccm.checking_frame");
       const int lc = config.checking_frame_length;
       std::vector<int> respond_slot(static_cast<std::size_t>(n), 0);
       std::vector<TagIndex> current;
@@ -280,6 +291,17 @@ SessionResult run_session(const net::Topology& topology,
       reader_wants_more = true;
     }
 
+    if (sink.enabled()) {
+      // Per-tier relay volume (the RoundTrace breakdown) — one event per
+      // tier that transmitted, so offline analysis can rebuild the
+      // tier-by-tier wave without access to the topology.
+      for (std::size_t k = 0; k < trace.relays_by_tier.size(); ++k) {
+        if (trace.relays_by_tier[k] == 0) continue;
+        sink.event("relay_tier", {{"round", round},
+                                  {"tier", static_cast<int>(k) + 1},
+                                  {"tx", trace.relays_by_tier[k]}});
+      }
+    }
     sink.event("round", {{"round", round},
                          {"new_reader_bits", trace.new_reader_bits},
                          {"relay_tx", trace.relay_transmissions},

@@ -1,0 +1,321 @@
+#include "obs/json_value.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace nettag::obs {
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+JsonValue JsonValue::make_number(double v) {
+  JsonValue j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+JsonValue JsonValue::make_array(Array v) {
+  JsonValue j;
+  j.type_ = Type::kArray;
+  j.array_ = std::move(v);
+  return j;
+}
+JsonValue JsonValue::make_object(Object v) {
+  JsonValue j;
+  j.type_ = Type::kObject;
+  j.object_ = std::move(v);
+  return j;
+}
+
+bool JsonValue::as_bool() const {
+  NETTAG_EXPECTS(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+double JsonValue::as_number() const {
+  NETTAG_EXPECTS(is_number(), "JSON value is not a number");
+  return number_;
+}
+std::int64_t JsonValue::as_int() const {
+  return static_cast<std::int64_t>(std::llround(as_number()));
+}
+const std::string& JsonValue::as_string() const {
+  NETTAG_EXPECTS(is_string(), "JSON value is not a string");
+  return string_;
+}
+const JsonValue::Array& JsonValue::as_array() const {
+  NETTAG_EXPECTS(is_array(), "JSON value is not an array");
+  return array_;
+}
+const JsonValue::Object& JsonValue::as_object() const {
+  NETTAG_EXPECTS(is_object(), "JSON value is not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  NETTAG_EXPECTS(v != nullptr,
+                 "JSON object has no member \"" + std::string(key) + "\"");
+  return *v;
+}
+
+std::string JsonValue::dump() const {
+  switch (type_) {
+    case Type::kNull: return "null";
+    case Type::kBool: return bool_ ? "true" : "false";
+    case Type::kNumber: return json_number(number_);
+    case Type::kString: return json_string(string_);
+    case Type::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ",";
+        out += array_[i].dump();
+      }
+      return out + "]";
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ",";
+        out += json_string(object_[i].first) + ":" + object_[i].second.dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+/// Recursive-descent parser state over the input text.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    expect(pos_ == text_.size(), "trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+  void expect(bool cond, const char* what) const {
+    if (!cond) fail(what);
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const {
+    expect(!eof(), "unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void match_literal(std::string_view lit) {
+    expect(text_.substr(pos_, lit.size()) == lit, "invalid literal");
+    pos_ += lit.size();
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't': match_literal("true"); return JsonValue::make_bool(true);
+      case 'f': match_literal("false"); return JsonValue::make_bool(false);
+      case 'n': match_literal("null"); return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    take();  // '{'
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      expect(peek() == '"', "expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(take() == ':', "expected ':' after object key");
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      expect(c == ',', "expected ',' or '}' in object");
+    }
+    return JsonValue::make_object(std::move(members));
+  }
+
+  JsonValue parse_array() {
+    take();  // '['
+    JsonValue::Array items;
+    skip_ws();
+    if (peek() == ']') {
+      take();
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      expect(c == ',', "expected ',' or ']' in array");
+    }
+    return JsonValue::make_array(std::move(items));
+  }
+
+  /// Appends `cp` to `out` as UTF-8.
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect(take() == '"', "expected string");
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') break;
+      if (c != '\\') {
+        expect(static_cast<unsigned char>(c) >= 0x20,
+               "unescaped control character in string");
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            expect(!eof() && text_.substr(pos_, 2) == "\\u",
+                   "unpaired UTF-16 surrogate");
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            expect(lo >= 0xDC00 && lo <= 0xDFFF, "invalid surrogate pair");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    expect(pos_ > start, "expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number \"" + token + "\"");
+    }
+    return JsonValue::make_number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace nettag::obs

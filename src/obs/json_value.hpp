@@ -1,0 +1,87 @@
+// Minimal JSON document model + parser for the offline analysis tools.
+//
+// PR 1's exporters only write JSON; the second observability layer also has
+// to READ what they wrote — JSONL traces (`obs::TraceReader`) and run
+// manifests (`nettag-obs check` / `diff`).  This is a small recursive-descent
+// parser over the RFC 8259 grammar, sized for machine-generated input: no
+// comments, no trailing commas, UTF-8 passed through verbatim (escapes
+// other than \uXXXX surrogate pairs are decoded; \u escapes decode to UTF-8).
+//
+// Objects preserve insertion order (vector of pairs) so diff reports read in
+// document order; lookup is a linear scan, which is fine at manifest sizes.
+// Malformed input throws nettag::Error with a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nettag::obs {
+
+/// One parsed JSON value (null / bool / number / string / array / object).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(Array v);
+  static JsonValue make_object(Object v);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type_ == Type::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  // Typed accessors; wrong-type access throws nettag::Error.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  /// as_number() rounded to the nearest integer (counters, slot counts).
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or when not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// find() that throws when the member is missing.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  /// The value re-rendered as compact JSON (numbers via shortest
+  /// round-trip, object order preserved).  Mostly for diagnostics.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// Throws nettag::Error (with byte offset) on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace nettag::obs

@@ -1,6 +1,7 @@
 #include "obs/manifest.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <sstream>
@@ -17,8 +18,28 @@ const char* build_git_describe() noexcept {
 #endif
 }
 
+namespace {
+
+/// Reproducible-build hook: a valid SOURCE_DATE_EPOCH (integer seconds since
+/// the epoch) pins `written_at` AND redacts registry wall-clock values so
+/// baseline manifests are byte-identical run to run.  Returns whether the
+/// variable is set and parses; writes the value through `epoch` when given.
+bool source_date_epoch(long long* epoch = nullptr) {
+  const char* sde = std::getenv("SOURCE_DATE_EPOCH");
+  if (sde == nullptr || *sde == '\0') return false;
+  char* end = nullptr;
+  const long long pinned = std::strtoll(sde, &end, 10);
+  if (end == sde || *end != '\0') return false;
+  if (epoch != nullptr) *epoch = pinned;
+  return true;
+}
+
+}  // namespace
+
 std::string iso8601_utc_now() {
-  const std::time_t now = std::time(nullptr);
+  std::time_t now = std::time(nullptr);
+  if (long long pinned = 0; source_date_epoch(&pinned))
+    now = static_cast<std::time_t>(pinned);
   std::tm utc{};
 #if defined(_WIN32)
   gmtime_s(&utc, &now);
@@ -71,7 +92,11 @@ std::string RunManifest::to_json(const Registry* metrics) const {
     os << json_string(config_[i].first) << ":" << config_[i].second;
   }
   os << "}";
-  if (metrics != nullptr) os << ",\"metrics\":" << metrics->to_json();
+  // Under SOURCE_DATE_EPOCH the document must be byte-reproducible, so the
+  // registry's wall-clock nanoseconds are redacted (calls stay — they are
+  // structural).  `nettag-obs diff` never compares *_ns exactly anyway.
+  if (metrics != nullptr)
+    os << ",\"metrics\":" << metrics->to_json(source_date_epoch());
   for (const auto& [key, raw] : sections_)
     os << "," << json_string(key) << ":" << raw;
   os << "}";

@@ -1,0 +1,124 @@
+#include "obs/profiler.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace nettag::obs {
+
+std::int64_t Profiler::Node::self_ns() const noexcept {
+  std::int64_t children_ns = 0;
+  for (const auto& child : children) children_ns += child->total_ns;
+  const std::int64_t self = total_ns - children_ns;
+  return self > 0 ? self : 0;
+}
+
+Profiler& Profiler::instance() noexcept {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::enable() {
+  reset();
+  enabled_ = true;
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Profiler::reset() {
+  enabled_ = false;
+  root_ = Node{};
+  root_.name = "root";
+  current_ = &root_;
+  stack_.clear();
+  events_.clear();
+  dropped_events_ = 0;
+}
+
+std::int64_t Profiler::scope_begin(const char* name) {
+  // Find-or-create the child named `name`.  Names are string literals but
+  // may be distinct pointers across translation units, so compare contents;
+  // fan-out per node is small (a handful of phases), so the scan is cheap.
+  Node* child = nullptr;
+  for (const auto& c : current_->children) {
+    if (c->name == name || std::strcmp(c->name, name) == 0) {
+      child = c.get();
+      break;
+    }
+  }
+  if (child == nullptr) {
+    current_->children.push_back(std::make_unique<Node>());
+    child = current_->children.back().get();
+    child->name = name;
+  }
+  stack_.push_back(current_);
+  current_ = child;
+  return now_ns();
+}
+
+void Profiler::scope_end(std::int64_t start_ns) {
+  if (stack_.empty()) return;  // enable() was called mid-span: drop it
+  const std::int64_t dur = now_ns() - start_ns;
+  ++current_->calls;
+  current_->total_ns += dur;
+  if (events_.size() < kMaxEvents) {
+    events_.push_back({current_->name, start_ns, dur});
+  } else {
+    ++dropped_events_;
+  }
+  current_ = stack_.back();
+  stack_.pop_back();
+}
+
+namespace {
+
+void node_json(const Profiler::Node& node, std::ostringstream& os) {
+  os << "{\"name\":" << json_string(node.name) << ",\"calls\":" << node.calls
+     << ",\"total_ns\":" << node.total_ns
+     << ",\"self_ns\":" << node.self_ns() << ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i) os << ",";
+    node_json(*node.children[i], os);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string Profiler::to_json() const {
+  std::ostringstream os;
+  os << "{\"spans\":[";
+  for (std::size_t i = 0; i < root_.children.size(); ++i) {
+    if (i) os << ",";
+    node_json(*root_.children[i], os);
+  }
+  os << "],\"dropped_events\":" << dropped_events_ << "}";
+  return os.str();
+}
+
+std::string Profiler::to_chrome_trace() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const SpanEvent& e = events_[i];
+    if (i) os << ",";
+    // Complete ("X") events; timestamps are microseconds per the format.
+    os << "{\"name\":" << json_string(e.name)
+       << ",\"cat\":\"nettag\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":"
+       << json_number(static_cast<double>(e.start_ns) / 1000.0)
+       << ",\"dur\":" << json_number(static_cast<double>(e.dur_ns) / 1000.0)
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool Profiler::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_trace() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace nettag::obs

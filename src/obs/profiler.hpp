@@ -1,0 +1,133 @@
+// Hierarchical wall-clock profiler for the simulator's hot paths.
+//
+// `ProfileScope` is an RAII span: scopes opened while another span is live
+// become its children, so the aggregate is a call tree — per node the call
+// count, total (inclusive) nanoseconds, and self time (total minus children).
+// The instrumented sites are the `ccm::run_session` inner loops (relay
+// propagation, frame scan, indicator fold, checking frame), the protocol
+// drivers, and the bench trial loop.
+//
+// Two exports:
+//   * `to_json()` — the span tree, embedded into run manifests as the
+//     "profile" section (`nettag-obs summarize` renders it);
+//   * `write_chrome_trace()` — Chrome trace-event format (a JSON document
+//     with a "traceEvents" array), loadable in Perfetto / chrome://tracing.
+//
+// The PR 1 observability rules carry over: profiling is OFF by default and
+// free when off (one branch per scope, no allocation, no clock read), and it
+// never touches an RNG stream — profiled and unprofiled runs are
+// bit-identical (obs_test locks this in).  Like `obs::Registry`, the
+// profiler is single-threaded by design; the future worker-pool path gets
+// one profiler per worker.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nettag::obs {
+
+class Profiler {
+ public:
+  /// One node of the aggregated span tree.
+  struct Node {
+    const char* name = "";
+    std::int64_t calls = 0;
+    std::int64_t total_ns = 0;  ///< inclusive wall-clock time
+    std::vector<std::unique_ptr<Node>> children;
+
+    /// total_ns minus the children's total (>= 0 up to clock jitter).
+    [[nodiscard]] std::int64_t self_ns() const noexcept;
+  };
+
+  /// One finished span occurrence, for the Chrome trace-event export.
+  struct SpanEvent {
+    const char* name = "";
+    std::int64_t start_ns = 0;  ///< relative to enable()
+    std::int64_t dur_ns = 0;
+  };
+
+  /// The process-wide profiler that ProfileScope talks to.
+  [[nodiscard]] static Profiler& instance() noexcept;
+
+  /// Starts a fresh profile (clears any previous spans).
+  void enable();
+  /// Stops collecting; existing data stays readable until reset()/enable().
+  void disable() noexcept { enabled_ = false; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void reset();
+
+  /// Root of the aggregated tree (its children are the top-level spans).
+  [[nodiscard]] const Node& root() const noexcept { return root_; }
+  /// Finished spans in completion order (capped; see dropped_events()).
+  [[nodiscard]] const std::vector<SpanEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Spans not recorded in events() because the cap was hit (aggregation in
+  /// the tree still covers them).
+  [[nodiscard]] std::int64_t dropped_events() const noexcept {
+    return dropped_events_;
+  }
+
+  /// Span tree as JSON: {"spans":[{"name","calls","total_ns","self_ns",
+  /// "children":[...]}...],"dropped_events":N}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Chrome trace-event document ("X" complete events, microsecond stamps).
+  [[nodiscard]] std::string to_chrome_trace() const;
+
+  /// Writes to_chrome_trace() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  // ProfileScope internals (public so the scope stays header-inline; not
+  // meant for direct use).
+  [[nodiscard]] std::int64_t scope_begin(const char* name);
+  void scope_end(std::int64_t start_ns);
+
+ private:
+  [[nodiscard]] std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  bool enabled_ = false;
+  Node root_{};
+  Node* current_ = &root_;
+  std::vector<Node*> stack_;  ///< path from root to current (excl. root)
+  std::chrono::steady_clock::time_point epoch_{};
+  std::vector<SpanEvent> events_;
+  std::int64_t dropped_events_ = 0;
+
+  /// Bound on the per-occurrence event log (~24 MB); aggregation continues
+  /// past it, so long runs still profile, they just thin the Chrome export.
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+};
+
+/// RAII profiling span.  When the profiler is disabled this is a single
+/// branch — no clock read, no allocation.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) noexcept {
+    Profiler& p = Profiler::instance();
+    if (p.enabled()) {
+      profiler_ = &p;
+      start_ns_ = p.scope_begin(name);
+    }
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  ~ProfileScope() {
+    if (profiler_ != nullptr) profiler_->scope_end(start_ns_);
+  }
+
+ private:
+  Profiler* profiler_ = nullptr;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace nettag::obs

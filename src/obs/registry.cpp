@@ -87,7 +87,7 @@ void Registry::clear() noexcept {
   timings_.clear();
 }
 
-std::string Registry::to_json() const {
+std::string Registry::to_json(bool redact_timing_ns) const {
   std::ostringstream os;
   os << "{\"counters\":{";
   {
@@ -114,8 +114,8 @@ std::string Registry::to_json() const {
       if (!first) os << ",";
       first = false;
       os << json_string(name) << ":{\"calls\":" << t.calls
-         << ",\"total_ns\":" << t.total_ns << ",\"max_ns\":" << t.max_ns
-         << "}";
+         << ",\"total_ns\":" << (redact_timing_ns ? 0 : t.total_ns)
+         << ",\"max_ns\":" << (redact_timing_ns ? 0 : t.max_ns) << "}";
     }
   }
   os << "},\"histograms\":{";

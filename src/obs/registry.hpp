@@ -147,7 +147,9 @@ class Registry {
   ///    "timings":{"bench.sweep":{"calls":1,"total_ns":...,"max_ns":...}},
   ///    "histograms":{"ccm.rounds_per_session":{"bounds":[...],
   ///      "counts":[...],"count":3,"sum":7,"min":1,"max":4}}}
-  [[nodiscard]] std::string to_json() const;
+  /// With `redact_timing_ns`, timing total_ns/max_ns render as 0 (calls are
+  /// kept) — used for byte-reproducible manifests under SOURCE_DATE_EPOCH.
+  [[nodiscard]] std::string to_json(bool redact_timing_ns = false) const;
 
  private:
   std::map<std::string, Counter> counters_;

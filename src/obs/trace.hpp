@@ -9,7 +9,8 @@
 // stream, which is what keeps traced and untraced runs bit-identical.
 //
 // Event vocabulary (see docs/OBSERVABILITY.md for the full schema):
-//   session_begin / round / slot_batch / session_end      — ccm::run_session
+//   session_begin / round / relay_tier / slot_batch / session_end
+//                                                         — ccm::run_session
 //   multi_begin / reader_window / multi_end               — ccm::multi_reader
 //   estimate_frame / estimate_end                         — GMLE estimation
 //   lof_end                                               — LoF estimation

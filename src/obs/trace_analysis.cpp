@@ -1,0 +1,459 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+namespace nettag::obs {
+
+// ---------------------------------------------------------------------------
+// AccountingSink
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kEventsCounter = "trace.events";
+constexpr const char* kSessionsCounter = "trace.sessions";
+constexpr const char* kBitSlotsCounter = "trace.bit_slots";
+constexpr const char* kIdSlotsCounter = "trace.id_slots";
+
+/// True when `kind` contributes to bit-slot time (one-bit slots).
+bool is_bit_slot_kind(const std::string& kind) {
+  return kind == "frame" || kind == "checking";
+}
+/// True when `kind` contributes to id-slot time (96-bit slots).
+bool is_id_slot_kind(const std::string& kind) {
+  return kind == "request" || kind == "indicator";
+}
+
+}  // namespace
+
+AccountingSink::AccountingSink(TraceSink& inner, Registry& registry)
+    : TraceSink(true), inner_(inner), registry_(registry) {
+  // Materialize the counters at zero so a manifest written after an
+  // event-free run (e.g. a topology-only sweep) still cross-validates.
+  registry_.add(kEventsCounter, 0);
+  registry_.add(kSessionsCounter, 0);
+  registry_.add(kBitSlotsCounter, 0);
+  registry_.add(kIdSlotsCounter, 0);
+}
+
+void AccountingSink::emit(const char* kind,
+                          std::initializer_list<Field> fields) {
+  registry_.add(kEventsCounter);
+  if (std::strcmp(kind, "session_end") == 0) {
+    registry_.add(kSessionsCounter);
+  } else if (std::strcmp(kind, "slot_batch") == 0) {
+    std::string batch_kind;
+    std::int64_t slots = 0;
+    for (const Field& f : fields) {
+      if (std::strcmp(f.key(), "kind") == 0) {
+        batch_kind = f.value_json();  // quoted, e.g. "\"frame\""
+        if (batch_kind.size() >= 2) {
+          batch_kind = batch_kind.substr(1, batch_kind.size() - 2);
+        }
+      } else if (std::strcmp(f.key(), "slots") == 0) {
+        slots = std::atoll(f.value_json().c_str());
+      }
+    }
+    if (is_bit_slot_kind(batch_kind)) registry_.add(kBitSlotsCounter, slots);
+    if (is_id_slot_kind(batch_kind)) registry_.add(kIdSlotsCounter, slots);
+  }
+  inner_.event(kind, fields);
+}
+
+// ---------------------------------------------------------------------------
+// Trace checking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-session accumulator used by check_trace.
+struct OpenSession {
+  std::uint64_t begin_seq = 0;
+  std::int64_t bit_slots = 0;
+  std::int64_t id_slots = 0;
+  std::int64_t rounds_seen = 0;
+  std::int64_t last_round = 0;
+};
+
+std::string seq_label(const TraceEvent& e) {
+  return "event #" + std::to_string(e.seq) + " (" + e.kind + ")";
+}
+
+}  // namespace
+
+TraceCheckResult check_trace(const std::vector<TraceEvent>& events) {
+  TraceCheckResult result;
+  result.events = static_cast<std::int64_t>(events.size());
+
+  bool open = false;
+  OpenSession session;
+  for (const TraceEvent& e : events) {
+    if (e.kind == "session_begin") {
+      if (open) {
+        result.errors.push_back(seq_label(e) +
+                                ": session_begin while a session is open "
+                                "(missing session_end)");
+      }
+      open = true;
+      session = OpenSession{};
+      session.begin_seq = e.seq;
+    } else if (e.kind == "slot_batch") {
+      if (!open) {
+        result.errors.push_back(seq_label(e) + ": slot_batch outside any session");
+        continue;
+      }
+      const std::string kind = e.str_or("kind");
+      const std::int64_t slots = e.int_or("slots", -1);
+      if (slots < 0) {
+        result.errors.push_back(seq_label(e) + ": negative or missing slot count");
+        continue;
+      }
+      if (is_bit_slot_kind(kind)) {
+        session.bit_slots += slots;
+      } else if (is_id_slot_kind(kind)) {
+        session.id_slots += slots;
+      } else {
+        result.errors.push_back(seq_label(e) + ": unknown slot_batch kind \"" +
+                                kind + "\"");
+      }
+      const std::int64_t round = e.int_or("round", 0);
+      if (round < session.last_round) {
+        result.errors.push_back(seq_label(e) +
+                                ": slot_batch round went backwards (" +
+                                std::to_string(round) + " after " +
+                                std::to_string(session.last_round) + ")");
+      }
+    } else if (e.kind == "round") {
+      if (!open) {
+        result.errors.push_back(seq_label(e) + ": round outside any session");
+        continue;
+      }
+      const std::int64_t round = e.int_or("round", 0);
+      if (round <= session.last_round) {
+        result.errors.push_back(
+            seq_label(e) + ": round numbers not strictly increasing (" +
+            std::to_string(round) + " after " +
+            std::to_string(session.last_round) + ")");
+      }
+      session.last_round = round;
+      ++session.rounds_seen;
+    } else if (e.kind == "session_end") {
+      if (!open) {
+        result.errors.push_back(seq_label(e) +
+                                ": session_end without session_begin");
+        continue;
+      }
+      open = false;
+      ++result.sessions;
+      result.bit_slots += session.bit_slots;
+      result.id_slots += session.id_slots;
+      const std::int64_t end_bits = e.int_or("bit_slots", -1);
+      const std::int64_t end_ids = e.int_or("id_slots", -1);
+      const std::int64_t end_rounds = e.int_or("rounds", -1);
+      if (end_bits != session.bit_slots) {
+        result.errors.push_back(
+            seq_label(e) + ": bit_slots " + std::to_string(end_bits) +
+            " != frame+checking slot_batch sum " +
+            std::to_string(session.bit_slots));
+      }
+      if (end_ids != session.id_slots) {
+        result.errors.push_back(
+            seq_label(e) + ": id_slots " + std::to_string(end_ids) +
+            " != request+indicator slot_batch sum " +
+            std::to_string(session.id_slots));
+      }
+      if (end_rounds != session.rounds_seen) {
+        result.errors.push_back(seq_label(e) + ": rounds " +
+                                std::to_string(end_rounds) + " != " +
+                                std::to_string(session.rounds_seen) +
+                                " round events");
+      }
+    }
+  }
+  if (open) {
+    result.errors.push_back("session_begin at event #" +
+                            std::to_string(session.begin_seq) +
+                            " never reached session_end");
+  }
+  return result;
+}
+
+void check_manifest_against_trace(const JsonValue& manifest,
+                                  TraceCheckResult& result) {
+  const JsonValue* schema = manifest.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "nettag.run_manifest/1") {
+    result.errors.push_back("manifest: missing or unexpected schema key");
+    return;
+  }
+  const JsonValue* metrics = manifest.find("metrics");
+  const JsonValue* counters =
+      metrics != nullptr ? metrics->find("counters") : nullptr;
+  if (counters == nullptr) {
+    result.errors.push_back("manifest: no metrics.counters section");
+    return;
+  }
+  const auto expect = [&](const char* name, std::int64_t traced) {
+    const JsonValue* v = counters->find(name);
+    if (v == nullptr || !v->is_number()) {
+      result.errors.push_back(
+          std::string("manifest: counter ") + name +
+          " absent — run was not traced through AccountingSink");
+      return;
+    }
+    if (v->as_int() != traced) {
+      result.errors.push_back(std::string("manifest: counter ") + name + " = " +
+                              std::to_string(v->as_int()) +
+                              " but the trace sums to " +
+                              std::to_string(traced));
+    }
+  };
+  expect(kEventsCounter, result.events);
+  expect(kSessionsCounter, result.sessions);
+  expect(kBitSlotsCounter, result.bit_slots);
+  expect(kIdSlotsCounter, result.id_slots);
+}
+
+// ---------------------------------------------------------------------------
+// Summarization
+// ---------------------------------------------------------------------------
+
+std::vector<SessionSummary> summarize_sessions(
+    const std::vector<TraceEvent>& events) {
+  std::vector<SessionSummary> sessions;
+  SessionSummary* open = nullptr;
+  RoundSummary pending_round;  // slot batches accumulate here until "round"
+
+  const auto flush_round = [&](SessionSummary& s, std::int64_t round) {
+    pending_round.round = round;
+    s.round_detail.push_back(pending_round);
+    pending_round = RoundSummary{};
+  };
+
+  for (const TraceEvent& e : events) {
+    if (e.kind == "session_begin") {
+      sessions.emplace_back();
+      open = &sessions.back();
+      open->begin_seq = e.seq;
+      open->frame_size = e.int_or("f", 0);
+      open->tags = e.int_or("tags", 0);
+      pending_round = RoundSummary{};
+    } else if (open == nullptr) {
+      continue;  // events of other subsystems, or a truncated trace
+    } else if (e.kind == "slot_batch") {
+      const std::string kind = e.str_or("kind");
+      const std::int64_t slots = e.int_or("slots", 0);
+      if (kind == "request") pending_round.request_slots += slots;
+      else if (kind == "frame") pending_round.frame_slots += slots;
+      else if (kind == "indicator") pending_round.indicator_slots += slots;
+      else if (kind == "checking") pending_round.checking_slots += slots;
+    } else if (e.kind == "relay_tier") {
+      const int tier = static_cast<int>(e.int_or("tier", 0));
+      const std::int64_t tx = e.int_or("tx", 0);
+      pending_round.relay_by_tier[tier] += tx;
+      open->relay_tier_totals[tier] += tx;
+    } else if (e.kind == "round") {
+      pending_round.new_reader_bits = e.int_or("new_reader_bits", 0);
+      pending_round.relay_tx = e.int_or("relay_tx", 0);
+      pending_round.bitmap_bits = e.int_or("bitmap_bits", 0);
+      const JsonValue* p = e.find("pending");
+      pending_round.pending = p != nullptr && p->is_bool() && p->as_bool();
+      flush_round(*open, e.int_or("round", 0));
+    } else if (e.kind == "session_end") {
+      open->rounds = e.int_or("rounds", 0);
+      const JsonValue* c = e.find("completed");
+      open->completed = c != nullptr && c->is_bool() && c->as_bool();
+      open->bit_slots = e.int_or("bit_slots", 0);
+      open->id_slots = e.int_or("id_slots", 0);
+      open->bitmap_bits = e.int_or("bitmap_bits", 0);
+      open = nullptr;
+    }
+  }
+  return sessions;
+}
+
+std::string render_session_table(const SessionSummary& session) {
+  std::ostringstream os;
+  os << "session @seq " << session.begin_seq << ": f=" << session.frame_size
+     << ", " << session.tags << " tags, " << session.rounds << " round(s), "
+     << (session.completed ? "drained" : "INCOMPLETE") << ", "
+     << session.bitmap_bits << " busy slots, " << session.bit_slots
+     << " bit + " << session.id_slots << " id slots\n";
+  os << std::setw(6) << "round" << std::setw(8) << "req" << std::setw(8)
+     << "frame" << std::setw(8) << "indic" << std::setw(8) << "check"
+     << std::setw(8) << "+bits" << std::setw(8) << "relay" << std::setw(8)
+     << "bitmap" << std::setw(9) << "pending" << "  by-tier\n";
+  for (const RoundSummary& r : session.round_detail) {
+    os << std::setw(6) << r.round << std::setw(8) << r.request_slots
+       << std::setw(8) << r.frame_slots << std::setw(8) << r.indicator_slots
+       << std::setw(8) << r.checking_slots << std::setw(8) << r.new_reader_bits
+       << std::setw(8) << r.relay_tx << std::setw(8) << r.bitmap_bits
+       << std::setw(9) << (r.pending ? "yes" : "no") << "  ";
+    bool first = true;
+    for (const auto& [tier, tx] : r.relay_by_tier) {
+      if (!first) os << " ";
+      first = false;
+      os << tier << ":" << tx;
+    }
+    os << "\n";
+  }
+  if (!session.relay_tier_totals.empty()) {
+    os << "relay totals by tier:";
+    for (const auto& [tier, tx] : session.relay_tier_totals)
+      os << " " << tier << ":" << tx;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_trace_overview(
+    const std::vector<SessionSummary>& sessions) {
+  std::ostringstream os;
+  std::int64_t bit_slots = 0;
+  std::int64_t id_slots = 0;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const SessionSummary& s = sessions[i];
+    os << "session " << i << " @seq " << s.begin_seq << ": f="
+       << s.frame_size << " tags=" << s.tags << " rounds=" << s.rounds
+       << " bitmap_bits=" << s.bitmap_bits << " slots=" << s.bit_slots
+       << "+" << s.id_slots << (s.completed ? "" : " INCOMPLETE") << "\n";
+    bit_slots += s.bit_slots;
+    id_slots += s.id_slots;
+  }
+  os << "total: " << sessions.size() << " session(s), " << bit_slots
+     << " bit + " << id_slots << " id slots\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Manifest diff
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char* type_name(JsonValue::Type t) {
+  switch (t) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return "bool";
+    case JsonValue::Type::kNumber: return "number";
+    case JsonValue::Type::kString: return "string";
+    case JsonValue::Type::kArray: return "array";
+    case JsonValue::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+/// True for wall-clock values: nanosecond keys (total_ns, max_ns, self_ns).
+bool is_timing_key(const std::string& key) {
+  return key.size() > 3 && key.compare(key.size() - 3, 3, "_ns") == 0;
+}
+
+struct DiffWalker {
+  const ManifestDiffOptions& options;
+  ManifestDiffResult& out;
+
+  [[nodiscard]] bool ignored(const std::string& path) const {
+    if (path == "written_at" || path == "git") return true;
+    for (const std::string& key : options.ignore_keys) {
+      if (path == key) return true;
+    }
+    return false;
+  }
+
+  void number(const std::string& path, const std::string& key, double a,
+              double b) const {
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    const double rel = std::fabs(a - b) / scale;
+    if (is_timing_key(key)) {
+      if (options.timing_tolerance >= 0.0 && rel > options.timing_tolerance) {
+        std::ostringstream os;
+        os << path << ": wall-clock drift " << a << " -> " << b
+           << " exceeds tolerance " << options.timing_tolerance;
+        out.timing.push_back(os.str());
+      }
+      return;
+    }
+    // Deterministic value: exact up to round-trip noise.
+    if (rel > 1e-12) {
+      std::ostringstream os;
+      os << path << ": " << a << " != " << b;
+      out.structural.push_back(os.str());
+    }
+  }
+
+  void walk(const std::string& path, const std::string& key,
+            const JsonValue& a, const JsonValue& b) const {
+    if (a.type() != b.type()) {
+      out.structural.push_back(path + ": type " + type_name(a.type()) +
+                               " != " + type_name(b.type()));
+      return;
+    }
+    switch (a.type()) {
+      case JsonValue::Type::kNull:
+        return;
+      case JsonValue::Type::kBool:
+        if (a.as_bool() != b.as_bool())
+          out.structural.push_back(path + ": " +
+                                   (a.as_bool() ? "true" : "false") + " != " +
+                                   (b.as_bool() ? "true" : "false"));
+        return;
+      case JsonValue::Type::kNumber:
+        number(path, key, a.as_number(), b.as_number());
+        return;
+      case JsonValue::Type::kString:
+        if (a.as_string() != b.as_string())
+          out.structural.push_back(path + ": \"" + a.as_string() +
+                                   "\" != \"" + b.as_string() + "\"");
+        return;
+      case JsonValue::Type::kArray: {
+        const auto& av = a.as_array();
+        const auto& bv = b.as_array();
+        if (av.size() != bv.size()) {
+          out.structural.push_back(path + ": array length " +
+                                   std::to_string(av.size()) + " != " +
+                                   std::to_string(bv.size()));
+          return;
+        }
+        for (std::size_t i = 0; i < av.size(); ++i)
+          walk(path + "[" + std::to_string(i) + "]", key, av[i], bv[i]);
+        return;
+      }
+      case JsonValue::Type::kObject: {
+        for (const auto& [k, va] : a.as_object()) {
+          const std::string child = path.empty() ? k : path + "." + k;
+          if (ignored(child)) continue;
+          const JsonValue* vb = b.find(k);
+          if (vb == nullptr) {
+            out.structural.push_back(child + ": only in baseline");
+            continue;
+          }
+          walk(child, k, va, *vb);
+        }
+        for (const auto& [k, vb] : b.as_object()) {
+          const std::string child = path.empty() ? k : path + "." + k;
+          if (ignored(child)) continue;
+          if (a.find(k) == nullptr)
+            out.structural.push_back(child + ": only in candidate");
+        }
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ManifestDiffResult diff_manifests(const JsonValue& baseline,
+                                  const JsonValue& candidate,
+                                  const ManifestDiffOptions& options) {
+  ManifestDiffResult result;
+  DiffWalker{options, result}.walk("", "", baseline, candidate);
+  return result;
+}
+
+}  // namespace nettag::obs

@@ -1,0 +1,161 @@
+// Offline analysis of traces and manifests — the layer that READS what the
+// PR 1 exporters write.  Three consumers share it: the `nettag-obs` CLI
+// (summarize / check / diff), the ctest artifact gates, and examples that
+// render a session's anatomy from its own trace.
+//
+// Three capabilities:
+//   * summarize — fold a trace's session events into per-round / per-tier
+//     tables (the "session anatomy" view);
+//   * check — validate a trace's internal slot accounting (slot_batch sums
+//     must reproduce each session_end's bit_slots/id_slots, round numbers
+//     monotone, sessions properly bracketed) and cross-validate it against
+//     the run manifest's `trace.*` counters (written by AccountingSink);
+//   * diff — compare two run manifests structurally: counters, slots, and
+//     every other deterministic value must match exactly; wall-clock
+//     (`*_ns`, the "timings" subtree) only within a relative tolerance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json_value.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace nettag::obs {
+
+// ---------------------------------------------------------------------------
+// AccountingSink — ties a live trace to its manifest.
+// ---------------------------------------------------------------------------
+
+/// Forwards every event to an inner sink and tallies session totals into a
+/// Registry (counters `trace.events`, `trace.sessions`, `trace.bit_slots`,
+/// `trace.id_slots`).  Installed whenever a run writes both a trace and a
+/// manifest, so `nettag-obs check` can prove the two artifacts describe the
+/// same run.  The counters exist (at zero) from construction.
+class AccountingSink final : public TraceSink {
+ public:
+  AccountingSink(TraceSink& inner, Registry& registry);
+
+ private:
+  void emit(const char* kind, std::initializer_list<Field> fields) override;
+
+  TraceSink& inner_;
+  Registry& registry_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace checking
+// ---------------------------------------------------------------------------
+
+/// Outcome of a trace validation: accumulated totals plus every violation
+/// found (empty errors == consistent trace).
+struct TraceCheckResult {
+  std::int64_t events = 0;
+  std::int64_t sessions = 0;
+  std::int64_t bit_slots = 0;  ///< summed from frame/checking slot batches
+  std::int64_t id_slots = 0;   ///< summed from request/indicator batches
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Validates the session accounting of a parsed trace:
+///   * exactly one session_end per session_begin, properly bracketed;
+///   * round numbers strictly increasing within a session;
+///   * per session, slot_batch sums by kind reproduce the session_end's
+///     bit_slots (frame + checking) and id_slots (request + indicator);
+///   * session_end round count matches the round events seen.
+/// Non-session events (estimate_*, idcollect_*, ...) pass through untouched.
+[[nodiscard]] TraceCheckResult check_trace(
+    const std::vector<TraceEvent>& events);
+
+/// Cross-validates `manifest` (a parsed nettag.run_manifest/1 document)
+/// against the totals `check_trace` computed from its trace: the manifest's
+/// `trace.*` counters must equal the trace's. Appends violations to
+/// `result.errors`.  A manifest without `trace.*` counters (the run was not
+/// traced, or predates AccountingSink) is itself an error — the pair cannot
+/// be cross-validated.
+void check_manifest_against_trace(const JsonValue& manifest,
+                                  TraceCheckResult& result);
+
+// ---------------------------------------------------------------------------
+// Trace summarization (session anatomy)
+// ---------------------------------------------------------------------------
+
+/// One round of one session as the trace recorded it.
+struct RoundSummary {
+  std::int64_t round = 0;
+  std::int64_t request_slots = 0;
+  std::int64_t frame_slots = 0;
+  std::int64_t indicator_slots = 0;
+  std::int64_t checking_slots = 0;
+  std::int64_t new_reader_bits = 0;
+  std::int64_t relay_tx = 0;
+  std::int64_t bitmap_bits = 0;
+  bool pending = false;
+  /// tier -> relay transmissions this round (from relay_tier events).
+  std::map<int, std::int64_t> relay_by_tier;
+};
+
+/// One CCM session reconstructed from its trace events.
+struct SessionSummary {
+  std::uint64_t begin_seq = 0;
+  std::int64_t frame_size = 0;
+  std::int64_t tags = 0;
+  std::int64_t rounds = 0;
+  bool completed = false;
+  std::int64_t bit_slots = 0;
+  std::int64_t id_slots = 0;
+  std::int64_t bitmap_bits = 0;
+  std::vector<RoundSummary> round_detail;
+  /// tier -> total relay transmissions across rounds.
+  std::map<int, std::int64_t> relay_tier_totals;
+};
+
+/// Reconstructs every session of a trace (events of other subsystems are
+/// skipped).  Tolerates inconsistent traces — run check_trace for judgment.
+[[nodiscard]] std::vector<SessionSummary> summarize_sessions(
+    const std::vector<TraceEvent>& events);
+
+/// Per-round/per-tier anatomy table of one session (multi-line string).
+[[nodiscard]] std::string render_session_table(const SessionSummary& session);
+
+/// One overview line per session plus trace totals.
+[[nodiscard]] std::string render_trace_overview(
+    const std::vector<SessionSummary>& sessions);
+
+// ---------------------------------------------------------------------------
+// Manifest diff
+// ---------------------------------------------------------------------------
+
+struct ManifestDiffOptions {
+  /// Relative tolerance for wall-clock values (`*_ns` keys and the
+  /// "timings" subtree): |a-b| / max(|a|,|b|,1) must not exceed it.
+  /// Negative (the default) means wall-clock drift is never a violation.
+  double timing_tolerance = -1.0;
+  /// Top-level keys ignored in addition to the defaults
+  /// ("written_at", "git" — machine/run identity, not behavior).
+  std::vector<std::string> ignore_keys;
+};
+
+struct ManifestDiffResult {
+  /// Deterministic-value mismatches (slot counts, counters, config...).
+  std::vector<std::string> structural;
+  /// Wall-clock drifts beyond the tolerance (empty when tolerance < 0).
+  std::vector<std::string> timing;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return structural.empty() && timing.empty();
+  }
+};
+
+/// Structurally compares two parsed manifests (see ManifestDiffOptions).
+[[nodiscard]] ManifestDiffResult diff_manifests(
+    const JsonValue& baseline, const JsonValue& candidate,
+    const ManifestDiffOptions& options = {});
+
+}  // namespace nettag::obs

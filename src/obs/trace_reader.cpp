@@ -1,0 +1,73 @@
+#include "obs/trace_reader.hpp"
+
+#include <fstream>
+#include <istream>
+
+#include "common/error.hpp"
+
+namespace nettag::obs {
+
+const JsonValue* TraceEvent::find(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::int64_t TraceEvent::int_or(std::string_view key,
+                                std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_int() : fallback;
+}
+
+std::string TraceEvent::str_or(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::string();
+}
+
+TraceEvent parse_trace_line(std::string_view line, std::size_t line_number) {
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const Error& e) {
+    throw Error("trace line " + std::to_string(line_number) + ": " + e.what());
+  }
+  NETTAG_EXPECTS(doc.is_object(), "trace line " + std::to_string(line_number) +
+                                      " is not a JSON object");
+  TraceEvent event;
+  bool have_seq = false;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "seq" && value.is_number()) {
+      event.seq = static_cast<std::uint64_t>(value.as_int());
+      have_seq = true;
+    } else if (key == "event" && value.is_string()) {
+      event.kind = value.as_string();
+    } else {
+      event.fields.emplace_back(key, value);
+    }
+  }
+  NETTAG_EXPECTS(have_seq && !event.kind.empty(),
+                 "trace line " + std::to_string(line_number) +
+                     " lacks seq/event keys");
+  return event;
+}
+
+std::vector<TraceEvent> read_trace(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    events.push_back(parse_trace_line(line, line_number));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  NETTAG_EXPECTS(in.is_open(), "cannot open trace file " + path);
+  return read_trace(in);
+}
+
+}  // namespace nettag::obs

@@ -1,0 +1,47 @@
+// Offline trace parsing: JSONL event streams back into typed events.
+//
+// `JsonlSink` writes `{"seq":N,"event":"kind",...fields}` per line; this
+// reader inverts that so tools (`nettag-obs summarize|check`), tests, and
+// examples can analyze a finished run.  Lines are parsed strictly — a
+// malformed line throws with its line number, because a trace that does not
+// parse is itself a bug in the exporter.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json_value.hpp"
+
+namespace nettag::obs {
+
+/// One parsed trace event: its sequence number, kind, and remaining fields
+/// in emission order.
+struct TraceEvent {
+  std::uint64_t seq = 0;
+  std::string kind;
+  JsonValue::Object fields;
+
+  /// Field lookup; nullptr when absent.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Integer field value; `fallback` when absent.
+  [[nodiscard]] std::int64_t int_or(std::string_view key,
+                                    std::int64_t fallback) const;
+  /// String field value; empty when absent or not a string.
+  [[nodiscard]] std::string str_or(std::string_view key) const;
+};
+
+/// Parses one JSONL trace line (must carry "seq" and "event").
+[[nodiscard]] TraceEvent parse_trace_line(std::string_view line,
+                                          std::size_t line_number = 0);
+
+/// Reads every event from a JSONL stream (blank lines ignored).
+[[nodiscard]] std::vector<TraceEvent> read_trace(std::istream& in);
+
+/// Reads every event from a JSONL trace file; throws when the file cannot
+/// be opened or a line is malformed.
+[[nodiscard]] std::vector<TraceEvent> read_trace_file(const std::string& path);
+
+}  // namespace nettag::obs

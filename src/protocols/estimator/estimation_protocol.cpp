@@ -6,6 +6,7 @@
 #include "ccm/slot_selector.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "obs/profiler.hpp"
 
 namespace nettag::protocols {
 
@@ -21,6 +22,7 @@ Seed frame_seed(Seed base, int phase, int index) {
 EstimationResult estimate_cardinality(const EstimationConfig& config,
                                       const BitmapSource& source,
                                       obs::TraceSink& sink) {
+  const obs::ProfileScope profile("gmle.estimate");
   NETTAG_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0,
                  "alpha must be in (0,1)");
   NETTAG_EXPECTS(config.beta > 0.0 && config.beta < 1.0,

@@ -4,6 +4,7 @@
 #include "ccm/slot_selector.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "obs/profiler.hpp"
 #include "protocols/missing/trp.hpp"
 
 namespace nettag::protocols {
@@ -34,6 +35,7 @@ DetectionOutcome MissingTagDetector::detect(const net::Topology& topology,
                                             const DetectionConfig& config,
                                             sim::EnergyMeter& energy,
                                             obs::TraceSink& sink) const {
+  const obs::ProfileScope profile("trp.detect");
   NETTAG_EXPECTS(config.executions >= 1, "need at least one execution");
   const FrameSize f = effective_frame_size(config);
 

@@ -6,6 +6,7 @@
 #include "ccm/slot_selector.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "obs/profiler.hpp"
 
 namespace nettag::protocols {
 
@@ -126,6 +127,7 @@ SearchOutcome search_tags_filtered(const std::vector<TagId>& wanted,
                                    const FilteredSearchConfig& config,
                                    sim::EnergyMeter& energy,
                                    obs::TraceSink& sink) {
+  const obs::ProfileScope profile("search.filtered");
   NETTAG_EXPECTS(!wanted.empty(), "wanted list must not be empty");
   const FrameSize filter_bits =
       config.filter_bits > 0
@@ -191,6 +193,7 @@ SearchOutcome search_tags(const std::vector<TagId>& wanted,
                           const ccm::CcmConfig& ccm_template,
                           const SearchConfig& config,
                           sim::EnergyMeter& energy, obs::TraceSink& sink) {
+  const obs::ProfileScope profile("search.run");
   NETTAG_EXPECTS(!wanted.empty(), "wanted list must not be empty");
   NETTAG_EXPECTS(config.frames >= 1, "need at least one frame");
   const FrameSize f =

@@ -4,13 +4,16 @@
 // default NullSink).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "ccm/session.hpp"
 #include "ccm/slot_selector.hpp"
+#include "common/error.hpp"
 #include "net/topology_builders.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/energy.hpp"
@@ -96,6 +99,63 @@ TEST(Registry, MergeFoldsEverything) {
   EXPECT_EQ(a.timings().at("t").calls, 2);
   EXPECT_EQ(a.timings().at("t").total_ns, 150);
   EXPECT_EQ(a.timings().at("t").max_ns, 100);
+}
+
+TEST(Registry, MergeTimingMaxTakesMaxNotSum) {
+  Registry a;
+  a.record_timing("t", 10);
+  Registry b;
+  b.record_timing("t", 400);
+  b.record_timing("t", 30);
+  a.merge(b);
+  EXPECT_EQ(a.timings().at("t").calls, 3);
+  EXPECT_EQ(a.timings().at("t").total_ns, 440);
+  EXPECT_EQ(a.timings().at("t").max_ns, 400);  // max, never 410 or 440
+
+  // Merging the other way must agree: max is symmetric.
+  Registry c;
+  c.record_timing("t", 400);
+  c.record_timing("t", 30);
+  Registry d;
+  d.record_timing("t", 10);
+  c.merge(d);
+  EXPECT_EQ(c.timings().at("t").max_ns, 400);
+}
+
+TEST(Registry, MergeGaugeIsLastWriteWinsInMergeOrder) {
+  Registry a;
+  a.set("g", 1.0);
+  Registry b;
+  b.set("g", 2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.gauges().at("g").value, 2.0);  // other wins
+  Registry c;  // merging an empty registry must not clobber the gauge
+  a.merge(c);
+  EXPECT_DOUBLE_EQ(a.gauges().at("g").value, 2.0);
+  a.set("g", 3.0);  // a later local write wins over the merged value
+  EXPECT_DOUBLE_EQ(a.gauges().at("g").value, 3.0);
+}
+
+TEST(Registry, MergeHistogramBoundsMismatchThrows) {
+  Registry a;
+  a.histogram("h") = Histogram({1.0, 2.0});
+  a.observe("h", 1.0);
+  Registry b;
+  b.histogram("h") = Histogram({1.0, 3.0});
+  b.observe("h", 1.0);
+  EXPECT_THROW(a.merge(b), nettag::Error);
+}
+
+TEST(Registry, MergeIntoEmptyAdoptsHistogram) {
+  Registry a;
+  Registry b;
+  b.histogram("h") = Histogram({1.0, 10.0});
+  b.observe("h", 5.0);
+  b.observe("h", 50.0);
+  a.merge(b);
+  EXPECT_EQ(a.histograms().at("h").count(), 2);
+  EXPECT_DOUBLE_EQ(a.histograms().at("h").min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.histograms().at("h").max(), 50.0);
 }
 
 TEST(Registry, JsonDumpIsDeterministicAndSorted) {
@@ -297,6 +357,151 @@ TEST(SessionTracing, NullSinkRunIsBitIdenticalToTracedRun) {
   EXPECT_EQ(p.avg_received_bits, t.avg_received_bits);
   EXPECT_EQ(p.max_received_bits, t.max_received_bits);
   EXPECT_FALSE(sink.events().empty());
+}
+
+// --------------------------------------------------------------------------
+// Profiler
+// --------------------------------------------------------------------------
+
+/// Restores a clean (disabled, empty) profiler around each test.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Profiler::instance().reset(); }
+  void TearDown() override { Profiler::instance().reset(); }
+};
+
+TEST_F(ProfilerTest, DisabledScopesRecordNothing) {
+  ASSERT_FALSE(Profiler::instance().enabled());
+  { const ProfileScope scope("never"); }
+  EXPECT_TRUE(Profiler::instance().root().children.empty());
+  EXPECT_TRUE(Profiler::instance().events().empty());
+}
+
+TEST_F(ProfilerTest, NestedScopesBuildACallTree) {
+  Profiler& p = Profiler::instance();
+  p.enable();
+  {
+    const ProfileScope outer("outer");
+    { const ProfileScope inner("inner"); }
+    { const ProfileScope inner("inner"); }
+  }
+  { const ProfileScope outer("outer"); }
+  p.disable();
+
+  ASSERT_EQ(p.root().children.size(), 1u);
+  const Profiler::Node& outer = *p.root().children[0];
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(outer.calls, 2);
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_STREQ(outer.children[0]->name, "inner");
+  EXPECT_EQ(outer.children[0]->calls, 2);
+  EXPECT_GE(outer.total_ns, outer.children[0]->total_ns);
+  EXPECT_EQ(outer.self_ns(), outer.total_ns - outer.children[0]->total_ns);
+  // One SpanEvent per finished occurrence.
+  EXPECT_EQ(p.events().size(), 4u);
+  EXPECT_EQ(p.dropped_events(), 0);
+}
+
+TEST_F(ProfilerTest, JsonAndChromeTraceExports) {
+  Profiler& p = Profiler::instance();
+  p.enable();
+  {
+    const ProfileScope a("alpha");
+    const ProfileScope b("beta");
+  }
+  p.disable();
+
+  const std::string json = p.to_json();
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"self_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+
+  const std::string chrome = p.to_chrome_trace();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"beta\""), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ReenableClearsPreviousProfile) {
+  Profiler& p = Profiler::instance();
+  p.enable();
+  { const ProfileScope s("first"); }
+  p.enable();  // restart
+  { const ProfileScope s("second"); }
+  p.disable();
+  ASSERT_EQ(p.root().children.size(), 1u);
+  EXPECT_STREQ(p.root().children[0]->name, "second");
+  EXPECT_EQ(p.events().size(), 1u);
+}
+
+TEST_F(ProfilerTest, ProfiledSessionIsBitIdenticalToUnprofiled) {
+  const auto star = net::make_star(40);
+  const ccm::HashedSlotSelector selector(0.7);
+  const ccm::CcmConfig cfg = session_config(star, 128);
+
+  sim::EnergyMeter energy_plain(star.tag_count());
+  const ccm::SessionResult plain =
+      ccm::run_session(star, cfg, selector, energy_plain);
+
+  Profiler::instance().enable();
+  sim::EnergyMeter energy_prof(star.tag_count());
+  const ccm::SessionResult profiled =
+      ccm::run_session(star, cfg, selector, energy_prof);
+  Profiler::instance().disable();
+
+  EXPECT_EQ(plain.bitmap, profiled.bitmap);
+  EXPECT_EQ(plain.rounds, profiled.rounds);
+  EXPECT_EQ(plain.clock.total_slots(), profiled.clock.total_slots());
+  const auto p = energy_plain.summarize();
+  const auto q = energy_prof.summarize();
+  EXPECT_EQ(p.avg_sent_bits, q.avg_sent_bits);
+  EXPECT_EQ(p.max_received_bits, q.max_received_bits);
+  // And the run actually profiled the session spans.
+  ASSERT_FALSE(Profiler::instance().root().children.empty());
+  EXPECT_STREQ(Profiler::instance().root().children[0]->name, "ccm.session");
+}
+
+// --------------------------------------------------------------------------
+// SOURCE_DATE_EPOCH reproducibility
+// --------------------------------------------------------------------------
+
+/// Sets SOURCE_DATE_EPOCH for a test and restores the environment after.
+class SourceDateEpochTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("SOURCE_DATE_EPOCH"); }
+};
+
+TEST_F(SourceDateEpochTest, PinsWrittenAtAndRedactsTimings) {
+  ::setenv("SOURCE_DATE_EPOCH", "1562457600", 1);  // 2019-07-07T00:00:00Z
+  EXPECT_EQ(iso8601_utc_now(), "2019-07-07T00:00:00Z");
+
+  Registry reg;
+  reg.add("runs", 3);
+  reg.record_timing("t", 12345);
+  RunManifest manifest("tool", "cmd");
+  manifest.set("tags", 7);
+  const std::string a = manifest.to_json(&reg);
+  const std::string b = manifest.to_json(&reg);
+  EXPECT_EQ(a, b);  // byte-identical across calls
+  EXPECT_NE(a.find("\"written_at\":\"2019-07-07T00:00:00Z\""),
+            std::string::npos);
+  // Wall-clock redacted, structural call count kept.
+  EXPECT_NE(a.find("\"t\":{\"calls\":1,\"total_ns\":0,\"max_ns\":0}"),
+            std::string::npos);
+  EXPECT_NE(a.find("\"runs\":3"), std::string::npos);
+}
+
+TEST_F(SourceDateEpochTest, InvalidEpochFallsBackToRealClock) {
+  ::setenv("SOURCE_DATE_EPOCH", "not-a-number", 1);
+  EXPECT_NE(iso8601_utc_now(), "1970-01-01T00:00:00Z");
+
+  Registry reg;
+  reg.record_timing("t", 12345);
+  RunManifest manifest("tool", "cmd");
+  // With a bogus epoch the timings stay real.
+  EXPECT_NE(manifest.to_json(&reg).find("\"total_ns\":12345"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,364 @@
+// Tests of the offline analysis layer: the JSON parser, the trace reader,
+// the AccountingSink trace/manifest link, the trace checker, the session
+// summarizer, and the manifest differ — the machinery behind `nettag-obs`.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/error.hpp"
+#include "net/topology_builders.hpp"
+#include "obs/json_value.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
+#include "obs/trace_reader.hpp"
+#include "sim/energy.hpp"
+#include "test_util.hpp"
+
+namespace nettag::obs {
+namespace {
+
+// --------------------------------------------------------------------------
+// JsonValue parser
+// --------------------------------------------------------------------------
+
+TEST(JsonValue, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("2.5").as_number(), 2.5);
+  EXPECT_EQ(parse_json("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonValue, ParsesNestedContainersPreservingOrder) {
+  const JsonValue doc =
+      parse_json("{\"b\":[1,2,{\"x\":true}],\"a\":{\"y\":null}}");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.as_object().size(), 2u);
+  EXPECT_EQ(doc.as_object()[0].first, "b");  // insertion order, not sorted
+  EXPECT_EQ(doc.as_object()[1].first, "a");
+  const JsonValue& arr = doc.at("b");
+  ASSERT_EQ(arr.as_array().size(), 3u);
+  EXPECT_EQ(arr.as_array()[0].as_int(), 1);
+  EXPECT_TRUE(arr.as_array()[2].at("x").as_bool());
+  EXPECT_TRUE(doc.at("a").at("y").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), nettag::Error);
+}
+
+TEST(JsonValue, DecodesEscapesAndUnicode) {
+  EXPECT_EQ(parse_json("\"a\\n\\t\\\"b\\\\\"").as_string(), "a\n\t\"b\\");
+  EXPECT_EQ(parse_json("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(parse_json("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");  // surrogate pair: 😀
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), nettag::Error);
+  EXPECT_THROW(parse_json("{"), nettag::Error);
+  EXPECT_THROW(parse_json("[1,]"), nettag::Error);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), nettag::Error);
+  EXPECT_THROW(parse_json("\"unterminated"), nettag::Error);
+  EXPECT_THROW(parse_json("tru"), nettag::Error);
+  EXPECT_THROW(parse_json("1 2"), nettag::Error);  // trailing garbage
+}
+
+TEST(JsonValue, DumpRoundTrips) {
+  const std::string text =
+      "{\"a\":1,\"b\":[true,null,\"x\"],\"c\":{\"d\":2.5}}";
+  EXPECT_EQ(parse_json(text).dump(), text);
+}
+
+// --------------------------------------------------------------------------
+// Trace reader
+// --------------------------------------------------------------------------
+
+TEST(TraceReader, RoundTripsJsonlSinkOutput) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.event("session_begin", {{"f", 64}, {"tags", 10}});
+  sink.event("slot_batch",
+             {{"round", 1}, {"kind", "frame"}, {"slots", 64}});
+
+  std::istringstream in(out.str());
+  const auto events = read_trace(in);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].kind, "session_begin");
+  EXPECT_EQ(events[0].int_or("f", -1), 64);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].str_or("kind"), "frame");
+  EXPECT_EQ(events[1].int_or("slots", -1), 64);
+  EXPECT_EQ(events[1].int_or("absent", -7), -7);
+  EXPECT_EQ(events[1].find("absent"), nullptr);
+}
+
+TEST(TraceReader, RejectsLinesWithoutSeqOrEvent) {
+  EXPECT_THROW((void)parse_trace_line("{\"event\":\"x\"}", 3), nettag::Error);
+  EXPECT_THROW((void)parse_trace_line("{\"seq\":0}", 4), nettag::Error);
+  EXPECT_THROW((void)parse_trace_line("[1,2]", 5), nettag::Error);
+  try {
+    (void)parse_trace_line("{bad json", 42);
+    FAIL() << "expected nettag::Error";
+  } catch (const nettag::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("42"), std::string::npos)
+        << "error should carry the line number: " << e.what();
+  }
+}
+
+TEST(TraceReader, SkipsBlankLines) {
+  std::istringstream in(
+      "{\"seq\":0,\"event\":\"a\"}\n\n{\"seq\":1,\"event\":\"b\"}\n");
+  EXPECT_EQ(read_trace(in).size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// AccountingSink + check_trace on a real session
+// --------------------------------------------------------------------------
+
+/// Runs one traced CCM session through an AccountingSink and returns the
+/// (parsed events, registry) pair.
+struct TracedRun {
+  std::vector<TraceEvent> events;
+  Registry registry;
+};
+
+TracedRun traced_session_run() {
+  TracedRun run;
+  std::ostringstream out;
+  JsonlSink jsonl(out);
+  AccountingSink sink(jsonl, run.registry);
+
+  const auto star = net::make_star(40);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 128;
+  cfg.request_seed = 99;
+  cfg.checking_frame_length = 2 * (star.tier_count() + 1);
+  sim::EnergyMeter energy(star.tag_count());
+  (void)ccm::run_session(star, cfg, ccm::HashedSlotSelector(0.7), energy,
+                         sink);
+
+  std::istringstream in(out.str());
+  run.events = read_trace(in);
+  return run;
+}
+
+TEST(AccountingSink, TalliesWhatCheckTraceRecomputes) {
+  const TracedRun run = traced_session_run();
+  const TraceCheckResult check = check_trace(run.events);
+  EXPECT_TRUE(check.ok()) << check.errors.front();
+  EXPECT_EQ(check.sessions, 1);
+  EXPECT_GT(check.bit_slots, 0);
+  EXPECT_GT(check.id_slots, 0);
+
+  const auto& counters = run.registry.counters();
+  EXPECT_EQ(counters.at("trace.events").value, check.events);
+  EXPECT_EQ(counters.at("trace.sessions").value, check.sessions);
+  EXPECT_EQ(counters.at("trace.bit_slots").value, check.bit_slots);
+  EXPECT_EQ(counters.at("trace.id_slots").value, check.id_slots);
+}
+
+TEST(AccountingSink, CountersExistAtZeroBeforeAnyEvent) {
+  Registry reg;
+  AccountingSink sink(null_sink(), reg);
+  EXPECT_EQ(reg.counters().at("trace.events").value, 0);
+  EXPECT_EQ(reg.counters().at("trace.sessions").value, 0);
+  EXPECT_EQ(reg.counters().at("trace.bit_slots").value, 0);
+  EXPECT_EQ(reg.counters().at("trace.id_slots").value, 0);
+}
+
+TEST(CheckTrace, FlagsCorruptedSlotCounts) {
+  TracedRun run = traced_session_run();
+  for (TraceEvent& e : run.events) {
+    if (e.kind != "slot_batch") continue;
+    for (auto& [key, value] : e.fields) {
+      if (key == "slots") value = JsonValue::make_number(
+          static_cast<double>(value.as_int() + 7));
+    }
+    break;  // corrupt exactly one batch
+  }
+  const TraceCheckResult check = check_trace(run.events);
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(CheckTrace, FlagsBracketingViolations) {
+  // session_end without begin; then an unterminated begin.
+  std::vector<TraceEvent> events;
+  events.push_back(parse_trace_line(
+      "{\"seq\":0,\"event\":\"session_end\",\"rounds\":0,\"bit_slots\":0,"
+      "\"id_slots\":0}"));
+  events.push_back(
+      parse_trace_line("{\"seq\":1,\"event\":\"session_begin\",\"f\":8}"));
+  const TraceCheckResult check = check_trace(events);
+  EXPECT_EQ(check.errors.size(), 2u);
+}
+
+TEST(CheckTrace, FlagsNonMonotoneRounds) {
+  std::vector<TraceEvent> events;
+  events.push_back(
+      parse_trace_line("{\"seq\":0,\"event\":\"session_begin\",\"f\":8}"));
+  events.push_back(
+      parse_trace_line("{\"seq\":1,\"event\":\"round\",\"round\":2}"));
+  events.push_back(
+      parse_trace_line("{\"seq\":2,\"event\":\"round\",\"round\":2}"));
+  events.push_back(parse_trace_line(
+      "{\"seq\":3,\"event\":\"session_end\",\"rounds\":2,\"bit_slots\":0,"
+      "\"id_slots\":0}"));
+  const TraceCheckResult check = check_trace(events);
+  ASSERT_FALSE(check.ok());
+  EXPECT_NE(check.errors.front().find("strictly increasing"),
+            std::string::npos);
+}
+
+TEST(CheckManifest, CrossValidatesTraceCounters) {
+  const TracedRun run = traced_session_run();
+  TraceCheckResult check = check_trace(run.events);
+  ASSERT_TRUE(check.ok());
+
+  // A manifest whose counters match the trace passes...
+  const std::string good =
+      "{\"schema\":\"nettag.run_manifest/1\",\"metrics\":{\"counters\":{"
+      "\"trace.events\":" + std::to_string(check.events) +
+      ",\"trace.sessions\":" + std::to_string(check.sessions) +
+      ",\"trace.bit_slots\":" + std::to_string(check.bit_slots) +
+      ",\"trace.id_slots\":" + std::to_string(check.id_slots) + "}}}";
+  check_manifest_against_trace(parse_json(good), check);
+  EXPECT_TRUE(check.ok());
+
+  // ...one with a drifted counter fails...
+  TraceCheckResult drifted = check_trace(run.events);
+  const std::string bad =
+      "{\"schema\":\"nettag.run_manifest/1\",\"metrics\":{\"counters\":{"
+      "\"trace.events\":" + std::to_string(drifted.events + 1) +
+      ",\"trace.sessions\":" + std::to_string(drifted.sessions) +
+      ",\"trace.bit_slots\":" + std::to_string(drifted.bit_slots) +
+      ",\"trace.id_slots\":" + std::to_string(drifted.id_slots) + "}}}";
+  check_manifest_against_trace(parse_json(bad), drifted);
+  EXPECT_FALSE(drifted.ok());
+
+  // ...and one without trace.* counters cannot be cross-validated at all.
+  TraceCheckResult untraced = check_trace(run.events);
+  check_manifest_against_trace(
+      parse_json("{\"schema\":\"nettag.run_manifest/1\","
+                 "\"metrics\":{\"counters\":{}}}"),
+      untraced);
+  EXPECT_FALSE(untraced.ok());
+}
+
+// --------------------------------------------------------------------------
+// Summarization
+// --------------------------------------------------------------------------
+
+TEST(Summarize, ReconstructsSessionAnatomyFromTrace) {
+  const TracedRun run = traced_session_run();
+  const auto sessions = summarize_sessions(run.events);
+  ASSERT_EQ(sessions.size(), 1u);
+  const SessionSummary& s = sessions[0];
+  EXPECT_EQ(s.frame_size, 128);
+  EXPECT_EQ(s.tags, 40);
+  EXPECT_TRUE(s.completed);
+  EXPECT_EQ(static_cast<std::int64_t>(s.round_detail.size()), s.rounds);
+
+  // Per-round slot batches must re-add to the session totals.
+  std::int64_t bit_slots = 0;
+  std::int64_t id_slots = 0;
+  for (const RoundSummary& r : s.round_detail) {
+    bit_slots += r.frame_slots + r.checking_slots;
+    id_slots += r.request_slots + r.indicator_slots;
+  }
+  EXPECT_EQ(bit_slots, s.bit_slots);
+  EXPECT_EQ(id_slots, s.id_slots);
+
+  // A star topology relays only from tier 1.
+  ASSERT_FALSE(s.relay_tier_totals.empty());
+  EXPECT_EQ(s.relay_tier_totals.begin()->first, 1);
+
+  const std::string table = render_session_table(s);
+  EXPECT_NE(table.find("f=128"), std::string::npos);
+  EXPECT_NE(table.find("by-tier"), std::string::npos);
+  const std::string overview = render_trace_overview(sessions);
+  EXPECT_NE(overview.find("1 session(s)"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Manifest diff
+// --------------------------------------------------------------------------
+
+TEST(DiffManifests, IdenticalDocumentsMatch) {
+  const JsonValue a = parse_json(
+      "{\"schema\":\"s\",\"config\":{\"tags\":400},\"metrics\":"
+      "{\"counters\":{\"c\":7}}}");
+  const ManifestDiffResult r = diff_manifests(a, a);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(DiffManifests, StructuralMismatchesAreExact) {
+  const JsonValue a = parse_json("{\"config\":{\"tags\":400,\"x\":[1,2]}}");
+  const JsonValue b = parse_json("{\"config\":{\"tags\":401,\"x\":[1,3]}}");
+  const ManifestDiffResult r = diff_manifests(a, b);
+  EXPECT_EQ(r.structural.size(), 2u);
+  EXPECT_TRUE(r.timing.empty());
+}
+
+TEST(DiffManifests, MissingKeysAreReportedOnBothSides) {
+  const JsonValue a = parse_json("{\"only_a\":1,\"shared\":2}");
+  const JsonValue b = parse_json("{\"shared\":2,\"only_b\":3}");
+  const ManifestDiffResult r = diff_manifests(a, b);
+  ASSERT_EQ(r.structural.size(), 2u);
+  EXPECT_NE(r.structural[0].find("only in baseline"), std::string::npos);
+  EXPECT_NE(r.structural[1].find("only in candidate"), std::string::npos);
+}
+
+TEST(DiffManifests, TimingKeysAreIgnoredByDefault) {
+  const JsonValue a =
+      parse_json("{\"t\":{\"calls\":2,\"total_ns\":100,\"max_ns\":60}}");
+  const JsonValue b =
+      parse_json("{\"t\":{\"calls\":2,\"total_ns\":900,\"max_ns\":800}}");
+  EXPECT_TRUE(diff_manifests(a, b).ok());  // default tolerance: ignore
+
+  ManifestDiffOptions strict;
+  strict.timing_tolerance = 0.5;
+  const ManifestDiffResult r = diff_manifests(a, b, strict);
+  EXPECT_TRUE(r.structural.empty());
+  EXPECT_EQ(r.timing.size(), 2u);  // both *_ns drifted past 50 %
+
+  ManifestDiffOptions loose;
+  loose.timing_tolerance = 100.0;
+  EXPECT_TRUE(diff_manifests(a, b, loose).ok());
+}
+
+TEST(DiffManifests, CallsRemainStructuralEvenInTimings) {
+  const JsonValue a = parse_json("{\"t\":{\"calls\":2,\"total_ns\":100}}");
+  const JsonValue b = parse_json("{\"t\":{\"calls\":3,\"total_ns\":100}}");
+  const ManifestDiffResult r = diff_manifests(a, b);
+  ASSERT_EQ(r.structural.size(), 1u);
+  EXPECT_NE(r.structural[0].find("t.calls"), std::string::npos);
+}
+
+TEST(DiffManifests, DefaultAndCustomIgnoredKeys) {
+  const JsonValue a = parse_json(
+      "{\"written_at\":\"2019\",\"git\":\"abc\",\"config\":{\"trace\":\"x\"}}");
+  const JsonValue b = parse_json(
+      "{\"written_at\":\"2026\",\"git\":\"def\",\"config\":{\"trace\":\"y\"}}");
+  EXPECT_FALSE(diff_manifests(a, b).ok());  // config.trace still compared
+
+  ManifestDiffOptions opts;
+  opts.ignore_keys.push_back("config.trace");
+  EXPECT_TRUE(diff_manifests(a, b, opts).ok());
+}
+
+TEST(DiffManifests, TypeMismatchIsStructural) {
+  const JsonValue a = parse_json("{\"v\":1}");
+  const JsonValue b = parse_json("{\"v\":\"1\"}");
+  const ManifestDiffResult r = diff_manifests(a, b);
+  ASSERT_EQ(r.structural.size(), 1u);
+  EXPECT_NE(r.structural[0].find("type"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nettag::obs

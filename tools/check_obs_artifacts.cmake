@@ -1,7 +1,10 @@
-# ctest script: runs the CLI with --trace/--metrics/--json and verifies that
-# every machine-readable artifact is valid JSON (per line for JSONL).
+# ctest script: runs the CLI with --trace/--metrics/--profile/--json and
+# verifies that every machine-readable artifact is valid JSON (per line for
+# JSONL), that `nettag-obs check` certifies the trace/manifest pair, and
+# that a deliberately corrupted trace is rejected (negative check).
 #
-# Inputs: NETTAG_CLI (binary path), PYTHON (interpreter), WORK_DIR (scratch).
+# Inputs: NETTAG_CLI (binary), NETTAG_OBS (analyzer binary), PYTHON
+# (interpreter), WORK_DIR (scratch).
 
 file(MAKE_DIRECTORY ${WORK_DIR})
 
@@ -14,9 +17,10 @@ function(run_checked)
   endif()
 endfunction()
 
-# estimate with a JSONL trace and a manifest.
+# estimate with a JSONL trace, a manifest, and a profiler export.
 run_checked(${NETTAG_CLI} estimate --tags 400 --range 7 --trials 1
-  --trace ${WORK_DIR}/estimate.jsonl --metrics ${WORK_DIR}/estimate.json)
+  --trace ${WORK_DIR}/estimate.jsonl --metrics ${WORK_DIR}/estimate.json
+  --profile ${WORK_DIR}/estimate.trace.json)
 run_checked(${PYTHON} -m json.tool ${WORK_DIR}/estimate.json)
 run_checked(${PYTHON} -c "
 import json, sys
@@ -27,6 +31,55 @@ for line in lines:
 events = [json.loads(l)['event'] for l in lines]
 assert 'session_begin' in events and 'session_end' in events, events
 " ${WORK_DIR}/estimate.jsonl)
+
+# Chrome trace-event export must parse and carry complete ('X') events for
+# the instrumented spans.
+run_checked(${PYTHON} -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc['traceEvents'], 'profile has no events'
+names = {e['name'] for e in doc['traceEvents']}
+assert 'ccm.session' in names, names
+assert all(e['ph'] == 'X' for e in doc['traceEvents'])
+" ${WORK_DIR}/estimate.trace.json)
+
+# The analyzer must certify the trace alone and the trace/manifest pair
+# (the manifest carries trace.* counters from the AccountingSink).
+run_checked(${NETTAG_OBS} check ${WORK_DIR}/estimate.jsonl)
+run_checked(${NETTAG_OBS} check ${WORK_DIR}/estimate.jsonl ${WORK_DIR}/estimate.json)
+run_checked(${NETTAG_OBS} summarize ${WORK_DIR}/estimate.jsonl)
+run_checked(${PYTHON} -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc['metrics']['counters']
+for key in ('trace.events', 'trace.sessions', 'trace.bit_slots',
+            'trace.id_slots'):
+    assert key in counters, key
+assert 'profile' in doc and doc['profile']['spans'], 'profile section missing'
+" ${WORK_DIR}/estimate.json)
+
+# Negative check: corrupt one slot_batch slot counter; the analyzer must
+# refuse both the trace alone and the trace/manifest pair.
+run_checked(${PYTHON} -c "
+import json, sys
+lines = open(sys.argv[1]).readlines()
+out = []
+bumped = False
+for line in lines:
+    doc = json.loads(line)
+    if not bumped and doc['event'] == 'slot_batch':
+        doc['slots'] += 7
+        line = json.dumps(doc) + chr(10)
+        bumped = True
+    out.append(line)
+assert bumped, 'no slot_batch event to corrupt'
+open(sys.argv[2], 'w').writelines(out)
+" ${WORK_DIR}/estimate.jsonl ${WORK_DIR}/corrupt.jsonl)
+execute_process(COMMAND ${NETTAG_OBS} check ${WORK_DIR}/corrupt.jsonl
+  RESULT_VARIABLE corrupt_rc OUTPUT_QUIET ERROR_QUIET)
+if(corrupt_rc EQUAL 0)
+  message(FATAL_ERROR "nettag-obs check accepted a corrupted trace")
+endif()
 
 # detect with a CSV trace (header + rows expected).
 run_checked(${NETTAG_CLI} detect --tags 400 --range 7 --missing 10 --trials 1
@@ -52,9 +105,13 @@ run_checked(${PYTHON} -c "
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc['schema'] == 'nettag.sweep/1', doc.get('schema')
+assert doc['config'] == {'tags': 300, 'trials': 1, 'seed': 1}, doc['config']
 assert doc['rows'], 'sweep produced no rows'
+protocols = {row['protocol'] for row in doc['rows']}
+assert protocols == {'GMLE-CCM', 'TRP-CCM', 'SICP'}, protocols
 for row in doc['rows']:
-    assert {'r', 'protocol', 'time_slots'} <= set(row), row
+    assert {'r', 'protocol', 'time_slots', 'avg_sent_bits', 'max_sent_bits',
+            'avg_received_bits', 'max_received_bits'} <= set(row), row
 " ${WORK_DIR}/sweep.json)
 
 # manifest schema sanity.

@@ -14,10 +14,12 @@
 //   --trials T      independent trials             (default 1)
 //   --trace FILE    stream protocol events (.csv → CSV, else JSONL)
 //   --metrics FILE  write a run-manifest JSON artifact on exit
+//   --profile FILE  hierarchical profiler -> Chrome trace-event file
 // Command-specific options are listed in usage().
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,8 +32,10 @@
 #include "net/topology.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
 #include "protocols/estimator/estimation_protocol.hpp"
 #include "protocols/estimator/lof.hpp"
 #include "protocols/idcollect/cicp.hpp"
@@ -59,6 +63,7 @@ struct Options {
   // observability
   std::string trace_path;    ///< --trace: event stream destination
   std::string metrics_path;  ///< --metrics: run-manifest destination
+  std::string profile_path;  ///< --profile: Chrome trace-event destination
   bool json = false;         ///< sweep: JSON document instead of CSV
 };
 
@@ -68,6 +73,7 @@ void usage() {
       "  --tags N --range R --seed S --trials T\n"
       "  --trace FILE (event stream; .csv -> CSV, else JSONL)\n"
       "  --metrics FILE (run-manifest JSON artifact)\n"
+      "  --profile FILE (hierarchical profiler -> Chrome trace-event JSON)\n"
       "  detect:  --missing M (staged missing tags)  --delta D  --identify\n"
       "  search:  --wanted W (watch-list size)\n"
       "  collect: --cicp (contention-based instead of serialized)\n"
@@ -120,6 +126,10 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.metrics_path = v;
+    } else if (arg == "--profile") {
+      const char* v = next();
+      if (!v) return false;
+      opt.profile_path = v;
     } else if (arg == "--json") {
       opt.json = true;
     } else {
@@ -414,8 +424,13 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     obs::TraceFile trace(opt.trace_path);
-    obs::TraceSink& sink = trace.sink();
     obs::Registry registry;
+    // When tracing, tally trace.* totals into the registry so the trace and
+    // the manifest can be cross-validated by `nettag-obs check`.
+    std::optional<obs::AccountingSink> accounting;
+    if (trace.is_open()) accounting.emplace(trace.sink(), registry);
+    obs::TraceSink& sink = accounting ? *accounting : trace.sink();
+    if (!opt.profile_path.empty()) obs::Profiler::instance().enable();
 
     int rc = -1;
     if (cmd == "estimate") rc = cmd_estimate(opt, sink, registry);
@@ -427,6 +442,16 @@ int main(int argc, char** argv) {
     if (rc < 0) {
       usage();
       return 2;
+    }
+
+    obs::Profiler& profiler = obs::Profiler::instance();
+    if (!opt.profile_path.empty()) {
+      profiler.disable();
+      if (!profiler.write_chrome_trace(opt.profile_path)) {
+        std::fprintf(stderr, "error: cannot write profile to %s\n",
+                     opt.profile_path.c_str());
+        return 1;
+      }
     }
 
     if (!opt.metrics_path.empty()) {
@@ -445,6 +470,10 @@ int main(int argc, char** argv) {
         manifest.set("cicp", opt.use_cicp);
       }
       if (!opt.trace_path.empty()) manifest.set("trace", opt.trace_path);
+      if (!opt.profile_path.empty()) {
+        manifest.set("profile", opt.profile_path);
+        manifest.add_section("profile", profiler.to_json());
+      }
       if (!manifest.write_file(opt.metrics_path, &registry)) {
         std::fprintf(stderr, "error: cannot write metrics to %s\n",
                      opt.metrics_path.c_str());

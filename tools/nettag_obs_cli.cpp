@@ -1,0 +1,189 @@
+// nettag-obs — offline analyzer for the observability artifacts the
+// simulator writes (JSONL event traces and run-manifest JSON documents).
+//
+//   nettag-obs summarize TRACE [--session K]
+//       Reconstruct every CCM session from the trace and print the
+//       per-round / per-tier anatomy table (all sessions, or just #K).
+//
+//   nettag-obs check TRACE [MANIFEST]
+//       Validate the trace's internal slot accounting (session bracketing,
+//       monotone rounds, slot_batch sums vs session_end totals) and, when a
+//       manifest is given, cross-validate its trace.* counters against the
+//       trace.  Exit 1 on any violation.
+//
+//   nettag-obs diff BASELINE CANDIDATE [--timing-tolerance R] [--ignore KEY]
+//       Structurally compare two run manifests.  Deterministic values must
+//       match exactly; wall-clock (`*_ns`) only within --timing-tolerance
+//       (ignored entirely by default).  `written_at` and `git` are always
+//       ignored; --ignore adds more keys (dotted paths allowed).
+//
+// Exit codes (machine-readable, for CI gates):
+//   0   consistent / identical
+//   1   check violation or structural manifest mismatch
+//   2   timing drift only (diff with --timing-tolerance)
+//   64  usage error
+//   66  input missing or unparsable
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json_value.hpp"
+#include "obs/trace_analysis.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace {
+
+using namespace nettag;
+
+constexpr int kExitOk = 0;
+constexpr int kExitViolation = 1;
+constexpr int kExitTimingDrift = 2;
+constexpr int kExitUsage = 64;
+constexpr int kExitBadInput = 66;
+
+void usage() {
+  std::fputs(
+      "usage: nettag-obs <summarize|check|diff> ...\n"
+      "  summarize TRACE [--session K]   per-round/per-tier session anatomy\n"
+      "  check TRACE [MANIFEST]          validate trace accounting; with a\n"
+      "                                  manifest, cross-check its trace.*\n"
+      "                                  counters against the trace\n"
+      "  diff BASELINE CANDIDATE [--timing-tolerance R] [--ignore KEY]\n"
+      "                                  structural run-manifest comparison\n"
+      "exit: 0 ok, 1 violation/mismatch, 2 timing drift, 64 usage, "
+      "66 bad input\n",
+      stderr);
+}
+
+obs::JsonValue load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw nettag::Error("cannot open manifest: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return obs::parse_json(buf.str());
+}
+
+int cmd_summarize(const std::vector<std::string>& args) {
+  std::string trace_path;
+  long session_index = -1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--session") {
+      if (i + 1 >= args.size()) return kExitUsage;
+      session_index = std::atol(args[++i].c_str());
+    } else if (trace_path.empty()) {
+      trace_path = args[i];
+    } else {
+      return kExitUsage;
+    }
+  }
+  if (trace_path.empty()) return kExitUsage;
+
+  const auto events = obs::read_trace_file(trace_path);
+  const auto sessions = obs::summarize_sessions(events);
+  std::fputs(obs::render_trace_overview(sessions).c_str(), stdout);
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (session_index >= 0 && static_cast<long>(i) != session_index) continue;
+    std::printf("\nsession %zu\n", i);
+    std::fputs(obs::render_session_table(sessions[i]).c_str(), stdout);
+  }
+  if (session_index >= 0 &&
+      session_index >= static_cast<long>(sessions.size())) {
+    std::fprintf(stderr, "no session %ld (trace has %zu)\n", session_index,
+                 sessions.size());
+    return kExitUsage;
+  }
+  return kExitOk;
+}
+
+int cmd_check(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return kExitUsage;
+  const std::string& trace_path = args[0];
+
+  const auto events = obs::read_trace_file(trace_path);
+  obs::TraceCheckResult result = obs::check_trace(events);
+  if (args.size() == 2) {
+    const obs::JsonValue manifest = load_manifest(args[1]);
+    obs::check_manifest_against_trace(manifest, result);
+  }
+
+  std::printf(
+      "checked %lld events: %lld sessions, %lld bit slots, %lld id slots\n",
+      static_cast<long long>(result.events),
+      static_cast<long long>(result.sessions),
+      static_cast<long long>(result.bit_slots),
+      static_cast<long long>(result.id_slots));
+  for (const std::string& err : result.errors)
+    std::fprintf(stderr, "violation: %s\n", err.c_str());
+  if (!result.ok()) {
+    std::fprintf(stderr, "%zu violation(s)\n", result.errors.size());
+    return kExitViolation;
+  }
+  std::puts("trace is consistent");
+  return kExitOk;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  obs::ManifestDiffOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--timing-tolerance") {
+      if (i + 1 >= args.size()) return kExitUsage;
+      options.timing_tolerance = std::atof(args[++i].c_str());
+    } else if (args[i] == "--ignore") {
+      if (i + 1 >= args.size()) return kExitUsage;
+      options.ignore_keys.push_back(args[++i]);
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 2) return kExitUsage;
+
+  const obs::JsonValue baseline = load_manifest(paths[0]);
+  const obs::JsonValue candidate = load_manifest(paths[1]);
+  const obs::ManifestDiffResult result =
+      obs::diff_manifests(baseline, candidate, options);
+
+  for (const std::string& d : result.structural)
+    std::fprintf(stderr, "structural: %s\n", d.c_str());
+  for (const std::string& d : result.timing)
+    std::fprintf(stderr, "timing: %s\n", d.c_str());
+  if (!result.structural.empty()) {
+    std::fprintf(stderr, "%zu structural mismatch(es)\n",
+                 result.structural.size());
+    return kExitViolation;
+  }
+  if (!result.timing.empty()) {
+    std::fprintf(stderr, "%zu timing drift(s)\n", result.timing.size());
+    return kExitTimingDrift;
+  }
+  std::puts("manifests match");
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return kExitUsage;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  try {
+    int rc = kExitUsage;
+    if (cmd == "summarize") rc = cmd_summarize(args);
+    else if (cmd == "check") rc = cmd_check(args);
+    else if (cmd == "diff") rc = cmd_diff(args);
+    if (rc == kExitUsage) usage();
+    return rc;
+  } catch (const nettag::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitBadInput;
+  }
+}
