@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <optional>
+#include <thread>
 
 #include "ccm/session.hpp"
 #include "ccm/slot_selector.hpp"
+#include "common/error.hpp"
 #include "common/hash.hpp"
 #include "net/deployment.hpp"
 #include "net/topology.hpp"
@@ -17,10 +19,15 @@
 #include "obs/trace_analysis.hpp"
 #include "protocols/estimator/gmle.hpp"
 #include "protocols/idcollect/sicp.hpp"
+#include "trial_pool.hpp"
 
 namespace nettag::bench {
 
 namespace {
+
+/// Accounting of the last pooled run_sweep, for emit_manifest's "parallel"
+/// section.  Empty (jobs == 1) after a serial run.
+PoolStats g_last_pool;
 
 long env_long(const char* name, long fallback) {
   const char* v = std::getenv(name);
@@ -60,6 +67,128 @@ std::string proto_json(const ProtocolStats& p) {
   return out;
 }
 
+std::string pool_stats_json(const PoolStats& stats) {
+  std::string out = "{\"jobs\":" + std::to_string(stats.jobs);
+  out += ",\"wall_ns\":" + std::to_string(stats.wall_ns);
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < stats.workers.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"tasks\":" + std::to_string(stats.workers[i].tasks);
+    out += ",\"busy_ns\":" + std::to_string(stats.workers[i].busy_ns) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+/// Resolves the worker count for a sweep: at least 1, and serial whenever
+/// the (single-threaded) profiler is active.
+int effective_jobs(const ExperimentConfig& config) {
+  const int jobs = std::max(1, config.jobs);
+  if (jobs > 1 && !config.profile_path.empty()) {
+    std::fprintf(stderr,
+                 "note: NETTAG_PROFILE is set — the profiler is "
+                 "single-threaded, running trials serially\n");
+    return 1;
+  }
+  return jobs;
+}
+
+/// One (range, trial) cell — the body of the old serial trial loop, with
+/// the metric/trace destinations threaded through so the serial path writes
+/// straight into registry()/`sink` while workers write into the cell's own
+/// Registry and RecordingSink.
+void run_trial_cell(const ExperimentConfig& config, const ProtocolMask& mask,
+                    double r, int trial, obs::Registry& reg,
+                    obs::TraceSink& sink, TrialCell& cell) {
+  const obs::ProfileScope trial_span("sweep.trial");
+  const Seed trial_seed =
+      fmix64(config.master_seed ^ fmix64(static_cast<Seed>(trial) * 7919 +
+                                         static_cast<Seed>(r * 16)));
+  Rng rng(trial_seed);
+
+  SystemConfig sys;
+  sys.tag_count = config.tag_count;
+  sys.tag_to_tag_range_m = r;
+
+  // The paper places n tags and lets unreachable ones (possible at small
+  // r) sit out; they are "not in the system" (SII).
+  const net::Deployment deployment = net::make_disk_deployment(sys, rng);
+  const net::Topology topology(deployment, sys);
+  const int n = topology.tag_count();
+  cell.tiers = static_cast<double>(topology.tier_count());
+
+  ccm::CcmConfig ccm_cfg;
+  ccm_cfg.apply_geometry(sys);
+  // BFS depth can exceed the geometric estimate at sparse r: give the
+  // session a safe round budget and a checking frame sized to the real
+  // tier count (the reader would learn it from a first session).
+  ccm_cfg.checking_frame_length =
+      std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+  ccm_cfg.max_rounds = topology.tier_count() + 4;
+
+  reg.add("bench.trials");
+
+  if (mask.gmle) {
+    ccm::CcmConfig cfg = ccm_cfg;
+    cfg.frame_size = config.gmle_frame;
+    cfg.request_seed = fmix64(trial_seed ^ 0x61);
+    const double p = protocols::gmle_sampling_probability(
+        config.gmle_frame, static_cast<double>(config.tag_count));
+    sim::EnergyMeter energy(n);
+    const obs::ScopedTimer timer(reg, "bench.gmle_session");
+    const auto session = ccm::run_session(
+        topology, cfg, ccm::HashedSlotSelector(p), energy, sink);
+    reg.add("bench.sessions.gmle");
+    cell.gmle.ran = true;
+    cell.gmle.time_slots = static_cast<double>(session.clock.total_slots());
+    cell.gmle.energy = energy.summarize();
+  }
+  if (mask.trp) {
+    ccm::CcmConfig cfg = ccm_cfg;
+    cfg.frame_size = config.trp_frame;
+    cfg.request_seed = fmix64(trial_seed ^ 0x74);
+    sim::EnergyMeter energy(n);
+    const obs::ScopedTimer timer(reg, "bench.trp_session");
+    const auto session = ccm::run_session(
+        topology, cfg, ccm::HashedSlotSelector(1.0), energy, sink);
+    reg.add("bench.sessions.trp");
+    cell.trp.ran = true;
+    cell.trp.time_slots = static_cast<double>(session.clock.total_slots());
+    cell.trp.energy = energy.summarize();
+  }
+  if (mask.sicp) {
+    Rng sicp_rng(fmix64(trial_seed ^ 0x73));
+    sim::EnergyMeter energy(n);
+    const obs::ScopedTimer timer(reg, "bench.sicp_run");
+    const auto result =
+        protocols::run_sicp(topology, {}, sicp_rng, energy, sink);
+    reg.add("bench.sessions.sicp");
+    cell.sicp.ran = true;
+    cell.sicp.time_slots = static_cast<double>(result.clock.total_slots());
+    cell.sicp.energy = energy.summarize();
+  }
+}
+
+/// Accumulates one finished cell into its SweepPoint — the only place trial
+/// results enter the RunningStats, in both the serial and the pooled path,
+/// so the accumulation order (and therefore every bit of the output) is the
+/// serial trial order by construction.
+void fold_cell(SweepPoint& point, const TrialCell& cell) {
+  point.tiers.add(cell.tiers);
+  if (cell.gmle.ran) {
+    point.gmle.time_slots.add(cell.gmle.time_slots);
+    add_energy(point.gmle, cell.gmle.energy);
+  }
+  if (cell.trp.ran) {
+    point.trp.time_slots.add(cell.trp.time_slots);
+    add_energy(point.trp, cell.trp.energy);
+  }
+  if (cell.sicp.ran) {
+    point.sicp.time_slots.add(cell.sicp.time_slots);
+    add_energy(point.sicp, cell.sicp.energy);
+  }
+}
+
 std::string points_json(const std::vector<SweepPoint>& points) {
   std::string out = "[";
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -84,6 +213,7 @@ ExperimentConfig config_from_env() {
   config.trials = static_cast<int>(env_long("NETTAG_TRIALS", 3));
   config.master_seed =
       static_cast<Seed>(env_long("NETTAG_SEED", 20'190'707));
+  config.jobs = static_cast<int>(env_long("NETTAG_JOBS", 1));
   config.manifest_path = env_string("NETTAG_MANIFEST");
   config.trace_path = env_string("NETTAG_TRACE");
   config.profile_path = env_string("NETTAG_PROFILE");
@@ -92,6 +222,13 @@ ExperimentConfig config_from_env() {
 
 obs::Registry& registry() {
   static obs::Registry instance;
+  // The registry is single-threaded: bind it to the first thread that asks
+  // (the bench driver, which also runs the fold step) and refuse everything
+  // else, so a worker cell reaching for it fails loudly instead of racing.
+  static const std::thread::id owner = std::this_thread::get_id();
+  NETTAG_EXPECTS(std::this_thread::get_id() == owner,
+                 "bench::registry() is bound to the driver thread — worker "
+                 "cells must accumulate into their own obs::Registry");
   return instance;
 }
 
@@ -116,84 +253,72 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& config,
   const obs::ScopedTimer sweep_timer(registry(), "bench.sweep");
   const obs::ProfileScope sweep_span("sweep.run");
 
-  for (const double r : ranges) {
-    const obs::ScopedTimer point_timer(registry(), "bench.sweep_point");
-    const obs::ProfileScope point_span("sweep.point");
-    registry().add("bench.points");
-    SweepPoint point;
-    point.tag_range_m = r;
+  const int jobs = effective_jobs(config);
+  const int trials = config.trials;
 
-    SystemConfig sys;
-    sys.tag_count = config.tag_count;
-    sys.tag_to_tag_range_m = r;
-
-    for (int trial = 0; trial < config.trials; ++trial) {
-      const obs::ProfileScope trial_span("sweep.trial");
-      const Seed trial_seed =
-          fmix64(config.master_seed ^ fmix64(static_cast<Seed>(trial) * 7919 +
-                                             static_cast<Seed>(r * 16)));
-      Rng rng(trial_seed);
-      // The paper places n tags and lets unreachable ones (possible at small
-      // r) sit out; they are "not in the system" (SII).
-      const net::Deployment deployment = net::make_disk_deployment(sys, rng);
-      const net::Topology topology(deployment, sys);
-      const int n = topology.tag_count();
-      point.tiers.add(static_cast<double>(topology.tier_count()));
-
-      ccm::CcmConfig ccm_cfg;
-      ccm_cfg.apply_geometry(sys);
-      // BFS depth can exceed the geometric estimate at sparse r: give the
-      // session a safe round budget and a checking frame sized to the real
-      // tier count (the reader would learn it from a first session).
-      ccm_cfg.checking_frame_length =
-          std::max(sys.checking_frame_length(), 2 * topology.tier_count());
-      ccm_cfg.max_rounds = topology.tier_count() + 4;
-
-      registry().add("bench.trials");
-
-      if (mask.gmle) {
-        ccm::CcmConfig cfg = ccm_cfg;
-        cfg.frame_size = config.gmle_frame;
-        cfg.request_seed = fmix64(trial_seed ^ 0x61);
-        const double p = protocols::gmle_sampling_probability(
-            config.gmle_frame, static_cast<double>(config.tag_count));
-        sim::EnergyMeter energy(n);
-        const obs::ScopedTimer timer(registry(), "bench.gmle_session");
-        const auto session = ccm::run_session(
-            topology, cfg, ccm::HashedSlotSelector(p), energy, active);
-        registry().add("bench.sessions.gmle");
-        point.gmle.time_slots.add(
-            static_cast<double>(session.clock.total_slots()));
-        add_energy(point.gmle, energy.summarize());
+  if (jobs <= 1 || trials <= 0 || ranges.empty()) {
+    // Serial reference path: cells run and fold inline, in trial order.
+    g_last_pool = {};
+    for (const double r : ranges) {
+      const obs::ScopedTimer point_timer(registry(), "bench.sweep_point");
+      const obs::ProfileScope point_span("sweep.point");
+      registry().add("bench.points");
+      SweepPoint point;
+      point.tag_range_m = r;
+      for (int trial = 0; trial < trials; ++trial) {
+        TrialCell cell;
+        run_trial_cell(config, mask, r, trial, registry(), active, cell);
+        fold_cell(point, cell);
       }
-      if (mask.trp) {
-        ccm::CcmConfig cfg = ccm_cfg;
-        cfg.frame_size = config.trp_frame;
-        cfg.request_seed = fmix64(trial_seed ^ 0x74);
-        sim::EnergyMeter energy(n);
-        const obs::ScopedTimer timer(registry(), "bench.trp_session");
-        const auto session = ccm::run_session(
-            topology, cfg, ccm::HashedSlotSelector(1.0), energy, active);
-        registry().add("bench.sessions.trp");
-        point.trp.time_slots.add(
-            static_cast<double>(session.clock.total_slots()));
-        add_energy(point.trp, energy.summarize());
-      }
-      if (mask.sicp) {
-        Rng sicp_rng(fmix64(trial_seed ^ 0x73));
-        sim::EnergyMeter energy(n);
-        const obs::ScopedTimer timer(registry(), "bench.sicp_run");
-        const auto result =
-            protocols::run_sicp(topology, {}, sicp_rng, energy, active);
-        registry().add("bench.sessions.sicp");
-        point.sicp.time_slots.add(
-            static_cast<double>(result.clock.total_slots()));
-        add_energy(point.sicp, energy.summarize());
-      }
+      std::fprintf(stderr, "  r=%4.1f done (%d trials)\n", r, trials);
+      points.push_back(point);
     }
-    std::fprintf(stderr, "  r=%4.1f done (%d trials)\n", r, config.trials);
-    points.push_back(point);
+    return points;
   }
+
+  // Pooled path: every (range, trial) cell computes independently on a
+  // worker with its own Rng/EnergyMeter/Registry/RecordingSink; the fold —
+  // on this thread, in strictly serial cell order — merges metrics, replays
+  // trace events, and accumulates the RunningStats exactly as the serial
+  // loop would, so the output is bit-identical at any worker count.
+  const int cell_count = static_cast<int>(ranges.size()) * trials;
+  TrialPool pool(jobs);
+  std::optional<obs::ScopedTimer> point_timer;
+
+  const auto compute = [&](int c, TrialCell& cell) {
+    const double r = ranges[static_cast<std::size_t>(c / trials)];
+    const int trial = c % trials;
+    cell.traced = active.enabled();
+    obs::TraceSink& cell_sink =
+        cell.traced ? static_cast<obs::TraceSink&>(cell.trace)
+                    : obs::null_sink();
+    run_trial_cell(config, mask, r, trial, cell.registry, cell_sink, cell);
+  };
+
+  const auto fold = [&](int c, TrialCell& cell) {
+    const std::size_t range_index = static_cast<std::size_t>(c / trials);
+    const int trial = c % trials;
+    if (trial == 0) {
+      point_timer.emplace(registry(), "bench.sweep_point");
+      registry().add("bench.points");
+      points.emplace_back();
+      points.back().tag_range_m = ranges[range_index];
+    }
+    registry().merge(cell.registry);
+    if (cell.traced) obs::replay_events(cell.trace.events(), active);
+    cell.trace.clear();  // events are replayed; free them before the next cell
+    fold_cell(points.back(), cell);
+    if (trial == trials - 1) {
+      // Progress is reported only here, from the ordered fold on the driver
+      // thread — workers never write to stderr, so parallel runs cannot
+      // interleave garbled output.
+      std::fprintf(stderr, "  r=%4.1f done (%d trials)\n",
+                   ranges[range_index], trials);
+      point_timer.reset();
+    }
+  };
+
+  g_last_pool = pool.run(cell_count, compute, fold);
   return points;
 }
 
@@ -219,6 +344,14 @@ bool emit_manifest(const std::string& bench_name,
   if (!config.trace_path.empty()) manifest.set("trace", config.trace_path);
   if (!config.profile_path.empty())
     manifest.set("profile", config.profile_path);
+  // Worker count and per-worker timing are execution identity, not results:
+  // under SOURCE_DATE_EPOCH (reproducible manifests, the baseline gate) they
+  // are omitted — like redacted wall-clock — so jobs=1 and jobs=N runs stay
+  // byte-identical.  Outside reproducible mode they make speedup observable.
+  if (!obs::manifest_reproducible() && g_last_pool.jobs > 1) {
+    manifest.set("jobs", g_last_pool.jobs);
+    manifest.add_section("parallel", pool_stats_json(g_last_pool));
+  }
   manifest.add_section("points", points_json(points));
   if (!config.profile_path.empty())
     manifest.add_section("profile", profiler.to_json());

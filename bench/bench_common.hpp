@@ -10,6 +10,11 @@
 //   NETTAG_TRIALS   — trials per point   (default 3; paper used 100)
 //   NETTAG_TAGS     — deployment size    (default 10,000, the paper's n)
 //   NETTAG_SEED     — master seed        (default 20190707)
+//   NETTAG_JOBS     — worker threads for trial execution (default 1 =
+//                     serial).  Results are bit-identical to the serial
+//                     order at any value (see bench/trial_pool.hpp); the
+//                     profiler is single-threaded, so NETTAG_PROFILE forces
+//                     serial execution
 //   NETTAG_MANIFEST — write a run-manifest JSON artifact to this path
 //   NETTAG_TRACE    — stream protocol events here (.csv → CSV, else JSONL)
 //   NETTAG_PROFILE  — enable the hierarchical profiler and write a Chrome
@@ -62,6 +67,10 @@ struct ExperimentConfig {
   FrameSize gmle_frame = 1671;    // SVI-B for alpha=95%, beta=5%
   FrameSize trp_frame = 3228;     // SVI-B for delta=95%, m=50
 
+  /// NETTAG_JOBS: worker threads for the (range, trial) cells; 1 = the
+  /// serial reference path.  Any value produces bit-identical artifacts.
+  int jobs = 1;
+
   /// NETTAG_MANIFEST: run-manifest artifact destination ("" = off).
   std::string manifest_path;
   /// NETTAG_TRACE: event-trace destination ("" = off).
@@ -70,7 +79,11 @@ struct ExperimentConfig {
   std::string profile_path;
 };
 
-/// The process-wide metrics registry the benches accumulate into.
+/// The process-wide metrics registry the benches accumulate into.  It is
+/// single-threaded by design and bound to the first thread that touches it
+/// (the bench driver); calling it from any other thread throws.  Parallel
+/// trial cells therefore accumulate into their own obs::Registry, which the
+/// fold step — running on the driver thread — merges back in serial order.
 [[nodiscard]] obs::Registry& registry();
 
 /// Reads NETTAG_* overrides into the paper-default config.
@@ -83,6 +96,14 @@ struct ExperimentConfig {
 /// so the manifest carries `trace.*` totals for `nettag-obs check`; when
 /// `config.profile_path` is set the hierarchical profiler is enabled for the
 /// duration of the sweep.
+///
+/// With `config.jobs` > 1 the (range, trial) cells run on a TrialPool and
+/// are folded back in serial trial order: the returned SweepPoint vector,
+/// the merged registry(), and the event stream written to `sink` are
+/// bit-identical to the jobs=1 path (tests/trial_pool_test.cpp).  Progress
+/// lines are emitted from the ordered fold only, never from workers.
+/// Profiled runs (NETTAG_PROFILE) force jobs=1 — the profiler is
+/// single-threaded.
 [[nodiscard]] std::vector<SweepPoint> run_sweep(
     const ExperimentConfig& config, const std::vector<double>& ranges,
     const ProtocolMask& mask, obs::TraceSink& sink = obs::null_sink());

@@ -1,0 +1,73 @@
+#include "trial_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace nettag::bench {
+
+namespace {
+
+/// Test hook state: when set, worker start order is shuffled with this seed.
+/// Read/written only from the thread driving run() (the test main thread).
+std::optional<Seed> g_shuffle_seed;
+
+[[nodiscard]] std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TrialPool::TrialPool(int jobs) : jobs_(std::max(1, jobs)) {}
+
+void TrialPool::set_schedule_shuffle_for_testing(Seed seed) {
+  g_shuffle_seed = seed;
+}
+
+void TrialPool::clear_schedule_shuffle_for_testing() {
+  g_shuffle_seed.reset();
+}
+
+PoolStats TrialPool::run(int cell_count,
+                         const std::function<void(int, TrialCell&)>& compute,
+                         const std::function<void(int, TrialCell&)>& fold) {
+  NETTAG_EXPECTS(cell_count >= 0, "cell count must be non-negative");
+  PoolStats stats;
+  stats.jobs = jobs_;
+  if (cell_count == 0) return stats;
+
+  // One slot per cell, constructed up front: TrialCell is not movable (it
+  // owns a RecordingSink), so the vector is sized once and never resized.
+  std::vector<TrialCell> cells(static_cast<std::size_t>(cell_count));
+
+  OrderedRunOptions options;
+  options.jobs = jobs_;
+  std::vector<int> schedule;
+  if (g_shuffle_seed) {
+    schedule.resize(static_cast<std::size_t>(cell_count));
+    std::iota(schedule.begin(), schedule.end(), 0);
+    Rng rng(*g_shuffle_seed);
+    for (std::size_t i = schedule.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.below(i));
+      std::swap(schedule[i - 1], schedule[j]);
+    }
+    options.schedule = &schedule;
+  }
+
+  const std::int64_t started = steady_now_ns();
+  stats.workers = run_ordered(
+      cell_count,
+      [&](int i) { compute(i, cells[static_cast<std::size_t>(i)]); },
+      [&](int i) { fold(i, cells[static_cast<std::size_t>(i)]); }, options);
+  stats.wall_ns = steady_now_ns() - started;
+  return stats;
+}
+
+}  // namespace nettag::bench

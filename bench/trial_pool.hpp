@@ -1,0 +1,82 @@
+// Parallel trial execution for the bench harness.
+//
+// Every (range, trial) cell of a sweep is an independent unit of work: its
+// seed is derived from (master_seed, r, trial) alone, and it gets its own
+// Rng, EnergyMeter, obs::Registry, and RecordingSink.  TrialPool runs those
+// cells on `common/thread_pool.hpp` workers and folds the results back on
+// the calling thread in serial trial order — Registry::merge for metrics,
+// ordered replay of recorded trace events, RunningStats accumulation in the
+// same order as the serial loop — so every artifact (manifests, traces, the
+// committed bench/baselines/) is byte-identical whether NETTAG_JOBS=1 or N.
+//
+// The bit-identity contract is locked down by tests/trial_pool_test.cpp:
+// a jobs=1 vs jobs=4 differential plus a scheduling-permutation stress test
+// (see set_schedule_shuffle_for_testing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::bench {
+
+/// Everything one (range, trial) cell produces on a worker thread.  The fold
+/// step consumes it on the calling thread; the mutex in the pool's done-flag
+/// handoff orders the worker's writes before the fold's reads.
+struct TrialCell {
+  struct ProtoOut {
+    bool ran = false;
+    double time_slots = 0.0;
+    sim::EnergySummary energy{};
+  };
+
+  double tiers = 0.0;  ///< BFS tier count of this cell's topology
+  ProtoOut gmle;
+  ProtoOut trp;
+  ProtoOut sicp;
+  obs::Registry registry;    ///< per-cell metrics, merged in fold order
+  obs::RecordingSink trace;  ///< per-cell events, replayed in fold order
+  bool traced = false;       ///< whether `trace` was fed (caller sink on)
+};
+
+/// Aggregate accounting of one pooled run, recorded into the manifest's
+/// "parallel" section (outside reproducible mode — see emit_manifest).
+struct PoolStats {
+  int jobs = 1;
+  std::int64_t wall_ns = 0;
+  std::vector<WorkerStats> workers;
+};
+
+/// Worker pool over trial cells with a serially-ordered fold.
+class TrialPool {
+ public:
+  /// `jobs` <= 1 still goes through the pool machinery (one worker); the
+  /// bench harness bypasses TrialPool entirely for the serial default path.
+  explicit TrialPool(int jobs);
+
+  /// Runs `compute(i, cell)` for every cell index on the workers, then
+  /// `fold(i, cell)` on the calling thread in strictly ascending i.  The
+  /// fold may mutate the cell (e.g. drop its recorded events once replayed).
+  PoolStats run(int cell_count,
+                const std::function<void(int, TrialCell&)>& compute,
+                const std::function<void(int, TrialCell&)>& fold);
+
+  /// Test-only: permute the order workers *start* cells with a deterministic
+  /// Fisher-Yates shuffle of the given seed.  The fold order — and therefore
+  /// every folded artifact — must be invariant under any such shuffle, which
+  /// is exactly what the determinism stress test asserts.
+  static void set_schedule_shuffle_for_testing(Seed seed);
+  /// Restores FIFO scheduling.
+  static void clear_schedule_shuffle_for_testing();
+
+ private:
+  int jobs_;
+};
+
+}  // namespace nettag::bench

@@ -1,0 +1,128 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace nettag {
+
+void FoldOrderGuard::check(int index) {
+  NETTAG_EXPECTS(index == next_,
+                 "parallel fold out of serial task order");
+  ++next_;
+}
+
+namespace {
+
+[[nodiscard]] std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::vector<WorkerStats> run_ordered(int task_count,
+                                     const std::function<void(int)>& body,
+                                     const std::function<void(int)>& fold,
+                                     const OrderedRunOptions& options) {
+  NETTAG_EXPECTS(task_count >= 0, "task count must be non-negative");
+  NETTAG_EXPECTS(body != nullptr, "task body must be callable");
+  NETTAG_EXPECTS(fold != nullptr, "fold must be callable");
+  if (task_count == 0) return {};
+
+  const std::size_t n = static_cast<std::size_t>(task_count);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (options.schedule != nullptr) {
+    NETTAG_EXPECTS(options.schedule->size() == n,
+                   "schedule must cover every task exactly once");
+    std::vector<char> seen(n, 0);
+    for (const int i : *options.schedule) {
+      NETTAG_EXPECTS(i >= 0 && i < task_count && !seen[static_cast<std::size_t>(i)],
+                     "schedule must be a permutation of the task indices");
+      seen[static_cast<std::size_t>(i)] = 1;
+    }
+    order = *options.schedule;
+  }
+
+  const int jobs = std::clamp(options.jobs, 1, task_count);
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::vector<char> done(n, 0);           // guarded by mutex
+  std::exception_ptr first_error;         // guarded by mutex
+  std::atomic<int> next_slot{0};
+  std::atomic<bool> cancelled{false};
+  std::vector<WorkerStats> stats(static_cast<std::size_t>(jobs));
+
+  const auto worker = [&](std::size_t worker_index) {
+    WorkerStats& mine = stats[worker_index];
+    for (;;) {
+      if (cancelled.load(std::memory_order_relaxed)) return;
+      const int slot = next_slot.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= task_count) return;
+      const int task = order[static_cast<std::size_t>(slot)];
+      const std::int64_t start = now_ns();
+      try {
+        body(task);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+      mine.busy_ns += now_ns() - start;
+      ++mine.tasks;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        done[static_cast<std::size_t>(task)] = 1;
+      }
+      done_cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w)
+    pool.emplace_back(worker, static_cast<std::size_t>(w));
+
+  // Fold on the calling thread, strictly in task order.  The guard turns an
+  // ordering bug in this loop into a loud failure instead of silent drift.
+  FoldOrderGuard guard;
+  std::exception_ptr fold_error;
+  for (int i = 0; i < task_count; ++i) {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      done_cv.wait(lock, [&] {
+        return done[static_cast<std::size_t>(i)] != 0 ||
+               first_error != nullptr;
+      });
+      if (first_error) break;
+    }
+    try {
+      guard.check(i);
+      fold(i);
+    } catch (...) {
+      fold_error = std::current_exception();
+      cancelled.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+
+  for (std::thread& t : pool) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  if (fold_error) std::rethrow_exception(fold_error);
+  return stats;
+}
+
+}  // namespace nettag

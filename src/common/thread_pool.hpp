@@ -1,0 +1,66 @@
+// Worker-pool execution with a deterministic, serially-ordered reduction.
+//
+// The simulator's trials are embarrassingly parallel, but every artifact the
+// repo gates on (run manifests, trace streams, bench/baselines/) is defined
+// by the *serial* trial order.  `run_ordered` therefore splits work from
+// reduction: task bodies run on worker threads in any order, while the fold
+// callback runs on the calling thread in strictly ascending task order —
+// task i's fold is invoked only after body(i) finished, and always after
+// fold(i-1).  With per-task state (one Rng, one Registry, one EnergyMeter,
+// one RecordingSink per task) the folded output is bit-identical to a
+// serial run, which tests/trial_pool_test.cpp locks in.
+//
+// The `schedule` option exists for those determinism tests: it permutes the
+// order in which workers *start* tasks, shaking out any hidden dependence on
+// completion order without relying on scheduler luck.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace nettag {
+
+/// Per-worker accounting of one `run_ordered` call (for run manifests).
+struct WorkerStats {
+  std::int64_t tasks = 0;    ///< bodies this worker executed
+  std::int64_t busy_ns = 0;  ///< wall-clock spent inside bodies
+};
+
+struct OrderedRunOptions {
+  /// Worker threads to spawn (clamped to [1, task_count]).
+  int jobs = 1;
+  /// Test-only: a permutation of [0, task_count) giving the order in which
+  /// workers claim tasks.  nullptr = FIFO.  The fold order is unaffected —
+  /// that is the invariant under test.
+  const std::vector<int>* schedule = nullptr;
+};
+
+/// Runs `body(i)` for every i in [0, task_count) on a pool of worker
+/// threads, and `fold(i)` on the calling thread in strictly ascending i
+/// (enforced by a FoldOrderGuard).  Folding overlaps with computation: the
+/// caller folds task i as soon as its body completed, while workers push on.
+/// The first exception thrown by a body or fold cancels the remaining tasks
+/// and is rethrown here after the pool drains.  Returns per-worker stats
+/// (one entry per spawned worker).
+std::vector<WorkerStats> run_ordered(int task_count,
+                                     const std::function<void(int)>& body,
+                                     const std::function<void(int)>& fold,
+                                     const OrderedRunOptions& options = {});
+
+/// Enforces the serial-order contract of a parallel reduction: `check(i)`
+/// must be called with i = 0, 1, 2, ... — anything else throws.  run_ordered
+/// guards its fold loop with one of these; it is public so tests can prove
+/// a deliberately misordered fold is caught, not silently accepted.
+class FoldOrderGuard {
+ public:
+  void check(int index);
+
+  /// The next index `check` will accept.
+  [[nodiscard]] int next() const noexcept { return next_; }
+
+ private:
+  int next_ = 0;
+};
+
+}  // namespace nettag

@@ -36,6 +36,8 @@ bool source_date_epoch(long long* epoch = nullptr) {
 
 }  // namespace
 
+bool manifest_reproducible() { return source_date_epoch(); }
+
 std::string iso8601_utc_now() {
   std::time_t now = std::time(nullptr);
   if (long long pinned = 0; source_date_epoch(&pinned))

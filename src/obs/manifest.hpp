@@ -34,6 +34,13 @@ namespace nettag::obs {
 /// Current wall-clock time as ISO-8601 UTC (e.g. "2026-08-07T12:00:00Z").
 [[nodiscard]] std::string iso8601_utc_now();
 
+/// True when a valid SOURCE_DATE_EPOCH pins this process's manifests to be
+/// byte-reproducible.  Writers must then omit execution-identity values —
+/// wall-clock nanoseconds (redacted by to_json) but also worker counts and
+/// per-worker timings — so the same run produces the same bytes regardless
+/// of machine, wall-clock, or NETTAG_JOBS.
+[[nodiscard]] bool manifest_reproducible();
+
 /// Builder for one manifest document.
 class RunManifest {
  public:

@@ -30,6 +30,14 @@ void JsonlSink::emit(const char* kind, std::initializer_list<Field> fields) {
   out_ << "}\n";
 }
 
+void JsonlSink::emit_rendered(const std::string& kind,
+                              const std::vector<RenderedField>& fields) {
+  out_ << "{\"seq\":" << seq_++ << ",\"event\":" << json_string(kind);
+  for (const auto& [key, value] : fields)
+    out_ << "," << json_string(key) << ":" << value;
+  out_ << "}\n";
+}
+
 namespace {
 
 /// CSV-quotes `cell` when it contains a delimiter, quote, or newline.
@@ -57,6 +65,19 @@ void CsvSink::emit(const char* kind, std::initializer_list<Field> fields) {
     for (const Field& f : fields) {
       out_ << seq_ << "," << csv_cell(kind) << "," << csv_cell(f.key()) << ","
            << csv_cell(f.value_json()) << "\n";
+    }
+  }
+  ++seq_;
+}
+
+void CsvSink::emit_rendered(const std::string& kind,
+                            const std::vector<RenderedField>& fields) {
+  if (fields.empty()) {
+    out_ << seq_ << "," << csv_cell(kind) << ",,\n";
+  } else {
+    for (const auto& [key, value] : fields) {
+      out_ << seq_ << "," << csv_cell(kind) << "," << csv_cell(key) << ","
+           << csv_cell(value) << "\n";
     }
   }
   ++seq_;
@@ -95,6 +116,19 @@ void RecordingSink::emit(const char* kind,
   e.fields.reserve(fields.size());
   for (const Field& f : fields) e.fields.emplace_back(f.key(), f.value_json());
   events_.push_back(std::move(e));
+}
+
+void RecordingSink::emit_rendered(const std::string& kind,
+                                  const std::vector<RenderedField>& fields) {
+  Event e;
+  e.kind = kind;
+  e.fields = fields;
+  events_.push_back(std::move(e));
+}
+
+void replay_events(const std::vector<RecordingSink::Event>& events,
+                   TraceSink& sink) {
+  for (const RecordingSink::Event& e : events) sink.replay(e.kind, e.fields);
 }
 
 }  // namespace nettag::obs

@@ -72,8 +72,18 @@ class Field {
   };
 };
 
+/// One field already rendered to its JSON literal — the form RecordingSink
+/// stores and the replay path consumes.
+using RenderedField = std::pair<std::string, std::string>;
+
 /// Destination of trace events.  Derived sinks implement `emit`; call sites
 /// go through `event`, which skips the virtual dispatch when disabled.
+///
+/// Sinks also accept *replayed* events — events a RecordingSink captured on
+/// a worker thread, re-emitted later in serial order.  Every sink in this
+/// header renders a replayed event byte-identically to the original emit
+/// (Field::value_json is applied exactly once, at recording time), which is
+/// what lets the parallel trial path reproduce a serial trace stream.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -86,10 +96,18 @@ class TraceSink {
     if (enabled_) emit(kind, fields);
   }
 
+  /// Re-emits an already-rendered event (see RecordingSink::Event).
+  void replay(const std::string& kind,
+              const std::vector<RenderedField>& fields) {
+    if (enabled_) emit_rendered(kind, fields);
+  }
+
  protected:
   explicit TraceSink(bool enabled) noexcept : enabled_(enabled) {}
   virtual void emit(const char* kind,
                     std::initializer_list<Field> fields) = 0;
+  virtual void emit_rendered(const std::string& kind,
+                             const std::vector<RenderedField>& fields) = 0;
 
  private:
   bool enabled_;
@@ -103,6 +121,8 @@ class NullSink final : public TraceSink {
  private:
   void emit(const char* /*kind*/,
             std::initializer_list<Field> /*fields*/) override {}
+  void emit_rendered(const std::string& /*kind*/,
+                     const std::vector<RenderedField>& /*fields*/) override {}
 };
 
 /// The process-wide default sink (a shared NullSink).
@@ -117,6 +137,8 @@ class JsonlSink final : public TraceSink {
 
  private:
   void emit(const char* kind, std::initializer_list<Field> fields) override;
+  void emit_rendered(const std::string& kind,
+                     const std::vector<RenderedField>& fields) override;
 
   std::ostream& out_;
   std::uint64_t seq_ = 0;
@@ -130,6 +152,8 @@ class CsvSink final : public TraceSink {
 
  private:
   void emit(const char* kind, std::initializer_list<Field> fields) override;
+  void emit_rendered(const std::string& kind,
+                     const std::vector<RenderedField>& fields) override;
 
   std::ostream& out_;
   std::uint64_t seq_ = 0;
@@ -160,7 +184,7 @@ class RecordingSink final : public TraceSink {
   struct Event {
     std::string kind;
     /// Field values pre-rendered as JSON literals, in emission order.
-    std::vector<std::pair<std::string, std::string>> fields;
+    std::vector<RenderedField> fields;
 
     /// JSON-literal value of `key`; empty string when absent.
     [[nodiscard]] std::string value(const std::string& key) const;
@@ -176,8 +200,17 @@ class RecordingSink final : public TraceSink {
 
  private:
   void emit(const char* kind, std::initializer_list<Field> fields) override;
+  void emit_rendered(const std::string& kind,
+                     const std::vector<RenderedField>& fields) override;
 
   std::vector<Event> events_;
 };
+
+/// Replays recorded events into `sink` in recorded order.  Replaying several
+/// RecordingSinks in serial trial order reconstructs, byte for byte, the
+/// stream a serial run would have written (sequence numbers are assigned by
+/// the destination sink at replay time).
+void replay_events(const std::vector<RecordingSink::Event>& events,
+                   TraceSink& sink);
 
 }  // namespace nettag::obs

@@ -65,6 +65,30 @@ void AccountingSink::emit(const char* kind,
   inner_.event(kind, fields);
 }
 
+void AccountingSink::emit_rendered(const std::string& kind,
+                                   const std::vector<RenderedField>& fields) {
+  registry_.add(kEventsCounter);
+  if (kind == "session_end") {
+    registry_.add(kSessionsCounter);
+  } else if (kind == "slot_batch") {
+    std::string batch_kind;
+    std::int64_t slots = 0;
+    for (const auto& [key, value] : fields) {
+      if (key == "kind") {
+        batch_kind = value;  // quoted, e.g. "\"frame\""
+        if (batch_kind.size() >= 2) {
+          batch_kind = batch_kind.substr(1, batch_kind.size() - 2);
+        }
+      } else if (key == "slots") {
+        slots = std::atoll(value.c_str());
+      }
+    }
+    if (is_bit_slot_kind(batch_kind)) registry_.add(kBitSlotsCounter, slots);
+    if (is_id_slot_kind(batch_kind)) registry_.add(kIdSlotsCounter, slots);
+  }
+  inner_.replay(kind, fields);
+}
+
 // ---------------------------------------------------------------------------
 // Trace checking
 // ---------------------------------------------------------------------------

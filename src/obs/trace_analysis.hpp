@@ -42,6 +42,8 @@ class AccountingSink final : public TraceSink {
 
  private:
   void emit(const char* kind, std::initializer_list<Field> fields) override;
+  void emit_rendered(const std::string& kind,
+                     const std::vector<RenderedField>& fields) override;
 
   TraceSink& inner_;
   Registry& registry_;

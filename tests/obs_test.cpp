@@ -504,5 +504,168 @@ TEST_F(SourceDateEpochTest, InvalidEpochFallsBackToRealClock) {
             std::string::npos);
 }
 
+// --------------------------------------------------------------------------
+// Replay: RecordingSink events re-emitted in serial order must reproduce a
+// direct emit byte for byte — the invariant the parallel trial fold rests on.
+// --------------------------------------------------------------------------
+
+/// Emits a fixed little event stream covering every Field value type.
+void emit_sample_events(TraceSink& sink) {
+  sink.event("session_begin", {{"tags", 12}, {"frame", 128}});
+  sink.event("slot_batch",
+             {{"kind", "bit"}, {"slots", 7}, {"fill", 0.25}, {"ok", true}});
+  sink.event("session_end", {{"total_slots", 135}});
+}
+
+TEST(Replay, JsonlReplayMatchesDirectEmitBytes) {
+  std::ostringstream direct;
+  {
+    JsonlSink sink(direct);
+    emit_sample_events(sink);
+  }
+
+  RecordingSink recorded;
+  emit_sample_events(recorded);
+  std::ostringstream replayed;
+  {
+    JsonlSink sink(replayed);
+    replay_events(recorded.events(), sink);
+  }
+  EXPECT_EQ(replayed.str(), direct.str());
+}
+
+TEST(Replay, CsvReplayMatchesDirectEmitBytes) {
+  std::ostringstream direct;
+  {
+    CsvSink sink(direct);
+    emit_sample_events(sink);
+  }
+
+  RecordingSink recorded;
+  emit_sample_events(recorded);
+  std::ostringstream replayed;
+  {
+    CsvSink sink(replayed);
+    replay_events(recorded.events(), sink);
+  }
+  EXPECT_EQ(replayed.str(), direct.str());
+}
+
+TEST(Replay, RecordingSinkReplayPreservesOrderAndFields) {
+  RecordingSink recorded;
+  emit_sample_events(recorded);
+
+  RecordingSink copy;
+  replay_events(recorded.events(), copy);
+  ASSERT_EQ(copy.events().size(), recorded.events().size());
+  for (std::size_t i = 0; i < recorded.events().size(); ++i) {
+    EXPECT_EQ(copy.events()[i].kind, recorded.events()[i].kind);
+    EXPECT_EQ(copy.events()[i].fields, recorded.events()[i].fields);
+  }
+}
+
+TEST(Replay, SequenceNumbersAssignedByDestinationAtReplayTime) {
+  // Two per-trial recordings replayed back to back must produce one
+  // continuous seq stream, exactly as if a serial run had emitted both.
+  RecordingSink first;
+  first.event("session_begin", {{"tags", 1}});
+  RecordingSink second;
+  second.event("session_begin", {{"tags", 2}});
+
+  std::ostringstream out;
+  {
+    JsonlSink sink(out);
+    replay_events(first.events(), sink);
+    replay_events(second.events(), sink);
+  }
+  EXPECT_NE(out.str().find("{\"seq\":0,\"event\":\"session_begin\",\"tags\":1}"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("{\"seq\":1,\"event\":\"session_begin\",\"tags\":2}"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Registry::merge as a reduction operator: associativity means any fold
+// shape over worker registries gives the same result.
+// --------------------------------------------------------------------------
+
+/// A registry with every metric family populated; values are small integers
+/// and dyadic fractions so double arithmetic is exact.
+Registry sample_registry(int salt) {
+  Registry reg;
+  reg.add("runs", salt);
+  reg.add("shared", 2 * salt + 1);
+  reg.set("gauge", 0.5 * salt);
+  reg.record_timing("t", 100 * salt);
+  reg.record_timing("t", 25 * salt);
+  reg.observe("h", 1.0 * salt);
+  reg.observe("h", 0.25 * salt);
+  return reg;
+}
+
+TEST(Registry, MergeIsAssociativeAcrossThreeRegistries) {
+  const Registry a = sample_registry(1);
+  const Registry b = sample_registry(2);
+  const Registry c = sample_registry(5);
+
+  Registry left;  // (a + b) + c
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+
+  Registry bc;  // a + (b + c)
+  bc.merge(b);
+  bc.merge(c);
+  Registry right;
+  right.merge(a);
+  right.merge(bc);
+
+  EXPECT_EQ(left.to_json(), right.to_json());
+}
+
+TEST(Registry, MergeMatchesSerialAccumulation) {
+  // Three "worker" registries merged in trial order == one registry that saw
+  // every update in that order (gauges are last-write-wins either way).
+  Registry serial;
+  Registry merged;
+  for (int salt : {3, 1, 4}) {
+    serial.merge(sample_registry(salt));
+    Registry worker = sample_registry(salt);
+    merged.merge(worker);
+  }
+  EXPECT_EQ(merged.to_json(), serial.to_json());
+}
+
+// --------------------------------------------------------------------------
+// EnergyMeter: summarize after split-then-merge equals one big meter — the
+// per-cell meters of the parallel path lose nothing.
+// --------------------------------------------------------------------------
+
+TEST(EnergySplitMerge, SummarizeEquivalentToSingleMeter) {
+  constexpr int kTags = 16;
+  sim::EnergyMeter whole(kTags);
+  sim::EnergyMeter part1(kTags);
+  sim::EnergyMeter part2(kTags);
+  for (int t = 0; t < kTags; ++t) {
+    const auto tag = static_cast<TagIndex>(t);
+    whole.add_sent(tag, 3 * t);
+    whole.add_received(tag, t + 1);
+    part1.add_sent(tag, 3 * t);
+    part2.add_received(tag, t + 1);
+  }
+  whole.charge_broadcast(8);
+  part2.charge_broadcast(8);
+
+  part1.merge(part2);
+  const sim::EnergySummary a = whole.summarize();
+  const sim::EnergySummary b = part1.summarize();
+  EXPECT_EQ(a.max_sent_bits, b.max_sent_bits);
+  EXPECT_EQ(a.avg_sent_bits, b.avg_sent_bits);
+  EXPECT_EQ(a.max_received_bits, b.max_received_bits);
+  EXPECT_EQ(a.avg_received_bits, b.avg_received_bits);
+  EXPECT_EQ(whole.total_sent(), part1.total_sent());
+  EXPECT_EQ(whole.total_received(), part1.total_received());
+}
+
 }  // namespace
 }  // namespace nettag::obs

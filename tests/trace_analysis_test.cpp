@@ -172,6 +172,50 @@ TEST(AccountingSink, CountersExistAtZeroBeforeAnyEvent) {
   EXPECT_EQ(reg.counters().at("trace.id_slots").value, 0);
 }
 
+TEST(AccountingSink, ReplayedEventsTallyLikeStreamedOnes) {
+  // Stream a session directly through one AccountingSink, and record +
+  // replay the same session through another: both the tallies and the
+  // forwarded byte stream must match — the parallel trial fold feeds
+  // AccountingSink through the replay path only.
+  std::ostringstream direct_out;
+  Registry direct_reg;
+  std::ostringstream replayed_out;
+  Registry replayed_reg;
+  RecordingSink recorded;
+
+  const auto star = net::make_star(40);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 128;
+  cfg.request_seed = 99;
+  cfg.checking_frame_length = 2 * (star.tier_count() + 1);
+  {
+    JsonlSink jsonl(direct_out);
+    AccountingSink sink(jsonl, direct_reg);
+    sim::EnergyMeter energy(star.tag_count());
+    (void)ccm::run_session(star, cfg, ccm::HashedSlotSelector(0.7), energy,
+                           sink);
+  }
+  {
+    sim::EnergyMeter energy(star.tag_count());
+    (void)ccm::run_session(star, cfg, ccm::HashedSlotSelector(0.7), energy,
+                           recorded);
+  }
+  {
+    JsonlSink jsonl(replayed_out);
+    AccountingSink sink(jsonl, replayed_reg);
+    replay_events(recorded.events(), sink);
+  }
+
+  EXPECT_EQ(replayed_out.str(), direct_out.str());
+  for (const char* name :
+       {"trace.events", "trace.sessions", "trace.bit_slots",
+        "trace.id_slots"}) {
+    EXPECT_EQ(replayed_reg.counters().at(name).value,
+              direct_reg.counters().at(name).value)
+        << name;
+  }
+}
+
 TEST(CheckTrace, FlagsCorruptedSlotCounts) {
   TracedRun run = traced_session_run();
   for (TraceEvent& e : run.events) {

@@ -1,0 +1,308 @@
+// Determinism suite for parallel trial execution.
+//
+// The contract under test: running a sweep with NETTAG_JOBS=N produces
+// artifacts — SweepPoint aggregates, the merged registry, the replayed trace
+// stream, the run manifest — byte-identical to the serial (jobs=1) path, for
+// any N and any worker scheduling order.  The suite covers the ordered-fold
+// primitive (run_ordered / FoldOrderGuard), a jobs=1 vs jobs=4 differential
+// over figure- and table-style configs, a scheduling-permutation stress
+// test, and negative tests proving a misordered fold or replay is caught,
+// not silently accepted.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
+#include "trial_pool.hpp"
+
+namespace nettag {
+namespace {
+
+// ---------------------------------------------------------------------------
+// run_ordered: the pool primitive.
+
+TEST(TrialPoolOrdered, FoldsInStrictlyAscendingOrder) {
+  constexpr int kTasks = 64;
+  std::vector<int> squares(kTasks, 0);
+  std::vector<int> fold_order;
+  OrderedRunOptions options;
+  options.jobs = 4;
+  const auto stats = run_ordered(
+      kTasks, [&](int i) { squares[static_cast<std::size_t>(i)] = i * i; },
+      [&](int i) { fold_order.push_back(i); }, options);
+
+  ASSERT_EQ(fold_order.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(fold_order[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(squares[static_cast<std::size_t>(i)], i * i);
+  }
+  ASSERT_EQ(stats.size(), 4u);
+  std::int64_t total_tasks = 0;
+  for (const WorkerStats& w : stats) total_tasks += w.tasks;
+  EXPECT_EQ(total_tasks, kTasks);
+}
+
+TEST(TrialPoolOrdered, JobsClampedToTaskCount) {
+  std::vector<int> fold_order;
+  OrderedRunOptions options;
+  options.jobs = 8;
+  const auto stats = run_ordered(
+      2, [](int) {}, [&](int i) { fold_order.push_back(i); }, options);
+  EXPECT_EQ(stats.size(), 2u);
+  EXPECT_EQ(fold_order, (std::vector<int>{0, 1}));
+}
+
+TEST(TrialPoolOrdered, ReversedScheduleStillFoldsInOrder) {
+  constexpr int kTasks = 16;
+  std::vector<int> schedule;
+  for (int i = kTasks - 1; i >= 0; --i) schedule.push_back(i);
+  std::vector<int> fold_order;
+  OrderedRunOptions options;
+  options.jobs = 3;
+  options.schedule = &schedule;
+  (void)run_ordered(
+      kTasks, [](int) {}, [&](int i) { fold_order.push_back(i); }, options);
+  ASSERT_EQ(fold_order.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i)
+    EXPECT_EQ(fold_order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TrialPoolOrdered, RejectsNonPermutationSchedule) {
+  const std::vector<int> bad{0, 0, 2};
+  OrderedRunOptions options;
+  options.jobs = 2;
+  options.schedule = &bad;
+  EXPECT_THROW(run_ordered(3, [](int) {}, [](int) {}, options), Error);
+}
+
+TEST(TrialPoolOrdered, BodyExceptionPropagatesToCaller) {
+  OrderedRunOptions options;
+  options.jobs = 4;
+  std::atomic<int> folded{0};
+  EXPECT_THROW(run_ordered(
+                   32,
+                   [](int i) {
+                     if (i == 5) throw std::runtime_error("body failed");
+                   },
+                   [&](int) { folded.fetch_add(1); }, options),
+               std::runtime_error);
+  EXPECT_LT(folded.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// FoldOrderGuard: the negative test — a misordered fold is caught.
+
+TEST(TrialPoolGuard, AcceptsSerialOrder) {
+  FoldOrderGuard guard;
+  guard.check(0);
+  guard.check(1);
+  guard.check(2);
+  EXPECT_EQ(guard.next(), 3);
+}
+
+TEST(TrialPoolGuard, MisorderedFoldThrows) {
+  FoldOrderGuard guard;
+  guard.check(0);
+  guard.check(1);
+  EXPECT_THROW(guard.check(3), Error);  // skipped 2
+}
+
+TEST(TrialPoolGuard, NonZeroFirstIndexThrows) {
+  FoldOrderGuard guard;
+  EXPECT_THROW(guard.check(1), Error);
+}
+
+TEST(TrialPoolGuard, RepeatedIndexThrows) {
+  FoldOrderGuard guard;
+  guard.check(0);
+  EXPECT_THROW(guard.check(0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Replay ordering: the byte stream is order-sensitive, so a misordered fold
+// would change artifacts — it cannot hide.
+
+TEST(TrialPoolReplay, MisorderedReplayChangesBytes) {
+  obs::RecordingSink recorded;
+  recorded.event("slot_batch", {{"kind", "bit"}, {"slots", 3}});
+  recorded.event("slot_batch", {{"kind", "id"}, {"slots", 5}});
+
+  std::ostringstream in_order;
+  {
+    obs::JsonlSink sink(in_order);
+    obs::replay_events(recorded.events(), sink);
+  }
+  std::vector<obs::RecordingSink::Event> reversed(recorded.events().rbegin(),
+                                                  recorded.events().rend());
+  std::ostringstream misordered;
+  {
+    obs::JsonlSink sink(misordered);
+    obs::replay_events(reversed, sink);
+  }
+  EXPECT_NE(in_order.str(), misordered.str());
+}
+
+// ---------------------------------------------------------------------------
+// The jobs=1 vs jobs=N differential over real sweeps.
+
+/// Everything a sweep run leaves behind, captured for exact comparison.
+struct SweepRun {
+  std::vector<bench::SweepPoint> points;
+  std::string registry_json;  ///< merged bench::registry(), timings redacted
+  std::string trace_jsonl;    ///< the replayed event stream, rendered
+};
+
+SweepRun run_once(int jobs, const bench::ProtocolMask& mask,
+                  const std::vector<double>& ranges, int tags, int trials) {
+  bench::ExperimentConfig cfg;
+  cfg.tag_count = tags;
+  cfg.trials = trials;
+  cfg.master_seed = 20'190'707;
+  cfg.jobs = jobs;
+  bench::registry().clear();
+
+  obs::RecordingSink recorder;
+  SweepRun run;
+  run.points = bench::run_sweep(cfg, ranges, mask, recorder);
+  run.registry_json = bench::registry().to_json(/*redact_timing_ns=*/true);
+  std::ostringstream rendered;
+  {
+    obs::JsonlSink jsonl(rendered);
+    obs::replay_events(recorder.events(), jsonl);
+  }
+  run.trace_jsonl = rendered.str();
+  return run;
+}
+
+void expect_stats_eq(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());      // exact: bit-identity, not tolerance
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+void expect_proto_eq(const bench::ProtocolStats& a,
+                     const bench::ProtocolStats& b) {
+  expect_stats_eq(a.time_slots, b.time_slots);
+  expect_stats_eq(a.max_sent_bits, b.max_sent_bits);
+  expect_stats_eq(a.max_received_bits, b.max_received_bits);
+  expect_stats_eq(a.avg_sent_bits, b.avg_sent_bits);
+  expect_stats_eq(a.avg_received_bits, b.avg_received_bits);
+}
+
+void expect_runs_eq(const SweepRun& a, const SweepRun& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].tag_range_m, b.points[i].tag_range_m);
+    expect_stats_eq(a.points[i].tiers, b.points[i].tiers);
+    expect_proto_eq(a.points[i].gmle, b.points[i].gmle);
+    expect_proto_eq(a.points[i].trp, b.points[i].trp);
+    expect_proto_eq(a.points[i].sicp, b.points[i].sicp);
+  }
+  EXPECT_EQ(a.registry_json, b.registry_json);
+  EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+}
+
+TEST(TrialPoolDifferential, FigureConfigJobs4MatchesSerial) {
+  const bench::ProtocolMask mask{true, true, true};  // fig4: all protocols
+  const std::vector<double> ranges{2.0, 6.0};
+  const SweepRun serial = run_once(1, mask, ranges, 150, 3);
+  const SweepRun pooled = run_once(4, mask, ranges, 150, 3);
+  expect_runs_eq(serial, pooled);
+}
+
+TEST(TrialPoolDifferential, TiersOnlyConfigMatchesSerial) {
+  const bench::ProtocolMask mask{};  // fig3: BFS tiers, no protocol sessions
+  const std::vector<double> ranges{2.0, 6.0, 10.0};
+  const SweepRun serial = run_once(1, mask, ranges, 200, 4);
+  const SweepRun pooled = run_once(4, mask, ranges, 200, 4);
+  expect_runs_eq(serial, pooled);
+}
+
+TEST(TrialPoolDifferential, TableConfigJobs4MatchesSerial) {
+  const bench::ProtocolMask mask{true, true, false};  // tables: CCM sessions
+  const std::vector<double> ranges{2.0, 6.0, 10.0};   // table_ranges subset
+  const SweepRun serial = run_once(1, mask, ranges, 150, 2);
+  const SweepRun pooled = run_once(4, mask, ranges, 150, 2);
+  expect_runs_eq(serial, pooled);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism stress: the folded output must be invariant under arbitrary
+// worker scheduling, not just the FIFO order a quiet machine happens to run.
+
+TEST(TrialPoolShuffle, FoldedOutputInvariantUnderScheduleShuffles) {
+  const bench::ProtocolMask mask{true, true, true};
+  const std::vector<double> ranges{2.0, 6.0};
+  const SweepRun reference = run_once(1, mask, ranges, 120, 3);
+  for (Seed seed = 1; seed <= 10; ++seed) {
+    bench::TrialPool::set_schedule_shuffle_for_testing(seed);
+    const SweepRun shuffled = run_once(3, mask, ranges, 120, 3);
+    bench::TrialPool::clear_schedule_shuffle_for_testing();
+    SCOPED_TRACE("shuffle seed " + std::to_string(seed));
+    expect_runs_eq(reference, shuffled);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manifests: byte-identical under SOURCE_DATE_EPOCH; execution identity
+// (worker counts, per-worker timing) recorded only outside that mode.
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string emit_manifest_for(int jobs, const std::string& path) {
+  bench::ExperimentConfig cfg;
+  cfg.tag_count = 120;
+  cfg.trials = 2;
+  cfg.master_seed = 20'190'707;
+  cfg.jobs = jobs;
+  cfg.manifest_path = path;
+  bench::registry().clear();
+  const auto points = bench::run_sweep(cfg, {2.0, 6.0},
+                                       bench::ProtocolMask{true, false, false});
+  EXPECT_TRUE(bench::emit_manifest("trial_pool_test", cfg, points));
+  return read_file(path);
+}
+
+TEST(TrialPoolManifest, BytesIdenticalUnderSourceDateEpoch) {
+  ASSERT_EQ(setenv("SOURCE_DATE_EPOCH", "1562457600", 1), 0);
+  const std::string serial =
+      emit_manifest_for(1, testing::TempDir() + "trial_pool_m1.json");
+  const std::string pooled =
+      emit_manifest_for(4, testing::TempDir() + "trial_pool_m4.json");
+  unsetenv("SOURCE_DATE_EPOCH");
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, pooled);
+  EXPECT_EQ(serial.find("\"parallel\""), std::string::npos);
+}
+
+TEST(TrialPoolManifest, ParallelSectionRecordedOutsideReproducibleMode) {
+  unsetenv("SOURCE_DATE_EPOCH");
+  const std::string pooled =
+      emit_manifest_for(4, testing::TempDir() + "trial_pool_live4.json");
+  EXPECT_NE(pooled.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(pooled.find("\"parallel\""), std::string::npos);
+  EXPECT_NE(pooled.find("\"workers\""), std::string::npos);
+
+  const std::string serial =
+      emit_manifest_for(1, testing::TempDir() + "trial_pool_live1.json");
+  EXPECT_EQ(serial.find("\"parallel\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nettag

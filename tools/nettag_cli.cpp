@@ -15,6 +15,9 @@
 //   --trace FILE    stream protocol events (.csv → CSV, else JSONL)
 //   --metrics FILE  write a run-manifest JSON artifact on exit
 //   --profile FILE  hierarchical profiler -> Chrome trace-event file
+//   --jobs N        worker threads for `sweep` trial cells (default 1).
+//                   Output is bit-identical to --jobs 1 at any N; --profile
+//                   forces serial execution (the profiler is single-threaded).
 // Command-specific options are listed in usage().
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +31,7 @@
 #include "common/config.hpp"
 #include "common/hash.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "net/deployment.hpp"
 #include "net/topology.hpp"
 #include "obs/json.hpp"
@@ -65,7 +69,15 @@ struct Options {
   std::string metrics_path;  ///< --metrics: run-manifest destination
   std::string profile_path;  ///< --profile: Chrome trace-event destination
   bool json = false;         ///< sweep: JSON document instead of CSV
+  int jobs = 1;              ///< sweep: worker threads (bit-identical output)
 };
+
+/// Worker threads `sweep` actually runs with: --profile wins (the profiler
+/// is single-threaded), otherwise --jobs clamped to >= 1.
+int effective_sweep_jobs(const Options& opt) {
+  if (!opt.profile_path.empty()) return 1;
+  return std::max(1, opt.jobs);
+}
 
 void usage() {
   std::puts(
@@ -77,7 +89,8 @@ void usage() {
       "  detect:  --missing M (staged missing tags)  --delta D  --identify\n"
       "  search:  --wanted W (watch-list size)\n"
       "  collect: --cicp (contention-based instead of serialized)\n"
-      "  sweep:   --json (machine-readable document instead of CSV)");
+      "  sweep:   --json (machine-readable document instead of CSV)\n"
+      "           --jobs N (worker threads; output bit-identical to serial)");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -132,6 +145,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.profile_path = v;
     } else if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return false;
+      opt.jobs = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -335,53 +352,147 @@ std::string sweep_row_json(const SweepRow& row) {
   return out;
 }
 
+/// Everything one (r, trial) cell of the sweep produces.  Workers fill one
+/// cell each against their own RecordingSink; the ordered fold replays the
+/// events and accumulates the aggregates exactly like the serial loop.
+struct SweepCell {
+  double gmle_slots = 0.0;
+  double trp_slots = 0.0;
+  double sicp_slots = 0.0;
+  sim::EnergySummary gmle{};
+  sim::EnergySummary trp{};
+  sim::EnergySummary sicp{};
+  obs::RecordingSink trace;
+  bool traced = false;
+};
+
+/// The body of one sweep trial: seeds depend only on (opt, r, t), so cells
+/// are order-independent and safe to compute on any thread.
+void run_sweep_cell(const Options& opt, double r, int t, obs::TraceSink& sink,
+                    SweepCell& cell) {
+  Options point = opt;
+  point.range = r;
+  Scenario sc = build_scenario(point, t);
+  {
+    ccm::CcmConfig cfg = sc.ccm;
+    cfg.frame_size = 1671;
+    cfg.request_seed = fmix64(opt.seed + static_cast<Seed>(t));
+    sim::EnergyMeter energy(sc.topology.tag_count());
+    const double p = 1.59 * 1671.0 / opt.tags;
+    const auto s = ccm::run_session(sc.topology, cfg,
+                                    ccm::HashedSlotSelector(p), energy, sink);
+    cell.gmle_slots = static_cast<double>(s.clock.total_slots());
+    cell.gmle = energy.summarize();
+  }
+  {
+    ccm::CcmConfig cfg = sc.ccm;
+    cfg.frame_size = 3228;
+    cfg.request_seed = fmix64(opt.seed + static_cast<Seed>(t) + 1);
+    sim::EnergyMeter energy(sc.topology.tag_count());
+    const auto s = ccm::run_session(
+        sc.topology, cfg, ccm::HashedSlotSelector(1.0), energy, sink);
+    cell.trp_slots = static_cast<double>(s.clock.total_slots());
+    cell.trp = energy.summarize();
+  }
+  {
+    Rng rng(fmix64(opt.seed ^ 0x51c9 ^ static_cast<Seed>(t)));
+    sim::EnergyMeter energy(sc.topology.tag_count());
+    const auto s = protocols::run_sicp(sc.topology, {}, rng, energy, sink);
+    cell.sicp_slots = static_cast<double>(s.clock.total_slots());
+    cell.sicp = energy.summarize();
+  }
+}
+
 int cmd_sweep(const Options& opt, obs::TraceSink& sink, obs::Registry& reg) {
+  std::vector<double> ranges;
+  for (double r = 2.0; r <= 10.0; r += 1.0) ranges.push_back(r);
+
+  const int jobs = effective_sweep_jobs(opt);
+  if (opt.jobs > 1 && jobs == 1)
+    std::fprintf(stderr,
+                 "note: --profile forces --jobs 1 (profiler is "
+                 "single-threaded)\n");
+
   std::vector<SweepRow> rows;
-  for (double r = 2.0; r <= 10.0; r += 1.0) {
-    const obs::ScopedTimer timer(reg, "cli.sweep_point");
-    Options point = opt;
-    point.range = r;
+  if (jobs <= 1) {
+    for (const double r : ranges) {
+      const obs::ScopedTimer timer(reg, "cli.sweep_point");
+      RunningStats time_gmle;
+      RunningStats time_trp;
+      RunningStats time_sicp;
+      sim::EnergySummary gmle_sum{};
+      sim::EnergySummary trp_sum{};
+      sim::EnergySummary sicp_sum{};
+      for (int t = 0; t < opt.trials; ++t) {
+        reg.add("cli.trials");
+        SweepCell cell;
+        run_sweep_cell(opt, r, t, sink, cell);
+        time_gmle.add(cell.gmle_slots);
+        gmle_sum = cell.gmle;
+        time_trp.add(cell.trp_slots);
+        trp_sum = cell.trp;
+        time_sicp.add(cell.sicp_slots);
+        sicp_sum = cell.sicp;
+      }
+      rows.push_back({r, "GMLE-CCM", time_gmle.mean(), gmle_sum});
+      rows.push_back({r, "TRP-CCM", time_trp.mean(), trp_sum});
+      rows.push_back({r, "SICP", time_sicp.mean(), sicp_sum});
+    }
+  } else {
+    // Pooled path: one cell per (r, trial), folded back on this thread in
+    // strictly ascending cell order so rows, registry contents, and the
+    // replayed event stream match the serial path byte for byte.
+    const int cell_count = static_cast<int>(ranges.size()) * opt.trials;
+    std::vector<SweepCell> cells(static_cast<std::size_t>(cell_count));
+    std::optional<obs::ScopedTimer> point_timer;
     RunningStats time_gmle;
     RunningStats time_trp;
     RunningStats time_sicp;
     sim::EnergySummary gmle_sum{};
     sim::EnergySummary trp_sum{};
     sim::EnergySummary sicp_sum{};
-    for (int t = 0; t < opt.trials; ++t) {
-      reg.add("cli.trials");
-      Scenario sc = build_scenario(point, t);
-      {
-        ccm::CcmConfig cfg = sc.ccm;
-        cfg.frame_size = 1671;
-        cfg.request_seed = fmix64(opt.seed + static_cast<Seed>(t));
-        sim::EnergyMeter energy(sc.topology.tag_count());
-        const double p = 1.59 * 1671.0 / opt.tags;
-        const auto s = ccm::run_session(
-            sc.topology, cfg, ccm::HashedSlotSelector(p), energy, sink);
-        time_gmle.add(static_cast<double>(s.clock.total_slots()));
-        gmle_sum = energy.summarize();
-      }
-      {
-        ccm::CcmConfig cfg = sc.ccm;
-        cfg.frame_size = 3228;
-        cfg.request_seed = fmix64(opt.seed + static_cast<Seed>(t) + 1);
-        sim::EnergyMeter energy(sc.topology.tag_count());
-        const auto s = ccm::run_session(
-            sc.topology, cfg, ccm::HashedSlotSelector(1.0), energy, sink);
-        time_trp.add(static_cast<double>(s.clock.total_slots()));
-        trp_sum = energy.summarize();
-      }
-      {
-        Rng rng(fmix64(opt.seed ^ 0x51c9 ^ static_cast<Seed>(t)));
-        sim::EnergyMeter energy(sc.topology.tag_count());
-        const auto s = protocols::run_sicp(sc.topology, {}, rng, energy, sink);
-        time_sicp.add(static_cast<double>(s.clock.total_slots()));
-        sicp_sum = energy.summarize();
-      }
-    }
-    rows.push_back({r, "GMLE-CCM", time_gmle.mean(), gmle_sum});
-    rows.push_back({r, "TRP-CCM", time_trp.mean(), trp_sum});
-    rows.push_back({r, "SICP", time_sicp.mean(), sicp_sum});
+    OrderedRunOptions pool;
+    pool.jobs = jobs;
+    run_ordered(
+        cell_count,
+        [&](int c) {
+          SweepCell& cell = cells[static_cast<std::size_t>(c)];
+          cell.traced = sink.enabled();
+          obs::TraceSink& cell_sink =
+              cell.traced ? static_cast<obs::TraceSink&>(cell.trace)
+                          : obs::null_sink();
+          run_sweep_cell(opt, ranges[static_cast<std::size_t>(c / opt.trials)],
+                         c % opt.trials, cell_sink, cell);
+        },
+        [&](int c) {
+          SweepCell& cell = cells[static_cast<std::size_t>(c)];
+          const int t = c % opt.trials;
+          const double r = ranges[static_cast<std::size_t>(c / opt.trials)];
+          if (t == 0) {
+            point_timer.emplace(reg, "cli.sweep_point");
+            time_gmle = RunningStats{};
+            time_trp = RunningStats{};
+            time_sicp = RunningStats{};
+          }
+          reg.add("cli.trials");
+          if (cell.traced) {
+            obs::replay_events(cell.trace.events(), sink);
+            cell.trace.clear();
+          }
+          time_gmle.add(cell.gmle_slots);
+          gmle_sum = cell.gmle;
+          time_trp.add(cell.trp_slots);
+          trp_sum = cell.trp;
+          time_sicp.add(cell.sicp_slots);
+          sicp_sum = cell.sicp;
+          if (t == opt.trials - 1) {
+            rows.push_back({r, "GMLE-CCM", time_gmle.mean(), gmle_sum});
+            rows.push_back({r, "TRP-CCM", time_trp.mean(), trp_sum});
+            rows.push_back({r, "SICP", time_sicp.mean(), sicp_sum});
+            point_timer.reset();
+          }
+        },
+        pool);
   }
 
   if (opt.json) {
@@ -468,6 +579,13 @@ int main(int argc, char** argv) {
         manifest.set("wanted", opt.wanted);
       } else if (cmd == "collect") {
         manifest.set("cicp", opt.use_cicp);
+      }
+      // Worker count is execution identity, not configuration: recording it
+      // would break the --jobs byte-identity contract under reproducible
+      // manifests, so it is only written outside that mode.
+      if (cmd == "sweep" && effective_sweep_jobs(opt) > 1 &&
+          !obs::manifest_reproducible()) {
+        manifest.set("jobs", effective_sweep_jobs(opt));
       }
       if (!opt.trace_path.empty()) manifest.set("trace", opt.trace_path);
       if (!opt.profile_path.empty()) {
