@@ -1,27 +1,28 @@
 # ctest script: the manifest regression gate, run locally against the
-# committed baseline.
+# committed baselines.
 #
-# Regenerates the fig4 manifest at the pinned baseline configuration
-# (NETTAG_TAGS=400, NETTAG_TRIALS=1, NETTAG_SEED=20190707,
-# SOURCE_DATE_EPOCH=1562457600 — see tools/refresh_baselines.sh) and
-# requires:
+# Regenerates the fig4 manifest at both pinned baseline configurations
+# (NETTAG_TAGS=400 and the larger-N NETTAG_TAGS=2000 point; NETTAG_TRIALS=1,
+# NETTAG_SEED=20190707, SOURCE_DATE_EPOCH=1562457600 — see
+# tools/refresh_baselines.sh) and requires:
 #   * `nettag-obs check` certifies the fresh trace/manifest pair;
-#   * `nettag-obs diff` finds no structural drift vs bench/baselines/;
+#   * `nettag-obs diff` finds no structural drift vs bench/baselines/ at
+#     either tag count;
 #   * two runs with the same SOURCE_DATE_EPOCH are byte-identical.
 #
 # Inputs: FIG4 (bench binary), NETTAG_OBS (analyzer binary), WORK_DIR
-# (scratch), BASELINE (committed fig4 baseline manifest).
+# (scratch), BASELINE (committed fig4 baseline manifest, N=400),
+# BASELINE_N2000 (committed fig4 baseline manifest, N=2000).
 
 file(MAKE_DIRECTORY ${WORK_DIR})
 
-set(pinned_env
-  NETTAG_TAGS=400
-  NETTAG_TRIALS=1
-  NETTAG_SEED=20190707
-  SOURCE_DATE_EPOCH=1562457600)
-
-function(run_fig4 manifest trace)
-  set(env ${pinned_env} NETTAG_MANIFEST=${manifest})
+function(run_fig4 tags manifest trace)
+  set(env
+    NETTAG_TAGS=${tags}
+    NETTAG_TRIALS=1
+    NETTAG_SEED=20190707
+    SOURCE_DATE_EPOCH=1562457600
+    NETTAG_MANIFEST=${manifest})
   if(trace)
     list(APPEND env NETTAG_TRACE=${trace})
   endif()
@@ -34,7 +35,7 @@ function(run_fig4 manifest trace)
 endfunction()
 
 # Traced run: the analyzer must certify the trace/manifest pair.
-run_fig4(${WORK_DIR}/fig4_traced.json ${WORK_DIR}/fig4.jsonl)
+run_fig4(400 ${WORK_DIR}/fig4_traced.json ${WORK_DIR}/fig4.jsonl)
 execute_process(
   COMMAND ${NETTAG_OBS} check ${WORK_DIR}/fig4.jsonl ${WORK_DIR}/fig4_traced.json
   RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
@@ -44,8 +45,8 @@ endif()
 
 # Untraced runs: byte-identical under a pinned SOURCE_DATE_EPOCH, and no
 # structural drift against the committed baseline.
-run_fig4(${WORK_DIR}/fig4_a.json "")
-run_fig4(${WORK_DIR}/fig4_b.json "")
+run_fig4(400 ${WORK_DIR}/fig4_a.json "")
+run_fig4(400 ${WORK_DIR}/fig4_b.json "")
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E compare_files
     ${WORK_DIR}/fig4_a.json ${WORK_DIR}/fig4_b.json
@@ -64,4 +65,16 @@ if(NOT rc EQUAL 0)
     "refresh with tools/refresh_baselines.sh\n${err}")
 endif()
 
-message(STATUS "manifest regression gate OK")
+# Larger-N pinned point: scale-dependent regressions (deeper tiers, more
+# indicator segments, bigger registration windows) that N=400 cannot see.
+run_fig4(2000 ${WORK_DIR}/fig4_n2000.json "")
+execute_process(
+  COMMAND ${NETTAG_OBS} diff ${BASELINE_N2000} ${WORK_DIR}/fig4_n2000.json
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "fig4 N=2000 manifest drifted from bench/baselines (${rc}) — if "
+    "intentional, refresh with tools/refresh_baselines.sh\n${err}")
+endif()
+
+message(STATUS "manifest regression gate OK (N=400 and N=2000)")

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ccm/session.hpp"
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "geom/point.hpp"
 #include "net/topology.hpp"
@@ -47,6 +48,14 @@ MultiReaderResult run_all_readers(const net::Deployment& deployment,
     result.per_reader.push_back(std::move(session));
   }
   for (const bool c : covered) result.covered_tags += c ? 1 : 0;
+  if (contract::kChecked && contract::enabled()) {
+    NETTAG_ENSURE(result.covered_tags <= deployment.tag_count(),
+                  "covered more tags than the deployment holds");
+    for (const auto& session : result.per_reader) {
+      NETTAG_ENSURE(session.bitmap.is_subset_of(result.bitmap),
+                    "a per-reader bitmap escaped the multi-reader union");
+    }
+  }
   return result;
 }
 
@@ -90,6 +99,24 @@ ReaderSchedule schedule_readers(const net::Deployment& deployment,
       }
     }
     if (!placed) schedule.groups.push_back({reader});
+  }
+  if (contract::kChecked && contract::enabled()) {
+    // The colouring must partition the readers: every reader in exactly one
+    // group, no group empty.
+    std::vector<char> seen(static_cast<std::size_t>(m), 0);
+    int placed_total = 0;
+    for (const auto& group : schedule.groups) {
+      NETTAG_INVARIANT(!group.empty(), "reader schedule built an empty group");
+      for (const int reader : group) {
+        NETTAG_INVARIANT(reader >= 0 && reader < m &&
+                             !seen[static_cast<std::size_t>(reader)],
+                         "reader schedule is not a partition of the readers");
+        seen[static_cast<std::size_t>(reader)] = 1;
+        ++placed_total;
+      }
+    }
+    NETTAG_ENSURE(placed_total == m,
+                  "reader schedule dropped or duplicated a reader");
   }
   return schedule;
 }

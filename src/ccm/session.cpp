@@ -1,8 +1,10 @@
 #include "ccm/session.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "obs/profiler.hpp"
@@ -21,6 +23,80 @@ struct TagState {
 
   /// Slots heard in the previous frame, still owed to downstream neighbors.
   std::vector<SlotIndex> pending;
+};
+
+/// Contract bookkeeping for NETTAG_CHECKED builds (see common/contract.hpp).
+/// Audits the paper's convergence theorem: a slot picked by an (active-)
+/// tier-k tag reaches the reader's bitmap by round k on a reliable channel
+/// (SIII-C, Theorem 1).  Pure reads only — never consulted by the protocol.
+struct SessionAudit {
+  static constexpr int kNoTier = std::numeric_limits<int>::max();
+
+  std::vector<int> active_tier;  // BFS tier within the active subgraph
+  std::vector<int> earliest;     // slot -> min active tier of round-1 pickers
+
+  /// BFS from the reader restricted to `active` tags: contract tiers match
+  /// topology tiers when every tag is covered, and degrade gracefully in
+  /// multi-reader sessions where uncovered tags sit out the relay fabric.
+  void init(const net::Topology& topology, const std::vector<char>& active,
+            FrameSize f) {
+    const int n = topology.tag_count();
+    active_tier.assign(static_cast<std::size_t>(n), kNoTier);
+    earliest.assign(static_cast<std::size_t>(f), kNoTier);
+    std::vector<TagIndex> frontier;
+    for (TagIndex t = 0; t < n; ++t) {
+      if (active[static_cast<std::size_t>(t)] && topology.reader_hears(t)) {
+        active_tier[static_cast<std::size_t>(t)] = 1;
+        frontier.push_back(t);
+      }
+    }
+    int tier = 1;
+    while (!frontier.empty()) {
+      std::vector<TagIndex> next;
+      for (const TagIndex u : frontier) {
+        for (const TagIndex v : topology.neighbors(u)) {
+          const auto iv = static_cast<std::size_t>(v);
+          if (active[iv] && active_tier[iv] == kNoTier) {
+            active_tier[iv] = tier + 1;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+      ++tier;
+    }
+  }
+
+  /// Records a round-1 pick by tag `t`.
+  void note_pick(TagIndex t, SlotIndex s) {
+    const int tier = active_tier[static_cast<std::size_t>(t)];
+    auto& e = earliest[static_cast<std::size_t>(s)];
+    e = std::min(e, tier);
+  }
+
+  /// End of round `round`: every slot picked at active tier <= round must
+  /// have propagated into the reader's bitmap (Theorem 1).
+  void check_arrivals(int round, const Bitmap& bitmap) const {
+    for (std::size_t s = 0; s < earliest.size(); ++s) {
+      if (earliest[s] > round) continue;
+      NETTAG_INVARIANT(bitmap.test(static_cast<SlotIndex>(s)),
+                       "tier-k slot missing from reader bitmap after round k");
+      (void)bitmap;
+    }
+  }
+
+  /// Smallest active tier among tags still holding undelivered data, or
+  /// kNoTier; bounds how many checking-frame slots the reply wave needs.
+  [[nodiscard]] int min_pending_tier(
+      const std::vector<TagState>& tags,
+      const std::vector<char>& active) const {
+    int best = kNoTier;
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      if (active[i] && !tags[i].pending.empty())
+        best = std::min(best, active_tier[i]);
+    }
+    return best;
+  }
 };
 
 }  // namespace
@@ -80,6 +156,15 @@ SessionResult run_session(const net::Topology& topology,
     return !lossy || !loss_rng.bernoulli(config.link_loss_probability);
   };
 
+  // NETTAG_CHECKED bookkeeping.  `checked` gates loss-independent contracts
+  // (suppression, monotonicity); `audited` additionally needs the reliable
+  // channel, where the paper's tier-convergence theorem holds exactly.  Both
+  // fold to false constants in unchecked builds.
+  const bool checked = contract::kChecked && contract::enabled();
+  const bool audited = checked && !lossy;
+  SessionAudit audit;
+  if (audited) audit.init(topology, active, f);
+
   // Reusable per-round buffers.
   std::vector<std::vector<SlotIndex>> tx(static_cast<std::size_t>(n));
   std::vector<std::vector<SlotIndex>> new_heard(static_cast<std::size_t>(n));
@@ -117,6 +202,7 @@ SessionResult run_session(const net::Topology& topology,
             if (!ts.known.test(s)) {
               ts.known.set(s);  // served: never transmit or listen here again
               tx[i].push_back(s);
+              if (audited) audit.note_pick(t, s);
             }
           }
         } else {
@@ -154,6 +240,15 @@ SessionResult run_session(const net::Topology& topology,
       for (TagIndex u = 0; u < n; ++u) {
         const auto iu = static_cast<std::size_t>(u);
         if (tx[iu].empty()) continue;
+        if (checked) {
+          // SIII-D suppression: a slot the indicator vector has silenced is
+          // never transmitted again (round 1 precedes any silencing).
+          for (const SlotIndex s : tx[iu]) {
+            NETTAG_INVARIANT(!silenced.test(s),
+                             "tag transmitted a slot silenced by the "
+                             "indicator vector");
+          }
+        }
         for (const TagIndex v : topology.neighbors(u)) {
           const auto iv = static_cast<std::size_t>(v);
           if (!active[iv]) continue;
@@ -176,9 +271,18 @@ SessionResult run_session(const net::Topology& topology,
     }
 
     // --- Reader folds the frame into B and V (Alg. 1 lines 11-13). ---
+    const Bitmap before_fold = checked ? result.bitmap : Bitmap();
     const Bitmap fresh = reader_busy.difference(result.bitmap);
     trace.new_reader_bits = fresh.count();
     result.bitmap |= reader_busy;
+    if (checked) {
+      // Eq. 1: the bitmap only ever ORs in new busy bits.
+      NETTAG_INVARIANT(before_fold.is_subset_of(result.bitmap),
+                       "reader bitmap lost bits across a round fold");
+      NETTAG_INVARIANT(
+          result.bitmap.count() == before_fold.count() + fresh.count(),
+          "fresh-bit accounting disagrees with the bitmap fold");
+    }
 
     if (config.use_indicator_vector) {
       const obs::ProfileScope profile_indicator("ccm.indicator_scan");
@@ -206,7 +310,13 @@ SessionResult run_session(const net::Topology& topology,
         energy.add_received(t, indicator_bits);
         tags[i].known |= silenced;
       }
+      if (checked) {
+        // V only silences slots the reader has already decoded busy.
+        NETTAG_INVARIANT(silenced.is_subset_of(result.bitmap),
+                         "indicator vector silenced an undecoded slot");
+      }
     }
+    if (audited) audit.check_arrivals(round, result.bitmap);
 
     // --- Next-round relay queues (drop slots V just silenced). ---
     for (TagIndex t = 0; t < n; ++t) {
@@ -279,6 +389,20 @@ SessionResult run_session(const net::Topology& topology,
         }
       }
 
+      if (audited) {
+        // SIII-E: the reply wave from the shallowest pending tag reaches the
+        // reader within its tier count of slots, so a checking frame long
+        // enough for that tier must terminate busy (and a frame that heard
+        // nothing proves no reachable pending data that shallow existed).
+        const int shallowest = audit.min_pending_tier(tags, active);
+        if (shallowest <= lc) {
+          NETTAG_ENSURE(reader_sensed,
+                        "checking frame silent despite reachable pending "
+                        "data within its slot budget");
+        }
+        NETTAG_ENSURE(slots_used >= 1 && slots_used <= lc,
+                      "checking frame used an impossible slot count");
+      }
       trace.checking_slots_used = slots_used;
       trace.reader_saw_pending = reader_sensed;
       reader_wants_more = reader_sensed;
@@ -311,6 +435,10 @@ SessionResult run_session(const net::Topology& topology,
     result.round_trace.push_back(trace);
     ++result.rounds;
   }
+
+  NETTAG_ENSURE(result.rounds <= budget, "session overran its round budget");
+  NETTAG_ENSURE(result.bitmap.size() == f,
+                "session bitmap does not match the frame size");
 
   // Drained iff no reachable, covered tag still owes a relay.
   result.completed = true;

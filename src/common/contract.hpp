@@ -1,0 +1,104 @@
+// Contract macros for the paper's protocol invariants.
+//
+// Three macros mirror the classic design-by-contract triad:
+//
+//   NETTAG_REQUIRE(cond, msg)    — precondition at a function's entry;
+//   NETTAG_ENSURE(cond, msg)     — postcondition before a function returns;
+//   NETTAG_INVARIANT(cond, msg)  — mid-algorithm invariant (e.g. Alg. 1's
+//                                  tier-by-tier convergence properties).
+//
+// They differ from common/error.hpp deliberately: NETTAG_EXPECTS /
+// NETTAG_ASSERT are *always* active and throw nettag::Error — they guard
+// caller-facing API misuse and cheap internal sanity.  Contracts are the
+// expensive checks (subset scans over bitmaps, per-slot tier audits) that
+// would tax the hot loops, so they compile to nothing unless the build sets
+// -DNETTAG_CHECKED=1 (CMake option NETTAG_CHECKED).  On violation they print
+// the failed contract to stderr and abort() — a checked build that trips a
+// contract is a wrong simulation, and aborting is what makes gtest death
+// tests possible.
+//
+// Two hard rules keep checked builds trustworthy:
+//   * a contract expression must be a pure read — it must never draw from an
+//     Rng, mutate state, or emit trace events (the checked/unchecked
+//     differential test in tests/contract_differential_test.cpp locks
+//     byte-identical artifacts either way);
+//   * bookkeeping that exists only to feed contracts goes inside
+//     `if constexpr (nettag::contract::kChecked)` or #if NETTAG_CHECKED
+//     blocks so release builds pay nothing.
+//
+// `nettag::contract::set_enabled(false)` switches checking off at runtime in
+// a checked build; the differential test uses it to compare the same binary
+// with contracts on and off.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nettag::contract {
+
+/// True in builds configured with -DNETTAG_CHECKED=ON.  Internal linkage
+/// (not `inline`) on purpose: a test TU may force NETTAG_CHECKED on while
+/// the rest of the binary is unchecked, and each TU must see its own value
+/// without an ODR clash.
+#if defined(NETTAG_CHECKED) && NETTAG_CHECKED
+[[maybe_unused]] constexpr bool kChecked = true;
+#else
+[[maybe_unused]] constexpr bool kChecked = false;
+#endif
+
+namespace detail {
+inline std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+}  // namespace detail
+
+/// Runtime gate (checked builds only; meaningless otherwise).
+inline bool enabled() noexcept {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+/// Turns contract evaluation on/off at runtime within a checked build.
+inline void set_enabled(bool on) noexcept {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// Reports a violated contract and aborts.  Not [[noreturn]]-exempt from
+/// coverage: death tests exercise it.
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const char* msg) noexcept {
+  std::fprintf(stderr, "nettag contract violation: %s (%s) at %s:%d — %s\n",
+               kind, expr, file, line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace nettag::contract
+
+#if defined(NETTAG_CHECKED) && NETTAG_CHECKED
+
+#define NETTAG_CONTRACT_CHECK_(kind, cond, msg)                            \
+  do {                                                                     \
+    if (::nettag::contract::enabled() && !(cond))                          \
+      ::nettag::contract::fail(kind, #cond, __FILE__, __LINE__, (msg));    \
+  } while (false)
+
+#define NETTAG_REQUIRE(cond, msg) NETTAG_CONTRACT_CHECK_("Require", cond, msg)
+#define NETTAG_ENSURE(cond, msg) NETTAG_CONTRACT_CHECK_("Ensure", cond, msg)
+#define NETTAG_INVARIANT(cond, msg) \
+  NETTAG_CONTRACT_CHECK_("Invariant", cond, msg)
+
+#else
+
+// Compiled out: sizeof keeps the operands name-used (no -Wunused warnings
+// for variables that only feed contracts) without ever evaluating them.
+#define NETTAG_CONTRACT_VOID_(cond, msg) \
+  ((void)sizeof(!(cond)), (void)sizeof(msg))
+
+#define NETTAG_REQUIRE(cond, msg) NETTAG_CONTRACT_VOID_(cond, msg)
+#define NETTAG_ENSURE(cond, msg) NETTAG_CONTRACT_VOID_(cond, msg)
+#define NETTAG_INVARIANT(cond, msg) NETTAG_CONTRACT_VOID_(cond, msg)
+
+#endif

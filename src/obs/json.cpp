@@ -33,7 +33,15 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string json_string(const std::string& s) {
-  return "\"" + json_escape(s) + "\"";
+  // Built with explicit appends rather than `"\"" + escape + "\""`: the
+  // operator+(const char*, string&&) form trips gcc 12's -Wrestrict false
+  // positive (PR105329) when the insert is inlined.
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  out += json_escape(s);
+  out += '"';
+  return out;
 }
 
 std::string json_number(double v) {

@@ -39,7 +39,9 @@ bool source_date_epoch(long long* epoch = nullptr) {
 bool manifest_reproducible() { return source_date_epoch(); }
 
 std::string iso8601_utc_now() {
-  std::time_t now = std::time(nullptr);
+  // Wall-clock stamp for `written_at` only; SOURCE_DATE_EPOCH overrides it
+  // below, which is what the reproducible-baseline pipeline pins.
+  std::time_t now = std::time(nullptr);  // nettag-lint: allow(wall-clock)
   if (long long pinned = 0; source_date_epoch(&pinned))
     now = static_cast<std::time_t>(pinned);
   std::tm utc{};

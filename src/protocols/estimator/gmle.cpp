@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
@@ -97,6 +98,10 @@ GmleEstimate gmle_estimate(std::span<const FrameObservation> frames,
   est.std_error =
       1.0 /
       std::sqrt(std::max(gmle_fisher_information(frames, est.n_hat), 1e-300));
+  NETTAG_ENSURE(est.n_hat >= 0.0 && est.n_hat <= n_max,
+                "MLE root escaped the [0, n_max] bracket");
+  NETTAG_ENSURE(est.std_error >= 0.0,
+                "Fisher-information standard error is negative");
   return est;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace nettag::protocols {
@@ -200,21 +201,21 @@ SpanningTree build_spanning_tree(const net::Topology& topology,
       for (const TagIndex v : targets) {
         const auto iv = static_cast<std::size_t>(v);
         slot_of[iv] = -1;  // clear the stamp before decoding
-        std::unordered_map<int, std::pair<int, TagIndex>> per_slot;
+        std::unordered_map<int, int> per_slot;  // slot -> transmitter count
         for (const TagIndex x : topology.neighbors(v)) {
           const int xs = slot_of[static_cast<std::size_t>(x)];
-          if (xs < 0) continue;
-          auto [it, inserted] = per_slot.try_emplace(xs, 0, x);
-          (void)inserted;
-          ++it->second.first;
+          if (xs >= 0) ++per_slot[xs];
         }
         // Adopt one cleanly decoded beaconer, chosen uniformly: picking the
         // earliest slot instead would make low-slot beaconers parents of
-        // hundreds of tags and wildly unbalance the tree.
+        // hundreds of tags and wildly unbalance the tree.  Candidates are
+        // gathered in CSR neighbor order — iterating `per_slot` here would
+        // feed unordered_map bucket order (which varies across standard
+        // libraries) into the RNG pick and break cross-platform determinism.
         std::vector<TagIndex> candidates;
-        for (const auto& [s, entry] : per_slot) {
-          (void)s;
-          if (entry.first == 1) candidates.push_back(entry.second);
+        for (const TagIndex x : topology.neighbors(v)) {
+          const int xs = slot_of[static_cast<std::size_t>(x)];
+          if (xs >= 0 && per_slot[xs] == 1) candidates.push_back(x);
         }
         if (!candidates.empty()) {
           tree.level[iv] = k + 1;
@@ -232,6 +233,26 @@ SpanningTree build_spanning_tree(const net::Topology& topology,
     run_registration(newly_covered, /*to_reader=*/false);
     contenders = newly_covered;
     ++k;
+  }
+  if (contract::kChecked && contract::enabled()) {
+    // The flooding covers tier k+1 completely before advancing, so the tree
+    // must be a shortest-path tree: level == BFS tier, and every non-root
+    // parent sits exactly one level shallower.
+    for (TagIndex t = 0; t < n; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      NETTAG_ENSURE(tree.level[i] == topology.tier(t),
+                    "spanning-tree level disagrees with the BFS tier");
+      if (tree.level[i] == net::kUnreachable || tree.level[i] == 1) {
+        NETTAG_ENSURE(tree.parent[i] == kInvalidTagIndex,
+                      "root-level or unreachable tag acquired a parent");
+      } else {
+        NETTAG_ENSURE(
+            tree.parent[i] != kInvalidTagIndex &&
+                tree.level[static_cast<std::size_t>(tree.parent[i])] ==
+                    tree.level[i] - 1,
+            "spanning-tree parent is not one level shallower");
+      }
+    }
   }
   return tree;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/contract.hpp"
+
 namespace nettag::protocols {
 
 double trp_detection_probability(int n, int missing, FrameSize f) {
@@ -33,6 +35,12 @@ FrameSize trp_required_frame_size(int n, int m, double delta) {
   // Guard the ceil against approximation slack: grow until the exact
   // probability clears delta (at most a few steps).
   while (trp_detection_probability(n, threshold, sized) < delta) ++sized;
+  NETTAG_ENSURE(trp_detection_probability(n, threshold, sized) >= delta,
+                "sized frame misses the Eq. 14 detection requirement");
+  NETTAG_ENSURE(sized <= 1 ||
+                    trp_detection_probability(n, threshold, sized - 1) <
+                        delta + 1e-6,
+                "sized frame is not minimal for the detection requirement");
   return sized;
 }
 

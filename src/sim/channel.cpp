@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace nettag::sim {
@@ -39,6 +40,21 @@ SlotObservation simulate_slot(const net::Topology& topology,
         obs.reader_decoded_from = kInvalidTagIndex;
       }
     }
+  }
+  if (contract::kChecked && contract::enabled()) {
+    // Slotted-ALOHA decode semantics: a receiver decodes exactly when one
+    // in-range transmission occupied the slot; collisions destroy decode.
+    for (std::size_t r = 0; r < n; ++r) {
+      NETTAG_ENSURE((obs.decoded_from[r] != kInvalidTagIndex) ==
+                        (obs.heard_count[r] == 1),
+                    "tag decode disagrees with its heard-transmission count");
+      NETTAG_ENSURE(obs.decoded_from[r] == kInvalidTagIndex ||
+                        !is_transmitting[r],
+                    "half-duplex transmitter decoded a slot it sent in");
+    }
+    NETTAG_ENSURE((obs.reader_decoded_from != kInvalidTagIndex) ==
+                      (obs.reader_heard_count == 1),
+                  "reader decode disagrees with its heard count");
   }
   return obs;
 }

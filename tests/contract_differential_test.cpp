@@ -1,0 +1,166 @@
+// Differential lock: contracts never change artifacts.
+//
+// Same discipline as the profiler/trace bit-identity tests — the same
+// binary runs every instrumented engine twice, once with contracts enabled
+// and once with them disabled via nettag::contract::set_enabled, and every
+// observable output (trace events, bitmaps, clocks, energy, subsequent RNG
+// draws) must match exactly.  In a NETTAG_CHECKED=ON build this proves the
+// instrumented contracts are pure reads: no RNG draws, no trace emissions,
+// no state mutations.  In an unchecked build both runs take the macro-free
+// path and the test degenerates to a determinism check — so it can run in
+// every configuration, and the CI static-analysis job runs it checked.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ccm/multi_reader.hpp"
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+#include "obs/trace.hpp"
+#include "protocols/idcollect/spanning_tree.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag {
+namespace {
+
+/// Runs `body` with contracts on, then off, and compares the recorded
+/// traces event by event.
+template <typename Body>
+void expect_identical_traces(Body&& body) {
+  obs::RecordingSink with_contracts;
+  contract::set_enabled(true);
+  body(with_contracts);
+
+  obs::RecordingSink without_contracts;
+  contract::set_enabled(false);
+  body(without_contracts);
+  contract::set_enabled(true);
+
+  ASSERT_EQ(with_contracts.events().size(), without_contracts.events().size());
+  for (std::size_t i = 0; i < with_contracts.events().size(); ++i) {
+    const auto& a = with_contracts.events()[i];
+    const auto& b = without_contracts.events()[i];
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    ASSERT_EQ(a.fields.size(), b.fields.size()) << "event " << i;
+    for (std::size_t f = 0; f < a.fields.size(); ++f) {
+      EXPECT_EQ(a.fields[f].first, b.fields[f].first) << "event " << i;
+      EXPECT_EQ(a.fields[f].second, b.fields[f].second) << "event " << i;
+    }
+  }
+}
+
+TEST(ContractDifferential, SessionArtifactsAreBitIdentical) {
+  const auto line = net::make_line(12);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 64;
+  cfg.request_seed = 2019;
+  cfg.checking_frame_length = 2 * (line.tier_count() + 1);
+  const ccm::HashedSlotSelector selector(1.0);
+
+  ccm::SessionResult first;
+  ccm::SessionResult second;
+  sim::EnergyMeter energy_a(line.tag_count());
+  sim::EnergyMeter energy_b(line.tag_count());
+  bool on_first = true;
+  expect_identical_traces([&](obs::TraceSink& sink) {
+    auto& result = on_first ? first : second;
+    auto& energy = on_first ? energy_a : energy_b;
+    result = ccm::run_session(line, cfg, selector, energy, sink);
+    on_first = false;
+  });
+
+  EXPECT_EQ(first.bitmap, second.bitmap);
+  EXPECT_EQ(first.rounds, second.rounds);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.clock.bit_slots(), second.clock.bit_slots());
+  EXPECT_EQ(first.clock.id_slots(), second.clock.id_slots());
+  EXPECT_EQ(energy_a.total_sent(), energy_b.total_sent());
+  EXPECT_EQ(energy_a.total_received(), energy_b.total_received());
+}
+
+TEST(ContractDifferential, LossySessionConsumesIdenticalRngStream) {
+  // The loss stream is the only RNG a session touches; a contract that drew
+  // from it would desynchronise the two runs immediately.
+  const auto line = net::make_line(8);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 32;
+  cfg.request_seed = 7;
+  cfg.checking_frame_length = 2 * (line.tier_count() + 1);
+  cfg.link_loss_probability = 0.2;
+  cfg.loss_seed = 99;
+  const ccm::HashedSlotSelector selector(1.0);
+
+  contract::set_enabled(true);
+  const ccm::SessionResult checked_run =
+      ccm::run_session(line, cfg, selector);
+  contract::set_enabled(false);
+  const ccm::SessionResult unchecked_run =
+      ccm::run_session(line, cfg, selector);
+  contract::set_enabled(true);
+
+  EXPECT_EQ(checked_run.bitmap, unchecked_run.bitmap);
+  EXPECT_EQ(checked_run.rounds, unchecked_run.rounds);
+}
+
+TEST(ContractDifferential, MultiReaderArtifactsAreBitIdentical) {
+  SystemConfig sys;
+  Rng rng(424242);
+  const net::Deployment deployment = net::make_disk_deployment(sys, rng);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 128;
+  cfg.request_seed = 5;
+  cfg.apply_geometry(sys);
+  const ccm::HashedSlotSelector selector(1.0);
+
+  ccm::MultiReaderResult first;
+  ccm::MultiReaderResult second;
+  bool on_first = true;
+  expect_identical_traces([&](obs::TraceSink& sink) {
+    sim::EnergyMeter energy(deployment.tag_count());
+    auto& result = on_first ? first : second;
+    result = ccm::run_multi_reader_session(deployment, sys, cfg, selector,
+                                           energy, sink);
+    on_first = false;
+  });
+
+  EXPECT_EQ(first.bitmap, second.bitmap);
+  EXPECT_EQ(first.covered_tags, second.covered_tags);
+  EXPECT_EQ(first.clock.total_slots(), second.clock.total_slots());
+}
+
+TEST(ContractDifferential, SpanningTreeBuildConsumesIdenticalRngStream) {
+  // The spanning-tree build draws slot picks and parent choices from the
+  // caller's Rng; contracts around it must leave the stream untouched.
+  Rng topo_rng(3);
+  const auto irregular = net::make_random_connected(40, 10, 3, topo_rng);
+  protocols::TreeBuildConfig tree_cfg;
+
+  Rng rng_a(11);
+  Rng rng_b(11);
+  sim::EnergyMeter energy_a(irregular.tag_count());
+  sim::EnergyMeter energy_b(irregular.tag_count());
+  sim::SlotClock clock_a;
+  sim::SlotClock clock_b;
+
+  contract::set_enabled(true);
+  const protocols::SpanningTree tree_a =
+      protocols::build_spanning_tree(irregular, tree_cfg, rng_a, energy_a, clock_a);
+  contract::set_enabled(false);
+  const protocols::SpanningTree tree_b =
+      protocols::build_spanning_tree(irregular, tree_cfg, rng_b, energy_b, clock_b);
+  contract::set_enabled(true);
+
+  EXPECT_EQ(tree_a.parent, tree_b.parent);
+  EXPECT_EQ(tree_a.level, tree_b.level);
+  EXPECT_EQ(clock_a.total_slots(), clock_b.total_slots());
+  // The streams advanced in lockstep: the next draw matches.
+  EXPECT_EQ(rng_a(), rng_b());
+}
+
+}  // namespace
+}  // namespace nettag

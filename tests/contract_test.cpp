@@ -1,0 +1,87 @@
+// The NETTAG_REQUIRE / NETTAG_ENSURE / NETTAG_INVARIANT contract macros
+// (src/common/contract.hpp).  This TU forces NETTAG_CHECKED=1 via its CMake
+// target so the checked semantics — including the abort-on-violation death
+// path — are exercised in every build configuration.
+#include "common/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nettag {
+namespace {
+
+static_assert(contract::kChecked,
+              "contract_test must compile with NETTAG_CHECKED=1");
+
+/// Restores the global contract toggle around each test.
+class ContractTest : public ::testing::Test {
+ protected:
+  void TearDown() override { contract::set_enabled(true); }
+};
+
+TEST_F(ContractTest, PassingContractsAreSilent) {
+  contract::set_enabled(true);
+  NETTAG_REQUIRE(true, "precondition holds");
+  NETTAG_ENSURE(2 > 1, "postcondition holds");
+  NETTAG_INVARIANT(42 == 42, "invariant holds");
+}
+
+TEST_F(ContractTest, ConditionEvaluatedExactlyOnceWhenEnabled) {
+  contract::set_enabled(true);
+  int evaluations = 0;
+  NETTAG_REQUIRE(++evaluations > 0, "counts evaluations");
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(ContractTest, DisabledContractsSkipEvaluationEntirely) {
+  // The runtime toggle must short-circuit *before* the condition runs, so a
+  // disabled checked build matches an unchecked build exactly — even for a
+  // (forbidden, but possible) condition with side effects.
+  contract::set_enabled(false);
+  int evaluations = 0;
+  NETTAG_REQUIRE(++evaluations > 0, "must not be evaluated");
+  NETTAG_ENSURE(++evaluations > 0, "must not be evaluated");
+  NETTAG_INVARIANT(++evaluations > 0, "must not be evaluated");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(ContractTest, DisabledContractsDoNotFire) {
+  contract::set_enabled(false);
+  NETTAG_INVARIANT(false, "disabled: must not abort");
+  contract::set_enabled(true);
+}
+
+TEST_F(ContractTest, ToggleRoundTrips) {
+  EXPECT_TRUE(contract::enabled());
+  contract::set_enabled(false);
+  EXPECT_FALSE(contract::enabled());
+  contract::set_enabled(true);
+  EXPECT_TRUE(contract::enabled());
+}
+
+using ContractDeathTest = ContractTest;
+
+TEST_F(ContractDeathTest, ViolatedInvariantAborts) {
+  contract::set_enabled(true);
+  EXPECT_DEATH(NETTAG_INVARIANT(1 == 2, "bitmap lost a bit"),
+               "Invariant.*1 == 2.*bitmap lost a bit");
+}
+
+TEST_F(ContractDeathTest, ViolatedRequireAbortsWithItsKind) {
+  contract::set_enabled(true);
+  EXPECT_DEATH(NETTAG_REQUIRE(false, "caller broke the precondition"),
+               "Require.*caller broke the precondition");
+}
+
+TEST_F(ContractDeathTest, ViolatedEnsureAbortsWithItsKind) {
+  contract::set_enabled(true);
+  EXPECT_DEATH(NETTAG_ENSURE(false, "postcondition missed"),
+               "Ensure.*postcondition missed");
+}
+
+TEST_F(ContractDeathTest, ReportNamesTheSourceLocation) {
+  contract::set_enabled(true);
+  EXPECT_DEATH(NETTAG_INVARIANT(false, "locate me"), "contract_test\\.cpp");
+}
+
+}  // namespace
+}  // namespace nettag

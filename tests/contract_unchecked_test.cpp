@@ -1,0 +1,39 @@
+// Unchecked-build semantics of the contract macros: compiled to nothing,
+// operands never evaluated, no unused-variable warnings for contract-only
+// state.  The #undef makes this TU unchecked even when the build globally
+// enables NETTAG_CHECKED (the macro arrives on the command line).
+#undef NETTAG_CHECKED
+#include "common/contract.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nettag {
+namespace {
+
+static_assert(!contract::kChecked,
+              "this TU must see the unchecked contract layer");
+
+TEST(ContractUnchecked, ConditionsAreNeverEvaluated) {
+  int evaluations = 0;
+  NETTAG_REQUIRE(++evaluations > 0, "compiled out");
+  NETTAG_ENSURE(++evaluations > 0, "compiled out");
+  NETTAG_INVARIANT(++evaluations > 0, "compiled out");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractUnchecked, FalseContractsAreInert) {
+  NETTAG_REQUIRE(false, "compiled out: must not abort");
+  NETTAG_ENSURE(false, "compiled out: must not abort");
+  NETTAG_INVARIANT(false, "compiled out: must not abort");
+}
+
+TEST(ContractUnchecked, OperandsStayNameUsed) {
+  // A variable referenced only by a contract must not trigger -Wunused
+  // (the sizeof expansion keeps it name-used without evaluating it).
+  const int audited_total = 7;
+  NETTAG_ENSURE(audited_total == 7, "name-used only");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nettag

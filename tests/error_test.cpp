@@ -1,0 +1,79 @@
+// Error paths of common/error.hpp: the always-on NETTAG_EXPECTS /
+// NETTAG_ASSERT macros and the nettag::Error exception they throw.
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace nettag {
+namespace {
+
+TEST(Error, IsARuntimeErrorWithItsMessage) {
+  const Error err("frame size must be positive");
+  EXPECT_STREQ(err.what(), "frame size must be positive");
+  // Callers that only know std::exception still see the message.
+  const std::runtime_error& base = err;
+  EXPECT_STREQ(base.what(), "frame size must be positive");
+}
+
+TEST(Error, ExpectsPassesSilentlyOnTrue) {
+  EXPECT_NO_THROW(NETTAG_EXPECTS(1 + 1 == 2, "arithmetic holds"));
+}
+
+TEST(Error, ExpectsThrowsNettagErrorOnFalse) {
+  EXPECT_THROW(NETTAG_EXPECTS(false, "must not happen"), Error);
+}
+
+TEST(Error, ExpectsMessageCarriesKindExpressionLocationAndText) {
+  try {
+    NETTAG_EXPECTS(2 < 1, "two is not less than one");
+    FAIL() << "NETTAG_EXPECTS(false) did not throw";
+  } catch (const Error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("Precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Error, AssertReportsInvariantKind) {
+  try {
+    NETTAG_ASSERT(false, "simulation went sideways");
+    FAIL() << "NETTAG_ASSERT(false) did not throw";
+  } catch (const Error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("Invariant"), std::string::npos) << what;
+    EXPECT_NE(what.find("simulation went sideways"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Error, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  NETTAG_EXPECTS(++evaluations > 0, "side effect must run once");
+  EXPECT_EQ(evaluations, 1);
+  NETTAG_ASSERT(++evaluations == 2, "and once more");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Error, EmptyMessageOmitsTheDashSuffix) {
+  try {
+    NETTAG_EXPECTS(false, "");
+    FAIL() << "NETTAG_EXPECTS(false) did not throw";
+  } catch (const Error& err) {
+    const std::string what = err.what();
+    EXPECT_EQ(what.find("—"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, AcceptsStdStringMessages) {
+  const std::string msg = "built at runtime";
+  EXPECT_THROW(NETTAG_EXPECTS(false, msg), Error);
+}
+
+}  // namespace
+}  // namespace nettag

@@ -1,0 +1,12 @@
+// Known-bad fixture: order-sensitive floating-point reduction outside
+// RunningStats.  A parallel fold summing in a different order produces a
+// different artifact; RunningStats::merge keeps the serial order exactly.
+// expect: float-accum 2
+#include <numeric>
+#include <vector>
+
+double total_energy(const std::vector<double>& joules) {
+  const double direct = std::accumulate(joules.begin(), joules.end(), 0.0);
+  const double again = std::reduce(joules.begin(), joules.end(), 0.0);
+  return direct + again;
+}

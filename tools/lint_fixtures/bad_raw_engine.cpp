@@ -1,0 +1,12 @@
+// Known-bad fixture: raw <random> engines bypassing nettag::Rng.
+// expect: raw-engine 3
+#include <random>
+
+double jitter() {
+  std::random_device rd;                 // nondeterministic hardware entropy
+  std::mt19937 gen(rd());                // seed not derived from the trial seed
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::default_random_engine fallback;   // implementation-defined engine
+  (void)fallback;
+  return dist(gen);
+}

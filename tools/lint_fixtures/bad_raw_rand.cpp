@@ -1,0 +1,10 @@
+// Known-bad fixture: process-global C RNG in a simulation path.
+// expect: raw-rand 3
+#include <cstdlib>
+
+int pick_slot(int frame) {
+  std::srand(42);                       // reseeds a process-global stream
+  const int a = std::rand() % frame;    // order-dependent across call sites
+  const int b = rand() % frame;
+  return a ^ b;
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture: iterating unordered containers into an artifact.
+// Bucket order differs between libstdc++ and libc++, so the emitted rows
+// (and anything hashed or RNG-picked from them) diverge across platforms.
+// expect: unordered-iter 2
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void dump_counters(const std::unordered_map<std::string, long>& counters) {
+  std::unordered_set<int> slots{3, 1, 2};
+  for (const auto& [name, value] : counters)  // trace output in bucket order
+    std::printf("%s=%ld\n", name.c_str(), value);
+  for (auto it = slots.begin(); it != slots.end(); ++it)
+    std::printf("slot %d\n", *it);
+}

@@ -1,0 +1,13 @@
+// Known-bad fixture: wall-clock reads leaking into artifacts.
+// expect: wall-clock 3
+#include <chrono>
+#include <ctime>
+
+long long stamp_trial() {
+  const std::time_t t = std::time(nullptr);
+  const auto now = std::chrono::system_clock::now();
+  long long seed = time(NULL);
+  seed += static_cast<long long>(t);
+  seed += now.time_since_epoch().count();
+  return seed;
+}

@@ -1,0 +1,35 @@
+// Clean fixture: every hazard is either a false-positive shape the linter
+// must not flag, or carries an explained allow pragma.
+// expect: none
+#include <chrono>
+#include <ctime>
+#include <unordered_map>
+#include <vector>
+
+// Membership tests and lookups on unordered containers are fine — only
+// iteration order is hazardous.
+int count_hits(const std::unordered_map<int, int>& per_slot,
+               const std::vector<int>& slots) {
+  int hits = 0;
+  for (const int s : slots) {
+    const auto it = per_slot.find(s);
+    if (it != per_slot.end()) hits += it->second;
+  }
+  return hits;
+}
+
+// steady_clock is monotonic and feeds only redacted timing fields.
+long long elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Strings and comments never trigger: std::rand(), time(NULL), mt19937.
+const char* kDoc = "never call std::rand() or time(NULL) or mt19937 here";
+
+// An explained pragma opts one line out; SOURCE_DATE_EPOCH pins the result.
+long long manifest_stamp() {
+  return static_cast<long long>(
+      std::time(nullptr));  // nettag-lint: allow(wall-clock)
+}

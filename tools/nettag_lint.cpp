@@ -1,0 +1,342 @@
+// nettag-lint — repo-specific determinism linter.
+//
+// The repo's core guarantee is byte-identical artifacts across serial and
+// parallel runs (and across rebuilds, under SOURCE_DATE_EPOCH).  Generic
+// static analyzers cannot see the hazards that silently break it, because
+// they are policy violations, not language bugs:
+//
+//   raw-rand        std::rand/srand — unseeded process-global RNG;
+//   raw-engine      std::mt19937 / random_device / default_random_engine —
+//                   all randomness must flow through nettag::Rng so one
+//                   64-bit seed reproduces an experiment;
+//   wall-clock      std::time(nullptr)/time(NULL)/system_clock — wall-clock
+//                   reads in simulation paths make artifacts time-dependent
+//                   (steady_clock is fine: it feeds only the timing fields
+//                   that SOURCE_DATE_EPOCH redacts);
+//   unordered-iter  iteration over a std::unordered_map/unordered_set —
+//                   bucket order differs across standard libraries, so any
+//                   iteration feeding traces, manifests, stats or RNG picks
+//                   breaks cross-platform determinism (lookups are fine);
+//   float-accum     std::accumulate/std::reduce with a floating-point
+//                   accumulator — summation order then dictates the result;
+//                   trial aggregation must go through RunningStats, whose
+//                   serial fold the parallel trial pool replays exactly.
+//
+// A line can opt out with an explanation:   // nettag-lint: allow(rule-id)
+//
+// Usage:
+//   nettag-lint [--report FILE] PATH...      scan files / directory trees
+//   nettag-lint --self-test DIR              run the known-bad fixture suite
+//
+// Self-test fixtures declare expectations in their header:
+//   // expect: <rule-id> <count>       (one line per expected rule)
+//   // expect: none                    (fixture must scan clean)
+//
+// Exit codes: 0 clean, 1 findings (or self-test mismatch), 64 usage,
+// 66 unreadable input.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Rule {
+  std::string id;
+  std::regex pattern;
+  std::string message;
+};
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> r = {
+      {"raw-rand",
+       std::regex(R"((\bstd::rand\b|\bsrand\s*\(|(^|[^\w:.>])rand\s*\(\s*\)))"),
+       "std::rand/srand is process-global and unseeded; draw from "
+       "nettag::Rng instead"},
+      {"raw-engine",
+       std::regex(R"(\b(mt19937(_64)?|default_random_engine|minstd_rand0?|)"
+                  R"(ranlux\w+|knuth_b|random_device)\b)"),
+       "raw <random> engines bypass the seed discipline; derive a "
+       "nettag::Rng (fork() for independent streams)"},
+      {"wall-clock",
+       std::regex(R"((\bstd::time\s*\(|[^\w.]time\s*\(\s*(nullptr|NULL|0)\s*\))"
+                  R"(|\bsystem_clock\b)"
+                  R"(|\bgettimeofday\b|\blocaltime\b|\bclock\s*\(\s*\)))"),
+       "wall-clock reads make artifacts time-dependent; use sim::Clock or "
+       "steady_clock for redacted timings"},
+      {"float-accum",
+       std::regex(R"(\bstd::(accumulate|reduce)\s*\([^;]*,\s*)"
+                  R"((0\.\d*f?|\d+\.\d+f?|double\s*\{|float\s*\{))"),
+       "floating-point accumulate/reduce fixes a summation order; aggregate "
+       "through RunningStats so parallel folds replay the serial order"},
+  };
+  return r;
+}
+
+/// Identifiers declared as unordered containers in the current file
+/// (values, references and pointers, including function parameters).
+std::regex unordered_decl_re(
+    R"(\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{=]*>\s*[&*]?\s*(\w+)\s*[;({=,)])");
+
+/// `// nettag-lint: allow(rule-id)` anywhere on the line.
+std::regex allow_re(R"(nettag-lint:\s*allow\(([\w-]+)\))");
+
+/// Strips // and /* */ comments plus string/char literal contents so rule
+/// patterns cannot match inside them.  `in_block` carries block-comment
+/// state across lines.
+std::string strip_noise(const std::string& line, bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        ++i;
+      }
+      out.push_back(quote);
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void scan_file(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "nettag-lint: cannot read " << path.string() << "\n";
+    std::exit(66);
+  }
+  std::vector<std::string> raw_lines;
+  for (std::string line; std::getline(in, line);) raw_lines.push_back(line);
+
+  // Pass 1: strip comments/strings and collect unordered-container names.
+  std::vector<std::string> code_lines;
+  code_lines.reserve(raw_lines.size());
+  std::vector<std::string> unordered_names;
+  bool in_block = false;
+  for (const std::string& line : raw_lines) {
+    std::string code = strip_noise(line, in_block);
+    auto begin = std::sregex_iterator(code.begin(), code.end(),
+                                      unordered_decl_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it)
+      unordered_names.push_back((*it)[1].str());
+    code_lines.push_back(std::move(code));
+  }
+
+  // Pass 2: apply the rules line by line.
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& code = code_lines[i];
+    const std::string& raw = raw_lines[i];
+
+    std::vector<std::string> allowed;
+    for (auto it = std::sregex_iterator(raw.begin(), raw.end(), allow_re);
+         it != std::sregex_iterator(); ++it)
+      allowed.push_back((*it)[1].str());
+    const auto is_allowed = [&allowed](const std::string& rule) {
+      return std::find(allowed.begin(), allowed.end(), rule) != allowed.end();
+    };
+
+    for (const Rule& rule : rules()) {
+      if (!std::regex_search(code, rule.pattern)) continue;
+      if (is_allowed(rule.id)) continue;
+      findings.push_back({path.string(), static_cast<int>(i) + 1, rule.id,
+                          rule.message});
+    }
+
+    if (!unordered_names.empty() && !is_allowed("unordered-iter")) {
+      for (const std::string& name : unordered_names) {
+        // Range-for over the container, or explicit iterator walks.  A bare
+        // `.end()` is NOT flagged — `find(x) != end()` lookups are fine.
+        const std::regex iter_re(
+            "(for\\s*\\([^;)]*:\\s*" + name + "\\b" +
+            "|\\b" + name + "\\s*\\.\\s*c?r?begin\\s*\\()");
+        if (std::regex_search(code, iter_re)) {
+          findings.push_back(
+              {path.string(), static_cast<int>(i) + 1, "unordered-iter",
+               "iteration over std::unordered container '" + name +
+                   "' follows bucket order, which varies across standard "
+                   "libraries; iterate a deterministically ordered "
+                   "structure instead"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+std::vector<fs::path> collect_inputs(const std::vector<std::string>& paths) {
+  std::vector<fs::path> files;
+  for (const std::string& arg : paths) {
+    const fs::path p(arg);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && scannable(entry.path()))
+          files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "nettag-lint: no such file or directory: " << arg << "\n";
+      std::exit(66);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void print_findings(const std::vector<Finding>& findings, std::ostream& os) {
+  for (const Finding& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  }
+}
+
+int run_scan(const std::vector<std::string>& paths,
+             const std::string& report_path) {
+  std::vector<Finding> findings;
+  const std::vector<fs::path> files = collect_inputs(paths);
+  for (const fs::path& file : files) scan_file(file, findings);
+
+  print_findings(findings, findings.empty() ? std::cout : std::cerr);
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    if (!report) {
+      std::cerr << "nettag-lint: cannot write report to " << report_path
+                << "\n";
+      return 66;
+    }
+    print_findings(findings, report);
+  }
+  std::cout << "nettag-lint: scanned " << files.size() << " file(s), "
+            << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
+
+/// Fixture expectations: rule-id -> count ("none" -> empty map).
+std::map<std::string, int> parse_expectations(const fs::path& fixture) {
+  std::map<std::string, int> expected;
+  std::ifstream in(fixture);
+  const std::regex expect_re(R"(^//\s*expect:\s*([\w-]+)(?:\s+(\d+))?\s*$)");
+  for (std::string line; std::getline(in, line);) {
+    std::smatch m;
+    if (!std::regex_match(line, m, expect_re)) continue;
+    if (m[1].str() == "none") continue;  // declared clean
+    expected[m[1].str()] += m[2].matched ? std::stoi(m[2].str()) : 1;
+  }
+  return expected;
+}
+
+int run_self_test(const std::string& dir) {
+  const std::vector<fs::path> fixtures = collect_inputs({dir});
+  if (fixtures.empty()) {
+    std::cerr << "nettag-lint: no fixtures found in " << dir << "\n";
+    return 66;
+  }
+  int failures = 0;
+  for (const fs::path& fixture : fixtures) {
+    const std::map<std::string, int> expected = parse_expectations(fixture);
+    std::vector<Finding> findings;
+    scan_file(fixture, findings);
+    std::map<std::string, int> actual;
+    for (const Finding& f : findings) ++actual[f.rule];
+    if (actual == expected) {
+      std::cout << "PASS " << fixture.filename().string() << "\n";
+      continue;
+    }
+    ++failures;
+    std::cerr << "FAIL " << fixture.filename().string() << "\n";
+    for (const auto& [rule, count] : expected) {
+      const auto it = actual.find(rule);
+      const int got = it == actual.end() ? 0 : it->second;
+      if (got != count)
+        std::cerr << "  expected " << count << "x " << rule << ", got " << got
+                  << "\n";
+    }
+    for (const auto& [rule, count] : actual) {
+      if (expected.find(rule) == expected.end())
+        std::cerr << "  unexpected " << count << "x " << rule << "\n";
+    }
+    print_findings(findings, std::cerr);
+  }
+  std::cout << "nettag-lint self-test: " << (fixtures.size() -
+            static_cast<std::size_t>(failures)) << "/" << fixtures.size()
+            << " fixtures OK\n";
+  return failures == 0 ? 0 : 1;
+}
+
+int usage() {
+  std::cerr << "usage: nettag-lint [--report FILE] PATH...\n"
+               "       nettag-lint --self-test FIXTURE_DIR\n";
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string report_path;
+  std::string self_test_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report") {
+      if (++i >= argc) return usage();
+      report_path = argv[i];
+    } else if (arg == "--self-test") {
+      if (++i >= argc) return usage();
+      self_test_dir = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (!self_test_dir.empty()) {
+    if (!paths.empty()) return usage();
+    return run_self_test(self_test_dir);
+  }
+  if (paths.empty()) return usage();
+  return run_scan(paths, report_path);
+}

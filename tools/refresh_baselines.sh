@@ -1,13 +1,19 @@
 #!/bin/sh
 # Regenerates the committed baseline manifests under bench/baselines/.
 #
-# The baselines pin a small, fast configuration (400 tags, 1 trial, the
-# paper's seed) and SOURCE_DATE_EPOCH (2019-07-07T00:00:00Z, the paper's
-# date), which both stamps `written_at` and redacts wall-clock timings so
-# the manifests are byte-reproducible.  The CI regression gate (and the
-# `manifest_regression_gate` ctest) regenerates these with the same pins
-# and fails on any structural drift — run this script and commit the
-# result whenever a change intentionally moves the numbers.
+# Two pinned configurations are kept per paper artifact:
+#   * <name>.json        — NETTAG_TAGS=400, the fast gate every CI run pays;
+#   * <name>_n2000.json  — NETTAG_TAGS=2000, a larger-N point that catches
+#                          scale-dependent regressions the small config
+#                          cannot see (tier depth, indicator segmentation,
+#                          window sizing all shift with N).
+# Both pin NETTAG_TRIALS=1, the paper's seed, and SOURCE_DATE_EPOCH
+# (2019-07-07T00:00:00Z, the paper's date), which stamps `written_at` and
+# redacts wall-clock timings so the manifests are byte-reproducible.  The CI
+# regression gate (and the `manifest_regression_gate` ctest) regenerates
+# these with the same pins and fails on any structural drift — run this
+# script and commit the result whenever a change intentionally moves the
+# numbers.
 #
 # usage: tools/refresh_baselines.sh [BUILD_DIR]   (default: build)
 set -eu
@@ -17,30 +23,36 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 out_dir="$repo_root/bench/baselines"
 mkdir -p "$out_dir"
 
-export NETTAG_TAGS=400
 export NETTAG_TRIALS=1
 export NETTAG_SEED=20190707
 export SOURCE_DATE_EPOCH=1562457600
-unset NETTAG_TRACE NETTAG_PROFILE 2>/dev/null || true
+unset NETTAG_TRACE NETTAG_PROFILE NETTAG_JOBS 2>/dev/null || true
 
-for bench in fig3_tiers fig4_execution_time table1_max_sent_bits \
-             table2_max_received_bits table3_avg_sent_bits \
-             table4_avg_received_bits; do
-  bin="$repo_root/$build_dir/bench/$bench"
-  if [ ! -x "$bin" ]; then
-    echo "error: $bin not built (cmake --build $build_dir first)" >&2
-    exit 1
-  fi
-  case $bench in
-    fig3_tiers) name=fig3 ;;
-    fig4_execution_time) name=fig4 ;;
-    table1_max_sent_bits) name=table1 ;;
-    table2_max_received_bits) name=table2 ;;
-    table3_avg_sent_bits) name=table3 ;;
-    table4_avg_received_bits) name=table4 ;;
+for tags in 400 2000; do
+  export NETTAG_TAGS=$tags
+  case $tags in
+    400) suffix="" ;;
+    *) suffix="_n$tags" ;;
   esac
-  echo "regenerating $name.json ($bench)" >&2
-  NETTAG_MANIFEST="$out_dir/$name.json" "$bin" > /dev/null
+  for bench in fig3_tiers fig4_execution_time table1_max_sent_bits \
+               table2_max_received_bits table3_avg_sent_bits \
+               table4_avg_received_bits; do
+    bin="$repo_root/$build_dir/bench/$bench"
+    if [ ! -x "$bin" ]; then
+      echo "error: $bin not built (cmake --build $build_dir first)" >&2
+      exit 1
+    fi
+    case $bench in
+      fig3_tiers) name=fig3 ;;
+      fig4_execution_time) name=fig4 ;;
+      table1_max_sent_bits) name=table1 ;;
+      table2_max_received_bits) name=table2 ;;
+      table3_avg_sent_bits) name=table3 ;;
+      table4_avg_received_bits) name=table4 ;;
+    esac
+    echo "regenerating $name$suffix.json ($bench, N=$tags)" >&2
+    NETTAG_MANIFEST="$out_dir/$name$suffix.json" "$bin" > /dev/null
+  done
 done
 
 echo "baselines refreshed in $out_dir" >&2

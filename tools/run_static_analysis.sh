@@ -1,0 +1,86 @@
+#!/bin/sh
+# Runs the repo's static-analysis stack against the tree.
+#
+# Usage: tools/run_static_analysis.sh [build-dir]
+#
+#   build-dir  a configured build directory (default: build).  It must have
+#              been configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON for
+#              the clang-tidy pass, and must contain the nettag-lint binary
+#              (built by the default ALL target).
+#
+# Three passes, in cheap-to-expensive order:
+#   1. nettag-lint   — the repo-specific determinism linter (always runs);
+#   2. cppcheck      — with tools/cppcheck-suppressions.txt (skipped with a
+#                      notice when cppcheck is not installed);
+#   3. clang-tidy    — the curated .clang-tidy profile over every TU in the
+#                      compile database (skipped when not installed).
+#
+# Exit status is non-zero if any pass that ran found a problem.  Passes that
+# are skipped for a missing tool do NOT fail the script — the CI
+# static-analysis job installs everything, so nothing is skipped there; local
+# boxes without the LLVM toolchain still get the lint + cppcheck coverage.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+status=0
+
+if [ ! -d "$build_dir" ]; then
+  echo "run_static_analysis: build dir '$build_dir' not found" >&2
+  echo "  configure first: cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 64
+fi
+
+echo "== nettag-lint =="
+lint_bin="$build_dir/tools/nettag-lint"
+if [ ! -x "$lint_bin" ]; then
+  echo "run_static_analysis: $lint_bin missing — build the tree first" >&2
+  exit 64
+fi
+"$lint_bin" --self-test "$repo_root/tools/lint_fixtures" || status=1
+"$lint_bin" --report "$build_dir/nettag-lint-findings.txt" \
+  "$repo_root/src" "$repo_root/bench" || status=1
+
+echo "== cppcheck =="
+if command -v cppcheck >/dev/null 2>&1; then
+  cppcheck --std=c++20 --language=c++ --enable=warning,performance,portability \
+    --inline-suppr \
+    --suppressions-list="$repo_root/tools/cppcheck-suppressions.txt" \
+    --error-exitcode=1 --quiet \
+    -I "$repo_root/src" \
+    "$repo_root/src" "$repo_root/bench" "$repo_root/tools/nettag_lint.cpp" \
+    || status=1
+else
+  echo "cppcheck not installed — skipping (CI runs it)"
+fi
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_static_analysis: no compile_commands.json in $build_dir" >&2
+    echo "  reconfigure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    status=1
+  else
+    runner=$(command -v run-clang-tidy || true)
+    if [ -n "$runner" ]; then
+      "$runner" -quiet -p "$build_dir" \
+        "$repo_root/src/.*" "$repo_root/bench/.*" "$repo_root/tools/.*" \
+        || status=1
+    else
+      # Fallback: drive clang-tidy file by file from the compile database.
+      for f in $(find "$repo_root/src" "$repo_root/bench" "$repo_root/tools" \
+                   -name '*.cpp' | sort); do
+        clang-tidy -quiet -p "$build_dir" "$f" || status=1
+      done
+    fi
+  fi
+else
+  echo "clang-tidy not installed — skipping (CI runs it)"
+fi
+
+if [ "$status" -ne 0 ]; then
+  echo "static analysis FAILED" >&2
+else
+  echo "static analysis OK"
+fi
+exit "$status"
