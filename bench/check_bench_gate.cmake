@@ -1,22 +1,30 @@
 # ctest script: the manifest regression gate, run locally against the
 # committed baselines.
 #
-# Regenerates the fig4 manifest at both pinned baseline configurations
+# Regenerates one bench's manifest at both pinned baseline configurations
 # (NETTAG_TAGS=400 and the larger-N NETTAG_TAGS=2000 point; NETTAG_TRIALS=1,
 # NETTAG_SEED=20190707, SOURCE_DATE_EPOCH=1562457600 — see
 # tools/refresh_baselines.sh) and requires:
-#   * `nettag-obs check` certifies the fresh trace/manifest pair;
+#   * with CHECK_TRACE: `nettag-obs check` certifies the fresh
+#     trace/manifest pair (only benches that stream a trace can opt in);
 #   * `nettag-obs diff` finds no structural drift vs bench/baselines/ at
 #     either tag count;
 #   * two runs with the same SOURCE_DATE_EPOCH are byte-identical.
 #
-# Inputs: FIG4 (bench binary), NETTAG_OBS (analyzer binary), WORK_DIR
-# (scratch), BASELINE (committed fig4 baseline manifest, N=400),
-# BASELINE_N2000 (committed fig4 baseline manifest, N=2000).
+# Inputs: BENCH (bench binary), NAME (short name for scratch files and
+# messages), NETTAG_OBS (analyzer binary), WORK_DIR (scratch), BASELINE
+# (committed baseline manifest, N=400), BASELINE_N2000 (committed baseline
+# manifest, N=2000), CHECK_TRACE (ON for benches that write NETTAG_TRACE).
+
+foreach(var BENCH NAME NETTAG_OBS WORK_DIR BASELINE BASELINE_N2000)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_bench_gate.cmake: ${var} not set")
+  endif()
+endforeach()
 
 file(MAKE_DIRECTORY ${WORK_DIR})
 
-function(run_fig4 tags manifest trace)
+function(run_bench tags manifest trace)
   set(env
     NETTAG_TAGS=${tags}
     NETTAG_TRIALS=1
@@ -27,54 +35,58 @@ function(run_fig4 tags manifest trace)
     list(APPEND env NETTAG_TRACE=${trace})
   endif()
   execute_process(
-    COMMAND ${CMAKE_COMMAND} -E env ${env} ${FIG4}
+    COMMAND ${CMAKE_COMMAND} -E env ${env} ${BENCH}
     RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "fig4 bench failed (${rc})\n${err}")
+    message(FATAL_ERROR "${NAME} bench failed (${rc})\n${err}")
   endif()
 endfunction()
 
 # Traced run: the analyzer must certify the trace/manifest pair.
-run_fig4(400 ${WORK_DIR}/fig4_traced.json ${WORK_DIR}/fig4.jsonl)
-execute_process(
-  COMMAND ${NETTAG_OBS} check ${WORK_DIR}/fig4.jsonl ${WORK_DIR}/fig4_traced.json
-  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
-if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "nettag-obs check rejected the fig4 artifacts (${rc})\n${err}")
+if(CHECK_TRACE)
+  run_bench(400 ${WORK_DIR}/${NAME}_traced.json ${WORK_DIR}/${NAME}.jsonl)
+  execute_process(
+    COMMAND ${NETTAG_OBS} check
+      ${WORK_DIR}/${NAME}.jsonl ${WORK_DIR}/${NAME}_traced.json
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "nettag-obs check rejected the ${NAME} artifacts (${rc})\n${err}")
+  endif()
 endif()
 
 # Untraced runs: byte-identical under a pinned SOURCE_DATE_EPOCH, and no
 # structural drift against the committed baseline.
-run_fig4(400 ${WORK_DIR}/fig4_a.json "")
-run_fig4(400 ${WORK_DIR}/fig4_b.json "")
+run_bench(400 ${WORK_DIR}/${NAME}_a.json "")
+run_bench(400 ${WORK_DIR}/${NAME}_b.json "")
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E compare_files
-    ${WORK_DIR}/fig4_a.json ${WORK_DIR}/fig4_b.json
+    ${WORK_DIR}/${NAME}_a.json ${WORK_DIR}/${NAME}_b.json
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR
-    "two fig4 runs with the same SOURCE_DATE_EPOCH are not byte-identical")
+    "two ${NAME} runs with the same SOURCE_DATE_EPOCH are not byte-identical")
 endif()
 
 execute_process(
-  COMMAND ${NETTAG_OBS} diff ${BASELINE} ${WORK_DIR}/fig4_a.json
+  COMMAND ${NETTAG_OBS} diff ${BASELINE} ${WORK_DIR}/${NAME}_a.json
   RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR
-    "fig4 manifest drifted from bench/baselines (${rc}) — if intentional, "
+    "${NAME} manifest drifted from bench/baselines (${rc}) — if intentional, "
     "refresh with tools/refresh_baselines.sh\n${err}")
 endif()
 
 # Larger-N pinned point: scale-dependent regressions (deeper tiers, more
 # indicator segments, bigger registration windows) that N=400 cannot see.
-run_fig4(2000 ${WORK_DIR}/fig4_n2000.json "")
+run_bench(2000 ${WORK_DIR}/${NAME}_n2000.json "")
 execute_process(
-  COMMAND ${NETTAG_OBS} diff ${BASELINE_N2000} ${WORK_DIR}/fig4_n2000.json
+  COMMAND ${NETTAG_OBS} diff ${BASELINE_N2000} ${WORK_DIR}/${NAME}_n2000.json
   RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR
-    "fig4 N=2000 manifest drifted from bench/baselines (${rc}) — if "
+    "${NAME} N=2000 manifest drifted from bench/baselines (${rc}) — if "
     "intentional, refresh with tools/refresh_baselines.sh\n${err}")
 endif()
 
-message(STATUS "manifest regression gate OK (N=400 and N=2000)")
+message(STATUS "${NAME} manifest regression gate OK (N=400 and N=2000)")

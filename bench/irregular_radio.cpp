@@ -54,7 +54,8 @@ int main() {
 
       double deg_sum = 0.0;
       for (TagIndex t = 0; t < topology.tag_count(); ++t)
-        deg_sum += topology.degree(t);
+        // Fixed tag-index order; serial fold, reproducible by construction.
+        deg_sum += topology.degree(t);  // nettag-lint: allow(float-for-accum)
       degree.add(deg_sum / topology.tag_count());
       reachable.add(100.0 * topology.reachable_count() /
                     topology.tag_count());

@@ -104,10 +104,20 @@ int main() {
       false_alarms.add(static_cast<double>(predicted.count()));
     }
     const double true_n = true_count.mean();
+    const double bias_pct = 100.0 * (n_hat.mean() - true_n) / true_n;
     std::printf("%-8.2f %13.2f%% %14.0f %13.2f%% %14.1f\n", loss,
-                kept.mean(), n_hat.mean(),
-                100.0 * (n_hat.mean() - true_n) / true_n,
-                false_alarms.mean());
+                kept.mean(), n_hat.mean(), bias_pct, false_alarms.mean());
+
+    // Publish the sweep row as gauges so the manifest regression gate can
+    // pin it (loss encoded in percent: loss005 is 5% link loss).
+    char prefix[64];
+    std::snprintf(prefix, sizeof prefix, "robustness.%s.loss%03d.", arm.name,
+                  static_cast<int>(loss * 100.0 + 0.5));
+    bench::registry().set(std::string(prefix) + "kept_pct", kept.mean());
+    bench::registry().set(std::string(prefix) + "n_hat", n_hat.mean());
+    bench::registry().set(std::string(prefix) + "bias_pct", bias_pct);
+    bench::registry().set(std::string(prefix) + "false_alarms",
+                          false_alarms.mean());
   }
   std::printf("\n");
   }
@@ -115,5 +125,5 @@ int main() {
       "\nreading: losses only erase bits (soundness preserved); redundancy "
       "hides small loss, while TRP needs loss-aware thresholds on bad "
       "channels (cf. Luo et al. [11]).\n");
-  return 0;
+  return bench::emit_manifest("robustness_link_loss", config, {}) ? 0 : 1;
 }

@@ -89,7 +89,8 @@ TagCost average_tag_cost(const CostModelInput& input) {
     avg.checking_rx_slots += w * c.checking_rx_slots;
     avg.frame_tx_slots += w * c.frame_tx_slots;
     avg.checking_tx_slots += w * c.checking_tx_slots;
-    weight_sum += w;
+    // Fixed tier order: serial weighted fold over the tier sweep.
+    weight_sum += w;  // nettag-lint: allow(float-for-accum)
   }
   NETTAG_ASSERT(weight_sum > 0.0, "ring model produced no tiers");
   avg.monitored_slots /= weight_sum;

@@ -46,7 +46,8 @@ double load_balance_index(const net::Topology& topology,
     if (topology.tier(t) == net::kUnreachable) continue;
     const auto value = static_cast<double>(by_sent ? energy.sent(t)
                                                    : energy.received(t));
-    total += value;
+    // Fixed tag-index order; serial fold over the topology.
+    total += value;  // nettag-lint: allow(float-for-accum)
     peak = std::max(peak, value);
     ++count;
   }

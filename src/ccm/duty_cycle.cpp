@@ -72,7 +72,8 @@ DutyCycleReport simulate_duty_cycle(const DutyCycleConfig& cfg, int tag_count,
         }
       } else {
         ++stats.participants;
-        idle_sum += request_time - wake;  // idle listening until the request
+        // Idle listening until the request; fixed tag order, serial fold.
+        idle_sum += request_time - wake;  // nettag-lint: allow(float-for-accum)
         ++idle_count;
         stats.avg_idle_listen_slots += request_time - wake;
         synced_at[i] = request_time;  // loose re-synchronization (SII)
@@ -80,7 +81,8 @@ DutyCycleReport simulate_duty_cycle(const DutyCycleConfig& cfg, int tag_count,
     }
     if (stats.participants > 0)
       stats.avg_idle_listen_slots /= stats.participants;
-    participation_sum +=
+    // Fixed operation order; serial fold across operations.
+    participation_sum +=  // nettag-lint: allow(float-for-accum)
         static_cast<double>(stats.participants) / tag_count;
     report.operations.push_back(stats);
   }

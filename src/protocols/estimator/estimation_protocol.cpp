@@ -72,7 +72,9 @@ EstimationResult estimate_cardinality(const EstimationConfig& config,
         n_hat = std::max(n_hat, 1.0);
         break;
       }
-      p /= 2.0;  // saturated: sample fewer tags
+      // Saturated: sample fewer tags.  Scalar halving in retry order, not
+      // an order-sensitive data fold.
+      p /= 2.0;  // nettag-lint: allow(float-for-accum)
     }
     if (n_hat <= 0.0) n_hat = 1.0;  // pathological: proceed conservatively
   }

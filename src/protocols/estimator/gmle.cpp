@@ -33,7 +33,8 @@ double score(std::span<const FrameObservation> frames, double n) {
     const double f = static_cast<double>(fr.frame_size);
     const double z = static_cast<double>(fr.empty_slots);
     const double denom = std::max(1.0 - q, 1e-300);
-    total += w * (z - f * q) / denom;
+    // Fixed frame order: the MLE sums per-frame terms serially.
+    total += w * (z - f * q) / denom;  // nettag-lint: allow(float-for-accum)
   }
   return total;
 }
@@ -49,7 +50,8 @@ double gmle_fisher_information(std::span<const FrameObservation> frames,
     const double q = std::exp(n * w);
     const double f = static_cast<double>(fr.frame_size);
     const double denom = std::max(1.0 - q, 1e-300);
-    info += f * w * w * q / denom;
+    // Fixed frame order, as in log_likelihood_derivative above.
+    info += f * w * w * q / denom;  // nettag-lint: allow(float-for-accum)
   }
   return info;
 }

@@ -47,7 +47,9 @@ LofEstimate lof_estimate(const Bitmap& bitmap, const LofConfig& config) {
       if (!busy && rank == config.slots_per_group) rank = s;
     }
     if (!any_busy) ++empty_groups;
-    rank_sum += static_cast<double>(rank);
+    // Fixed group order; serial fold over the LoF groups.
+    rank_sum +=  // nettag-lint: allow(float-for-accum)
+        static_cast<double>(rank);
   }
   const double m = static_cast<double>(config.groups);
   estimate.n_hat = m / kLofPhi * std::pow(2.0, rank_sum / m);

@@ -39,7 +39,9 @@ std::vector<DetectionPlan> enumerate_detection_plans(const SystemConfig& sys,
     // iff the first e-1 all missed, so E[count] = sum (1-delta_e)^e.
     double expected_runs = 0.0;
     for (int e = 0; e < executions; ++e)
-      expected_runs += std::pow(1.0 - plan.per_execution_delta, e);
+      // Fixed execution order: geometric series summed serially.
+      expected_runs +=  // nettag-lint: allow(float-for-accum)
+          std::pow(1.0 - plan.per_execution_delta, e);
     plan.expected_slots_event =
         expected_runs * static_cast<double>(plan.slots_per_execution);
     plans.push_back(plan);

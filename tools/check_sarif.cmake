@@ -1,0 +1,48 @@
+# Exercises the SARIF writer end to end and validates the output against
+# the SARIF 2.1.0 subset schema.  Two scans: a known-bad fixture (non-empty
+# results array, analyzer must exit 1) and a clean fixture (empty results,
+# exit 0) — the GitHub upload endpoint accepts both shapes.
+#
+# Inputs: NETTAG_LINT, PYTHON, SOURCE_DIR (repo tools/), WORK_DIR.
+foreach(var NETTAG_LINT PYTHON SOURCE_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_sarif.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(schema ${SOURCE_DIR}/sarif-2.1.0-subset.schema.json)
+
+execute_process(
+  COMMAND ${NETTAG_LINT} --root ${SOURCE_DIR}/lint_fixtures
+    --sarif ${WORK_DIR}/bad.sarif
+    ${SOURCE_DIR}/lint_fixtures/bad_raw_rand.cpp
+  RESULT_VARIABLE bad_rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT bad_rc EQUAL 1)
+  message(FATAL_ERROR "expected exit 1 on known-bad fixture, got ${bad_rc}")
+endif()
+
+execute_process(
+  COMMAND ${NETTAG_LINT} --root ${SOURCE_DIR}/lint_fixtures
+    --sarif ${WORK_DIR}/clean.sarif
+    ${SOURCE_DIR}/lint_fixtures/clean_raw_string.cpp
+  RESULT_VARIABLE clean_rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT clean_rc EQUAL 0)
+  message(FATAL_ERROR "expected exit 0 on clean fixture, got ${clean_rc}")
+endif()
+
+foreach(sarif bad.sarif clean.sarif)
+  execute_process(
+    COMMAND ${PYTHON} ${SOURCE_DIR}/check_sarif.py
+      ${WORK_DIR}/${sarif} ${schema}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${sarif} failed SARIF 2.1.0 validation")
+  endif()
+endforeach()
+
+# The bad scan must actually carry results; guard against an empty writer.
+file(READ ${WORK_DIR}/bad.sarif bad_text)
+if(NOT bad_text MATCHES "\"ruleId\": \"raw-rand\"")
+  message(FATAL_ERROR "bad.sarif carries no raw-rand results")
+endif()

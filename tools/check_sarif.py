@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validates a nettag-lint SARIF file against SARIF 2.1.0.
+
+Two layers, so CI fails loudly either way:
+  1. structural checks implemented by hand (always run, no dependencies),
+  2. jsonschema validation against tools/sarif-2.1.0-subset.schema.json
+     when the `jsonschema` package is importable (skipped silently when
+     the interpreter lacks it — layer 1 already covers the shape).
+
+Usage: check_sarif.py SARIF_FILE [SCHEMA_FILE]
+Exit codes: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+LEVELS = {"none", "note", "warning", "error"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_sarif: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def structural(doc: dict) -> int:
+    """Hand-rolled subset of the SARIF 2.1.0 shape; returns result count."""
+    if doc.get("version") != "2.1.0":
+        fail(f"version is {doc.get('version')!r}, expected '2.1.0'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs must be a non-empty array")
+    total = 0
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            fail("tool.driver.name is required")
+        rule_ids = set()
+        for rule in driver.get("rules", []):
+            if not rule.get("id"):
+                fail("every rule needs an id")
+            rule_ids.add(rule["id"])
+            text = rule.get("shortDescription", {}).get("text")
+            if not isinstance(text, str) or not text:
+                fail(f"rule {rule['id']}: shortDescription.text missing")
+            level = rule.get("defaultConfiguration", {}).get("level")
+            if level not in LEVELS:
+                fail(f"rule {rule['id']}: bad defaultConfiguration.level "
+                     f"{level!r}")
+        for res in run.get("results", []):
+            rid = res.get("ruleId")
+            if not rid:
+                fail("every result needs a ruleId")
+            if rule_ids and rid not in rule_ids:
+                fail(f"result references undeclared rule {rid!r}")
+            if res.get("level") not in LEVELS:
+                fail(f"result {rid}: bad level {res.get('level')!r}")
+            text = res.get("message", {}).get("text")
+            if not isinstance(text, str) or not text:
+                fail(f"result {rid}: message.text missing")
+            locs = res.get("locations")
+            if not isinstance(locs, list) or not locs:
+                fail(f"result {rid}: locations must be non-empty")
+            for loc in locs:
+                phys = loc.get("physicalLocation", {})
+                uri = phys.get("artifactLocation", {}).get("uri")
+                if not uri:
+                    fail(f"result {rid}: artifactLocation.uri missing")
+                if uri.startswith("/") or uri.startswith("file:"):
+                    fail(f"result {rid}: uri {uri!r} must be repo-relative")
+                start = phys.get("region", {}).get("startLine")
+                if not isinstance(start, int) or start < 1:
+                    fail(f"result {rid}: region.startLine must be >= 1")
+            total += 1
+    return total
+
+
+def with_schema(doc: dict, schema_path: str) -> bool:
+    try:
+        import jsonschema
+    except ImportError:
+        return False
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+    try:
+        jsonschema.validate(doc, schema)
+    except jsonschema.ValidationError as err:
+        fail(f"schema validation: {err.message} at "
+             f"{'/'.join(str(p) for p in err.absolute_path) or '<root>'}")
+    return True
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_sarif: cannot parse {argv[1]}: {err}", file=sys.stderr)
+        return 2
+
+    results = structural(doc)
+    schema_ran = with_schema(doc, argv[2]) if len(argv) == 3 else False
+    mode = "structural+jsonschema" if schema_ran else "structural"
+    print(f"check_sarif: OK ({results} result(s), {mode})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,71 @@
+#include "lint/baseline.hpp"
+
+#include <fstream>
+
+namespace nettag::lint {
+
+bool read_baseline(const std::string& path, Baseline& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t p1 = line.find('|');
+    if (p1 == std::string::npos) continue;
+    const std::size_t p2 = line.find('|', p1 + 1);
+    const std::string file = line.substr(0, p1);
+    const std::string rule = p2 == std::string::npos
+                                 ? line.substr(p1 + 1)
+                                 : line.substr(p1 + 1, p2 - p1 - 1);
+    int count = 1;
+    if (p2 != std::string::npos) {
+      try {
+        count = std::stoi(line.substr(p2 + 1));
+      } catch (...) {
+        count = 1;
+      }
+    }
+    out[{file, rule}] += count;
+  }
+  return true;
+}
+
+bool write_baseline(const std::string& path,
+                    const std::vector<Finding>& findings) {
+  Baseline counts;
+  for (const Finding& f : findings)
+    ++counts[{f.rel.empty() ? f.file : f.rel, f.rule}];
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# nettag-lint baseline — `path|rule|count` of accepted findings.\n"
+         "# The gate fails only on findings beyond these counts; keep this\n"
+         "# file empty unless a new rule lands with recorded debt.\n";
+  for (const auto& [key, count] : counts)
+    out << key.first << "|" << key.second << "|" << count << "\n";
+  return static_cast<bool>(out);
+}
+
+std::vector<Finding> filter_baseline(const std::vector<Finding>& findings,
+                                     const Baseline& baseline,
+                                     int& suppressed,
+                                     std::vector<std::string>& stale) {
+  Baseline remaining = baseline;
+  std::vector<Finding> fresh;
+  suppressed = 0;
+  for (const Finding& f : findings) {
+    const auto it =
+        remaining.find({f.rel.empty() ? f.file : f.rel, f.rule});
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      ++suppressed;
+      continue;
+    }
+    fresh.push_back(f);
+  }
+  for (const auto& [key, count] : remaining)
+    if (count > 0)
+      stale.push_back(key.first + "|" + key.second + "|" +
+                      std::to_string(count));
+  return fresh;
+}
+
+}  // namespace nettag::lint

@@ -1,0 +1,41 @@
+// Finding baselines: fail only on *new* findings.
+//
+// A baseline is a text file of `path|rule|count` lines (comments with '#',
+// blank lines ignored), keyed on repo-relative paths so it survives
+// checkouts at different locations.  Filtering subtracts the baselined
+// count per (path, rule) from the scan's findings — the first N findings of
+// that key are suppressed, anything beyond is new and fails the gate.
+// Counts rather than line numbers keep the file stable under unrelated
+// edits above a finding.
+//
+// The committed baseline (tools/lint_baseline.txt) is empty — the tree
+// scans clean — but the mechanism lets a future rule land with its existing
+// debt recorded instead of blocking on a flag-day cleanup.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace nettag::lint {
+
+using Baseline = std::map<std::pair<std::string, std::string>, int>;
+
+/// Parses a baseline file.  Returns false when the file cannot be read.
+bool read_baseline(const std::string& path, Baseline& out);
+
+/// Writes `findings` as a baseline (sorted, deduplicated into counts).
+bool write_baseline(const std::string& path,
+                    const std::vector<Finding>& findings);
+
+/// Splits findings into new ones (returned) and baselined ones (counted
+/// into `suppressed`).  `stale` receives baseline keys whose counts exceed
+/// what the scan produced — entries that can be removed.
+std::vector<Finding> filter_baseline(const std::vector<Finding>& findings,
+                                     const Baseline& baseline,
+                                     int& suppressed,
+                                     std::vector<std::string>& stale);
+
+}  // namespace nettag::lint

@@ -1,0 +1,223 @@
+#include "lint/include_graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace nettag::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+enum class Layer { kCommon, kObs, kSrc, kBench, kTools, kTests, kExamples,
+                   kOther };
+
+/// Repo-relative path with forward slashes, or "" when outside the root.
+std::string relative_to(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(fs::weakly_canonical(file, ec),
+                                    fs::weakly_canonical(root, ec), ec);
+  if (ec) return {};
+  const std::string s = rel.generic_string();
+  if (s.empty() || s.rfind("..", 0) == 0) return {};
+  return s;
+}
+
+Layer classify(const std::string& rel) {
+  const auto starts = [&rel](const char* prefix) {
+    return rel.rfind(prefix, 0) == 0;
+  };
+  if (starts("src/common/")) return Layer::kCommon;
+  if (starts("src/obs/")) return Layer::kObs;
+  if (starts("src/")) return Layer::kSrc;
+  if (starts("bench/")) return Layer::kBench;
+  if (starts("tools/")) return Layer::kTools;
+  if (starts("tests/")) return Layer::kTests;
+  if (starts("examples/")) return Layer::kExamples;
+  return Layer::kOther;
+}
+
+const char* layer_name(Layer l) {
+  switch (l) {
+    case Layer::kCommon: return "src/common";
+    case Layer::kObs: return "src/obs";
+    case Layer::kSrc: return "src";
+    case Layer::kBench: return "bench";
+    case Layer::kTools: return "tools";
+    case Layer::kTests: return "tests";
+    case Layer::kExamples: return "examples";
+    case Layer::kOther: break;
+  }
+  return "external";
+}
+
+/// The only obs headers visible to the simulator: the sink surface.  The
+/// offline side (parsers, manifest assembly, trace analysis) belongs to
+/// bench/tools, keeping obs optional in any src-only link.
+const std::set<std::string>& obs_sink_surface() {
+  static const std::set<std::string> s = {
+      "src/obs/trace.hpp", "src/obs/profiler.hpp", "src/obs/registry.hpp"};
+  return s;
+}
+
+/// Resolves an include written as `inc` from `includer` to a repo-relative
+/// path, trying the repo's include conventions in order: relative to src/
+/// (the -I root), relative to the including file, relative to the repo
+/// root.  Returns "" for external headers.
+std::string resolve_include(const std::string& inc, const fs::path& includer,
+                            const fs::path& root) {
+  const fs::path candidates[] = {root / "src" / inc,
+                                 includer.parent_path() / inc, root / inc};
+  for (const fs::path& c : candidates) {
+    std::error_code ec;
+    if (fs::is_regular_file(c, ec)) {
+      const std::string rel = relative_to(c, root);
+      if (!rel.empty()) return rel;
+    }
+  }
+  return {};
+}
+
+bool is_upper_layer(Layer l) {
+  return l == Layer::kBench || l == Layer::kTools || l == Layer::kTests ||
+         l == Layer::kExamples;
+}
+bool is_src_side(Layer l) {
+  return l == Layer::kCommon || l == Layer::kObs || l == Layer::kSrc;
+}
+
+struct Edge {
+  std::string target_rel;  // resolved repo-relative include target
+  int line = 0;
+};
+
+}  // namespace
+
+void run_include_graph_rules(
+    std::map<std::filesystem::path, LexedFile>& files,
+    const std::filesystem::path& root, std::vector<Finding>& findings) {
+  // Resolve every quote-include of every scanned file.  rel -> edges, plus
+  // the reverse map back to the scanned path for pragma lookups.
+  std::map<std::string, std::vector<Edge>> graph;
+  std::map<std::string, fs::path> path_of;
+  std::map<std::string, LexedFile*> lexed_of;
+
+  for (auto& [path, lexed] : files) {
+    const std::string rel = relative_to(path, root);
+    if (rel.empty()) continue;
+    path_of[rel] = path;
+    lexed_of[rel] = &lexed;
+    auto& edges = graph[rel];
+    for (const Include& inc : lexed.includes) {
+      if (inc.angled) continue;  // system/third-party headers
+      const std::string target = resolve_include(inc.path, path, root);
+      if (target.empty() || target == rel) continue;
+      edges.push_back({target, inc.line});
+    }
+  }
+
+  const auto report = [&](const std::string& rel, int line, const char* rule,
+                          std::string message) {
+    LexedFile* lexed = lexed_of.at(rel);
+    if (pragma_allows(*lexed, line, rule)) return;
+    findings.push_back({path_of.at(rel).string(), rel, line, rule,
+                        std::move(message), Level::kError});
+  };
+
+  // Layering checks, one per offending include edge.
+  for (const auto& [rel, edges] : graph) {
+    const Layer from = classify(rel);
+    if (!is_src_side(from)) continue;  // upper layers may include anything
+    for (const Edge& e : edges) {
+      const Layer to = classify(e.target_rel);
+      if (is_upper_layer(to)) {
+        report(rel, e.line, "layering",
+               "src must stay linkable without the harnesses: " + rel +
+                   " includes " + e.target_rel + " (" + layer_name(to) +
+                   " is above the " + layer_name(from) + " layer)");
+        continue;
+      }
+      if (from == Layer::kCommon && to != Layer::kCommon &&
+          to != Layer::kOther) {
+        report(rel, e.line, "layering",
+               "src/common is the leaf layer: " + rel + " must not include " +
+                   e.target_rel);
+        continue;
+      }
+      if (from == Layer::kObs && to != Layer::kObs && to != Layer::kCommon &&
+          to != Layer::kOther) {
+        report(rel, e.line, "layering",
+               "src/obs depends only on src/common: " + rel + " includes " +
+                   e.target_rel);
+        continue;
+      }
+      if (from == Layer::kSrc && to == Layer::kObs &&
+          obs_sink_surface().count(e.target_rel) == 0) {
+        report(rel, e.line, "layering",
+               "obs stays optional behind its sinks: " + rel + " includes " +
+                   e.target_rel +
+                   " (only obs/trace.hpp, obs/profiler.hpp and "
+                   "obs/registry.hpp are visible to src)");
+      }
+    }
+  }
+
+  // Cycle detection: iterative DFS with colors; every back edge closes a
+  // cycle.  Each cycle is reported once, attributed to the edge that closes
+  // it (deduplicated on the unordered file pair so A<->B is one finding per
+  // direction at most, and reruns are stable).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::set<std::pair<std::string, std::string>> reported;
+
+  struct Frame {
+    std::string node;
+    std::size_t next_edge = 0;
+  };
+
+  for (const auto& [start, unused_edges] : graph) {
+    (void)unused_edges;
+    if (color[start] != 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({start});
+    color[start] = 1;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      auto it = graph.find(frame.node);
+      const std::vector<Edge>& edges =
+          it == graph.end() ? std::vector<Edge>{} : it->second;
+      if (frame.next_edge >= edges.size()) {
+        color[frame.node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const Edge& e = edges[frame.next_edge++];
+      // Only repository files participate: a target we did not scan has no
+      // outgoing edges and cannot close a cycle.
+      if (graph.find(e.target_rel) == graph.end()) continue;
+      const int c = color[e.target_rel];
+      if (c == 0) {
+        color[e.target_rel] = 1;
+        stack.push_back({e.target_rel});
+        continue;
+      }
+      if (c == 1) {
+        // Back edge: frame.node -> e.target_rel closes a cycle through the
+        // grey path.  Reconstruct it for the message.
+        std::string chain = e.target_rel;
+        for (std::size_t i = stack.size(); i-- > 0;) {
+          chain += " -> " + stack[i].node;
+          if (stack[i].node == e.target_rel) break;
+        }
+        if (reported.insert({std::min(frame.node, e.target_rel),
+                             std::max(frame.node, e.target_rel)})
+                .second) {
+          report(frame.node, e.line, "include-cycle",
+                 "cyclic include chain: " + chain +
+                     " — break the cycle with a forward declaration or an "
+                     "interface split");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace nettag::lint

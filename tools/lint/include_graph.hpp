@@ -1,0 +1,44 @@
+// nettag-lint pass 3 — the repository include graph.
+//
+// Builds the quote-include graph over every scanned file, resolves each
+// include to a repo-relative target (includes are written relative to src/,
+// the including directory, or the repo root; unresolvable includes are
+// external and ignored), and enforces the layering contract:
+//
+//     tests / bench / tools / examples        (may include anything below)
+//            ccm  protocols  analysis ...     (src/ feature layers)
+//                    obs                      (optional: only its sink
+//                                              headers are visible to src/)
+//            common  geom  sim  net           (infrastructure)
+//            common == leaf: includes only src/common
+//
+// Concretely:
+//   * src/common/** includes nothing from the repo outside src/common;
+//   * src/** (and src/obs/**) never include bench/, tools/, tests/ or
+//     examples/ headers — the simulator must stay linkable without them;
+//   * src/** outside obs/ may include obs only through its sink surface
+//     (obs/trace.hpp, obs/profiler.hpp, obs/registry.hpp): the offline
+//     analysis side (json, manifest, trace_reader, trace_analysis) is
+//     bench/tools territory, so `obs` stays optional behind its sinks;
+//   * no include cycles among repository headers.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "lint/token.hpp"
+
+namespace nettag::lint {
+
+/// Runs the layering and cycle rules over the scanned file set.
+/// `files` maps each scanned path to its lexed form (mutable so pragma hits
+/// can be recorded); `root` is the repository root used to derive the
+/// repo-relative identity of every file and include target.
+void run_include_graph_rules(
+    std::map<std::filesystem::path, LexedFile>& files,
+    const std::filesystem::path& root, std::vector<Finding>& findings);
+
+}  // namespace nettag::lint

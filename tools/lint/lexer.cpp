@@ -1,0 +1,343 @@
+#include "lint/token.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace nettag::lint {
+namespace {
+
+/// Multi-character punctuators, longest first so maximal munch is a linear
+/// prefix test.  Only operators the rule passes care to see unsplit are
+/// required, but keeping the full C++ set avoids surprises (e.g. `+=` being
+/// lexed as `+` `=`).
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=", "==", "!=", "<=", ">=", "&&", "||",
+    "<<",  ">>",  ".*",
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// A raw-string opener is an encoding prefix ending in R directly before a
+/// double quote: R, uR, UR, LR, u8R.
+bool is_raw_prefix(const std::string& ident) {
+  return ident == "R" || ident == "uR" || ident == "UR" || ident == "LR" ||
+         ident == "u8R";
+}
+
+/// Scans a comment's text for allow-pragmas.  `base_line` is the line the
+/// comment starts on; newlines inside block comments advance it.
+void collect_pragmas(const std::string& text, int base_line,
+                     std::vector<Pragma>& pragmas) {
+  int line = base_line;
+  const std::string key = "nettag-lint:";
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (text.compare(i, key.size(), key) != 0) continue;
+    std::size_t j = i + key.size();
+    while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
+    if (text.compare(j, 6, "allow(") != 0) continue;
+    j += 6;
+    std::string rule;
+    while (j < text.size() &&
+           (is_ident_char(text[j]) || text[j] == '-')) {
+      rule.push_back(text[j]);
+      ++j;
+    }
+    if (j < text.size() && text[j] == ')' && !rule.empty())
+      pragmas.push_back({line, rule, false});
+    i = j;
+  }
+}
+
+/// The spliced source: backslash-newline removed, with a per-character map
+/// back to the physical line number.
+struct Spliced {
+  std::string text;
+  std::vector<int> line;  // line[i] = 1-based line of text[i]
+};
+
+Spliced splice(const std::string& source) {
+  Spliced out;
+  out.text.reserve(source.size());
+  out.line.reserve(source.size());
+  int line = 1;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    if (c == '\\') {
+      std::size_t j = i + 1;
+      if (j < source.size() && source[j] == '\r') ++j;
+      if (j < source.size() && source[j] == '\n') {
+        ++line;
+        i = j;
+        continue;
+      }
+    }
+    out.text.push_back(c);
+    out.line.push_back(line);
+    if (c == '\n') ++line;
+  }
+  return out;
+}
+
+class Lexer {
+ public:
+  Lexer(const Spliced& src, LexedFile& out) : src_(src), out_(out) {}
+
+  void run() {
+    bool line_start = true;  // only whitespace seen since the last newline
+    while (pos_ < src_.text.size()) {
+      const char c = src_.text[pos_];
+      if (c == '\n') {
+        line_start = true;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && line_start) {
+        directive();
+        line_start = false;
+        continue;
+      }
+      line_start = false;
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        number();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier();
+        continue;
+      }
+      punct();
+    }
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < src_.text.size() ? src_.text[i] : '\0';
+  }
+  int line_at(std::size_t i) const {
+    if (src_.line.empty()) return 1;
+    return src_.line[std::min(i, src_.line.size() - 1)];
+  }
+
+  void line_comment() {
+    const int line = line_at(pos_);
+    std::size_t end = src_.text.find('\n', pos_);
+    if (end == std::string::npos) end = src_.text.size();
+    collect_pragmas(src_.text.substr(pos_, end - pos_), line, out_.pragmas);
+    pos_ = end;
+  }
+
+  void block_comment() {
+    const int line = line_at(pos_);
+    std::size_t end = src_.text.find("*/", pos_ + 2);
+    const std::size_t stop =
+        end == std::string::npos ? src_.text.size() : end + 2;
+    collect_pragmas(src_.text.substr(pos_, stop - pos_), line, out_.pragmas);
+    pos_ = stop;
+  }
+
+  /// `#include` lines are recorded and consumed; every other directive is
+  /// skipped past its name only, so its body still reaches the token
+  /// stream (a wall-clock call in a macro definition is still a finding).
+  void directive() {
+    const int line = line_at(pos_);
+    ++pos_;  // '#'
+    while (peek() == ' ' || peek() == '\t') ++pos_;
+    std::string name;
+    while (is_ident_char(peek())) {
+      name.push_back(peek());
+      ++pos_;
+    }
+    if (name != "include") return;
+    while (peek() == ' ' || peek() == '\t') ++pos_;
+    const char open = peek();
+    const char close = open == '<' ? '>' : '"';
+    if (open != '<' && open != '"') return;
+    ++pos_;
+    std::string path;
+    while (pos_ < src_.text.size() && peek() != close && peek() != '\n') {
+      path.push_back(peek());
+      ++pos_;
+    }
+    if (peek() == close) ++pos_;
+    out_.includes.push_back({path, line, open == '<'});
+  }
+
+  void string_literal() {
+    const int line = line_at(pos_);
+    ++pos_;  // opening quote
+    std::string contents;
+    while (pos_ < src_.text.size() && peek() != '"') {
+      if (peek() == '\\' && pos_ + 1 < src_.text.size()) {
+        contents.push_back(peek());
+        contents.push_back(peek(1));
+        pos_ += 2;
+        continue;
+      }
+      contents.push_back(peek());
+      ++pos_;
+    }
+    if (peek() == '"') ++pos_;
+    out_.tokens.push_back({TokKind::kString, std::move(contents), line});
+  }
+
+  void raw_string_literal(int line) {
+    // pos_ is at the opening quote of R"delim( ... )delim".
+    ++pos_;
+    std::string delim;
+    while (pos_ < src_.text.size() && peek() != '(') {
+      delim.push_back(peek());
+      ++pos_;
+    }
+    ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = src_.text.find(closer, pos_);
+    std::string contents;
+    if (end == std::string::npos) {
+      contents = src_.text.substr(pos_);
+      pos_ = src_.text.size();
+    } else {
+      contents = src_.text.substr(pos_, end - pos_);
+      pos_ = end + closer.size();
+    }
+    out_.tokens.push_back({TokKind::kString, std::move(contents), line});
+  }
+
+  void char_literal() {
+    const int line = line_at(pos_);
+    ++pos_;
+    std::string contents;
+    while (pos_ < src_.text.size() && peek() != '\'') {
+      if (peek() == '\\' && pos_ + 1 < src_.text.size()) {
+        contents.push_back(peek());
+        contents.push_back(peek(1));
+        pos_ += 2;
+        continue;
+      }
+      contents.push_back(peek());
+      ++pos_;
+    }
+    if (peek() == '\'') ++pos_;
+    out_.tokens.push_back({TokKind::kCharLit, std::move(contents), line});
+  }
+
+  /// pp-number: digits, letters, dots, digit separators, and signed
+  /// exponents.  Covers every C++ literal form we need to classify later.
+  void number() {
+    const int line = line_at(pos_);
+    std::string text;
+    while (pos_ < src_.text.size()) {
+      const char c = peek();
+      if (is_ident_char(c) || c == '.') {
+        text.push_back(c);
+        ++pos_;
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek() == '+' || peek() == '-') &&
+            !(text.size() >= 2 && text[0] == '0' &&
+              (text[1] == 'x' || text[1] == 'X') &&
+              (c == 'e' || c == 'E'))) {
+          text.push_back(peek());
+          ++pos_;
+        }
+        continue;
+      }
+      if (c == '\'' && is_ident_char(peek(1))) {  // digit separator
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    out_.tokens.push_back({TokKind::kNumber, std::move(text), line});
+  }
+
+  void identifier() {
+    const int line = line_at(pos_);
+    std::string text;
+    while (is_ident_char(peek())) {
+      text.push_back(peek());
+      ++pos_;
+    }
+    if (is_raw_prefix(text) && peek() == '"') {
+      raw_string_literal(line);
+      return;
+    }
+    if ((text == "u8" || text == "u" || text == "U" || text == "L") &&
+        (peek() == '"' || peek() == '\'')) {
+      // Encoding-prefixed ordinary literal: lex the literal, drop the prefix.
+      if (peek() == '"')
+        string_literal();
+      else
+        char_literal();
+      return;
+    }
+    out_.tokens.push_back({TokKind::kIdent, std::move(text), line});
+  }
+
+  void punct() {
+    const int line = line_at(pos_);
+    for (const char* op : kPuncts) {
+      const std::size_t n = std::string::traits_type::length(op);
+      if (src_.text.compare(pos_, n, op) == 0) {
+        out_.tokens.push_back({TokKind::kPunct, op, line});
+        pos_ += n;
+        return;
+      }
+    }
+    out_.tokens.push_back({TokKind::kPunct, std::string(1, peek()), line});
+    ++pos_;
+  }
+
+  const Spliced& src_;
+  LexedFile& out_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void lex_source(const std::string& source, LexedFile& out) {
+  const Spliced spliced = splice(source);
+  Lexer(spliced, out).run();
+}
+
+bool lex_file(const std::filesystem::path& path, LexedFile& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  lex_source(buffer.str(), out);
+  return true;
+}
+
+}  // namespace nettag::lint

@@ -1,0 +1,608 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <string>
+
+namespace nettag::lint {
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+const std::set<std::string>& engine_names() {
+  static const std::set<std::string> s = {
+      "mt19937",        "mt19937_64",    "default_random_engine",
+      "minstd_rand",    "minstd_rand0",  "ranlux24",
+      "ranlux48",       "ranlux24_base", "ranlux48_base",
+      "knuth_b",        "random_device",
+  };
+  return s;
+}
+
+const std::set<std::string>& unordered_names() {
+  static const std::set<std::string> s = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return s;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// Previous token is a member-access or scope operator — the identifier is
+/// qualified by something we cannot see, so give it the benefit of doubt
+/// (std:: qualification is checked separately where it matters).
+bool member_qualified(const std::vector<Token>& t, std::size_t i) {
+  return i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+}
+
+/// True when t[i] is qualified as std::... (possibly just `::std`-free).
+bool std_qualified(const std::vector<Token>& t, std::size_t i) {
+  return i >= 2 && is_punct(t[i - 1], "::") && is_ident(t[i - 2], "std");
+}
+
+/// Any `X::` qualifier other than std:: (e.g. sim::Clock::, MyRng::rand).
+bool foreign_qualified(const std::vector<Token>& t, std::size_t i) {
+  return i >= 2 && is_punct(t[i - 1], "::") && !is_ident(t[i - 2], "std");
+}
+
+/// A floating-point literal: not hex, and carrying a '.', an exponent, or
+/// an f/F suffix.
+bool is_float_literal(const Token& t) {
+  if (t.kind != TokKind::kNumber) return false;
+  const std::string& s = t.text;
+  if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X'))
+    return false;
+  if (s.find('.') != std::string::npos) return true;
+  if (s.find('e') != std::string::npos || s.find('E') != std::string::npos)
+    return true;
+  return !s.empty() && (s.back() == 'f' || s.back() == 'F');
+}
+
+/// Index of the `>` closing the `<` at t[i], treating `>>` as two closers.
+/// Fails (npos) on statement punctuation, so `a < b; c > d` is not a
+/// template-argument list.
+std::size_t match_angle(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  int parens = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const Token& tok = t[j];
+    if (tok.kind != TokKind::kPunct) continue;
+    if (tok.text == "(") ++parens;
+    if (tok.text == ")") --parens;
+    if (parens > 0) continue;
+    if (tok.text == "<") ++depth;
+    if (tok.text == "<<") depth += 2;
+    if (tok.text == ">") --depth;
+    if (tok.text == ">>") depth -= 2;
+    if (depth <= 0) return j;
+    if (tok.text == ";" || tok.text == "{") return npos;
+  }
+  return npos;
+}
+
+/// Index of the token matching the opener at t[i] (one of ( [ {).
+std::size_t match_bracket(const std::vector<Token>& t, std::size_t i) {
+  const std::string& open = t[i].text;
+  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == open) ++depth;
+    if (t[j].text == close && --depth == 0) return j;
+  }
+  return npos;
+}
+
+/// Top-level argument ranges [begin, end) of the call whose `(` is at t[lp].
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& t, std::size_t lp) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  const std::size_t rp = match_bracket(t, lp);
+  if (rp == npos) return args;
+  int depth = 0;
+  std::size_t begin = lp + 1;
+  for (std::size_t j = lp + 1; j < rp; ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    const std::string& s = t[j].text;
+    if (s == "(" || s == "[" || s == "{") ++depth;
+    if (s == ")" || s == "]" || s == "}") --depth;
+    if (s == "," && depth == 0) {
+      args.emplace_back(begin, j);
+      begin = j + 1;
+    }
+  }
+  if (begin < rp || !args.empty()) args.emplace_back(begin, rp);
+  return args;
+}
+
+struct ForLoop {
+  std::size_t head_begin;  // index of `for`
+  std::size_t body_begin;  // one past the head's closing `)`
+  std::size_t body_end;    // one past the last body token
+  int line;                // line of the `for` keyword
+};
+
+std::vector<ForLoop> find_for_loops(const std::vector<Token>& t) {
+  std::vector<ForLoop> loops;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "for") || !is_punct(t[i + 1], "(")) continue;
+    const std::size_t rp = match_bracket(t, i + 1);
+    if (rp == npos) continue;
+    std::size_t end = rp + 1;
+    if (end < t.size() && is_punct(t[end], "{")) {
+      const std::size_t rb = match_bracket(t, end);
+      end = rb == npos ? t.size() : rb + 1;
+    } else {
+      int depth = 0;
+      while (end < t.size()) {
+        const Token& tok = t[end];
+        if (tok.kind == TokKind::kPunct) {
+          if (tok.text == "(" || tok.text == "{" || tok.text == "[") ++depth;
+          if (tok.text == ")" || tok.text == "}" || tok.text == "]") --depth;
+          if (tok.text == ";" && depth == 0) break;
+        }
+        ++end;
+      }
+    }
+    loops.push_back({i, rp + 1, end, t[i].line});
+  }
+  return loops;
+}
+
+/// Declared names whose static type the rules track.
+struct DeclIndex {
+  std::map<std::string, int> float_vars;       // name -> decl line
+  std::set<std::string> containers;            // unordered container vars
+  std::set<std::string> container_funcs;       // funcs returning one
+  std::set<std::string> container_type_alias;  // using X = unordered_...
+};
+
+/// True when t[i] begins `[std::]unordered_xxx<...>`; sets `after` to the
+/// index one past the closing `>`.
+bool match_unordered_type(const std::vector<Token>& t, std::size_t i,
+                          std::size_t& after) {
+  std::size_t k = i;
+  if (is_ident(t[k], "std") && k + 1 < t.size() && is_punct(t[k + 1], "::"))
+    k += 2;
+  if (k >= t.size() || t[k].kind != TokKind::kIdent ||
+      unordered_names().count(t[k].text) == 0)
+    return false;
+  if (k + 1 >= t.size() || !is_punct(t[k + 1], "<")) return false;
+  const std::size_t close = match_angle(t, k + 1);
+  if (close == npos) return false;
+  after = close + 1;
+  return true;
+}
+
+/// After a type, skips const/&/*/&& and returns the declared identifier (or
+/// npos when the shape is not a declaration).
+std::size_t declared_name(const std::vector<Token>& t, std::size_t i) {
+  while (i < t.size() &&
+         (is_ident(t[i], "const") || is_punct(t[i], "&") ||
+          is_punct(t[i], "&&") || is_punct(t[i], "*")))
+    ++i;
+  if (i >= t.size() || t[i].kind != TokKind::kIdent) return npos;
+  if (i + 1 >= t.size()) return npos;
+  const Token& next = t[i + 1];
+  if (next.kind == TokKind::kPunct &&
+      (next.text == ";" || next.text == "=" || next.text == "{" ||
+       next.text == "(" || next.text == "," || next.text == ")" ||
+       next.text == ":"))
+    return i;
+  return npos;
+}
+
+DeclIndex build_decl_index(const std::vector<Token>& t) {
+  DeclIndex ix;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // using Alias = [std::]unordered_xxx<...>;
+    if (is_ident(t[i], "using") && i + 2 < t.size() &&
+        t[i + 1].kind == TokKind::kIdent && is_punct(t[i + 2], "=")) {
+      std::size_t after = 0;
+      if (match_unordered_type(t, i + 3, after))
+        ix.container_type_alias.insert(t[i + 1].text);
+      continue;
+    }
+
+    // [std::]unordered_xxx<...> [cv ref] name   — or an alias type used the
+    // same way.  `name(` records a function returning the container; the
+    // name is tracked either way (iterating the call result is the hazard).
+    std::size_t after = 0;
+    bool is_container_type = match_unordered_type(t, i, after);
+    if (!is_container_type && t[i].kind == TokKind::kIdent &&
+        ix.container_type_alias.count(t[i].text) > 0 &&
+        !member_qualified(t, i) && !(i > 0 && is_punct(t[i - 1], "::"))) {
+      after = i + 1;
+      is_container_type = true;
+    }
+    if (is_container_type) {
+      const std::size_t name = declared_name(t, after);
+      if (name != npos) {
+        ix.containers.insert(t[name].text);
+        if (is_punct(t[name + 1], "(")) ix.container_funcs.insert(t[name].text);
+      }
+    }
+
+    // float/double [cv ref] name  — tracked for the accumulation rules.
+    if ((is_ident(t[i], "float") || is_ident(t[i], "double")) &&
+        !(i > 0 && (is_punct(t[i - 1], "<") || is_punct(t[i - 1], ",") ||
+                    is_punct(t[i - 1], "::")))) {
+      const std::size_t name = declared_name(t, i + 1);
+      if (name != npos) ix.float_vars.emplace(t[name].text, t[name].line);
+    }
+
+    // auto name = <float literal>  — a deduced double.
+    if (is_ident(t[i], "auto")) {
+      std::size_t j = i + 1;
+      while (j < t.size() && (is_punct(t[j], "&") || is_punct(t[j], "*") ||
+                              is_ident(t[j], "const")))
+        ++j;
+      if (j + 1 < t.size() && t[j].kind == TokKind::kIdent &&
+          is_punct(t[j + 1], "=")) {
+        std::size_t v = j + 2;
+        if (v < t.size() && is_punct(t[v], "-")) ++v;
+        if (v < t.size() && is_float_literal(t[v]))
+          ix.float_vars.emplace(t[j].text, t[j].line);
+      }
+    }
+  }
+
+  // Alias propagation to fixpoint: `auto& a = m`, `auto* p = &m`,
+  // `auto c = make_index()`, `auto v = obj.member_` — anything whose
+  // right-hand base resolves to a tracked container becomes tracked itself.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (!is_ident(t[i], "auto")) continue;
+      std::size_t j = i + 1;
+      while (j < t.size() && (is_punct(t[j], "&") || is_punct(t[j], "&&") ||
+                              is_punct(t[j], "*") || is_ident(t[j], "const")))
+        ++j;
+      if (j + 1 >= t.size() || t[j].kind != TokKind::kIdent ||
+          !is_punct(t[j + 1], "="))
+        continue;
+      const std::string& name = t[j].text;
+      if (ix.containers.count(name) > 0) continue;
+      std::size_t v = j + 2;
+      while (v < t.size() && (is_punct(t[v], "&") || is_punct(t[v], "*") ||
+                              is_punct(t[v], "(")))
+        ++v;
+      if (v >= t.size() || t[v].kind != TokKind::kIdent) continue;
+      // Walk a member chain a.b->c, remembering the last component.
+      std::size_t last = v;
+      std::size_t w = v + 1;
+      while (w + 1 < t.size() &&
+             (is_punct(t[w], ".") || is_punct(t[w], "->")) &&
+             t[w + 1].kind == TokKind::kIdent) {
+        last = w + 1;
+        w += 2;
+      }
+      const bool call = w < t.size() && is_punct(t[w], "(");
+      const std::string& base = t[last].text;
+      const bool tracked =
+          call ? ix.container_funcs.count(base) > 0
+               : ix.containers.count(base) > 0;
+      if (tracked) {
+        ix.containers.insert(name);
+        changed = true;
+      }
+    }
+  }
+  return ix;
+}
+
+struct Ctx {
+  LexedFile& file;
+  const std::string& path;
+  const std::string& rel;
+  std::vector<Finding>& findings;
+
+  void report(int line, const char* rule, std::string message) {
+    if (pragma_allows(file, line, rule)) return;
+    findings.push_back({path, rel, line, rule, std::move(message),
+                        std::string(rule) == "unused-pragma"
+                            ? Level::kWarning
+                            : Level::kError});
+  }
+};
+
+void rule_raw_rand(Ctx& ctx, const std::vector<Token>& t) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent ||
+        (t[i].text != "rand" && t[i].text != "srand"))
+      continue;
+    if (member_qualified(t, i) || foreign_qualified(t, i)) continue;
+    if (i + 1 >= t.size() || !is_punct(t[i + 1], "(")) continue;
+    ctx.report(t[i].line, "raw-rand",
+               "std::rand/srand is process-global and unseeded; draw from "
+               "nettag::Rng instead");
+  }
+}
+
+void rule_raw_engine(Ctx& ctx, const std::vector<Token>& t) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || engine_names().count(t[i].text) == 0)
+      continue;
+    if (member_qualified(t, i)) continue;
+    ctx.report(t[i].line, "raw-engine",
+               "raw <random> engines bypass the seed discipline; derive a "
+               "nettag::Rng (fork() for independent streams)");
+  }
+}
+
+void rule_wall_clock(Ctx& ctx, const std::vector<Token>& t) {
+  const char* msg =
+      "wall-clock reads make artifacts time-dependent; use sim::Clock or "
+      "steady_clock for redacted timings";
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& s = t[i].text;
+    if (member_qualified(t, i)) continue;
+    if (s == "system_clock" || s == "gettimeofday" || s == "localtime") {
+      if (s == "system_clock" && foreign_qualified(t, i) &&
+          !(i >= 2 && is_ident(t[i - 2], "chrono")))
+        continue;
+      ctx.report(t[i].line, "wall-clock", msg);
+      continue;
+    }
+    if (s == "time") {
+      if (foreign_qualified(t, i)) continue;
+      if (std_qualified(t, i) && i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+        ctx.report(t[i].line, "wall-clock", msg);
+        continue;
+      }
+      if (i + 3 < t.size() && is_punct(t[i + 1], "(") &&
+          (is_ident(t[i + 2], "nullptr") || is_ident(t[i + 2], "NULL") ||
+           (t[i + 2].kind == TokKind::kNumber && t[i + 2].text == "0")) &&
+          is_punct(t[i + 3], ")"))
+        ctx.report(t[i].line, "wall-clock", msg);
+      continue;
+    }
+    if (s == "clock") {
+      if (foreign_qualified(t, i)) continue;
+      if (i + 2 < t.size() && is_punct(t[i + 1], "(") &&
+          is_punct(t[i + 2], ")"))
+        ctx.report(t[i].line, "wall-clock", msg);
+    }
+  }
+}
+
+void rule_float_accum(Ctx& ctx, const std::vector<Token>& t,
+                      const DeclIndex& ix) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent ||
+        (t[i].text != "accumulate" && t[i].text != "reduce"))
+      continue;
+    if (member_qualified(t, i) || foreign_qualified(t, i)) continue;
+    if (i + 1 >= t.size() || !is_punct(t[i + 1], "(")) continue;
+    const auto args = split_args(t, i + 1);
+    if (args.size() < 3) continue;
+    const auto [begin, end] = args[2];
+    bool floaty = false;
+    for (std::size_t j = begin; j < end && !floaty; ++j) {
+      if (is_float_literal(t[j])) floaty = true;
+      if (t[j].kind == TokKind::kIdent &&
+          (t[j].text == "double" || t[j].text == "float"))
+        floaty = true;
+      if (t[j].kind == TokKind::kIdent && ix.float_vars.count(t[j].text) > 0)
+        floaty = true;
+    }
+    if (floaty)
+      ctx.report(t[i].line, "float-accum",
+                 "floating-point accumulate/reduce fixes a summation order; "
+                 "aggregate through RunningStats so parallel folds replay "
+                 "the serial order");
+  }
+}
+
+void rule_float_for_accum(Ctx& ctx, const std::vector<Token>& t,
+                          const DeclIndex& ix) {
+  const auto loops = find_for_loops(t);
+  // One finding per compound-assignment site, however many loops nest
+  // around it: report against the innermost qualifying loop only.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const Token& op = t[i + 1];
+    if (op.kind != TokKind::kPunct ||
+        (op.text != "+=" && op.text != "-=" && op.text != "*=" &&
+         op.text != "/="))
+      continue;
+    if (t[i].kind != TokKind::kIdent) continue;
+    const auto it = ix.float_vars.find(t[i].text);
+    if (it == ix.float_vars.end()) continue;
+    bool hazard = false;
+    bool in_head = false;
+    for (const ForLoop& loop : loops) {
+      if (i < loop.head_begin || i >= loop.body_end) continue;
+      // A compound assignment inside the for-head itself is the loop's
+      // increment expression — a fixed-stride counter, not a data fold.
+      if (i < loop.body_begin) in_head = true;
+      // Only accumulators that outlive the loop are order hazards; a
+      // variable declared in the loop head or body resets per scope.
+      if (it->second < loop.line) hazard = true;
+    }
+    if (in_head) continue;
+    if (hazard)
+      ctx.report(op.line, "float-for-accum",
+                 "float/double '" + t[i].text +
+                     "' accumulates across loop iterations; summation order "
+                     "then dictates the artifact — aggregate through "
+                     "RunningStats (or annotate why the order is fixed)");
+  }
+}
+
+void rule_unordered_iter(Ctx& ctx, const std::vector<Token>& t,
+                         const DeclIndex& ix) {
+  const auto message = [](const std::string& name) {
+    return "iteration over std::unordered container '" + name +
+           "' follows bucket order, which varies across standard libraries; "
+           "iterate a deterministically ordered structure instead";
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // name.begin() / name->cbegin() walks.
+    if (t[i].kind == TokKind::kIdent && ix.containers.count(t[i].text) > 0 &&
+        i + 3 < t.size() &&
+        (is_punct(t[i + 1], ".") || is_punct(t[i + 1], "->")) &&
+        t[i + 2].kind == TokKind::kIdent &&
+        (t[i + 2].text == "begin" || t[i + 2].text == "cbegin" ||
+         t[i + 2].text == "rbegin" || t[i + 2].text == "crbegin") &&
+        is_punct(t[i + 3], "(")) {
+      ctx.report(t[i].line, "unordered-iter", message(t[i].text));
+    }
+
+    // Range-for over a tracked container (directly, via alias/pointer, via
+    // a member, or via a call returning one).
+    if (!is_ident(t[i], "for") || i + 1 >= t.size() ||
+        !is_punct(t[i + 1], "("))
+      continue;
+    const std::size_t rp = match_bracket(t, i + 1);
+    if (rp == npos) continue;
+    std::size_t colon = npos;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < rp; ++j) {
+      if (t[j].kind != TokKind::kPunct) continue;
+      if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") ++depth;
+      if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}") --depth;
+      if (t[j].text == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == npos) continue;
+    std::size_t v = colon + 1;
+    while (v < rp && (is_punct(t[v], "*") || is_punct(t[v], "(") ||
+                      is_punct(t[v], "&")))
+      ++v;
+    if (v >= rp || t[v].kind != TokKind::kIdent) continue;
+    std::size_t last = v;
+    std::size_t w = v + 1;
+    while (w + 1 < rp && (is_punct(t[w], ".") || is_punct(t[w], "->")) &&
+           t[w + 1].kind == TokKind::kIdent) {
+      last = w + 1;
+      w += 2;
+    }
+    const bool call = w < rp && is_punct(t[w], "(");
+    const std::string& base = t[last].text;
+    const bool hazard = call ? ix.container_funcs.count(base) > 0
+                             : ix.containers.count(base) > 0;
+    if (hazard) ctx.report(t[colon].line, "unordered-iter", message(base));
+  }
+}
+
+/// A lambda's shape inside an argument range: [captures](...){ body }.
+struct LambdaShape {
+  bool is_lambda = false;
+  bool captures_by_ref = false;
+  bool empty_body = false;
+};
+
+LambdaShape parse_lambda(const std::vector<Token>& t, std::size_t begin,
+                         std::size_t end) {
+  LambdaShape shape;
+  if (begin >= end || !is_punct(t[begin], "[")) return shape;
+  const std::size_t cap_end = match_bracket(t, begin);
+  if (cap_end == npos || cap_end >= end) return shape;
+  shape.is_lambda = true;
+  for (std::size_t j = begin + 1; j < cap_end; ++j)
+    if (is_punct(t[j], "&")) shape.captures_by_ref = true;
+  std::size_t body = cap_end + 1;
+  while (body < end && !is_punct(t[body], "{")) ++body;
+  if (body >= end) return shape;
+  const std::size_t close = match_bracket(t, body);
+  shape.empty_body = close != npos && close == body + 1;
+  return shape;
+}
+
+void rule_fold_order(Ctx& ctx, const std::vector<Token>& t) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i], "run_ordered") || member_qualified(t, i)) continue;
+    if (i + 1 >= t.size() || !is_punct(t[i + 1], "(")) continue;
+    const auto args = split_args(t, i + 1);
+    if (args.size() < 3) continue;
+    const LambdaShape body = parse_lambda(t, args[1].first, args[1].second);
+    const LambdaShape fold = parse_lambda(t, args[2].first, args[2].second);
+    if (body.is_lambda && body.captures_by_ref && fold.is_lambda &&
+        fold.empty_body) {
+      ctx.report(
+          t[i].line, "fold-order",
+          "run_ordered results are consumed outside the ordered fold: the "
+          "body mutates captured state from worker threads (completion "
+          "order) while the fold discards its index — move the reduction "
+          "into the fold callback so artifacts replay the serial order");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleMeta>& all_rules() {
+  static const std::vector<RuleMeta> rules = {
+      {"raw-rand", Level::kError,
+       "std::rand/srand is process-global and unseeded; use nettag::Rng"},
+      {"raw-engine", Level::kError,
+       "raw <random> engines bypass the one-seed-per-experiment discipline"},
+      {"wall-clock", Level::kError,
+       "wall-clock reads leak into artifacts and break SOURCE_DATE_EPOCH "
+       "reproducibility"},
+      {"unordered-iter", Level::kError,
+       "unordered-container iteration follows bucket order, which differs "
+       "across standard libraries"},
+      {"float-accum", Level::kError,
+       "std::accumulate/reduce over floats fixes a summation order outside "
+       "RunningStats"},
+      {"float-for-accum", Level::kError,
+       "float/double compound assignment accumulating across plain-for "
+       "iterations"},
+      {"fold-order", Level::kError,
+       "run_ordered results consumed outside the strictly ordered fold"},
+      {"layering", Level::kError,
+       "include edge violates the repository layering contract"},
+      {"include-cycle", Level::kError,
+       "cyclic include chain among repository headers"},
+      {"unused-pragma", Level::kWarning,
+       "nettag-lint: allow(...) pragma that suppresses nothing"},
+  };
+  return rules;
+}
+
+bool is_known_rule(const std::string& id) {
+  for (const RuleMeta& r : all_rules())
+    if (id == r.id) return true;
+  return false;
+}
+
+bool pragma_allows(LexedFile& file, int line, const std::string& rule) {
+  bool hit = false;
+  for (Pragma& p : file.pragmas) {
+    if (p.line == line && p.rule == rule) {
+      p.used = true;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+void run_token_rules(LexedFile& file, const std::string& path,
+                     const std::string& rel, std::vector<Finding>& findings) {
+  Ctx ctx{file, path, rel, findings};
+  const std::vector<Token>& t = file.tokens;
+  const DeclIndex ix = build_decl_index(t);
+  rule_raw_rand(ctx, t);
+  rule_raw_engine(ctx, t);
+  rule_wall_clock(ctx, t);
+  rule_float_accum(ctx, t, ix);
+  rule_float_for_accum(ctx, t, ix);
+  rule_unordered_iter(ctx, t, ix);
+  rule_fold_order(ctx, t);
+}
+
+}  // namespace nettag::lint

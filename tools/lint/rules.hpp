@@ -1,0 +1,55 @@
+// nettag-lint pass 2 — semantic rule families over token streams.
+//
+// Each rule encodes a determinism policy of this repository (see
+// docs/STATIC_ANALYSIS.md for the rationale and docs/OBSERVABILITY.md for
+// the reproducibility contract the rules defend).  Rules operate on the
+// LexedFile token stream, so multi-line statements, raw strings and line
+// splices are already resolved; findings suppressed by an allow-pragma mark
+// that pragma used, and pragmas that suppress nothing become findings of
+// their own (`unused-pragma`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace nettag::lint {
+
+enum class Level { kError, kWarning };
+
+struct Finding {
+  std::string file;  // path as scanned (absolute or as given)
+  std::string rel;   // repo-relative path (stable key for SARIF/baseline)
+  int line = 0;
+  std::string rule;
+  std::string message;
+  Level level = Level::kError;
+};
+
+struct RuleMeta {
+  const char* id;
+  Level level;
+  const char* summary;  // one-line description for SARIF rule metadata
+};
+
+/// Every rule the analyzer can emit, in stable (reporting) order.
+const std::vector<RuleMeta>& all_rules();
+
+/// Whether `id` names a known rule (used to reject typo'd pragmas).
+bool is_known_rule(const std::string& id);
+
+/// Runs every token-stream rule family over one lexed file, appending
+/// findings.  Pragma hits are recorded on `file.pragmas` (mutable).  The
+/// include-graph rules (`layering`, `include-cycle`) live in
+/// include_graph.hpp; `unused-pragma` findings are emitted by the driver
+/// once every pass has had a chance to consume pragmas.
+void run_token_rules(LexedFile& file, const std::string& path,
+                     const std::string& rel, std::vector<Finding>& findings);
+
+/// True (and marks the pragma used) when line `line` carries an
+/// allow-pragma for `rule`.  Shared by the token rules and the
+/// include-graph pass.
+bool pragma_allows(LexedFile& file, int line, const std::string& rule);
+
+}  // namespace nettag::lint

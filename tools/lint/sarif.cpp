@@ -1,0 +1,92 @@
+#include "lint/sarif.hpp"
+
+#include <cstdio>
+
+namespace nettag::lint {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+const char* level_name(Level level) {
+  return level == Level::kWarning ? "warning" : "error";
+}
+
+}  // namespace
+
+void write_sarif(const std::vector<Finding>& findings, std::ostream& os) {
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"nettag-lint\",\n"
+     << "          \"informationUri\": \"https://github.com/nettag/nettag/"
+        "blob/main/docs/STATIC_ANALYSIS.md\",\n"
+     << "          \"version\": \"2.0.0\",\n"
+     << "          \"rules\": [\n";
+  const std::vector<RuleMeta>& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\n"
+       << "              \"id\": \"" << rules[i].id << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << json_escape(rules[i].summary) << "\" },\n"
+       << "              \"defaultConfiguration\": { \"level\": \""
+       << level_name(rules[i].level) << "\" }\n"
+       << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"columnKind\": \"utf16CodeUnits\",\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const std::string& uri = f.rel.empty() ? f.file : f.rel;
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+       << "          \"level\": \"" << level_name(f.level) << "\",\n"
+       << "          \"message\": { \"text\": \"" << json_escape(f.message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << json_escape(uri) << "\" },\n"
+       << "                \"region\": { \"startLine\": "
+       << (f.line > 0 ? f.line : 1) << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+}
+
+}  // namespace nettag::lint

@@ -1,0 +1,23 @@
+// SARIF 2.1.0 output for nettag-lint.
+//
+// One run, one driver ("nettag-lint"), every rule the analyzer knows listed
+// under tool.driver.rules (so viewers can show rule metadata even for
+// clean scans), one result per finding with a repo-relative artifact URI.
+// The writer is deterministic: findings are emitted in the caller's order
+// (the driver sorts them by path/line/rule) and no timestamps or absolute
+// paths appear, so two scans of the same tree are byte-identical — the same
+// contract every other artifact in this repository honours.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace nettag::lint {
+
+/// Serializes `findings` as a SARIF 2.1.0 log to `os`.
+void write_sarif(const std::vector<Finding>& findings, std::ostream& os);
+
+}  // namespace nettag::lint

@@ -1,0 +1,70 @@
+// nettag-lint pass 1 — a real (if small) C++ lexer.
+//
+// The first generation of the linter matched regexes against single stripped
+// lines, which is exactly as strong as it sounds: a raw string spanning
+// lines leaked its contents into "code", a declaration wrapped at a template
+// argument vanished, and anything order-sensitive across statements was
+// invisible.  The lexer replaces that with a token stream that survives
+//   * line splices (backslash-newline, applied before anything else),
+//   * // and /* */ comments (scanned for allow-pragmas, then dropped),
+//   * string/char literals including raw strings R"delim(...)delim" and
+//     digit separators (1'000'000),
+//   * #include directives (recorded for the include-graph pass, excluded
+//     from the token stream; other preprocessor lines are lexed normally so
+//     a hazard hidden in a macro body is still seen).
+// Every token carries the physical line it started on, so findings and
+// pragmas keep line-level granularity even for multi-line statements.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace nettag::lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // pp-numbers (integers and floats, any base)
+  kString,   // string literal (ordinary or raw); text is the *contents*
+  kCharLit,  // character literal
+  kPunct,    // operators and punctuation, maximal munch
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based physical line of the first character
+};
+
+/// A `nettag-lint: allow(<rule>)` opt-out found in a comment.  `used` is
+/// flipped
+/// by the rule passes when the pragma suppresses a finding; pragmas still
+/// false afterwards become `unused-pragma` findings.
+struct Pragma {
+  int line = 0;
+  std::string rule;
+  bool used = false;
+};
+
+/// One `#include` directive.
+struct Include {
+  std::string path;  // as written, without quotes/brackets
+  int line = 0;
+  bool angled = false;  // <...> rather than "..."
+};
+
+/// The lexed form of one translation unit.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Pragma> pragmas;
+  std::vector<Include> includes;
+};
+
+/// Lexes `path`.  Returns false (and leaves `out` empty) when the file
+/// cannot be read.
+bool lex_file(const std::filesystem::path& path, LexedFile& out);
+
+/// Lexes an in-memory buffer (exposed for the lexer's own tests).
+void lex_source(const std::string& source, LexedFile& out);
+
+}  // namespace nettag::lint

@@ -1,0 +1,28 @@
+// Known-bad fixture: float accumulation across plain-for iterations.  The
+// first statement is deliberately wrapped across lines so the token-stream
+// rule (not a line regex) has to recognise it.  The float loop counter at
+// the bottom must NOT be flagged: a fixed-stride counter in the for-head is
+// not a data fold.
+// expect: float-for-accum 2
+#include <cstddef>
+#include <vector>
+
+double plain_sum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    sum +=
+        xs[i] * 0.5;
+  return sum;
+}
+
+double range_product(const std::vector<double>& xs) {
+  double prod = 1.0;
+  for (const double x : xs) prod *= x;
+  return prod;
+}
+
+double counter_only() {
+  double last = 0.0;
+  for (double r = 0.0; r < 10.0; r += 0.5) last = r;
+  return last;
+}

@@ -1,0 +1,22 @@
+// Known-bad fixture: run_ordered used as a plain parallel-for.  The body
+// writes captured state from worker threads (completion order) while the
+// ordered fold discards its index, so nothing replays the serial order.
+// The second call keeps the reduction inside the fold and must stay clean.
+// expect: fold-order 1
+#include <cstddef>
+#include <vector>
+
+template <typename Body, typename Fold>
+void run_ordered(std::size_t n, Body body, Fold fold);
+
+void scatter(std::vector<double>& out) {
+  run_ordered(
+      out.size(), [&](std::size_t i) { out[i] = static_cast<double>(i); },
+      [](std::size_t) {});
+}
+
+void gathered(std::vector<double>& out) {
+  run_ordered(
+      out.size(), [](std::size_t i) { return static_cast<double>(i); },
+      [&](std::size_t i) { out[i] = static_cast<double>(i); });
+}

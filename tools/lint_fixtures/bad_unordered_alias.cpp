@@ -1,0 +1,21 @@
+// Known-bad fixture: bucket-order iteration through disguises the older
+// line-based linter could not see — a declaration wrapped across lines, a
+// reference alias of that container, and a container-returning function.
+// expect: unordered-iter 3
+#include <string>
+#include <unordered_map>
+
+std::unordered_map<std::string, int>& table();
+
+int alias_walk() {
+  std::unordered_map<std::string,
+                     int>
+      wrapped = {{"a", 1}};
+  auto& view = wrapped;
+  int sum = 0;
+  for (const auto& [k, v] : view) sum += v;
+  for (const auto& [k, v] : table()) sum += v;
+  for (auto it = wrapped.begin(); it != wrapped.end(); ++it)
+    sum += it->second;
+  return sum;
+}

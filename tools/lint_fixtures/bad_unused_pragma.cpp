@@ -1,0 +1,7 @@
+// Known-bad fixture: an allow-pragma that suppresses nothing is itself a
+// finding, so stale opt-outs cannot linger after the hazard they excused
+// has been fixed.
+// expect: unused-pragma 1
+int clean_math(int x) {
+  return x * 2;  // nettag-lint: allow(raw-rand)
+}

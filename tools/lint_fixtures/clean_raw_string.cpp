@@ -1,0 +1,17 @@
+// Clean fixture (regression): hazard-looking text inside raw strings,
+// ordinary strings and comments must not produce findings.  The first
+// generation of the linter matched line regexes and flagged all of these.
+// expect: none
+#include <string>
+
+const char* kDoc = R"doc(
+  std::mt19937 rng(std::rand());
+  auto t = std::chrono::system_clock::now();
+  for (auto& kv : table) total += kv.second;
+)doc";
+
+// A call like std::rand() mentioned in a comment is not a call either.
+std::string spliced() {
+  return "std::sys\
+tem_clock";
+}

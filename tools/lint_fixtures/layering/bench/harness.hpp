@@ -1,0 +1,7 @@
+// Clean: upper layers may include anything below them.
+// expect: none
+#pragma once
+
+#include "common/util.hpp"
+
+inline int harness_value() { return util_identity(7); }

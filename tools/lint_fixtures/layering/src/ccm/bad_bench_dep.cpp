@@ -1,0 +1,5 @@
+// Known-bad: src must stay linkable without the harnesses above it.
+// expect: layering 1
+#include "bench/harness.hpp"
+
+int engine_uses_harness() { return harness_value(); }

@@ -1,0 +1,9 @@
+// Known-bad pair: cycle_a and cycle_b include each other.  The cycle is
+// reported once, attributed to the edge that closes it during the DFS
+// (the back edge out of cycle_b).
+// expect: none
+#pragma once
+
+#include "ccm/cycle_b.hpp"
+
+inline int cycle_a_value() { return 1; }

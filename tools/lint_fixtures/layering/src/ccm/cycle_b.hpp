@@ -1,0 +1,7 @@
+// Second half of the include cycle; see cycle_a.hpp.
+// expect: include-cycle 1
+#pragma once
+
+#include "ccm/cycle_a.hpp"
+
+inline int cycle_b_value() { return 2; }

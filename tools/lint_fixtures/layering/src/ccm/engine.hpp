@@ -1,0 +1,7 @@
+// Clean: src may include src/common.
+// expect: none
+#pragma once
+
+#include "common/util.hpp"
+
+inline int engine_tick() { return util_identity(1); }

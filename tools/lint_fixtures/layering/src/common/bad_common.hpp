@@ -1,0 +1,7 @@
+// Known-bad: src/common is the leaf layer and must not reach upward.
+// expect: layering 1
+#pragma once
+
+#include "ccm/engine.hpp"
+
+inline int common_breaks_out() { return engine_tick(); }

@@ -1,0 +1,5 @@
+// Clean leaf: src/common includes nothing from the repository.
+// expect: none
+#pragma once
+
+inline int util_identity(int x) { return x; }

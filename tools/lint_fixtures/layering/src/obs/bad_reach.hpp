@@ -1,0 +1,7 @@
+// Known-bad: obs depends only on src/common, never on the simulator.
+// expect: layering 1
+#pragma once
+
+#include "ccm/engine.hpp"
+
+inline int obs_reaches_into_sim() { return engine_tick(); }

@@ -1,0 +1,5 @@
+// Clean on its own: an obs-internal header (not part of the sink surface).
+// expect: none
+#pragma once
+
+inline int manifest_detail() { return 3; }

@@ -1,0 +1,5 @@
+// Clean: part of the obs sink surface, visible to the rest of src.
+// expect: none
+#pragma once
+
+inline int registry_counter() { return 4; }

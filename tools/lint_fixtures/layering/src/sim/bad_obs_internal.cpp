@@ -1,0 +1,6 @@
+// Known-bad: src sees obs only through the sink surface (trace, profiler,
+// registry); manifest assembly is offline-side detail.
+// expect: layering 1
+#include "obs/manifest.hpp"
+
+int sim_uses_manifest() { return manifest_detail(); }

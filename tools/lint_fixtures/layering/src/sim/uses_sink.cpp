@@ -1,0 +1,5 @@
+// Clean: including an obs sink header from src is the supported surface.
+// expect: none
+#include "obs/registry.hpp"
+
+int sim_counts() { return registry_counter(); }

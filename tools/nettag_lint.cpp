@@ -1,230 +1,201 @@
-// nettag-lint — repo-specific determinism linter.
+// nettag-lint — repo-specific determinism analyzer.
 //
-// The repo's core guarantee is byte-identical artifacts across serial and
-// parallel runs (and across rebuilds, under SOURCE_DATE_EPOCH).  Generic
-// static analyzers cannot see the hazards that silently break it, because
-// they are policy violations, not language bugs:
+// The repo's core guarantee is byte-identical artifacts across compilers,
+// standard libraries and worker counts.  Generic static analyzers cannot
+// see the hazards that silently break it, because they are policy
+// violations, not language bugs.  The analyzer runs three passes:
 //
-//   raw-rand        std::rand/srand — unseeded process-global RNG;
-//   raw-engine      std::mt19937 / random_device / default_random_engine —
-//                   all randomness must flow through nettag::Rng so one
-//                   64-bit seed reproduces an experiment;
-//   wall-clock      std::time(nullptr)/time(NULL)/system_clock — wall-clock
-//                   reads in simulation paths make artifacts time-dependent
-//                   (steady_clock is fine: it feeds only the timing fields
-//                   that SOURCE_DATE_EPOCH redacts);
-//   unordered-iter  iteration over a std::unordered_map/unordered_set —
-//                   bucket order differs across standard libraries, so any
-//                   iteration feeding traces, manifests, stats or RNG picks
-//                   breaks cross-platform determinism (lookups are fine);
-//   float-accum     std::accumulate/std::reduce with a floating-point
-//                   accumulator — summation order then dictates the result;
-//                   trial aggregation must go through RunningStats, whose
-//                   serial fold the parallel trial pool replays exactly.
+//   pass 1  a real C++ tokenizer (tools/lint/lexer.cpp): raw strings, line
+//           splices, multi-line statements and comments are resolved before
+//           any rule looks at the code;
+//   pass 2  semantic rule families over the token stream
+//           (tools/lint/rules.cpp):
+//             raw-rand         std::rand/srand — unseeded process-global RNG
+//             raw-engine       mt19937 / random_device / ... — randomness
+//                              must flow through nettag::Rng
+//             wall-clock       std::time/system_clock/... — wall-clock reads
+//                              make artifacts time-dependent
+//             unordered-iter   iterating an unordered container (directly or
+//                              through auto&/pointer aliases and function
+//                              returns) — bucket order varies across libcs
+//             float-accum      std::accumulate/reduce with a floating
+//                              accumulator — summation order becomes the
+//                              result
+//             float-for-accum  float/double += / *= accumulating across the
+//                              iterations of a plain or range for loop
+//             fold-order       run_ordered results consumed outside the
+//                              strictly ordered fold
+//   pass 3  the repository include graph (tools/lint/include_graph.cpp):
+//             layering         src/common is a leaf; src never includes the
+//                              harness layers; obs stays optional behind its
+//                              sink headers
+//             include-cycle    no cyclic include chains
 //
-// A line can opt out with an explanation:   // nettag-lint: allow(rule-id)
+// A line opts out with an explained pragma comment of the form
+// `nettag-lint: allow(<rule-id>)`.  Pragmas that suppress nothing are
+// findings themselves (unused-pragma).
 //
 // Usage:
-//   nettag-lint [--report FILE] PATH...      scan files / directory trees
-//   nettag-lint --self-test DIR              run the known-bad fixture suite
+//   nettag-lint [options] PATH...        scan files / directory trees
+//   nettag-lint --self-test DIR          run the fixture suite
+// Options:
+//   --report FILE          write the text findings to FILE as well
+//   --sarif FILE           write findings as SARIF 2.1.0 (code-scanning)
+//   --baseline FILE        fail only on findings beyond the baseline
+//   --write-baseline FILE  record the current findings as the new baseline
+//   --root DIR             repository root for repo-relative paths and the
+//                          layering pass (default: auto-detected)
+//
+// Directory walks skip build trees, .git and tools/lint_fixtures (the
+// deliberate-hazard corpus is the self-test's jurisdiction, where every
+// fixture's findings must match its `// expect:` header exactly).
 //
 // Self-test fixtures declare expectations in their header:
 //   // expect: <rule-id> <count>       (one line per expected rule)
 //   // expect: none                    (fixture must scan clean)
+// Fixtures under DIR/layering form a miniature repo tree and are checked
+// with the include-graph pass rooted there.
 //
 // Exit codes: 0 clean, 1 findings (or self-test mismatch), 64 usage,
 // 66 unreadable input.
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <regex>
-#include <sstream>
+#include <set>
 #include <string>
 #include <vector>
+
+#include "lint/baseline.hpp"
+#include "lint/include_graph.hpp"
+#include "lint/rules.hpp"
+#include "lint/sarif.hpp"
+#include "lint/token.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct Rule {
-  std::string id;
-  std::regex pattern;
-  std::string message;
-};
-
-const std::vector<Rule>& rules() {
-  static const std::vector<Rule> r = {
-      {"raw-rand",
-       std::regex(R"((\bstd::rand\b|\bsrand\s*\(|(^|[^\w:.>])rand\s*\(\s*\)))"),
-       "std::rand/srand is process-global and unseeded; draw from "
-       "nettag::Rng instead"},
-      {"raw-engine",
-       std::regex(R"(\b(mt19937(_64)?|default_random_engine|minstd_rand0?|)"
-                  R"(ranlux\w+|knuth_b|random_device)\b)"),
-       "raw <random> engines bypass the seed discipline; derive a "
-       "nettag::Rng (fork() for independent streams)"},
-      {"wall-clock",
-       std::regex(R"((\bstd::time\s*\(|[^\w.]time\s*\(\s*(nullptr|NULL|0)\s*\))"
-                  R"(|\bsystem_clock\b)"
-                  R"(|\bgettimeofday\b|\blocaltime\b|\bclock\s*\(\s*\)))"),
-       "wall-clock reads make artifacts time-dependent; use sim::Clock or "
-       "steady_clock for redacted timings"},
-      {"float-accum",
-       std::regex(R"(\bstd::(accumulate|reduce)\s*\([^;]*,\s*)"
-                  R"((0\.\d*f?|\d+\.\d+f?|double\s*\{|float\s*\{))"),
-       "floating-point accumulate/reduce fixes a summation order; aggregate "
-       "through RunningStats so parallel folds replay the serial order"},
-  };
-  return r;
-}
-
-/// Identifiers declared as unordered containers in the current file
-/// (values, references and pointers, including function parameters).
-std::regex unordered_decl_re(
-    R"(\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{=]*>\s*[&*]?\s*(\w+)\s*[;({=,)])");
-
-/// `// nettag-lint: allow(rule-id)` anywhere on the line.
-std::regex allow_re(R"(nettag-lint:\s*allow\(([\w-]+)\))");
-
-/// Strips // and /* */ comments plus string/char literal contents so rule
-/// patterns cannot match inside them.  `in_block` carries block-comment
-/// state across lines.
-std::string strip_noise(const std::string& line, bool& in_block) {
-  std::string out;
-  out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
-      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
-        ++i;
-      }
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block = true;
-      ++i;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out.push_back(quote);
-      ++i;
-      while (i < line.size()) {
-        if (line[i] == '\\') {
-          i += 2;
-          continue;
-        }
-        if (line[i] == quote) break;
-        ++i;
-      }
-      out.push_back(quote);
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
-void scan_file(const fs::path& path, std::vector<Finding>& findings) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "nettag-lint: cannot read " << path.string() << "\n";
-    std::exit(66);
-  }
-  std::vector<std::string> raw_lines;
-  for (std::string line; std::getline(in, line);) raw_lines.push_back(line);
-
-  // Pass 1: strip comments/strings and collect unordered-container names.
-  std::vector<std::string> code_lines;
-  code_lines.reserve(raw_lines.size());
-  std::vector<std::string> unordered_names;
-  bool in_block = false;
-  for (const std::string& line : raw_lines) {
-    std::string code = strip_noise(line, in_block);
-    auto begin = std::sregex_iterator(code.begin(), code.end(),
-                                      unordered_decl_re);
-    for (auto it = begin; it != std::sregex_iterator(); ++it)
-      unordered_names.push_back((*it)[1].str());
-    code_lines.push_back(std::move(code));
-  }
-
-  // Pass 2: apply the rules line by line.
-  for (std::size_t i = 0; i < code_lines.size(); ++i) {
-    const std::string& code = code_lines[i];
-    const std::string& raw = raw_lines[i];
-
-    std::vector<std::string> allowed;
-    for (auto it = std::sregex_iterator(raw.begin(), raw.end(), allow_re);
-         it != std::sregex_iterator(); ++it)
-      allowed.push_back((*it)[1].str());
-    const auto is_allowed = [&allowed](const std::string& rule) {
-      return std::find(allowed.begin(), allowed.end(), rule) != allowed.end();
-    };
-
-    for (const Rule& rule : rules()) {
-      if (!std::regex_search(code, rule.pattern)) continue;
-      if (is_allowed(rule.id)) continue;
-      findings.push_back({path.string(), static_cast<int>(i) + 1, rule.id,
-                          rule.message});
-    }
-
-    if (!unordered_names.empty() && !is_allowed("unordered-iter")) {
-      for (const std::string& name : unordered_names) {
-        // Range-for over the container, or explicit iterator walks.  A bare
-        // `.end()` is NOT flagged — `find(x) != end()` lookups are fine.
-        const std::regex iter_re(
-            "(for\\s*\\([^;)]*:\\s*" + name + "\\b" +
-            "|\\b" + name + "\\s*\\.\\s*c?r?begin\\s*\\()");
-        if (std::regex_search(code, iter_re)) {
-          findings.push_back(
-              {path.string(), static_cast<int>(i) + 1, "unordered-iter",
-               "iteration over std::unordered container '" + name +
-                   "' follows bucket order, which varies across standard "
-                   "libraries; iterate a deterministically ordered "
-                   "structure instead"});
-          break;
-        }
-      }
-    }
-  }
-}
+using nettag::lint::Baseline;
+using nettag::lint::Finding;
+using nettag::lint::LexedFile;
+using nettag::lint::Level;
+using nettag::lint::Pragma;
 
 bool scannable(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
 }
 
-std::vector<fs::path> collect_inputs(const std::vector<std::string>& paths) {
-  std::vector<fs::path> files;
+/// Directory components a tree walk never descends into.
+bool default_excluded(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  return name == ".git" || name == "lint_fixtures" ||
+         name.rfind("build", 0) == 0;
+}
+
+std::vector<fs::path> collect_inputs(const std::vector<std::string>& paths,
+                                     bool use_default_excludes) {
+  std::set<fs::path> unique;
   for (const std::string& arg : paths) {
     const fs::path p(arg);
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
-      for (const auto& entry : fs::recursive_directory_iterator(p)) {
-        if (entry.is_regular_file() && scannable(entry.path()))
-          files.push_back(entry.path());
+      fs::recursive_directory_iterator it(p), end;
+      while (it != end) {
+        if (it->is_directory() && use_default_excludes &&
+            default_excluded(it->path())) {
+          it.disable_recursion_pending();
+        } else if (it->is_regular_file() && scannable(it->path())) {
+          unique.insert(it->path());
+        }
+        ++it;
       }
     } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
+      unique.insert(p);
     } else {
       std::cerr << "nettag-lint: no such file or directory: " << arg << "\n";
       std::exit(66);
     }
   }
-  std::sort(files.begin(), files.end());
-  return files;
+  return {unique.begin(), unique.end()};
+}
+
+/// Walks up from `start` looking for the repository root (the directory
+/// holding ROADMAP.md or .git).  Falls back to the current directory.
+fs::path detect_root(const std::vector<std::string>& paths) {
+  std::error_code ec;
+  fs::path probe = paths.empty()
+                       ? fs::current_path(ec)
+                       : fs::weakly_canonical(fs::path(paths[0]), ec);
+  if (fs::is_regular_file(probe, ec)) probe = probe.parent_path();
+  for (fs::path dir = probe; !dir.empty(); dir = dir.parent_path()) {
+    if (fs::exists(dir / "ROADMAP.md", ec) || fs::exists(dir / ".git", ec))
+      return dir;
+    if (dir == dir.root_path()) break;
+  }
+  return fs::current_path(ec);
+}
+
+std::string relative_to_root(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(fs::weakly_canonical(file, ec),
+                                    fs::weakly_canonical(root, ec), ec);
+  const std::string s = rel.generic_string();
+  if (ec || s.empty() || s.rfind("..", 0) == 0) return file.generic_string();
+  return s;
+}
+
+void append_unused_pragma_findings(
+    std::map<fs::path, LexedFile>& files, const fs::path& root,
+    std::vector<Finding>& findings) {
+  for (auto& [path, lexed] : files) {
+    for (const Pragma& p : lexed.pragmas) {
+      if (p.used) continue;
+      const std::string detail =
+          nettag::lint::is_known_rule(p.rule)
+              ? "the pragma suppresses nothing on this line; remove it"
+              : "'" + p.rule + "' is not a nettag-lint rule";
+      findings.push_back({path.string(), relative_to_root(path, root),
+                          p.line, "unused-pragma",
+                          "unused nettag-lint: allow(" + p.rule + ") — " +
+                              detail,
+                          Level::kWarning});
+    }
+  }
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.rel != b.rel) return a.rel < b.rel;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+/// Lexes and token-scans every input; the include-graph pass runs over the
+/// whole set afterwards.  Returns all findings, sorted.
+std::vector<Finding> analyze(const std::vector<fs::path>& inputs,
+                             const fs::path& root) {
+  std::map<fs::path, LexedFile> files;
+  std::vector<Finding> findings;
+  for (const fs::path& path : inputs) {
+    LexedFile lexed;
+    if (!nettag::lint::lex_file(path, lexed)) {
+      std::cerr << "nettag-lint: cannot read " << path.string() << "\n";
+      std::exit(66);
+    }
+    files.emplace(path, std::move(lexed));
+  }
+  for (auto& [path, lexed] : files)
+    nettag::lint::run_token_rules(lexed, path.string(),
+                                  relative_to_root(path, root), findings);
+  nettag::lint::run_include_graph_rules(files, root, findings);
+  append_unused_pragma_findings(files, root, findings);
+  sort_findings(findings);
+  return findings;
 }
 
 void print_findings(const std::vector<Finding>& findings, std::ostream& os) {
@@ -234,24 +205,73 @@ void print_findings(const std::vector<Finding>& findings, std::ostream& os) {
   }
 }
 
-int run_scan(const std::vector<std::string>& paths,
-             const std::string& report_path) {
-  std::vector<Finding> findings;
-  const std::vector<fs::path> files = collect_inputs(paths);
-  for (const fs::path& file : files) scan_file(file, findings);
+struct Options {
+  std::vector<std::string> paths;
+  std::string report_path;
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string root_override;
+  std::string self_test_dir;
+};
+
+int run_scan(const Options& opt) {
+  const fs::path root = opt.root_override.empty()
+                            ? detect_root(opt.paths)
+                            : fs::path(opt.root_override);
+  const std::vector<fs::path> inputs = collect_inputs(opt.paths, true);
+  std::vector<Finding> findings = analyze(inputs, root);
+
+  if (!opt.write_baseline_path.empty()) {
+    if (!nettag::lint::write_baseline(opt.write_baseline_path, findings)) {
+      std::cerr << "nettag-lint: cannot write baseline to "
+                << opt.write_baseline_path << "\n";
+      return 66;
+    }
+    std::cout << "nettag-lint: baseline with " << findings.size()
+              << " finding(s) written to " << opt.write_baseline_path << "\n";
+    return 0;
+  }
+
+  int suppressed = 0;
+  std::vector<std::string> stale;
+  if (!opt.baseline_path.empty()) {
+    Baseline baseline;
+    if (!nettag::lint::read_baseline(opt.baseline_path, baseline)) {
+      std::cerr << "nettag-lint: cannot read baseline " << opt.baseline_path
+                << "\n";
+      return 66;
+    }
+    findings = nettag::lint::filter_baseline(findings, baseline, suppressed,
+                                             stale);
+  }
 
   print_findings(findings, findings.empty() ? std::cout : std::cerr);
-  if (!report_path.empty()) {
-    std::ofstream report(report_path);
+  if (!opt.report_path.empty()) {
+    std::ofstream report(opt.report_path);
     if (!report) {
-      std::cerr << "nettag-lint: cannot write report to " << report_path
+      std::cerr << "nettag-lint: cannot write report to " << opt.report_path
                 << "\n";
       return 66;
     }
     print_findings(findings, report);
   }
-  std::cout << "nettag-lint: scanned " << files.size() << " file(s), "
-            << findings.size() << " finding(s)\n";
+  if (!opt.sarif_path.empty()) {
+    std::ofstream sarif(opt.sarif_path);
+    if (!sarif) {
+      std::cerr << "nettag-lint: cannot write SARIF to " << opt.sarif_path
+                << "\n";
+      return 66;
+    }
+    nettag::lint::write_sarif(findings, sarif);
+  }
+  for (const std::string& entry : stale)
+    std::cout << "nettag-lint: stale baseline entry (safe to remove): "
+              << entry << "\n";
+  std::cout << "nettag-lint: scanned " << inputs.size() << " file(s), "
+            << findings.size() << " finding(s)";
+  if (suppressed > 0) std::cout << " (" << suppressed << " baselined)";
+  std::cout << "\n";
   return findings.empty() ? 0 : 1;
 }
 
@@ -269,74 +289,122 @@ std::map<std::string, int> parse_expectations(const fs::path& fixture) {
   return expected;
 }
 
+bool check_fixture(const fs::path& fixture,
+                   const std::vector<Finding>& findings) {
+  const std::map<std::string, int> expected = parse_expectations(fixture);
+  std::map<std::string, int> actual;
+  for (const Finding& f : findings) ++actual[f.rule];
+  if (actual == expected) {
+    std::cout << "PASS " << fixture.filename().string() << "\n";
+    return true;
+  }
+  std::cerr << "FAIL " << fixture.filename().string() << "\n";
+  for (const auto& [rule, count] : expected) {
+    const auto it = actual.find(rule);
+    const int got = it == actual.end() ? 0 : it->second;
+    if (got != count)
+      std::cerr << "  expected " << count << "x " << rule << ", got " << got
+                << "\n";
+  }
+  for (const auto& [rule, count] : actual) {
+    if (expected.find(rule) == expected.end())
+      std::cerr << "  unexpected " << count << "x " << rule << "\n";
+  }
+  print_findings(findings, std::cerr);
+  return false;
+}
+
 int run_self_test(const std::string& dir) {
-  const std::vector<fs::path> fixtures = collect_inputs({dir});
-  if (fixtures.empty()) {
+  const fs::path root(dir);
+  const fs::path layering_root = root / "layering";
+  std::error_code ec;
+
+  // Per-file phase: every fixture outside layering/ is analyzed alone (the
+  // include-graph pass needs a tree, which standalone fixtures are not).
+  std::vector<fs::path> singles;
+  for (const fs::path& p : collect_inputs({dir}, false)) {
+    const std::string rel = fs::relative(p, layering_root, ec).generic_string();
+    if (ec || rel.empty() || rel.rfind("..", 0) == 0) singles.push_back(p);
+  }
+  if (singles.empty() && !fs::is_directory(layering_root, ec)) {
     std::cerr << "nettag-lint: no fixtures found in " << dir << "\n";
     return 66;
   }
+
+  int total = 0;
   int failures = 0;
-  for (const fs::path& fixture : fixtures) {
-    const std::map<std::string, int> expected = parse_expectations(fixture);
-    std::vector<Finding> findings;
-    scan_file(fixture, findings);
-    std::map<std::string, int> actual;
-    for (const Finding& f : findings) ++actual[f.rule];
-    if (actual == expected) {
-      std::cout << "PASS " << fixture.filename().string() << "\n";
-      continue;
-    }
-    ++failures;
-    std::cerr << "FAIL " << fixture.filename().string() << "\n";
-    for (const auto& [rule, count] : expected) {
-      const auto it = actual.find(rule);
-      const int got = it == actual.end() ? 0 : it->second;
-      if (got != count)
-        std::cerr << "  expected " << count << "x " << rule << ", got " << got
-                  << "\n";
-    }
-    for (const auto& [rule, count] : actual) {
-      if (expected.find(rule) == expected.end())
-        std::cerr << "  unexpected " << count << "x " << rule << "\n";
-    }
-    print_findings(findings, std::cerr);
+  for (const fs::path& fixture : singles) {
+    ++total;
+    const std::vector<Finding> findings = analyze({fixture}, root);
+    if (!check_fixture(fixture, findings)) ++failures;
   }
-  std::cout << "nettag-lint self-test: " << (fixtures.size() -
-            static_cast<std::size_t>(failures)) << "/" << fixtures.size()
-            << " fixtures OK\n";
+
+  // Tree phase: layering/ is a miniature repository checked as a whole, so
+  // the include-graph rules see real edges and real cycles.
+  if (fs::is_directory(layering_root, ec)) {
+    const std::vector<fs::path> tree = collect_inputs(
+        {layering_root.string()}, false);
+    std::vector<Finding> findings = analyze(tree, layering_root);
+    std::map<std::string, std::vector<Finding>> by_file;
+    for (Finding& f : findings)
+      by_file[f.file].push_back(std::move(f));
+    for (const fs::path& fixture : tree) {
+      ++total;
+      if (!check_fixture(fixture, by_file[fixture.string()])) ++failures;
+    }
+  }
+
+  std::cout << "nettag-lint self-test: " << (total - failures) << "/"
+            << total << " fixtures OK\n";
   return failures == 0 ? 0 : 1;
 }
 
 int usage() {
-  std::cerr << "usage: nettag-lint [--report FILE] PATH...\n"
-               "       nettag-lint --self-test FIXTURE_DIR\n";
+  std::cerr
+      << "usage: nettag-lint [--report FILE] [--sarif FILE]\n"
+         "                   [--baseline FILE | --write-baseline FILE]\n"
+         "                   [--root DIR] PATH...\n"
+         "       nettag-lint --self-test FIXTURE_DIR\n";
   return 64;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> paths;
-  std::string report_path;
-  std::string self_test_dir;
+  Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto value = [&](std::string& slot) {
+      if (++i >= argc) return false;
+      slot = argv[i];
+      return true;
+    };
     if (arg == "--report") {
-      if (++i >= argc) return usage();
-      report_path = argv[i];
+      if (!value(opt.report_path)) return usage();
+    } else if (arg == "--sarif") {
+      if (!value(opt.sarif_path)) return usage();
+    } else if (arg == "--baseline") {
+      if (!value(opt.baseline_path)) return usage();
+    } else if (arg == "--write-baseline") {
+      if (!value(opt.write_baseline_path)) return usage();
+    } else if (arg == "--root") {
+      if (!value(opt.root_override)) return usage();
     } else if (arg == "--self-test") {
-      if (++i >= argc) return usage();
-      self_test_dir = argv[i];
+      if (!value(opt.self_test_dir)) return usage();
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
-      paths.push_back(arg);
+      opt.paths.push_back(arg);
     }
   }
-  if (!self_test_dir.empty()) {
-    if (!paths.empty()) return usage();
-    return run_self_test(self_test_dir);
+  // Reading a baseline while rewriting it is ambiguous (would the new file
+  // contain the suppressed findings or not?) — the modes are exclusive.
+  if (!opt.baseline_path.empty() && !opt.write_baseline_path.empty())
+    return usage();
+  if (!opt.self_test_dir.empty()) {
+    if (!opt.paths.empty()) return usage();
+    return run_self_test(opt.self_test_dir);
   }
-  if (paths.empty()) return usage();
-  return run_scan(paths, report_path);
+  if (opt.paths.empty()) return usage();
+  return run_scan(opt);
 }

@@ -36,7 +36,7 @@ for tags in 400 2000; do
   esac
   for bench in fig3_tiers fig4_execution_time table1_max_sent_bits \
                table2_max_received_bits table3_avg_sent_bits \
-               table4_avg_received_bits; do
+               table4_avg_received_bits robustness_link_loss; do
     bin="$repo_root/$build_dir/bench/$bench"
     if [ ! -x "$bin" ]; then
       echo "error: $bin not built (cmake --build $build_dir first)" >&2
@@ -49,6 +49,7 @@ for tags in 400 2000; do
       table2_max_received_bits) name=table2 ;;
       table3_avg_sent_bits) name=table3 ;;
       table4_avg_received_bits) name=table4 ;;
+      robustness_link_loss) name=robustness_link_loss ;;
     esac
     echo "regenerating $name$suffix.json ($bench, N=$tags)" >&2
     NETTAG_MANIFEST="$out_dir/$name$suffix.json" "$bin" > /dev/null

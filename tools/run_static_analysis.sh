@@ -1,12 +1,16 @@
 #!/bin/sh
 # Runs the repo's static-analysis stack against the tree.
 #
-# Usage: tools/run_static_analysis.sh [build-dir]
+# Usage: tools/run_static_analysis.sh [--sarif FILE] [build-dir]
 #
-#   build-dir  a configured build directory (default: build).  It must have
-#              been configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON for
-#              the clang-tidy pass, and must contain the nettag-lint binary
-#              (built by the default ALL target).
+#   --sarif FILE  also write the nettag-lint findings as SARIF 2.1.0 to
+#                 FILE (what CI uploads to GitHub code scanning).  The
+#                 exit status still reflects the findings: SARIF output
+#                 never swallows a failure.
+#   build-dir     a configured build directory (default: build).  It must
+#                 have been configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+#                 for the clang-tidy pass, and must contain the nettag-lint
+#                 binary (built by the default ALL target).
 #
 # Three passes, in cheap-to-expensive order:
 #   1. nettag-lint   — the repo-specific determinism linter (always runs);
@@ -22,6 +26,26 @@
 set -u
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+sarif_out=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --sarif)
+      if [ $# -lt 2 ]; then
+        echo "run_static_analysis: --sarif needs a file argument" >&2
+        exit 64
+      fi
+      sarif_out=$2
+      shift 2
+      ;;
+    -*)
+      echo "run_static_analysis: unknown option '$1'" >&2
+      exit 64
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 build_dir=${1:-"$repo_root/build"}
 status=0
 
@@ -38,8 +62,17 @@ if [ ! -x "$lint_bin" ]; then
   exit 64
 fi
 "$lint_bin" --self-test "$repo_root/tools/lint_fixtures" || status=1
-"$lint_bin" --report "$build_dir/nettag-lint-findings.txt" \
-  "$repo_root/src" "$repo_root/bench" || status=1
+# Full-tree scan (src, bench, tools, tests) against the checked-in
+# baseline; only findings absent from the baseline fail the run.
+set -- --root "$repo_root" \
+  --baseline "$repo_root/tools/lint_baseline.txt" \
+  --report "$build_dir/nettag-lint-findings.txt"
+if [ -n "$sarif_out" ]; then
+  set -- "$@" --sarif "$sarif_out"
+fi
+"$lint_bin" "$@" \
+  "$repo_root/src" "$repo_root/bench" \
+  "$repo_root/tools" "$repo_root/tests" || status=1
 
 echo "== cppcheck =="
 if command -v cppcheck >/dev/null 2>&1; then
@@ -49,6 +82,7 @@ if command -v cppcheck >/dev/null 2>&1; then
     --error-exitcode=1 --quiet \
     -I "$repo_root/src" \
     "$repo_root/src" "$repo_root/bench" "$repo_root/tools/nettag_lint.cpp" \
+    "$repo_root/tools/lint" \
     || status=1
 else
   echo "cppcheck not installed — skipping (CI runs it)"
