@@ -14,6 +14,7 @@
 #include "common/hash.hpp"
 #include "net/deployment.hpp"
 #include "net/topology.hpp"
+#include "trial_pool.hpp"
 
 int main() {
   using namespace nettag;
@@ -32,44 +33,71 @@ int main() {
     RunningStats with_check;
     RunningStats fixed_budget;
     RunningStats tiers;
-    for (int trial = 0; trial < config.trials; ++trial) {
-      const Seed seed = fmix64(config.master_seed * 31 +
-                               static_cast<Seed>(trial) +
-                               static_cast<Seed>(r * 1024));
-      Rng rng(seed);
-      const net::Deployment deployment = net::make_disk_deployment(sys, rng);
-      const net::Topology topology(deployment, sys);
-      tiers.add(static_cast<double>(topology.tier_count()));
+    struct TrialOut {
+      double tiers = 0.0;
+      double with_check = 0.0;
+      double fixed_budget = 0.0;
+    };
+    bench::run_pooled_trials<TrialOut>(
+        config.jobs, config.trials,
+        [&](int trial) {
+          TrialOut out;
+          const Seed seed = fmix64(config.master_seed * 31 +
+                                   static_cast<Seed>(trial) +
+                                   static_cast<Seed>(r * 1024));
+          Rng rng(seed);
+          const net::Deployment deployment =
+              net::make_disk_deployment(sys, rng);
+          const net::Topology topology(deployment, sys);
+          out.tiers = static_cast<double>(topology.tier_count());
 
-      ccm::CcmConfig cfg;
-      cfg.frame_size = 1671;
-      cfg.request_seed = fmix64(seed);
-      cfg.checking_frame_length =
-          std::max(sys.checking_frame_length(), 2 * topology.tier_count());
-      const double p = 1.59 * 1671.0 / config.tag_count;
+          ccm::CcmConfig cfg;
+          cfg.frame_size = 1671;
+          cfg.request_seed = fmix64(seed);
+          cfg.checking_frame_length =
+              std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+          const double p = 1.59 * 1671.0 / config.tag_count;
 
-      ccm::CcmConfig a = cfg;
-      a.max_rounds = std::max(cfg.checking_frame_length,
-                              topology.tier_count() + 2);
-      sim::EnergyMeter e1(topology.tag_count());
-      const auto with_session =
-          ccm::run_session(topology, a, ccm::HashedSlotSelector(p), e1);
-      with_check.add(static_cast<double>(with_session.clock.total_slots()));
+          ccm::CcmConfig a = cfg;
+          a.max_rounds = std::max(cfg.checking_frame_length,
+                                  topology.tier_count() + 2);
+          sim::EnergyMeter e1(topology.tag_count());
+          const auto with_session =
+              ccm::run_session(topology, a, ccm::HashedSlotSelector(p), e1);
+          out.with_check =
+              static_cast<double>(with_session.clock.total_slots());
 
-      ccm::CcmConfig b = a;
-      b.use_checking_frame = false;  // blind: all budgeted rounds
-      sim::EnergyMeter e2(topology.tag_count());
-      const auto fixed_session =
-          ccm::run_session(topology, b, ccm::HashedSlotSelector(p), e2);
-      fixed_budget.add(static_cast<double>(fixed_session.clock.total_slots()));
-    }
+          ccm::CcmConfig b = a;
+          b.use_checking_frame = false;  // blind: all budgeted rounds
+          sim::EnergyMeter e2(topology.tag_count());
+          const auto fixed_session =
+              ccm::run_session(topology, b, ccm::HashedSlotSelector(p), e2);
+          out.fixed_budget =
+              static_cast<double>(fixed_session.clock.total_slots());
+          return out;
+        },
+        [&](int /*trial*/, TrialOut& out) {
+          tiers.add(out.tiers);
+          with_check.add(out.with_check);
+          fixed_budget.add(out.fixed_budget);
+        });
     const double saving =
         1.0 - with_check.mean() / std::max(fixed_budget.mean(), 1.0);
     std::printf("%-8.1f %10.2f %16.0f %16.0f %9.1f%%\n", r, tiers.mean(),
                 with_check.mean(), fixed_budget.mean(), 100.0 * saving);
+
+    char prefix[64];
+    std::snprintf(prefix, sizeof prefix, "ablation_check.r%02d.",
+                  static_cast<int>(r + 0.5));
+    bench::registry().set(std::string(prefix) + "tiers", tiers.mean());
+    bench::registry().set(std::string(prefix) + "with_check",
+                          with_check.mean());
+    bench::registry().set(std::string(prefix) + "fixed_budget",
+                          fixed_budget.mean());
+    bench::registry().set(std::string(prefix) + "saving_pct", 100.0 * saving);
   }
   std::printf(
       "\nreading: the checking frame converts the conservative L_c budget "
       "into the true K rounds; savings grow when L_c >> K.\n");
-  return 0;
+  return bench::emit_manifest("ablation_checking_frame", config, {}) ? 0 : 1;
 }

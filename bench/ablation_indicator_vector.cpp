@@ -18,6 +18,7 @@
 #include "common/hash.hpp"
 #include "net/deployment.hpp"
 #include "net/topology.hpp"
+#include "trial_pool.hpp"
 
 int main() {
   using namespace nettag;
@@ -38,39 +39,67 @@ int main() {
       RunningStats avg_sent;
       RunningStats avg_recv;
       RunningStats max_sent;
-      for (int trial = 0; trial < config.trials; ++trial) {
-        const Seed seed = fmix64(config.master_seed + static_cast<Seed>(trial) +
-                                 static_cast<Seed>(r * 512));
-        Rng rng(seed);
-        const net::Deployment deployment = net::make_disk_deployment(sys, rng);
-        const net::Topology topology(deployment, sys);
+      struct TrialOut {
+        double time_slots = 0.0;
+        double avg_sent = 0.0;
+        double avg_recv = 0.0;
+        double max_sent = 0.0;
+      };
+      bench::run_pooled_trials<TrialOut>(
+          config.jobs, config.trials,
+          [&](int trial) {
+            TrialOut out;
+            const Seed seed = fmix64(config.master_seed +
+                                     static_cast<Seed>(trial) +
+                                     static_cast<Seed>(r * 512));
+            Rng rng(seed);
+            const net::Deployment deployment =
+                net::make_disk_deployment(sys, rng);
+            const net::Topology topology(deployment, sys);
 
-        ccm::CcmConfig cfg;
-        cfg.frame_size = 3228;
-        cfg.request_seed = fmix64(seed);
-        cfg.checking_frame_length =
-            std::max(sys.checking_frame_length(), 2 * topology.tier_count());
-        cfg.use_indicator_vector = use_v;
-        // Without V the flood drains in ~the network diameter, not K.
-        cfg.max_rounds =
-            use_v ? topology.tier_count() + 4 : 8 * topology.tier_count() + 16;
+            ccm::CcmConfig cfg;
+            cfg.frame_size = 3228;
+            cfg.request_seed = fmix64(seed);
+            cfg.checking_frame_length = std::max(
+                sys.checking_frame_length(), 2 * topology.tier_count());
+            cfg.use_indicator_vector = use_v;
+            // Without V the flood drains in ~the network diameter, not K.
+            cfg.max_rounds = use_v ? topology.tier_count() + 4
+                                   : 8 * topology.tier_count() + 16;
 
-        sim::EnergyMeter energy(topology.tag_count());
-        const auto session = ccm::run_session(
-            topology, cfg, ccm::HashedSlotSelector(1.0), energy);
-        const auto summary = energy.summarize();
-        time_slots.add(static_cast<double>(session.clock.total_slots()));
-        avg_sent.add(summary.avg_sent_bits);
-        avg_recv.add(summary.avg_received_bits);
-        max_sent.add(summary.max_sent_bits);
-      }
+            sim::EnergyMeter energy(topology.tag_count());
+            const auto session = ccm::run_session(
+                topology, cfg, ccm::HashedSlotSelector(1.0), energy);
+            const auto summary = energy.summarize();
+            out.time_slots =
+                static_cast<double>(session.clock.total_slots());
+            out.avg_sent = summary.avg_sent_bits;
+            out.avg_recv = summary.avg_received_bits;
+            out.max_sent = summary.max_sent_bits;
+            return out;
+          },
+          [&](int /*trial*/, TrialOut& out) {
+            time_slots.add(out.time_slots);
+            avg_sent.add(out.avg_sent);
+            avg_recv.add(out.avg_recv);
+            max_sent.add(out.max_sent);
+          });
       std::printf("%-8.1f %-6s %14.0f %14.1f %14.1f %14.1f\n", r,
                   use_v ? "on" : "off", time_slots.mean(), avg_sent.mean(),
                   avg_recv.mean(), max_sent.mean());
+
+      char prefix[64];
+      std::snprintf(prefix, sizeof prefix, "ablation_indicator.r%d.%s.",
+                    static_cast<int>(r + 0.5), use_v ? "on" : "off");
+      bench::registry().set(std::string(prefix) + "time_slots",
+                            time_slots.mean());
+      bench::registry().set(std::string(prefix) + "avg_sent", avg_sent.mean());
+      bench::registry().set(std::string(prefix) + "avg_recv", avg_recv.mean());
+      bench::registry().set(std::string(prefix) + "max_sent", max_sent.mean());
     }
   }
   std::printf(
       "\nreading: without V, sent bits explode by >10x and extra rounds "
       "lengthen the session — SIII-D's motivation quantified.\n");
-  return 0;
+  return bench::emit_manifest("ablation_indicator_vector", config, {}) ? 0 : 1;
 }

@@ -42,7 +42,9 @@ function(run_bench tags manifest trace)
   endif()
 endfunction()
 
-# Traced run: the analyzer must certify the trace/manifest pair.
+# Traced run: the analyzer must certify the trace/manifest pair, and the
+# trace must survive jsonl -> ntrace -> jsonl byte-identically (the binary
+# format's lossless-rendering contract, checked on a real bench trace).
 if(CHECK_TRACE)
   run_bench(400 ${WORK_DIR}/${NAME}_traced.json ${WORK_DIR}/${NAME}.jsonl)
   execute_process(
@@ -52,6 +54,37 @@ if(CHECK_TRACE)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR
       "nettag-obs check rejected the ${NAME} artifacts (${rc})\n${err}")
+  endif()
+  execute_process(
+    COMMAND ${NETTAG_OBS} convert
+      ${WORK_DIR}/${NAME}.jsonl ${WORK_DIR}/${NAME}.ntrace
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "jsonl -> ntrace conversion failed (${rc})\n${err}")
+  endif()
+  execute_process(
+    COMMAND ${NETTAG_OBS} convert
+      ${WORK_DIR}/${NAME}.ntrace ${WORK_DIR}/${NAME}_roundtrip.jsonl
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ntrace -> jsonl conversion failed (${rc})\n${err}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${WORK_DIR}/${NAME}.jsonl ${WORK_DIR}/${NAME}_roundtrip.jsonl
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${NAME} trace does not round-trip byte-identically through .ntrace")
+  endif()
+  # The binary file must also stream through the analyzer directly.
+  execute_process(
+    COMMAND ${NETTAG_OBS} check
+      ${WORK_DIR}/${NAME}.ntrace ${WORK_DIR}/${NAME}_traced.json
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "nettag-obs check rejected the binary ${NAME} trace (${rc})\n${err}")
   endif()
 endif()
 

@@ -45,6 +45,19 @@ int main() {
                   cfg.margin_slots, 100.0 * report.participation_rate,
                   report.avg_idle_listen_slots,
                   (1.0 - report.participation_rate) * 10'000.0);
+
+      // Drift in units of 1e-5 and the margin factor in tenths give stable
+      // integer gauge keys (d010.f05 = drift 1e-4, margin 0.5x required).
+      char prefix[64];
+      std::snprintf(prefix, sizeof prefix, "duty.d%03d.f%02d.",
+                    static_cast<int>(drift * 1e5 + 0.5),
+                    static_cast<int>(factor * 10.0 + 0.5));
+      bench::registry().set(std::string(prefix) + "participation_pct",
+                            100.0 * report.participation_rate);
+      bench::registry().set(std::string(prefix) + "idle_slots",
+                            report.avg_idle_listen_slots);
+      bench::registry().set(std::string(prefix) + "dormant_tags",
+                            (1.0 - report.participation_rate) * 10'000.0);
     }
   }
   std::printf(
@@ -52,5 +65,5 @@ int main() {
       "that margin participation is 100%% and the idle-listen cost per "
       "operation is bounded by 2*sleep*drift slots; skimping on it parks "
       "thousands of tags asleep, each a spurious missing-tag alarm.\n");
-  return 0;
+  return bench::emit_manifest("duty_cycle", config, {}) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 // session cost.
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "ccm/session.hpp"
@@ -20,6 +21,7 @@
 #include "net/topology.hpp"
 #include "protocols/estimator/gmle.hpp"
 #include "protocols/estimator/lof.hpp"
+#include "trial_pool.hpp"
 
 int main() {
   using namespace nettag;
@@ -41,63 +43,96 @@ int main() {
   Row lof_small{"LoF m=256", {}, {}, {}, {}};
   Row lof_big{"LoF m=1024", {}, {}, {}, {}};
 
+  struct ArmOut {
+    double err = 0.0;
+    double time_slots = 0.0;
+    double recv_bits = 0.0;
+  };
+  struct TrialOut {
+    ArmOut gmle;
+    ArmOut lof_small;
+    ArmOut lof_big;
+  };
   const int trials = config.trials;
-  for (int trial = 0; trial < trials; ++trial) {
-    const Seed seed =
-        fmix64(config.master_seed * 131 + static_cast<Seed>(trial));
-    Rng rng(seed);
-    const net::Deployment deployment =
-        net::connected_subset(net::make_disk_deployment(sys, rng), sys);
-    const net::Topology topology(deployment, sys);
-    const double true_n = static_cast<double>(topology.tag_count());
+  bench::run_pooled_trials<TrialOut>(
+      config.jobs, trials,
+      [&](int trial) {
+        TrialOut out;
+        const Seed seed =
+            fmix64(config.master_seed * 131 + static_cast<Seed>(trial));
+        Rng rng(seed);
+        const net::Deployment deployment =
+            net::connected_subset(net::make_disk_deployment(sys, rng), sys);
+        const net::Topology topology(deployment, sys);
+        const double true_n = static_cast<double>(topology.tag_count());
 
-    ccm::CcmConfig tmpl;
-    tmpl.apply_geometry(sys);
-    tmpl.checking_frame_length =
-        std::max(sys.checking_frame_length(), 2 * topology.tier_count());
-    tmpl.max_rounds = topology.tier_count() + 4;
+        ccm::CcmConfig tmpl;
+        tmpl.apply_geometry(sys);
+        tmpl.checking_frame_length =
+            std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+        tmpl.max_rounds = topology.tier_count() + 4;
 
-    {  // GMLE, one frame at the paper's operating point.
-      ccm::CcmConfig cfg = tmpl;
-      cfg.frame_size = config.gmle_frame;
-      cfg.request_seed = fmix64(seed ^ 1);
-      const double p =
-          protocols::gmle_sampling_probability(config.gmle_frame, true_n);
-      sim::EnergyMeter energy(topology.tag_count());
-      const auto session = ccm::run_session(
-          topology, cfg, ccm::HashedSlotSelector(p), energy);
-      const protocols::FrameObservation obs{
-          cfg.frame_size, p, cfg.frame_size - session.bitmap.count()};
-      const double n_hat = protocols::gmle_estimate({&obs, 1}).n_hat;
-      const double err = 100.0 * std::abs(n_hat - true_n) / true_n;
-      gmle_row.abs_err_pct.add(err);
-      gmle_row.errors.push_back(err);
-      gmle_row.time_slots.add(static_cast<double>(session.clock.total_slots()));
-      gmle_row.recv_bits.add(energy.summarize().avg_received_bits);
-    }
-    for (Row* row : {&lof_small, &lof_big}) {
-      protocols::LofConfig lof;
-      lof.groups = (row == &lof_small) ? 256 : 1'024;
-      lof.seed = fmix64(seed ^ 2);
-      sim::EnergyMeter energy(topology.tag_count());
-      const auto outcome =
-          protocols::estimate_cardinality_lof(lof, topology, tmpl, energy);
-      const double err =
-          100.0 * std::abs(outcome.estimate.n_hat - true_n) / true_n;
-      row->abs_err_pct.add(err);
-      row->errors.push_back(err);
-      row->time_slots.add(static_cast<double>(outcome.clock.total_slots()));
-      row->recv_bits.add(energy.summarize().avg_received_bits);
-    }
-    std::fprintf(stderr, "  trial %d/%d done\n", trial + 1, trials);
-  }
+        {  // GMLE, one frame at the paper's operating point.
+          ccm::CcmConfig cfg = tmpl;
+          cfg.frame_size = config.gmle_frame;
+          cfg.request_seed = fmix64(seed ^ 1);
+          const double p =
+              protocols::gmle_sampling_probability(config.gmle_frame, true_n);
+          sim::EnergyMeter energy(topology.tag_count());
+          const auto session = ccm::run_session(
+              topology, cfg, ccm::HashedSlotSelector(p), energy);
+          const protocols::FrameObservation obs{
+              cfg.frame_size, p, cfg.frame_size - session.bitmap.count()};
+          const double n_hat = protocols::gmle_estimate({&obs, 1}).n_hat;
+          out.gmle.err = 100.0 * std::abs(n_hat - true_n) / true_n;
+          out.gmle.time_slots =
+              static_cast<double>(session.clock.total_slots());
+          out.gmle.recv_bits = energy.summarize().avg_received_bits;
+        }
+        for (ArmOut* arm : {&out.lof_small, &out.lof_big}) {
+          protocols::LofConfig lof;
+          lof.groups = (arm == &out.lof_small) ? 256 : 1'024;
+          lof.seed = fmix64(seed ^ 2);
+          sim::EnergyMeter energy(topology.tag_count());
+          const auto outcome =
+              protocols::estimate_cardinality_lof(lof, topology, tmpl, energy);
+          arm->err =
+              100.0 * std::abs(outcome.estimate.n_hat - true_n) / true_n;
+          arm->time_slots = static_cast<double>(outcome.clock.total_slots());
+          arm->recv_bits = energy.summarize().avg_received_bits;
+        }
+        return out;
+      },
+      [&](int trial, TrialOut& out) {
+        const std::pair<Row*, const ArmOut*> arms[] = {
+            {&gmle_row, &out.gmle},
+            {&lof_small, &out.lof_small},
+            {&lof_big, &out.lof_big}};
+        for (const auto& [row, arm] : arms) {
+          row->abs_err_pct.add(arm->err);
+          row->errors.push_back(arm->err);
+          row->time_slots.add(arm->time_slots);
+          row->recv_bits.add(arm->recv_bits);
+        }
+        std::fprintf(stderr, "  trial %d/%d done\n", trial + 1, trials);
+      });
 
   std::printf("%-14s %12s %12s %14s %14s\n", "estimator", "mean |err|",
               "p95 |err|", "time (slots)", "recv bits/tag");
-  for (const Row* row : {&gmle_row, &lof_small, &lof_big}) {
+  const std::pair<const Row*, const char*> rows[] = {
+      {&gmle_row, "gmle"}, {&lof_small, "lof256"}, {&lof_big, "lof1024"}};
+  for (const auto& [row, key] : rows) {
     std::printf("%-14s %11.2f%% %11.2f%% %14.0f %14.0f\n", row->name,
                 row->abs_err_pct.mean(), percentile(row->errors, 95.0),
                 row->time_slots.mean(), row->recv_bits.mean());
+
+    const std::string prefix = std::string("estimator.") + key + ".";
+    bench::registry().set(prefix + "mean_abs_err_pct",
+                          row->abs_err_pct.mean());
+    bench::registry().set(prefix + "p95_abs_err_pct",
+                          percentile(row->errors, 95.0));
+    bench::registry().set(prefix + "time_slots", row->time_slots.mean());
+    bench::registry().set(prefix + "recv_bits", row->recv_bits.mean());
   }
   std::printf(
       "\nreading: GMLE's load-optimal frame dominates here — better accuracy "
@@ -106,5 +141,5 @@ int main() {
       "by m alone, with no rough phase and no p to tune — echoing Chen et "
       "al.'s point (SIV-A) that the two-phase design, not the estimator, "
       "drives efficiency.\n");
-  return 0;
+  return bench::emit_manifest("estimator_comparison", config, {}) ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "net/deployment.hpp"
 #include "net/radio_model.hpp"
 #include "net/topology.hpp"
+#include "trial_pool.hpp"
 
 int main() {
   using namespace nettag;
@@ -39,60 +40,95 @@ int main() {
     RunningStats recv;
     int exact = 0;
     int total = 0;
-    for (int trial = 0; trial < config.trials; ++trial) {
-      const Seed seed = fmix64(config.master_seed * 5 +
-                               static_cast<Seed>(trial) +
-                               static_cast<Seed>(sigma * 10));
-      Rng rng(seed);
-      const net::Deployment deployment = net::make_disk_deployment(sys, rng);
-      net::RadioModel model;
-      model.shadowing_sigma_db = sigma;
-      model.reference_range_m = sys.tag_to_tag_range_m;
-      model.shadowing_seed = seed;
-      const net::Topology topology =
-          net::build_shadowed_topology(deployment, sys, model);
+    struct TrialOut {
+      double degree = 0.0;
+      double reachable = 0.0;
+      double tiers = 0.0;
+      double time_slots = 0.0;
+      double recv = 0.0;
+      bool exact = false;
+    };
+    bench::run_pooled_trials<TrialOut>(
+        config.jobs, config.trials,
+        [&](int trial) {
+          TrialOut out;
+          const Seed seed = fmix64(config.master_seed * 5 +
+                                   static_cast<Seed>(trial) +
+                                   static_cast<Seed>(sigma * 10));
+          Rng rng(seed);
+          const net::Deployment deployment =
+              net::make_disk_deployment(sys, rng);
+          net::RadioModel model;
+          model.shadowing_sigma_db = sigma;
+          model.reference_range_m = sys.tag_to_tag_range_m;
+          model.shadowing_seed = seed;
+          const net::Topology topology =
+              net::build_shadowed_topology(deployment, sys, model);
 
-      double deg_sum = 0.0;
-      for (TagIndex t = 0; t < topology.tag_count(); ++t)
-        // Fixed tag-index order; serial fold, reproducible by construction.
-        deg_sum += topology.degree(t);  // nettag-lint: allow(float-for-accum)
-      degree.add(deg_sum / topology.tag_count());
-      reachable.add(100.0 * topology.reachable_count() /
-                    topology.tag_count());
-      tiers.add(static_cast<double>(topology.tier_count()));
+          double deg_sum = 0.0;
+          for (TagIndex t = 0; t < topology.tag_count(); ++t)
+            // Fixed tag-index order; reproducible by construction.
+            deg_sum +=  // nettag-lint: allow(float-for-accum)
+                topology.degree(t);
+          out.degree = deg_sum / topology.tag_count();
+          out.reachable =
+              100.0 * topology.reachable_count() / topology.tag_count();
+          out.tiers = static_cast<double>(topology.tier_count());
 
-      ccm::CcmConfig cfg;
-      cfg.frame_size = 1671;
-      cfg.request_seed = fmix64(seed ^ 3);
-      cfg.checking_frame_length =
-          std::max(sys.checking_frame_length(), 2 * topology.tier_count());
-      cfg.max_rounds = topology.tier_count() + 6;
-      const double p =
-          1.59 * 1671.0 / static_cast<double>(config.tag_count);
-      sim::EnergyMeter energy(topology.tag_count());
-      const auto session = ccm::run_session(
-          topology, cfg, ccm::HashedSlotSelector(p), energy);
-      time_slots.add(static_cast<double>(session.clock.total_slots()));
-      recv.add(energy.summarize().avg_received_bits);
+          ccm::CcmConfig cfg;
+          cfg.frame_size = 1671;
+          cfg.request_seed = fmix64(seed ^ 3);
+          cfg.checking_frame_length =
+              std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+          cfg.max_rounds = topology.tier_count() + 6;
+          const double p =
+              1.59 * 1671.0 / static_cast<double>(config.tag_count);
+          sim::EnergyMeter energy(topology.tag_count());
+          const auto session = ccm::run_session(
+              topology, cfg, ccm::HashedSlotSelector(p), energy);
+          out.time_slots = static_cast<double>(session.clock.total_slots());
+          out.recv = energy.summarize().avg_received_bits;
 
-      // Exactness check against the reachable ground truth.
-      Bitmap truth(cfg.frame_size);
-      for (TagIndex t = 0; t < topology.tag_count(); ++t) {
-        if (topology.tier(t) == net::kUnreachable) continue;
-        const TagId id = topology.id_of(t);
-        if (participates(id, cfg.request_seed, p))
-          truth.set(slot_pick(id, cfg.request_seed, cfg.frame_size));
-      }
-      exact += (session.completed && session.bitmap == truth) ? 1 : 0;
-      ++total;
-    }
+          // Exactness check against the reachable ground truth.
+          Bitmap truth(cfg.frame_size);
+          for (TagIndex t = 0; t < topology.tag_count(); ++t) {
+            if (topology.tier(t) == net::kUnreachable) continue;
+            const TagId id = topology.id_of(t);
+            if (participates(id, cfg.request_seed, p))
+              truth.set(slot_pick(id, cfg.request_seed, cfg.frame_size));
+          }
+          out.exact = session.completed && session.bitmap == truth;
+          return out;
+        },
+        [&](int /*trial*/, TrialOut& out) {
+          degree.add(out.degree);
+          reachable.add(out.reachable);
+          tiers.add(out.tiers);
+          time_slots.add(out.time_slots);
+          recv.add(out.recv);
+          exact += out.exact ? 1 : 0;
+          ++total;
+        });
     std::printf("%-10.1f %8.1f %9.2f%% %8.2f %14.0f %12.1f %8d/%d\n", sigma,
                 degree.mean(), reachable.mean(), tiers.mean(),
                 time_slots.mean(), recv.mean(), exact, total);
+
+    char prefix[64];
+    std::snprintf(prefix, sizeof prefix, "irregular.sigma%d.",
+                  static_cast<int>(sigma + 0.5));
+    bench::registry().set(std::string(prefix) + "avg_degree", degree.mean());
+    bench::registry().set(std::string(prefix) + "reachable_pct",
+                          reachable.mean());
+    bench::registry().set(std::string(prefix) + "tiers", tiers.mean());
+    bench::registry().set(std::string(prefix) + "time_slots",
+                          time_slots.mean());
+    bench::registry().set(std::string(prefix) + "avg_recv", recv.mean());
+    bench::registry().set(std::string(prefix) + "exact",
+                          static_cast<double>(exact));
   }
   std::printf(
       "\nreading: shadowing trims some marginal links and adds other long "
       "ones; reachability and the bitmap's exactness are untouched — CCM "
       "never relied on the disk abstraction, only on connectivity.\n");
-  return 0;
+  return bench::emit_manifest("irregular_radio", config, {}) ? 0 : 1;
 }

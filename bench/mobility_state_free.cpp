@@ -18,6 +18,7 @@
 #include "net/mobility.hpp"
 #include "net/topology.hpp"
 #include "protocols/idcollect/sicp.hpp"
+#include "trial_pool.hpp"
 
 int main() {
   using namespace nettag;
@@ -37,56 +38,84 @@ int main() {
     RunningStats ccm_cost;
     RunningStats tree_cost;
     RunningStats sicp_cost;
-    for (int trial = 0; trial < config.trials; ++trial) {
-      const Seed seed = fmix64(config.master_seed * 17 +
-                               static_cast<Seed>(trial) +
-                               static_cast<Seed>(fraction * 100));
-      Rng rng(seed);
-      const net::Deployment before = net::make_disk_deployment(sys, rng);
+    struct TrialOut {
+      double churn = 0.0;
+      double ccm_cost = 0.0;
+      double tree_cost = 0.0;
+      double sicp_cost = 0.0;
+    };
+    bench::run_pooled_trials<TrialOut>(
+        config.jobs, config.trials,
+        [&](int trial) {
+          TrialOut out;
+          const Seed seed = fmix64(config.master_seed * 17 +
+                                   static_cast<Seed>(trial) +
+                                   static_cast<Seed>(fraction * 100));
+          Rng rng(seed);
+          const net::Deployment before = net::make_disk_deployment(sys, rng);
 
-      net::MobilityModel model;
-      model.move_fraction = fraction;
-      Rng move_rng(fmix64(seed ^ 5));
-      const net::Deployment after = net::move_tags(before, model, move_rng);
-      churn.add(100.0 * net::link_churn(before, after, sys));
+          net::MobilityModel model;
+          model.move_fraction = fraction;
+          Rng move_rng(fmix64(seed ^ 5));
+          const net::Deployment after =
+              net::move_tags(before, model, move_rng);
+          out.churn = 100.0 * net::link_churn(before, after, sys);
 
-      // The operation of interest runs on the MOVED network.
-      const net::Topology topology(after, sys);
+          // The operation of interest runs on the MOVED network.
+          const net::Topology topology(after, sys);
 
-      // CCM: one TRP-grade session, no carried state.
-      ccm::CcmConfig cfg;
-      cfg.frame_size = 3228;
-      cfg.request_seed = fmix64(seed ^ 9);
-      cfg.checking_frame_length =
-          std::max(sys.checking_frame_length(), 2 * topology.tier_count());
-      cfg.max_rounds = topology.tier_count() + 4;
-      sim::EnergyMeter e1(topology.tag_count());
-      const auto session = ccm::run_session(
-          topology, cfg, ccm::HashedSlotSelector(1.0), e1);
-      ccm_cost.add(static_cast<double>(session.clock.total_slots()));
+          // CCM: one TRP-grade session, no carried state.
+          ccm::CcmConfig cfg;
+          cfg.frame_size = 3228;
+          cfg.request_seed = fmix64(seed ^ 9);
+          cfg.checking_frame_length =
+              std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+          cfg.max_rounds = topology.tier_count() + 4;
+          sim::EnergyMeter e1(topology.tag_count());
+          const auto session = ccm::run_session(
+              topology, cfg, ccm::HashedSlotSelector(1.0), e1);
+          out.ccm_cost = static_cast<double>(session.clock.total_slots());
 
-      // SICP: yesterday's tree is stale (or gone — state-free tags forget);
-      // the rebuild happens every operation.  Split its cost out.
-      Rng sicp_rng(fmix64(seed ^ 13));
-      sim::EnergyMeter e2(topology.tag_count());
-      const auto collection =
-          protocols::run_sicp(topology, {}, sicp_rng, e2);
-      const auto total =
-          static_cast<double>(collection.clock.total_slots());
-      const auto dfs = static_cast<double>(
-          collection.data_slots + collection.poll_slots +
-          collection.ack_slots);
-      tree_cost.add(total - dfs);
-      sicp_cost.add(total);
-    }
+          // SICP: yesterday's tree is stale (or gone — state-free tags
+          // forget); the rebuild happens every operation.  Split its cost
+          // out.
+          Rng sicp_rng(fmix64(seed ^ 13));
+          sim::EnergyMeter e2(topology.tag_count());
+          const auto collection =
+              protocols::run_sicp(topology, {}, sicp_rng, e2);
+          const auto total =
+              static_cast<double>(collection.clock.total_slots());
+          const auto dfs = static_cast<double>(
+              collection.data_slots + collection.poll_slots +
+              collection.ack_slots);
+          out.tree_cost = total - dfs;
+          out.sicp_cost = total;
+          return out;
+        },
+        [&](int /*trial*/, TrialOut& out) {
+          churn.add(out.churn);
+          ccm_cost.add(out.ccm_cost);
+          tree_cost.add(out.tree_cost);
+          sicp_cost.add(out.sicp_cost);
+        });
     std::printf("%-10.1f %9.1f%% %14.0f %16.0f %16.0f\n", fraction,
                 churn.mean(), ccm_cost.mean(), tree_cost.mean(),
                 sicp_cost.mean());
+
+    char prefix[64];
+    std::snprintf(prefix, sizeof prefix, "mobility.f%02d.",
+                  static_cast<int>(fraction * 100.0 + 0.5));
+    bench::registry().set(std::string(prefix) + "churn_pct", churn.mean());
+    bench::registry().set(std::string(prefix) + "ccm_cost", ccm_cost.mean());
+    bench::registry().set(std::string(prefix) + "tree_cost",
+                          tree_cost.mean());
+    bench::registry().set(std::string(prefix) + "sicp_cost",
+                          sicp_cost.mean());
   }
   std::printf(
       "\nreading: even a modest move fraction churns a large share of links "
       "— any cached routing state is junk, so the stateful baseline pays "
       "its tree construction on every operation while CCM's cost does not "
       "depend on mobility at all.\n");
-  return 0;
+  return bench::emit_manifest("mobility_state_free", config, {}) ? 0 : 1;
 }

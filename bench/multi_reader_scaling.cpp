@@ -12,6 +12,7 @@
 #include "ccm/multi_reader.hpp"
 #include "common/hash.hpp"
 #include "net/deployment.hpp"
+#include "trial_pool.hpp"
 
 int main() {
   using namespace nettag;
@@ -34,36 +35,65 @@ int main() {
     RunningStats time_slots;
     RunningStats avg_sent;
     RunningStats avg_recv;
-    for (int trial = 0; trial < config.trials; ++trial) {
-      Rng rng(fmix64(config.master_seed + static_cast<Seed>(trial) * 31 +
-                     static_cast<Seed>(readers)));
-      const net::Deployment deployment = net::make_multi_reader_deployment(
-          sys, rng, readers, 20.0, /*include_center=*/false);
+    struct TrialOut {
+      double covered = 0.0;
+      double bits = 0.0;
+      double time_slots = 0.0;
+      double avg_sent = 0.0;
+      double avg_recv = 0.0;
+    };
+    bench::run_pooled_trials<TrialOut>(
+        config.jobs, config.trials,
+        [&](int trial) {
+          TrialOut out;
+          Rng rng(fmix64(config.master_seed + static_cast<Seed>(trial) * 31 +
+                         static_cast<Seed>(readers)));
+          const net::Deployment deployment =
+              net::make_multi_reader_deployment(sys, rng, readers, 20.0,
+                                                /*include_center=*/false);
 
-      ccm::CcmConfig cfg;
-      cfg.frame_size = 1671;
-      cfg.request_seed = fmix64(static_cast<Seed>(trial) + 7);
-      cfg.checking_frame_length = 2 * sys.estimated_tiers() + 8;
-      cfg.max_rounds = cfg.checking_frame_length;
+          ccm::CcmConfig cfg;
+          cfg.frame_size = 1671;
+          cfg.request_seed = fmix64(static_cast<Seed>(trial) + 7);
+          cfg.checking_frame_length = 2 * sys.estimated_tiers() + 8;
+          cfg.max_rounds = cfg.checking_frame_length;
 
-      sim::EnergyMeter energy(deployment.tag_count());
-      const ccm::HashedSlotSelector selector(0.25);
-      const auto result = ccm::run_multi_reader_session(deployment, sys, cfg,
-                                                        selector, energy);
-      covered.add(100.0 * result.covered_tags / deployment.tag_count());
-      bits.add(static_cast<double>(result.bitmap.count()));
-      time_slots.add(static_cast<double>(result.clock.total_slots()));
-      const auto summary = energy.summarize();
-      avg_sent.add(summary.avg_sent_bits);
-      avg_recv.add(summary.avg_received_bits);
-    }
+          sim::EnergyMeter energy(deployment.tag_count());
+          const ccm::HashedSlotSelector selector(0.25);
+          const auto result = ccm::run_multi_reader_session(
+              deployment, sys, cfg, selector, energy);
+          out.covered = 100.0 * result.covered_tags / deployment.tag_count();
+          out.bits = static_cast<double>(result.bitmap.count());
+          out.time_slots = static_cast<double>(result.clock.total_slots());
+          const auto summary = energy.summarize();
+          out.avg_sent = summary.avg_sent_bits;
+          out.avg_recv = summary.avg_received_bits;
+          return out;
+        },
+        [&](int /*trial*/, TrialOut& out) {
+          covered.add(out.covered);
+          bits.add(out.bits);
+          time_slots.add(out.time_slots);
+          avg_sent.add(out.avg_sent);
+          avg_recv.add(out.avg_recv);
+        });
     std::printf("%-8d %9.1f%% %12.0f %14.0f %12.1f %12.1f\n", readers,
                 covered.mean(), bits.mean(), time_slots.mean(),
                 avg_sent.mean(), avg_recv.mean());
+
+    char prefix[64];
+    std::snprintf(prefix, sizeof prefix, "multi_reader.k%d.", readers);
+    bench::registry().set(std::string(prefix) + "covered_pct",
+                          covered.mean());
+    bench::registry().set(std::string(prefix) + "bitmap_bits", bits.mean());
+    bench::registry().set(std::string(prefix) + "time_slots",
+                          time_slots.mean());
+    bench::registry().set(std::string(prefix) + "avg_sent", avg_sent.mean());
+    bench::registry().set(std::string(prefix) + "avg_recv", avg_recv.mean());
   }
   std::printf(
       "\nreading: deterministic slot hashing makes the OR deduplicate tags "
       "seen by several readers, so bits-in-B converges while serialized time "
       "grows linearly in reader count.\n");
-  return 0;
+  return bench::emit_manifest("multi_reader_scaling", config, {}) ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include "net/deployment.hpp"
 #include "net/topology.hpp"
 #include "protocols/estimator/gmle.hpp"
+#include "trial_pool.hpp"
 
 int main() {
   using namespace nettag;
@@ -49,60 +50,76 @@ int main() {
     RunningStats n_hat;
     RunningStats false_alarms;
     RunningStats true_count;
-    for (int trial = 0; trial < config.trials; ++trial) {
-      const Seed seed = fmix64(config.master_seed +
-                               static_cast<Seed>(trial) * 53 +
-                               static_cast<Seed>(loss * 1e6));
-      Rng rng(seed);
-      const net::Deployment deployment = net::connected_subset(
-          net::make_disk_deployment(sys, rng), sys);
-      const net::Topology topology(deployment, sys);
-      true_count.add(static_cast<double>(topology.tag_count()));
+    struct TrialOut {
+      double true_count = 0.0;
+      double kept = 0.0;
+      double n_hat = 0.0;
+      double false_alarms = 0.0;
+    };
+    bench::run_pooled_trials<TrialOut>(
+        config.jobs, config.trials,
+        [&](int trial) {
+          TrialOut out;
+          const Seed seed = fmix64(config.master_seed +
+                                   static_cast<Seed>(trial) * 53 +
+                                   static_cast<Seed>(loss * 1e6));
+          Rng rng(seed);
+          const net::Deployment deployment = net::connected_subset(
+              net::make_disk_deployment(sys, rng), sys);
+          const net::Topology topology(deployment, sys);
+          out.true_count = static_cast<double>(topology.tag_count());
 
-      ccm::CcmConfig cfg;
-      cfg.frame_size = 1671;
-      cfg.request_seed = fmix64(seed);
-      cfg.checking_frame_length =
-          std::max(sys.checking_frame_length(), 2 * topology.tier_count());
-      cfg.max_rounds = topology.tier_count() + 4;
-      cfg.link_loss_probability = loss;
-      cfg.loss_seed = seed;
+          ccm::CcmConfig cfg;
+          cfg.frame_size = 1671;
+          cfg.request_seed = fmix64(seed);
+          cfg.checking_frame_length =
+              std::max(sys.checking_frame_length(), 2 * topology.tier_count());
+          cfg.max_rounds = topology.tier_count() + 4;
+          cfg.link_loss_probability = loss;
+          cfg.loss_seed = seed;
 
-      // GMLE arm: completeness + estimation bias.
-      const double p = protocols::gmle_sampling_probability(
-          1671, static_cast<double>(topology.tag_count()));
-      const ccm::HashedSlotSelector sampled(p);
-      sim::EnergyMeter e1(topology.tag_count());
-      const auto session = ccm::run_session(topology, cfg, sampled, e1);
+          // GMLE arm: completeness + estimation bias.
+          const double p = protocols::gmle_sampling_probability(
+              1671, static_cast<double>(topology.tag_count()));
+          const ccm::HashedSlotSelector sampled(p);
+          sim::EnergyMeter e1(topology.tag_count());
+          const auto session = ccm::run_session(topology, cfg, sampled, e1);
 
-      Bitmap truth(cfg.frame_size);
-      for (TagIndex t = 0; t < topology.tag_count(); ++t) {
-        const TagId id = topology.id_of(t);
-        if (participates(id, cfg.request_seed, p))
-          truth.set(slot_pick(id, cfg.request_seed, cfg.frame_size));
-      }
-      kept.add(truth.count() > 0
-                   ? 100.0 * session.bitmap.count() / truth.count()
-                   : 100.0);
-      const protocols::FrameObservation obs{
-          cfg.frame_size, p, cfg.frame_size - session.bitmap.count()};
-      n_hat.add(protocols::gmle_estimate({&obs, 1}).n_hat);
+          Bitmap truth(cfg.frame_size);
+          for (TagIndex t = 0; t < topology.tag_count(); ++t) {
+            const TagId id = topology.id_of(t);
+            if (participates(id, cfg.request_seed, p))
+              truth.set(slot_pick(id, cfg.request_seed, cfg.frame_size));
+          }
+          out.kept = truth.count() > 0
+                         ? 100.0 * session.bitmap.count() / truth.count()
+                         : 100.0;
+          const protocols::FrameObservation obs{
+              cfg.frame_size, p, cfg.frame_size - session.bitmap.count()};
+          out.n_hat = protocols::gmle_estimate({&obs, 1}).n_hat;
 
-      // TRP arm: false alarms = predicted-busy slots that went missing in
-      // transit (no tag is absent here).
-      ccm::CcmConfig trp_cfg = cfg;
-      trp_cfg.frame_size = 3228;
-      trp_cfg.request_seed = fmix64(seed ^ 0x7121);
-      sim::EnergyMeter e2(topology.tag_count());
-      const auto trp_session = ccm::run_session(
-          topology, trp_cfg, ccm::HashedSlotSelector(1.0), e2);
-      Bitmap predicted(trp_cfg.frame_size);
-      for (TagIndex t = 0; t < topology.tag_count(); ++t)
-        predicted.set(
-            slot_pick(topology.id_of(t), trp_cfg.request_seed, 3228));
-      predicted.subtract(trp_session.bitmap);
-      false_alarms.add(static_cast<double>(predicted.count()));
-    }
+          // TRP arm: false alarms = predicted-busy slots that went missing in
+          // transit (no tag is absent here).
+          ccm::CcmConfig trp_cfg = cfg;
+          trp_cfg.frame_size = 3228;
+          trp_cfg.request_seed = fmix64(seed ^ 0x7121);
+          sim::EnergyMeter e2(topology.tag_count());
+          const auto trp_session = ccm::run_session(
+              topology, trp_cfg, ccm::HashedSlotSelector(1.0), e2);
+          Bitmap predicted(trp_cfg.frame_size);
+          for (TagIndex t = 0; t < topology.tag_count(); ++t)
+            predicted.set(
+                slot_pick(topology.id_of(t), trp_cfg.request_seed, 3228));
+          predicted.subtract(trp_session.bitmap);
+          out.false_alarms = static_cast<double>(predicted.count());
+          return out;
+        },
+        [&](int /*trial*/, TrialOut& out) {
+          true_count.add(out.true_count);
+          kept.add(out.kept);
+          n_hat.add(out.n_hat);
+          false_alarms.add(out.false_alarms);
+        });
     const double true_n = true_count.mean();
     const double bias_pct = 100.0 * (n_hat.mean() - true_n) / true_n;
     std::printf("%-8.2f %13.2f%% %14.0f %13.2f%% %14.1f\n", loss,

@@ -33,15 +33,28 @@ int main() {
                 stateful.total_bits(ops),
                 ops * state_free.sicp_bits_per_op,
                 ops * state_free.ccm_bits_per_op);
+
+    char prefix[64];
+    std::snprintf(prefix, sizeof prefix, "stateful.ops%03d.",
+                  static_cast<int>(ops + 0.5));
+    bench::registry().set(std::string(prefix) + "stateful_bits",
+                          stateful.total_bits(ops));
+    bench::registry().set(std::string(prefix) + "sicp_bits",
+                          ops * state_free.sicp_bits_per_op);
+    bench::registry().set(std::string(prefix) + "ccm_bits",
+                          ops * state_free.ccm_bits_per_op);
   }
+  const double break_even = protocols::stateful_break_even_ops(sys,
+                                                               stateful_cfg);
   std::printf(
       "\nbreak-even (stateful vs SICP-rebuild): %.1f operations per "
       "interval\n",
-      protocols::stateful_break_even_ops(sys, stateful_cfg));
+      break_even);
+  bench::registry().set("stateful.break_even_ops", break_even);
   std::printf(
       "\nreading: below the break-even, beacons burn more than the tree "
       "rebuilds they avoid — the paper's case for state-free tags.  And "
       "CCM undercuts BOTH by an order of magnitude at every frequency, "
       "because it never ships IDs at all.\n");
-  return 0;
+  return bench::emit_manifest("stateful_vs_statefree", config, {}) ? 0 : 1;
 }

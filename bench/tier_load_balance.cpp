@@ -43,7 +43,7 @@ int main() {
   sim::EnergyMeter sicp_energy(topology.tag_count());
   (void)protocols::run_sicp(topology, {}, sicp_rng, sicp_energy);
 
-  const auto print_breakdown = [&topology](const char* name,
+  const auto print_breakdown = [&topology](const char* name, const char* key,
                                            const sim::EnergyMeter& energy) {
     std::printf("%s\n", name);
     std::printf("  %-6s %8s %12s %12s %14s %14s\n", "tier", "tags",
@@ -53,12 +53,16 @@ int main() {
                   tier.tag_count, tier.avg_sent_bits, tier.max_sent_bits,
                   tier.avg_received_bits, tier.max_received_bits);
     }
+    const double sent_index = ccm::load_balance_index(topology, energy, true);
+    const double recv_index = ccm::load_balance_index(topology, energy, false);
     std::printf("  load-balance index: sent %.2f, received %.2f "
                 "(max/mean; 1.0 = perfect)\n\n",
-                ccm::load_balance_index(topology, energy, true),
-                ccm::load_balance_index(topology, energy, false));
+                sent_index, recv_index);
+    const std::string prefix = std::string("tier_balance.") + key + ".";
+    bench::registry().set(prefix + "sent_index", sent_index);
+    bench::registry().set(prefix + "recv_index", recv_index);
   };
-  print_breakdown("TRP-CCM", ccm_energy);
-  print_breakdown("SICP", sicp_energy);
-  return 0;
+  print_breakdown("TRP-CCM", "ccm", ccm_energy);
+  print_breakdown("SICP", "sicp", sicp_energy);
+  return bench::emit_manifest("tier_load_balance", config, {}) ? 0 : 1;
 }

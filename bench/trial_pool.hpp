@@ -79,4 +79,31 @@ class TrialPool {
   int jobs_;
 };
 
+/// Pooled trial loop for the beyond-paper benches whose per-trial state does
+/// not fit TrialCell's protocol mask.  `compute(trial)` builds one Result on
+/// a worker thread — it must derive every seed from the trial index alone
+/// and must not touch bench::registry() (thread-bound to the driver);
+/// `fold(trial, result)` runs on the calling thread in strictly ascending
+/// trial order, so RunningStats accumulation and registry updates happen in
+/// exactly the serial loop's order and every printed table, gauge, and
+/// manifest stays byte-identical at any NETTAG_JOBS.  `jobs` <= 1
+/// degenerates to the plain serial loop (no pool spawned).
+template <typename Result, typename Compute, typename Fold>
+void run_pooled_trials(int jobs, int trials, Compute&& compute, Fold&& fold) {
+  if (jobs <= 1) {
+    for (int trial = 0; trial < trials; ++trial) {
+      Result result = compute(trial);
+      fold(trial, result);
+    }
+    return;
+  }
+  std::vector<Result> results(static_cast<std::size_t>(trials));
+  OrderedRunOptions options;
+  options.jobs = jobs;
+  run_ordered(
+      trials,
+      [&](int i) { results[static_cast<std::size_t>(i)] = compute(i); },
+      [&](int i) { fold(i, results[static_cast<std::size_t>(i)]); }, options);
+}
+
 }  // namespace nettag::bench

@@ -1,0 +1,704 @@
+#include "obs/binary_trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/json_value.hpp"
+
+namespace nettag::obs {
+namespace {
+
+// Record tags (see the header comment for the layout).
+constexpr std::uint8_t kTagIntern = 0x01;
+constexpr std::uint8_t kTagEvent = 0x02;
+constexpr std::uint8_t kTagCheckpoint = 0x03;
+constexpr std::uint8_t kTagIndex = 0x04;
+
+// Value tags inside an event record.
+constexpr std::uint8_t kValInt = 0x00;
+constexpr std::uint8_t kValUint = 0x01;
+constexpr std::uint8_t kValDouble = 0x02;
+constexpr std::uint8_t kValTrue = 0x03;
+constexpr std::uint8_t kValFalse = 0x04;
+constexpr std::uint8_t kValString = 0x05;
+constexpr std::uint8_t kValRaw = 0x06;
+
+void append_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+[[nodiscard]] std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void append_double(std::string& out, double d) {
+  char bytes[sizeof(double)];
+  std::memcpy(bytes, &d, sizeof(double));
+  // The simulator only targets little-endian hosts; the format pins LE so a
+  // big-endian port would byte-swap here.
+  out.append(bytes, sizeof(double));
+}
+
+/// Cursor over a decoded record payload.
+struct PayloadReader {
+  const std::string& payload;
+  std::size_t pos = 0;
+  std::uint64_t file_offset;  ///< of the record, for error messages
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("ntrace record at byte " + std::to_string(file_offset) +
+                ": " + msg);
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos >= payload.size(); }
+
+  std::uint8_t byte() {
+    if (pos >= payload.size()) fail("truncated payload");
+    return static_cast<std::uint8_t>(payload[pos++]);
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (shift >= 64) fail("varint overflow");
+      const std::uint64_t b = byte();
+      v |= (b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::string bytes(std::size_t n) {
+    if (payload.size() - pos < n) fail("truncated payload");
+    std::string s = payload.substr(pos, n);
+    pos += n;
+    return s;
+  }
+
+  double f64() {
+    if (payload.size() - pos < sizeof(double)) fail("truncated payload");
+    double d = 0.0;
+    std::memcpy(&d, payload.data() + pos, sizeof(double));
+    pos += sizeof(double);
+    return d;
+  }
+};
+
+/// True when `literal` is exactly the canonical rendering of an int64.
+bool exact_int(const std::string& literal, std::int64_t& out) {
+  const char* first = literal.data();
+  const char* last = first + literal.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last && std::to_string(out) == literal;
+}
+
+bool exact_uint(const std::string& literal, std::uint64_t& out) {
+  const char* first = literal.data();
+  const char* last = first + literal.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last && std::to_string(out) == literal;
+}
+
+bool exact_double(const std::string& literal, double& out) {
+  const char* first = literal.data();
+  const char* last = first + literal.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last && json_number(out) == literal;
+}
+
+/// Decodes a JSON string literal when (and only when) re-rendering it with
+/// json_string reproduces the exact input bytes.
+bool exact_string(const std::string& literal, std::string& out) {
+  if (literal.size() < 2 || literal.front() != '"') return false;
+  try {
+    const JsonValue v = parse_json(literal);
+    if (!v.is_string()) return false;
+    out = v.as_string();
+  } catch (const Error&) {
+    return false;
+  }
+  return json_string(out) == literal;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JSONL line rendering / raw-preserving splitting
+// ---------------------------------------------------------------------------
+
+std::string render_jsonl_line(const BinaryEvent& e) {
+  std::string line = "{\"seq\":" + std::to_string(e.seq) +
+                     ",\"event\":" + json_string(e.kind);
+  for (const auto& [key, literal] : e.fields) {
+    line += ',';
+    line += json_string(key);
+    line += ':';
+    line += literal;
+  }
+  line += '}';
+  return line;
+}
+
+namespace {
+
+/// Scanner that walks one JSONL object capturing each value's raw span.
+struct LineScanner {
+  std::string_view s;
+  std::size_t pos = 0;
+  std::size_t line_number;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("trace line " + std::to_string(line_number) + ", byte " +
+                std::to_string(pos) + ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  }
+
+  char expect(char c) {
+    if (pos >= s.size() || s[pos] != c)
+      fail(std::string("expected '") + c + "'");
+    return s[pos++];
+  }
+
+  /// Consumes one string literal (quotes and escapes included).
+  void consume_string() {
+    expect('"');
+    while (pos < s.size()) {
+      const char c = s[pos++];
+      if (c == '\\') {
+        if (pos >= s.size()) fail("unterminated escape");
+        ++pos;
+      } else if (c == '"') {
+        return;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  /// Consumes one complete JSON value (any type, nesting allowed) and
+  /// returns its raw span.
+  std::string_view raw_value() {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos >= s.size()) fail("missing value");
+    const char c = s[pos];
+    if (c == '"') {
+      consume_string();
+    } else if (c == '{' || c == '[') {
+      int depth = 0;
+      while (pos < s.size()) {
+        const char d = s[pos];
+        if (d == '"') {
+          consume_string();
+          continue;
+        }
+        ++pos;
+        if (d == '{' || d == '[') ++depth;
+        if (d == '}' || d == ']') {
+          --depth;
+          if (depth == 0) break;
+        }
+      }
+      if (depth != 0) fail("unterminated object/array");
+    } else {
+      while (pos < s.size() && s[pos] != ',' && s[pos] != '}' &&
+             s[pos] != ' ' && s[pos] != '\t')
+        ++pos;
+      if (pos == start) fail("missing value");
+    }
+    return s.substr(start, pos - start);
+  }
+};
+
+}  // namespace
+
+BinaryEvent split_jsonl_line(std::string_view line, std::size_t line_number) {
+  LineScanner sc{line, 0, line_number};
+  BinaryEvent event;
+  bool have_seq = false;
+  bool have_kind = false;
+
+  sc.skip_ws();
+  sc.expect('{');
+  sc.skip_ws();
+  if (sc.pos < line.size() && line[sc.pos] == '}') {
+    sc.fail("trace event lacks seq/event keys");
+  }
+  for (;;) {
+    sc.skip_ws();
+    const std::size_t key_start = sc.pos;
+    sc.consume_string();
+    const std::string raw_key(
+        line.substr(key_start, sc.pos - key_start));
+    std::string key;
+    if (!exact_string(raw_key, key)) {
+      // Non-canonical key escapes: decode leniently via the JSON parser.
+      const JsonValue v = parse_json(raw_key);
+      key = v.as_string();
+    }
+    sc.skip_ws();
+    sc.expect(':');
+    const std::string_view raw = sc.raw_value();
+    if (key == "seq" && !have_seq) {
+      std::uint64_t seq = 0;
+      const std::string raw_str(raw);
+      if (!exact_uint(raw_str, seq))
+        sc.fail("seq is not an unsigned integer");
+      event.seq = seq;
+      have_seq = true;
+    } else if (key == "event" && !have_kind) {
+      std::string kind;
+      const std::string raw_str(raw);
+      if (!exact_string(raw_str, kind) || kind.empty())
+        sc.fail("event kind is not a plain string");
+      event.kind = std::move(kind);
+      have_kind = true;
+    } else {
+      event.fields.emplace_back(std::move(key), std::string(raw));
+    }
+    sc.skip_ws();
+    if (sc.pos < line.size() && line[sc.pos] == ',') {
+      ++sc.pos;
+      continue;
+    }
+    sc.expect('}');
+    break;
+  }
+  sc.skip_ws();
+  if (sc.pos != line.size()) sc.fail("trailing bytes after object");
+  if (!have_seq || !have_kind) sc.fail("trace event lacks seq/event keys");
+  return event;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& out,
+                                     std::uint64_t checkpoint_interval)
+    : out_(out),
+      checkpoint_interval_(checkpoint_interval == 0 ? 1
+                                                    : checkpoint_interval) {
+  char header[8] = {};
+  std::memcpy(header, kNtraceMagic, 4);
+  header[4] = static_cast<char>(kNtraceVersion);
+  // header[5..7]: flags + reserved, zero.
+  put_raw(header, sizeof(header));
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; a failed footer leaves a stream-readable
+    // (index-less) file behind, which readers handle.
+  }
+}
+
+void BinaryTraceWriter::put_raw(const char* data, std::size_t n) {
+  out_.write(data, static_cast<std::streamsize>(n));
+  offset_ += n;
+}
+
+void BinaryTraceWriter::put_record(std::uint8_t tag,
+                                   const std::string& payload) {
+  std::string head;
+  head.push_back(static_cast<char>(tag));
+  append_varint(head, payload.size());
+  put_raw(head.data(), head.size());
+  put_raw(payload.data(), payload.size());
+}
+
+std::uint64_t BinaryTraceWriter::intern(const std::string& s) {
+  const auto it = std::lower_bound(
+      by_name_.begin(), by_name_.end(), s,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != by_name_.end() && it->first == s) return it->second;
+  const std::uint64_t id = strings_.size();
+  strings_.push_back(s);
+  by_name_.insert(it, {s, id});
+  std::string payload;
+  append_varint(payload, id);
+  payload += s;
+  put_record(kTagIntern, payload);
+  return id;
+}
+
+void BinaryTraceWriter::write_rendered(
+    std::uint64_t seq, const std::string& kind,
+    const std::vector<RenderedField>& fields) {
+  NETTAG_EXPECTS(!finished_, "ntrace writer already finished");
+  // Build the event payload first: interning may flush intern records, and
+  // the checkpoint below must point at the *event* record's own offset.
+  std::string payload;
+  append_varint(payload, seq);
+  append_varint(payload, intern(kind));
+  append_varint(payload, fields.size());
+  for (const auto& [key, literal] : fields) {
+    append_varint(payload, intern(key));
+    std::int64_t i = 0;
+    std::uint64_t u = 0;
+    double d = 0.0;
+    std::string str;
+    if (literal == "true") {
+      payload.push_back(static_cast<char>(kValTrue));
+    } else if (literal == "false") {
+      payload.push_back(static_cast<char>(kValFalse));
+    } else if (exact_int(literal, i)) {
+      payload.push_back(static_cast<char>(kValInt));
+      append_varint(payload, zigzag(i));
+    } else if (exact_uint(literal, u)) {
+      payload.push_back(static_cast<char>(kValUint));
+      append_varint(payload, u);
+    } else if (exact_double(literal, d)) {
+      payload.push_back(static_cast<char>(kValDouble));
+      append_double(payload, d);
+    } else if (exact_string(literal, str)) {
+      payload.push_back(static_cast<char>(kValString));
+      append_varint(payload, intern(str));
+    } else {
+      // Anything else (non-canonical numbers, nested values, null) is kept
+      // as its verbatim literal so the JSONL side still round-trips.
+      payload.push_back(static_cast<char>(kValRaw));
+      append_varint(payload, intern(literal));
+    }
+  }
+
+  if (events_ % checkpoint_interval_ == 0) {
+    std::string cp;
+    append_varint(cp, seq);
+    append_varint(cp, strings_.size());
+    put_record(kTagCheckpoint, cp);
+    checkpoints_.emplace_back(seq, offset_);
+  }
+  put_record(kTagEvent, payload);
+  ++events_;
+}
+
+void BinaryTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  std::string payload;
+  append_varint(payload, strings_.size());
+  for (const std::string& s : strings_) {
+    append_varint(payload, s.size());
+    payload += s;
+  }
+  append_varint(payload, checkpoints_.size());
+  for (const auto& [seq, offset] : checkpoints_) {
+    append_varint(payload, seq);
+    append_varint(payload, offset);
+  }
+  const std::uint64_t index_offset = offset_;
+  put_record(kTagIndex, payload);
+  char trailer[12];
+  for (int i = 0; i < 8; ++i)
+    trailer[i] = static_cast<char>((index_offset >> (8 * i)) & 0xFF);
+  std::memcpy(trailer + 8, kNtraceIndexMagic, 4);
+  put_raw(trailer, sizeof(trailer));
+  out_.flush();
+  NETTAG_EXPECTS(out_.good(), "ntrace write failed");
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void reader_fail(std::uint64_t offset, const std::string& msg) {
+  throw Error("ntrace at byte " + std::to_string(offset) + ": " + msg);
+}
+
+}  // namespace
+
+BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
+  char header[8] = {};
+  in_.read(header, sizeof(header));
+  if (in_.gcount() != sizeof(header) ||
+      std::memcmp(header, kNtraceMagic, 4) != 0)
+    reader_fail(0, "not an ntrace file (bad magic)");
+  const auto version = static_cast<std::uint8_t>(header[4]);
+  if (version != kNtraceVersion)
+    reader_fail(4, "unsupported ntrace version " + std::to_string(version) +
+                       " (reader knows version " +
+                       std::to_string(kNtraceVersion) + ")");
+  offset_ = sizeof(header);
+  first_record_offset_ = offset_;
+}
+
+const std::string& BinaryTraceReader::interned(std::uint64_t id,
+                                               std::uint64_t offset) const {
+  if (id >= strings_.size())
+    reader_fail(offset, "intern id " + std::to_string(id) +
+                            " out of range (table has " +
+                            std::to_string(strings_.size()) + ")");
+  return strings_[id];
+}
+
+bool BinaryTraceReader::next(BinaryEvent& out) {
+  for (;;) {
+    if (done_) return false;
+    const std::uint64_t record_offset = offset_;
+    const int tag_char = in_.get();
+    if (tag_char == std::char_traits<char>::eof()) {
+      done_ = true;  // clean EOF between records (e.g. index-less file)
+      return false;
+    }
+    ++offset_;
+    const auto tag = static_cast<std::uint8_t>(tag_char);
+
+    // Length varint, streamed byte by byte.
+    std::uint64_t len = 0;
+    int shift = 0;
+    for (;;) {
+      const int b = in_.get();
+      if (b == std::char_traits<char>::eof())
+        reader_fail(record_offset, "truncated record header");
+      ++offset_;
+      len |= (static_cast<std::uint64_t>(b) & 0x7F) << shift;
+      if ((static_cast<std::uint64_t>(b) & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) reader_fail(record_offset, "varint overflow");
+    }
+
+    std::string payload(len, '\0');
+    in_.read(payload.data(), static_cast<std::streamsize>(len));
+    if (static_cast<std::uint64_t>(in_.gcount()) != len)
+      reader_fail(record_offset, "truncated record payload (wanted " +
+                                     std::to_string(len) + " bytes)");
+    offset_ += len;
+
+    PayloadReader pr{payload, 0, record_offset};
+    switch (tag) {
+      case kTagIntern: {
+        const std::uint64_t id = pr.varint();
+        std::string s = payload.substr(pr.pos);
+        if (id == strings_.size()) {
+          strings_.push_back(std::move(s));
+        } else if (id < strings_.size()) {
+          if (strings_[id] != s)
+            pr.fail("intern id " + std::to_string(id) +
+                    " redefined with different bytes");
+        } else {
+          pr.fail("intern id " + std::to_string(id) + " skips ids");
+        }
+        continue;
+      }
+      case kTagCheckpoint:
+        continue;  // sync marker only
+      case kTagIndex:
+        done_ = true;  // footer: end of the event stream
+        return false;
+      case kTagEvent: {
+        out.seq = pr.varint();
+        out.kind = interned(pr.varint(), record_offset);
+        const std::uint64_t count = pr.varint();
+        out.fields.clear();
+        out.fields.reserve(count);
+        for (std::uint64_t f = 0; f < count; ++f) {
+          const std::string& key = interned(pr.varint(), record_offset);
+          const std::uint8_t vt = pr.byte();
+          std::string literal;
+          switch (vt) {
+            case kValInt:
+              literal = std::to_string(unzigzag(pr.varint()));
+              break;
+            case kValUint:
+              literal = std::to_string(pr.varint());
+              break;
+            case kValDouble:
+              literal = json_number(pr.f64());
+              break;
+            case kValTrue:
+              literal = "true";
+              break;
+            case kValFalse:
+              literal = "false";
+              break;
+            case kValString:
+              literal = json_string(interned(pr.varint(), record_offset));
+              break;
+            case kValRaw:
+              literal = interned(pr.varint(), record_offset);
+              break;
+            default:
+              pr.fail("unknown value tag " + std::to_string(vt));
+          }
+          out.fields.emplace_back(key, std::move(literal));
+        }
+        if (!pr.done()) pr.fail("trailing bytes in event record");
+        return true;
+      }
+      default:
+        continue;  // unknown record type within a known version: skip
+    }
+  }
+}
+
+bool BinaryTraceReader::load_index() {
+  const std::istream::pos_type saved = in_.tellg();
+  in_.clear();
+  in_.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in_.tellg();
+  if (end < static_cast<std::istream::off_type>(first_record_offset_ + 12)) {
+    in_.clear();
+    in_.seekg(saved);
+    return false;
+  }
+  in_.seekg(-12, std::ios::end);
+  char trailer[12] = {};
+  in_.read(trailer, sizeof(trailer));
+  if (in_.gcount() != sizeof(trailer) ||
+      std::memcmp(trailer + 8, kNtraceIndexMagic, 4) != 0) {
+    in_.clear();
+    in_.seekg(saved);
+    return false;
+  }
+  std::uint64_t index_offset = 0;
+  for (int i = 0; i < 8; ++i)
+    index_offset |= static_cast<std::uint64_t>(
+                        static_cast<std::uint8_t>(trailer[i]))
+                    << (8 * i);
+  if (index_offset < first_record_offset_ ||
+      index_offset >= static_cast<std::uint64_t>(end)) {
+    in_.clear();
+    in_.seekg(saved);
+    return false;
+  }
+
+  in_.clear();
+  in_.seekg(static_cast<std::istream::off_type>(index_offset));
+  const int tag = in_.get();
+  if (tag != kTagIndex) reader_fail(index_offset, "trailer points past index");
+  std::uint64_t len = 0;
+  int shift = 0;
+  for (;;) {
+    const int b = in_.get();
+    if (b == std::char_traits<char>::eof())
+      reader_fail(index_offset, "truncated index record");
+    len |= (static_cast<std::uint64_t>(b) & 0x7F) << shift;
+    if ((static_cast<std::uint64_t>(b) & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) reader_fail(index_offset, "varint overflow");
+  }
+  std::string payload(len, '\0');
+  in_.read(payload.data(), static_cast<std::streamsize>(len));
+  if (static_cast<std::uint64_t>(in_.gcount()) != len)
+    reader_fail(index_offset, "truncated index payload");
+
+  PayloadReader pr{payload, 0, index_offset};
+  BinaryTraceIndex index;
+  const std::uint64_t string_count = pr.varint();
+  index.strings.reserve(string_count);
+  for (std::uint64_t i = 0; i < string_count; ++i) {
+    const std::uint64_t n = pr.varint();
+    index.strings.push_back(pr.bytes(n));
+  }
+  const std::uint64_t checkpoint_count = pr.varint();
+  index.checkpoints.reserve(checkpoint_count);
+  for (std::uint64_t i = 0; i < checkpoint_count; ++i) {
+    const std::uint64_t seq = pr.varint();
+    const std::uint64_t off = pr.varint();
+    index.checkpoints.emplace_back(seq, off);
+  }
+  if (!pr.done()) pr.fail("trailing bytes in index record");
+
+  index_ = std::move(index);
+  strings_ = index_.strings;
+  indexed_ = true;
+  done_ = false;
+  in_.clear();
+  in_.seekg(static_cast<std::istream::off_type>(first_record_offset_));
+  offset_ = first_record_offset_;
+  return true;
+}
+
+void BinaryTraceReader::seek(std::uint64_t seq) {
+  NETTAG_EXPECTS(indexed_, "ntrace seek requires a loaded index");
+  std::uint64_t target_offset = first_record_offset_;
+  for (const auto& [cp_seq, cp_off] : index_.checkpoints) {
+    if (cp_seq > seq) break;
+    target_offset = cp_off;
+  }
+  in_.clear();
+  in_.seekg(static_cast<std::istream::off_type>(target_offset));
+  offset_ = target_offset;
+  done_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Sink and converters
+// ---------------------------------------------------------------------------
+
+NettagBinarySink::NettagBinarySink(std::ostream& out)
+    : TraceSink(true), writer_(out) {}
+
+void NettagBinarySink::emit(const char* kind,
+                            std::initializer_list<Field> fields) {
+  // Render once, exactly like RecordingSink, so a live event and its
+  // recorded-and-replayed twin encode to identical bytes.
+  std::vector<RenderedField> rendered;
+  rendered.reserve(fields.size());
+  for (const Field& f : fields) rendered.emplace_back(f.key(), f.value_json());
+  writer_.write_rendered(seq_++, kind, rendered);
+}
+
+void NettagBinarySink::emit_rendered(const std::string& kind,
+                                     const std::vector<RenderedField>& fields) {
+  writer_.write_rendered(seq_++, kind, fields);
+}
+
+bool has_ntrace_extension(const std::string& path) {
+  constexpr const char* kExt = ".ntrace";
+  constexpr std::size_t kExtLen = 7;
+  return path.size() >= kExtLen &&
+         path.compare(path.size() - kExtLen, kExtLen, kExt) == 0;
+}
+
+std::uint64_t convert_jsonl_to_binary(std::istream& jsonl, std::ostream& out) {
+  BinaryTraceWriter writer(out);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(jsonl, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const BinaryEvent event = split_jsonl_line(line, line_number);
+    writer.write_rendered(event.seq, event.kind, event.fields);
+  }
+  writer.finish();
+  return writer.events_written();
+}
+
+std::uint64_t convert_binary_to_jsonl(std::istream& in, std::ostream& jsonl) {
+  BinaryTraceReader reader(in);
+  BinaryEvent event;
+  std::uint64_t events = 0;
+  while (reader.next(event)) {
+    jsonl << render_jsonl_line(event) << '\n';
+    ++events;
+  }
+  return events;
+}
+
+}  // namespace nettag::obs

@@ -1,0 +1,210 @@
+// Compact binary trace format (".ntrace") for GB-scale event streams.
+//
+// JSONL traces are self-describing but pay for it twice per event: every key
+// is spelled out and every value is decimal text.  At 10^6-tag sessions the
+// same vocabulary repeats millions of times, so the binary format interns
+// every string (event kinds, field keys, string values) once and encodes the
+// rest as tagged varints.  The encoding is *lossless with respect to the
+// JSONL rendering*: every record carries enough type information to
+// regenerate the exact bytes `JsonlSink` would have written, so
+// `jsonl -> ntrace -> jsonl` round-trips byte-identically for traces the
+// repo's sinks produced (non-canonical hand-written JSON falls back to a
+// raw-literal record and still round-trips verbatim).
+//
+// Layout (all integers little-endian; varint = unsigned LEB128):
+//
+//   file    := header record* trailer?
+//   header  := magic "NTRC" | u8 version (=1) | u8 flags (=0) | u16 reserved
+//   record  := u8 tag | varint payload_len | payload
+//
+//   tag 0x01 intern      varint id, utf-8 bytes — ids are consecutive from 0
+//                        in first-use order; a reader that already knows `id`
+//                        (from the footer index) may skip the record.
+//   tag 0x02 event       varint seq | varint kind_id | varint field_count |
+//                        fields: varint key_id, u8 value_tag, payload
+//   tag 0x03 checkpoint  varint next_seq, varint intern_count — sync marker,
+//                        one per kCheckpointInterval events.
+//   tag 0x04 index       the seekable footer: varint intern_count, strings
+//                        (varint len + bytes, id order — a snapshot of the
+//                        full table), then varint checkpoint_count and per
+//                        checkpoint (varint seq, varint byte_offset of that
+//                        event record).  Written once, at close.
+//
+//   trailer := u64 byte offset of the index record | magic "NTIX"
+//
+//   value_tag 0x00 int     zigzag varint        renders via std::to_string
+//             0x01 uint    varint               renders via std::to_string
+//             0x02 double  8-byte IEEE-754 LE   renders via obs::json_number
+//             0x03 true    (empty)
+//             0x04 false   (empty)
+//             0x05 string  varint intern id     renders via obs::json_string
+//             0x06 raw     varint intern id     verbatim JSON literal text
+//
+// A truncated file (crashed run) loses the trailer and any partial final
+// record but every complete record before it still decodes: readers treat a
+// clean EOF or a trailing index record as end-of-stream and throw
+// nettag::Error (with a byte offset) on anything malformed.  Versioning
+// policy: the u8 version is bumped on any incompatible layout change and
+// readers reject versions they do not know; unknown *record tags* within a
+// known version are skipped via their length prefix.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace nettag::obs {
+
+/// Format constants shared by writer, reader, and tests.
+inline constexpr char kNtraceMagic[4] = {'N', 'T', 'R', 'C'};
+inline constexpr char kNtraceIndexMagic[4] = {'N', 'T', 'I', 'X'};
+inline constexpr std::uint8_t kNtraceVersion = 1;
+/// Events between checkpoint records (and footer index entries).
+inline constexpr std::uint64_t kNtraceCheckpointInterval = 4096;
+
+/// One decoded event, fields kept as their exact JSONL literals (the same
+/// form RecordingSink stores).  `render_jsonl_line` regenerates the byte
+/// sequence JsonlSink would have emitted for it.
+struct BinaryEvent {
+  std::uint64_t seq = 0;
+  std::string kind;
+  std::vector<RenderedField> fields;
+};
+
+/// `e` as its canonical JSONL line (no trailing newline):
+/// {"seq":N,"event":"kind","key":literal,...}
+[[nodiscard]] std::string render_jsonl_line(const BinaryEvent& e);
+
+/// Splits one JSONL trace line into kind + raw field literals without losing
+/// a byte: every value keeps its verbatim literal text.  Throws
+/// nettag::Error (with `line_number` in the message) when the line is not a
+/// one-level JSON object carrying "seq" and "event".
+[[nodiscard]] BinaryEvent split_jsonl_line(std::string_view line,
+                                           std::size_t line_number = 0);
+
+/// Streaming writer for the format above.  Not a TraceSink itself — the sink
+/// wrapper below adds sequence numbering; converters drive this directly so
+/// they can preserve the input's sequence numbers.
+class BinaryTraceWriter {
+ public:
+  explicit BinaryTraceWriter(std::ostream& out,
+                             std::uint64_t checkpoint_interval =
+                                 kNtraceCheckpointInterval);
+
+  /// Appends one event record (fields as exact JSON literals).
+  void write_rendered(std::uint64_t seq, const std::string& kind,
+                      const std::vector<RenderedField>& fields);
+
+  /// Writes the footer index + trailer.  Idempotent; called by the
+  /// destructor when the caller forgets.
+  void finish();
+
+  ~BinaryTraceWriter();
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  [[nodiscard]] std::uint64_t events_written() const noexcept {
+    return events_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t intern(const std::string& s);
+  void put_record(std::uint8_t tag, const std::string& payload);
+  void put_raw(const char* data, std::size_t n);
+
+  std::ostream& out_;
+  std::uint64_t offset_ = 0;  ///< bytes written so far
+  std::uint64_t events_ = 0;
+  std::uint64_t checkpoint_interval_;
+  bool finished_ = false;
+  /// Intern table: insertion-ordered id list + sorted lookup.  A std::map
+  /// keeps lookups deterministic and the table is vocabulary-sized (tens of
+  /// entries), so tree overhead is irrelevant.
+  std::vector<std::string> strings_;
+  std::vector<std::pair<std::string, std::uint64_t>> by_name_;  // sorted
+  /// (seq, offset) of every checkpoint-aligned event record.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> checkpoints_;
+};
+
+/// The footer index of a finished file.
+struct BinaryTraceIndex {
+  std::vector<std::string> strings;  ///< full intern table snapshot
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> checkpoints;
+};
+
+/// Streaming reader.  Construct on an open istream positioned at byte 0;
+/// the header is consumed immediately (throws on bad magic/version).
+class BinaryTraceReader {
+ public:
+  explicit BinaryTraceReader(std::istream& in);
+
+  /// Decodes the next event into `out`.  Returns false at end-of-stream
+  /// (clean EOF, or the footer index record).  Throws nettag::Error with a
+  /// byte offset on a malformed or truncated record.
+  [[nodiscard]] bool next(BinaryEvent& out);
+
+  /// Loads the footer index (requires a seekable stream).  Returns false —
+  /// leaving the reader fully usable as a pure stream — when the file has
+  /// no trailer (truncated run).  After a successful load the reader is
+  /// repositioned at the first event record.
+  [[nodiscard]] bool load_index();
+
+  /// Repositions at the latest checkpoint whose sequence number is <= `seq`
+  /// (or the first record when none is).  The next `next()` resumes there;
+  /// callers wanting an exact event skip forward over at most one
+  /// checkpoint interval.  Requires a loaded index.
+  void seek(std::uint64_t seq);
+
+  [[nodiscard]] bool index_loaded() const noexcept { return indexed_; }
+  [[nodiscard]] const BinaryTraceIndex& index() const noexcept {
+    return index_;
+  }
+
+ private:
+  [[nodiscard]] const std::string& interned(std::uint64_t id,
+                                            std::uint64_t offset) const;
+
+  std::istream& in_;
+  std::uint64_t offset_ = 0;  ///< bytes consumed so far
+  std::uint64_t first_record_offset_ = 0;
+  bool indexed_ = false;
+  bool done_ = false;
+  std::vector<std::string> strings_;
+  BinaryTraceIndex index_;
+};
+
+/// TraceSink writing the binary format; sequence numbers are assigned here,
+/// exactly like JsonlSink.  Live events and replayed (pre-rendered) events
+/// encode identically, which keeps the parallel-trial byte-identity
+/// contract: a jobs=N replayed stream produces the same .ntrace bytes as
+/// the serial run.  The footer index is written on destruction.
+class NettagBinarySink final : public TraceSink {
+ public:
+  explicit NettagBinarySink(std::ostream& out);
+
+ private:
+  void emit(const char* kind, std::initializer_list<Field> fields) override;
+  void emit_rendered(const std::string& kind,
+                     const std::vector<RenderedField>& fields) override;
+
+  BinaryTraceWriter writer_;
+  std::uint64_t seq_ = 0;
+};
+
+/// True when `path` names an ntrace file by extension.
+[[nodiscard]] bool has_ntrace_extension(const std::string& path);
+
+/// Converts a JSONL trace stream to the binary format.  Sequence numbers
+/// and every field literal are preserved exactly.  Returns events written.
+std::uint64_t convert_jsonl_to_binary(std::istream& jsonl, std::ostream& out);
+
+/// Converts a binary trace back to JSONL.  For inputs produced by
+/// `convert_jsonl_to_binary` or the repo's sinks the output is
+/// byte-identical to the original JSONL.  Returns events written.
+std::uint64_t convert_binary_to_jsonl(std::istream& in, std::ostream& jsonl);
+
+}  // namespace nettag::obs

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "obs/binary_trace.hpp"
 #include "obs/json.hpp"
 
 namespace nettag::obs {
@@ -85,11 +86,14 @@ void CsvSink::emit_rendered(const std::string& kind,
 
 TraceFile::TraceFile(const std::string& path) {
   if (path.empty()) return;
-  out_.open(path);
-  NETTAG_EXPECTS(out_.is_open(), "cannot open trace file");
   const bool csv =
       path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
-  if (csv) {
+  const bool ntrace = has_ntrace_extension(path);
+  out_.open(path, ntrace ? std::ios::binary | std::ios::out : std::ios::out);
+  NETTAG_EXPECTS(out_.is_open(), "cannot open trace file");
+  if (ntrace) {
+    sink_ = std::make_unique<NettagBinarySink>(out_);
+  } else if (csv) {
     sink_ = std::make_unique<CsvSink>(out_);
   } else {
     sink_ = std::make_unique<JsonlSink>(out_);

@@ -160,9 +160,11 @@ class CsvSink final : public TraceSink {
 };
 
 /// Owns an optional file-backed sink.  An empty path yields the null sink
-/// (no file is touched); a path ending in ".csv" yields a CsvSink; any other
-/// path yields a JsonlSink.  Throws via NETTAG_EXPECTS when the file cannot
-/// be opened.  The object must outlive every use of `sink()`.
+/// (no file is touched); a path ending in ".csv" yields a CsvSink; a path
+/// ending in ".ntrace" yields the compact binary NettagBinarySink (see
+/// obs/binary_trace.hpp); any other path yields a JsonlSink.  Throws via
+/// NETTAG_EXPECTS when the file cannot be opened.  The object must outlive
+/// every use of `sink()`.
 class TraceFile {
  public:
   TraceFile() = default;

@@ -1,5 +1,7 @@
 #include "obs/trace_analysis.hpp"
 
+#include "obs/trace_cursor.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -95,116 +97,123 @@ void AccountingSink::emit_rendered(const std::string& kind,
 
 namespace {
 
-/// Per-session accumulator used by check_trace.
-struct OpenSession {
-  std::uint64_t begin_seq = 0;
-  std::int64_t bit_slots = 0;
-  std::int64_t id_slots = 0;
-  std::int64_t rounds_seen = 0;
-  std::int64_t last_round = 0;
-};
-
 std::string seq_label(const TraceEvent& e) {
   return "event #" + std::to_string(e.seq) + " (" + e.kind + ")";
 }
 
 }  // namespace
 
-TraceCheckResult check_trace(const std::vector<TraceEvent>& events) {
-  TraceCheckResult result;
-  result.events = static_cast<std::int64_t>(events.size());
-
-  bool open = false;
-  OpenSession session;
-  for (const TraceEvent& e : events) {
-    if (e.kind == "session_begin") {
-      if (open) {
-        result.errors.push_back(seq_label(e) +
-                                ": session_begin while a session is open "
-                                "(missing session_end)");
-      }
-      open = true;
-      session = OpenSession{};
-      session.begin_seq = e.seq;
-    } else if (e.kind == "slot_batch") {
-      if (!open) {
-        result.errors.push_back(seq_label(e) + ": slot_batch outside any session");
-        continue;
-      }
-      const std::string kind = e.str_or("kind");
-      const std::int64_t slots = e.int_or("slots", -1);
-      if (slots < 0) {
-        result.errors.push_back(seq_label(e) + ": negative or missing slot count");
-        continue;
-      }
-      if (is_bit_slot_kind(kind)) {
-        session.bit_slots += slots;
-      } else if (is_id_slot_kind(kind)) {
-        session.id_slots += slots;
-      } else {
-        result.errors.push_back(seq_label(e) + ": unknown slot_batch kind \"" +
-                                kind + "\"");
-      }
-      const std::int64_t round = e.int_or("round", 0);
-      if (round < session.last_round) {
-        result.errors.push_back(seq_label(e) +
-                                ": slot_batch round went backwards (" +
-                                std::to_string(round) + " after " +
-                                std::to_string(session.last_round) + ")");
-      }
-    } else if (e.kind == "round") {
-      if (!open) {
-        result.errors.push_back(seq_label(e) + ": round outside any session");
-        continue;
-      }
-      const std::int64_t round = e.int_or("round", 0);
-      if (round <= session.last_round) {
-        result.errors.push_back(
-            seq_label(e) + ": round numbers not strictly increasing (" +
-            std::to_string(round) + " after " +
-            std::to_string(session.last_round) + ")");
-      }
-      session.last_round = round;
-      ++session.rounds_seen;
-    } else if (e.kind == "session_end") {
-      if (!open) {
-        result.errors.push_back(seq_label(e) +
-                                ": session_end without session_begin");
-        continue;
-      }
-      open = false;
-      ++result.sessions;
-      result.bit_slots += session.bit_slots;
-      result.id_slots += session.id_slots;
-      const std::int64_t end_bits = e.int_or("bit_slots", -1);
-      const std::int64_t end_ids = e.int_or("id_slots", -1);
-      const std::int64_t end_rounds = e.int_or("rounds", -1);
-      if (end_bits != session.bit_slots) {
-        result.errors.push_back(
-            seq_label(e) + ": bit_slots " + std::to_string(end_bits) +
-            " != frame+checking slot_batch sum " +
-            std::to_string(session.bit_slots));
-      }
-      if (end_ids != session.id_slots) {
-        result.errors.push_back(
-            seq_label(e) + ": id_slots " + std::to_string(end_ids) +
-            " != request+indicator slot_batch sum " +
-            std::to_string(session.id_slots));
-      }
-      if (end_rounds != session.rounds_seen) {
-        result.errors.push_back(seq_label(e) + ": rounds " +
-                                std::to_string(end_rounds) + " != " +
-                                std::to_string(session.rounds_seen) +
-                                " round events");
-      }
+void TraceChecker::feed(const TraceEvent& e) {
+  ++result_.events;
+  if (e.kind == "session_begin") {
+    if (open_) {
+      result_.errors.push_back(seq_label(e) +
+                               ": session_begin while a session is open "
+                               "(missing session_end)");
+    }
+    open_ = true;
+    begin_seq_ = e.seq;
+    session_bit_slots_ = 0;
+    session_id_slots_ = 0;
+    rounds_seen_ = 0;
+    last_round_ = 0;
+  } else if (e.kind == "slot_batch") {
+    if (!open_) {
+      result_.errors.push_back(seq_label(e) +
+                               ": slot_batch outside any session");
+      return;
+    }
+    const std::string kind = e.str_or("kind");
+    const std::int64_t slots = e.int_or("slots", -1);
+    if (slots < 0) {
+      result_.errors.push_back(seq_label(e) +
+                               ": negative or missing slot count");
+      return;
+    }
+    if (is_bit_slot_kind(kind)) {
+      session_bit_slots_ += slots;
+    } else if (is_id_slot_kind(kind)) {
+      session_id_slots_ += slots;
+    } else {
+      result_.errors.push_back(seq_label(e) + ": unknown slot_batch kind \"" +
+                               kind + "\"");
+    }
+    const std::int64_t round = e.int_or("round", 0);
+    if (round < last_round_) {
+      result_.errors.push_back(seq_label(e) +
+                               ": slot_batch round went backwards (" +
+                               std::to_string(round) + " after " +
+                               std::to_string(last_round_) + ")");
+    }
+  } else if (e.kind == "round") {
+    if (!open_) {
+      result_.errors.push_back(seq_label(e) + ": round outside any session");
+      return;
+    }
+    const std::int64_t round = e.int_or("round", 0);
+    if (round <= last_round_) {
+      result_.errors.push_back(
+          seq_label(e) + ": round numbers not strictly increasing (" +
+          std::to_string(round) + " after " + std::to_string(last_round_) +
+          ")");
+    }
+    last_round_ = round;
+    ++rounds_seen_;
+  } else if (e.kind == "session_end") {
+    if (!open_) {
+      result_.errors.push_back(seq_label(e) +
+                               ": session_end without session_begin");
+      return;
+    }
+    open_ = false;
+    ++result_.sessions;
+    result_.bit_slots += session_bit_slots_;
+    result_.id_slots += session_id_slots_;
+    const std::int64_t end_bits = e.int_or("bit_slots", -1);
+    const std::int64_t end_ids = e.int_or("id_slots", -1);
+    const std::int64_t end_rounds = e.int_or("rounds", -1);
+    if (end_bits != session_bit_slots_) {
+      result_.errors.push_back(
+          seq_label(e) + ": bit_slots " + std::to_string(end_bits) +
+          " != frame+checking slot_batch sum " +
+          std::to_string(session_bit_slots_));
+    }
+    if (end_ids != session_id_slots_) {
+      result_.errors.push_back(
+          seq_label(e) + ": id_slots " + std::to_string(end_ids) +
+          " != request+indicator slot_batch sum " +
+          std::to_string(session_id_slots_));
+    }
+    if (end_rounds != rounds_seen_) {
+      result_.errors.push_back(seq_label(e) + ": rounds " +
+                               std::to_string(end_rounds) + " != " +
+                               std::to_string(rounds_seen_) +
+                               " round events");
     }
   }
-  if (open) {
-    result.errors.push_back("session_begin at event #" +
-                            std::to_string(session.begin_seq) +
-                            " never reached session_end");
+}
+
+TraceCheckResult TraceChecker::finish() {
+  if (open_) {
+    result_.errors.push_back("session_begin at event #" +
+                             std::to_string(begin_seq_) +
+                             " never reached session_end");
+    open_ = false;
   }
-  return result;
+  return std::move(result_);
+}
+
+TraceCheckResult check_trace(const std::vector<TraceEvent>& events) {
+  TraceChecker checker;
+  for (const TraceEvent& e : events) checker.feed(e);
+  return checker.finish();
+}
+
+TraceCheckResult check_trace(TraceCursor& cursor) {
+  TraceChecker checker;
+  TraceEvent e;
+  while (cursor.next(e)) checker.feed(e);
+  return checker.finish();
 }
 
 void check_manifest_against_trace(const JsonValue& manifest,
@@ -247,58 +256,63 @@ void check_manifest_against_trace(const JsonValue& manifest,
 // Summarization
 // ---------------------------------------------------------------------------
 
+void SessionSummarizer::feed(const TraceEvent& e) {
+  if (e.kind == "session_begin") {
+    sessions_.emplace_back();
+    open_ = true;
+    SessionSummary& s = sessions_.back();
+    s.begin_seq = e.seq;
+    s.frame_size = e.int_or("f", 0);
+    s.tags = e.int_or("tags", 0);
+    pending_round_ = RoundSummary{};
+    return;
+  }
+  if (!open_) return;  // events of other subsystems, or a truncated trace
+  SessionSummary& s = sessions_.back();
+  if (e.kind == "slot_batch") {
+    const std::string kind = e.str_or("kind");
+    const std::int64_t slots = e.int_or("slots", 0);
+    if (kind == "request") pending_round_.request_slots += slots;
+    else if (kind == "frame") pending_round_.frame_slots += slots;
+    else if (kind == "indicator") pending_round_.indicator_slots += slots;
+    else if (kind == "checking") pending_round_.checking_slots += slots;
+  } else if (e.kind == "relay_tier") {
+    const int tier = static_cast<int>(e.int_or("tier", 0));
+    const std::int64_t tx = e.int_or("tx", 0);
+    pending_round_.relay_by_tier[tier] += tx;
+    s.relay_tier_totals[tier] += tx;
+  } else if (e.kind == "round") {
+    pending_round_.new_reader_bits = e.int_or("new_reader_bits", 0);
+    pending_round_.relay_tx = e.int_or("relay_tx", 0);
+    pending_round_.bitmap_bits = e.int_or("bitmap_bits", 0);
+    const JsonValue* p = e.find("pending");
+    pending_round_.pending = p != nullptr && p->is_bool() && p->as_bool();
+    pending_round_.round = e.int_or("round", 0);
+    s.round_detail.push_back(pending_round_);
+    pending_round_ = RoundSummary{};
+  } else if (e.kind == "session_end") {
+    s.rounds = e.int_or("rounds", 0);
+    const JsonValue* c = e.find("completed");
+    s.completed = c != nullptr && c->is_bool() && c->as_bool();
+    s.bit_slots = e.int_or("bit_slots", 0);
+    s.id_slots = e.int_or("id_slots", 0);
+    s.bitmap_bits = e.int_or("bitmap_bits", 0);
+    open_ = false;
+  }
+}
+
 std::vector<SessionSummary> summarize_sessions(
     const std::vector<TraceEvent>& events) {
-  std::vector<SessionSummary> sessions;
-  SessionSummary* open = nullptr;
-  RoundSummary pending_round;  // slot batches accumulate here until "round"
+  SessionSummarizer summarizer;
+  for (const TraceEvent& e : events) summarizer.feed(e);
+  return summarizer.take();
+}
 
-  const auto flush_round = [&](SessionSummary& s, std::int64_t round) {
-    pending_round.round = round;
-    s.round_detail.push_back(pending_round);
-    pending_round = RoundSummary{};
-  };
-
-  for (const TraceEvent& e : events) {
-    if (e.kind == "session_begin") {
-      sessions.emplace_back();
-      open = &sessions.back();
-      open->begin_seq = e.seq;
-      open->frame_size = e.int_or("f", 0);
-      open->tags = e.int_or("tags", 0);
-      pending_round = RoundSummary{};
-    } else if (open == nullptr) {
-      continue;  // events of other subsystems, or a truncated trace
-    } else if (e.kind == "slot_batch") {
-      const std::string kind = e.str_or("kind");
-      const std::int64_t slots = e.int_or("slots", 0);
-      if (kind == "request") pending_round.request_slots += slots;
-      else if (kind == "frame") pending_round.frame_slots += slots;
-      else if (kind == "indicator") pending_round.indicator_slots += slots;
-      else if (kind == "checking") pending_round.checking_slots += slots;
-    } else if (e.kind == "relay_tier") {
-      const int tier = static_cast<int>(e.int_or("tier", 0));
-      const std::int64_t tx = e.int_or("tx", 0);
-      pending_round.relay_by_tier[tier] += tx;
-      open->relay_tier_totals[tier] += tx;
-    } else if (e.kind == "round") {
-      pending_round.new_reader_bits = e.int_or("new_reader_bits", 0);
-      pending_round.relay_tx = e.int_or("relay_tx", 0);
-      pending_round.bitmap_bits = e.int_or("bitmap_bits", 0);
-      const JsonValue* p = e.find("pending");
-      pending_round.pending = p != nullptr && p->is_bool() && p->as_bool();
-      flush_round(*open, e.int_or("round", 0));
-    } else if (e.kind == "session_end") {
-      open->rounds = e.int_or("rounds", 0);
-      const JsonValue* c = e.find("completed");
-      open->completed = c != nullptr && c->is_bool() && c->as_bool();
-      open->bit_slots = e.int_or("bit_slots", 0);
-      open->id_slots = e.int_or("id_slots", 0);
-      open->bitmap_bits = e.int_or("bitmap_bits", 0);
-      open = nullptr;
-    }
-  }
-  return sessions;
+std::vector<SessionSummary> summarize_sessions(TraceCursor& cursor) {
+  SessionSummarizer summarizer;
+  TraceEvent e;
+  while (cursor.next(e)) summarizer.feed(e);
+  return summarizer.take();
 }
 
 std::string render_session_table(const SessionSummary& session) {

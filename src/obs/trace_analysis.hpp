@@ -65,15 +65,38 @@ struct TraceCheckResult {
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
 };
 
-/// Validates the session accounting of a parsed trace:
+/// Incremental trace validator: feed events one at a time (in trace order),
+/// then call finish() once.  Checks:
 ///   * exactly one session_end per session_begin, properly bracketed;
 ///   * round numbers strictly increasing within a session;
 ///   * per session, slot_batch sums by kind reproduce the session_end's
 ///     bit_slots (frame + checking) and id_slots (request + indicator);
 ///   * session_end round count matches the round events seen.
 /// Non-session events (estimate_*, idcollect_*, ...) pass through untouched.
+/// State is one open-session accumulator — constant memory (plus the error
+/// list), which is what lets `nettag-obs check` stream GB-scale traces.
+class TraceChecker {
+ public:
+  void feed(const TraceEvent& e);
+  /// Flags a still-open session and returns the accumulated result.
+  [[nodiscard]] TraceCheckResult finish();
+
+ private:
+  TraceCheckResult result_;
+  bool open_ = false;
+  std::uint64_t begin_seq_ = 0;
+  std::int64_t session_bit_slots_ = 0;
+  std::int64_t session_id_slots_ = 0;
+  std::int64_t rounds_seen_ = 0;
+  std::int64_t last_round_ = 0;
+};
+
+/// Validates a fully-materialized trace (wraps TraceChecker).
 [[nodiscard]] TraceCheckResult check_trace(
     const std::vector<TraceEvent>& events);
+
+/// Validates a trace by streaming it through `cursor` — constant memory.
+[[nodiscard]] TraceCheckResult check_trace(class TraceCursor& cursor);
 
 /// Cross-validates `manifest` (a parsed nettag.run_manifest/1 document)
 /// against the totals `check_trace` computed from its trace: the manifest's
@@ -118,10 +141,30 @@ struct SessionSummary {
   std::map<int, std::int64_t> relay_tier_totals;
 };
 
-/// Reconstructs every session of a trace (events of other subsystems are
-/// skipped).  Tolerates inconsistent traces — run check_trace for judgment.
+/// Incremental session reconstructor: feed events in trace order, read
+/// `sessions()` when done.  Memory is proportional to the *summaries* (a
+/// few words per round), never to the event count, so it streams traces of
+/// any length.  Tolerates inconsistent traces — run TraceChecker for
+/// judgment.
+class SessionSummarizer {
+ public:
+  void feed(const TraceEvent& e);
+  [[nodiscard]] std::vector<SessionSummary> take() { return std::move(sessions_); }
+
+ private:
+  std::vector<SessionSummary> sessions_;
+  bool open_ = false;
+  RoundSummary pending_round_;
+};
+
+/// Reconstructs every session of a materialized trace (wraps the class).
 [[nodiscard]] std::vector<SessionSummary> summarize_sessions(
     const std::vector<TraceEvent>& events);
+
+/// Reconstructs sessions by streaming through `cursor` — constant memory in
+/// the event count.
+[[nodiscard]] std::vector<SessionSummary> summarize_sessions(
+    class TraceCursor& cursor);
 
 /// Per-round/per-tier anatomy table of one session (multi-line string).
 [[nodiscard]] std::string render_session_table(const SessionSummary& session);

@@ -1,0 +1,56 @@
+#include "obs/trace_cursor.hpp"
+
+#include "common/error.hpp"
+
+namespace nettag::obs {
+
+TraceCursor::TraceCursor(const std::string& path) : path_(path) {
+  in_.open(path, std::ios::binary);
+  NETTAG_EXPECTS(in_.is_open(), "cannot open trace file " + path);
+  char magic[4] = {};
+  in_.read(magic, sizeof(magic));
+  const bool is_binary =
+      in_.gcount() == sizeof(magic) &&
+      std::char_traits<char>::compare(magic, kNtraceMagic, 4) == 0;
+  in_.clear();
+  in_.seekg(0);
+  if (is_binary) reader_ = std::make_unique<BinaryTraceReader>(in_);
+}
+
+TraceCursor::~TraceCursor() = default;
+
+bool TraceCursor::next(TraceEvent& out) {
+  if (reader_ != nullptr) {
+    if (!have_pending_ && !reader_->next(scratch_)) return false;
+    have_pending_ = false;
+    ++line_number_;
+    line_ = render_jsonl_line(scratch_);
+    out = parse_trace_line(line_, line_number_);
+    return true;
+  }
+  while (std::getline(in_, line_)) {
+    ++line_number_;
+    if (line_.empty()) continue;
+    out = parse_trace_line(line_, line_number_);
+    return true;
+  }
+  return false;
+}
+
+bool TraceCursor::seek(std::uint64_t target) {
+  if (reader_ == nullptr) return false;
+  if (!reader_->index_loaded() && !reader_->load_index()) return false;
+  reader_->seek(target);
+  have_pending_ = false;
+  // The reader landed on the checkpoint at or before `target`; skip forward
+  // (at most one checkpoint interval) to the first event at or past it.
+  while (reader_->next(scratch_)) {
+    if (scratch_.seq >= target) {
+      have_pending_ = true;
+      break;
+    }
+  }
+  return true;
+}
+
+}  // namespace nettag::obs

@@ -1,0 +1,71 @@
+// Streaming trace access: one event at a time, constant memory, either
+// backend.
+//
+// `read_trace_file` materializes a whole trace as a vector — fine for the
+// KB-scale fixtures of PRs 1–2, hopeless for the GB-scale artifacts the
+// ROADMAP's 10^6-tag era produces.  TraceCursor is the streaming
+// replacement: it opens a path, sniffs the NTRC magic to pick the binary
+// (.ntrace) or JSONL backend, and pulls events one by one.  Both backends
+// yield identical TraceEvents for the same logical trace, because the
+// binary backend first regenerates the event's canonical JSONL line and
+// feeds it through the same `parse_trace_line` the JSONL backend uses —
+// parity by construction, which is what makes `nettag-obs query` results
+// backend-independent.
+//
+// Binary traces with an intact footer index are additionally seekable: the
+// cursor jumps to the nearest preceding checkpoint and skips forward, so
+// "start at seq S" costs one checkpoint interval of decoding instead of a
+// full-file scan.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "obs/binary_trace.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace nettag::obs {
+
+/// Pull-based reader over a trace file (JSONL or .ntrace).
+class TraceCursor {
+ public:
+  /// Opens `path`, sniffing the first bytes for the NTRC magic; anything
+  /// else (including an empty file) streams as JSONL.  Throws nettag::Error
+  /// when the file cannot be opened or the binary header is malformed.
+  explicit TraceCursor(const std::string& path);
+  ~TraceCursor();
+  TraceCursor(const TraceCursor&) = delete;
+  TraceCursor& operator=(const TraceCursor&) = delete;
+
+  /// Parses the next event into `out`; false at end of stream.  Throws
+  /// nettag::Error on a malformed line or record.
+  [[nodiscard]] bool next(TraceEvent& out);
+
+  /// The last event's JSONL line, verbatim for the JSONL backend and the
+  /// canonical rendering for the binary backend.  Valid after a true
+  /// `next()`.
+  [[nodiscard]] const std::string& line() const noexcept { return line_; }
+
+  /// True when the file is binary (sniffed NTRC magic).
+  [[nodiscard]] bool binary() const noexcept { return reader_ != nullptr; }
+
+  /// Repositions so the next `next()` yields the first event with
+  /// seq >= `target`.  Returns false (cursor unchanged) when the backend
+  /// cannot seek: JSONL, or a binary trace without a footer index.
+  [[nodiscard]] bool seek(std::uint64_t target);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  std::unique_ptr<BinaryTraceReader> reader_;  ///< null => JSONL backend
+  std::string line_;
+  std::size_t line_number_ = 0;
+  BinaryEvent scratch_;
+  bool have_pending_ = false;  ///< scratch_ holds a seeked-to event
+};
+
+}  // namespace nettag::obs

@@ -1,0 +1,480 @@
+#include "obs/trace_query.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "obs/json_value.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace nettag::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer — same shape as the lint tokenizer (tools/lint/lexer.cpp): a flat
+// token vector with maximal-munch punctuators, just over a far smaller
+// language and with byte spans instead of line numbers.
+// ---------------------------------------------------------------------------
+
+enum class TokKind {
+  kIdent,   // field name, has, true, false
+  kNumber,  // decimal literal (text kept verbatim for the error span)
+  kString,  // decoded contents
+  kPunct,   // == != <= >= < > && || ! ( )
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t pos;
+  std::size_t len;
+};
+
+/// Multi-character punctuators, longest first so maximal munch is a linear
+/// prefix test.
+const char* const kPuncts[] = {"==", "!=", "<=", ">=", "&&", "||",
+                               "<",  ">",  "!",  "(",  ")"};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.';
+}
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+std::vector<Token> lex_query(std::string_view expr) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  while (pos < expr.size()) {
+    const char c = expr[pos];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++pos;
+      continue;
+    }
+    const std::size_t start = pos;
+    if (c == '"') {
+      ++pos;
+      std::string contents;
+      bool closed = false;
+      while (pos < expr.size()) {
+        const char d = expr[pos++];
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\\') {
+          if (pos >= expr.size())
+            throw QueryError("unterminated escape in string literal",
+                             pos - 1, 1);
+          const char e = expr[pos++];
+          switch (e) {
+            case '"': contents.push_back('"'); break;
+            case '\\': contents.push_back('\\'); break;
+            case 'n': contents.push_back('\n'); break;
+            case 't': contents.push_back('\t'); break;
+            case 'r': contents.push_back('\r'); break;
+            default:
+              throw QueryError(std::string("unknown escape '\\") + e + "'",
+                               pos - 2, 2);
+          }
+          continue;
+        }
+        contents.push_back(d);
+      }
+      if (!closed)
+        throw QueryError("unterminated string literal", start, pos - start);
+      tokens.push_back({TokKind::kString, std::move(contents), start,
+                        pos - start});
+      continue;
+    }
+    if (is_digit(c) || ((c == '-' || c == '+') && pos + 1 < expr.size() &&
+                        is_digit(expr[pos + 1]))) {
+      ++pos;
+      while (pos < expr.size() &&
+             (is_digit(expr[pos]) || expr[pos] == '.' || expr[pos] == 'e' ||
+              expr[pos] == 'E' ||
+              ((expr[pos] == '-' || expr[pos] == '+') &&
+               (expr[pos - 1] == 'e' || expr[pos - 1] == 'E'))))
+        ++pos;
+      tokens.push_back({TokKind::kNumber,
+                        std::string(expr.substr(start, pos - start)), start,
+                        pos - start});
+      continue;
+    }
+    if (is_ident_start(c)) {
+      ++pos;
+      while (pos < expr.size() && is_ident_char(expr[pos])) ++pos;
+      tokens.push_back({TokKind::kIdent,
+                        std::string(expr.substr(start, pos - start)), start,
+                        pos - start});
+      continue;
+    }
+    bool matched = false;
+    for (const char* op : kPuncts) {
+      const std::size_t n = std::string::traits_type::length(op);
+      if (expr.compare(pos, n, op) == 0) {
+        tokens.push_back({TokKind::kPunct, op, pos, n});
+        pos += n;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched)
+      throw QueryError(std::string("unexpected character '") + c + "'", pos,
+                       1);
+  }
+  tokens.push_back({TokKind::kEnd, "", expr.size(), 1});
+  return tokens;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Parser — recursive descent straight into the postfix program.
+// ---------------------------------------------------------------------------
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::string_view expr) : tokens_(lex_query(expr)) {}
+
+  CompiledQuery parse() {
+    CompiledQuery query;
+    or_expr(query.code_);
+    const Token& t = peek();
+    if (t.kind != TokKind::kEnd)
+      throw QueryError("unexpected trailing input", t.pos, t.len);
+    return query;
+  }
+
+ private:
+  using Op = CompiledQuery::Op;
+  using Instr = CompiledQuery::Instr;
+  using Code = std::vector<Instr>;
+
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool accept_punct(const char* text) {
+    if (peek().kind == TokKind::kPunct && peek().text == text) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_punct(const char* text, const char* what) {
+    const Token& t = peek();
+    if (t.kind != TokKind::kPunct || t.text != text)
+      throw QueryError(std::string("expected ") + what, t.pos, t.len);
+    ++pos_;
+  }
+
+  void or_expr(Code& code) {
+    and_expr(code);
+    while (accept_punct("||")) {
+      and_expr(code);
+      code.push_back({Op::kOr});
+    }
+  }
+
+  void and_expr(Code& code) {
+    unary(code);
+    while (accept_punct("&&")) {
+      unary(code);
+      code.push_back({Op::kAnd});
+    }
+  }
+
+  void unary(Code& code) {
+    if (accept_punct("!")) {
+      unary(code);
+      code.push_back({Op::kNot});
+      return;
+    }
+    primary(code);
+  }
+
+  void primary(Code& code) {
+    if (accept_punct("(")) {
+      or_expr(code);
+      expect_punct(")", "')'");
+      return;
+    }
+    if (peek().kind == TokKind::kIdent && peek().text == "has") {
+      advance();
+      expect_punct("(", "'(' after has");
+      const Token& field = peek();
+      if (field.kind != TokKind::kIdent)
+        throw QueryError("expected a field name inside has()", field.pos,
+                         field.len);
+      advance();
+      expect_punct(")", "')'");
+      Instr has{Op::kHas};
+      has.text = field.text;
+      code.push_back(std::move(has));
+      return;
+    }
+    operand(code);
+    static const struct { const char* text; Op op; } kCmps[] = {
+        {"==", Op::kEq}, {"!=", Op::kNe}, {"<=", Op::kLe},
+        {">=", Op::kGe}, {"<", Op::kLt},  {">", Op::kGt},
+    };
+    for (const auto& cmp : kCmps) {
+      if (accept_punct(cmp.text)) {
+        operand(code);
+        code.push_back({cmp.op});
+        return;
+      }
+    }
+  }
+
+  void operand(Code& code) {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokKind::kIdent: {
+        advance();
+        Instr instr{Op::kPushField};
+        if (t.text == "true") {
+          instr.op = Op::kPushBool;
+          instr.flag = true;
+        } else if (t.text == "false") {
+          instr.op = Op::kPushBool;
+          instr.flag = false;
+        } else if (t.text == "seq") {
+          instr.op = Op::kPushSeq;
+        } else if (t.text == "event") {
+          instr.op = Op::kPushKind;
+        } else {
+          instr.text = t.text;
+        }
+        code.push_back(std::move(instr));
+        return;
+      }
+      case TokKind::kNumber: {
+        advance();
+        Instr instr{Op::kPushNum};
+        const char* first = t.text.data();
+        const char* last = first + t.text.size();
+        const auto [ptr, ec] = std::from_chars(first, last, instr.num);
+        if (ec != std::errc() || ptr != last)
+          throw QueryError("malformed number literal", t.pos, t.len);
+        code.push_back(std::move(instr));
+        return;
+      }
+      case TokKind::kString: {
+        advance();
+        Instr instr{Op::kPushStr};
+        instr.text = t.text;
+        code.push_back(std::move(instr));
+        return;
+      }
+      case TokKind::kPunct:
+        throw QueryError("expected a field name or literal", t.pos, t.len);
+      case TokKind::kEnd:
+        throw QueryError("unexpected end of expression", t.pos, t.len);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+CompiledQuery CompiledQuery::compile(std::string_view expr) {
+  return QueryParser(expr).parse();
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation — a small stack machine over a tagged value.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A runtime value on the evaluation stack.  kMissing marks an absent field
+/// (and any JSON type the language has no literals for, e.g. null), which
+/// every comparison rejects.
+struct Value {
+  enum class Type { kMissing, kBool, kNum, kStr };
+  Type type = Type::kMissing;
+  bool b = false;
+  double num = 0.0;
+  const std::string* str = nullptr;  // borrowed from event or program
+
+  [[nodiscard]] bool truthy() const {
+    switch (type) {
+      case Type::kMissing: return false;
+      case Type::kBool: return b;
+      case Type::kNum: return num != 0.0;
+      case Type::kStr: return str != nullptr && !str->empty();
+    }
+    return false;
+  }
+};
+
+Value from_json(const JsonValue& v) {
+  Value out;
+  if (v.is_bool()) {
+    out.type = Value::Type::kBool;
+    out.b = v.as_bool();
+  } else if (v.is_number()) {
+    out.type = Value::Type::kNum;
+    out.num = v.as_number();
+  } else if (v.is_string()) {
+    out.type = Value::Type::kStr;
+    out.str = &v.as_string();
+  }
+  return out;  // null / array / object stay kMissing
+}
+
+/// -1 less, 0 equal, +1 greater, +2 incomparable (mixed or missing).
+int compare(const Value& a, const Value& b) {
+  if (a.type != b.type) return 2;
+  switch (a.type) {
+    case Value::Type::kMissing:
+      return 2;
+    case Value::Type::kBool:
+      return a.b == b.b ? 0 : 2;  // no ordering on bools
+    case Value::Type::kNum:
+      if (a.num < b.num) return -1;
+      if (a.num > b.num) return 1;
+      if (a.num == b.num) return 0;
+      return 2;  // NaN
+    case Value::Type::kStr: {
+      const int c = a.str->compare(*b.str);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 2;
+}
+
+}  // namespace
+
+bool CompiledQuery::matches(const TraceEvent& event) const {
+  // The stack depth is bounded by the program size; queries are tiny, so a
+  // small inline buffer would be overkill.
+  std::vector<Value> stack;
+  stack.reserve(8);
+  const auto pop = [&stack]() {
+    Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  const auto push_bool = [&stack](bool b) {
+    Value v;
+    v.type = Value::Type::kBool;
+    v.b = b;
+    stack.push_back(v);
+  };
+
+  for (const Instr& instr : code_) {
+    switch (instr.op) {
+      case Op::kPushField: {
+        const JsonValue* v = event.find(instr.text);
+        stack.push_back(v != nullptr ? from_json(*v) : Value{});
+        break;
+      }
+      case Op::kPushSeq: {
+        Value v;
+        v.type = Value::Type::kNum;
+        v.num = static_cast<double>(event.seq);
+        stack.push_back(v);
+        break;
+      }
+      case Op::kPushKind: {
+        Value v;
+        v.type = Value::Type::kStr;
+        v.str = &event.kind;
+        stack.push_back(v);
+        break;
+      }
+      case Op::kPushNum: {
+        Value v;
+        v.type = Value::Type::kNum;
+        v.num = instr.num;
+        stack.push_back(v);
+        break;
+      }
+      case Op::kPushStr: {
+        Value v;
+        v.type = Value::Type::kStr;
+        v.str = &instr.text;
+        stack.push_back(v);
+        break;
+      }
+      case Op::kPushBool:
+        push_bool(instr.flag);
+        break;
+      case Op::kHas:
+        // The pseudo-fields exist on every event by construction.
+        push_bool(instr.text == "seq" || instr.text == "event" ||
+                  event.find(instr.text) != nullptr);
+        break;
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe: {
+        const Value rhs = pop();
+        const Value lhs = pop();
+        const bool missing = lhs.type == Value::Type::kMissing ||
+                             rhs.type == Value::Type::kMissing;
+        // Bools admit equality but no ordering — `busy<=true` is false.
+        const bool unordered = lhs.type == Value::Type::kBool ||
+                               rhs.type == Value::Type::kBool;
+        const int c = compare(lhs, rhs);
+        bool result = false;
+        switch (instr.op) {
+          case Op::kEq: result = c == 0; break;
+          // Mixed present types are unequal; a missing operand fails every
+          // comparison including != (probe presence with has()).
+          case Op::kNe: result = !missing && c != 0; break;
+          case Op::kLt: result = c == -1; break;
+          case Op::kLe: result = !unordered && (c == -1 || c == 0); break;
+          case Op::kGt: result = c == 1; break;
+          case Op::kGe: result = !unordered && (c == 1 || c == 0); break;
+          default: break;
+        }
+        push_bool(result);
+        break;
+      }
+      case Op::kAnd: {
+        const Value rhs = pop();
+        const Value lhs = pop();
+        push_bool(lhs.truthy() && rhs.truthy());
+        break;
+      }
+      case Op::kOr: {
+        const Value rhs = pop();
+        const Value lhs = pop();
+        push_bool(lhs.truthy() || rhs.truthy());
+        break;
+      }
+      case Op::kNot:
+        push_bool(!pop().truthy());
+        break;
+    }
+  }
+  return stack.size() == 1 && stack.back().truthy();
+}
+
+std::string render_query_error(std::string_view expr,
+                               const QueryError& error) {
+  std::string out = "error: ";
+  out += error.what();
+  out += "\n  ";
+  out.append(expr.data(), expr.size());
+  out += "\n  ";
+  const std::size_t pos = error.pos > expr.size() ? expr.size() : error.pos;
+  out.append(pos, ' ');
+  std::size_t len = error.len == 0 ? 1 : error.len;
+  if (pos + len > expr.size() + 1) len = expr.size() + 1 - pos;
+  out.append(len, '^');
+  out += '\n';
+  return out;
+}
+
+}  // namespace nettag::obs

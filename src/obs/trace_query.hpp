@@ -1,0 +1,107 @@
+// Trace filter language — the "pcap filter" of nettag traces.
+//
+//   nettag-obs query trace.ntrace 'session==3 && event=="relay_tier" && tier>2'
+//
+// Grammar (pcap-style, whitespace-insensitive):
+//
+//   expr    := or
+//   or      := and ("||" and)*
+//   and     := unary ("&&" unary)*
+//   unary   := "!" unary | primary
+//   primary := "(" expr ")"
+//            | "has" "(" ident ")"             -- field presence
+//            | operand (cmp operand)?          -- comparison, or bare truthy
+//   cmp     := "==" | "!=" | "<" | "<=" | ">" | ">="
+//   operand := ident | number | string | "true" | "false"
+//
+// Operands name event fields (`tier`, `slots`, `kind`, ...) plus the two
+// pseudo-fields every event has: `seq` (the sequence number) and `event`
+// (the kind, a string).  Literals: decimal numbers (optionally signed /
+// fractional / exponent), double-quoted strings with \" \\ \n \t \r
+// escapes, `true`, `false`.
+//
+// Type coercion rules (documented in docs/OBSERVABILITY.md):
+//   * number vs number    compared numerically (in double space);
+//   * string vs string    compared lexicographically (byte order);
+//   * bool vs bool        == and != only; ordering comparisons are false;
+//   * mixed types         == and ordering are false, != is true;
+//   * missing field       every comparison is false (use has() to probe);
+//   * truthiness          a bare operand is true when it is boolean true, a
+//                         non-zero number, or a non-empty string.
+//
+// Expressions compile once into a flat postfix program (no per-event
+// parsing, no allocation on the match path beyond field lookup), so a query
+// over a GB-scale trace costs one pass of the cursor plus a few dozen
+// instructions per event.  Syntax and semantic errors throw QueryError with
+// a byte span; render_query_error turns that into the caret diagnostic the
+// CLI prints.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nettag::obs {
+
+struct TraceEvent;
+
+/// A query compilation failure, pointing at the offending span of the
+/// expression text (`pos` is a byte offset; `len` >= 1).
+class QueryError : public std::runtime_error {
+ public:
+  QueryError(const std::string& message, std::size_t at, std::size_t span)
+      : std::runtime_error(message), pos(at), len(span) {}
+
+  std::size_t pos;
+  std::size_t len;
+};
+
+/// `expr` with a caret line under the offending span:
+///   error: expected ')'
+///     session==3 && (tier>2
+///                          ^
+[[nodiscard]] std::string render_query_error(std::string_view expr,
+                                             const QueryError& error);
+
+/// A filter expression compiled to a postfix program.
+class CompiledQuery {
+ public:
+  /// Compiles `expr`; throws QueryError on a lex or parse failure.
+  [[nodiscard]] static CompiledQuery compile(std::string_view expr);
+
+  /// True when the event satisfies the expression.  Never throws: dynamic
+  /// type conflicts resolve via the coercion rules above.
+  [[nodiscard]] bool matches(const TraceEvent& event) const;
+
+  /// Instruction count — for tests and diagnostics.
+  [[nodiscard]] std::size_t size() const noexcept { return code_.size(); }
+
+ private:
+  enum class Op : std::uint8_t {
+    kPushField,  // field value by name (missing marker when absent)
+    kPushSeq,    // the event's sequence number
+    kPushKind,   // the event's kind string
+    kPushNum,
+    kPushStr,
+    kPushBool,
+    kHas,   // presence of the named field
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAnd, kOr, kNot,  // operands coerced to truthiness
+  };
+
+  struct Instr {
+    Op op;
+    bool flag = false;     // kPushBool
+    double num = 0.0;      // kPushNum
+    std::string text{};    // kPushField / kPushStr / kHas
+  };
+
+  CompiledQuery() = default;
+  friend class QueryParser;
+
+  std::vector<Instr> code_;
+};
+
+}  // namespace nettag::obs

@@ -1,0 +1,285 @@
+// Tests of the compact binary trace format (.ntrace): writer/reader
+// round-trips, the byte-identity contract with JSONL, the seekable footer
+// index, truncation/corruption handling, and the streaming TraceCursor on
+// both backends.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/binary_trace.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_cursor.hpp"
+
+namespace nettag::obs {
+namespace {
+
+/// A small synthetic JSONL trace exercising every value shape the sinks
+/// produce: ints, doubles, strings, bools, plus literals only the raw
+/// fallback can carry (a > 2^53 uint, a non-canonical number, null).
+std::string sample_jsonl() {
+  return
+      "{\"seq\":0,\"event\":\"session_begin\",\"protocol\":\"gmle\","
+      "\"seed\":9038243705893100514,\"tags\":400}\n"
+      "{\"seq\":1,\"event\":\"round_begin\",\"round\":1,\"p\":0.25}\n"
+      "{\"seq\":2,\"event\":\"relay_tier\",\"tier\":3,\"slots\":17,"
+      "\"busy\":true}\n"
+      "{\"seq\":3,\"event\":\"slot_batch\",\"slots\":128,\"weird\":1.50,"
+      "\"nothing\":null}\n"
+      "{\"seq\":4,\"event\":\"session_end\",\"total\":-5,"
+      "\"note\":\"done \\\"ok\\\"\"}\n";
+}
+
+std::string jsonl_to_ntrace(const std::string& jsonl) {
+  std::istringstream in(jsonl);
+  std::ostringstream out(std::ios::binary);
+  convert_jsonl_to_binary(in, out);
+  return out.str();
+}
+
+std::string ntrace_to_jsonl(const std::string& ntrace) {
+  std::istringstream in(ntrace, std::ios::binary);
+  std::ostringstream out;
+  convert_binary_to_jsonl(in, out);
+  return out.str();
+}
+
+// --------------------------------------------------------------------------
+// split_jsonl_line / render_jsonl_line
+// --------------------------------------------------------------------------
+
+TEST(SplitJsonlLine, PreservesVerbatimLiterals) {
+  const BinaryEvent e = split_jsonl_line(
+      "{\"seq\":7,\"event\":\"x\",\"a\":1.50,\"b\":\"hi\",\"c\":null}");
+  EXPECT_EQ(e.seq, 7u);
+  EXPECT_EQ(e.kind, "x");
+  ASSERT_EQ(e.fields.size(), 3u);
+  EXPECT_EQ(e.fields[0], (RenderedField{"a", "1.50"}));
+  EXPECT_EQ(e.fields[1], (RenderedField{"b", "\"hi\""}));
+  EXPECT_EQ(e.fields[2], (RenderedField{"c", "null"}));
+}
+
+TEST(SplitJsonlLine, RoundTripsThroughRender) {
+  const std::string line =
+      "{\"seq\":3,\"event\":\"slot_batch\",\"slots\":128,\"weird\":1.50}";
+  EXPECT_EQ(render_jsonl_line(split_jsonl_line(line)), line);
+}
+
+TEST(SplitJsonlLine, RejectsMalformedLines) {
+  EXPECT_THROW((void)split_jsonl_line("not json"), Error);
+  EXPECT_THROW((void)split_jsonl_line("{\"event\":\"x\"}"), Error);  // no seq
+  EXPECT_THROW((void)split_jsonl_line("{\"seq\":1}"), Error);  // no event
+  EXPECT_THROW((void)split_jsonl_line("{\"seq\":1,\"event\":\"x\"} tail"),
+               Error);
+  try {
+    (void)split_jsonl_line("{\"seq\":oops}", 42);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 42"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Round-trip byte identity
+// --------------------------------------------------------------------------
+
+TEST(BinaryTrace, RoundTripsByteIdentically) {
+  const std::string jsonl = sample_jsonl();
+  const std::string ntrace = jsonl_to_ntrace(jsonl);
+  EXPECT_EQ(ntrace_to_jsonl(ntrace), jsonl);
+}
+
+TEST(BinaryTrace, IsSmallerThanJsonl) {
+  // String interning + varints must beat spelled-out JSONL even on a
+  // 5-event toy trace once the vocabulary repeats.
+  std::string jsonl;
+  for (int i = 0; i < 200; ++i) {
+    jsonl += "{\"seq\":" + std::to_string(i) +
+             ",\"event\":\"slot_batch\",\"round\":2,\"tier\":1,\"slots\":" +
+             std::to_string(100 + i) + "}\n";
+  }
+  EXPECT_LT(jsonl_to_ntrace(jsonl).size(), jsonl.size() / 2);
+}
+
+TEST(BinaryTrace, SinkMatchesConverterOutput) {
+  // Live sink emission and jsonl->binary conversion must produce identical
+  // bytes — the parallel-trial replay contract depends on it.
+  std::ostringstream jsonl_out;
+  std::ostringstream binary_out(std::ios::binary);
+  {
+    JsonlSink jsonl_sink(jsonl_out);
+    NettagBinarySink binary_sink(binary_out);
+    for (TraceSink* sink :
+         std::vector<TraceSink*>{&jsonl_sink, &binary_sink}) {
+      sink->event("session_begin", {{"protocol", "trp"}, {"tags", 400}});
+      sink->event("relay_tier", {{"tier", 2}, {"slots", 17}});
+      sink->event("session_end", {{"total", 19}});
+    }
+  }
+  EXPECT_EQ(jsonl_to_ntrace(jsonl_out.str()), binary_out.str());
+}
+
+// --------------------------------------------------------------------------
+// Reader: headers, truncation, corruption
+// --------------------------------------------------------------------------
+
+TEST(BinaryTraceReader, RejectsBadMagic) {
+  std::istringstream in("JUNKJUNKJUNK", std::ios::binary);
+  EXPECT_THROW(BinaryTraceReader reader(in), Error);
+}
+
+TEST(BinaryTraceReader, RejectsUnknownVersion) {
+  std::string ntrace = jsonl_to_ntrace(sample_jsonl());
+  ntrace[4] = static_cast<char>(kNtraceVersion + 1);
+  std::istringstream in(ntrace, std::ios::binary);
+  try {
+    BinaryTraceReader reader(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BinaryTraceReader, TruncatedFileDecodesCompleteRecords) {
+  const std::string full = jsonl_to_ntrace(sample_jsonl());
+  // Chop off the trailer and half of the final region; every complete
+  // record before the cut must still decode, then next() throws.
+  std::istringstream in(full.substr(0, full.size() / 2), std::ios::binary);
+  BinaryTraceReader reader(in);
+  BinaryEvent e;
+  std::uint64_t decoded = 0;
+  try {
+    while (reader.next(e)) ++decoded;
+    // A cut landing exactly on a record boundary reads as clean EOF.
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("byte"), std::string::npos)
+        << err.what();
+  }
+  EXPECT_GT(decoded, 0u);
+  EXPECT_LT(decoded, 5u);
+}
+
+TEST(BinaryTraceReader, TruncatedFileHasNoIndex) {
+  const std::string full = jsonl_to_ntrace(sample_jsonl());
+  std::istringstream in(full.substr(0, full.size() - 20), std::ios::binary);
+  BinaryTraceReader reader(in);
+  EXPECT_FALSE(reader.load_index());
+  // The reader must stay usable as a pure stream after the failed load.
+  BinaryEvent e;
+  ASSERT_TRUE(reader.next(e));
+  EXPECT_EQ(e.seq, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Footer index + seeking
+// --------------------------------------------------------------------------
+
+std::string many_events_jsonl(int n) {
+  std::string jsonl;
+  for (int i = 0; i < n; ++i) {
+    jsonl += "{\"seq\":" + std::to_string(i) +
+             ",\"event\":\"slot_batch\",\"slots\":" + std::to_string(i) +
+             "}\n";
+  }
+  return jsonl;
+}
+
+TEST(BinaryTraceReader, LoadsIndexAndSeeks) {
+  // > 2 checkpoint intervals so the index has several entries.
+  const int n = static_cast<int>(kNtraceCheckpointInterval) * 2 + 100;
+  const std::string ntrace = jsonl_to_ntrace(many_events_jsonl(n));
+  std::istringstream in(ntrace, std::ios::binary);
+  BinaryTraceReader reader(in);
+  ASSERT_TRUE(reader.load_index());
+  EXPECT_GE(reader.index().checkpoints.size(), 2u);
+
+  const std::uint64_t target = kNtraceCheckpointInterval + 7;
+  reader.seek(target);
+  BinaryEvent e;
+  ASSERT_TRUE(reader.next(e));
+  // Landed at the latest checkpoint at or before the target...
+  EXPECT_LE(e.seq, target);
+  EXPECT_GE(e.seq + kNtraceCheckpointInterval, target);
+  // ...and the stream continues to the end from there.
+  std::uint64_t last = e.seq;
+  while (reader.next(e)) last = e.seq;
+  EXPECT_EQ(last, static_cast<std::uint64_t>(n - 1));
+}
+
+// --------------------------------------------------------------------------
+// TraceCursor: one API over both backends
+// --------------------------------------------------------------------------
+
+class TraceCursorFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    jsonl_path_ = testing::TempDir() + "cursor_test.jsonl";
+    ntrace_path_ = testing::TempDir() + "cursor_test.ntrace";
+    const std::string jsonl = many_events_jsonl(kEvents);
+    {
+      std::ofstream out(jsonl_path_);
+      out << jsonl;
+    }
+    {
+      std::istringstream in(jsonl);
+      std::ofstream out(ntrace_path_, std::ios::binary);
+      convert_jsonl_to_binary(in, out);
+    }
+  }
+
+  static constexpr int kEvents =
+      static_cast<int>(kNtraceCheckpointInterval) + 50;
+  std::string jsonl_path_;
+  std::string ntrace_path_;
+};
+
+TEST_F(TraceCursorFiles, BackendsYieldIdenticalEvents) {
+  TraceCursor jsonl(jsonl_path_);
+  TraceCursor binary(ntrace_path_);
+  EXPECT_FALSE(jsonl.binary());
+  EXPECT_TRUE(binary.binary());
+
+  TraceEvent a;
+  TraceEvent b;
+  int events = 0;
+  while (jsonl.next(a)) {
+    ASSERT_TRUE(binary.next(b));
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(jsonl.line(), binary.line());
+    ++events;
+  }
+  EXPECT_FALSE(binary.next(b));
+  EXPECT_EQ(events, kEvents);
+}
+
+TEST_F(TraceCursorFiles, SeekLandsOnExactEvent) {
+  TraceCursor cursor(ntrace_path_);
+  const std::uint64_t target = kNtraceCheckpointInterval + 11;
+  ASSERT_TRUE(cursor.seek(target));
+  TraceEvent e;
+  ASSERT_TRUE(cursor.next(e));
+  EXPECT_EQ(e.seq, target);  // precise skip-forward past the checkpoint
+}
+
+TEST_F(TraceCursorFiles, SeekOnJsonlReturnsFalse) {
+  TraceCursor cursor(jsonl_path_);
+  EXPECT_FALSE(cursor.seek(10));
+  // Still streams from the start.
+  TraceEvent e;
+  ASSERT_TRUE(cursor.next(e));
+  EXPECT_EQ(e.seq, 0u);
+}
+
+TEST(TraceCursor, ThrowsOnMissingFile) {
+  EXPECT_THROW(TraceCursor cursor("/nonexistent/trace.jsonl"), Error);
+}
+
+}  // namespace
+}  // namespace nettag::obs

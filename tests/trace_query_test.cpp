@@ -1,0 +1,194 @@
+// Tests of the trace filter language: lexing, parsing (precedence,
+// grouping), the coercion rules, pseudo-fields, has(), and the caret
+// diagnostics for malformed expressions.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json_value.hpp"
+#include "obs/trace_query.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace nettag::obs {
+namespace {
+
+/// Compiles `expr` and evaluates it on the given JSONL trace line.
+bool eval(const std::string& expr, const std::string& line) {
+  const CompiledQuery query = CompiledQuery::compile(expr);
+  return query.matches(parse_trace_line(line, 1));
+}
+
+const char* const kRelay =
+    "{\"seq\":12,\"event\":\"relay_tier\",\"session\":3,\"tier\":4,"
+    "\"busy\":true,\"ratio\":0.5,\"name\":\"edge\",\"zero\":0,"
+    "\"empty\":\"\"}";
+
+// --------------------------------------------------------------------------
+// Comparisons and literals
+// --------------------------------------------------------------------------
+
+TEST(TraceQuery, ComparesNumbers) {
+  EXPECT_TRUE(eval("tier==4", kRelay));
+  EXPECT_TRUE(eval("tier>2", kRelay));
+  EXPECT_TRUE(eval("tier>=4", kRelay));
+  EXPECT_TRUE(eval("tier<5", kRelay));
+  EXPECT_TRUE(eval("tier<=4", kRelay));
+  EXPECT_TRUE(eval("tier!=5", kRelay));
+  EXPECT_FALSE(eval("tier<4", kRelay));
+  EXPECT_TRUE(eval("ratio==0.5", kRelay));
+  EXPECT_TRUE(eval("ratio<5e-1 || ratio==0.5", kRelay));
+  EXPECT_TRUE(eval("tier>-1", kRelay));
+}
+
+TEST(TraceQuery, ComparesStringsByteLexicographically) {
+  EXPECT_TRUE(eval("name==\"edge\"", kRelay));
+  EXPECT_TRUE(eval("name!=\"core\"", kRelay));
+  EXPECT_TRUE(eval("name>\"d\"", kRelay));
+  EXPECT_TRUE(eval("name<\"f\"", kRelay));
+  EXPECT_FALSE(eval("name<\"edge\"", kRelay));
+}
+
+TEST(TraceQuery, ComparesBoolsEqualityOnly) {
+  EXPECT_TRUE(eval("busy==true", kRelay));
+  EXPECT_TRUE(eval("busy!=false", kRelay));
+  EXPECT_FALSE(eval("busy<true", kRelay));   // ordering on bools: false
+  EXPECT_FALSE(eval("busy>=true", kRelay));
+}
+
+TEST(TraceQuery, StringEscapes) {
+  const char* line =
+      "{\"seq\":1,\"event\":\"x\",\"note\":\"a\\\"b\\\\c\"}";
+  EXPECT_TRUE(eval("note==\"a\\\"b\\\\c\"", line));
+}
+
+// --------------------------------------------------------------------------
+// Pseudo-fields
+// --------------------------------------------------------------------------
+
+TEST(TraceQuery, SeqAndEventPseudoFields) {
+  EXPECT_TRUE(eval("seq==12", kRelay));
+  EXPECT_TRUE(eval("seq>=10 && seq<20", kRelay));
+  EXPECT_TRUE(eval("event==\"relay_tier\"", kRelay));
+  EXPECT_FALSE(eval("event==\"session_begin\"", kRelay));
+  // The issue's acceptance expression.
+  EXPECT_TRUE(eval("session==3 && event==\"relay_tier\" && tier>2", kRelay));
+}
+
+// --------------------------------------------------------------------------
+// Coercion: mixed types and missing fields
+// --------------------------------------------------------------------------
+
+TEST(TraceQuery, MixedTypesCompareUnequal) {
+  EXPECT_FALSE(eval("name==4", kRelay));     // string vs number
+  EXPECT_TRUE(eval("name!=4", kRelay));
+  EXPECT_FALSE(eval("name<4", kRelay));      // ordering across types: false
+  EXPECT_FALSE(eval("busy==1", kRelay));     // bool vs number
+  EXPECT_TRUE(eval("busy!=1", kRelay));
+}
+
+TEST(TraceQuery, MissingFieldsFailEveryComparison) {
+  EXPECT_FALSE(eval("absent==1", kRelay));
+  EXPECT_FALSE(eval("absent!=1", kRelay));  // != too: use has() to probe
+  EXPECT_FALSE(eval("absent<1", kRelay));
+  EXPECT_FALSE(eval("absent", kRelay));     // bare truthiness: false
+}
+
+TEST(TraceQuery, HasProbesPresence) {
+  EXPECT_TRUE(eval("has(tier)", kRelay));
+  EXPECT_TRUE(eval("has(seq) && has(event)", kRelay));
+  EXPECT_FALSE(eval("has(absent)", kRelay));
+  EXPECT_TRUE(eval("!has(absent)", kRelay));
+  EXPECT_TRUE(eval("has(zero)", kRelay));   // present but falsy
+}
+
+TEST(TraceQuery, Truthiness) {
+  EXPECT_TRUE(eval("busy", kRelay));         // true bool
+  EXPECT_TRUE(eval("tier", kRelay));         // non-zero number
+  EXPECT_FALSE(eval("zero", kRelay));        // zero number
+  EXPECT_TRUE(eval("name", kRelay));         // non-empty string
+  EXPECT_FALSE(eval("empty", kRelay));       // empty string
+}
+
+// --------------------------------------------------------------------------
+// Operators: precedence, grouping, negation
+// --------------------------------------------------------------------------
+
+TEST(TraceQuery, AndBindsTighterThanOr) {
+  // false && false || true — must parse as (false&&false)||true.
+  EXPECT_TRUE(eval("zero && absent || busy", kRelay));
+  // With explicit grouping the other way it flips.
+  EXPECT_FALSE(eval("zero && (absent || busy)", kRelay));
+}
+
+TEST(TraceQuery, NotAndParentheses) {
+  EXPECT_TRUE(eval("!(tier<2)", kRelay));
+  EXPECT_TRUE(eval("!!busy", kRelay));
+  EXPECT_TRUE(eval("!(zero || empty)", kRelay));
+  EXPECT_FALSE(eval("!busy", kRelay));
+}
+
+TEST(TraceQuery, CompilesOncePostfix) {
+  const CompiledQuery q = CompiledQuery::compile("a==1 && (b>2 || !c)");
+  EXPECT_GT(q.size(), 5u);
+}
+
+// --------------------------------------------------------------------------
+// Errors: spans and the caret renderer
+// --------------------------------------------------------------------------
+
+std::size_t error_pos(const std::string& expr) {
+  try {
+    (void)CompiledQuery::compile(expr);
+  } catch (const QueryError& e) {
+    return e.pos;
+  }
+  ADD_FAILURE() << "no QueryError for: " << expr;
+  return static_cast<std::size_t>(-1);
+}
+
+TEST(TraceQueryError, ThrowsWithSpans) {
+  EXPECT_THROW((void)CompiledQuery::compile(""), QueryError);
+  EXPECT_THROW((void)CompiledQuery::compile("tier >"), QueryError);
+  EXPECT_THROW((void)CompiledQuery::compile("(tier>2"), QueryError);
+  EXPECT_THROW((void)CompiledQuery::compile("tier ?? 2"), QueryError);
+  EXPECT_THROW((void)CompiledQuery::compile("\"unterminated"), QueryError);
+  EXPECT_THROW((void)CompiledQuery::compile("\"bad\\qescape\""), QueryError);
+  EXPECT_THROW((void)CompiledQuery::compile("has(3)"), QueryError);
+  EXPECT_THROW((void)CompiledQuery::compile("has tier"), QueryError);
+  EXPECT_THROW((void)CompiledQuery::compile("a==1 b==2"), QueryError);
+}
+
+TEST(TraceQueryError, PointsAtTheOffendingToken) {
+  EXPECT_EQ(error_pos("tier ?? 2"), 5u);
+  EXPECT_EQ(error_pos("(tier>2"), 7u);       // end of input: after the expr
+  EXPECT_EQ(error_pos("a==1 b==2"), 5u);     // trailing junk
+}
+
+TEST(TraceQueryError, RendersCaretDiagnostic) {
+  // Golden fixture: exact renderer output, byte for byte.
+  try {
+    (void)CompiledQuery::compile("session==3 && (tier>2");
+    FAIL() << "expected QueryError";
+  } catch (const QueryError& e) {
+    const std::string rendered =
+        render_query_error("session==3 && (tier>2", e);
+    EXPECT_EQ(rendered,
+              "error: expected ')'\n"
+              "  session==3 && (tier>2\n"
+              "                       ^\n");
+  }
+}
+
+TEST(TraceQueryError, CaretSpanCoversMultiByteTokens) {
+  try {
+    (void)CompiledQuery::compile("tier ?? 2");
+    FAIL() << "expected QueryError";
+  } catch (const QueryError& e) {
+    const std::string rendered = render_query_error("tier ?? 2", e);
+    // The span must start under the '?' (column 5 → 2-space indent + 5).
+    EXPECT_NE(rendered.find("\n       ^"), std::string::npos) << rendered;
+  }
+}
+
+}  // namespace
+}  // namespace nettag::obs

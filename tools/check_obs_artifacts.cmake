@@ -81,6 +81,109 @@ if(corrupt_rc EQUAL 0)
   message(FATAL_ERROR "nettag-obs check accepted a corrupted trace")
 endif()
 
+# Binary trace format: jsonl -> ntrace -> jsonl must round-trip
+# byte-identically, and the analyzer must stream the binary file directly.
+run_checked(${NETTAG_OBS} convert
+  ${WORK_DIR}/estimate.jsonl ${WORK_DIR}/estimate.ntrace)
+run_checked(${NETTAG_OBS} convert
+  ${WORK_DIR}/estimate.ntrace ${WORK_DIR}/estimate_roundtrip.jsonl)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/estimate.jsonl ${WORK_DIR}/estimate_roundtrip.jsonl
+  RESULT_VARIABLE rt_rc)
+if(NOT rt_rc EQUAL 0)
+  message(FATAL_ERROR "jsonl -> ntrace -> jsonl round-trip is not "
+    "byte-identical")
+endif()
+run_checked(${NETTAG_OBS} check
+  ${WORK_DIR}/estimate.ntrace ${WORK_DIR}/estimate.json)
+run_checked(${NETTAG_OBS} summarize ${WORK_DIR}/estimate.ntrace)
+
+# Query engine: the same expression must count identically on both
+# backends, and a malformed expression must exit 64 with a caret.
+function(run_query trace out)
+  execute_process(
+    COMMAND ${NETTAG_OBS} query ${trace} "event==\"slot_batch\" && slots>0"
+      --format count
+    RESULT_VARIABLE rc OUTPUT_VARIABLE count ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "nettag-obs query failed on ${trace} (${rc})")
+  endif()
+  string(STRIP "${count}" count)
+  set(${out} ${count} PARENT_SCOPE)
+endfunction()
+run_query(${WORK_DIR}/estimate.jsonl jsonl_count)
+run_query(${WORK_DIR}/estimate.ntrace ntrace_count)
+if(NOT jsonl_count STREQUAL ntrace_count OR jsonl_count EQUAL 0)
+  message(FATAL_ERROR "query parity broken: jsonl=${jsonl_count} "
+    "ntrace=${ntrace_count}")
+endif()
+execute_process(
+  COMMAND ${NETTAG_OBS} query ${WORK_DIR}/estimate.jsonl "tier >"
+  RESULT_VARIABLE bad_query_rc OUTPUT_QUIET ERROR_VARIABLE bad_query_err)
+if(NOT bad_query_rc EQUAL 64)
+  message(FATAL_ERROR
+    "malformed query must exit 64, got ${bad_query_rc}")
+endif()
+if(NOT bad_query_err MATCHES "\\^")
+  message(FATAL_ERROR "malformed query diagnostic lacks a caret:\n"
+    "${bad_query_err}")
+endif()
+
+# Reader robustness: corrupted or truncated inputs must be rejected with
+# the documented exit codes, never a crash.
+function(expect_exit expected label)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL ${expected})
+    message(FATAL_ERROR "${label}: expected exit ${expected}, got ${rc}")
+  endif()
+endfunction()
+
+# Bad magic (a JSONL file renamed .ntrace reads as binary garbage).
+file(WRITE ${WORK_DIR}/bad_magic.ntrace "JUNKJUNKJUNKJUNK")
+expect_exit(66 "bad magic"
+  ${NETTAG_OBS} check ${WORK_DIR}/bad_magic.ntrace)
+
+# Unsupported version: flip the header's version byte.
+run_checked(${PYTHON} -c "
+import sys
+data = bytearray(open(sys.argv[1], 'rb').read())
+data[4] = 99
+open(sys.argv[2], 'wb').write(bytes(data))
+" ${WORK_DIR}/estimate.ntrace ${WORK_DIR}/bad_version.ntrace)
+expect_exit(66 "version mismatch"
+  ${NETTAG_OBS} check ${WORK_DIR}/bad_version.ntrace)
+
+# Truncated mid-record: complete records decode, the torn one exits 66.
+run_checked(${PYTHON} -c "
+import sys
+data = open(sys.argv[1], 'rb').read()
+open(sys.argv[2], 'wb').write(data[:len(data) * 2 // 3 + 1])
+" ${WORK_DIR}/estimate.ntrace ${WORK_DIR}/truncated.ntrace)
+execute_process(
+  COMMAND ${NETTAG_OBS} query ${WORK_DIR}/truncated.ntrace "true"
+    --format count
+  RESULT_VARIABLE trunc_rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT (trunc_rc EQUAL 66 OR trunc_rc EQUAL 0))
+  message(FATAL_ERROR
+    "truncated ntrace: expected exit 66 (or 0 on a record boundary), "
+    "got ${trunc_rc}")
+endif()
+
+# Malformed JSONL line.
+file(WRITE ${WORK_DIR}/malformed.jsonl "{\"seq\":0,\"event\":oops\n")
+expect_exit(66 "malformed jsonl"
+  ${NETTAG_OBS} query ${WORK_DIR}/malformed.jsonl "true")
+
+# Empty trace: consistent (zero sessions), not an error.
+file(WRITE ${WORK_DIR}/empty.jsonl "")
+expect_exit(0 "empty trace check"
+  ${NETTAG_OBS} check ${WORK_DIR}/empty.jsonl)
+
+# convert with no .ntrace extension on either side is a usage error.
+expect_exit(64 "extensionless convert"
+  ${NETTAG_OBS} convert ${WORK_DIR}/estimate.jsonl ${WORK_DIR}/estimate.out)
+
 # detect with a CSV trace (header + rows expected).
 run_checked(${NETTAG_CLI} detect --tags 400 --range 7 --missing 10 --trials 1
   --trace ${WORK_DIR}/detect.csv --metrics ${WORK_DIR}/detect.json)

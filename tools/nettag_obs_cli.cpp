@@ -17,11 +17,25 @@
 //       (ignored entirely by default).  `written_at` and `git` are always
 //       ignored; --ignore adds more keys (dotted paths allowed).
 //
+//   nettag-obs query TRACE EXPR [--format jsonl|csv|count] [--limit N]
+//       Stream the trace (JSONL or .ntrace, sniffed by magic) through a
+//       compiled filter expression — see docs/OBSERVABILITY.md for the
+//       language.  jsonl echoes matching events one per line; csv writes
+//       the long seq,event,field,value form; count prints the match count.
+//
+//   nettag-obs convert SRC DST
+//       Convert between JSONL and the compact binary format; the direction
+//       follows DST's extension (.ntrace = to binary).  jsonl -> ntrace ->
+//       jsonl round-trips byte-identically.
+//
+// summarize / check / query all stream one event at a time (constant
+// memory), so they work on GB-scale traces.
+//
 // Exit codes (machine-readable, for CI gates):
 //   0   consistent / identical
 //   1   check violation or structural manifest mismatch
 //   2   timing drift only (diff with --timing-tolerance)
-//   64  usage error
+//   64  usage error (including a malformed query expression)
 //   66  input missing or unparsable
 #include <cstdio>
 #include <cstdlib>
@@ -31,8 +45,11 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/binary_trace.hpp"
 #include "obs/json_value.hpp"
 #include "obs/trace_analysis.hpp"
+#include "obs/trace_cursor.hpp"
+#include "obs/trace_query.hpp"
 #include "obs/trace_reader.hpp"
 
 namespace {
@@ -47,13 +64,21 @@ constexpr int kExitBadInput = 66;
 
 void usage() {
   std::fputs(
-      "usage: nettag-obs <summarize|check|diff> ...\n"
+      "usage: nettag-obs <summarize|check|diff|query|convert> ...\n"
       "  summarize TRACE [--session K]   per-round/per-tier session anatomy\n"
       "  check TRACE [MANIFEST]          validate trace accounting; with a\n"
       "                                  manifest, cross-check its trace.*\n"
       "                                  counters against the trace\n"
       "  diff BASELINE CANDIDATE [--timing-tolerance R] [--ignore KEY]\n"
       "                                  structural run-manifest comparison\n"
+      "  query TRACE EXPR [--format jsonl|csv|count] [--limit N]\n"
+      "                                  filter events, e.g.\n"
+      "                                  'session==3 && event==\"relay_tier\""
+      " && tier>2'\n"
+      "  convert SRC DST                 JSONL <-> .ntrace (by DST"
+      " extension)\n"
+      "TRACE may be JSONL or .ntrace (detected by content); summarize,\n"
+      "check, and query stream in constant memory.\n"
       "exit: 0 ok, 1 violation/mismatch, 2 timing drift, 64 usage, "
       "66 bad input\n",
       stderr);
@@ -82,8 +107,8 @@ int cmd_summarize(const std::vector<std::string>& args) {
   }
   if (trace_path.empty()) return kExitUsage;
 
-  const auto events = obs::read_trace_file(trace_path);
-  const auto sessions = obs::summarize_sessions(events);
+  obs::TraceCursor cursor(trace_path);
+  const auto sessions = obs::summarize_sessions(cursor);
   std::fputs(obs::render_trace_overview(sessions).c_str(), stdout);
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     if (session_index >= 0 && static_cast<long>(i) != session_index) continue;
@@ -103,8 +128,8 @@ int cmd_check(const std::vector<std::string>& args) {
   if (args.empty() || args.size() > 2) return kExitUsage;
   const std::string& trace_path = args[0];
 
-  const auto events = obs::read_trace_file(trace_path);
-  obs::TraceCheckResult result = obs::check_trace(events);
+  obs::TraceCursor cursor(trace_path);
+  obs::TraceCheckResult result = obs::check_trace(cursor);
   if (args.size() == 2) {
     const obs::JsonValue manifest = load_manifest(args[1]);
     obs::check_manifest_against_trace(manifest, result);
@@ -123,6 +148,107 @@ int cmd_check(const std::vector<std::string>& args) {
     return kExitViolation;
   }
   std::puts("trace is consistent");
+  return kExitOk;
+}
+
+/// CSV-quotes `cell` when it contains a delimiter, quote, or newline
+/// (same convention as CsvSink).
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+int cmd_query(const std::vector<std::string>& args) {
+  std::string trace_path;
+  std::string expr;
+  std::string format = "jsonl";
+  long long limit = -1;
+  bool have_expr = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--format") {
+      if (i + 1 >= args.size()) return kExitUsage;
+      format = args[++i];
+    } else if (args[i] == "--limit") {
+      if (i + 1 >= args.size()) return kExitUsage;
+      limit = std::atoll(args[++i].c_str());
+    } else if (trace_path.empty()) {
+      trace_path = args[i];
+    } else if (!have_expr) {
+      expr = args[i];
+      have_expr = true;
+    } else {
+      return kExitUsage;
+    }
+  }
+  if (trace_path.empty() || !have_expr) return kExitUsage;
+  if (format != "jsonl" && format != "csv" && format != "count")
+    return kExitUsage;
+
+  obs::CompiledQuery query = [&expr] {
+    try {
+      return obs::CompiledQuery::compile(expr);
+    } catch (const obs::QueryError& e) {
+      std::fputs(obs::render_query_error(expr, e).c_str(), stderr);
+      std::exit(kExitUsage);
+    }
+  }();
+
+  obs::TraceCursor cursor(trace_path);
+  obs::TraceEvent event;
+  long long matches = 0;
+  if (format == "csv") std::puts("seq,event,field,value");
+  while (cursor.next(event)) {
+    if (!query.matches(event)) continue;
+    ++matches;
+    if (format == "jsonl") {
+      std::printf("%s\n", cursor.line().c_str());
+    } else if (format == "csv") {
+      if (event.fields.empty()) {
+        std::printf("%llu,%s,,\n", static_cast<unsigned long long>(event.seq),
+                    csv_cell(event.kind).c_str());
+      } else {
+        for (const auto& [key, value] : event.fields) {
+          std::printf("%llu,%s,%s,%s\n",
+                      static_cast<unsigned long long>(event.seq),
+                      csv_cell(event.kind).c_str(), csv_cell(key).c_str(),
+                      csv_cell(value.dump()).c_str());
+        }
+      }
+    }
+    if (limit >= 0 && matches >= limit) break;
+  }
+  if (format == "count") std::printf("%lld\n", matches);
+  return kExitOk;
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  if (args.size() != 2) return kExitUsage;
+  const std::string& src = args[0];
+  const std::string& dst = args[1];
+  const bool to_binary = obs::has_ntrace_extension(dst);
+  if (!to_binary && !obs::has_ntrace_extension(src)) {
+    std::fprintf(stderr,
+                 "convert: neither %s nor %s has the .ntrace extension\n",
+                 src.c_str(), dst.c_str());
+    return kExitUsage;
+  }
+  std::ifstream in(src, std::ios::binary);
+  if (!in) throw nettag::Error("cannot open trace file " + src);
+  std::ofstream out(dst, std::ios::binary);
+  if (!out) throw nettag::Error("cannot open output file " + dst);
+  const std::uint64_t events = to_binary
+                                   ? obs::convert_jsonl_to_binary(in, out)
+                                   : obs::convert_binary_to_jsonl(in, out);
+  out.flush();
+  if (!out.good()) throw nettag::Error("write failed: " + dst);
+  std::fprintf(stderr, "converted %llu event(s)\n",
+               static_cast<unsigned long long>(events));
   return kExitOk;
 }
 
@@ -180,6 +306,8 @@ int main(int argc, char** argv) {
     if (cmd == "summarize") rc = cmd_summarize(args);
     else if (cmd == "check") rc = cmd_check(args);
     else if (cmd == "diff") rc = cmd_diff(args);
+    else if (cmd == "query") rc = cmd_query(args);
+    else if (cmd == "convert") rc = cmd_convert(args);
     if (rc == kExitUsage) usage();
     return rc;
   } catch (const nettag::Error& e) {

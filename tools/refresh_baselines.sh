@@ -36,7 +36,11 @@ for tags in 400 2000; do
   esac
   for bench in fig3_tiers fig4_execution_time table1_max_sent_bits \
                table2_max_received_bits table3_avg_sent_bits \
-               table4_avg_received_bits robustness_link_loss; do
+               table4_avg_received_bits robustness_link_loss \
+               ablation_checking_frame ablation_indicator_vector \
+               irregular_radio mobility_state_free deployment_sensitivity \
+               multi_reader_scaling estimator_comparison \
+               stateful_vs_statefree tier_load_balance duty_cycle; do
     bin="$repo_root/$build_dir/bench/$bench"
     if [ ! -x "$bin" ]; then
       echo "error: $bin not built (cmake --build $build_dir first)" >&2
@@ -49,7 +53,7 @@ for tags in 400 2000; do
       table2_max_received_bits) name=table2 ;;
       table3_avg_sent_bits) name=table3 ;;
       table4_avg_received_bits) name=table4 ;;
-      robustness_link_loss) name=robustness_link_loss ;;
+      *) name=$bench ;;
     esac
     echo "regenerating $name$suffix.json ($bench, N=$tags)" >&2
     NETTAG_MANIFEST="$out_dir/$name$suffix.json" "$bin" > /dev/null
