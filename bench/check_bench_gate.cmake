@@ -22,6 +22,21 @@ foreach(var BENCH NAME NETTAG_OBS WORK_DIR BASELINE BASELINE_N2000)
   endif()
 endforeach()
 
+# Guard rail: perf manifests (nettag.perf_manifest/1) carry raw wall-clock
+# and must NEVER enter the byte-identity baseline corpus — they can never
+# compare byte-identically across runs.  They belong in bench/perf/
+# (tools/run_perf.sh), gated by `nettag-obs perf check` instead.
+foreach(committed ${BASELINE} ${BASELINE_N2000})
+  if(EXISTS ${committed})
+    file(READ ${committed} committed_contents)
+    if(committed_contents MATCHES "nettag\\.perf_manifest")
+      message(FATAL_ERROR
+        "${committed} is a perf manifest — timing artifacts are banned from "
+        "bench/baselines/ (see tools/run_perf.sh for the perf history)")
+    endif()
+  endif()
+endforeach()
+
 file(MAKE_DIRECTORY ${WORK_DIR})
 
 function(run_bench tags manifest trace)

@@ -4,7 +4,23 @@
 // round ORs f-bit maps per tag), grid-index topology construction (per
 // trial), hash-based slot picks (per tag per frame) and a full CCM session
 // at the paper's GMLE operating point.
+//
+// The binary carries its own main: besides the usual console output it can
+// emit a nettag.perf_manifest/1 document compatible with `nettag-obs perf
+// diff|trend|check` — set NETTAG_PERF_MANIFEST=/path/out.json (each
+// google-benchmark repetition becomes one wall sample; use
+// --benchmark_repetitions=N, defaulted to NETTAG_PERF_REPS when a manifest
+// is requested).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hpp"
+#include "obs/perf_manifest.hpp"
 
 #include "ccm/session.hpp"
 #include "ccm/slot_selector.hpp"
@@ -109,4 +125,84 @@ void BM_GmleSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_GmleSolve);
 
+/// Console reporter that additionally collects every per-repetition run as
+/// a wall sample, keyed by benchmark name, for the perf manifest.
+class PerfManifestReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      if (run.iterations == 0) continue;
+      const double ns_per_iter = run.real_accumulated_time /
+                                 static_cast<double>(run.iterations) * 1e9;
+      samples_[run.benchmark_name()].push_back(
+          static_cast<std::int64_t>(ns_per_iter));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// One case per benchmark name; warmup=0 (google-benchmark does its own
+  /// calibration before the timed repetitions).
+  [[nodiscard]] obs::PerfManifest manifest() const {
+    obs::PerfManifest m;
+    m.tool = "micro_core";
+    m.git = obs::build_git_describe();
+    m.written_at = obs::iso8601_utc_now();
+    m.environment = obs::detect_perf_environment(1);
+    for (const auto& [name, samples] : samples_) {
+      obs::PerfCase c;
+      c.name = name;
+      c.samples_ns = samples;
+      c.wall = obs::compute_perf_stats(0, samples);
+      m.cases.push_back(std::move(c));
+    }
+    return m;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::int64_t>> samples_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const char* manifest_path = std::getenv("NETTAG_PERF_MANIFEST");
+
+  // Rebuild argv so a manifest run gets multiple repetitions (= wall
+  // samples) by default while explicit flags still win.
+  std::vector<std::string> arg_storage(argv, argv + argc);
+  if (manifest_path != nullptr && *manifest_path != '\0') {
+    bool has_reps = false;
+    for (const std::string& a : arg_storage)
+      if (a.rfind("--benchmark_repetitions", 0) == 0) has_reps = true;
+    if (!has_reps) {
+      const char* reps = std::getenv("NETTAG_PERF_REPS");
+      const long n = reps != nullptr ? std::atol(reps) : 5;
+      arg_storage.push_back("--benchmark_repetitions=" +
+                            std::to_string(n > 0 ? n : 5));
+      arg_storage.push_back("--benchmark_report_aggregates_only=false");
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(arg_storage.size());
+  for (std::string& a : arg_storage) args.push_back(a.data());
+  int args_count = static_cast<int>(args.size());
+
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  PerfManifestReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (manifest_path != nullptr && *manifest_path != '\0') {
+    if (!nettag::obs::write_perf_manifest(reporter.manifest(),
+                                          manifest_path)) {
+      std::fprintf(stderr, "cannot write perf manifest to %s\n",
+                   manifest_path);
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", manifest_path);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "perf_harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/work_counters.hpp"
+#include "obs/manifest.hpp"
+
+namespace nettag::bench {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<int>(std::atol(v));
+}
+
+std::int64_t elapsed_ns(const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+PerfRepetitionConfig perf_repetition_from_env() {
+  PerfRepetitionConfig rep;
+  rep.warmup = std::max(0, env_int("NETTAG_PERF_WARMUP", 1));
+  rep.reps = std::max(1, env_int("NETTAG_PERF_REPS", 5));
+  return rep;
+}
+
+PerfHarness::PerfHarness(std::string tool, PerfRepetitionConfig rep, int jobs)
+    : rep_(rep) {
+  NETTAG_EXPECTS(rep_.reps >= 1, "need at least one timed repetition");
+  NETTAG_EXPECTS(rep_.warmup >= 0, "warmup count must be non-negative");
+  manifest_.tool = std::move(tool);
+  manifest_.git = obs::build_git_describe();
+  manifest_.written_at = obs::iso8601_utc_now();
+  manifest_.environment = obs::detect_perf_environment(jobs);
+}
+
+obs::PerfCase& PerfHarness::run_case(const std::string& name,
+                                     const std::function<void()>& body) {
+  obs::PerfCase c;
+  c.name = name;
+  for (int i = 0; i < rep_.warmup; ++i) body();
+  for (int i = 0; i < rep_.reps; ++i) {
+    // The last repetition doubles as the work-counter measurement window;
+    // the workloads are deterministic, so any rep's tally equals every
+    // other's.  Counter reads are observation only (work_counters.hpp) and
+    // nanoseconds next to a full repetition.
+    const bool last = i == rep_.reps - 1;
+    if (last) work::reset();
+    c.samples_ns.push_back(elapsed_ns(body));
+    if (last) {
+      const work::Counters counted = work::snapshot();
+      if (!counted.all_zero()) {
+        for (const work::CounterField& f : work::counter_fields())
+          c.work.emplace_back(f.name, counted.*(f.member));
+      }
+    }
+  }
+  c.wall = obs::compute_perf_stats(rep_.warmup, c.samples_ns);
+  manifest_.cases.push_back(std::move(c));
+  return manifest_.cases.back();
+}
+
+void PerfHarness::add_throughput(obs::PerfCase& c, const std::string& unit,
+                                 double items_per_rep) {
+  if (c.wall.median_ns <= 0.0) return;
+  c.throughput.emplace_back(unit,
+                            items_per_rep / (c.wall.median_ns / 1e9));
+}
+
+bool PerfHarness::write(const std::string& path) const {
+  return obs::write_perf_manifest(manifest_, path);
+}
+
+std::string PerfHarness::summary() const {
+  std::string out =
+      "case                              median ms      min ms     mad ms  "
+      "reps\n";
+  for (const obs::PerfCase& c : manifest_.cases) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-32s %10.3f  %10.3f  %9.3f  %4d\n",
+                  c.name.c_str(), c.wall.median_ns / 1e6,
+                  static_cast<double>(c.wall.min_ns) / 1e6,
+                  c.wall.mad_ns / 1e6, c.wall.reps);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nettag::bench

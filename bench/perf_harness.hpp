@@ -1,0 +1,67 @@
+// Repetition controller for perf manifests.
+//
+// Wraps any callable workload in warmup + N timed repetitions
+// (steady-clock), captures the per-rep wall samples and the final rep's
+// work-counter delta (common/work_counters.hpp — zeros when the library is
+// uncounted), and accumulates everything into one obs::PerfManifest.  This
+// is the producer side of the perf pipeline: bench/perf_pinned drives it
+// over the sweep/pooled-trial paths, bench/micro_core feeds it
+// google-benchmark runs, and `nettag-obs perf diff|trend|check` consumes
+// the documents it writes.
+//
+// Environment knobs:
+//   NETTAG_PERF_REPS    — timed repetitions per case (default 5)
+//   NETTAG_PERF_WARMUP  — discarded warmup repetitions per case (default 1)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/perf_manifest.hpp"
+
+namespace nettag::bench {
+
+struct PerfRepetitionConfig {
+  int warmup = 1;
+  int reps = 5;
+};
+
+/// Reads NETTAG_PERF_REPS / NETTAG_PERF_WARMUP (values clamped to >= 0 reps
+/// >= 1 / warmup >= 0).
+[[nodiscard]] PerfRepetitionConfig perf_repetition_from_env();
+
+/// Collects measured cases into one perf manifest.
+class PerfHarness {
+ public:
+  /// `jobs` is recorded as environment (NETTAG_JOBS); the harness itself
+  /// always times on the calling thread.
+  PerfHarness(std::string tool, PerfRepetitionConfig rep, int jobs);
+
+  /// Runs `body` rep.warmup untimed times, then rep.reps timed times, and
+  /// appends a case with the samples, min/median/MAD stats, and the last
+  /// repetition's work-counter delta.  Returns the appended case so the
+  /// caller can attach config entries and throughput rates; the reference
+  /// stays valid until the next run_case call.
+  obs::PerfCase& run_case(const std::string& name,
+                          const std::function<void()>& body);
+
+  /// Adds `items_per_rep / median_seconds` as `unit` (e.g. "tags_per_sec")
+  /// to `c`.  No-op when the median is zero.
+  static void add_throughput(obs::PerfCase& c, const std::string& unit,
+                             double items_per_rep);
+
+  [[nodiscard]] obs::PerfManifest& manifest() noexcept { return manifest_; }
+
+  /// Writes the manifest to `path`; false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+  /// Human-readable per-case summary table.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  PerfRepetitionConfig rep_;
+  obs::PerfManifest manifest_;
+};
+
+}  // namespace nettag::bench

@@ -5,6 +5,7 @@
 #include "ccm/session.hpp"
 #include "common/contract.hpp"
 #include "common/error.hpp"
+#include "common/work_counters.hpp"
 #include "geom/point.hpp"
 #include "net/topology.hpp"
 
@@ -35,6 +36,7 @@ MultiReaderResult run_all_readers(const net::Deployment& deployment,
         ++reader_covered;
       }
     }
+    NETTAG_COUNT(reader_sessions, 1);
     SessionResult session = run_session(topology, config, selector, energy,
                                         sink);
     sink.event("reader_window",

@@ -7,6 +7,7 @@
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/work_counters.hpp"
 #include "obs/profiler.hpp"
 
 namespace nettag::ccm {
@@ -109,6 +110,7 @@ SessionResult run_session(const net::Topology& topology,
   NETTAG_EXPECTS(energy.tag_count() == topology.tag_count(),
                  "energy meter sized for a different tag count");
   const obs::ProfileScope profile_session("ccm.session");
+  NETTAG_COUNT(sessions, 1);
 
   const FrameSize f = config.frame_size;
   const int n = topology.tag_count();
@@ -217,6 +219,8 @@ SessionResult run_session(const net::Topology& topology,
         // own transmissions are in `known`, and half duplex makes it deaf in
         // those slots anyway).
         const int monitored = f - ts.known.count();
+        NETTAG_COUNT(slots_scanned, monitored);
+        NETTAG_COUNT(relay_tx_slots, tx[i].size());
         energy.add_received(t, monitored);
         energy.add_sent(t, static_cast<BitCount>(tx[i].size()));
         trace.relay_transmissions += static_cast<SlotCount>(tx[i].size());
@@ -252,6 +256,7 @@ SessionResult run_session(const net::Topology& topology,
         for (const TagIndex v : topology.neighbors(u)) {
           const auto iv = static_cast<std::size_t>(v);
           if (!active[iv]) continue;
+          NETTAG_COUNT(frame_deliveries, tx[iu].size());
           TagState& vs = tags[iv];
           for (const SlotIndex s : tx[iu]) {
             // known covers: v transmitting in s this frame (half duplex),
@@ -286,6 +291,7 @@ SessionResult run_session(const net::Topology& topology,
 
     if (config.use_indicator_vector) {
       const obs::ProfileScope profile_indicator("ccm.indicator_scan");
+      NETTAG_COUNT(indicator_bits_suppressed, trace.new_reader_bits);
       silenced |= reader_busy;
       SlotCount segments_sent = indicator_segments;
       if (config.indicator_delta_segments) {
@@ -365,6 +371,7 @@ SessionResult run_session(const net::Topology& topology,
             }
           }
         }
+        NETTAG_COUNT(checking_wave_hops, next.size());
         for (const TagIndex v : next)
           respond_slot[static_cast<std::size_t>(v)] = 0;  // unmark; set on TX
         if (next.empty()) {

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/work_counters.hpp"
+
 namespace nettag {
 
 int Bitmap::count() const noexcept {
@@ -19,18 +21,21 @@ bool Bitmap::any() const noexcept {
 
 Bitmap& Bitmap::operator|=(const Bitmap& other) {
   check_same_size(other);
+  NETTAG_COUNT(bitmap_words_or, words_.size());
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   return *this;
 }
 
 Bitmap& Bitmap::operator&=(const Bitmap& other) {
   check_same_size(other);
+  NETTAG_COUNT(bitmap_words_and, words_.size());
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
   return *this;
 }
 
 Bitmap& Bitmap::subtract(const Bitmap& other) {
   check_same_size(other);
+  NETTAG_COUNT(bitmap_words_and, words_.size());
   for (std::size_t i = 0; i < words_.size(); ++i)
     words_[i] &= ~other.words_[i];
   return *this;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/work_counters.hpp"
+
 namespace nettag {
 
 namespace {
@@ -27,6 +29,7 @@ void Rng::reseed(Seed seed) noexcept {
 }
 
 Rng::result_type Rng::operator()() noexcept {
+  NETTAG_COUNT(rng_draws, 1);
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];

@@ -1,0 +1,83 @@
+#include "common/work_counters.hpp"
+
+#include <atomic>
+
+namespace nettag::work {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+
+thread_local Counters t_counters;
+
+}  // namespace
+
+bool compiled() noexcept { return kCounted; }
+
+Counters Counters::delta_since(const Counters& before) const noexcept {
+  Counters d;
+  for (const CounterField& f : counter_fields())
+    d.*(f.member) = this->*(f.member) - before.*(f.member);
+  return d;
+}
+
+bool Counters::all_zero() const noexcept {
+  for (const CounterField& f : counter_fields()) {
+    if (this->*(f.member) != 0) return false;
+  }
+  return true;
+}
+
+const std::vector<CounterField>& counter_fields() {
+  static const std::vector<CounterField> fields = {
+      {"bitmap_words_and", &Counters::bitmap_words_and},
+      {"bitmap_words_or", &Counters::bitmap_words_or},
+      {"checking_wave_hops", &Counters::checking_wave_hops},
+      {"detect_slot_scans", &Counters::detect_slot_scans},
+      {"estimator_frames", &Counters::estimator_frames},
+      {"frame_deliveries", &Counters::frame_deliveries},
+      {"gmle_score_evals", &Counters::gmle_score_evals},
+      {"indicator_bits_suppressed", &Counters::indicator_bits_suppressed},
+      {"reader_sessions", &Counters::reader_sessions},
+      {"relay_tx_slots", &Counters::relay_tx_slots},
+      {"rng_draws", &Counters::rng_draws},
+      {"sessions", &Counters::sessions},
+      {"sicp_polls", &Counters::sicp_polls},
+      {"slots_scanned", &Counters::slots_scanned},
+  };
+  return fields;
+}
+
+bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+Counters& local() noexcept { return t_counters; }
+
+Counters snapshot() noexcept { return t_counters; }
+
+void reset() noexcept { t_counters = Counters{}; }
+
+std::string to_json(const Counters& c) {
+  std::string out = "{";
+  bool first = true;
+  for (const CounterField& f : counter_fields()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += f.name;
+    out += "\":";
+    out += std::to_string(c.*(f.member));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace nettag::work

@@ -1,0 +1,119 @@
+// Hot-path work counters: operation-level cost accounting for the speed era.
+//
+// Wall-clock says *that* a change was faster; these counters say *why* — how
+// many frame slots were scanned, bitmap words OR'd, indicator bits
+// suppressed, RNG values drawn.  The upcoming struct-of-arrays session
+// engine (ROADMAP) needs before/after evidence at this level, because a
+// word-parallel rewrite should slash `slots_scanned` and `frame_deliveries`
+// while leaving protocol outputs bit-identical.
+//
+// Design rules (mirroring common/contract.hpp):
+//   * compiled out by default — `NETTAG_COUNT(field, n)` folds to a
+//     sizeof-only expression unless the build sets -DNETTAG_WORK_COUNTERS=1
+//     (CMake option NETTAG_WORK_COUNTERS), so release hot loops pay nothing;
+//   * counting is observation only — a counter update must never change
+//     control flow, draw randomness, or emit trace events.  The differential
+//     test (tests/work_counters_test.cpp) locks artifacts byte-identical
+//     with counting on and off, and the manifest regression gates re-prove
+//     it end-to-end in the counted CI build;
+//   * counters are thread_local — pooled trial workers (NETTAG_JOBS > 1)
+//     count their own work without races; harnesses that want a process view
+//     aggregate explicitly on the driver thread.
+//
+// `work::set_enabled(false)` switches counting off at runtime within a
+// counted build, exactly like contract::set_enabled — the differential test
+// compares the same binary both ways.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nettag::work {
+
+/// True in builds configured with -DNETTAG_WORK_COUNTERS=ON.  Internal
+/// linkage on purpose (see contract::kChecked): a TU may be compiled with a
+/// different setting than the library, and each must see its own value.
+#if defined(NETTAG_WORK_COUNTERS) && NETTAG_WORK_COUNTERS
+[[maybe_unused]] constexpr bool kCounted = true;
+#else
+[[maybe_unused]] constexpr bool kCounted = false;
+#endif
+
+/// Whether the nettag libraries themselves were built with counting — the
+/// value of kCounted inside work_counters.cpp.  A test TU that forces the
+/// macro on still gets zeros from an uncounted library; gate expectations on
+/// this, not on the local kCounted.
+[[nodiscard]] bool compiled() noexcept;
+
+/// One thread's operation tallies.  Fields are cumulative since the last
+/// reset(); all units are "operations", named after what one unit of work
+/// is in the hot loop that increments it.
+struct Counters {
+  std::uint64_t bitmap_words_and = 0;  ///< words touched by &=, subtract
+  std::uint64_t bitmap_words_or = 0;   ///< words touched by |= folds
+  std::uint64_t checking_wave_hops = 0;  ///< tags newly joining a reply wave
+  std::uint64_t detect_slot_scans = 0;   ///< TRP expected-slot audits
+  std::uint64_t estimator_frames = 0;    ///< estimation sessions executed
+  std::uint64_t frame_deliveries = 0;  ///< per-neighbor slot delivery offers
+  std::uint64_t gmle_score_evals = 0;  ///< GMLE likelihood-score evaluations
+  std::uint64_t indicator_bits_suppressed = 0;  ///< fresh bits V silenced
+  std::uint64_t reader_sessions = 0;  ///< per-reader session windows
+  std::uint64_t relay_tx_slots = 0;   ///< slots queued for transmission
+  std::uint64_t rng_draws = 0;        ///< xoshiro256** outputs consumed
+  std::uint64_t sessions = 0;         ///< ccm::run_session invocations
+  std::uint64_t sicp_polls = 0;       ///< SICP polling steps
+  std::uint64_t slots_scanned = 0;    ///< frame slots monitored by tags
+
+  /// Field-wise `*this - before` (callers pair this with snapshot()).
+  [[nodiscard]] Counters delta_since(const Counters& before) const noexcept;
+
+  [[nodiscard]] bool all_zero() const noexcept;
+};
+
+/// Name -> member mapping, in name-sorted order — the one source of truth
+/// for every rendering (JSON, perf manifests, tests).
+struct CounterField {
+  const char* name;
+  std::uint64_t Counters::*member;
+};
+[[nodiscard]] const std::vector<CounterField>& counter_fields();
+
+/// Runtime gate (counted builds only; meaningless otherwise).
+[[nodiscard]] bool enabled() noexcept;
+
+/// Turns counting on/off at runtime within a counted build.
+void set_enabled(bool on) noexcept;
+
+/// This thread's counters.  Always callable; in an uncounted library the
+/// object simply never advances.
+[[nodiscard]] Counters& local() noexcept;
+
+/// Copy of this thread's counters.
+[[nodiscard]] Counters snapshot() noexcept;
+
+/// Zeroes this thread's counters.
+void reset() noexcept;
+
+/// Deterministic JSON object, fields in counter_fields() order, e.g.
+/// {"bitmap_words_and":0,...,"slots_scanned":12}.
+[[nodiscard]] std::string to_json(const Counters& c);
+
+}  // namespace nettag::work
+
+#if defined(NETTAG_WORK_COUNTERS) && NETTAG_WORK_COUNTERS
+
+/// Adds `n` operations to this thread's `field` tally (counted builds).
+#define NETTAG_COUNT(field, n)                                      \
+  do {                                                              \
+    if (::nettag::work::enabled())                                  \
+      ::nettag::work::local().field += static_cast<std::uint64_t>(n); \
+  } while (false)
+
+#else
+
+// Compiled out: sizeof keeps `n`'s operands name-used without evaluating
+// them (same trick as the contract macros).
+#define NETTAG_COUNT(field, n) ((void)sizeof((n)))
+
+#endif

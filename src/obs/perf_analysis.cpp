@@ -1,0 +1,238 @@
+#include "obs/perf_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace nettag::obs {
+
+namespace {
+
+const char* verdict_word(PerfCaseDelta::Verdict v) {
+  switch (v) {
+    case PerfCaseDelta::Verdict::kImproved:
+      return "IMPROVED";
+    case PerfCaseDelta::Verdict::kRegressed:
+      return "REGRESSED";
+    case PerfCaseDelta::Verdict::kOk:
+      break;
+  }
+  return "ok";
+}
+
+std::string format_ms(double ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e6);
+  return buf;
+}
+
+/// CSV cell quoting, same convention as the trace CSV writers.
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+bool PerfDiffResult::has_regression() const noexcept {
+  return std::any_of(cases.begin(), cases.end(), [](const PerfCaseDelta& d) {
+    return d.verdict == PerfCaseDelta::Verdict::kRegressed;
+  });
+}
+
+PerfDiffResult diff_perf_manifests(const PerfManifest& baseline,
+                                   const PerfManifest& candidate,
+                                   const PerfDiffOptions& options) {
+  NETTAG_EXPECTS(options.threshold >= 0.0, "threshold must be non-negative");
+  NETTAG_EXPECTS(options.mad_k >= 0.0, "mad_k must be non-negative");
+  PerfDiffResult result;
+
+  if (baseline.environment.cpu != candidate.environment.cpu) {
+    result.notes.push_back("environment: cpu differs (\"" +
+                           baseline.environment.cpu + "\" vs \"" +
+                           candidate.environment.cpu +
+                           "\") — timings may not be comparable");
+  }
+  if (baseline.environment.compiler != candidate.environment.compiler) {
+    result.notes.push_back("environment: compiler differs (" +
+                           baseline.environment.compiler + " vs " +
+                           candidate.environment.compiler + ")");
+  }
+
+  for (const PerfCase& base : baseline.cases) {
+    const PerfCase* cand = candidate.find_case(base.name);
+    if (cand == nullptr) {
+      result.notes.push_back("case \"" + base.name +
+                             "\" missing from candidate");
+      continue;
+    }
+    PerfCaseDelta delta;
+    delta.name = base.name;
+    delta.base_median_ns = base.wall.median_ns;
+    delta.cand_median_ns = cand->wall.median_ns;
+    delta.noise_ns =
+        options.mad_k * std::max(base.wall.mad_ns, cand->wall.mad_ns);
+    if (base.wall.median_ns > 0.0) {
+      delta.ratio = cand->wall.median_ns / base.wall.median_ns;
+      const double moved = cand->wall.median_ns - base.wall.median_ns;
+      const double band = options.threshold * base.wall.median_ns;
+      if (moved > band && moved > delta.noise_ns) {
+        delta.verdict = PerfCaseDelta::Verdict::kRegressed;
+      } else if (-moved > band && -moved > delta.noise_ns) {
+        delta.verdict = PerfCaseDelta::Verdict::kImproved;
+      }
+    }
+    result.cases.push_back(std::move(delta));
+  }
+  for (const PerfCase& cand : candidate.cases) {
+    if (baseline.find_case(cand.name) == nullptr)
+      result.notes.push_back("case \"" + cand.name +
+                             "\" missing from baseline");
+  }
+  return result;
+}
+
+std::string render_perf_diff(const PerfDiffResult& result) {
+  std::ostringstream os;
+  os << "case                              base ms     cand ms   ratio  "
+        "verdict\n";
+  for (const PerfCaseDelta& d : result.cases) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-32s %10s  %10s  %6.3f  %s\n",
+                  d.name.c_str(), format_ms(d.base_median_ns).c_str(),
+                  format_ms(d.cand_median_ns).c_str(), d.ratio,
+                  verdict_word(d.verdict));
+    os << line;
+  }
+  for (const std::string& note : result.notes) os << "note: " << note << "\n";
+  return os.str();
+}
+
+PerfTrend build_perf_trend(
+    const std::vector<std::pair<std::string, PerfManifest>>& history) {
+  PerfTrend trend;
+  for (const auto& [label, manifest] : history) {
+    for (const PerfCase& c : manifest.cases) {
+      if (std::find(trend.case_names.begin(), trend.case_names.end(),
+                    c.name) == trend.case_names.end())
+        trend.case_names.push_back(c.name);
+    }
+  }
+  for (const auto& [label, manifest] : history) {
+    PerfTrend::Row row;
+    row.label = label;
+    row.written_at = manifest.written_at;
+    row.git = manifest.git;
+    row.median_ns.assign(trend.case_names.size(), -1.0);
+    for (std::size_t i = 0; i < trend.case_names.size(); ++i) {
+      const PerfCase* c = manifest.find_case(trend.case_names[i]);
+      if (c != nullptr) row.median_ns[i] = c->wall.median_ns;
+    }
+    trend.rows.push_back(std::move(row));
+  }
+  return trend;
+}
+
+std::string render_perf_trend_csv(const PerfTrend& trend) {
+  std::string out = "manifest,written_at,git,case,median_ns\n";
+  for (const PerfTrend::Row& row : trend.rows) {
+    for (std::size_t i = 0; i < trend.case_names.size(); ++i) {
+      if (row.median_ns[i] < 0.0) continue;
+      out += csv_cell(row.label) + "," + csv_cell(row.written_at) + "," +
+             csv_cell(row.git) + "," + csv_cell(trend.case_names[i]) + "," +
+             json_number(row.median_ns[i]) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string render_perf_trend_markdown(const PerfTrend& trend) {
+  std::ostringstream os;
+  os << "| manifest | written_at |";
+  for (const std::string& name : trend.case_names) os << " " << name << " (ms) |";
+  os << "\n|---|---|";
+  for (std::size_t i = 0; i < trend.case_names.size(); ++i) os << "---|";
+  os << "\n";
+  for (const PerfTrend::Row& row : trend.rows) {
+    os << "| " << row.label << " | " << row.written_at << " |";
+    for (const double ns : row.median_ns) {
+      if (ns < 0.0) {
+        os << " — |";
+      } else {
+        os << " " << format_ms(ns) << " |";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_manifest_metrics(const JsonValue& manifest) {
+  std::ostringstream os;
+  const JsonValue* schema = manifest.find("schema");
+  const JsonValue* tool = manifest.find("tool");
+  os << "manifest"
+     << (schema != nullptr && schema->is_string()
+             ? " " + schema->as_string()
+             : std::string())
+     << (tool != nullptr && tool->is_string() ? " from " + tool->as_string()
+                                              : std::string())
+     << "\n";
+  const JsonValue* metrics = manifest.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    os << "no metrics section\n";
+    return os.str();
+  }
+  const JsonValue* counters = metrics->find("counters");
+  if (counters != nullptr && counters->is_object() &&
+      !counters->as_object().empty()) {
+    os << "counters:\n";
+    for (const auto& [name, value] : counters->as_object())
+      os << "  " << name << " = " << value.dump() << "\n";
+  }
+  const JsonValue* gauges = metrics->find("gauges");
+  if (gauges != nullptr && gauges->is_object() &&
+      !gauges->as_object().empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, value] : gauges->as_object())
+      os << "  " << name << " = " << value.dump() << "\n";
+  }
+  const JsonValue* histograms = metrics->find("histograms");
+  if (histograms != nullptr && histograms->is_object() &&
+      !histograms->as_object().empty()) {
+    os << "histograms (p50/p90/p99 from bucket data):\n";
+    for (const auto& [name, h] : histograms->as_object()) {
+      std::vector<double> bounds;
+      std::vector<std::int64_t> counts;
+      for (const JsonValue& b : h.at("bounds").as_array())
+        bounds.push_back(b.as_number());
+      for (const JsonValue& c : h.at("counts").as_array())
+        counts.push_back(c.as_int());
+      const double lo = h.at("min").as_number();
+      const double hi = h.at("max").as_number();
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  %s: count=%lld min=%g p50=%g p90=%g p99=%g max=%g\n",
+                    name.c_str(),
+                    static_cast<long long>(h.at("count").as_int()), lo,
+                    histogram_percentile(bounds, counts, lo, hi, 0.50),
+                    histogram_percentile(bounds, counts, lo, hi, 0.90),
+                    histogram_percentile(bounds, counts, lo, hi, 0.99), hi);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace nettag::obs

@@ -1,0 +1,92 @@
+// Noise-aware comparison and trend rendering over perf manifests.
+//
+// Wall-clock is noisy; a naive "candidate slower than baseline" gate either
+// cries wolf or needs a tolerance so wide it misses real regressions.  The
+// diff here is MAD-based: a case only counts as a regression (or an
+// improvement) when the median moved BOTH beyond the relative threshold and
+// beyond a noise band of k * max(MAD_base, MAD_cand) — repetitions with
+// spread widen their own band, single-rep manifests degrade to the pure
+// threshold.  `nettag-obs perf diff|trend|check` are thin CLI wrappers over
+// these functions; directory walking stays in the CLI so this layer is pure.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json_value.hpp"
+#include "obs/perf_manifest.hpp"
+
+namespace nettag::obs {
+
+struct PerfDiffOptions {
+  /// Relative median movement below which a case is never flagged (0.10 =
+  /// 10 % slower/faster).
+  double threshold = 0.10;
+  /// Noise-band multiplier: movement must also exceed
+  /// mad_k * max(baseline MAD, candidate MAD).
+  double mad_k = 4.0;
+};
+
+/// One case's verdict.
+struct PerfCaseDelta {
+  enum class Verdict { kOk, kImproved, kRegressed };
+
+  std::string name;
+  double base_median_ns = 0.0;
+  double cand_median_ns = 0.0;
+  double ratio = 1.0;     ///< cand / base (1.0 when base is 0)
+  double noise_ns = 0.0;  ///< the band the movement had to clear
+  Verdict verdict = Verdict::kOk;
+};
+
+struct PerfDiffResult {
+  std::vector<PerfCaseDelta> cases;
+  /// Cases present on only one side, environment mismatches, etc. —
+  /// informational, never a failure by themselves.
+  std::vector<std::string> notes;
+
+  [[nodiscard]] bool has_regression() const noexcept;
+};
+
+/// Compares every case the two manifests share (by name).
+[[nodiscard]] PerfDiffResult diff_perf_manifests(const PerfManifest& baseline,
+                                                 const PerfManifest& candidate,
+                                                 const PerfDiffOptions& options);
+
+/// Human-readable diff table (one line per case + notes).
+[[nodiscard]] std::string render_perf_diff(const PerfDiffResult& result);
+
+/// Time-series view over a history of manifests: one row per manifest, one
+/// column per case name (union, first-seen order), cell = median ns
+/// (negative = case absent from that manifest).
+struct PerfTrend {
+  struct Row {
+    std::string label;  ///< typically the manifest's file name
+    std::string written_at;
+    std::string git;
+    std::vector<double> median_ns;  ///< parallel to case_names; -1 absent
+  };
+
+  std::vector<std::string> case_names;
+  std::vector<Row> rows;
+};
+
+/// Builds the trend from (label, manifest) pairs, in the given order.
+[[nodiscard]] PerfTrend build_perf_trend(
+    const std::vector<std::pair<std::string, PerfManifest>>& history);
+
+/// Long-form CSV: label,written_at,git,case,median_ns,min_ns? — one line per
+/// (manifest, case) cell that exists.
+[[nodiscard]] std::string render_perf_trend_csv(const PerfTrend& trend);
+
+/// Markdown table: rows = manifests, columns = cases, cells = median ms.
+[[nodiscard]] std::string render_perf_trend_markdown(const PerfTrend& trend);
+
+/// Metrics digest of a parsed run manifest (the `nettag-obs summarize`
+/// manifest mode): counter/gauge listings plus histogram p50/p90/p99
+/// summaries recomputed from the bucket data, so pre-percentile manifests
+/// summarize identically to fresh ones.
+[[nodiscard]] std::string render_manifest_metrics(const JsonValue& manifest);
+
+}  // namespace nettag::obs

@@ -1,0 +1,255 @@
+#include "obs/perf_manifest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/work_counters.hpp"
+#include "obs/json.hpp"
+
+namespace nettag::obs {
+
+namespace {
+
+/// First "model name" line of /proc/cpuinfo; "unknown" elsewhere.
+std::string detect_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::string model = line.substr(colon + 1);
+      const auto start = model.find_first_not_of(" \t");
+      return start == std::string::npos ? std::string("unknown")
+                                        : model.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+std::string detect_compiler() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string detect_os() {
+#if defined(__linux__)
+  return "linux";
+#elif defined(__APPLE__)
+  return "darwin";
+#elif defined(_WIN32)
+  return "windows";
+#else
+  return "unknown";
+#endif
+}
+
+double median_of_sorted(const std::vector<double>& sorted) {
+  const std::size_t n = sorted.size();
+  if (n == 0) return 0.0;
+  const std::size_t mid = n / 2;
+  return n % 2 == 1 ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+void append_kv_int(std::ostringstream& os, bool& first,
+                   const std::string& key, std::int64_t value) {
+  if (!first) os << ",";
+  first = false;
+  os << json_string(key) << ":" << value;
+}
+
+std::int64_t require_int(const JsonValue& obj, std::string_view key) {
+  return obj.at(key).as_int();
+}
+
+double require_number(const JsonValue& obj, std::string_view key) {
+  return obj.at(key).as_number();
+}
+
+}  // namespace
+
+PerfStats compute_perf_stats(int warmup,
+                             const std::vector<std::int64_t>& samples_ns) {
+  PerfStats stats;
+  stats.warmup = warmup;
+  stats.reps = static_cast<int>(samples_ns.size());
+  if (samples_ns.empty()) return stats;
+
+  std::vector<double> sorted(samples_ns.begin(), samples_ns.end());
+  std::sort(sorted.begin(), sorted.end());
+  stats.min_ns = static_cast<std::int64_t>(sorted.front());
+  stats.max_ns = static_cast<std::int64_t>(sorted.back());
+  stats.median_ns = median_of_sorted(sorted);
+  // Summation order is fixed: `sorted` is ascending, single-threaded.
+  stats.mean_ns =
+      std::accumulate(  // nettag-lint: allow(float-accum)
+          sorted.begin(), sorted.end(), 0.0) /
+      static_cast<double>(sorted.size());
+
+  std::vector<double> deviations;
+  deviations.reserve(sorted.size());
+  for (const double v : sorted)
+    deviations.push_back(std::abs(v - stats.median_ns));
+  std::sort(deviations.begin(), deviations.end());
+  stats.mad_ns = median_of_sorted(deviations);
+  return stats;
+}
+
+PerfEnvironment detect_perf_environment(int jobs) {
+  PerfEnvironment env;
+  env.cpu = detect_cpu_model();
+  env.cores = static_cast<int>(std::thread::hardware_concurrency());
+  env.compiler = detect_compiler();
+#if defined(NETTAG_PERF_CXX_FLAGS)
+  env.flags = NETTAG_PERF_CXX_FLAGS;
+#endif
+  env.jobs = jobs;
+  env.os = detect_os();
+  env.work_counters = work::compiled();
+  return env;
+}
+
+const PerfCase* PerfManifest::find_case(const std::string& name) const {
+  for (const PerfCase& c : cases) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::string to_json(const PerfManifest& manifest) {
+  std::ostringstream os;
+  os << "{\"schema\":" << json_string(kPerfManifestSchema)
+     << ",\"tool\":" << json_string(manifest.tool)
+     << ",\"git\":" << json_string(manifest.git)
+     << ",\"written_at\":" << json_string(manifest.written_at);
+  const PerfEnvironment& env = manifest.environment;
+  os << ",\"environment\":{\"cpu\":" << json_string(env.cpu)
+     << ",\"cores\":" << env.cores
+     << ",\"compiler\":" << json_string(env.compiler)
+     << ",\"flags\":" << json_string(env.flags) << ",\"jobs\":" << env.jobs
+     << ",\"os\":" << json_string(env.os)
+     << ",\"work_counters\":" << (env.work_counters ? "true" : "false")
+     << "}";
+  os << ",\"cases\":[";
+  for (std::size_t i = 0; i < manifest.cases.size(); ++i) {
+    const PerfCase& c = manifest.cases[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":" << json_string(c.name) << ",\"config\":{";
+    {
+      bool first = true;
+      for (const auto& [key, value] : c.config)
+        append_kv_int(os, first, key, value);
+    }
+    os << "},\"warmup\":" << c.wall.warmup << ",\"reps\":" << c.wall.reps
+       << ",\"wall_ns\":{\"min\":" << c.wall.min_ns
+       << ",\"max\":" << c.wall.max_ns
+       << ",\"median\":" << json_number(c.wall.median_ns)
+       << ",\"mad\":" << json_number(c.wall.mad_ns)
+       << ",\"mean\":" << json_number(c.wall.mean_ns) << "}";
+    os << ",\"samples_ns\":[";
+    for (std::size_t s = 0; s < c.samples_ns.size(); ++s) {
+      if (s > 0) os << ",";
+      os << c.samples_ns[s];
+    }
+    os << "],\"throughput\":{";
+    {
+      bool first = true;
+      for (const auto& [key, value] : c.throughput) {
+        if (!first) os << ",";
+        first = false;
+        os << json_string(key) << ":" << json_number(value);
+      }
+    }
+    os << "},\"work\":{";
+    {
+      bool first = true;
+      for (const auto& [key, value] : c.work) {
+        if (!first) os << ",";
+        first = false;
+        os << json_string(key) << ":" << value;
+      }
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool is_perf_manifest(const JsonValue& doc) {
+  if (!doc.is_object()) return false;
+  const JsonValue* schema = doc.find("schema");
+  return schema != nullptr && schema->is_string() &&
+         schema->as_string() == kPerfManifestSchema;
+}
+
+PerfManifest parse_perf_manifest(const JsonValue& doc) {
+  NETTAG_EXPECTS(doc.is_object(), "perf manifest must be a JSON object");
+  NETTAG_EXPECTS(is_perf_manifest(doc),
+                 std::string("not a ") + kPerfManifestSchema + " document");
+
+  PerfManifest manifest;
+  manifest.tool = doc.at("tool").as_string();
+  manifest.git = doc.at("git").as_string();
+  manifest.written_at = doc.at("written_at").as_string();
+
+  const JsonValue& env = doc.at("environment");
+  manifest.environment.cpu = env.at("cpu").as_string();
+  manifest.environment.cores = static_cast<int>(require_int(env, "cores"));
+  manifest.environment.compiler = env.at("compiler").as_string();
+  manifest.environment.flags = env.at("flags").as_string();
+  manifest.environment.jobs = static_cast<int>(require_int(env, "jobs"));
+  manifest.environment.os = env.at("os").as_string();
+  manifest.environment.work_counters = env.at("work_counters").as_bool();
+
+  for (const JsonValue& entry : doc.at("cases").as_array()) {
+    PerfCase c;
+    c.name = entry.at("name").as_string();
+    for (const auto& [key, value] : entry.at("config").as_object())
+      c.config.emplace_back(key, value.as_int());
+    for (const JsonValue& sample : entry.at("samples_ns").as_array())
+      c.samples_ns.push_back(sample.as_int());
+    const JsonValue& wall = entry.at("wall_ns");
+    c.wall.warmup = static_cast<int>(require_int(entry, "warmup"));
+    c.wall.reps = static_cast<int>(require_int(entry, "reps"));
+    c.wall.min_ns = require_int(wall, "min");
+    c.wall.max_ns = require_int(wall, "max");
+    c.wall.median_ns = require_number(wall, "median");
+    c.wall.mad_ns = require_number(wall, "mad");
+    c.wall.mean_ns = require_number(wall, "mean");
+    for (const auto& [key, value] : entry.at("throughput").as_object())
+      c.throughput.emplace_back(key, value.as_number());
+    for (const auto& [key, value] : entry.at("work").as_object())
+      c.work.emplace_back(key, static_cast<std::uint64_t>(value.as_int()));
+    manifest.cases.push_back(std::move(c));
+  }
+  return manifest;
+}
+
+PerfManifest load_perf_manifest(const std::string& path) {
+  std::ifstream in(path);
+  NETTAG_EXPECTS(in.is_open(), "cannot open perf manifest: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_perf_manifest(parse_json(buf.str()));
+}
+
+bool write_perf_manifest(const PerfManifest& manifest,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json(manifest) << "\n";
+  out.flush();
+  return out.good();
+}
+
+}  // namespace nettag::obs

@@ -1,0 +1,127 @@
+// Performance manifests: the timing-first inverse of run manifests.
+//
+// A run manifest (obs/manifest.hpp) is a *correctness* artifact — under
+// SOURCE_DATE_EPOCH it redacts every nanosecond so byte-identity gates can
+// compare runs across machines.  A perf manifest is the opposite: timing IS
+// the payload and is never redacted or pinned.  One document captures one
+// tool invocation's measured operating points — per-case wall time over
+// warmup + N repetitions (min/median/MAD), derived throughput (tags/sec,
+// slots/sec, sessions/sec), hot-path work-counter totals
+// (common/work_counters.hpp, when compiled in) — plus the environment that
+// makes a number comparable to another number: CPU model, core count,
+// compiler, optimization flags, NETTAG_JOBS.
+//
+// Schema ("nettag.perf_manifest/1"):
+//   {
+//     "schema": "nettag.perf_manifest/1",
+//     "tool": "perf_pinned",
+//     "git": "<git describe at configure time>",
+//     "written_at": "2026-08-08T12:00:00Z",
+//     "environment": {"cpu":"...","cores":8,"compiler":"gcc ...",
+//                     "flags":"-O3 ...","jobs":1,"os":"linux",
+//                     "work_counters":false},
+//     "cases": [
+//       {"name":"fig4_sweep",
+//        "config":{"tags":400,"trials":1,...},            // integers only
+//        "warmup":1,"reps":5,
+//        "wall_ns":{"min":...,"max":...,"median":...,"mad":...,"mean":...},
+//        "samples_ns":[...],                               // the raw reps
+//        "throughput":{"sessions_per_sec":...,...},
+//        "work":{"rng_draws":...,...}}                     // one rep's tally
+//     ]
+//   }
+//
+// Producers: bench/perf_harness.hpp (repetition controller), bench/perf_pinned
+// (the pinned operating points behind BENCH_<sha>.json), bench/micro_core
+// (google-benchmark reporter).  Consumers: `nettag-obs perf diff|trend|check`
+// via obs/perf_analysis.hpp.  Guard rail: these documents must NEVER enter
+// bench/baselines/ — the byte-identity gate rejects the schema string
+// (bench/check_bench_gate.cmake, tools/refresh_baselines.sh).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json_value.hpp"
+
+namespace nettag::obs {
+
+inline constexpr const char* kPerfManifestSchema = "nettag.perf_manifest/1";
+
+/// Repetition statistics over one case's timed samples.
+struct PerfStats {
+  int warmup = 0;  ///< untimed repetitions discarded before sampling
+  int reps = 0;    ///< timed repetitions (== samples_ns.size())
+  std::int64_t min_ns = 0;
+  std::int64_t max_ns = 0;
+  double median_ns = 0.0;
+  double mad_ns = 0.0;  ///< median absolute deviation from the median
+  double mean_ns = 0.0;
+};
+
+/// min/max/mean/median/MAD over `samples_ns` (order-insensitive).
+[[nodiscard]] PerfStats compute_perf_stats(
+    int warmup, const std::vector<std::int64_t>& samples_ns);
+
+/// What makes two timings comparable (or not).
+struct PerfEnvironment {
+  std::string cpu = "unknown";       ///< CPU model string (/proc/cpuinfo)
+  int cores = 0;                     ///< hardware_concurrency
+  std::string compiler = "unknown";  ///< compiler id + version
+  std::string flags;                 ///< optimization flags (baked at build)
+  int jobs = 1;                      ///< NETTAG_JOBS worker threads
+  std::string os = "unknown";
+  bool work_counters = false;  ///< library built with NETTAG_WORK_COUNTERS
+};
+
+/// Probes the running machine/build; `jobs` is the caller's worker count.
+[[nodiscard]] PerfEnvironment detect_perf_environment(int jobs);
+
+/// One measured operating point.
+struct PerfCase {
+  std::string name;
+  /// Configuration knobs that pin the operating point (integers only, so
+  /// emit -> parse round-trips exactly): tags, trials, seed, frame sizes...
+  std::vector<std::pair<std::string, std::int64_t>> config;
+  PerfStats wall;
+  std::vector<std::int64_t> samples_ns;  ///< per-rep wall time, in rep order
+  /// Derived rates, e.g. {"tags_per_sec", 1.2e6}.
+  std::vector<std::pair<std::string, double>> throughput;
+  /// Work-counter totals for one repetition (empty when not counted).
+  std::vector<std::pair<std::string, std::uint64_t>> work;
+};
+
+/// One complete perf-manifest document.
+struct PerfManifest {
+  std::string tool;
+  std::string git;
+  std::string written_at;
+  PerfEnvironment environment;
+  std::vector<PerfCase> cases;
+
+  /// Case lookup by name; nullptr when absent.
+  [[nodiscard]] const PerfCase* find_case(const std::string& name) const;
+};
+
+/// Single-line JSON rendering of the schema above (deterministic member
+/// order; numbers in shortest round-trip form).
+[[nodiscard]] std::string to_json(const PerfManifest& manifest);
+
+/// True when `doc` is an object whose "schema" is kPerfManifestSchema.
+[[nodiscard]] bool is_perf_manifest(const JsonValue& doc);
+
+/// Parses a document produced by to_json (field-for-field inverse).  Throws
+/// nettag::Error on a wrong schema or a malformed section.
+[[nodiscard]] PerfManifest parse_perf_manifest(const JsonValue& doc);
+
+/// Reads + parses a perf manifest file.  Throws nettag::Error on I/O or
+/// parse failure.
+[[nodiscard]] PerfManifest load_perf_manifest(const std::string& path);
+
+/// Writes to_json() + newline to `path`; false on I/O failure.
+bool write_perf_manifest(const PerfManifest& manifest,
+                         const std::string& path);
+
+}  // namespace nettag::obs

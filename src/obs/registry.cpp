@@ -51,6 +51,35 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+double histogram_percentile(const std::vector<double>& bounds,
+                            const std::vector<std::int64_t>& counts,
+                            double lo, double hi, double q) noexcept {
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  if (total <= 0 || counts.size() != bounds.size() + 1) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket <= 0.0 || cum + in_bucket < target) {
+      // Fixed ascending bucket order; never a parallel fold.
+      cum += in_bucket;  // nettag-lint: allow(float-for-accum)
+      continue;
+    }
+    // The target rank falls in bucket i: interpolate between its edges.
+    const double lower = i == 0 ? lo : std::max(lo, bounds[i - 1]);
+    const double upper = i < bounds.size() ? std::min(hi, bounds[i]) : hi;
+    const double frac = std::clamp((target - cum) / in_bucket, 0.0, 1.0);
+    return std::clamp(lower + frac * (upper - lower), lo, hi);
+  }
+  return hi;
+}
+
+double Histogram::percentile(double q) const noexcept {
+  return histogram_percentile(bounds_, counts_, min(), max(), q);
+}
+
 std::vector<double> Histogram::default_bounds() {
   std::vector<double> bounds;
   for (double decade = 1.0; decade <= 1e9; decade *= 10.0) {
@@ -136,7 +165,10 @@ std::string Registry::to_json(bool redact_timing_ns) const {
       }
       os << "],\"count\":" << h.count() << ",\"sum\":" << json_number(h.sum())
          << ",\"min\":" << json_number(h.min())
-         << ",\"max\":" << json_number(h.max()) << "}";
+         << ",\"max\":" << json_number(h.max())
+         << ",\"p50\":" << json_number(h.percentile(0.50))
+         << ",\"p90\":" << json_number(h.percentile(0.90))
+         << ",\"p99\":" << json_number(h.percentile(0.99)) << "}";
     }
   }
   os << "}}";

@@ -72,6 +72,12 @@ class Histogram {
 
   void merge(const Histogram& other);
 
+  /// Estimated q-quantile (q in [0,1], e.g. 0.5/0.9/0.99), linearly
+  /// interpolated within the containing bucket and clamped to the observed
+  /// [min, max].  0 when empty.  An estimate, not an exact order statistic:
+  /// resolution is the bucket width.
+  [[nodiscard]] double percentile(double q) const noexcept;
+
   /// 1-2-5 decades from 1 to 1e9 — a sane default for counts and sizes.
   [[nodiscard]] static std::vector<double> default_bounds();
 
@@ -146,7 +152,8 @@ class Registry {
   ///   {"counters":{"ccm.rounds":12},"gauges":{...},
   ///    "timings":{"bench.sweep":{"calls":1,"total_ns":...,"max_ns":...}},
   ///    "histograms":{"ccm.rounds_per_session":{"bounds":[...],
-  ///      "counts":[...],"count":3,"sum":7,"min":1,"max":4}}}
+  ///      "counts":[...],"count":3,"sum":7,"min":1,"max":4,
+  ///      "p50":2,"p90":4,"p99":4}}}
   /// With `redact_timing_ns`, timing total_ns/max_ns render as 0 (calls are
   /// kept) — used for byte-reproducible manifests under SOURCE_DATE_EPOCH.
   [[nodiscard]] std::string to_json(bool redact_timing_ns = false) const;
@@ -193,5 +200,15 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
   bool stopped_ = false;
 };
+
+/// Percentile estimate over raw bucket data — the same interpolation
+/// Histogram::percentile uses, exposed for consumers that hold a histogram
+/// parsed back out of a manifest (bounds/counts arrays) rather than a live
+/// Histogram.  `counts` must have bounds.size() + 1 entries (overflow last);
+/// `lo`/`hi` are the observed min/max the estimate is clamped to.
+[[nodiscard]] double histogram_percentile(const std::vector<double>& bounds,
+                                          const std::vector<std::int64_t>& counts,
+                                          double lo, double hi,
+                                          double q) noexcept;
 
 }  // namespace nettag::obs

@@ -1,20 +1,31 @@
 #include "obs/trace_cursor.hpp"
 
+#include <iostream>
+
 #include "common/error.hpp"
 
 namespace nettag::obs {
 
 TraceCursor::TraceCursor(const std::string& path) : path_(path) {
-  in_.open(path, std::ios::binary);
-  NETTAG_EXPECTS(in_.is_open(), "cannot open trace file " + path);
-  char magic[4] = {};
-  in_.read(magic, sizeof(magic));
-  const bool is_binary =
-      in_.gcount() == sizeof(magic) &&
-      std::char_traits<char>::compare(magic, kNtraceMagic, 4) == 0;
-  in_.clear();
-  in_.seekg(0);
-  if (is_binary) reader_ = std::make_unique<BinaryTraceReader>(in_);
+  bool is_binary = false;
+  if (path == "-") {
+    // Stdin cannot be repositioned, so sniff without consuming: the NTRC
+    // magic starts 'N' while a JSONL trace line starts '{' (and a blank
+    // stream hits EOF) — one peeked byte disambiguates.
+    stream_ = &std::cin;
+    is_binary = stream_->peek() == kNtraceMagic[0];
+  } else {
+    in_.open(path, std::ios::binary);
+    NETTAG_EXPECTS(in_.is_open(), "cannot open trace file " + path);
+    stream_ = &in_;
+    char magic[4] = {};
+    in_.read(magic, sizeof(magic));
+    is_binary = in_.gcount() == sizeof(magic) &&
+                std::char_traits<char>::compare(magic, kNtraceMagic, 4) == 0;
+    in_.clear();
+    in_.seekg(0);
+  }
+  if (is_binary) reader_ = std::make_unique<BinaryTraceReader>(*stream_);
 }
 
 TraceCursor::~TraceCursor() = default;
@@ -28,7 +39,7 @@ bool TraceCursor::next(TraceEvent& out) {
     out = parse_trace_line(line_, line_number_);
     return true;
   }
-  while (std::getline(in_, line_)) {
+  while (std::getline(*stream_, line_)) {
     ++line_number_;
     if (line_.empty()) continue;
     out = parse_trace_line(line_, line_number_);
@@ -39,6 +50,7 @@ bool TraceCursor::next(TraceEvent& out) {
 
 bool TraceCursor::seek(std::uint64_t target) {
   if (reader_ == nullptr) return false;
+  if (stream_ != &in_) return false;  // stdin: no footer index, no seeking
   if (!reader_->index_loaded() && !reader_->load_index()) return false;
   reader_->seek(target);
   have_pending_ = false;

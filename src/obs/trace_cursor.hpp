@@ -34,6 +34,12 @@ class TraceCursor {
   /// Opens `path`, sniffing the first bytes for the NTRC magic; anything
   /// else (including an empty file) streams as JSONL.  Throws nettag::Error
   /// when the file cannot be opened or the binary header is malformed.
+  ///
+  /// `path` "-" reads standard input instead (both backends work — the
+  /// format is sniffed from the first byte without consuming it).  Stdin
+  /// traces are not seekable: `seek()` always returns false, because the
+  /// binary footer index lives at the end of the stream and a pipe cannot
+  /// be repositioned.
   explicit TraceCursor(const std::string& path);
   ~TraceCursor();
   TraceCursor(const TraceCursor&) = delete;
@@ -61,6 +67,7 @@ class TraceCursor {
  private:
   std::string path_;
   std::ifstream in_;
+  std::istream* stream_ = nullptr;  ///< &in_, or &std::cin for path "-"
   std::unique_ptr<BinaryTraceReader> reader_;  ///< null => JSONL backend
   std::string line_;
   std::size_t line_number_ = 0;

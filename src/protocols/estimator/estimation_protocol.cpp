@@ -6,6 +6,7 @@
 #include "ccm/slot_selector.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/work_counters.hpp"
 #include "obs/profiler.hpp"
 
 namespace nettag::protocols {
@@ -40,6 +41,7 @@ EstimationResult estimate_cardinality(const EstimationConfig& config,
     double p = 1.0;
     for (int i = 0; i < config.max_rough_frames; ++i) {
       const Bitmap bitmap = source(f0, p, frame_seed(config.base_seed, 0, i));
+      NETTAG_COUNT(estimator_frames, 1);
       ++result.rough_frames;
       const int zeros = f0 - bitmap.count();
       sink.event("estimate_frame", {{"phase", "rough"},
@@ -88,6 +90,7 @@ EstimationResult estimate_cardinality(const EstimationConfig& config,
   for (int i = 0; i < config.max_frames; ++i) {
     const double p = gmle_sampling_probability(f, n_hat);
     const Bitmap bitmap = source(f, p, frame_seed(config.base_seed, 1, i));
+    NETTAG_COUNT(estimator_frames, 1);
     ++result.accurate_frames;
     result.frames.push_back(
         {.frame_size = f, .participation = p, .empty_slots = f - bitmap.count()});

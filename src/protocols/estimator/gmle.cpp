@@ -6,6 +6,7 @@
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/work_counters.hpp"
 
 namespace nettag::protocols {
 
@@ -26,6 +27,7 @@ double log_keepout(const FrameObservation& frame) {
 /// Score d(log L)/dn = sum_i w_i (z_i - f_i q_i) / (1 - q_i); strictly
 /// decreasing in n wherever defined.
 double score(std::span<const FrameObservation> frames, double n) {
+  NETTAG_COUNT(gmle_score_evals, 1);
   double total = 0.0;
   for (const auto& fr : frames) {
     const double w = log_keepout(fr);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/work_counters.hpp"
 
 namespace nettag::protocols {
 
@@ -71,6 +72,7 @@ IdCollectionResult run_sicp(const net::Topology& topology,
   // Time: one 96-bit slot per serialized transmission (tags + reader).
   SlotCount total_tx = reader_tx;
   for (const BitCount m : tx_messages) total_tx += m;
+  NETTAG_COUNT(sicp_polls, total_tx);
   result.clock.add_id_slots(total_tx);
 
   // Energy: TX bits, then promiscuous overhearing by all neighbors.

@@ -4,6 +4,7 @@
 #include "ccm/slot_selector.hpp"
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/work_counters.hpp"
 #include "obs/profiler.hpp"
 #include "protocols/missing/trp.hpp"
 
@@ -24,6 +25,7 @@ FrameSize MissingTagDetector::effective_frame_size(
 std::vector<SlotIndex> MissingTagDetector::silent_expected_slots(
     const Bitmap& observed, Seed seed) const {
   Bitmap predicted(observed.size());
+  NETTAG_COUNT(detect_slot_scans, inventory_.size());
   for (const TagId id : inventory_)
     predicted.set(slot_pick(id, seed, observed.size()));
   predicted.subtract(observed);  // busy-in-prediction, idle-in-observation

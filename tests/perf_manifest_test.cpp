@@ -1,0 +1,267 @@
+// Perf-manifest pipeline: repetition stats, schema round-trip, the
+// noise-aware diff, trend rendering, and the histogram percentiles that
+// feed the summarize metrics digest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json_value.hpp"
+#include "obs/perf_analysis.hpp"
+#include "obs/perf_manifest.hpp"
+#include "obs/registry.hpp"
+
+namespace nettag::obs {
+namespace {
+
+PerfManifest make_manifest(double median_scale) {
+  PerfManifest m;
+  m.tool = "perf_pinned";
+  m.git = "v0-test";
+  m.written_at = "2026-08-08T00:00:00Z";
+  m.environment.cpu = "test-cpu";
+  m.environment.cores = 8;
+  m.environment.compiler = "gcc 13.2";
+  m.environment.flags = "-O2";
+  m.environment.jobs = 1;
+  m.environment.os = "linux";
+  m.environment.work_counters = true;
+
+  PerfCase c;
+  c.name = "fig4_sweep";
+  c.config = {{"tags", 400}, {"trials", 1}, {"seed", 20190707}};
+  const std::vector<std::int64_t> base = {99'800'000, 100'000'000,
+                                          100'200'000, 100'500'000,
+                                          101'000'000};
+  for (const std::int64_t s : base)
+    c.samples_ns.push_back(static_cast<std::int64_t>(
+        static_cast<double>(s) * median_scale));
+  c.wall = compute_perf_stats(1, c.samples_ns);
+  c.throughput = {{"sessions_per_sec", 27.0 / (c.wall.median_ns / 1e9)}};
+  c.work = {{"rng_draws", 123u}, {"sessions", 27u}};
+  m.cases.push_back(std::move(c));
+  return m;
+}
+
+TEST(PerfStats, ComputesOrderStatistics) {
+  const std::vector<std::int64_t> samples = {100, 400, 200, 300, 1000};
+  const PerfStats s = compute_perf_stats(2, samples);
+  EXPECT_EQ(s.warmup, 2);
+  EXPECT_EQ(s.reps, 5);
+  EXPECT_EQ(s.min_ns, 100);
+  EXPECT_EQ(s.max_ns, 1000);
+  EXPECT_DOUBLE_EQ(s.median_ns, 300.0);
+  // |x - 300| = {200, 100, 100, 0, 700} -> sorted {0, 100, 100, 200, 700}.
+  EXPECT_DOUBLE_EQ(s.mad_ns, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_ns, 400.0);
+}
+
+TEST(PerfStats, EvenCountMedianInterpolates) {
+  const PerfStats s = compute_perf_stats(0, {100, 200, 300, 400});
+  EXPECT_DOUBLE_EQ(s.median_ns, 250.0);
+  EXPECT_EQ(s.reps, 4);
+}
+
+TEST(PerfStats, EmptySamplesAreAllZero) {
+  const PerfStats s = compute_perf_stats(0, {});
+  EXPECT_EQ(s.reps, 0);
+  EXPECT_EQ(s.min_ns, 0);
+  EXPECT_DOUBLE_EQ(s.median_ns, 0.0);
+}
+
+TEST(PerfManifestSchema, EmitParseRoundTripsFieldForField) {
+  const PerfManifest original = make_manifest(1.0);
+  const JsonValue doc = parse_json(to_json(original));
+  ASSERT_TRUE(is_perf_manifest(doc));
+  const PerfManifest parsed = parse_perf_manifest(doc);
+
+  EXPECT_EQ(parsed.tool, original.tool);
+  EXPECT_EQ(parsed.git, original.git);
+  EXPECT_EQ(parsed.written_at, original.written_at);
+  EXPECT_EQ(parsed.environment.cpu, original.environment.cpu);
+  EXPECT_EQ(parsed.environment.cores, original.environment.cores);
+  EXPECT_EQ(parsed.environment.compiler, original.environment.compiler);
+  EXPECT_EQ(parsed.environment.flags, original.environment.flags);
+  EXPECT_EQ(parsed.environment.jobs, original.environment.jobs);
+  EXPECT_EQ(parsed.environment.os, original.environment.os);
+  EXPECT_EQ(parsed.environment.work_counters,
+            original.environment.work_counters);
+
+  ASSERT_EQ(parsed.cases.size(), original.cases.size());
+  const PerfCase& a = original.cases[0];
+  const PerfCase& b = parsed.cases[0];
+  EXPECT_EQ(b.name, a.name);
+  EXPECT_EQ(b.config, a.config);
+  EXPECT_EQ(b.samples_ns, a.samples_ns);
+  EXPECT_EQ(b.wall.warmup, a.wall.warmup);
+  EXPECT_EQ(b.wall.reps, a.wall.reps);
+  EXPECT_EQ(b.wall.min_ns, a.wall.min_ns);
+  EXPECT_EQ(b.wall.max_ns, a.wall.max_ns);
+  // json_number renders doubles in shortest-round-trip form, so these are
+  // exact, not approximate.
+  EXPECT_EQ(b.wall.median_ns, a.wall.median_ns);
+  EXPECT_EQ(b.wall.mad_ns, a.wall.mad_ns);
+  EXPECT_EQ(b.wall.mean_ns, a.wall.mean_ns);
+  EXPECT_EQ(b.throughput, a.throughput);
+  EXPECT_EQ(b.work, a.work);
+
+  // A second emit of the parsed manifest is byte-identical.
+  EXPECT_EQ(to_json(parsed), to_json(original));
+}
+
+TEST(PerfManifestSchema, RejectsWrongSchema) {
+  const JsonValue doc =
+      parse_json(R"({"schema":"nettag.run_manifest/1","tool":"x"})");
+  EXPECT_FALSE(is_perf_manifest(doc));
+  EXPECT_THROW((void)parse_perf_manifest(doc), nettag::Error);
+}
+
+TEST(PerfDiff, SelfComparisonIsClean) {
+  const PerfManifest m = make_manifest(1.0);
+  const PerfDiffResult result = diff_perf_manifests(m, m, PerfDiffOptions{});
+  ASSERT_EQ(result.cases.size(), 1u);
+  EXPECT_EQ(result.cases[0].verdict, PerfCaseDelta::Verdict::kOk);
+  EXPECT_FALSE(result.has_regression());
+  EXPECT_TRUE(result.notes.empty());
+}
+
+TEST(PerfDiff, FlagsTwoXSlowdown) {
+  const PerfManifest base = make_manifest(1.0);
+  const PerfManifest slow = make_manifest(2.0);
+  const PerfDiffResult result =
+      diff_perf_manifests(base, slow, PerfDiffOptions{});
+  ASSERT_EQ(result.cases.size(), 1u);
+  EXPECT_EQ(result.cases[0].verdict, PerfCaseDelta::Verdict::kRegressed);
+  EXPECT_NEAR(result.cases[0].ratio, 2.0, 1e-9);
+  EXPECT_TRUE(result.has_regression());
+  // And the symmetric direction reads as an improvement, not a regression.
+  const PerfDiffResult back =
+      diff_perf_manifests(slow, base, PerfDiffOptions{});
+  EXPECT_EQ(back.cases[0].verdict, PerfCaseDelta::Verdict::kImproved);
+  EXPECT_FALSE(back.has_regression());
+}
+
+TEST(PerfDiff, NoiseBandSuppressesSmallMovement) {
+  // +1.5% movement: beyond a 1% threshold but inside 10 * MAD — noisy reps
+  // must widen their own tolerance.
+  const PerfManifest base = make_manifest(1.0);
+  const PerfManifest cand = make_manifest(1.015);
+  PerfDiffOptions options;
+  options.threshold = 0.01;
+  options.mad_k = 10.0;
+  const double moved =
+      cand.cases[0].wall.median_ns - base.cases[0].wall.median_ns;
+  ASSERT_GT(moved, options.threshold * base.cases[0].wall.median_ns);
+  ASSERT_LT(moved, options.mad_k * base.cases[0].wall.mad_ns);
+  const PerfDiffResult result = diff_perf_manifests(base, cand, options);
+  EXPECT_EQ(result.cases[0].verdict, PerfCaseDelta::Verdict::kOk);
+
+  // With the noise band disabled the same movement trips the threshold.
+  options.mad_k = 0.0;
+  const PerfDiffResult strict = diff_perf_manifests(base, cand, options);
+  EXPECT_EQ(strict.cases[0].verdict, PerfCaseDelta::Verdict::kRegressed);
+}
+
+TEST(PerfDiff, NotesMissingCasesAndEnvironmentMismatch) {
+  const PerfManifest base = make_manifest(1.0);
+  PerfManifest cand = make_manifest(1.0);
+  cand.environment.cpu = "other-cpu";
+  cand.cases[0].name = "renamed_case";
+  const PerfDiffResult result =
+      diff_perf_manifests(base, cand, PerfDiffOptions{});
+  EXPECT_TRUE(result.cases.empty());
+  EXPECT_FALSE(result.has_regression());
+  ASSERT_EQ(result.notes.size(), 3u);  // cpu + missing-from-cand + missing-from-base
+  const std::string rendered = render_perf_diff(result);
+  EXPECT_NE(rendered.find("cpu differs"), std::string::npos);
+  EXPECT_NE(rendered.find("renamed_case"), std::string::npos);
+}
+
+TEST(PerfTrend, BuildsUnionOfCasesInHistoryOrder) {
+  PerfManifest a = make_manifest(1.0);
+  PerfManifest b = make_manifest(1.1);
+  PerfCase extra;
+  extra.name = "micro.slot_pick";
+  extra.samples_ns = {2'000'000};
+  extra.wall = compute_perf_stats(0, extra.samples_ns);
+  b.cases.push_back(std::move(extra));
+
+  const PerfTrend trend =
+      build_perf_trend({{"BENCH_a.json", a}, {"BENCH_b.json", b}});
+  ASSERT_EQ(trend.case_names.size(), 2u);
+  EXPECT_EQ(trend.case_names[0], "fig4_sweep");
+  EXPECT_EQ(trend.case_names[1], "micro.slot_pick");
+  ASSERT_EQ(trend.rows.size(), 2u);
+  EXPECT_LT(trend.rows[0].median_ns[1], 0.0);  // absent in the first manifest
+  EXPECT_GT(trend.rows[1].median_ns[1], 0.0);
+
+  const std::string csv = render_perf_trend_csv(trend);
+  EXPECT_NE(csv.find("manifest,written_at,git,case,median_ns"),
+            std::string::npos);
+  EXPECT_NE(csv.find("BENCH_b.json"), std::string::npos);
+  // Absent cells produce no CSV line: 1 header + 2 fig4 + 1 slot_pick.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+
+  const std::string md = render_perf_trend_markdown(trend);
+  EXPECT_NE(md.find("| BENCH_a.json |"), std::string::npos);
+  EXPECT_NE(md.find(" — |"), std::string::npos);  // em-dash for absent
+}
+
+TEST(HistogramPercentiles, InterpolatesWithinBuckets) {
+  // 100 samples uniform over (0, 100] with bounds {10, 20, ..., 90}: ten
+  // counts per bucket, so the q-quantile sits at ~100q.
+  Histogram h(std::vector<double>{10, 20, 30, 40, 50, 60, 70, 80, 90});
+  for (int v = 1; v <= 100; ++v) h.observe(v);
+  EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.90), 90.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+  // Clamped to the observed range at the extremes.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(HistogramPercentiles, EmptyHistogramIsZero) {
+  const Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(HistogramPercentiles, SingleValueCollapses) {
+  Histogram h;
+  h.observe(7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 7.0);
+}
+
+TEST(HistogramPercentiles, FreeFunctionMatchesClass) {
+  Histogram h(std::vector<double>{10, 20, 30});
+  for (const double v : {5.0, 12.0, 15.0, 22.0, 28.0, 35.0}) h.observe(v);
+  for (const double q : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(histogram_percentile(h.bounds(), h.bucket_counts(),
+                                          h.min(), h.max(), q),
+                     h.percentile(q))
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramPercentiles, RegistryJsonCarriesPercentiles) {
+  Registry registry;
+  for (int v = 1; v <= 100; ++v)
+    registry.observe("test.latency", static_cast<double>(v));
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // And the digest renderer surfaces them from the parsed document.
+  const std::string digest = render_manifest_metrics(
+      parse_json("{\"schema\":\"nettag.run_manifest/1\",\"tool\":\"t\","
+                 "\"metrics\":" +
+                 json + "}"));
+  EXPECT_NE(digest.find("test.latency"), std::string::npos);
+  EXPECT_NE(digest.find("p50="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nettag::obs

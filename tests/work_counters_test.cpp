@@ -1,0 +1,168 @@
+// Hot-path work counters: macro semantics in a counted TU, and the
+// differential lock proving counters never change artifacts.
+//
+// This TU forces NETTAG_WORK_COUNTERS=1 (tests/CMakeLists.txt), so
+// NETTAG_COUNT is live *here* regardless of the library's build setting;
+// work::compiled() reports the library's own setting, which gates the
+// expectations on the instrumented session sites.  The differential tests
+// run in every configuration — in an uncounted library build they
+// degenerate to a determinism check, exactly like the contract
+// differential suite.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/work_counters.hpp"
+#include "net/topology_builders.hpp"
+#include "obs/trace.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag {
+namespace {
+
+class WorkCountersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    work::set_enabled(true);
+    work::reset();
+  }
+  void TearDown() override { work::set_enabled(true); }
+};
+
+TEST_F(WorkCountersTest, MacroAccumulatesIntoThreadLocals) {
+  NETTAG_COUNT(rng_draws, 1);
+  NETTAG_COUNT(rng_draws, 2);
+  NETTAG_COUNT(slots_scanned, 64);
+  const work::Counters c = work::snapshot();
+  EXPECT_EQ(c.rng_draws, 3u);
+  EXPECT_EQ(c.slots_scanned, 64u);
+  EXPECT_FALSE(c.all_zero());
+}
+
+TEST_F(WorkCountersTest, RuntimeToggleStopsAccumulation) {
+  work::set_enabled(false);
+  NETTAG_COUNT(rng_draws, 100);
+  EXPECT_TRUE(work::snapshot().all_zero());
+  work::set_enabled(true);
+  NETTAG_COUNT(rng_draws, 1);
+  EXPECT_EQ(work::snapshot().rng_draws, 1u);
+}
+
+TEST_F(WorkCountersTest, ResetClearsAndSnapshotReads) {
+  NETTAG_COUNT(sessions, 5);
+  EXPECT_EQ(work::snapshot().sessions, 5u);
+  work::reset();
+  EXPECT_TRUE(work::snapshot().all_zero());
+}
+
+TEST_F(WorkCountersTest, DeltaSinceSubtracts) {
+  NETTAG_COUNT(bitmap_words_or, 10);
+  const work::Counters before = work::snapshot();
+  NETTAG_COUNT(bitmap_words_or, 7);
+  NETTAG_COUNT(sicp_polls, 3);
+  const work::Counters delta = work::snapshot().delta_since(before);
+  EXPECT_EQ(delta.bitmap_words_or, 7u);
+  EXPECT_EQ(delta.sicp_polls, 3u);
+}
+
+TEST_F(WorkCountersTest, FieldTableIsSortedAndComplete) {
+  const auto& fields = work::counter_fields();
+  ASSERT_EQ(fields.size(), 14u);
+  for (std::size_t i = 1; i < fields.size(); ++i)
+    EXPECT_LT(std::string(fields[i - 1].name), std::string(fields[i].name))
+        << "counter_fields() must stay name-sorted";
+  // The member-pointer table reaches every field snapshot() fills.
+  NETTAG_COUNT(frame_deliveries, 9);
+  const work::Counters c = work::snapshot();
+  std::uint64_t via_table = 0;
+  for (const auto& f : fields) via_table += c.*(f.member);
+  EXPECT_EQ(via_table, 9u);
+}
+
+TEST_F(WorkCountersTest, ToJsonRendersInTableOrder) {
+  NETTAG_COUNT(rng_draws, 2);
+  const std::string json = work::to_json(work::snapshot());
+  EXPECT_NE(json.find("\"rng_draws\":2"), std::string::npos);
+  // First table entry is first in the JSON (deterministic rendering).
+  EXPECT_EQ(json.find("{\"bitmap_words_and\":"), 0u);
+}
+
+TEST_F(WorkCountersTest, InstrumentedSessionCountsMatchBuildSetting) {
+  const auto line = net::make_line(12);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 64;
+  cfg.request_seed = 2019;
+  cfg.checking_frame_length = 2 * (line.tier_count() + 1);
+  // Lossy links leave undelivered frames pending, so the checking-frame
+  // wave actually propagates (a perfect channel never wakes it).
+  cfg.link_loss_probability = 0.05;
+  cfg.loss_seed = 1;
+  const ccm::HashedSlotSelector selector(1.0);
+
+  work::reset();
+  const auto result = ccm::run_session(line, cfg, selector);
+  EXPECT_TRUE(result.completed);
+  const work::Counters c = work::snapshot();
+  if (work::compiled()) {
+    // The library's hot paths are instrumented: a completed session must
+    // have scanned slots, OR'd bitmap words, and counted itself.
+    EXPECT_EQ(c.sessions, 1u);
+    EXPECT_GT(c.slots_scanned, 0u);
+    EXPECT_GT(c.bitmap_words_or, 0u);
+    EXPECT_GT(c.checking_wave_hops, 0u);
+  } else {
+    // Uncounted library: this TU's macro is live but no library site is.
+    EXPECT_TRUE(c.all_zero());
+  }
+}
+
+/// The differential lock (same shape as contract_differential_test): run
+/// the session with counters enabled and disabled; every trace event and
+/// artifact must match exactly.  Counting is observation only.
+TEST_F(WorkCountersTest, TogglingCountersKeepsArtifactsByteIdentical) {
+  const auto line = net::make_line(12);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 64;
+  cfg.request_seed = 2019;
+  cfg.checking_frame_length = 2 * (line.tier_count() + 1);
+  const ccm::HashedSlotSelector selector(1.0);
+
+  obs::RecordingSink counted_sink;
+  sim::EnergyMeter counted_energy(line.tag_count());
+  work::set_enabled(true);
+  const ccm::SessionResult counted =
+      ccm::run_session(line, cfg, selector, counted_energy, counted_sink);
+
+  obs::RecordingSink uncounted_sink;
+  sim::EnergyMeter uncounted_energy(line.tag_count());
+  work::set_enabled(false);
+  const ccm::SessionResult uncounted =
+      ccm::run_session(line, cfg, selector, uncounted_energy, uncounted_sink);
+  work::set_enabled(true);
+
+  EXPECT_EQ(counted.bitmap, uncounted.bitmap);
+  EXPECT_EQ(counted.rounds, uncounted.rounds);
+  EXPECT_EQ(counted.completed, uncounted.completed);
+  EXPECT_EQ(counted.clock.bit_slots(), uncounted.clock.bit_slots());
+  EXPECT_EQ(counted.clock.id_slots(), uncounted.clock.id_slots());
+  EXPECT_EQ(counted_energy.total_sent(), uncounted_energy.total_sent());
+  EXPECT_EQ(counted_energy.total_received(),
+            uncounted_energy.total_received());
+
+  ASSERT_EQ(counted_sink.events().size(), uncounted_sink.events().size());
+  for (std::size_t i = 0; i < counted_sink.events().size(); ++i) {
+    const auto& a = counted_sink.events()[i];
+    const auto& b = uncounted_sink.events()[i];
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    ASSERT_EQ(a.fields.size(), b.fields.size()) << "event " << i;
+    for (std::size_t f = 0; f < a.fields.size(); ++f) {
+      EXPECT_EQ(a.fields[f].first, b.fields[f].first) << "event " << i;
+      EXPECT_EQ(a.fields[f].second, b.fields[f].second) << "event " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nettag

@@ -117,6 +117,30 @@ if(NOT jsonl_count STREQUAL ntrace_count OR jsonl_count EQUAL 0)
   message(FATAL_ERROR "query parity broken: jsonl=${jsonl_count} "
     "ntrace=${ntrace_count}")
 endif()
+# `query -` reads the trace from stdin (format sniffed from the first byte
+# without consuming it) and must agree with the file-path counts on both
+# backends.  Stdin traces stream but are not seekable.
+function(run_query_stdin trace out)
+  execute_process(
+    COMMAND ${NETTAG_OBS} query - "event==\"slot_batch\" && slots>0"
+      --format count
+    INPUT_FILE ${trace}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE count ERROR_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "nettag-obs query - failed on ${trace} (${rc})")
+  endif()
+  string(STRIP "${count}" count)
+  set(${out} ${count} PARENT_SCOPE)
+endfunction()
+run_query_stdin(${WORK_DIR}/estimate.jsonl stdin_jsonl_count)
+run_query_stdin(${WORK_DIR}/estimate.ntrace stdin_ntrace_count)
+if(NOT stdin_jsonl_count STREQUAL jsonl_count OR
+   NOT stdin_ntrace_count STREQUAL jsonl_count)
+  message(FATAL_ERROR "stdin query disagrees with file paths: "
+    "jsonl=${stdin_jsonl_count} ntrace=${stdin_ntrace_count} "
+    "expected=${jsonl_count}")
+endif()
+
 execute_process(
   COMMAND ${NETTAG_OBS} query ${WORK_DIR}/estimate.jsonl "tier >"
   RESULT_VARIABLE bad_query_rc OUTPUT_QUIET ERROR_VARIABLE bad_query_err)

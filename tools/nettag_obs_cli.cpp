@@ -4,6 +4,8 @@
 //   nettag-obs summarize TRACE [--session K]
 //       Reconstruct every CCM session from the trace and print the
 //       per-round / per-tier anatomy table (all sessions, or just #K).
+//       Given a run-manifest JSON file instead of a trace, prints its
+//       metrics digest (counters, gauges, histogram p50/p90/p99).
 //
 //   nettag-obs check TRACE [MANIFEST]
 //       Validate the trace's internal slot accounting (session bracketing,
@@ -28,8 +30,25 @@
 //       follows DST's extension (.ntrace = to binary).  jsonl -> ntrace ->
 //       jsonl round-trips byte-identically.
 //
+//   nettag-obs perf diff BASELINE CANDIDATE [--threshold R] [--mad-k K]
+//       Noise-aware comparison of two perf manifests
+//       (nettag.perf_manifest/1): a case regresses only when its median
+//       moved beyond both the relative threshold (default 0.10) and
+//       K * max(MAD) (default 4.0).  Exit 1 on any regression.
+//
+//   nettag-obs perf trend DIR [--format markdown|csv]
+//       Render every perf manifest in DIR (sorted by written_at) as a
+//       time-series table, one column per case.
+//
+//   nettag-obs perf check DIR CANDIDATE [--threshold R] [--mad-k K]
+//       Diff CANDIDATE against the newest manifest in the history DIR —
+//       the tolerance-band gate tools/run_perf.sh runs locally.  An empty
+//       history passes with a note (bootstrap).
+//
 // summarize / check / query all stream one event at a time (constant
-// memory), so they work on GB-scale traces.
+// memory), so they work on GB-scale traces.  TRACE may be `-` to read the
+// trace from stdin (e.g. downstream of a pipe); stdin traces stream fine
+// but are not seekable.
 //
 // Exit codes (machine-readable, for CI gates):
 //   0   consistent / identical
@@ -37,16 +56,21 @@
 //   2   timing drift only (diff with --timing-tolerance)
 //   64  usage error (including a malformed query expression)
 //   66  input missing or unparsable
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "obs/binary_trace.hpp"
 #include "obs/json_value.hpp"
+#include "obs/perf_analysis.hpp"
+#include "obs/perf_manifest.hpp"
 #include "obs/trace_analysis.hpp"
 #include "obs/trace_cursor.hpp"
 #include "obs/trace_query.hpp"
@@ -64,8 +88,10 @@ constexpr int kExitBadInput = 66;
 
 void usage() {
   std::fputs(
-      "usage: nettag-obs <summarize|check|diff|query|convert> ...\n"
-      "  summarize TRACE [--session K]   per-round/per-tier session anatomy\n"
+      "usage: nettag-obs <summarize|check|diff|query|convert|perf> ...\n"
+      "  summarize TRACE [--session K]   per-round/per-tier session anatomy;\n"
+      "                                  a run-manifest JSON prints its\n"
+      "                                  metrics digest (p50/p90/p99)\n"
       "  check TRACE [MANIFEST]          validate trace accounting; with a\n"
       "                                  manifest, cross-check its trace.*\n"
       "                                  counters against the trace\n"
@@ -77,10 +103,18 @@ void usage() {
       " && tier>2'\n"
       "  convert SRC DST                 JSONL <-> .ntrace (by DST"
       " extension)\n"
-      "TRACE may be JSONL or .ntrace (detected by content); summarize,\n"
-      "check, and query stream in constant memory.\n"
-      "exit: 0 ok, 1 violation/mismatch, 2 timing drift, 64 usage, "
-      "66 bad input\n",
+      "  perf diff BASE CAND [--threshold R] [--mad-k K]\n"
+      "                                  noise-aware perf-manifest diff\n"
+      "  perf trend DIR [--format markdown|csv]\n"
+      "                                  perf history as a time series\n"
+      "  perf check DIR CAND [--threshold R] [--mad-k K]\n"
+      "                                  gate CAND against DIR's newest\n"
+      "                                  manifest (empty DIR passes)\n"
+      "TRACE may be JSONL or .ntrace (detected by content), or `-` for\n"
+      "stdin (streams, but not seekable); summarize, check, and query\n"
+      "stream in constant memory.\n"
+      "exit: 0 ok, 1 violation/mismatch/regression, 2 timing drift, "
+      "64 usage, 66 bad input\n",
       stderr);
 }
 
@@ -90,6 +124,28 @@ obs::JsonValue load_manifest(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return obs::parse_json(buf.str());
+}
+
+/// Manifest-mode sniff for summarize: a run manifest is one JSON document
+/// whose object has a "schema" member, which no trace event carries.  A
+/// JSONL trace fails the whole-file parse (multiple documents), so the
+/// fallthrough to the trace path is unambiguous.  Stdin is never sniffed —
+/// it cannot be rewound for the trace backend.
+bool try_summarize_manifest(const std::string& path) {
+  if (path == "-") return false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;  // the trace path reports the open failure
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(buf.str());
+  } catch (const nettag::Error&) {
+    return false;
+  }
+  if (!doc.is_object() || doc.find("schema") == nullptr) return false;
+  std::fputs(obs::render_manifest_metrics(doc).c_str(), stdout);
+  return true;
 }
 
 int cmd_summarize(const std::vector<std::string>& args) {
@@ -106,6 +162,7 @@ int cmd_summarize(const std::vector<std::string>& args) {
     }
   }
   if (trace_path.empty()) return kExitUsage;
+  if (session_index < 0 && try_summarize_manifest(trace_path)) return kExitOk;
 
   obs::TraceCursor cursor(trace_path);
   const auto sessions = obs::summarize_sessions(cursor);
@@ -270,6 +327,14 @@ int cmd_diff(const std::vector<std::string>& args) {
 
   const obs::JsonValue baseline = load_manifest(paths[0]);
   const obs::JsonValue candidate = load_manifest(paths[1]);
+  if (obs::is_perf_manifest(baseline) || obs::is_perf_manifest(candidate)) {
+    std::fprintf(stderr,
+                 "diff: %s is a perf manifest — timings never match "
+                 "structurally; use `nettag-obs perf diff`\n",
+                 obs::is_perf_manifest(baseline) ? paths[0].c_str()
+                                                 : paths[1].c_str());
+    return kExitUsage;
+  }
   const obs::ManifestDiffResult result =
       obs::diff_manifests(baseline, candidate, options);
 
@@ -290,6 +355,134 @@ int cmd_diff(const std::vector<std::string>& args) {
   return kExitOk;
 }
 
+/// Parses the shared --threshold / --mad-k options; non-flag arguments land
+/// in `paths`.  Returns false on a malformed flag.
+bool parse_perf_diff_args(const std::vector<std::string>& args,
+                          std::vector<std::string>& paths,
+                          obs::PerfDiffOptions& options) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threshold") {
+      if (i + 1 >= args.size()) return false;
+      options.threshold = std::atof(args[++i].c_str());
+    } else if (args[i] == "--mad-k") {
+      if (i + 1 >= args.size()) return false;
+      options.mad_k = std::atof(args[++i].c_str());
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  return true;
+}
+
+/// Loads every parsable perf manifest in `dir` (*.json), sorted by
+/// written_at then file name — oldest first, so .back() is the newest.
+/// Other JSON files (run manifests, fixtures) are skipped silently.
+std::vector<std::pair<std::string, obs::PerfManifest>> load_perf_history(
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir))
+    throw nettag::Error("not a directory: " + dir);
+  std::vector<std::pair<std::string, obs::PerfManifest>> history;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".json") continue;
+    try {
+      history.emplace_back(entry.path().filename().string(),
+                           obs::load_perf_manifest(entry.path().string()));
+    } catch (const nettag::Error&) {
+      // not a perf manifest — directories are allowed to mix artifacts
+    }
+  }
+  std::sort(history.begin(), history.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.written_at != b.second.written_at)
+                return a.second.written_at < b.second.written_at;
+              return a.first < b.first;
+            });
+  return history;
+}
+
+int report_perf_diff(const obs::PerfDiffResult& result) {
+  std::fputs(obs::render_perf_diff(result).c_str(), stdout);
+  if (result.has_regression()) {
+    std::fprintf(stderr, "perf regression detected\n");
+    return kExitViolation;
+  }
+  std::puts("no perf regression");
+  return kExitOk;
+}
+
+int cmd_perf_diff(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  obs::PerfDiffOptions options;
+  if (!parse_perf_diff_args(args, paths, options) || paths.size() != 2)
+    return kExitUsage;
+  const obs::PerfManifest baseline = obs::load_perf_manifest(paths[0]);
+  const obs::PerfManifest candidate = obs::load_perf_manifest(paths[1]);
+  return report_perf_diff(
+      obs::diff_perf_manifests(baseline, candidate, options));
+}
+
+int cmd_perf_trend(const std::vector<std::string>& args) {
+  std::string dir;
+  std::string format = "markdown";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--format") {
+      if (i + 1 >= args.size()) return kExitUsage;
+      format = args[++i];
+    } else if (dir.empty()) {
+      dir = args[i];
+    } else {
+      return kExitUsage;
+    }
+  }
+  if (dir.empty() || (format != "markdown" && format != "csv"))
+    return kExitUsage;
+
+  const auto history = load_perf_history(dir);
+  if (history.empty()) {
+    std::fprintf(stderr, "no perf manifests in %s\n", dir.c_str());
+    return kExitBadInput;
+  }
+  const obs::PerfTrend trend = obs::build_perf_trend(history);
+  std::fputs((format == "csv" ? obs::render_perf_trend_csv(trend)
+                              : obs::render_perf_trend_markdown(trend))
+                 .c_str(),
+             stdout);
+  return kExitOk;
+}
+
+int cmd_perf_check(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  obs::PerfDiffOptions options;
+  if (!parse_perf_diff_args(args, paths, options) || paths.size() != 2)
+    return kExitUsage;
+  const std::string& dir = paths[0];
+  const obs::PerfManifest candidate = obs::load_perf_manifest(paths[1]);
+
+  const auto history = load_perf_history(dir);
+  if (history.empty()) {
+    // Bootstrap: the first run has nothing to regress against.
+    std::printf("perf history %s is empty — nothing to check against\n",
+                dir.c_str());
+    return kExitOk;
+  }
+  const auto& [label, baseline] = history.back();
+  std::printf("checking against %s (written %s)\n", label.c_str(),
+              baseline.written_at.c_str());
+  return report_perf_diff(
+      obs::diff_perf_manifests(baseline, candidate, options));
+}
+
+int cmd_perf(const std::vector<std::string>& args) {
+  if (args.empty()) return kExitUsage;
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (args[0] == "diff") return cmd_perf_diff(rest);
+  if (args[0] == "trend") return cmd_perf_trend(rest);
+  if (args[0] == "check") return cmd_perf_check(rest);
+  return kExitUsage;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -308,6 +501,7 @@ int main(int argc, char** argv) {
     else if (cmd == "diff") rc = cmd_diff(args);
     else if (cmd == "query") rc = cmd_query(args);
     else if (cmd == "convert") rc = cmd_convert(args);
+    else if (cmd == "perf") rc = cmd_perf(args);
     if (rc == kExitUsage) usage();
     return rc;
   } catch (const nettag::Error& e) {

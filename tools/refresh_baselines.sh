@@ -60,4 +60,13 @@ for tags in 400 2000; do
   done
 done
 
+# Guard rail: the byte-identity corpus must never contain a perf manifest
+# (nettag.perf_manifest/1 carries raw wall-clock; it belongs in bench/perf/
+# via tools/run_perf.sh, never here).
+if grep -rl 'nettag\.perf_manifest' "$out_dir" >&2; then
+  echo "error: perf manifest(s) found in $out_dir — timing artifacts are" \
+       "banned from the baseline corpus (use bench/perf/ instead)" >&2
+  exit 1
+fi
+
 echo "baselines refreshed in $out_dir" >&2

@@ -1,0 +1,56 @@
+#!/bin/sh
+# The local perf gate: measure -> check -> record.
+#
+# Runs bench/perf_pinned at the pinned configuration (the same
+# NETTAG_TAGS=400 / NETTAG_TRIALS=1 / NETTAG_SEED=20190707 point the
+# byte-identity gate uses, so wall times stay in seconds), gates the fresh
+# nettag.perf_manifest/1 against the newest manifest in bench/perf/ with
+# `nettag-obs perf check` (MAD-based noise bands — see
+# docs/OBSERVABILITY.md), and on success files it into the history as
+# BENCH_<sha>.json.  This is the HARD perf gate; the CI perf job is
+# advisory because shared runners have untrusted clocks.
+#
+# A regression exits 1 (propagated from `perf check`) and records nothing.
+# An empty history passes and bootstraps the first entry.
+#
+# usage: tools/run_perf.sh [BUILD_DIR]   (default: build)
+# knobs: NETTAG_PERF_REPS (default 5), NETTAG_PERF_WARMUP (default 1),
+#        NETTAG_PERF_THRESHOLD / NETTAG_PERF_MAD_K forwarded to perf check.
+set -eu
+
+build_dir=${1:-build}
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+hist_dir="$repo_root/bench/perf"
+mkdir -p "$hist_dir"
+
+pinned="$repo_root/$build_dir/bench/perf_pinned"
+obs="$repo_root/$build_dir/tools/nettag-obs"
+for bin in "$pinned" "$obs"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $build_dir first)" >&2
+    exit 1
+  fi
+done
+
+export NETTAG_TAGS=400
+export NETTAG_TRIALS=1
+export NETTAG_SEED=20190707
+export NETTAG_PERF_REPS="${NETTAG_PERF_REPS:-5}"
+export NETTAG_PERF_WARMUP="${NETTAG_PERF_WARMUP:-1}"
+unset NETTAG_TRACE NETTAG_PROFILE NETTAG_MANIFEST NETTAG_JOBS \
+  NETTAG_PERF_MANIFEST 2>/dev/null || true
+
+sha=$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo local)
+candidate=$(mktemp "${TMPDIR:-/tmp}/nettag_perf_XXXXXX")
+trap 'rm -f "$candidate"' EXIT
+
+echo "measuring (reps=$NETTAG_PERF_REPS warmup=$NETTAG_PERF_WARMUP)..." >&2
+"$pinned" "$candidate"
+
+# The hard gate: a regression vs the newest history entry exits 1 here.
+"$obs" perf check "$hist_dir" "$candidate" \
+  --threshold "${NETTAG_PERF_THRESHOLD:-0.10}" \
+  --mad-k "${NETTAG_PERF_MAD_K:-4.0}"
+
+cp "$candidate" "$hist_dir/BENCH_$sha.json"
+echo "recorded bench/perf/BENCH_$sha.json" >&2
