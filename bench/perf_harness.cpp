@@ -49,15 +49,25 @@ PerfHarness::PerfHarness(std::string tool, PerfRepetitionConfig rep, int jobs)
 
 obs::PerfCase& PerfHarness::run_case(const std::string& name,
                                      const std::function<void()>& body) {
+  return run_case(name, rep_, body);
+}
+
+obs::PerfCase& PerfHarness::run_case(const std::string& name,
+                                     PerfRepetitionConfig rep,
+                                     const std::function<void()>& body) {
+  // A per-case override can only trim, never exceed, the harness-wide
+  // configuration, so NETTAG_PERF_REPS=1 smoke runs stay one-rep everywhere.
+  rep.reps = std::max(1, std::min(rep.reps, rep_.reps));
+  rep.warmup = std::max(0, std::min(rep.warmup, rep_.warmup));
   obs::PerfCase c;
   c.name = name;
-  for (int i = 0; i < rep_.warmup; ++i) body();
-  for (int i = 0; i < rep_.reps; ++i) {
+  for (int i = 0; i < rep.warmup; ++i) body();
+  for (int i = 0; i < rep.reps; ++i) {
     // The last repetition doubles as the work-counter measurement window;
     // the workloads are deterministic, so any rep's tally equals every
     // other's.  Counter reads are observation only (work_counters.hpp) and
     // nanoseconds next to a full repetition.
-    const bool last = i == rep_.reps - 1;
+    const bool last = i == rep.reps - 1;
     if (last) work::reset();
     c.samples_ns.push_back(elapsed_ns(body));
     if (last) {
@@ -68,7 +78,7 @@ obs::PerfCase& PerfHarness::run_case(const std::string& name,
       }
     }
   }
-  c.wall = obs::compute_perf_stats(rep_.warmup, c.samples_ns);
+  c.wall = obs::compute_perf_stats(rep.warmup, c.samples_ns);
   manifest_.cases.push_back(std::move(c));
   return manifest_.cases.back();
 }

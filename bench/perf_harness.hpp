@@ -46,6 +46,12 @@ class PerfHarness {
   obs::PerfCase& run_case(const std::string& name,
                           const std::function<void()>& body);
 
+  /// Same, with a per-case repetition override.  Heavyweight cases (the
+  /// 10^5/10^6-tag session points) trim reps so the whole manifest stays
+  /// minutes; the env knobs still win when they ask for fewer reps.
+  obs::PerfCase& run_case(const std::string& name, PerfRepetitionConfig rep,
+                          const std::function<void()>& body);
+
   /// Adds `items_per_rep / median_seconds` as `unit` (e.g. "tags_per_sec")
   /// to `c`.  No-op when the median is zero.
   static void add_throughput(obs::PerfCase& c, const std::string& unit,

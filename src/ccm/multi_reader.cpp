@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ccm/session.hpp"
+#include "ccm/session_detail.hpp"
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/work_counters.hpp"
@@ -22,6 +23,10 @@ MultiReaderResult run_all_readers(const net::Deployment& deployment,
                                   obs::TraceSink& sink) {
   MultiReaderResult result;
   result.bitmap = Bitmap(config.frame_size);
+  // Resolve the session engine once for the whole window sweep so the
+  // per-reader sessions do not re-read NETTAG_ENGINE from the environment.
+  CcmConfig resolved = config;
+  resolved.engine = detail::resolve_engine(config);
   sink.event("multi_begin",
              {{"readers", static_cast<int>(deployment.readers.size())},
               {"tags", deployment.tag_count()}});
@@ -37,7 +42,7 @@ MultiReaderResult run_all_readers(const net::Deployment& deployment,
       }
     }
     NETTAG_COUNT(reader_sessions, 1);
-    SessionResult session = run_session(topology, config, selector, energy,
+    SessionResult session = run_session(topology, resolved, selector, energy,
                                         sink);
     sink.event("reader_window",
                {{"reader", m},

@@ -7,6 +7,26 @@
 
 namespace nettag::ccm {
 
+/// Which session-engine implementation executes Algorithm 1.
+///
+/// Both engines implement the same protocol and produce byte-identical
+/// artifacts (traces, bitmaps, energy, clocks, RNG stream) — locked by
+/// tests/ccm_engine_differential_test.cpp and the CI byte-identity gates.
+/// They differ only in how the work is organized:
+///   * kScalar — the original per-tag/per-slot loop; per-reception
+///     granularity, and the only kernel that can interleave the lossy
+///     channel's per-reception RNG draws in their defined order;
+///   * kWordParallel — struct-of-arrays rows folded 64 slots per machine
+///     word, with a CSR listener index built once per session (see
+///     src/ccm/session_word.cpp); the hot path for large populations.
+/// kAuto defers to the NETTAG_ENGINE environment variable ("scalar" |
+/// "word_parallel"); unset means kWordParallel.  Lossy sessions
+/// (link_loss_probability > 0) always run the scalar kernel regardless of
+/// the switch: loss draws are ordered per-reception events with no
+/// word-parallel equivalent, and the draw stream is part of the artifact
+/// contract.
+enum class SessionEngine { kAuto, kScalar, kWordParallel };
+
 /// Parameters and feature switches for a CCM session.
 ///
 /// `frame_size` and the request seed come from the application (GMLE, TRP);
@@ -53,6 +73,10 @@ struct CcmConfig {
 
   /// Stream seed for loss draws (losses are reproducible).
   Seed loss_seed = 0;
+
+  /// Session-engine selection (see SessionEngine).  kAuto honours the
+  /// NETTAG_ENGINE environment variable and defaults to word-parallel.
+  SessionEngine engine = SessionEngine::kAuto;
 
   /// Convenience: L_c and round budget from the deployment geometry.
   void apply_geometry(const SystemConfig& sys) {

@@ -1,9 +1,19 @@
+// run_session dispatch + the scalar reference engine.
+//
+// The scalar engine below is the original per-tag/per-slot implementation of
+// Algorithm 1 and the semantic reference: the word-parallel engine
+// (session_word.cpp) must match it byte for byte on every artifact, and the
+// lossy channel always runs here because per-reception loss draws are
+// defined by this loop's iteration order.
 #include "ccm/session.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <vector>
 
+#include "ccm/session_detail.hpp"
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -12,9 +22,26 @@
 
 namespace nettag::ccm {
 
+namespace detail {
+
+SessionEngine resolve_engine(const CcmConfig& config) {
+  if (config.engine != SessionEngine::kAuto) return config.engine;
+  const char* env = std::getenv("NETTAG_ENGINE");
+  if (env == nullptr || *env == '\0' ||
+      std::strcmp(env, "word_parallel") == 0) {
+    return SessionEngine::kWordParallel;
+  }
+  if (std::strcmp(env, "scalar") == 0) return SessionEngine::kScalar;
+  throw Error(std::string("NETTAG_ENGINE must be \"scalar\" or "
+                          "\"word_parallel\", got \"") +
+              env + "\"");
+}
+
+}  // namespace detail
+
 namespace {
 
-/// Per-tag state across the rounds of one session.
+/// Per-tag state across the rounds of one session (scalar engine).
 struct TagState {
   /// Slots this tag knows are busy: its own transmissions, everything heard
   /// from neighbors, and everything silenced by the indicator vector.  The
@@ -26,89 +53,15 @@ struct TagState {
   std::vector<SlotIndex> pending;
 };
 
-/// Contract bookkeeping for NETTAG_CHECKED builds (see common/contract.hpp).
-/// Audits the paper's convergence theorem: a slot picked by an (active-)
-/// tier-k tag reaches the reader's bitmap by round k on a reliable channel
-/// (SIII-C, Theorem 1).  Pure reads only — never consulted by the protocol.
-struct SessionAudit {
-  static constexpr int kNoTier = std::numeric_limits<int>::max();
-
-  std::vector<int> active_tier;  // BFS tier within the active subgraph
-  std::vector<int> earliest;     // slot -> min active tier of round-1 pickers
-
-  /// BFS from the reader restricted to `active` tags: contract tiers match
-  /// topology tiers when every tag is covered, and degrade gracefully in
-  /// multi-reader sessions where uncovered tags sit out the relay fabric.
-  void init(const net::Topology& topology, const std::vector<char>& active,
-            FrameSize f) {
-    const int n = topology.tag_count();
-    active_tier.assign(static_cast<std::size_t>(n), kNoTier);
-    earliest.assign(static_cast<std::size_t>(f), kNoTier);
-    std::vector<TagIndex> frontier;
-    for (TagIndex t = 0; t < n; ++t) {
-      if (active[static_cast<std::size_t>(t)] && topology.reader_hears(t)) {
-        active_tier[static_cast<std::size_t>(t)] = 1;
-        frontier.push_back(t);
-      }
-    }
-    int tier = 1;
-    while (!frontier.empty()) {
-      std::vector<TagIndex> next;
-      for (const TagIndex u : frontier) {
-        for (const TagIndex v : topology.neighbors(u)) {
-          const auto iv = static_cast<std::size_t>(v);
-          if (active[iv] && active_tier[iv] == kNoTier) {
-            active_tier[iv] = tier + 1;
-            next.push_back(v);
-          }
-        }
-      }
-      frontier = std::move(next);
-      ++tier;
-    }
-  }
-
-  /// Records a round-1 pick by tag `t`.
-  void note_pick(TagIndex t, SlotIndex s) {
-    const int tier = active_tier[static_cast<std::size_t>(t)];
-    auto& e = earliest[static_cast<std::size_t>(s)];
-    e = std::min(e, tier);
-  }
-
-  /// End of round `round`: every slot picked at active tier <= round must
-  /// have propagated into the reader's bitmap (Theorem 1).
-  void check_arrivals(int round, const Bitmap& bitmap) const {
-    for (std::size_t s = 0; s < earliest.size(); ++s) {
-      if (earliest[s] > round) continue;
-      NETTAG_INVARIANT(bitmap.test(static_cast<SlotIndex>(s)),
-                       "tier-k slot missing from reader bitmap after round k");
-      (void)bitmap;
-    }
-  }
-
-  /// Smallest active tier among tags still holding undelivered data, or
-  /// kNoTier; bounds how many checking-frame slots the reply wave needs.
-  [[nodiscard]] int min_pending_tier(
-      const std::vector<TagState>& tags,
-      const std::vector<char>& active) const {
-    int best = kNoTier;
-    for (std::size_t i = 0; i < tags.size(); ++i) {
-      if (active[i] && !tags[i].pending.empty())
-        best = std::min(best, active_tier[i]);
-    }
-    return best;
-  }
-};
-
 }  // namespace
 
-SessionResult run_session(const net::Topology& topology,
-                          const CcmConfig& config,
-                          const SlotSelector& selector,
-                          sim::EnergyMeter& energy, obs::TraceSink& sink) {
-  config.validate();
-  NETTAG_EXPECTS(energy.tag_count() == topology.tag_count(),
-                 "energy meter sized for a different tag count");
+namespace detail {
+
+SessionResult run_session_scalar(const net::Topology& topology,
+                                 const CcmConfig& config,
+                                 const SlotSelector& selector,
+                                 sim::EnergyMeter& energy,
+                                 obs::TraceSink& sink) {
   const obs::ProfileScope profile_session("ccm.session");
   NETTAG_COUNT(sessions, 1);
 
@@ -401,7 +354,9 @@ SessionResult run_session(const net::Topology& topology,
         // reader within its tier count of slots, so a checking frame long
         // enough for that tier must terminate busy (and a frame that heard
         // nothing proves no reachable pending data that shallow existed).
-        const int shallowest = audit.min_pending_tier(tags, active);
+        const int shallowest = audit.min_pending_tier(
+            n, active,
+            [&tags](std::size_t i) { return !tags[i].pending.empty(); });
         if (shallowest <= lc) {
           NETTAG_ENSURE(reader_sensed,
                         "checking frame silent despite reachable pending "
@@ -463,6 +418,24 @@ SessionResult run_session(const net::Topology& topology,
                              {"bit_slots", result.clock.bit_slots()},
                              {"id_slots", result.clock.id_slots()}});
   return result;
+}
+
+}  // namespace detail
+
+SessionResult run_session(const net::Topology& topology,
+                          const CcmConfig& config,
+                          const SlotSelector& selector,
+                          sim::EnergyMeter& energy, obs::TraceSink& sink) {
+  config.validate();
+  NETTAG_EXPECTS(energy.tag_count() == topology.tag_count(),
+                 "energy meter sized for a different tag count");
+  // Lossy sessions always take the scalar kernel: the per-reception loss
+  // draws are defined by its iteration order (see SessionEngine).
+  if (detail::resolve_engine(config) == SessionEngine::kWordParallel &&
+      config.link_loss_probability == 0.0) {
+    return detail::run_session_word(topology, config, selector, energy, sink);
+  }
+  return detail::run_session_scalar(topology, config, selector, energy, sink);
 }
 
 SessionResult run_session(const net::Topology& topology,

@@ -21,6 +21,20 @@
 //   received: one bit per monitored frame slot (carrier sensing), 96 bits per
 //             request, 96 bits per indicator-vector segment, one bit per
 //             checking slot listened to.
+//
+// Two engines implement this protocol (CcmConfig::engine / SessionEngine):
+//   * scalar (session.cpp) — per-tag Bitmap state and per-slot loops; the
+//     semantic reference, and the only kernel for lossy channels (the
+//     per-reception loss-draw order is part of the artifact contract);
+//   * word_parallel (session_word.cpp) — struct-of-arrays rows folded 64
+//     slots per machine word over a CSR listener index built once per
+//     session; the default, and the hot path for large populations.
+// Every artifact (trace events, energy vectors, clocks, reader bitmap, RNG
+// stream) is byte-identical between them — only work counters and profiler
+// timings may differ.  tests/ccm_engine_differential_test.cpp and the CI
+// byte-identity gates enforce this; the NETTAG_ENGINE environment variable
+// ("scalar" | "word_parallel") selects the engine when the config leaves
+// SessionEngine::kAuto in place.
 #pragma once
 
 #include "ccm/metrics.hpp"

@@ -1,0 +1,127 @@
+// Internals shared by the two CCM session engines (scalar / word-parallel).
+//
+// The public entry point is ccm::run_session (session.hpp); this header
+// carries what both implementations need to stay byte-identical without
+// duplicating it: the NETTAG_CHECKED convergence audit and the engine
+// dispatch rule.  Nothing here is part of the library's public surface —
+// protocol code includes session.hpp, not this.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "ccm/metrics.hpp"
+#include "ccm/options.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/bitmap.hpp"
+#include "common/contract.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+#include "obs/trace.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag::ccm::detail {
+
+/// The original per-tag/per-slot engine (session.cpp).  Also the kernel for
+/// every lossy session: per-reception loss draws happen in its loop order,
+/// which defines the RNG-stream contract.
+[[nodiscard]] SessionResult run_session_scalar(const net::Topology& topology,
+                                               const CcmConfig& config,
+                                               const SlotSelector& selector,
+                                               sim::EnergyMeter& energy,
+                                               obs::TraceSink& sink);
+
+/// The struct-of-arrays engine (session_word.cpp): flat per-tag bitmap rows
+/// folded 64 slots per word over a CSR listener index.  Reliable channel
+/// only — run_session routes lossy configs to the scalar kernel.
+[[nodiscard]] SessionResult run_session_word(const net::Topology& topology,
+                                             const CcmConfig& config,
+                                             const SlotSelector& selector,
+                                             sim::EnergyMeter& energy,
+                                             obs::TraceSink& sink);
+
+/// Resolves CcmConfig::engine to a concrete engine: kAuto reads the
+/// NETTAG_ENGINE environment variable ("scalar" | "word_parallel"; any other
+/// value throws) and defaults to kWordParallel when unset.  Callers that run
+/// many sessions under one configuration (multi-reader windows, sweeps)
+/// resolve once up front so the environment is not re-read per session.
+[[nodiscard]] SessionEngine resolve_engine(const CcmConfig& config);
+
+/// Contract bookkeeping for NETTAG_CHECKED builds (see common/contract.hpp).
+/// Audits the paper's convergence theorem: a slot picked by an (active-)
+/// tier-k tag reaches the reader's bitmap by round k on a reliable channel
+/// (SIII-C, Theorem 1).  Pure reads only — never consulted by the protocol,
+/// and identical between engines so checked builds audit both the same way.
+struct SessionAudit {
+  static constexpr int kNoTier = std::numeric_limits<int>::max();
+
+  std::vector<int> active_tier;  // BFS tier within the active subgraph
+  std::vector<int> earliest;     // slot -> min active tier of round-1 pickers
+
+  /// BFS from the reader restricted to `active` tags: contract tiers match
+  /// topology tiers when every tag is covered, and degrade gracefully in
+  /// multi-reader sessions where uncovered tags sit out the relay fabric.
+  void init(const net::Topology& topology, const std::vector<char>& active,
+            FrameSize f) {
+    const int n = topology.tag_count();
+    active_tier.assign(static_cast<std::size_t>(n), kNoTier);
+    earliest.assign(static_cast<std::size_t>(f), kNoTier);
+    std::vector<TagIndex> frontier;
+    for (TagIndex t = 0; t < n; ++t) {
+      if (active[static_cast<std::size_t>(t)] && topology.reader_hears(t)) {
+        active_tier[static_cast<std::size_t>(t)] = 1;
+        frontier.push_back(t);
+      }
+    }
+    int tier = 1;
+    while (!frontier.empty()) {
+      std::vector<TagIndex> next;
+      for (const TagIndex u : frontier) {
+        for (const TagIndex v : topology.neighbors(u)) {
+          const auto iv = static_cast<std::size_t>(v);
+          if (active[iv] && active_tier[iv] == kNoTier) {
+            active_tier[iv] = tier + 1;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+      ++tier;
+    }
+  }
+
+  /// Records a round-1 pick by tag `t`.
+  void note_pick(TagIndex t, SlotIndex s) {
+    const int tier = active_tier[static_cast<std::size_t>(t)];
+    auto& e = earliest[static_cast<std::size_t>(s)];
+    e = std::min(e, tier);
+  }
+
+  /// End of round `round`: every slot picked at active tier <= round must
+  /// have propagated into the reader's bitmap (Theorem 1).
+  void check_arrivals(int round, const Bitmap& bitmap) const {
+    for (std::size_t s = 0; s < earliest.size(); ++s) {
+      if (earliest[s] > round) continue;
+      NETTAG_INVARIANT(bitmap.test(static_cast<SlotIndex>(s)),
+                       "tier-k slot missing from reader bitmap after round k");
+      (void)bitmap;
+    }
+  }
+
+  /// Smallest active tier among tags still holding undelivered data, or
+  /// kNoTier; bounds how many checking-frame slots the reply wave needs.
+  /// `has_pending(i)` abstracts over the engines' pending representations
+  /// (slot lists vs bitmap rows).
+  template <typename HasPending>
+  [[nodiscard]] int min_pending_tier(int n, const std::vector<char>& active,
+                                     HasPending&& has_pending) const {
+    int best = kNoTier;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+      if (active[i] && has_pending(i)) best = std::min(best, active_tier[i]);
+    }
+    return best;
+  }
+};
+
+}  // namespace nettag::ccm::detail

@@ -1,0 +1,491 @@
+// The word-parallel CCM session engine.
+//
+// Same protocol as the scalar engine (session.cpp), reorganized as
+// struct-of-arrays: each tag's known/transmit/heard slot sets live as flat
+// 64-bit word rows, and every per-slot loop of the scalar engine becomes a
+// whole-word AND/OR/popcount fold.  A session-lifetime CSR listener index
+// replaces the per-round neighbor filtering.  The payoff is in the frame:
+// delivering a t-slot transmission to a neighbor costs the scalar engine t
+// test/set bit operations but this engine ceil(f/64) word folds, so dense
+// relay fabrics (n >> f, where relayed sets approach the frame size) run an
+// order of magnitude faster at identical outputs.
+//
+// Byte-identity contract (locked by tests/ccm_engine_differential_test.cpp
+// and the CI cmp gates): every artifact — trace events and field order,
+// per-tag energy, slot clocks, reader bitmap, RNG stream — matches the
+// scalar engine exactly.  Work counters and profiler timings are the ONLY
+// allowed differences: this engine tallies per-word work (frame_word_folds,
+// bitmap_words_or) where the scalar engine tallies per-slot work
+// (slots_scanned, frame_deliveries).
+//
+// The reorganizations rest on four equivalences with the scalar engine:
+//   1. Deferred silencing: scalar folds `known |= V` into every active tag
+//      during the indicator phase; nothing reads `known` again until the
+//      next round's relay_select, so this engine folds V at relay_select
+//      instead, fused with the monitored-slot popcount.
+//   2. tx == pending for rounds >= 2: pending was already filtered against V
+//      when it was rebuilt, and V has not changed since, so the scalar
+//      engine's per-slot re-filter is the identity here.
+//   3. Delivery is a set fold: per-slot "if not known, mark known and heard"
+//      over a transmission list equals `heard |= tx & ~known; known |= tx`
+//      on word rows, independent of slot order.
+//   4. Fresh-bit pending filter: heard bits were unknown at delivery time
+//      and V \subseteq known for every active tag, so heard is disjoint from
+//      the old V and the rebuild filter only needs this round's new V bits
+//      (= reader_busy).
+// The lossy channel breaks 3 (per-reception loss draws are ordered events),
+// which is why run_session routes link_loss_probability > 0 to the scalar
+// kernel unconditionally.
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ccm/session_detail.hpp"
+#include "common/error.hpp"
+#include "common/work_counters.hpp"
+#include "obs/profiler.hpp"
+
+namespace nettag::ccm::detail {
+
+namespace {
+
+/// Session-lifetime index of who hears whom, built once up front:
+/// CSR adjacency restricted to active (reader-covered) tags, plus the
+/// per-tag facts every round re-queries (coverage, reader adjacency, tier).
+struct ListenerIndex {
+  std::vector<std::size_t> offsets;   // n + 1; CSR row bounds
+  std::vector<TagIndex> listeners;    // active neighbors, topology order
+  std::vector<char> active;           // reader_covers(t)
+  std::vector<TagIndex> active_tags;  // indices with active[t], ascending
+  std::vector<char> hears_reader;     // reader_hears(t)
+  std::vector<int> tier;              // topology.tier(t)
+
+  void build(const net::Topology& topology) {
+    const int n = topology.tag_count();
+    active.assign(static_cast<std::size_t>(n), 0);
+    hears_reader.assign(static_cast<std::size_t>(n), 0);
+    tier.assign(static_cast<std::size_t>(n), net::kUnreachable);
+    for (TagIndex t = 0; t < n; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      active[i] = topology.reader_covers(t) ? 1 : 0;
+      if (active[i]) active_tags.push_back(t);
+      hears_reader[i] = topology.reader_hears(t) ? 1 : 0;
+      tier[i] = topology.tier(t);
+    }
+    offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+    // Rows only for active transmitters: inactive tags never transmit and
+    // never join a checking wave, so their rows stay empty.
+    for (TagIndex u = 0; u < n; ++u) {
+      std::size_t deg = 0;
+      if (active[static_cast<std::size_t>(u)]) {
+        for (const TagIndex v : topology.neighbors(u)) {
+          if (active[static_cast<std::size_t>(v)]) ++deg;
+        }
+      }
+      offsets[static_cast<std::size_t>(u) + 1] =
+          offsets[static_cast<std::size_t>(u)] + deg;
+    }
+    listeners.resize(offsets.back());
+    for (TagIndex u = 0; u < n; ++u) {
+      if (!active[static_cast<std::size_t>(u)]) continue;
+      std::size_t at = offsets[static_cast<std::size_t>(u)];
+      for (const TagIndex v : topology.neighbors(u)) {
+        if (active[static_cast<std::size_t>(v)]) listeners[at++] = v;
+      }
+    }
+  }
+
+  [[nodiscard]] std::span<const TagIndex> row(TagIndex u) const {
+    const auto i = static_cast<std::size_t>(u);
+    return {listeners.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+};
+
+void set_bit(std::uint64_t* row, SlotIndex s) {
+  row[static_cast<std::size_t>(s) / 64] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(s) % 64);
+}
+
+[[nodiscard]] bool test_bit(const std::uint64_t* row, SlotIndex s) {
+  return (row[static_cast<std::size_t>(s) / 64] &
+          (std::uint64_t{1} << (static_cast<std::size_t>(s) % 64))) != 0;
+}
+
+[[nodiscard]] int popcount_row(const std::uint64_t* row, std::size_t words) {
+  int total = 0;
+  for (std::size_t w = 0; w < words; ++w) total += std::popcount(row[w]);
+  return total;
+}
+
+}  // namespace
+
+SessionResult run_session_word(const net::Topology& topology,
+                               const CcmConfig& config,
+                               const SlotSelector& selector,
+                               sim::EnergyMeter& energy,
+                               obs::TraceSink& sink) {
+  const obs::ProfileScope profile_session("ccm.session");
+  NETTAG_COUNT(sessions, 1);
+
+  const FrameSize f = config.frame_size;
+  const int n = topology.tag_count();
+  const SlotCount indicator_segments = (static_cast<SlotCount>(f) + 95) / 96;
+  const BitCount request_bits = kTagIdBits;  // request carries (f, p, seed)
+
+  sink.event("session_begin",
+             {{"f", f},
+              {"tags", n},
+              {"budget", config.round_budget()},
+              {"lc", config.checking_frame_length},
+              {"seed", config.request_seed},
+              {"indicator", config.use_indicator_vector},
+              {"checking", config.use_checking_frame}});
+
+  SessionResult result;
+  result.bitmap = Bitmap(f);
+  if (n == 0) {
+    result.completed = true;
+    sink.event("session_end", {{"rounds", 0},
+                               {"completed", true},
+                               {"bitmap_bits", 0},
+                               {"bit_slots", result.clock.bit_slots()},
+                               {"id_slots", result.clock.id_slots()}});
+    return result;
+  }
+
+  ListenerIndex index;
+  index.build(topology);
+
+  // Struct-of-arrays tag state: W words per tag, three rows per tag.
+  //   known  — slots the tag will neither monitor nor accept again;
+  //   txpend — this round's transmission, which is last round's surviving
+  //            pending (equivalence 2), rebuilt in place after the frame;
+  //   heard  — slots newly heard this round, cleared at rebuild.
+  const std::size_t W = Bitmap::word_count(f);
+  const auto row_of = [W](std::size_t i) { return i * W; };
+  std::vector<std::uint64_t> known(static_cast<std::size_t>(n) * W, 0);
+  std::vector<std::uint64_t> txpend(static_cast<std::size_t>(n) * W, 0);
+  std::vector<std::uint64_t> heard(static_cast<std::size_t>(n) * W, 0);
+  std::vector<SlotCount> tx_size(static_cast<std::size_t>(n), 0);
+
+  Bitmap silenced(f);  // the reader's cumulative indicator vector V
+
+  const bool checked = contract::kChecked && contract::enabled();
+  const bool audited = checked;  // dispatcher guarantees the lossless channel
+  SessionAudit audit;
+  if (audited) audit.init(topology, index.active, f);
+
+  // Reusable per-round buffers.
+  std::vector<TagIndex> transmitters;
+  std::vector<TagIndex> receivers;
+  std::vector<char> is_receiver(static_cast<std::size_t>(n), 0);
+  std::vector<int> respond_slot(static_cast<std::size_t>(n), 0);
+  std::vector<SlotIndex> picks;
+
+  const int budget = config.round_budget();
+  bool reader_wants_more = true;
+
+  const auto note_tier_relay = [&index](RoundTrace& trace, TagIndex t,
+                                        SlotCount tx) {
+    const int tier = index.tier[static_cast<std::size_t>(t)];
+    if (tier == net::kUnreachable || tx == 0) return;
+    if (static_cast<int>(trace.relays_by_tier.size()) < tier)
+      trace.relays_by_tier.resize(static_cast<std::size_t>(tier), 0);
+    trace.relays_by_tier[static_cast<std::size_t>(tier - 1)] += tx;
+  };
+
+  for (int round = 1; round <= budget && reader_wants_more; ++round) {
+    RoundTrace trace;
+    trace.round = round;
+
+    // --- Reader broadcasts the round request (one 96-bit slot). ---
+    result.clock.add_id_slots(1);
+    for (const TagIndex t : index.active_tags)
+      energy.add_received(t, request_bits);
+    sink.event("slot_batch",
+               {{"round", round}, {"kind", "request"}, {"slots", 1}});
+
+    // --- Tags decide what to transmit this frame. ---
+    transmitters.clear();
+    {
+      const obs::ProfileScope profile_relay("ccm.relay_select");
+      const auto& sil = silenced.words();
+      const bool fold_silenced = round > 1 && silenced.any();
+      for (const TagIndex t : index.active_tags) {
+        const auto i = static_cast<std::size_t>(t);
+        std::uint64_t* kr = known.data() + row_of(i);
+        if (round == 1) {
+          std::uint64_t* tr = txpend.data() + row_of(i);
+          selector.pick_into(topology.id_of(t), config.request_seed, f,
+                             picks);
+          SlotCount sz = 0;
+          for (const SlotIndex s : picks) {
+            NETTAG_EXPECTS(s >= 0 && s < f,
+                           "selector produced slot out of range");
+            if (!test_bit(kr, s)) {
+              set_bit(kr, s);  // served: never transmit or listen here again
+              set_bit(tr, s);
+              ++sz;
+              if (audited) audit.note_pick(t, s);
+            }
+          }
+          tx_size[i] = sz;
+        } else if (fold_silenced) {
+          // Deferred `known |= V` (equivalence 1), fused with the popcount
+          // below; the txpend row is already this round's transmission.
+          for (std::size_t w = 0; w < W; ++w) kr[w] |= sil[w];
+          NETTAG_COUNT(frame_word_folds, W);
+        }
+        // Listening cost: every slot not known busy is monitored.
+        const int monitored = f - popcount_row(kr, W);
+        NETTAG_COUNT(relay_tx_slots, tx_size[i]);
+        energy.add_received(t, monitored);
+        energy.add_sent(t, static_cast<BitCount>(tx_size[i]));
+        trace.relay_transmissions += tx_size[i];
+        note_tier_relay(trace, t, tx_size[i]);
+        if (tx_size[i] > 0) transmitters.push_back(t);
+      }
+    }
+
+    // --- The frame itself: whole-row folds along the listener index. ---
+    result.clock.add_bit_slots(f);
+    sink.event("slot_batch",
+               {{"round", round}, {"kind", "frame"}, {"slots", f}});
+    Bitmap reader_busy(f);
+    receivers.clear();
+    {
+      const obs::ProfileScope profile_frame("ccm.frame_propagate");
+      const auto& sil = silenced.words();
+      for (const TagIndex u : transmitters) {
+        const auto iu = static_cast<std::size_t>(u);
+        const std::uint64_t* tr = txpend.data() + row_of(iu);
+        if (checked) {
+          // SIII-D suppression: transmissions never intersect V.
+          for (std::size_t w = 0; w < W; ++w) {
+            NETTAG_INVARIANT((tr[w] & sil[w]) == 0,
+                             "tag transmitted a slot silenced by the "
+                             "indicator vector");
+          }
+        }
+        for (const TagIndex v : index.row(u)) {
+          const auto iv = static_cast<std::size_t>(v);
+          std::uint64_t* kr = known.data() + row_of(iv);
+          std::uint64_t* hr = heard.data() + row_of(iv);
+          for (std::size_t w = 0; w < W; ++w) {
+            hr[w] |= tr[w] & ~kr[w];  // equivalence 3: delivery as a fold
+            kr[w] |= tr[w];
+          }
+          NETTAG_COUNT(frame_word_folds, W);
+          if (!is_receiver[iv]) {
+            is_receiver[iv] = 1;
+            receivers.push_back(v);
+          }
+        }
+        if (index.hears_reader[iu]) reader_busy.or_words({tr, W});
+      }
+    }
+
+    // --- Reader folds the frame into B and V (Alg. 1 lines 11-13). ---
+    const Bitmap before_fold = checked ? result.bitmap : Bitmap();
+    const Bitmap fresh = reader_busy.difference(result.bitmap);
+    trace.new_reader_bits = fresh.count();
+    result.bitmap |= reader_busy;
+    if (checked) {
+      // Eq. 1: the bitmap only ever ORs in new busy bits.
+      NETTAG_INVARIANT(before_fold.is_subset_of(result.bitmap),
+                       "reader bitmap lost bits across a round fold");
+      NETTAG_INVARIANT(
+          result.bitmap.count() == before_fold.count() + fresh.count(),
+          "fresh-bit accounting disagrees with the bitmap fold");
+    }
+
+    if (config.use_indicator_vector) {
+      const obs::ProfileScope profile_indicator("ccm.indicator_scan");
+      NETTAG_COUNT(indicator_bits_suppressed, trace.new_reader_bits);
+      silenced |= reader_busy;
+      SlotCount segments_sent = indicator_segments;
+      if (config.indicator_delta_segments) {
+        // Only segments that gained bits travel, plus one segment-map slot.
+        std::vector<char> touched(
+            static_cast<std::size_t>(indicator_segments), 0);
+        fresh.for_each_set([&touched](SlotIndex s) {
+          touched[static_cast<std::size_t>(s) / 96] = 1;
+        });
+        SlotCount changed = 0;
+        for (const char c : touched) changed += c;
+        segments_sent = 1 + changed;
+      }
+      result.clock.add_id_slots(segments_sent);
+      sink.event(
+          "slot_batch",
+          {{"round", round}, {"kind", "indicator"}, {"slots", segments_sent}});
+      const BitCount indicator_bits = segments_sent * 96;
+      // Tags decode V but the `known |= V` fold is deferred (equivalence 1).
+      for (const TagIndex t : index.active_tags)
+        energy.add_received(t, indicator_bits);
+      if (checked) {
+        // V only silences slots the reader has already decoded busy.
+        NETTAG_INVARIANT(silenced.is_subset_of(result.bitmap),
+                         "indicator vector silenced an undecoded slot");
+      }
+    }
+    if (audited) audit.check_arrivals(round, result.bitmap);
+
+    // --- Next-round relay queues, rebuilt in the txpend rows. ---
+    // Transmission consumed; a transmitter relays again only if it is also a
+    // receiver this round (its row is then overwritten below).
+    for (const TagIndex u : transmitters) {
+      const auto iu = static_cast<std::size_t>(u);
+      std::uint64_t* tr = txpend.data() + row_of(iu);
+      std::fill(tr, tr + W, 0);
+      tx_size[iu] = 0;
+    }
+    {
+      // Equivalence 4: heard is disjoint from the old V, so filtering by
+      // this round's fresh V bits (= reader_busy) equals the scalar
+      // engine's filter by the full updated V.
+      const auto& rb = reader_busy.words();
+      const bool filter = config.use_indicator_vector;
+      for (const TagIndex v : receivers) {
+        const auto iv = static_cast<std::size_t>(v);
+        std::uint64_t* tr = txpend.data() + row_of(iv);
+        std::uint64_t* hr = heard.data() + row_of(iv);
+        int count = 0;
+        for (std::size_t w = 0; w < W; ++w) {
+          tr[w] = filter ? hr[w] & ~rb[w] : hr[w];
+          count += std::popcount(tr[w]);
+          hr[w] = 0;
+        }
+        NETTAG_COUNT(frame_word_folds, W);
+        tx_size[iv] = count;
+        is_receiver[iv] = 0;
+      }
+    }
+
+    // --- Checking frame: "is there still on-the-way data?" (SIII-E). ---
+    if (config.use_checking_frame) {
+      const obs::ProfileScope profile_checking("ccm.checking_frame");
+      const int lc = config.checking_frame_length;
+      std::fill(respond_slot.begin(), respond_slot.end(), 0);
+      std::vector<TagIndex> current;
+      for (const TagIndex t : index.active_tags) {
+        if (tx_size[static_cast<std::size_t>(t)] > 0) current.push_back(t);
+      }
+
+      bool reader_sensed = false;
+      int slots_used = 0;
+      for (int j = 1; j <= lc; ++j) {
+        slots_used = j;
+        for (const TagIndex u : current)
+          respond_slot[static_cast<std::size_t>(u)] = j;
+        for (const TagIndex u : current) {
+          if (index.hears_reader[static_cast<std::size_t>(u)]) {
+            reader_sensed = true;
+            break;
+          }
+        }
+        if (reader_sensed) break;  // reader advances to the next round now
+        // Wave: neighbors that heard a response and have not responded yet
+        // reply in the next slot.
+        std::vector<TagIndex> next;
+        for (const TagIndex u : current) {
+          for (const TagIndex v : index.row(u)) {
+            const auto iv = static_cast<std::size_t>(v);
+            if (respond_slot[iv] == 0) {
+              respond_slot[iv] = -1;  // queued for slot j+1
+              next.push_back(v);
+            }
+          }
+        }
+        NETTAG_COUNT(checking_wave_hops, next.size());
+        for (const TagIndex v : next)
+          respond_slot[static_cast<std::size_t>(v)] = 0;  // unmark; set on TX
+        if (next.empty()) {
+          // The wave died without reaching the reader (or never started):
+          // the remaining slots stay silent and the reader waits them out.
+          slots_used = lc;
+          break;
+        }
+        current = std::move(next);
+      }
+
+      result.clock.add_bit_slots(slots_used);
+      for (const TagIndex t : index.active_tags) {
+        const auto i = static_cast<std::size_t>(t);
+        const int jr = respond_slot[i];
+        if (jr > 0) {
+          energy.add_sent(t, 1);
+          energy.add_received(t, jr - 1);  // listened until it was its turn
+        } else {
+          energy.add_received(t, slots_used);
+        }
+      }
+
+      if (audited) {
+        const int shallowest = audit.min_pending_tier(
+            n, index.active, [&tx_size](std::size_t i) {
+              return tx_size[i] > 0;
+            });
+        if (shallowest <= lc) {
+          NETTAG_ENSURE(reader_sensed,
+                        "checking frame silent despite reachable pending "
+                        "data within its slot budget");
+        }
+        NETTAG_ENSURE(slots_used >= 1 && slots_used <= lc,
+                      "checking frame used an impossible slot count");
+      }
+      trace.checking_slots_used = slots_used;
+      trace.reader_saw_pending = reader_sensed;
+      reader_wants_more = reader_sensed;
+      sink.event("slot_batch", {{"round", round},
+                                {"kind", "checking"},
+                                {"slots", slots_used}});
+    } else {
+      // Ablation: no checking frame — the reader blindly runs its full round
+      // budget (Alg. 1 without lines 14-24).
+      reader_wants_more = true;
+    }
+
+    if (sink.enabled()) {
+      for (std::size_t k = 0; k < trace.relays_by_tier.size(); ++k) {
+        if (trace.relays_by_tier[k] == 0) continue;
+        sink.event("relay_tier", {{"round", round},
+                                  {"tier", static_cast<int>(k) + 1},
+                                  {"tx", trace.relays_by_tier[k]}});
+      }
+    }
+    sink.event("round", {{"round", round},
+                         {"new_reader_bits", trace.new_reader_bits},
+                         {"relay_tx", trace.relay_transmissions},
+                         {"checking_slots", trace.checking_slots_used},
+                         {"pending", trace.reader_saw_pending},
+                         {"bitmap_bits", result.bitmap.count()}});
+    result.round_trace.push_back(trace);
+    ++result.rounds;
+  }
+
+  NETTAG_ENSURE(result.rounds <= budget, "session overran its round budget");
+  NETTAG_ENSURE(result.bitmap.size() == f,
+                "session bitmap does not match the frame size");
+
+  // Drained iff no reachable, covered tag still owes a relay.
+  result.completed = true;
+  for (const TagIndex t : index.active_tags) {
+    const auto i = static_cast<std::size_t>(t);
+    if (index.tier[i] == net::kUnreachable) continue;
+    if (tx_size[i] > 0) {
+      result.completed = false;
+      break;
+    }
+  }
+  sink.event("session_end", {{"rounds", result.rounds},
+                             {"completed", result.completed},
+                             {"bitmap_bits", result.bitmap.count()},
+                             {"bit_slots", result.clock.bit_slots()},
+                             {"id_slots", result.clock.id_slots()}});
+  return result;
+}
+
+}  // namespace nettag::ccm::detail

@@ -24,6 +24,15 @@ class SlotSelector {
   virtual ~SlotSelector() = default;
   [[nodiscard]] virtual std::vector<SlotIndex> pick(TagId id, Seed seed,
                                                     FrameSize f) const = 0;
+
+  /// Allocation-free variant: clears `out` and fills it with pick(id, seed,
+  /// f).  The session engines call this once per tag in round 1 with a
+  /// reused buffer, which matters at n = 10^6.  Overrides must produce the
+  /// same slots in the same order as pick().
+  virtual void pick_into(TagId id, Seed seed, FrameSize f,
+                         std::vector<SlotIndex>& out) const {
+    out = pick(id, seed, f);
+  }
 };
 
 /// GMLE-style selection: participate with probability `p`, then one hashed
@@ -37,6 +46,13 @@ class HashedSlotSelector final : public SlotSelector {
                                             FrameSize f) const override {
     if (!participates(id, seed, participation_)) return {};
     return {slot_pick(id, seed, f)};
+  }
+
+  void pick_into(TagId id, Seed seed, FrameSize f,
+                 std::vector<SlotIndex>& out) const override {
+    out.clear();
+    if (participates(id, seed, participation_))
+      out.push_back(slot_pick(id, seed, f));
   }
 
   [[nodiscard]] double participation() const noexcept {
@@ -58,6 +74,13 @@ class MultiSlotSelector final : public SlotSelector {
     slots.reserve(static_cast<std::size_t>(k_));
     for (int i = 0; i < k_; ++i) slots.push_back(slot_pick_k(id, seed, f, i));
     return slots;
+  }
+
+  void pick_into(TagId id, Seed seed, FrameSize f,
+                 std::vector<SlotIndex>& out) const override {
+    out.clear();
+    out.reserve(static_cast<std::size_t>(k_));
+    for (int i = 0; i < k_; ++i) out.push_back(slot_pick_k(id, seed, f, i));
   }
 
  private:

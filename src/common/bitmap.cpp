@@ -33,6 +33,13 @@ Bitmap& Bitmap::operator&=(const Bitmap& other) {
   return *this;
 }
 
+void Bitmap::or_words(std::span<const std::uint64_t> row) {
+  NETTAG_EXPECTS(row.size() == words_.size(),
+                 "word row does not match the bitmap's word count");
+  NETTAG_COUNT(bitmap_words_or, words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= row[i];
+}
+
 Bitmap& Bitmap::subtract(const Bitmap& other) {
   check_same_size(other);
   NETTAG_COUNT(bitmap_words_and, words_.size());

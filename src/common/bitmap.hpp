@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/error.hpp"
@@ -120,6 +121,19 @@ class Bitmap {
   [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
     return words_;
   }
+
+  /// Mutable word access — the seam the word-parallel session engine folds
+  /// raw struct-of-arrays rows through.  Callers must preserve the tail
+  /// invariant: bits at positions >= size() stay zero (operator== and
+  /// count() trust it).
+  [[nodiscard]] std::span<std::uint64_t> words_mut() noexcept {
+    return words_;
+  }
+
+  /// In-place OR of a raw word row (size-checked against word_count(size)).
+  /// Word-granular sibling of operator|= for engines that keep per-tag rows
+  /// outside Bitmap; the source must respect the tail invariant.
+  void or_words(std::span<const std::uint64_t> row);
 
   /// Number of 64-bit words needed for `bits` bits.
   [[nodiscard]] static std::size_t word_count(FrameSize bits) noexcept {

@@ -39,6 +39,7 @@ const std::vector<CounterField>& counter_fields() {
       {"detect_slot_scans", &Counters::detect_slot_scans},
       {"estimator_frames", &Counters::estimator_frames},
       {"frame_deliveries", &Counters::frame_deliveries},
+      {"frame_word_folds", &Counters::frame_word_folds},
       {"gmle_score_evals", &Counters::gmle_score_evals},
       {"indicator_bits_suppressed", &Counters::indicator_bits_suppressed},
       {"reader_sessions", &Counters::reader_sessions},

@@ -2,10 +2,12 @@
 //
 // Wall-clock says *that* a change was faster; these counters say *why* — how
 // many frame slots were scanned, bitmap words OR'd, indicator bits
-// suppressed, RNG values drawn.  The upcoming struct-of-arrays session
-// engine (ROADMAP) needs before/after evidence at this level, because a
-// word-parallel rewrite should slash `slots_scanned` and `frame_deliveries`
-// while leaving protocol outputs bit-identical.
+// suppressed, RNG values drawn.  The two session engines make the point
+// concrete: the scalar kernel tallies per-slot work (`slots_scanned`,
+// `frame_deliveries`) while the word-parallel kernel tallies per-word work
+// (`frame_word_folds`, `bitmap_words_or`) for the same byte-identical
+// protocol outputs — the counter deltas are the evidence that a speedup is
+// algorithmic, not noise (see bench/perf_pinned and tools/run_perf.sh).
 //
 // Design rules (mirroring common/contract.hpp):
 //   * compiled out by default — `NETTAG_COUNT(field, n)` folds to a
@@ -56,6 +58,7 @@ struct Counters {
   std::uint64_t detect_slot_scans = 0;   ///< TRP expected-slot audits
   std::uint64_t estimator_frames = 0;    ///< estimation sessions executed
   std::uint64_t frame_deliveries = 0;  ///< per-neighbor slot delivery offers
+  std::uint64_t frame_word_folds = 0;  ///< 64-bit words folded by word engine
   std::uint64_t gmle_score_evals = 0;  ///< GMLE likelihood-score evaluations
   std::uint64_t indicator_bits_suppressed = 0;  ///< fresh bits V silenced
   std::uint64_t reader_sessions = 0;  ///< per-reader session windows

@@ -219,8 +219,13 @@ TEST(BinaryTraceReader, LoadsIndexAndSeeks) {
 class TraceCursorFiles : public ::testing::Test {
  protected:
   void SetUp() override {
-    jsonl_path_ = testing::TempDir() + "cursor_test.jsonl";
-    ntrace_path_ = testing::TempDir() + "cursor_test.ntrace";
+    // Path is unique per test: gtest_discover_tests runs each TEST_F as its
+    // own ctest entry, so a parallel ctest can have two fixture instances
+    // alive at once — a shared filename is a write/read race.
+    const std::string unique =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    jsonl_path_ = testing::TempDir() + "cursor_" + unique + ".jsonl";
+    ntrace_path_ = testing::TempDir() + "cursor_" + unique + ".ntrace";
     const std::string jsonl = many_events_jsonl(kEvents);
     {
       std::ofstream out(jsonl_path_);

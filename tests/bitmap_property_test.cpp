@@ -1,0 +1,249 @@
+// Property tests for common/bitmap: every word-level operation against a
+// naive per-bit reference model.
+//
+// bitmap_test.cpp pins handpicked cases; this suite drives randomized
+// operation sequences at sizes chosen to straddle the 64-bit word boundary
+// (63/64/65, 127/128/129, ...) where word-parallel code goes wrong: tail
+// masks, full-word carries, the last partial word.  The reference model is
+// std::vector<bool> with per-bit loops — too slow to ship, trivially
+// correct.  The word engine (ccm/session_word.cpp) leans on these exact
+// semantics (or_words, words_mut, the tail invariant), so this suite is the
+// unit-level footing under the engine differential test.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace nettag {
+namespace {
+
+// Word-boundary straddlers plus the frame sizes the paper uses.
+const std::vector<FrameSize> kSizes = {1,   63,  64,  65,  100, 127,
+                                       128, 129, 191, 192, 1671};
+
+/// The naive model: per-bit storage, per-bit loops.
+struct Reference {
+  std::vector<bool> bits;
+
+  explicit Reference(FrameSize f) : bits(static_cast<std::size_t>(f)) {}
+
+  [[nodiscard]] int count() const {
+    int c = 0;
+    for (const bool b : bits) c += b ? 1 : 0;
+    return c;
+  }
+  [[nodiscard]] bool any() const {
+    for (const bool b : bits) {
+      if (b) return true;
+    }
+    return false;
+  }
+};
+
+/// Randomly populated pair (word-backed, reference) with identical contents.
+struct Pair {
+  Bitmap bitmap;
+  Reference ref;
+
+  Pair(FrameSize f, Rng& rng, double density) : bitmap(f), ref(f) {
+    for (FrameSize i = 0; i < f; ++i) {
+      if (rng.bernoulli(density)) {
+        bitmap.set(i);
+        ref.bits[static_cast<std::size_t>(i)] = true;
+      }
+    }
+  }
+};
+
+void expect_matches(const Bitmap& bitmap, const Reference& ref) {
+  ASSERT_EQ(bitmap.size(), static_cast<FrameSize>(ref.bits.size()));
+  for (FrameSize i = 0; i < bitmap.size(); ++i)
+    ASSERT_EQ(bitmap.test(i), ref.bits[static_cast<std::size_t>(i)])
+        << "bit " << i << " of " << bitmap.size();
+  EXPECT_EQ(bitmap.count(), ref.count());
+  EXPECT_EQ(bitmap.any(), ref.any());
+  EXPECT_EQ(bitmap.none(), !ref.any());
+}
+
+/// The tail invariant words_mut() documents: bits at positions >= size()
+/// stay zero through every operation.
+void expect_tail_zero(const Bitmap& bitmap) {
+  const FrameSize f = bitmap.size();
+  if (f % 64 == 0) return;
+  const std::uint64_t last = bitmap.words().back();
+  const std::uint64_t tail_mask = ~std::uint64_t{0}
+                                  << (static_cast<std::size_t>(f) % 64);
+  EXPECT_EQ(last & tail_mask, 0u) << "tail bits set at size " << f;
+}
+
+TEST(BitmapProperty, SetResetTestMatchReference) {
+  Rng rng(1);
+  for (const FrameSize f : kSizes) {
+    Bitmap bitmap(f);
+    Reference ref(f);
+    for (int step = 0; step < 200; ++step) {
+      const auto i =
+          static_cast<SlotIndex>(rng.below(static_cast<std::uint64_t>(f)));
+      if (rng.bernoulli(0.3)) {
+        bitmap.reset(i);
+        ref.bits[static_cast<std::size_t>(i)] = false;
+      } else {
+        bitmap.set(i);
+        ref.bits[static_cast<std::size_t>(i)] = true;
+      }
+    }
+    expect_matches(bitmap, ref);
+    expect_tail_zero(bitmap);
+  }
+}
+
+TEST(BitmapProperty, OrAndSubtractMatchReference) {
+  Rng rng(2);
+  for (const FrameSize f : kSizes) {
+    for (int trial = 0; trial < 8; ++trial) {
+      Pair a(f, rng, 0.4);
+      const Pair b(f, rng, 0.4);
+
+      Bitmap ored = a.bitmap;
+      ored |= b.bitmap;
+      Bitmap anded = a.bitmap;
+      anded &= b.bitmap;
+      Bitmap subtracted = a.bitmap;
+      subtracted.subtract(b.bitmap);
+      const Bitmap diffed = a.bitmap.difference(b.bitmap);
+
+      Reference ref_or(f);
+      Reference ref_and(f);
+      Reference ref_sub(f);
+      for (FrameSize i = 0; i < f; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        ref_or.bits[s] = a.ref.bits[s] || b.ref.bits[s];
+        ref_and.bits[s] = a.ref.bits[s] && b.ref.bits[s];
+        ref_sub.bits[s] = a.ref.bits[s] && !b.ref.bits[s];
+      }
+      expect_matches(ored, ref_or);
+      expect_matches(anded, ref_and);
+      expect_matches(subtracted, ref_sub);
+      expect_matches(diffed, ref_sub);
+      expect_tail_zero(ored);
+      expect_tail_zero(anded);
+      expect_tail_zero(subtracted);
+    }
+  }
+}
+
+TEST(BitmapProperty, SubsetAndIntersectMatchReference) {
+  Rng rng(3);
+  for (const FrameSize f : kSizes) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const Pair a(f, rng, 0.3);
+      const Pair b(f, rng, 0.6);
+
+      bool ref_subset = true;
+      bool ref_intersects = false;
+      for (FrameSize i = 0; i < f; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        if (a.ref.bits[s] && !b.ref.bits[s]) ref_subset = false;
+        if (a.ref.bits[s] && b.ref.bits[s]) ref_intersects = true;
+      }
+      EXPECT_EQ(a.bitmap.is_subset_of(b.bitmap), ref_subset);
+      EXPECT_EQ(a.bitmap.intersects(b.bitmap), ref_intersects);
+      // A bitmap ORed into another is always its subset afterwards.
+      Bitmap sup = b.bitmap;
+      sup |= a.bitmap;
+      EXPECT_TRUE(a.bitmap.is_subset_of(sup));
+    }
+  }
+}
+
+TEST(BitmapProperty, IterationMatchesReferenceOrder) {
+  Rng rng(4);
+  for (const FrameSize f : kSizes) {
+    const Pair p(f, rng, 0.25);
+    std::vector<SlotIndex> expected;
+    for (FrameSize i = 0; i < f; ++i) {
+      if (p.ref.bits[static_cast<std::size_t>(i)]) expected.push_back(i);
+    }
+    std::vector<SlotIndex> via_for_each;
+    p.bitmap.for_each_set(
+        [&via_for_each](SlotIndex i) { via_for_each.push_back(i); });
+    EXPECT_EQ(via_for_each, expected);
+    EXPECT_EQ(p.bitmap.set_bits(), expected);
+  }
+}
+
+TEST(BitmapProperty, UnionCountMatchesReference) {
+  Rng rng(5);
+  for (const FrameSize f : kSizes) {
+    const Pair a(f, rng, 0.3);
+    const Pair b(f, rng, 0.3);
+    const Pair c(f, rng, 0.3);
+    int expected = 0;
+    for (FrameSize i = 0; i < f; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      if (a.ref.bits[s] || b.ref.bits[s] || c.ref.bits[s]) ++expected;
+    }
+    EXPECT_EQ(union_count(a.bitmap, b.bitmap, c.bitmap), expected);
+  }
+}
+
+TEST(BitmapProperty, OrWordsMatchesOperatorOr) {
+  Rng rng(6);
+  for (const FrameSize f : kSizes) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const Pair src(f, rng, 0.4);
+      const Pair dst(f, rng, 0.4);
+
+      Bitmap via_operator = dst.bitmap;
+      via_operator |= src.bitmap;
+
+      Bitmap via_words = dst.bitmap;
+      via_words.or_words(src.bitmap.words());
+
+      EXPECT_EQ(via_words, via_operator);
+      expect_tail_zero(via_words);
+    }
+  }
+}
+
+TEST(BitmapProperty, OrWordsRejectsMismatchedRow) {
+  Bitmap bitmap(65);  // two words
+  const std::vector<std::uint64_t> short_row(1, ~std::uint64_t{0});
+  EXPECT_THROW(bitmap.or_words(short_row), Error);
+}
+
+TEST(BitmapProperty, WordsMutWritesAreVisiblePerBit) {
+  // words_mut() is the seam the word-parallel engine writes rows through;
+  // per-word writes must read back bit-exactly through the per-bit API.
+  Rng rng(7);
+  for (const FrameSize f : kSizes) {
+    Bitmap bitmap(f);
+    Reference ref(f);
+    const std::size_t words = Bitmap::word_count(f);
+    const std::uint64_t tail_mask =
+        f % 64 == 0 ? ~std::uint64_t{0}
+                    : ~(~std::uint64_t{0} << (static_cast<std::size_t>(f) %
+                                              64));
+    auto row = bitmap.words_mut();
+    ASSERT_EQ(row.size(), words);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t value = rng();
+      if (w == words - 1) value &= tail_mask;  // caller upholds the invariant
+      row[w] = value;
+      for (int bit = 0; bit < 64; ++bit) {
+        const std::size_t pos = w * 64 + static_cast<std::size_t>(bit);
+        if (pos < static_cast<std::size_t>(f))
+          ref.bits[pos] = ((value >> bit) & 1) != 0;
+      }
+    }
+    expect_matches(bitmap, ref);
+    expect_tail_zero(bitmap);
+  }
+}
+
+}  // namespace
+}  // namespace nettag

@@ -1,0 +1,281 @@
+// Differential lock: the scalar and word-parallel session engines are
+// byte-identical on every artifact.
+//
+// Same discipline as contract_differential_test: one binary runs the same
+// session once per engine and every observable output — the trace event
+// stream (kinds, field names, field values, order), the reader bitmap, the
+// per-tag energy vectors, the slot clocks, the per-round traces, rounds and
+// completion — must match exactly.  Work counters and profiler timings are
+// deliberately NOT compared: they are the only artifacts allowed to differ
+// (per-slot vs per-word ledgers; see work_counters_test).
+//
+// The corpus mirrors the paper-reproduction benches: the Fig. 3/4 disk
+// deployment with the TRP (f = 3228, p = 1) and GMLE (f = 1671, sampled)
+// configurations, the Tables I-IV range sweep, the ablation switches, the
+// robustness_link_loss lossy configuration (which must route both engine
+// settings to the scalar kernel), and a multi-reader window sweep.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "ccm/multi_reader.hpp"
+#include "ccm/session.hpp"
+#include "ccm/slot_selector.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/deployment.hpp"
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+#include "obs/trace.hpp"
+#include "sim/energy.hpp"
+
+namespace nettag {
+namespace {
+
+void expect_identical_events(const obs::RecordingSink& a,
+                             const obs::RecordingSink& b) {
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    const auto& ea = a.events()[i];
+    const auto& eb = b.events()[i];
+    EXPECT_EQ(ea.kind, eb.kind) << "event " << i;
+    ASSERT_EQ(ea.fields.size(), eb.fields.size()) << "event " << i;
+    for (std::size_t f = 0; f < ea.fields.size(); ++f) {
+      EXPECT_EQ(ea.fields[f].first, eb.fields[f].first)
+          << "event " << i << " (" << ea.kind << ")";
+      EXPECT_EQ(ea.fields[f].second, eb.fields[f].second)
+          << "event " << i << " (" << ea.kind << ") field "
+          << ea.fields[f].first;
+    }
+  }
+}
+
+void expect_identical_energy(const sim::EnergyMeter& a,
+                             const sim::EnergyMeter& b) {
+  ASSERT_EQ(a.tag_count(), b.tag_count());
+  for (TagIndex t = 0; t < a.tag_count(); ++t) {
+    EXPECT_EQ(a.sent(t), b.sent(t)) << "tag " << t;
+    EXPECT_EQ(a.received(t), b.received(t)) << "tag " << t;
+  }
+}
+
+void expect_identical_sessions(const ccm::SessionResult& a,
+                               const ccm::SessionResult& b) {
+  EXPECT_EQ(a.bitmap, b.bitmap);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.clock.bit_slots(), b.clock.bit_slots());
+  EXPECT_EQ(a.clock.id_slots(), b.clock.id_slots());
+  ASSERT_EQ(a.round_trace.size(), b.round_trace.size());
+  for (std::size_t r = 0; r < a.round_trace.size(); ++r) {
+    const auto& ra = a.round_trace[r];
+    const auto& rb = b.round_trace[r];
+    EXPECT_EQ(ra.round, rb.round);
+    EXPECT_EQ(ra.new_reader_bits, rb.new_reader_bits) << "round " << ra.round;
+    EXPECT_EQ(ra.relay_transmissions, rb.relay_transmissions)
+        << "round " << ra.round;
+    EXPECT_EQ(ra.checking_slots_used, rb.checking_slots_used)
+        << "round " << ra.round;
+    EXPECT_EQ(ra.reader_saw_pending, rb.reader_saw_pending)
+        << "round " << ra.round;
+    EXPECT_EQ(ra.relays_by_tier, rb.relays_by_tier) << "round " << ra.round;
+  }
+}
+
+/// Runs the session once per engine and requires byte-identical artifacts.
+void expect_engines_identical(const net::Topology& topology,
+                              ccm::CcmConfig cfg,
+                              const ccm::SlotSelector& selector) {
+  cfg.engine = ccm::SessionEngine::kScalar;
+  obs::RecordingSink scalar_sink;
+  sim::EnergyMeter scalar_energy(topology.tag_count());
+  const ccm::SessionResult scalar =
+      ccm::run_session(topology, cfg, selector, scalar_energy, scalar_sink);
+
+  cfg.engine = ccm::SessionEngine::kWordParallel;
+  obs::RecordingSink word_sink;
+  sim::EnergyMeter word_energy(topology.tag_count());
+  const ccm::SessionResult word =
+      ccm::run_session(topology, cfg, selector, word_energy, word_sink);
+
+  expect_identical_sessions(scalar, word);
+  expect_identical_energy(scalar_energy, word_energy);
+  expect_identical_events(scalar_sink, word_sink);
+}
+
+/// The paper's deployment (SVI-A) at test scale: reader centred in a 30 m
+/// disk, n tags uniform, inter-tag range r.
+net::Topology disk_topology(int tags, double tag_range_m, Seed seed,
+                            SystemConfig& sys) {
+  sys.tag_count = tags;
+  sys.tag_to_tag_range_m = tag_range_m;
+  Rng rng(seed);
+  const net::Deployment deployment = net::make_disk_deployment(sys, rng);
+  return net::Topology(deployment, sys, 0);
+}
+
+TEST(EngineDifferential, Fig4TrpConfigurationOnDiskDeployment) {
+  SystemConfig sys;
+  const auto topology = disk_topology(400, 6.0, 20190707, sys);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 3228;  // TRP for delta=95%, m=50 (SVI-B)
+  cfg.request_seed = 42;
+  cfg.apply_geometry(sys);
+  expect_engines_identical(topology, cfg, ccm::HashedSlotSelector(1.0));
+}
+
+TEST(EngineDifferential, Fig4GmleSampledConfigurationOnDiskDeployment) {
+  SystemConfig sys;
+  const auto topology = disk_topology(400, 6.0, 20190707, sys);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 1671;  // GMLE for alpha=95%, beta=5% (SVI-B)
+  cfg.request_seed = 7;
+  cfg.apply_geometry(sys);
+  // The paper's sampled load: p = 1.59 f / n at n = 10,000.
+  expect_engines_identical(topology, cfg, ccm::HashedSlotSelector(0.2657));
+}
+
+TEST(EngineDifferential, TableEnergyRangeSweep) {
+  // Tables I-IV sweep r — per-tag energy vectors are the artifact here and
+  // expect_engines_identical compares them tag by tag.
+  for (const double r : {2.0, 6.0, 10.0}) {
+    SystemConfig sys;
+    const auto topology = disk_topology(300, r, 991, sys);
+    ccm::CcmConfig cfg;
+    cfg.frame_size = 1671;
+    cfg.request_seed = 11;
+    cfg.apply_geometry(sys);
+    expect_engines_identical(topology, cfg, ccm::HashedSlotSelector(0.2657));
+  }
+}
+
+TEST(EngineDifferential, MultiSlotSelectorDenseFabric) {
+  Rng rng(5);
+  const auto topology = net::make_random_connected(120, 80, 4, rng);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 256;
+  cfg.request_seed = 3;
+  cfg.checking_frame_length = 2 * (topology.tier_count() + 1);
+  cfg.max_rounds = topology.tier_count() + 4;
+  expect_engines_identical(topology, cfg, ccm::MultiSlotSelector(4));
+}
+
+TEST(EngineDifferential, WordBoundaryFrameSizes) {
+  // Frame sizes straddling the 64-bit word boundary exercise the word
+  // engine's tail handling end to end.
+  Rng rng(17);
+  const auto topology = net::make_random_connected(60, 30, 2, rng);
+  for (const FrameSize f : {63, 64, 65, 127, 128}) {
+    ccm::CcmConfig cfg;
+    cfg.frame_size = f;
+    cfg.request_seed = 23;
+    cfg.checking_frame_length = 2 * (topology.tier_count() + 1);
+    cfg.max_rounds = topology.tier_count() + 4;
+    expect_engines_identical(topology, cfg, ccm::HashedSlotSelector(1.0));
+  }
+}
+
+TEST(EngineDifferential, AblationIndicatorVectorOff) {
+  const auto topology = net::make_layered(4, 8);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 128;
+  cfg.request_seed = 9;
+  cfg.checking_frame_length = 2 * (topology.tier_count() + 1);
+  cfg.use_indicator_vector = false;
+  expect_engines_identical(topology, cfg, ccm::HashedSlotSelector(1.0));
+}
+
+TEST(EngineDifferential, AblationCheckingFrameOff) {
+  const auto topology = net::make_layered(4, 8);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 128;
+  cfg.request_seed = 9;
+  cfg.checking_frame_length = 2 * (topology.tier_count() + 1);
+  cfg.use_checking_frame = false;
+  cfg.max_rounds = topology.tier_count() + 2;
+  expect_engines_identical(topology, cfg, ccm::HashedSlotSelector(1.0));
+}
+
+TEST(EngineDifferential, IndicatorDeltaSegmentsOn) {
+  const auto topology = net::make_binary_tree(5);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 512;
+  cfg.request_seed = 13;
+  cfg.checking_frame_length = 2 * (topology.tier_count() + 1);
+  cfg.indicator_delta_segments = true;
+  expect_engines_identical(topology, cfg, ccm::MultiSlotSelector(2));
+}
+
+TEST(EngineDifferential, LossyConfigurationRoutesBothSettingsToScalar) {
+  // The robustness_link_loss configuration: loss draws are ordered
+  // per-reception events, so a lossy session under engine=kWordParallel
+  // must take the scalar kernel and consume the identical RNG stream.
+  SystemConfig sys;
+  const auto topology = disk_topology(200, 6.0, 31337, sys);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 1671;
+  cfg.request_seed = 5;
+  cfg.apply_geometry(sys);
+  cfg.link_loss_probability = 0.05;
+  cfg.loss_seed = 20190707;
+  expect_engines_identical(topology, cfg, ccm::HashedSlotSelector(0.2657));
+}
+
+TEST(EngineDifferential, MultiReaderWindowSweep) {
+  SystemConfig sys;
+  sys.tag_count = 250;
+  sys.tag_to_tag_range_m = 6.0;
+  Rng rng(77);
+  const net::Deployment deployment =
+      net::make_multi_reader_deployment(sys, rng, 3, 15.0, true);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 256;
+  cfg.request_seed = 21;
+  cfg.apply_geometry(sys);
+
+  ccm::MultiReaderResult results[2];
+  obs::RecordingSink sinks[2];
+  sim::EnergyMeter meters[2] = {sim::EnergyMeter(deployment.tag_count()),
+                                sim::EnergyMeter(deployment.tag_count())};
+  cfg.engine = ccm::SessionEngine::kScalar;
+  results[0] = ccm::run_multi_reader_session(deployment, sys, cfg,
+                                             ccm::HashedSlotSelector(1.0),
+                                             meters[0], sinks[0]);
+  cfg.engine = ccm::SessionEngine::kWordParallel;
+  results[1] = ccm::run_multi_reader_session(deployment, sys, cfg,
+                                             ccm::HashedSlotSelector(1.0),
+                                             meters[1], sinks[1]);
+
+  EXPECT_EQ(results[0].bitmap, results[1].bitmap);
+  EXPECT_EQ(results[0].covered_tags, results[1].covered_tags);
+  EXPECT_EQ(results[0].clock.total_slots(), results[1].clock.total_slots());
+  ASSERT_EQ(results[0].per_reader.size(), results[1].per_reader.size());
+  for (std::size_t m = 0; m < results[0].per_reader.size(); ++m)
+    expect_identical_sessions(results[0].per_reader[m],
+                              results[1].per_reader[m]);
+  expect_identical_energy(meters[0], meters[1]);
+  expect_identical_events(sinks[0], sinks[1]);
+}
+
+TEST(EngineDifferential, EnvironmentVariableSelectsEngine) {
+  const auto topology = net::make_line(10);
+  ccm::CcmConfig cfg;  // engine stays kAuto
+  cfg.frame_size = 64;
+  cfg.request_seed = 2019;
+  cfg.checking_frame_length = 2 * (topology.tier_count() + 1);
+  const ccm::HashedSlotSelector selector(1.0);
+
+  ::setenv("NETTAG_ENGINE", "scalar", 1);
+  const auto via_env = ccm::run_session(topology, cfg, selector);
+  ::setenv("NETTAG_ENGINE", "word_parallel", 1);
+  const auto via_env_word = ccm::run_session(topology, cfg, selector);
+  ::setenv("NETTAG_ENGINE", "simd", 1);
+  EXPECT_THROW((void)ccm::run_session(topology, cfg, selector), Error);
+  ::unsetenv("NETTAG_ENGINE");
+
+  expect_identical_sessions(via_env, via_env_word);
+}
+
+}  // namespace
+}  // namespace nettag

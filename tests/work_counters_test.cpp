@@ -14,6 +14,7 @@
 
 #include "ccm/session.hpp"
 #include "ccm/slot_selector.hpp"
+#include "common/rng.hpp"
 #include "common/work_counters.hpp"
 #include "net/topology_builders.hpp"
 #include "obs/trace.hpp"
@@ -69,7 +70,7 @@ TEST_F(WorkCountersTest, DeltaSinceSubtracts) {
 
 TEST_F(WorkCountersTest, FieldTableIsSortedAndComplete) {
   const auto& fields = work::counter_fields();
-  ASSERT_EQ(fields.size(), 14u);
+  ASSERT_EQ(fields.size(), 15u);
   for (std::size_t i = 1; i < fields.size(); ++i)
     EXPECT_LT(std::string(fields[i - 1].name), std::string(fields[i].name))
         << "counter_fields() must stay name-sorted";
@@ -115,6 +116,64 @@ TEST_F(WorkCountersTest, InstrumentedSessionCountsMatchBuildSetting) {
   } else {
     // Uncounted library: this TU's macro is live but no library site is.
     EXPECT_TRUE(c.all_zero());
+  }
+}
+
+/// The two engines charge the same protocol to different ledgers: the
+/// scalar kernel tallies per-slot work (slots_scanned, frame_deliveries),
+/// the word-parallel kernel per-word work (frame_word_folds) — and on a
+/// dense relay fabric the word ledger must be strictly cheaper, which is
+/// the counter-level proof that the speedup is algorithmic.
+TEST_F(WorkCountersTest, EnginesChargeWorkToTheirOwnLedgers) {
+  Rng rng(7);
+  const auto topology = net::make_random_connected(80, 60, 4, rng);
+  ccm::CcmConfig cfg;
+  cfg.frame_size = 2048;
+  cfg.request_seed = 2019;
+  cfg.checking_frame_length = 2 * (topology.tier_count() + 1);
+  cfg.max_rounds = topology.tier_count() + 4;
+  const ccm::MultiSlotSelector selector(8);
+
+  cfg.engine = ccm::SessionEngine::kScalar;
+  work::reset();
+  const auto scalar = ccm::run_session(topology, cfg, selector);
+  const work::Counters sc = work::snapshot();
+
+  cfg.engine = ccm::SessionEngine::kWordParallel;
+  work::reset();
+  const auto word = ccm::run_session(topology, cfg, selector);
+  const work::Counters wc = work::snapshot();
+
+  // Identical protocol outcome regardless of ledger (the full artifact
+  // byte-identity lock lives in ccm_engine_differential_test).
+  EXPECT_EQ(scalar.bitmap, word.bitmap);
+  EXPECT_EQ(scalar.rounds, word.rounds);
+
+  if (work::compiled()) {
+    EXPECT_EQ(sc.sessions, 1u);
+    EXPECT_EQ(wc.sessions, 1u);
+    // Scalar ledger: per-slot monitoring and delivery, no word folds.
+    EXPECT_GT(sc.slots_scanned, 0u);
+    EXPECT_GT(sc.frame_deliveries, 0u);
+    EXPECT_EQ(sc.frame_word_folds, 0u);
+    // Word ledger: per-word folds only — monitoring is popcount, delivery
+    // is whole-row OR, so the per-slot counters stay untouched.
+    EXPECT_EQ(wc.slots_scanned, 0u);
+    EXPECT_EQ(wc.frame_deliveries, 0u);
+    EXPECT_GT(wc.frame_word_folds, 0u);
+    // Folds come in whole rows of ceil(f/64) words...
+    const auto words = Bitmap::word_count(cfg.frame_size);
+    EXPECT_EQ(wc.frame_word_folds % words, 0u);
+    // ...and on a dense fabric (n >> words per row, fat relay sets) the
+    // word engine touches far fewer words than the scalar engine touches
+    // slots: the ~f/64 compression the engine exists for.
+    EXPECT_LT(wc.frame_word_folds, sc.slots_scanned + sc.frame_deliveries);
+    // Both engines fold reader-side bitmaps through the same word paths.
+    EXPECT_GT(sc.bitmap_words_or, 0u);
+    EXPECT_GT(wc.bitmap_words_or, 0u);
+  } else {
+    EXPECT_TRUE(sc.all_zero());
+    EXPECT_TRUE(wc.all_zero());
   }
 }
 
