@@ -90,6 +90,10 @@ void PerfHarness::add_throughput(obs::PerfCase& c, const std::string& unit,
                             items_per_rep / (c.wall.median_ns / 1e9));
 }
 
+// Driver-side manifest dump after all repetitions finish.  The short
+// method name collides with unrelated `.write(...)` calls in the name-based
+// call graph, so the marker below keeps it out of the pool frontier.
+// nettag-lint: cold-path
 bool PerfHarness::write(const std::string& path) const {
   return obs::write_perf_manifest(manifest_, path);
 }

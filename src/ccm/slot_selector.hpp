@@ -51,8 +51,9 @@ class HashedSlotSelector final : public SlotSelector {
   void pick_into(TagId id, Seed seed, FrameSize f,
                  std::vector<SlotIndex>& out) const override {
     out.clear();
+    // Amortized: the caller's buffer retains its capacity across calls.
     if (participates(id, seed, participation_))
-      out.push_back(slot_pick(id, seed, f));
+      out.push_back(slot_pick(id, seed, f));  // nettag-lint: allow(hot-path-alloc)
   }
 
   [[nodiscard]] double participation() const noexcept {
@@ -70,17 +71,21 @@ class MultiSlotSelector final : public SlotSelector {
 
   [[nodiscard]] std::vector<SlotIndex> pick(TagId id, Seed seed,
                                             FrameSize f) const override {
-    std::vector<SlotIndex> slots;
-    slots.reserve(static_cast<std::size_t>(k_));
-    for (int i = 0; i < k_; ++i) slots.push_back(slot_pick_k(id, seed, f, i));
+    // Allocating convenience variant; the session kernels use pick_into.
+    std::vector<SlotIndex> slots;  // nettag-lint: allow(hot-path-alloc)
+    slots.reserve(static_cast<std::size_t>(k_));  // nettag-lint: allow(hot-path-alloc)
+    for (int i = 0; i < k_; ++i)
+      slots.push_back(slot_pick_k(id, seed, f, i));  // nettag-lint: allow(hot-path-alloc)
     return slots;
   }
 
   void pick_into(TagId id, Seed seed, FrameSize f,
                  std::vector<SlotIndex>& out) const override {
     out.clear();
-    out.reserve(static_cast<std::size_t>(k_));
-    for (int i = 0; i < k_; ++i) out.push_back(slot_pick_k(id, seed, f, i));
+    // Amortized: the caller's buffer retains its capacity across calls.
+    out.reserve(static_cast<std::size_t>(k_));  // nettag-lint: allow(hot-path-alloc)
+    for (int i = 0; i < k_; ++i)
+      out.push_back(slot_pick_k(id, seed, f, i));  // nettag-lint: allow(hot-path-alloc)
   }
 
  private:

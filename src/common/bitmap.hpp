@@ -28,7 +28,9 @@ class Bitmap {
   /// Creates a bitmap of `size` bits, all zero.
   explicit Bitmap(FrameSize size) : size_(size) {
     NETTAG_EXPECTS(size >= 0, "bitmap size must be non-negative");
-    words_.resize(word_count(size), 0);
+    // Sizes the bitmap once at construction; the session kernels construct
+    // their bitmaps before the round loop and clear()/assign in it.
+    words_.resize(word_count(size), 0);  // nettag-lint: allow(hot-path-alloc)
   }
 
   [[nodiscard]] FrameSize size() const noexcept { return size_; }

@@ -69,6 +69,10 @@ inline void set_enabled(bool on) noexcept {
 [[noreturn]] inline void fail(const char* kind, const char* expr,
                               const char* file, int line,
                               const char* msg) noexcept {
+  // Last words before abort(): stderr I/O here is deliberate even when a
+  // contract trips on a worker thread.  (The call-graph pass cannot see
+  // this function from pool code anyway — the contract macros hide the
+  // call behind the preprocessor.)
   std::fprintf(stderr, "nettag contract violation: %s (%s) at %s:%d — %s\n",
                kind, expr, file, line, msg);
   std::fflush(stderr);

@@ -57,24 +57,34 @@ std::string iso8601_utc_now() {
   return buf;
 }
 
+// Driver-side manifest assembly.  The short name `set` collides with
+// Bitmap::set in the name-based call graph, so each overload carries a
+// marker keeping the json helpers out of the kernel frontiers.
+// nettag-lint: cold-path
 void RunManifest::set(const std::string& key, const std::string& value) {
   config_.emplace_back(key, json_string(value));
 }
+// nettag-lint: cold-path
 void RunManifest::set(const std::string& key, const char* value) {
   config_.emplace_back(key, json_string(value));
 }
+// nettag-lint: cold-path
 void RunManifest::set(const std::string& key, std::int64_t value) {
   config_.emplace_back(key, std::to_string(value));
 }
+// nettag-lint: cold-path
 void RunManifest::set(const std::string& key, std::uint64_t value) {
   config_.emplace_back(key, std::to_string(value));
 }
+// nettag-lint: cold-path
 void RunManifest::set(const std::string& key, int value) {
   config_.emplace_back(key, std::to_string(value));
 }
+// nettag-lint: cold-path
 void RunManifest::set(const std::string& key, double value) {
   config_.emplace_back(key, json_number(value));
 }
+// nettag-lint: cold-path
 void RunManifest::set(const std::string& key, bool value) {
   config_.emplace_back(key, value ? "true" : "false");
 }

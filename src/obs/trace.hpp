@@ -92,11 +92,16 @@ class TraceSink {
 
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
+  // Observation boundary: everything behind emit() is driver-side
+  // rendering/buffering, short-circuited by `enabled_` on the hot path.
+  // The markers keep the sink stack out of the kernel frontiers.
+  // nettag-lint: cold-path
   void event(const char* kind, std::initializer_list<Field> fields) {
     if (enabled_) emit(kind, fields);
   }
 
   /// Re-emits an already-rendered event (see RecordingSink::Event).
+  // nettag-lint: cold-path
   void replay(const std::string& kind,
               const std::vector<RenderedField>& fields) {
     if (enabled_) emit_rendered(kind, fields);

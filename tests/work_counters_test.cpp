@@ -10,11 +10,15 @@
 // differential suite.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "ccm/session.hpp"
 #include "ccm/slot_selector.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "common/work_counters.hpp"
 #include "net/topology_builders.hpp"
 #include "obs/trace.hpp"
@@ -174,6 +178,50 @@ TEST_F(WorkCountersTest, EnginesChargeWorkToTheirOwnLedgers) {
   } else {
     EXPECT_TRUE(sc.all_zero());
     EXPECT_TRUE(wc.all_zero());
+  }
+}
+
+/// Audit of bench/trial_pool workers against the thread_local counter
+/// block: NETTAG_COUNT lands in the *executing thread's* Counters, so
+/// pooled compute bodies tally into their own per-worker blocks and never
+/// race the driver — and, the flip side, a driver-side snapshot() after a
+/// pooled run reflects only driver-thread work.  Harnesses that want
+/// totals must snapshot where the work runs (bench/perf_harness.cpp runs
+/// its counted repetitions serially for exactly this reason).
+TEST_F(WorkCountersTest, PoolWorkersTallyIntoTheirOwnBlock) {
+  using work::local;
+  constexpr int kTasks = 8;
+  std::vector<const work::Counters*> block(kTasks, nullptr);
+  std::vector<std::uint64_t> seen(kTasks, 0);
+  const work::Counters* const driver_block = &local();
+
+  OrderedRunOptions opts;
+  opts.jobs = 4;
+  // The audit needs its observations made *on the worker threads* — moving
+  // them into the fold (which runs on the driver) would observe the wrong
+  // block.  Each body writes a distinct index, so completion order is moot.
+  run_ordered(  // nettag-lint: allow(fold-order)
+      kTasks,
+      [&](int i) {
+        NETTAG_COUNT(slots_scanned, 64);
+        // Deliberate escape: the audit compares addresses across threads
+        // (it never dereferences another thread's block), which is
+        // precisely the hazard the lint rule exists to flag — hence the
+        // pragma.
+        block[static_cast<std::size_t>(i)] =
+            &local();  // nettag-lint: allow(thread-local-escape)
+        seen[static_cast<std::size_t>(i)] = work::snapshot().slots_scanned;
+      },
+      [](int) {}, opts);
+
+  // The driver's block never advanced: pooled work is invisible here.
+  EXPECT_TRUE(work::snapshot().all_zero());
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_NE(block[static_cast<std::size_t>(i)], nullptr);
+    EXPECT_NE(block[static_cast<std::size_t>(i)], driver_block)
+        << "task " << i << " tallied into the driver's counter block";
+    // Every body saw at least its own tally the moment it counted.
+    EXPECT_GE(seen[static_cast<std::size_t>(i)], 64u);
   }
 }
 

@@ -1,0 +1,58 @@
+# Determinism check for nettag-lint: the same file set handed over in two
+# different argument orders must produce byte-identical --report and --sarif
+# outputs.  The fixture corpus is used as input because it is rich in
+# findings — an ordering bug that only reshuffles output cannot hide behind
+# an empty report.
+#
+# Required -D variables: NETTAG_LINT, SOURCE_DIR (repo root), WORK_DIR.
+if(NOT NETTAG_LINT OR NOT SOURCE_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR "NETTAG_LINT, SOURCE_DIR and WORK_DIR are required")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+file(GLOB_RECURSE inputs
+  "${SOURCE_DIR}/tools/lint_fixtures/*.cpp"
+  "${SOURCE_DIR}/tools/lint_fixtures/*.hpp")
+list(LENGTH inputs input_count)
+if(input_count LESS 10)
+  message(FATAL_ERROR "suspiciously few fixture inputs (${input_count})")
+endif()
+
+list(SORT inputs)
+set(shuffled ${inputs})
+list(REVERSE shuffled)
+
+foreach(run IN ITEMS a b)
+  if(run STREQUAL "a")
+    set(order ${inputs})
+  else()
+    set(order ${shuffled})
+  endif()
+  execute_process(
+    COMMAND ${NETTAG_LINT}
+      --root ${SOURCE_DIR}
+      --report ${WORK_DIR}/${run}.txt
+      --sarif ${WORK_DIR}/${run}.sarif
+      ${order}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_QUIET)
+  # The fixture corpus is known-bad on purpose: findings mean exit 1.
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR "run ${run}: expected exit 1 (findings), got ${rc}")
+  endif()
+endforeach()
+
+foreach(artifact IN ITEMS txt sarif)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${WORK_DIR}/a.${artifact} ${WORK_DIR}/b.${artifact}
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+      "--${artifact} output differs under shuffled input order")
+  endif()
+endforeach()
+
+message(STATUS "nettag-lint output is input-order independent "
+               "(${input_count} files, report + SARIF byte-identical)")

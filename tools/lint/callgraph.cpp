@@ -1,0 +1,1112 @@
+#include "lint/callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace nettag::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool member_qualified(const std::vector<Token>& t, std::size_t i) {
+  return i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+}
+
+std::size_t match_bracket(const std::vector<Token>& t, std::size_t i) {
+  const std::string& open = t[i].text;
+  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == open) ++depth;
+    if (t[j].text == close && --depth == 0) return j;
+  }
+  return npos;
+}
+
+std::size_t match_angle(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  int parens = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const Token& tok = t[j];
+    if (tok.kind != TokKind::kPunct) continue;
+    if (tok.text == "(") ++parens;
+    if (tok.text == ")") --parens;
+    if (parens > 0) continue;
+    if (tok.text == "<") ++depth;
+    if (tok.text == "<<") depth += 2;
+    if (tok.text == ">") --depth;
+    if (tok.text == ">>") depth -= 2;
+    if (depth <= 0) return j;
+    if (tok.text == ";" || tok.text == "{") return npos;
+  }
+  return npos;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& t, std::size_t lp) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  const std::size_t rp = match_bracket(t, lp);
+  if (rp == npos) return args;
+  int depth = 0;
+  std::size_t begin = lp + 1;
+  for (std::size_t j = lp + 1; j < rp; ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    const std::string& s = t[j].text;
+    if (s == "(" || s == "[" || s == "{") ++depth;
+    if (s == ")" || s == "]" || s == "}") --depth;
+    if (s == "," && depth == 0) {
+      args.emplace_back(begin, j);
+      begin = j + 1;
+    }
+  }
+  if (begin < rp || !args.empty()) args.emplace_back(begin, rp);
+  return args;
+}
+
+/// Keywords that look like `name(...)` but are neither calls nor
+/// definitions.
+bool is_control_keyword(const std::string& s) {
+  static const std::set<std::string> k = {
+      "if",       "for",      "while",    "switch",       "catch",
+      "return",   "sizeof",   "alignof",  "decltype",     "new",
+      "delete",   "throw",    "operator", "static_assert", "alignas",
+      "noexcept", "requires", "case",     "goto",         "defined",
+  };
+  return k.count(s) > 0;
+}
+
+bool is_decl_specifier(const std::string& s) {
+  static const std::set<std::string> k = {
+      "static",   "inline",   "extern",       "constexpr", "constinit",
+      "const",    "volatile", "thread_local", "mutable",   "unsigned",
+      "signed",   "long",     "short",        "std",
+  };
+  return k.count(s) > 0;
+}
+
+bool is_mutex_type(const std::string& s) {
+  return s == "mutex" || s == "recursive_mutex" || s == "shared_mutex" ||
+         s == "timed_mutex" || s == "recursive_timed_mutex" ||
+         s == "shared_timed_mutex";
+}
+
+std::string relative_to(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(fs::weakly_canonical(file, ec),
+                                    fs::weakly_canonical(root, ec), ec);
+  const std::string s = rel.generic_string();
+  if (ec || s.empty() || s.rfind("..", 0) == 0) return file.generic_string();
+  return s;
+}
+
+struct Node {
+  enum class Kind { kFunction, kTask, kRegion };
+  Kind kind = Kind::kFunction;
+  std::string display;  // scope-qualified name, or a synthetic label
+  std::string simple;   // resolution key; empty for tasks/regions
+  const fs::path* path = nullptr;
+  LexedFile* file = nullptr;
+  std::string rel;
+  int line = 0;             // name token / call site / begin-marker line
+  std::size_t begin = 0;    // token range scanned for calls and rule sites
+  std::size_t end = 0;      // (body tokens for functions, lambda body for
+                            //  tasks, marker span for regions)
+  bool cold = false;
+  bool pool_root = false;
+  bool hot_root = false;
+  bool tl_accessor = false;  // returns a reference to a thread_local
+};
+
+struct Graph {
+  std::vector<Node> nodes;
+  // Definitions by simple name, in node order (deterministic: files are
+  // visited in sorted map order).
+  std::map<std::string, std::vector<std::size_t>> by_simple;
+  std::map<std::string, std::string> globals;  // name -> "rel:line"
+  std::set<std::string> thread_locals;
+  std::set<std::string> mutexes;
+};
+
+/// One file's walk: a scope stack distinguishing namespace, class,
+/// function and plain-block braces so definitions, members and
+/// namespace-scope variables are classified correctly.
+struct Scope {
+  enum class Kind { kNamespace, kClass, kFunction, kEnum, kBlock };
+  Kind kind;
+  std::string name;
+  std::size_t close;  // index of the matching '}'
+};
+
+class Builder {
+ public:
+  explicit Builder(std::map<fs::path, LexedFile>& files, const fs::path& root)
+      : files_(files), root_(root) {}
+
+  Graph build() {
+    Graph g;
+    for (auto& [path, lexed] : files_)
+      index_file(path, lexed, relative_to(path, root_), g);
+    for (std::size_t n = 0; n < g.nodes.size(); ++n) {
+      const Node& node = g.nodes[n];
+      if (node.kind == Node::Kind::kFunction && !node.simple.empty())
+        g.by_simple[node.simple].push_back(n);
+    }
+    mark_tl_accessors(g);
+    return g;
+  }
+
+ private:
+  /// Skips a definition header's tail after the parameter list: cv/ref
+  /// qualifiers, noexcept(...), trailing return types and constructor
+  /// initializer lists.  Returns the index of the body '{', or npos when
+  /// the shape is a declaration, call or initialization instead.
+  static std::size_t def_body(const std::vector<Token>& t, std::size_t rp) {
+    std::size_t j = rp + 1;
+    while (j < t.size()) {
+      const Token& tok = t[j];
+      if (is_ident(tok, "const") || is_ident(tok, "override") ||
+          is_ident(tok, "final") || is_ident(tok, "mutable")) {
+        ++j;
+        continue;
+      }
+      if (is_ident(tok, "noexcept")) {
+        ++j;
+        if (j < t.size() && is_punct(t[j], "(")) {
+          const std::size_t r = match_bracket(t, j);
+          if (r == npos) return npos;
+          j = r + 1;
+        }
+        continue;
+      }
+      if (is_punct(tok, "&") || is_punct(tok, "&&")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j >= t.size()) return npos;
+    if (is_punct(t[j], "{")) return j;
+    if (is_punct(t[j], "->")) {
+      // Trailing return type: bounded scan for the body brace.
+      int depth = 0;
+      for (std::size_t k = j + 1; k < t.size() && k < j + 64; ++k) {
+        if (t[k].kind != TokKind::kPunct) continue;
+        const std::string& s = t[k].text;
+        if (s == "{" && depth == 0) return k;
+        if (s == ";" && depth == 0) return npos;
+        if (s == "(" || s == "[") ++depth;
+        if (s == ")" || s == "]") --depth;
+      }
+      return npos;
+    }
+    if (is_punct(t[j], ":")) {
+      // Constructor initializer list: `name(args)` / `name{args}` items,
+      // comma-separated; the first brace that does not open an item is the
+      // body.
+      std::size_t k = j + 1;
+      while (k < t.size()) {
+        bool saw_name = false;
+        while (k < t.size() &&
+               (t[k].kind == TokKind::kIdent || is_punct(t[k], "::"))) {
+          saw_name = true;
+          ++k;
+        }
+        if (k < t.size() && is_punct(t[k], "<")) {
+          const std::size_t c = match_angle(t, k);
+          if (c != npos) k = c + 1;
+        }
+        if (k >= t.size()) return npos;
+        if (!saw_name) return is_punct(t[k], "{") ? k : npos;
+        if (is_punct(t[k], "(") || is_punct(t[k], "{")) {
+          const std::size_t c = match_bracket(t, k);
+          if (c == npos) return npos;
+          k = c + 1;
+          if (k < t.size() && is_punct(t[k], ",")) {
+            ++k;
+            continue;
+          }
+          return k < t.size() && is_punct(t[k], "{") ? k : npos;
+        }
+        return npos;
+      }
+      return npos;
+    }
+    return npos;
+  }
+
+  /// A lambda's body brace range inside [begin, end); {npos, npos} when the
+  /// range is not a lambda.
+  static std::pair<std::size_t, std::size_t> lambda_body(
+      const std::vector<Token>& t, std::size_t begin, std::size_t end) {
+    if (begin >= end || !is_punct(t[begin], "[")) return {npos, npos};
+    const std::size_t cap_end = match_bracket(t, begin);
+    if (cap_end == npos || cap_end >= end) return {npos, npos};
+    std::size_t body = cap_end + 1;
+    while (body < end && !is_punct(t[body], "{")) ++body;
+    if (body >= end) return {npos, npos};
+    const std::size_t close = match_bracket(t, body);
+    if (close == npos) return {npos, npos};
+    return {body, close + 1};
+  }
+
+  /// Namespace-scope (or class-scope) statement [b, e): records mutable
+  /// globals, thread_locals and mutex-typed names.  At class scope only
+  /// `static` members count as globals (plain members live per-object).
+  static void process_var_stmt(const std::vector<Token>& t, std::size_t b,
+                               std::size_t e, const std::string& rel,
+                               bool class_scope, Graph& g) {
+    if (b >= e) return;
+    bool is_tl = false;
+    bool is_const = false;
+    bool is_static = false;
+    bool mutexish = false;
+    for (std::size_t k = b; k < e; ++k) {
+      if (t[k].kind != TokKind::kIdent) continue;
+      const std::string& s = t[k].text;
+      if (s == "using" || s == "typedef" || s == "template" ||
+          s == "friend" || s == "namespace" || s == "static_assert" ||
+          s == "struct" || s == "class" || s == "enum" || s == "union" ||
+          s == "operator" || s == "return")
+        return;
+      if (s == "thread_local") is_tl = true;
+      if (s == "const" || s == "constexpr" || s == "constinit")
+        is_const = true;
+      if (s == "static") is_static = true;
+      if (is_mutex_type(s)) mutexish = true;
+    }
+    // Declared name: the first identifier directly followed by an
+    // initializer or the end of the declaration (type names are always
+    // followed by more declarator tokens).
+    std::string name;
+    int line = 0;
+    for (std::size_t k = b; k < e; ++k) {
+      if (is_punct(t[k], "<")) {
+        const std::size_t c = match_angle(t, k);
+        if (c != npos && c < e) {
+          k = c;
+          continue;
+        }
+      }
+      if (t[k].kind != TokKind::kIdent || is_decl_specifier(t[k].text))
+        continue;
+      const bool at_end = k + 1 >= e;
+      if (at_end || (t[k + 1].kind == TokKind::kPunct &&
+                     (t[k + 1].text == "=" || t[k + 1].text == "{" ||
+                      t[k + 1].text == "["))) {
+        // `name(` would be a function declaration, handled by falling
+        // through without a match.
+        name = t[k].text;
+        line = t[k].line;
+        break;
+      }
+    }
+    if (name.empty()) return;
+    if (mutexish) {
+      g.mutexes.insert(name);
+      return;
+    }
+    if (is_tl) {
+      g.thread_locals.insert(name);
+      return;
+    }
+    if (is_const) return;
+    if (class_scope && !is_static) return;
+    g.globals.emplace(name, rel + ":" + std::to_string(line));
+  }
+
+  void index_file(const fs::path& path, LexedFile& lexed,
+                  const std::string& rel, Graph& g) {
+    const std::vector<Token>& t = lexed.tokens;
+    std::vector<Scope> scopes;
+    const std::size_t first_node = g.nodes.size();
+    std::size_t stmt = 0;
+
+    const auto in_function = [&] {
+      for (const Scope& s : scopes)
+        if (s.kind == Scope::Kind::kFunction) return true;
+      return false;
+    };
+    const auto scope_prefix = [&] {
+      std::string p;
+      for (const Scope& s : scopes)
+        if ((s.kind == Scope::Kind::kNamespace ||
+             s.kind == Scope::Kind::kClass) &&
+            !s.name.empty())
+          p += s.name + "::";
+      return p;
+    };
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      while (!scopes.empty() && i > scopes.back().close) {
+        // Plain blocks include namespace-scope brace initializers — those
+        // stay part of the surrounding declaration statement.
+        if (scopes.back().kind != Scope::Kind::kBlock)
+          stmt = scopes.back().close + 1;
+        scopes.pop_back();
+      }
+      const Token& tok = t[i];
+
+      if (tok.kind == TokKind::kPunct) {
+        if (tok.text == ";") {
+          const bool var_scope =
+              scopes.empty() || scopes.back().kind == Scope::Kind::kNamespace ||
+              scopes.back().kind == Scope::Kind::kClass;
+          if (var_scope)
+            process_var_stmt(t, stmt, i, rel,
+                             !scopes.empty() &&
+                                 scopes.back().kind == Scope::Kind::kClass,
+                             g);
+          stmt = i + 1;
+        } else if (tok.text == "{") {
+          // A brace nothing below claimed: plain block or initializer.
+          const std::size_t close = match_bracket(t, i);
+          scopes.push_back(
+              {Scope::Kind::kBlock, "", close == npos ? t.size() : close});
+        }
+        continue;
+      }
+      if (tok.kind != TokKind::kIdent) continue;
+
+      if (tok.text == "namespace" && !in_function()) {
+        std::size_t j = i + 1;
+        std::string name;
+        while (j < t.size() &&
+               (t[j].kind == TokKind::kIdent || is_punct(t[j], "::"))) {
+          name += t[j].text;
+          ++j;
+        }
+        if (j < t.size() && is_punct(t[j], "{")) {
+          const std::size_t close = match_bracket(t, j);
+          scopes.push_back({Scope::Kind::kNamespace, name,
+                            close == npos ? t.size() : close});
+          i = j;
+          stmt = j + 1;
+        }
+        continue;
+      }
+
+      if ((tok.text == "class" || tok.text == "struct" ||
+           tok.text == "union" || tok.text == "enum") &&
+          !in_function()) {
+        // Scan to the defining '{' (skipping template args in base lists)
+        // or to ';' for forward declarations and variable uses.
+        std::string name;
+        std::size_t k = i + 1;
+        if (k < t.size() && is_ident(t[k], "class")) ++k;  // enum class
+        if (k < t.size() && t[k].kind == TokKind::kIdent) name = t[k].text;
+        int depth = 0;
+        std::size_t open = npos;
+        while (k < t.size()) {
+          if (is_punct(t[k], "<")) {
+            const std::size_t c = match_angle(t, k);
+            if (c != npos) {
+              k = c + 1;
+              continue;
+            }
+          }
+          if (t[k].kind == TokKind::kPunct) {
+            const std::string& s = t[k].text;
+            if (s == "(") ++depth;
+            if (s == ")") --depth;
+            if (s == ";" && depth == 0) break;
+            if (s == "{" && depth == 0) {
+              open = k;
+              break;
+            }
+          }
+          ++k;
+        }
+        if (open != npos) {
+          const std::size_t close = match_bracket(t, open);
+          scopes.push_back({tok.text == "enum" ? Scope::Kind::kEnum
+                                               : Scope::Kind::kClass,
+                            name, close == npos ? t.size() : close});
+          i = open;
+          stmt = open + 1;
+        }
+        continue;
+      }
+
+      // Function definition: `name(params) <tail> {` outside any function
+      // body, at namespace or class scope.
+      const bool def_scope =
+          scopes.empty() || scopes.back().kind == Scope::Kind::kNamespace ||
+          scopes.back().kind == Scope::Kind::kClass;
+      if (def_scope && !is_control_keyword(tok.text) &&
+          !member_qualified(t, i) && i + 1 < t.size() &&
+          is_punct(t[i + 1], "(")) {
+        const std::size_t rp = match_bracket(t, i + 1);
+        if (rp != npos) {
+          const std::size_t body = def_body(t, rp);
+          if (body != npos) {
+            const std::size_t close = match_bracket(t, body);
+            const std::size_t end = close == npos ? t.size() : close + 1;
+            // Fold explicit `Class::name` qualifiers into the display name.
+            std::string qual;
+            std::size_t b = i;
+            while (b >= 2 && is_punct(t[b - 1], "::") &&
+                   t[b - 2].kind == TokKind::kIdent) {
+              qual = t[b - 2].text + "::" + qual;
+              b -= 2;
+            }
+            Node node;
+            node.kind = Node::Kind::kFunction;
+            node.display = scope_prefix() + qual + tok.text;
+            node.simple = tok.text;
+            node.path = &path;
+            node.file = &lexed;
+            node.rel = rel;
+            node.line = tok.line;
+            node.begin = body;
+            node.end = end;
+            g.nodes.push_back(std::move(node));
+            scopes.push_back({Scope::Kind::kFunction, tok.text,
+                              close == npos ? t.size() : close});
+            i = body;
+            stmt = body + 1;
+            continue;
+          }
+        }
+      }
+    }
+    // Trailing namespace-scope statement without ';' (unterminated) is
+    // ignored on purpose.
+
+    collect_pool_tasks(path, lexed, rel, g);
+    collect_local_sync(lexed, g);
+    attach_markers(path, lexed, rel, first_node, g);
+  }
+
+  /// Function-local mutexes and thread_locals matter just as much as
+  /// namespace-scope ones (a raw .lock() on a local mutex is equally
+  /// undisciplined), but the scope walk above only processes statements
+  /// at namespace/class scope.  This flat scan picks up the rest.
+  static void collect_local_sync(const LexedFile& lexed, Graph& g) {
+    const std::vector<Token>& t = lexed.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      if (is_mutex_type(t[i].text)) {
+        // `std::mutex name;` / `std::mutex& name` — skip ref/ptr tokens;
+        // `std::lock_guard<std::mutex>` is excluded because the next
+        // token is '>' rather than a declarator.
+        std::size_t j = i + 1;
+        while (j < t.size() && t[j].kind == TokKind::kPunct &&
+               (t[j].text == "&" || t[j].text == "*"))
+          ++j;
+        if (j + 1 < t.size() && t[j].kind == TokKind::kIdent &&
+            t[j + 1].kind == TokKind::kPunct &&
+            (t[j + 1].text == ";" || t[j + 1].text == "," ||
+             t[j + 1].text == ")" || t[j + 1].text == "=" ||
+             t[j + 1].text == "{"))
+          g.mutexes.insert(t[j].text);
+      } else if (t[i].text == "thread_local") {
+        // `thread_local Type name;` — the name is the first identifier
+        // directly followed by the end of the declarator.
+        for (std::size_t j = i + 1; j + 1 < t.size(); ++j) {
+          if (is_punct(t[j], ";")) break;
+          if (t[j].kind != TokKind::kIdent) continue;
+          if (t[j + 1].kind == TokKind::kPunct &&
+              (t[j + 1].text == ";" || t[j + 1].text == "=" ||
+               t[j + 1].text == "{")) {
+            g.thread_locals.insert(t[j].text);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  /// Pooled-task lambdas become synthetic roots: the dispatcher passes
+  /// them through std::function, so no name-based edge can reach them.
+  /// An argument is either a lambda literal or a named lambda bound
+  /// earlier in the same file (`const auto compute = [&](...) {...};`).
+  void collect_pool_tasks(const fs::path& path, LexedFile& lexed,
+                          const std::string& rel, Graph& g) {
+    const std::vector<Token>& t = lexed.tokens;
+    const auto resolve_lambda =
+        [&](std::pair<std::size_t, std::size_t> arg,
+            std::size_t call_site) -> std::pair<std::size_t, std::size_t> {
+      const auto literal = lambda_body(t, arg.first, arg.second);
+      if (literal.first != npos) return literal;
+      if (arg.second - arg.first != 1 ||
+          t[arg.first].kind != TokKind::kIdent)
+        return {npos, npos};
+      const std::string& name = t[arg.first].text;
+      for (std::size_t k = call_site; k-- > 0;) {
+        if (t[k].kind == TokKind::kIdent && t[k].text == name &&
+            k + 2 < t.size() && is_punct(t[k + 1], "=") &&
+            is_punct(t[k + 2], "[")) {
+          const auto bound = lambda_body(t, k + 2, t.size());
+          if (bound.first != npos && bound.second <= call_site) return bound;
+        }
+      }
+      return {npos, npos};
+    };
+    const auto add_task = [&](std::pair<std::size_t, std::size_t> body,
+                              int line) {
+      if (body.first == npos) return;
+      Node node;
+      node.kind = Node::Kind::kTask;
+      node.display = "pooled task @" + rel + ":" + std::to_string(line);
+      node.path = &path;
+      node.file = &lexed;
+      node.rel = rel;
+      node.line = line;
+      node.begin = body.first;
+      node.end = body.second;
+      node.pool_root = true;
+      g.nodes.push_back(std::move(node));
+    };
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      if (t[i].text == "run_ordered" && is_punct(t[i + 1], "(")) {
+        // run_ordered(task_count, body, fold[, options]) — the body runs on
+        // workers; the fold stays on the caller thread.
+        const auto args = split_args(t, i + 1);
+        if (args.size() >= 3) add_task(resolve_lambda(args[1], i), t[i].line);
+      } else if (t[i].text == "run_pooled_trials") {
+        // run_pooled_trials<Result>(jobs, trials, compute, fold).
+        std::size_t j = i + 1;
+        if (j < t.size() && is_punct(t[j], "<")) {
+          const std::size_t c = match_angle(t, j);
+          if (c == npos) continue;
+          j = c + 1;
+        }
+        if (j >= t.size() || !is_punct(t[j], "(")) continue;
+        const auto args = split_args(t, j);
+        if (args.size() >= 4) add_task(resolve_lambda(args[2], i), t[i].line);
+      } else if (t[i].text == "run" && member_qualified(t, i) &&
+                 is_punct(t[i + 1], "(")) {
+        // pool.run(cell_count, compute, fold): recognized by shape — two
+        // trailing lambda arguments after a count.
+        const auto args = split_args(t, i + 1);
+        if (args.size() >= 3) {
+          const auto compute = resolve_lambda(args[1], i);
+          if (compute.first != npos &&
+              resolve_lambda(args[2], i).first != npos)
+            add_task(compute, t[i].line);
+        }
+      }
+    }
+  }
+
+  /// Marker pragmas: function markers bind to the definition whose name
+  /// token sits on the marker line or the line below; region markers carve
+  /// a token span out of the enclosing body.
+  void attach_markers(const fs::path& path, LexedFile& lexed,
+                      const std::string& rel, std::size_t first_node,
+                      Graph& g) {
+    const std::vector<Token>& t = lexed.tokens;
+    std::vector<const Marker*> begins;
+    std::vector<const Marker*> ends;
+    for (const Marker& m : lexed.markers) {
+      if (m.kind == "hot-path-begin") {
+        begins.push_back(&m);
+        continue;
+      }
+      if (m.kind == "hot-path-end") {
+        ends.push_back(&m);
+        continue;
+      }
+      for (std::size_t n = first_node; n < g.nodes.size(); ++n) {
+        Node& node = g.nodes[n];
+        if (node.kind != Node::Kind::kFunction) continue;
+        if (node.line != m.line && node.line != m.line + 1) continue;
+        if (m.kind == "pool-root") node.pool_root = true;
+        if (m.kind == "hot-path-root") node.hot_root = true;
+        if (m.kind == "cold-path") node.cold = true;
+        break;
+      }
+    }
+    // Pair each begin with the first end below it; an unpaired begin spans
+    // to the end of the file's tokens (in practice: the enclosing body).
+    std::size_t next_end = 0;
+    for (const Marker* b : begins) {
+      while (next_end < ends.size() && ends[next_end]->line <= b->line)
+        ++next_end;
+      const int end_line =
+          next_end < ends.size() ? ends[next_end]->line : 0;
+      if (next_end < ends.size()) ++next_end;
+      std::size_t s = 0;
+      while (s < t.size() && t[s].line <= b->line) ++s;
+      std::size_t e = s;
+      if (end_line > 0) {
+        while (e < t.size() && t[e].line < end_line) ++e;
+      } else {
+        e = t.size();
+      }
+      if (s >= e) continue;
+      Node node;
+      node.kind = Node::Kind::kRegion;
+      node.display = "hot region @" + rel + ":" + std::to_string(b->line);
+      node.path = &path;
+      node.file = &lexed;
+      node.rel = rel;
+      node.line = b->line;
+      node.begin = s;
+      node.end = e;
+      node.hot_root = true;
+      g.nodes.push_back(std::move(node));
+    }
+  }
+
+  /// Functions whose body returns a thread_local by name are thread-local
+  /// accessors (e.g. work::local() returning the counter block): binding
+  /// their result outside a task and reading it inside is the escape the
+  /// rule hunts.
+  static void mark_tl_accessors(Graph& g) {
+    for (Node& node : g.nodes) {
+      if (node.kind != Node::Kind::kFunction) continue;
+      const std::vector<Token>& t = node.file->tokens;
+      for (std::size_t i = node.begin;
+           i + 2 < node.end && i + 2 < t.size(); ++i) {
+        if (is_ident(t[i], "return") && t[i + 1].kind == TokKind::kIdent &&
+            g.thread_locals.count(t[i + 1].text) > 0 &&
+            is_punct(t[i + 2], ";")) {
+          node.tl_accessor = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::map<fs::path, LexedFile>& files_;
+  const fs::path& root_;
+};
+
+/// Call sites in a node's token range, by simple callee name (member and
+/// scope qualifiers stripped — resolution is deliberately name-based).
+std::vector<std::string> callees(const Node& node) {
+  std::vector<std::string> out;
+  const std::vector<Token>& t = node.file->tokens;
+  for (std::size_t i = node.begin; i < node.end && i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !is_punct(t[i + 1], "(")) continue;
+    if (is_control_keyword(t[i].text)) continue;
+    out.push_back(t[i].text);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// BFS over name-resolved edges.  `origin[n]` names the root that first
+/// discovered n, for finding provenance.
+std::set<std::size_t> reach(const Graph& g,
+                            const std::vector<std::size_t>& roots,
+                            std::map<std::size_t, std::size_t>& origin) {
+  std::set<std::size_t> seen;
+  std::deque<std::size_t> queue;
+  for (const std::size_t r : roots) {
+    if (g.nodes[r].cold || !seen.insert(r).second) continue;
+    origin[r] = r;
+    queue.push_back(r);
+  }
+  while (!queue.empty()) {
+    const std::size_t n = queue.front();
+    queue.pop_front();
+    for (const std::string& name : callees(g.nodes[n])) {
+      const auto it = g.by_simple.find(name);
+      if (it == g.by_simple.end()) continue;
+      for (const std::size_t callee : it->second) {
+        if (g.nodes[callee].cold || !seen.insert(callee).second) continue;
+        origin[callee] = origin[n];
+        queue.push_back(callee);
+      }
+    }
+  }
+  return seen;
+}
+
+struct Reporter {
+  std::vector<Finding>& findings;
+  // Dedup: overlapping scans (a hot region inside a function two roots
+  // reach) must not double-report one site.
+  std::set<std::tuple<std::string, int, std::string>> seen;
+
+  void report(const Node& node, int line, const char* rule,
+              std::string message) {
+    if (!seen.insert({node.rel, line, rule}).second) return;
+    if (pragma_allows(*node.file, line, rule)) return;
+    findings.push_back({node.path->string(), node.rel, line, rule,
+                        std::move(message), Level::kError});
+  }
+};
+
+std::string root_tag(const Graph& g, const std::map<std::size_t, std::size_t>&
+                                         origin, std::size_t n) {
+  const auto it = origin.find(n);
+  if (it == origin.end()) return "";
+  const Node& r = g.nodes[it->second];
+  return " (root: " + r.display +
+         (r.kind == Node::Kind::kFunction
+              ? " @" + r.rel + ":" + std::to_string(r.line)
+              : "") +
+         ")";
+}
+
+bool is_write_op(const Token& t) {
+  if (t.kind != TokKind::kPunct) return false;
+  static const std::set<std::string> ops = {
+      "=",  "+=", "-=",  "*=",  "/=", "%=",
+      "|=", "&=", "^=", "<<=", ">>=", "++", "--"};
+  return ops.count(t.text) > 0;
+}
+
+void rule_shared_mutable_global(const Graph& g,
+                                const std::set<std::size_t>& pool,
+                                const std::map<std::size_t, std::size_t>&
+                                    origin,
+                                Reporter& rep) {
+  for (const std::size_t n : pool) {
+    const Node& node = g.nodes[n];
+    const std::vector<Token>& t = node.file->tokens;
+    for (std::size_t i = node.begin; i < node.end && i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent || member_qualified(t, i)) continue;
+      const auto decl = g.globals.find(t[i].text);
+      if (decl == g.globals.end()) continue;
+      const bool pre = i > 0 && (is_punct(t[i - 1], "++") ||
+                                 is_punct(t[i - 1], "--"));
+      const bool post = i + 1 < t.size() && is_write_op(t[i + 1]);
+      if (!pre && !post) continue;
+      rep.report(node, t[i].line, "shared-mutable-global",
+                 "write to shared mutable global '" + t[i].text +
+                     "' (declared at " + decl->second +
+                     ") from pool-reachable code; workers race on it — fold "
+                     "per-worker state through the ordered fold instead" +
+                     root_tag(g, origin, n));
+    }
+  }
+}
+
+void rule_thread_local_escape(const Graph& g,
+                              const std::set<std::size_t>& pool,
+                              const std::map<std::size_t, std::size_t>&
+                                  origin,
+                              Reporter& rep) {
+  std::set<std::string> accessors;
+  for (const Node& node : g.nodes)
+    if (node.tl_accessor) accessors.insert(node.simple);
+
+  // Part 1: a reference bound to a thread_local (or an accessor's result)
+  // before a pooled task, then read inside it — the task would touch the
+  // *driver's* instance from a worker thread.
+  for (std::size_t n = 0; n < g.nodes.size(); ++n) {
+    const Node& task = g.nodes[n];
+    if (task.kind != Node::Kind::kTask) continue;
+    const Node* host = nullptr;
+    for (const Node& cand : g.nodes) {
+      if (cand.kind == Node::Kind::kFunction && cand.file == task.file &&
+          cand.begin < task.begin && cand.end >= task.end)
+        if (!host || cand.begin > host->begin) host = &cand;
+    }
+    if (!host) continue;
+    const std::vector<Token>& t = task.file->tokens;
+    std::map<std::string, std::string> aliases;  // alias -> bound source
+    for (std::size_t i = host->begin;
+         i + 2 < task.begin && i + 2 < t.size(); ++i) {
+      // `...& alias = <expr containing tl or accessor()>;`
+      if (t[i].kind != TokKind::kIdent || !is_punct(t[i + 1], "=")) continue;
+      if (i == 0 || (!is_punct(t[i - 1], "&") && !is_punct(t[i - 1], "*")))
+        continue;
+      for (std::size_t j = i + 2; j < task.begin && j < t.size(); ++j) {
+        if (t[j].kind == TokKind::kPunct && t[j].text == ";") break;
+        if (t[j].kind != TokKind::kIdent) continue;
+        if (g.thread_locals.count(t[j].text) > 0 ||
+            (accessors.count(t[j].text) > 0 && j + 1 < t.size() &&
+             is_punct(t[j + 1], "("))) {
+          aliases.emplace(t[i].text, t[j].text);
+          break;
+        }
+      }
+    }
+    for (std::size_t i = task.begin; i < task.end && i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent || member_qualified(t, i)) continue;
+      const auto alias = aliases.find(t[i].text);
+      if (alias == aliases.end()) continue;
+      rep.report(task, t[i].line, "thread-local-escape",
+                 "'" + alias->first + "' is bound to thread_local '" +
+                     alias->second +
+                     "' outside the pooled task but used inside it — the "
+                     "task reads the driver thread's instance; call the "
+                     "accessor from the task body instead");
+    }
+  }
+
+  // Part 2: the address of a thread_local stored/passed/returned in
+  // pool-reachable code outlives its only valid thread.
+  for (const std::size_t n : pool) {
+    const Node& node = g.nodes[n];
+    const std::vector<Token>& t = node.file->tokens;
+    for (std::size_t i = node.begin;
+         i + 1 < node.end && i + 1 < t.size(); ++i) {
+      if (!is_punct(t[i], "&") || t[i + 1].kind != TokKind::kIdent) continue;
+      // Address-of, not bitwise-and: the left operand must not be a value.
+      if (i > 0 && (t[i - 1].kind == TokKind::kIdent ||
+                    t[i - 1].kind == TokKind::kNumber ||
+                    is_punct(t[i - 1], ")") || is_punct(t[i - 1], "]")))
+        continue;
+      const std::string& name = t[i + 1].text;
+      const bool tl = g.thread_locals.count(name) > 0;
+      const bool acc = accessors.count(name) > 0 && i + 2 < t.size() &&
+                       is_punct(t[i + 2], "(");
+      if (!tl && !acc) continue;
+      rep.report(node, t[i + 1].line, "thread-local-escape",
+                 "address of thread_local " +
+                     (acc ? "accessor result '" + name + "()'"
+                          : "'" + name + "'") +
+                     " escapes in pool-reachable code; the pointer is only "
+                     "meaningful on the thread that produced it" +
+                     root_tag(g, origin, n));
+    }
+  }
+}
+
+void rule_blocking_in_pool(const Graph& g, const std::set<std::size_t>& pool,
+                           const std::map<std::size_t, std::size_t>& origin,
+                           Reporter& rep) {
+  static const std::set<std::string> blocking_calls = {
+      "sleep_for", "sleep_until", "sleep",  "usleep",  "nanosleep",
+      "system",    "popen",       "fopen",  "freopen", "fgets",
+      "fread",     "fwrite",      "fscanf", "fprintf", "fputs",
+      "fflush",    "getline",     "getchar"};
+  static const std::set<std::string> blocking_idents = {
+      "cout", "cerr", "clog", "cin", "ifstream", "ofstream", "fstream"};
+  for (const std::size_t n : pool) {
+    const Node& node = g.nodes[n];
+    const std::vector<Token>& t = node.file->tokens;
+    for (std::size_t i = node.begin; i < node.end && i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& s = t[i].text;
+      const bool call = blocking_calls.count(s) > 0 && i + 1 < t.size() &&
+                        is_punct(t[i + 1], "(");
+      const bool ident = blocking_idents.count(s) > 0 &&
+                         !member_qualified(t, i);
+      if (!call && !ident) continue;
+      rep.report(node, t[i].line, "blocking-in-pool",
+                 "'" + s +
+                     "' blocks (or does I/O) in pool-reachable code; "
+                     "workers must stay compute-only — do I/O on the driver "
+                     "thread, e.g. from the ordered fold" +
+                     root_tag(g, origin, n));
+    }
+  }
+}
+
+void rule_lock_discipline(const Graph& g, Reporter& rep) {
+  // Discipline rules are not reachability-gated: raw lock calls and
+  // instantly-destroyed guards are wrong wherever threads exist, and the
+  // cross-TU mutex index is what pass 4 adds over the token rules.
+  for (const Node& node : g.nodes) {
+    if (node.kind != Node::Kind::kFunction) continue;
+    const std::vector<Token>& t = node.file->tokens;
+    for (std::size_t i = node.begin; i < node.end && i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& s = t[i].text;
+      if (g.mutexes.count(s) > 0 && i + 3 < t.size() &&
+          (is_punct(t[i + 1], ".") || is_punct(t[i + 1], "->")) &&
+          t[i + 2].kind == TokKind::kIdent &&
+          (t[i + 2].text == "lock" || t[i + 2].text == "unlock") &&
+          is_punct(t[i + 3], "(")) {
+        rep.report(node, t[i].line, "lock-discipline",
+                   "raw ." + t[i + 2].text + "() on mutex '" + s +
+                       "'; use std::lock_guard/std::unique_lock so every "
+                       "exit path releases the lock");
+      }
+      if ((s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+           s == "shared_lock") &&
+          !member_qualified(t, i)) {
+        std::size_t j = i + 1;
+        if (j < t.size() && is_punct(t[j], "<")) {
+          const std::size_t c = match_angle(t, j);
+          if (c == npos) continue;
+          j = c + 1;
+        }
+        if (j < t.size() && (is_punct(t[j], "(") || is_punct(t[j], "{"))) {
+          rep.report(node, t[i].line, "lock-discipline",
+                     "unnamed " + s +
+                         " temporary unlocks at the end of this statement, "
+                         "guarding nothing — name the guard so it covers "
+                         "the critical section");
+        }
+      }
+    }
+  }
+}
+
+void rule_hot_path_alloc(const Graph& g, const std::set<std::size_t>& hot,
+                         const std::map<std::size_t, std::size_t>& origin,
+                         Reporter& rep) {
+  static const std::set<std::string> alloc_calls = {
+      "malloc", "calloc", "realloc", "aligned_alloc",
+      "strdup", "make_unique", "make_shared", "to_string"};
+  static const std::set<std::string> growth_members = {
+      "push_back", "emplace_back", "push_front", "emplace_front",
+      "insert",    "emplace",      "resize",     "reserve",
+      "append",    "assign"};
+  static const std::set<std::string> container_types = {
+      "vector",        "string",        "deque",
+      "list",          "map",           "set",
+      "multimap",      "multiset",      "unordered_map",
+      "unordered_set", "ostringstream", "stringstream",
+      "istringstream", "basic_string"};
+  for (const std::size_t n : hot) {
+    const Node& node = g.nodes[n];
+    const std::vector<Token>& t = node.file->tokens;
+    for (std::size_t i = node.begin; i < node.end && i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& s = t[i].text;
+      if ((s == "new" || s == "delete") && !member_qualified(t, i)) {
+        rep.report(node, t[i].line, "hot-path-alloc",
+                   "'" + s + "' on the hot path" + root_tag(g, origin, n) +
+                       "; pre-allocate outside the per-slot loop");
+        continue;
+      }
+      const bool call = i + 1 < t.size() && is_punct(t[i + 1], "(");
+      if (alloc_calls.count(s) > 0 && !member_qualified(t, i)) {
+        std::size_t j = i + 1;
+        if (j < t.size() && is_punct(t[j], "<")) {
+          const std::size_t c = match_angle(t, j);
+          j = c == npos ? j : c + 1;
+        }
+        if (j < t.size() && is_punct(t[j], "(")) {
+          rep.report(node, t[i].line, "hot-path-alloc",
+                     "'" + s + "' allocates on the hot path" +
+                         root_tag(g, origin, n) +
+                         "; hoist the allocation out of the per-slot loop");
+          continue;
+        }
+      }
+      if (growth_members.count(s) > 0 && member_qualified(t, i) && call) {
+        rep.report(node, t[i].line, "hot-path-alloc",
+                   "'." + s +
+                       "()' may grow (reallocate) on the hot path" +
+                       root_tag(g, origin, n) +
+                       "; reserve outside the loop or reuse a buffer "
+                       "(annotate amortized growth with a pragma)");
+        continue;
+      }
+      if (container_types.count(s) > 0 && !member_qualified(t, i)) {
+        std::size_t after = i + 1;
+        if (after < t.size() && is_punct(t[after], "<")) {
+          const std::size_t c = match_angle(t, after);
+          if (c == npos) continue;
+          after = c + 1;
+        }
+        if (after + 1 < t.size() && t[after].kind == TokKind::kIdent &&
+            t[after + 1].kind == TokKind::kPunct &&
+            (t[after + 1].text == "(" || t[after + 1].text == "{" ||
+             t[after + 1].text == ";" || t[after + 1].text == "=")) {
+          rep.report(node, t[after].line, "hot-path-alloc",
+                     "container '" + t[after].text +
+                         "' is constructed on the hot path" +
+                         root_tag(g, origin, n) +
+                         "; construct it once outside the loop and reuse");
+        }
+      }
+    }
+  }
+}
+
+struct Frontiers {
+  Graph graph;
+  std::vector<std::size_t> pool_roots;
+  std::vector<std::size_t> hot_roots;
+  std::set<std::size_t> pool;
+  std::set<std::size_t> hot;
+  std::map<std::size_t, std::size_t> pool_origin;
+  std::map<std::size_t, std::size_t> hot_origin;
+};
+
+Frontiers build_frontiers(std::map<fs::path, LexedFile>& files,
+                          const fs::path& root) {
+  Frontiers f;
+  f.graph = Builder(files, root).build();
+  for (std::size_t n = 0; n < f.graph.nodes.size(); ++n) {
+    if (f.graph.nodes[n].pool_root) f.pool_roots.push_back(n);
+    if (f.graph.nodes[n].hot_root) f.hot_roots.push_back(n);
+  }
+  f.pool = reach(f.graph, f.pool_roots, f.pool_origin);
+  f.hot = reach(f.graph, f.hot_roots, f.hot_origin);
+  return f;
+}
+
+}  // namespace
+
+void run_callgraph_rules(std::map<fs::path, LexedFile>& files,
+                         const fs::path& root,
+                         std::vector<Finding>& findings) {
+  Frontiers f = build_frontiers(files, root);
+  Reporter rep{findings, {}};
+  rule_shared_mutable_global(f.graph, f.pool, f.pool_origin, rep);
+  rule_thread_local_escape(f.graph, f.pool, f.pool_origin, rep);
+  rule_blocking_in_pool(f.graph, f.pool, f.pool_origin, rep);
+  rule_lock_discipline(f.graph, rep);
+  rule_hot_path_alloc(f.graph, f.hot, f.hot_origin, rep);
+}
+
+void dump_callgraph(std::map<fs::path, LexedFile>& files,
+                    const fs::path& root, std::ostream& os) {
+  const Frontiers f = build_frontiers(files, root);
+  const Graph& g = f.graph;
+  std::size_t functions = 0;
+  std::size_t tasks = 0;
+  std::size_t regions = 0;
+  for (const Node& n : g.nodes) {
+    if (n.kind == Node::Kind::kFunction) ++functions;
+    if (n.kind == Node::Kind::kTask) ++tasks;
+    if (n.kind == Node::Kind::kRegion) ++regions;
+  }
+  os << "callgraph: " << functions << " function(s), " << tasks
+     << " pooled task(s), " << regions << " hot region(s); "
+     << g.globals.size() << " mutable global(s), "
+     << g.thread_locals.size() << " thread_local(s), " << g.mutexes.size()
+     << " mutex(es)\n";
+  os << "frontiers: pool=" << f.pool.size() << " node(s) from "
+     << f.pool_roots.size() << " root(s), hot=" << f.hot.size()
+     << " node(s) from " << f.hot_roots.size() << " root(s)\n";
+  std::vector<std::size_t> order(g.nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Node& x = g.nodes[a];
+    const Node& y = g.nodes[b];
+    if (x.rel != y.rel) return x.rel < y.rel;
+    if (x.line != y.line) return x.line < y.line;
+    return x.display < y.display;
+  });
+  for (const std::size_t n : order) {
+    const Node& node = g.nodes[n];
+    os << node.rel << ":" << node.line << " " << node.display;
+    std::size_t resolved = 0;
+    const auto names = callees(node);
+    for (const std::string& name : names) {
+      const auto it = g.by_simple.find(name);
+      if (it != g.by_simple.end()) resolved += it->second.size();
+    }
+    os << " [calls: " << names.size() << " name(s), " << resolved
+       << " resolved";
+    if (node.pool_root) os << ", pool-root";
+    if (node.hot_root) os << ", hot-root";
+    if (node.cold) os << ", cold";
+    if (node.tl_accessor) os << ", tl-accessor";
+    if (f.pool.count(n) > 0) os << ", pool-reachable";
+    if (f.hot.count(n) > 0) os << ", hot-reachable";
+    os << "]\n";
+  }
+}
+
+}  // namespace nettag::lint

@@ -1,0 +1,84 @@
+// nettag-lint pass 4 — the cross-translation-unit call graph.
+//
+// Builds a whole-program symbol index over every scanned file (function
+// definitions — free, member, out-of-line — keyed by qualified name),
+// records every call site by *simple* name, and resolves calls
+// over-approximately: a call `foo(...)` edges to every definition named
+// `foo` anywhere in the scanned set.  Over-approximation is the point —
+// the pass never needs headers, overload resolution or templates to be
+// sound for the hazards it polices; a false edge at worst asks for one
+// explained pragma.
+//
+// Two reachability frontiers are computed over that graph:
+//
+// Roots are designated by marker comments of the form `// nettag-lint:`
+// followed by a marker kind (the kinds are listed in token.hpp; the
+// literal prefix+kind sequence is avoided in this comment because the
+// lexer honors it wherever it appears, including here).
+//
+//   pool      everything reachable from code that runs on worker threads:
+//               * the task lambda of `ThreadPool::run_ordered(count, body,
+//                 fold)` (arg 1) and of `pool.run(count, compute, fold)`,
+//               * the compute lambda of `run_pooled_trials(jobs, trials,
+//                 compute, fold)` (arg 2),
+//               * any function carrying the `pool-root` marker (forward
+//                 declaration for future serve handlers).
+//             The fold lambdas are deliberately NOT roots: folds run on
+//             the caller thread in strictly ascending order (see
+//             src/common/thread_pool.hpp, FoldOrderGuard).
+//
+//   hot       everything reachable from per-slot/per-frame kernel code:
+//               * functions carrying the `hot-path-root` marker,
+//               * regions bracketed by the `hot-path-begin` and
+//                 `hot-path-end` markers inside a larger function (the
+//                 session kernels mix legitimate setup allocation with
+//                 loops that must stay allocation-free; regions carve out
+//                 the loops).
+//
+// The `cold-path` marker on a definition stops traversal into it:
+// observation/driver-only code (file sinks, the profiler, audits) shares
+// short method names (`event`, `write`, `flush`) with nothing else to
+// disambiguate, and would otherwise drag the whole obs layer into every
+// frontier.
+//
+// Five rule families run over the frontiers (all suppressible with the
+// usual `nettag-lint: allow(<rule>)` line pragma):
+//
+//   shared-mutable-global   pool-reachable write to non-const,
+//                           non-thread_local namespace-scope state
+//   thread-local-escape     a reference/pointer bound to a thread_local
+//                           (or to a thread-local accessor's result)
+//                           outside a pooled task and used inside it, or
+//                           the address of one stored in pool code
+//   blocking-in-pool        sleeps, filesystem and iostream traffic
+//                           reachable from a task body
+//   lock-discipline         raw .lock()/.unlock() on a mutex instead of a
+//                           RAII guard, and guard temporaries whose
+//                           lifetime ends at the semicolon
+//   hot-path-alloc          new/malloc/container construction or growth
+//                           reachable from the per-slot session loops
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "lint/token.hpp"
+
+namespace nettag::lint {
+
+/// Runs the call-graph rules over the scanned file set.  `files` is
+/// mutable so pragma hits can be recorded; `root` derives repo-relative
+/// paths for findings.
+void run_callgraph_rules(std::map<std::filesystem::path, LexedFile>& files,
+                         const std::filesystem::path& root,
+                         std::vector<Finding>& findings);
+
+/// Writes a deterministic text dump of the graph (nodes, roots, resolved
+/// edge counts, frontier membership) for `nettag-lint --dump-callgraph`.
+void dump_callgraph(std::map<std::filesystem::path, LexedFile>& files,
+                    const std::filesystem::path& root, std::ostream& os);
+
+}  // namespace nettag::lint

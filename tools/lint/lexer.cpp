@@ -32,10 +32,18 @@ bool is_raw_prefix(const std::string& ident) {
          ident == "u8R";
 }
 
-/// Scans a comment's text for allow-pragmas.  `base_line` is the line the
-/// comment starts on; newlines inside block comments advance it.
+bool is_marker_kind(const std::string& word) {
+  return word == "pool-root" || word == "hot-path-root" ||
+         word == "hot-path-begin" || word == "hot-path-end" ||
+         word == "cold-path";
+}
+
+/// Scans a comment's text for allow-pragmas and call-graph markers.
+/// `base_line` is the line the comment starts on; newlines inside block
+/// comments advance it.
 void collect_pragmas(const std::string& text, int base_line,
-                     std::vector<Pragma>& pragmas) {
+                     std::vector<Pragma>& pragmas,
+                     std::vector<Marker>& markers) {
   int line = base_line;
   const std::string key = "nettag-lint:";
   for (std::size_t i = 0; i < text.size(); ++i) {
@@ -46,16 +54,25 @@ void collect_pragmas(const std::string& text, int base_line,
     if (text.compare(i, key.size(), key) != 0) continue;
     std::size_t j = i + key.size();
     while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
-    if (text.compare(j, 6, "allow(") != 0) continue;
-    j += 6;
-    std::string rule;
-    while (j < text.size() &&
-           (is_ident_char(text[j]) || text[j] == '-')) {
-      rule.push_back(text[j]);
+    if (text.compare(j, 6, "allow(") == 0) {
+      j += 6;
+      std::string rule;
+      while (j < text.size() &&
+             (is_ident_char(text[j]) || text[j] == '-')) {
+        rule.push_back(text[j]);
+        ++j;
+      }
+      if (j < text.size() && text[j] == ')' && !rule.empty())
+        pragmas.push_back({line, rule, false});
+      i = j;
+      continue;
+    }
+    std::string word;
+    while (j < text.size() && (is_ident_char(text[j]) || text[j] == '-')) {
+      word.push_back(text[j]);
       ++j;
     }
-    if (j < text.size() && text[j] == ')' && !rule.empty())
-      pragmas.push_back({line, rule, false});
+    if (is_marker_kind(word)) markers.push_back({line, word});
     i = j;
   }
 }
@@ -155,7 +172,8 @@ class Lexer {
     const int line = line_at(pos_);
     std::size_t end = src_.text.find('\n', pos_);
     if (end == std::string::npos) end = src_.text.size();
-    collect_pragmas(src_.text.substr(pos_, end - pos_), line, out_.pragmas);
+    collect_pragmas(src_.text.substr(pos_, end - pos_), line, out_.pragmas,
+                    out_.markers);
     pos_ = end;
   }
 
@@ -164,7 +182,8 @@ class Lexer {
     std::size_t end = src_.text.find("*/", pos_ + 2);
     const std::size_t stop =
         end == std::string::npos ? src_.text.size() : end + 2;
-    collect_pragmas(src_.text.substr(pos_, stop - pos_), line, out_.pragmas);
+    collect_pragmas(src_.text.substr(pos_, stop - pos_), line, out_.pragmas,
+                    out_.markers);
     pos_ = stop;
   }
 

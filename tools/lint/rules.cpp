@@ -404,9 +404,61 @@ void rule_float_accum(Ctx& ctx, const std::vector<Token>& t,
   }
 }
 
+/// Body token range of a lambda starting at t[begin] (or {npos, npos}).
+std::pair<std::size_t, std::size_t> lambda_body_range(
+    const std::vector<Token>& t, std::size_t begin, std::size_t end) {
+  if (begin >= end || !is_punct(t[begin], "[")) return {npos, npos};
+  const std::size_t cap_end = match_bracket(t, begin);
+  if (cap_end == npos || cap_end >= end) return {npos, npos};
+  std::size_t body = cap_end + 1;
+  while (body < end && !is_punct(t[body], "{")) ++body;
+  if (body >= end) return {npos, npos};
+  const std::size_t close = match_bracket(t, body);
+  if (close == npos) return {npos, npos};
+  return {body, close + 1};
+}
+
+/// Token ranges of fold-lambda bodies at pool dispatch sites.  Folds run
+/// on the caller thread in strictly ascending task order (FoldOrderGuard
+/// in src/common/thread_pool.hpp), so accumulation order inside them is
+/// fixed by contract — float-for-accum does not apply.
+std::vector<std::pair<std::size_t, std::size_t>> fold_serial_ranges(
+    const std::vector<Token>& t) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  const auto add = [&](std::pair<std::size_t, std::size_t> arg) {
+    const auto r = lambda_body_range(t, arg.first, arg.second);
+    if (r.first != npos) ranges.push_back(r);
+  };
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text == "run_ordered" && is_punct(t[i + 1], "(")) {
+      const auto args = split_args(t, i + 1);
+      if (args.size() >= 3) add(args[2]);
+    } else if (t[i].text == "run_pooled_trials") {
+      std::size_t j = i + 1;
+      if (j < t.size() && is_punct(t[j], "<")) {
+        const std::size_t c = match_angle(t, j);
+        if (c == npos) continue;
+        j = c + 1;
+      }
+      if (j >= t.size() || !is_punct(t[j], "(")) continue;
+      const auto args = split_args(t, j);
+      if (args.size() >= 4) add(args[3]);
+    } else if (t[i].text == "run" && member_qualified(t, i) &&
+               is_punct(t[i + 1], "(")) {
+      const auto args = split_args(t, i + 1);
+      if (args.size() >= 3 &&
+          lambda_body_range(t, args[1].first, args[1].second).first != npos)
+        add(args[2]);
+    }
+  }
+  return ranges;
+}
+
 void rule_float_for_accum(Ctx& ctx, const std::vector<Token>& t,
                           const DeclIndex& ix) {
   const auto loops = find_for_loops(t);
+  const auto folds = fold_serial_ranges(t);
   // One finding per compound-assignment site, however many loops nest
   // around it: report against the innermost qualifying loop only.
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
@@ -418,6 +470,12 @@ void rule_float_for_accum(Ctx& ctx, const std::vector<Token>& t,
     if (t[i].kind != TokKind::kIdent) continue;
     const auto it = ix.float_vars.find(t[i].text);
     if (it == ix.float_vars.end()) continue;
+    // Inside an ordered-fold lambda the iteration order is the serial
+    // task order by contract; the accumulation is deterministic.
+    bool in_fold = false;
+    for (const auto& [fb, fe] : folds)
+      if (i >= fb && i < fe) in_fold = true;
+    if (in_fold) continue;
     bool hazard = false;
     bool in_head = false;
     for (const ForLoop& loop : loops) {
@@ -564,6 +622,20 @@ const std::vector<RuleMeta>& all_rules() {
        "iterations"},
       {"fold-order", Level::kError,
        "run_ordered results consumed outside the strictly ordered fold"},
+      {"shared-mutable-global", Level::kError,
+       "pool-reachable write to non-const namespace-scope state — workers "
+       "race on it"},
+      {"thread-local-escape", Level::kError,
+       "a thread_local's address or a reference to it crosses a task "
+       "boundary"},
+      {"blocking-in-pool", Level::kError,
+       "sleep/filesystem/iostream call reachable from a pool task body"},
+      {"lock-discipline", Level::kError,
+       "raw .lock()/.unlock() instead of a RAII guard, or a guard "
+       "temporary that dies at the semicolon"},
+      {"hot-path-alloc", Level::kError,
+       "allocation or container growth reachable from the per-slot/"
+       "per-frame session loops"},
       {"layering", Level::kError,
        "include edge violates the repository layering contract"},
       {"include-cycle", Level::kError,

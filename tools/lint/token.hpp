@@ -53,11 +53,31 @@ struct Include {
   bool angled = false;  // <...> rather than "..."
 };
 
+/// A `nettag-lint: <marker>` root-designation comment consumed by the
+/// call-graph pass (pass 4).  Unlike allow-pragmas, markers declare facts
+/// about the code ("this function runs on pool workers", "this region is
+/// the per-slot hot loop") rather than suppressing findings:
+///   pool-root       the function defined on/below this line runs on pool
+///                   worker threads (forward declaration for serve handlers)
+///   hot-path-root   the function defined on/below this line is a per-slot/
+///                   per-frame kernel that must stay allocation-free
+///   hot-path-begin  opens a hot region inside a larger function; closed by
+///                   hot-path-end (or the end of the enclosing body)
+///   hot-path-end    closes the innermost open hot region
+///   cold-path       reachability does not traverse into the function
+///                   defined on/below this line (observation/driver-only
+///                   code a shared helper name would otherwise drag in)
+struct Marker {
+  int line = 0;
+  std::string kind;
+};
+
 /// The lexed form of one translation unit.
 struct LexedFile {
   std::vector<Token> tokens;
   std::vector<Pragma> pragmas;
   std::vector<Include> includes;
+  std::vector<Marker> markers;
 };
 
 /// Lexes `path`.  Returns false (and leaves `out` empty) when the file

@@ -1,0 +1,25 @@
+// Known-bad hot-path allocation, both root kinds: a function rooted whole
+// by its marker, and a marked region carved out of a larger function whose
+// setup code would be fine.
+// expect: hot-path-alloc 4
+#include <vector>
+
+// nettag-lint: hot-path-root
+int kernel_step(std::vector<int>& out, int v) {
+  out.push_back(v);
+  int* boxed = new int(v);
+  const int r = *boxed + v;
+  delete boxed;
+  return r;
+}
+
+int frame_scan(int n) {
+  int acc = 0;
+  // nettag-lint: hot-path-begin
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> tmp(4, 0);
+    acc += tmp[0] + i;
+  }
+  // nettag-lint: hot-path-end
+  return acc;
+}

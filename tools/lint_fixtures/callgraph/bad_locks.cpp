@@ -1,0 +1,20 @@
+// Known-bad lock discipline.  This rule is deliberately not gated on the
+// frontiers — a raw lock()/unlock() pair leaks on every exception path no
+// matter which thread runs it, and the unnamed guard temporary unlocks at
+// the end of its own statement, guarding nothing.
+// expect: lock-discipline 3
+#include <mutex>
+
+#include "counters.hpp"
+
+long unsafe_add(long v) {
+  g_guard.lock();
+  const long r = v + 1;
+  g_guard.unlock();
+  return r;
+}
+
+long unguarded(long v) {
+  std::lock_guard<std::mutex>(g_guard);
+  return v + 1;
+}

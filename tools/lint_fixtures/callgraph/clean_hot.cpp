@@ -1,0 +1,24 @@
+// Clean hot path: the kernel pre-allocates its scratch before the marked
+// region and only indexes inside it, and the allocating helper it calls is
+// marked cold — traversal stops there, keeping driver-side code out of the
+// hot frontier.
+// expect: none
+#include <vector>
+
+// nettag-lint: cold-path
+int probe(int i) {
+  std::vector<int> tmp(3, i);
+  return tmp[0];
+}
+
+int checksum(int n) {
+  std::vector<int> scratch(static_cast<std::size_t>(n), 0);
+  int acc = 0;
+  // nettag-lint: hot-path-begin
+  for (int i = 0; i < n; ++i) {
+    scratch[static_cast<std::size_t>(i)] = i;
+    acc += scratch[static_cast<std::size_t>(i)] + probe(i);
+  }
+  // nettag-lint: hot-path-end
+  return acc;
+}

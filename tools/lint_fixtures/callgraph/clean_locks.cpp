@@ -1,0 +1,22 @@
+// Clean lock shapes: a *named* RAII guard covers its scope, and `.lock()`
+// on an object whose type is not an indexed mutex (here a user-defined
+// latch) must not be mistaken for raw mutex use.
+// expect: none
+#include <mutex>
+
+#include "counters.hpp"
+
+long safe_add(long v) {
+  const std::lock_guard<std::mutex> hold(g_guard);
+  return v + 1;
+}
+
+struct Latch {
+  void lock();
+  void unlock();
+};
+
+void toggle(Latch& latch) {
+  latch.lock();
+  latch.unlock();
+}

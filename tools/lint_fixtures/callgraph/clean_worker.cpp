@@ -1,0 +1,22 @@
+// Clean worker-side shapes: reading a shared global is safe (only writes
+// race), const globals never count, calling the thread-local accessor
+// *inside* pool code touches the worker's own instance, and stdio in a
+// function no root can reach stays unflagged.
+// expect: none
+#include <cstdio>
+
+#include "counters.hpp"
+
+long worker_read(long item) {
+  if (item > k_limit) return k_limit;
+  return item + g_total_work;
+}
+
+long worker_scratch(long item) {
+  scratch() = item;
+  return scratch();
+}
+
+void driver_report(long total) {
+  std::fprintf(stdout, "total %ld\n", total);
+}

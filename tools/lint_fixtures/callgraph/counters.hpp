@@ -1,0 +1,15 @@
+// Shared state for the call-graph fixtures: a mutable global (racy to
+// write from workers), a const one (never flagged), a thread_local with
+// its accessor, and a namespace-scope mutex for the lock-discipline rule.
+// Declarations alone are clean — the rules fire on reachable *uses*.
+// expect: none
+#pragma once
+
+#include <mutex>
+
+inline long g_total_work = 0;
+inline const long k_limit = 64;
+thread_local long t_scratch = 0;
+inline std::mutex g_guard;
+
+inline long& scratch() { return t_scratch; }

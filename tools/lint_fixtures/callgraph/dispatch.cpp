@@ -1,0 +1,40 @@
+// Pool dispatch: the task lambda passed to run_ordered is the concurrency
+// root, and everything it calls — including functions defined in other
+// files of this tree — joins the pool frontier.  Two shapes are exercised
+// here:
+//
+//   * `cache` is a reference bound to the thread-local accessor on the
+//     driver thread but read inside the task: the workers would touch the
+//     driver's instance (thread-local-escape).
+//   * the fold lambda does stdio, which is FINE: folds run serially on the
+//     caller thread, so they are deliberately not concurrency roots.
+// expect: thread-local-escape 1
+#include <cstdio>
+
+#include "counters.hpp"
+
+long worker_step(long item);
+void worker_log(long item);
+long worker_read(long item);
+long worker_scratch(long item);
+long* worker_stash();
+
+struct Pool {
+  template <typename Body, typename Fold>
+  void run_ordered(int count, Body body, Fold fold);
+};
+
+long run_batch(Pool& pool, int count) {
+  long& cache = scratch();
+  pool.run_ordered(
+      count,
+      [&](int i) {
+        const long v = worker_step(worker_read(i));
+        worker_log(v);
+        worker_stash();
+        worker_scratch(v);
+        cache += v;
+      },
+      [](int i) { std::fprintf(stdout, "folded %d\n", i); });
+  return cache;
+}

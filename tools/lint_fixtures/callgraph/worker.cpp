@@ -1,0 +1,23 @@
+// Worker-side helpers reached only through the pooled task in
+// dispatch.cpp — no file in this tree includes this one, so every finding
+// below proves the pass resolved the call across translation units.
+// expect: shared-mutable-global 1
+// expect: blocking-in-pool 1
+// expect: thread-local-escape 1
+#include <cstdio>
+
+#include "counters.hpp"
+
+long worker_step(long item) {
+  g_total_work += item;
+  return item * 2;
+}
+
+void worker_log(long item) {
+  std::fprintf(stdout, "work %ld\n", item);
+}
+
+long* worker_stash() {
+  long* p = &t_scratch;
+  return p;
+}

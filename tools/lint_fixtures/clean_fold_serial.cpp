@@ -1,0 +1,23 @@
+// Clean fixture: float accumulation lexically inside an ordered-fold
+// lambda.  Folds run on the caller thread in strictly ascending task order
+// (the FoldOrderGuard contract), so the iteration order IS the serial
+// order and float-for-accum stays quiet — no pragma needed.  The same
+// accumulation in the task body would be flagged.
+// expect: none
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+  template <typename Body, typename Fold>
+  void run_ordered(int count, Body body, Fold fold);
+};
+
+double fold_sum(Pool& pool, const std::vector<std::vector<double>>& cells) {
+  double sum = 0.0;
+  pool.run_ordered(
+      static_cast<int>(cells.size()), [](int) {},
+      [&](int i) {
+        for (const double x : cells[static_cast<std::size_t>(i)]) sum += x;
+      });
+  return sum;
+}

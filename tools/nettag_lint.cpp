@@ -3,7 +3,7 @@
 // The repo's core guarantee is byte-identical artifacts across compilers,
 // standard libraries and worker counts.  Generic static analyzers cannot
 // see the hazards that silently break it, because they are policy
-// violations, not language bugs.  The analyzer runs three passes:
+// violations, not language bugs.  The analyzer runs four passes:
 //
 //   pass 1  a real C++ tokenizer (tools/lint/lexer.cpp): raw strings, line
 //           splices, multi-line statements and comments are resolved before
@@ -30,10 +30,30 @@
 //                              harness layers; obs stays optional behind its
 //                              sink headers
 //             include-cycle    no cyclic include chains
+//   pass 4  the cross-TU call graph (tools/lint/callgraph.cpp): function
+//           definitions indexed across every scanned file, calls resolved
+//           by simple name (over-approximate), and two reachability
+//           frontiers — pool (task lambdas of run_ordered /
+//           run_pooled_trials / pool.run plus pool-root functions) and hot
+//           (hot-path-root functions and hot-path-begin/end regions):
+//             shared-mutable-global  pool-reachable write to namespace-
+//                                    scope mutable state
+//             thread-local-escape    a thread_local's address or alias
+//                                    crossing a task boundary
+//             blocking-in-pool       sleeps / file / iostream traffic
+//                                    reachable from a task body
+//             lock-discipline        raw .lock()/.unlock(), or a guard
+//                                    temporary dying at the semicolon
+//             hot-path-alloc         allocation or container growth
+//                                    reachable from the session loops
 //
 // A line opts out with an explained pragma comment of the form
 // `nettag-lint: allow(<rule-id>)`.  Pragmas that suppress nothing are
-// findings themselves (unused-pragma).
+// findings themselves (unused-pragma).  Pass 4 roots are declared with
+// marker comments (same `nettag-lint:` prefix, kinds listed in
+// lint/token.hpp) on (or directly above) the line naming a function —
+// `pool-root`, `hot-path-root`, `cold-path` — or, for regions, the
+// `hot-path-begin` / `hot-path-end` pair on their own lines inside a body.
 //
 // Usage:
 //   nettag-lint [options] PATH...        scan files / directory trees
@@ -45,6 +65,8 @@
 //   --write-baseline FILE  record the current findings as the new baseline
 //   --root DIR             repository root for repo-relative paths and the
 //                          layering pass (default: auto-detected)
+//   --dump-callgraph       print the pass-4 symbol index, roots and
+//                          frontiers instead of findings
 //
 // Directory walks skip build trees, .git and tools/lint_fixtures (the
 // deliberate-hazard corpus is the self-test's jurisdiction, where every
@@ -54,7 +76,8 @@
 //   // expect: <rule-id> <count>       (one line per expected rule)
 //   // expect: none                    (fixture must scan clean)
 // Fixtures under DIR/layering form a miniature repo tree and are checked
-// with the include-graph pass rooted there.
+// with the include-graph pass rooted there; fixtures under DIR/callgraph
+// are likewise analyzed together so cross-TU resolution has real edges.
 //
 // Exit codes: 0 clean, 1 findings (or self-test mismatch), 64 usage,
 // 66 unreadable input.
@@ -69,6 +92,7 @@
 #include <vector>
 
 #include "lint/baseline.hpp"
+#include "lint/callgraph.hpp"
 #include "lint/include_graph.hpp"
 #include "lint/rules.hpp"
 #include "lint/sarif.hpp"
@@ -193,6 +217,7 @@ std::vector<Finding> analyze(const std::vector<fs::path>& inputs,
     nettag::lint::run_token_rules(lexed, path.string(),
                                   relative_to_root(path, root), findings);
   nettag::lint::run_include_graph_rules(files, root, findings);
+  nettag::lint::run_callgraph_rules(files, root, findings);
   append_unused_pragma_findings(files, root, findings);
   sort_findings(findings);
   return findings;
@@ -213,6 +238,7 @@ struct Options {
   std::string write_baseline_path;
   std::string root_override;
   std::string self_test_dir;
+  bool dump_callgraph = false;
 };
 
 int run_scan(const Options& opt) {
@@ -220,6 +246,19 @@ int run_scan(const Options& opt) {
                             ? detect_root(opt.paths)
                             : fs::path(opt.root_override);
   const std::vector<fs::path> inputs = collect_inputs(opt.paths, true);
+  if (opt.dump_callgraph) {
+    std::map<fs::path, LexedFile> files;
+    for (const fs::path& path : inputs) {
+      LexedFile lexed;
+      if (!nettag::lint::lex_file(path, lexed)) {
+        std::cerr << "nettag-lint: cannot read " << path.string() << "\n";
+        return 66;
+      }
+      files.emplace(path, std::move(lexed));
+    }
+    nettag::lint::dump_callgraph(files, root, std::cout);
+    return 0;
+  }
   std::vector<Finding> findings = analyze(inputs, root);
 
   if (!opt.write_baseline_path.empty()) {
@@ -317,16 +356,24 @@ bool check_fixture(const fs::path& fixture,
 int run_self_test(const std::string& dir) {
   const fs::path root(dir);
   const fs::path layering_root = root / "layering";
+  const fs::path callgraph_root = root / "callgraph";
   std::error_code ec;
 
-  // Per-file phase: every fixture outside layering/ is analyzed alone (the
-  // include-graph pass needs a tree, which standalone fixtures are not).
+  const auto under = [&ec](const fs::path& p, const fs::path& base) {
+    const std::string rel = fs::relative(p, base, ec).generic_string();
+    return !ec && !rel.empty() && rel.rfind("..", 0) != 0;
+  };
+
+  // Per-file phase: every fixture outside the tree corpora is analyzed
+  // alone (the include-graph and call-graph passes need a tree, which
+  // standalone fixtures are not).
   std::vector<fs::path> singles;
   for (const fs::path& p : collect_inputs({dir}, false)) {
-    const std::string rel = fs::relative(p, layering_root, ec).generic_string();
-    if (ec || rel.empty() || rel.rfind("..", 0) == 0) singles.push_back(p);
+    if (!under(p, layering_root) && !under(p, callgraph_root))
+      singles.push_back(p);
   }
-  if (singles.empty() && !fs::is_directory(layering_root, ec)) {
+  if (singles.empty() && !fs::is_directory(layering_root, ec) &&
+      !fs::is_directory(callgraph_root, ec)) {
     std::cerr << "nettag-lint: no fixtures found in " << dir << "\n";
     return 66;
   }
@@ -339,12 +386,14 @@ int run_self_test(const std::string& dir) {
     if (!check_fixture(fixture, findings)) ++failures;
   }
 
-  // Tree phase: layering/ is a miniature repository checked as a whole, so
-  // the include-graph rules see real edges and real cycles.
-  if (fs::is_directory(layering_root, ec)) {
+  // Tree phases: layering/ and callgraph/ are miniature repositories
+  // checked as a whole, so the include-graph rules see real edges and the
+  // call-graph pass resolves calls across translation units.
+  for (const fs::path& tree_root : {layering_root, callgraph_root}) {
+    if (!fs::is_directory(tree_root, ec)) continue;
     const std::vector<fs::path> tree = collect_inputs(
-        {layering_root.string()}, false);
-    std::vector<Finding> findings = analyze(tree, layering_root);
+        {tree_root.string()}, false);
+    std::vector<Finding> findings = analyze(tree, tree_root);
     std::map<std::string, std::vector<Finding>> by_file;
     for (Finding& f : findings)
       by_file[f.file].push_back(std::move(f));
@@ -363,7 +412,7 @@ int usage() {
   std::cerr
       << "usage: nettag-lint [--report FILE] [--sarif FILE]\n"
          "                   [--baseline FILE | --write-baseline FILE]\n"
-         "                   [--root DIR] PATH...\n"
+         "                   [--root DIR] [--dump-callgraph] PATH...\n"
          "       nettag-lint --self-test FIXTURE_DIR\n";
   return 64;
 }
@@ -391,6 +440,8 @@ int main(int argc, char** argv) {
       if (!value(opt.root_override)) return usage();
     } else if (arg == "--self-test") {
       if (!value(opt.self_test_dir)) return usage();
+    } else if (arg == "--dump-callgraph") {
+      opt.dump_callgraph = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {

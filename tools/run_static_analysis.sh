@@ -12,12 +12,17 @@
 #                 for the clang-tidy pass, and must contain the nettag-lint
 #                 binary (built by the default ALL target).
 #
-# Three passes, in cheap-to-expensive order:
+# Four passes, in cheap-to-expensive order:
 #   1. nettag-lint   — the repo-specific determinism linter (always runs);
 #   2. cppcheck      — with tools/cppcheck-suppressions.txt (skipped with a
 #                      notice when cppcheck is not installed);
 #   3. clang-tidy    — the curated .clang-tidy profile over every TU in the
-#                      compile database (skipped when not installed).
+#                      compile database (skipped when not installed);
+#   4. gcc -fanalyzer — ADVISORY interprocedural path analysis over a
+#                      representative source subset.  Diagnostics are
+#                      printed but never fail the script (reports are
+#                      valuable reading, too gcc-version-dependent to gate
+#                      on); skipped when gcc lacks the flag.
 #
 # Exit status is non-zero if any pass that ran found a problem.  Passes that
 # are skipped for a missing tool do NOT fail the script — the CI
@@ -110,6 +115,27 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   echo "clang-tidy not installed — skipping (CI runs it)"
+fi
+
+echo "== gcc -fanalyzer (advisory) =="
+# Advisory pass: gcc's interprocedural analyzer over the TUs the call-graph
+# lint pass cares most about (kernels + pool).  Its findings are printed
+# for review but never affect the exit status — path diagnostics vary
+# enough across gcc releases that gating on them would make CI chase the
+# toolchain instead of the code.
+if command -v gcc >/dev/null 2>&1 &&
+   echo 'int main(){}' | gcc -x c++ -std=c++20 -fanalyzer -c - \
+     -o /dev/null >/dev/null 2>&1; then
+  for f in "$repo_root/src/ccm/session.cpp" \
+           "$repo_root/src/ccm/session_word.cpp" \
+           "$repo_root/src/common/thread_pool.cpp" \
+           "$repo_root/src/common/work_counters.cpp"; do
+    echo "-- $f"
+    gcc -std=c++20 -fanalyzer -I "$repo_root/src" -c "$f" -o /dev/null ||
+      echo "gcc -fanalyzer reported issues in $f (advisory only)"
+  done
+else
+  echo "gcc -fanalyzer not supported here — skipping (advisory pass)"
 fi
 
 if [ "$status" -ne 0 ]; then
