@@ -35,6 +35,10 @@ namespace {
 
 using namespace nettag;
 
+// Each micro-benchmark builds its input from a fixed per-case stream so
+// runs are comparable across machines and commits; these literal seeds are
+// deliberate case identity, not experiment randomness.
+// nettag-lint: rng-root
 void BM_BitmapOr(benchmark::State& state) {
   const auto f = static_cast<FrameSize>(state.range(0));
   Rng rng(1);
@@ -52,6 +56,7 @@ void BM_BitmapOr(benchmark::State& state) {
 }
 BENCHMARK(BM_BitmapOr)->Arg(1671)->Arg(3228);
 
+// nettag-lint: rng-root
 void BM_BitmapCount(benchmark::State& state) {
   const auto f = static_cast<FrameSize>(state.range(0));
   Rng rng(2);
@@ -72,6 +77,7 @@ void BM_SlotPick(benchmark::State& state) {
 }
 BENCHMARK(BM_SlotPick);
 
+// nettag-lint: rng-root
 void BM_TopologyBuild(benchmark::State& state) {
   SystemConfig sys;
   sys.tag_count = static_cast<int>(state.range(0));
@@ -86,6 +92,7 @@ void BM_TopologyBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TopologyBuild)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
 
+// nettag-lint: rng-root
 void BM_CcmSessionGmlePoint(benchmark::State& state) {
   SystemConfig sys;
   sys.tag_count = static_cast<int>(state.range(0));

@@ -66,7 +66,7 @@ int main() {
 
   // The alternative: collect all IDs daily (count + diff for missing).
   sim::EnergyMeter sicp_energy(topology.tag_count());
-  Rng sicp_rng(6);
+  Rng sicp_rng = rng.fork();
   (void)protocols::run_sicp(topology, {}, sicp_rng, sicp_energy);
 
   const auto ccm_summary = ccm_energy.summarize();

@@ -449,8 +449,12 @@ SessionResult run_session(const net::Topology& topology,
   NETTAG_EXPECTS(energy.tag_count() == topology.tag_count(),
                  "energy meter sized for a different tag count");
   // Lossy sessions always take the scalar kernel: the per-reception loss
-  // draws are defined by its iteration order (see SessionEngine).
-  if (detail::resolve_engine(config) == SessionEngine::kWordParallel &&
+  // draws are defined by its iteration order (see SessionEngine).  This is
+  // the one sanctioned engine-divergence seam — the word-parallel path is
+  // only taken when link_loss_probability == 0.0, i.e. when no loss draw
+  // would ever happen, so both engines consume identical streams.
+  if (detail::resolve_engine(config) ==  // nettag-lint: allow(rng-engine-divergent)
+          SessionEngine::kWordParallel &&
       config.link_loss_probability == 0.0) {
     return detail::run_session_word(topology, config, selector, energy, sink);
   }

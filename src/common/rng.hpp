@@ -5,6 +5,31 @@
 // reproducible from a single 64-bit seed.  xoshiro256** is small, fast and
 // statistically strong; seeds are expanded with splitmix64 as its authors
 // recommend.
+//
+// Stream discipline (enforced by nettag-lint's RNG provenance pass):
+//
+//   1. Every `Rng` is derived from the run seed.  A generator is seeded
+//      either from a draw/fork of another tracked generator or from a seed
+//      expression that traces back to one.  Literal or default seeds are
+//      "ambient" roots and are only sanctioned at the first seed in `main`,
+//      in functions marked `// nettag-lint: rng-root`, and in tests/
+//      (rule `rng-ambient`).
+//   2. Generators move by reference; copies split the stream silently, so
+//      by-value parameters, copy-init, copy-assignment, and by-value lambda
+//      captures of an `Rng` are rejected (rule `rng-by-value`).  To branch
+//      a stream on purpose, call `fork()`.
+//   3. `fork()` consumes exactly one draw from the parent and expands it
+//      through splitmix64, so the child stream is deterministic given the
+//      parent's position, disjoint from the parent's continuation, and
+//      forks-of-forks are pairwise distinct (tests/rng_test.cpp pins all
+//      three properties).
+//   4. One stream, one consumer: a generator must not be drawn from pooled
+//      task bodies (`rng-shared-across-pool`), from ordered-fold bodies
+//      whose position would then depend on the job decomposition
+//      (`rng-in-fold`), or under `CcmConfig::engine`-dependent branches
+//      that would make artifacts diverge between the scalar and
+//      word-parallel kernels (`rng-engine-divergent`).  Derive a child via
+//      `fork()` or an indexed seed before entering any of those contexts.
 #pragma once
 
 #include <array>

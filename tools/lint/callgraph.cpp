@@ -9,86 +9,21 @@
 #include <tuple>
 #include <vector>
 
+#include "lint/token_util.hpp"
+
 namespace nettag::lint {
 namespace {
 
 namespace fs = std::filesystem;
 
-constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
-bool is_ident(const Token& t, const char* text) {
-  return t.kind == TokKind::kIdent && t.text == text;
-}
-bool is_punct(const Token& t, const char* text) {
-  return t.kind == TokKind::kPunct && t.text == text;
-}
-bool member_qualified(const std::vector<Token>& t, std::size_t i) {
-  return i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
-}
-
-std::size_t match_bracket(const std::vector<Token>& t, std::size_t i) {
-  const std::string& open = t[i].text;
-  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
-  int depth = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    if (t[j].kind != TokKind::kPunct) continue;
-    if (t[j].text == open) ++depth;
-    if (t[j].text == close && --depth == 0) return j;
-  }
-  return npos;
-}
-
-std::size_t match_angle(const std::vector<Token>& t, std::size_t i) {
-  int depth = 0;
-  int parens = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    const Token& tok = t[j];
-    if (tok.kind != TokKind::kPunct) continue;
-    if (tok.text == "(") ++parens;
-    if (tok.text == ")") --parens;
-    if (parens > 0) continue;
-    if (tok.text == "<") ++depth;
-    if (tok.text == "<<") depth += 2;
-    if (tok.text == ">") --depth;
-    if (tok.text == ">>") depth -= 2;
-    if (depth <= 0) return j;
-    if (tok.text == ";" || tok.text == "{") return npos;
-  }
-  return npos;
-}
-
-std::vector<std::pair<std::size_t, std::size_t>> split_args(
-    const std::vector<Token>& t, std::size_t lp) {
-  std::vector<std::pair<std::size_t, std::size_t>> args;
-  const std::size_t rp = match_bracket(t, lp);
-  if (rp == npos) return args;
-  int depth = 0;
-  std::size_t begin = lp + 1;
-  for (std::size_t j = lp + 1; j < rp; ++j) {
-    if (t[j].kind != TokKind::kPunct) continue;
-    const std::string& s = t[j].text;
-    if (s == "(" || s == "[" || s == "{") ++depth;
-    if (s == ")" || s == "]" || s == "}") --depth;
-    if (s == "," && depth == 0) {
-      args.emplace_back(begin, j);
-      begin = j + 1;
-    }
-  }
-  if (begin < rp || !args.empty()) args.emplace_back(begin, rp);
-  return args;
-}
-
-/// Keywords that look like `name(...)` but are neither calls nor
-/// definitions.
-bool is_control_keyword(const std::string& s) {
-  static const std::set<std::string> k = {
-      "if",       "for",      "while",    "switch",       "catch",
-      "return",   "sizeof",   "alignof",  "decltype",     "new",
-      "delete",   "throw",    "operator", "static_assert", "alignas",
-      "noexcept", "requires", "case",     "goto",         "defined",
-  };
-  return k.count(s) > 0;
-}
+using tok::is_control_keyword;
+using tok::is_ident;
+using tok::is_punct;
+using tok::match_angle;
+using tok::match_bracket;
+using tok::member_qualified;
+using tok::npos;
+using tok::split_args;
 
 bool is_decl_specifier(const std::string& s) {
   static const std::set<std::string> k = {
@@ -114,34 +49,6 @@ std::string relative_to(const fs::path& file, const fs::path& root) {
   return s;
 }
 
-struct Node {
-  enum class Kind { kFunction, kTask, kRegion };
-  Kind kind = Kind::kFunction;
-  std::string display;  // scope-qualified name, or a synthetic label
-  std::string simple;   // resolution key; empty for tasks/regions
-  const fs::path* path = nullptr;
-  LexedFile* file = nullptr;
-  std::string rel;
-  int line = 0;             // name token / call site / begin-marker line
-  std::size_t begin = 0;    // token range scanned for calls and rule sites
-  std::size_t end = 0;      // (body tokens for functions, lambda body for
-                            //  tasks, marker span for regions)
-  bool cold = false;
-  bool pool_root = false;
-  bool hot_root = false;
-  bool tl_accessor = false;  // returns a reference to a thread_local
-};
-
-struct Graph {
-  std::vector<Node> nodes;
-  // Definitions by simple name, in node order (deterministic: files are
-  // visited in sorted map order).
-  std::map<std::string, std::vector<std::size_t>> by_simple;
-  std::map<std::string, std::string> globals;  // name -> "rel:line"
-  std::set<std::string> thread_locals;
-  std::set<std::string> mutexes;
-};
-
 /// One file's walk: a scope stack distinguishing namespace, class,
 /// function and plain-block braces so definitions, members and
 /// namespace-scope variables are classified correctly.
@@ -157,13 +64,13 @@ class Builder {
   explicit Builder(std::map<fs::path, LexedFile>& files, const fs::path& root)
       : files_(files), root_(root) {}
 
-  Graph build() {
-    Graph g;
+  CgGraph build() {
+    CgGraph g;
     for (auto& [path, lexed] : files_)
       index_file(path, lexed, relative_to(path, root_), g);
     for (std::size_t n = 0; n < g.nodes.size(); ++n) {
-      const Node& node = g.nodes[n];
-      if (node.kind == Node::Kind::kFunction && !node.simple.empty())
+      const CgNode& node = g.nodes[n];
+      if (node.kind == CgNode::Kind::kFunction && !node.simple.empty())
         g.by_simple[node.simple].push_back(n);
     }
     mark_tl_accessors(g);
@@ -249,27 +156,12 @@ class Builder {
     return npos;
   }
 
-  /// A lambda's body brace range inside [begin, end); {npos, npos} when the
-  /// range is not a lambda.
-  static std::pair<std::size_t, std::size_t> lambda_body(
-      const std::vector<Token>& t, std::size_t begin, std::size_t end) {
-    if (begin >= end || !is_punct(t[begin], "[")) return {npos, npos};
-    const std::size_t cap_end = match_bracket(t, begin);
-    if (cap_end == npos || cap_end >= end) return {npos, npos};
-    std::size_t body = cap_end + 1;
-    while (body < end && !is_punct(t[body], "{")) ++body;
-    if (body >= end) return {npos, npos};
-    const std::size_t close = match_bracket(t, body);
-    if (close == npos) return {npos, npos};
-    return {body, close + 1};
-  }
-
   /// Namespace-scope (or class-scope) statement [b, e): records mutable
   /// globals, thread_locals and mutex-typed names.  At class scope only
   /// `static` members count as globals (plain members live per-object).
   static void process_var_stmt(const std::vector<Token>& t, std::size_t b,
                                std::size_t e, const std::string& rel,
-                               bool class_scope, Graph& g) {
+                               bool class_scope, CgGraph& g) {
     if (b >= e) return;
     bool is_tl = false;
     bool is_const = false;
@@ -330,7 +222,7 @@ class Builder {
   }
 
   void index_file(const fs::path& path, LexedFile& lexed,
-                  const std::string& rel, Graph& g) {
+                  const std::string& rel, CgGraph& g) {
     const std::vector<Token>& t = lexed.tokens;
     std::vector<Scope> scopes;
     const std::size_t first_node = g.nodes.size();
@@ -464,8 +356,8 @@ class Builder {
               qual = t[b - 2].text + "::" + qual;
               b -= 2;
             }
-            Node node;
-            node.kind = Node::Kind::kFunction;
+            CgNode node;
+            node.kind = CgNode::Kind::kFunction;
             node.display = scope_prefix() + qual + tok.text;
             node.simple = tok.text;
             node.path = &path;
@@ -496,7 +388,7 @@ class Builder {
   /// namespace-scope ones (a raw .lock() on a local mutex is equally
   /// undisciplined), but the scope walk above only processes statements
   /// at namespace/class scope.  This flat scan picks up the rest.
-  static void collect_local_sync(const LexedFile& lexed, Graph& g) {
+  static void collect_local_sync(const LexedFile& lexed, CgGraph& g) {
     const std::vector<Token>& t = lexed.tokens;
     for (std::size_t i = 0; i + 1 < t.size(); ++i) {
       if (t[i].kind != TokKind::kIdent) continue;
@@ -536,12 +428,12 @@ class Builder {
   /// An argument is either a lambda literal or a named lambda bound
   /// earlier in the same file (`const auto compute = [&](...) {...};`).
   void collect_pool_tasks(const fs::path& path, LexedFile& lexed,
-                          const std::string& rel, Graph& g) {
+                          const std::string& rel, CgGraph& g) {
     const std::vector<Token>& t = lexed.tokens;
     const auto resolve_lambda =
         [&](std::pair<std::size_t, std::size_t> arg,
             std::size_t call_site) -> std::pair<std::size_t, std::size_t> {
-      const auto literal = lambda_body(t, arg.first, arg.second);
+      const auto literal = tok::lambda_body(t, arg.first, arg.second);
       if (literal.first != npos) return literal;
       if (arg.second - arg.first != 1 ||
           t[arg.first].kind != TokKind::kIdent)
@@ -551,7 +443,7 @@ class Builder {
         if (t[k].kind == TokKind::kIdent && t[k].text == name &&
             k + 2 < t.size() && is_punct(t[k + 1], "=") &&
             is_punct(t[k + 2], "[")) {
-          const auto bound = lambda_body(t, k + 2, t.size());
+          const auto bound = tok::lambda_body(t, k + 2, t.size());
           if (bound.first != npos && bound.second <= call_site) return bound;
         }
       }
@@ -560,8 +452,8 @@ class Builder {
     const auto add_task = [&](std::pair<std::size_t, std::size_t> body,
                               int line) {
       if (body.first == npos) return;
-      Node node;
-      node.kind = Node::Kind::kTask;
+      CgNode node;
+      node.kind = CgNode::Kind::kTask;
       node.display = "pooled task @" + rel + ":" + std::to_string(line);
       node.path = &path;
       node.file = &lexed;
@@ -610,7 +502,7 @@ class Builder {
   /// a token span out of the enclosing body.
   void attach_markers(const fs::path& path, LexedFile& lexed,
                       const std::string& rel, std::size_t first_node,
-                      Graph& g) {
+                      CgGraph& g) {
     const std::vector<Token>& t = lexed.tokens;
     std::vector<const Marker*> begins;
     std::vector<const Marker*> ends;
@@ -624,12 +516,13 @@ class Builder {
         continue;
       }
       for (std::size_t n = first_node; n < g.nodes.size(); ++n) {
-        Node& node = g.nodes[n];
-        if (node.kind != Node::Kind::kFunction) continue;
+        CgNode& node = g.nodes[n];
+        if (node.kind != CgNode::Kind::kFunction) continue;
         if (node.line != m.line && node.line != m.line + 1) continue;
         if (m.kind == "pool-root") node.pool_root = true;
         if (m.kind == "hot-path-root") node.hot_root = true;
         if (m.kind == "cold-path") node.cold = true;
+        if (m.kind == "rng-root") node.rng_root = true;
         break;
       }
     }
@@ -651,8 +544,8 @@ class Builder {
         e = t.size();
       }
       if (s >= e) continue;
-      Node node;
-      node.kind = Node::Kind::kRegion;
+      CgNode node;
+      node.kind = CgNode::Kind::kRegion;
       node.display = "hot region @" + rel + ":" + std::to_string(b->line);
       node.path = &path;
       node.file = &lexed;
@@ -669,9 +562,9 @@ class Builder {
   /// accessors (e.g. work::local() returning the counter block): binding
   /// their result outside a task and reading it inside is the escape the
   /// rule hunts.
-  static void mark_tl_accessors(Graph& g) {
-    for (Node& node : g.nodes) {
-      if (node.kind != Node::Kind::kFunction) continue;
+  static void mark_tl_accessors(CgGraph& g) {
+    for (CgNode& node : g.nodes) {
+      if (node.kind != CgNode::Kind::kFunction) continue;
       const std::vector<Token>& t = node.file->tokens;
       for (std::size_t i = node.begin;
            i + 2 < node.end && i + 2 < t.size(); ++i) {
@@ -689,56 +582,13 @@ class Builder {
   const fs::path& root_;
 };
 
-/// Call sites in a node's token range, by simple callee name (member and
-/// scope qualifiers stripped — resolution is deliberately name-based).
-std::vector<std::string> callees(const Node& node) {
-  std::vector<std::string> out;
-  const std::vector<Token>& t = node.file->tokens;
-  for (std::size_t i = node.begin; i < node.end && i + 1 < t.size(); ++i) {
-    if (t[i].kind != TokKind::kIdent || !is_punct(t[i + 1], "(")) continue;
-    if (is_control_keyword(t[i].text)) continue;
-    out.push_back(t[i].text);
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
-}
-
-/// BFS over name-resolved edges.  `origin[n]` names the root that first
-/// discovered n, for finding provenance.
-std::set<std::size_t> reach(const Graph& g,
-                            const std::vector<std::size_t>& roots,
-                            std::map<std::size_t, std::size_t>& origin) {
-  std::set<std::size_t> seen;
-  std::deque<std::size_t> queue;
-  for (const std::size_t r : roots) {
-    if (g.nodes[r].cold || !seen.insert(r).second) continue;
-    origin[r] = r;
-    queue.push_back(r);
-  }
-  while (!queue.empty()) {
-    const std::size_t n = queue.front();
-    queue.pop_front();
-    for (const std::string& name : callees(g.nodes[n])) {
-      const auto it = g.by_simple.find(name);
-      if (it == g.by_simple.end()) continue;
-      for (const std::size_t callee : it->second) {
-        if (g.nodes[callee].cold || !seen.insert(callee).second) continue;
-        origin[callee] = origin[n];
-        queue.push_back(callee);
-      }
-    }
-  }
-  return seen;
-}
-
 struct Reporter {
   std::vector<Finding>& findings;
   // Dedup: overlapping scans (a hot region inside a function two roots
   // reach) must not double-report one site.
   std::set<std::tuple<std::string, int, std::string>> seen;
 
-  void report(const Node& node, int line, const char* rule,
+  void report(const CgNode& node, int line, const char* rule,
               std::string message) {
     if (!seen.insert({node.rel, line, rule}).second) return;
     if (pragma_allows(*node.file, line, rule)) return;
@@ -747,13 +597,13 @@ struct Reporter {
   }
 };
 
-std::string root_tag(const Graph& g, const std::map<std::size_t, std::size_t>&
+std::string root_tag(const CgGraph& g, const std::map<std::size_t, std::size_t>&
                                          origin, std::size_t n) {
   const auto it = origin.find(n);
   if (it == origin.end()) return "";
-  const Node& r = g.nodes[it->second];
+  const CgNode& r = g.nodes[it->second];
   return " (root: " + r.display +
-         (r.kind == Node::Kind::kFunction
+         (r.kind == CgNode::Kind::kFunction
               ? " @" + r.rel + ":" + std::to_string(r.line)
               : "") +
          ")";
@@ -767,13 +617,13 @@ bool is_write_op(const Token& t) {
   return ops.count(t.text) > 0;
 }
 
-void rule_shared_mutable_global(const Graph& g,
+void rule_shared_mutable_global(const CgGraph& g,
                                 const std::set<std::size_t>& pool,
                                 const std::map<std::size_t, std::size_t>&
                                     origin,
                                 Reporter& rep) {
   for (const std::size_t n : pool) {
-    const Node& node = g.nodes[n];
+    const CgNode& node = g.nodes[n];
     const std::vector<Token>& t = node.file->tokens;
     for (std::size_t i = node.begin; i < node.end && i < t.size(); ++i) {
       if (t[i].kind != TokKind::kIdent || member_qualified(t, i)) continue;
@@ -793,24 +643,24 @@ void rule_shared_mutable_global(const Graph& g,
   }
 }
 
-void rule_thread_local_escape(const Graph& g,
+void rule_thread_local_escape(const CgGraph& g,
                               const std::set<std::size_t>& pool,
                               const std::map<std::size_t, std::size_t>&
                                   origin,
                               Reporter& rep) {
   std::set<std::string> accessors;
-  for (const Node& node : g.nodes)
+  for (const CgNode& node : g.nodes)
     if (node.tl_accessor) accessors.insert(node.simple);
 
   // Part 1: a reference bound to a thread_local (or an accessor's result)
   // before a pooled task, then read inside it — the task would touch the
   // *driver's* instance from a worker thread.
   for (std::size_t n = 0; n < g.nodes.size(); ++n) {
-    const Node& task = g.nodes[n];
-    if (task.kind != Node::Kind::kTask) continue;
-    const Node* host = nullptr;
-    for (const Node& cand : g.nodes) {
-      if (cand.kind == Node::Kind::kFunction && cand.file == task.file &&
+    const CgNode& task = g.nodes[n];
+    if (task.kind != CgNode::Kind::kTask) continue;
+    const CgNode* host = nullptr;
+    for (const CgNode& cand : g.nodes) {
+      if (cand.kind == CgNode::Kind::kFunction && cand.file == task.file &&
           cand.begin < task.begin && cand.end >= task.end)
         if (!host || cand.begin > host->begin) host = &cand;
     }
@@ -850,7 +700,7 @@ void rule_thread_local_escape(const Graph& g,
   // Part 2: the address of a thread_local stored/passed/returned in
   // pool-reachable code outlives its only valid thread.
   for (const std::size_t n : pool) {
-    const Node& node = g.nodes[n];
+    const CgNode& node = g.nodes[n];
     const std::vector<Token>& t = node.file->tokens;
     for (std::size_t i = node.begin;
          i + 1 < node.end && i + 1 < t.size(); ++i) {
@@ -876,7 +726,7 @@ void rule_thread_local_escape(const Graph& g,
   }
 }
 
-void rule_blocking_in_pool(const Graph& g, const std::set<std::size_t>& pool,
+void rule_blocking_in_pool(const CgGraph& g, const std::set<std::size_t>& pool,
                            const std::map<std::size_t, std::size_t>& origin,
                            Reporter& rep) {
   static const std::set<std::string> blocking_calls = {
@@ -887,7 +737,7 @@ void rule_blocking_in_pool(const Graph& g, const std::set<std::size_t>& pool,
   static const std::set<std::string> blocking_idents = {
       "cout", "cerr", "clog", "cin", "ifstream", "ofstream", "fstream"};
   for (const std::size_t n : pool) {
-    const Node& node = g.nodes[n];
+    const CgNode& node = g.nodes[n];
     const std::vector<Token>& t = node.file->tokens;
     for (std::size_t i = node.begin; i < node.end && i < t.size(); ++i) {
       if (t[i].kind != TokKind::kIdent) continue;
@@ -907,12 +757,12 @@ void rule_blocking_in_pool(const Graph& g, const std::set<std::size_t>& pool,
   }
 }
 
-void rule_lock_discipline(const Graph& g, Reporter& rep) {
+void rule_lock_discipline(const CgGraph& g, Reporter& rep) {
   // Discipline rules are not reachability-gated: raw lock calls and
   // instantly-destroyed guards are wrong wherever threads exist, and the
   // cross-TU mutex index is what pass 4 adds over the token rules.
-  for (const Node& node : g.nodes) {
-    if (node.kind != Node::Kind::kFunction) continue;
+  for (const CgNode& node : g.nodes) {
+    if (node.kind != CgNode::Kind::kFunction) continue;
     const std::vector<Token>& t = node.file->tokens;
     for (std::size_t i = node.begin; i < node.end && i < t.size(); ++i) {
       if (t[i].kind != TokKind::kIdent) continue;
@@ -948,7 +798,7 @@ void rule_lock_discipline(const Graph& g, Reporter& rep) {
   }
 }
 
-void rule_hot_path_alloc(const Graph& g, const std::set<std::size_t>& hot,
+void rule_hot_path_alloc(const CgGraph& g, const std::set<std::size_t>& hot,
                          const std::map<std::size_t, std::size_t>& origin,
                          Reporter& rep) {
   static const std::set<std::string> alloc_calls = {
@@ -965,7 +815,7 @@ void rule_hot_path_alloc(const Graph& g, const std::set<std::size_t>& hot,
       "unordered_set", "ostringstream", "stringstream",
       "istringstream", "basic_string"};
   for (const std::size_t n : hot) {
-    const Node& node = g.nodes[n];
+    const CgNode& node = g.nodes[n];
     const std::vector<Token>& t = node.file->tokens;
     for (std::size_t i = node.begin; i < node.end && i < t.size(); ++i) {
       if (t[i].kind != TokKind::kIdent) continue;
@@ -1022,35 +872,61 @@ void rule_hot_path_alloc(const Graph& g, const std::set<std::size_t>& hot,
   }
 }
 
-struct Frontiers {
-  Graph graph;
-  std::vector<std::size_t> pool_roots;
-  std::vector<std::size_t> hot_roots;
-  std::set<std::size_t> pool;
-  std::set<std::size_t> hot;
-  std::map<std::size_t, std::size_t> pool_origin;
-  std::map<std::size_t, std::size_t> hot_origin;
-};
+}  // namespace
 
-Frontiers build_frontiers(std::map<fs::path, LexedFile>& files,
-                          const fs::path& root) {
-  Frontiers f;
+std::vector<std::string> cg_callees(const CgNode& node) {
+  std::vector<std::string> out;
+  const std::vector<Token>& t = node.file->tokens;
+  for (std::size_t i = node.begin; i < node.end && i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !is_punct(t[i + 1], "(")) continue;
+    if (is_control_keyword(t[i].text)) continue;
+    out.push_back(t[i].text);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::set<std::size_t> cg_reach(const CgGraph& g,
+                               const std::vector<std::size_t>& roots,
+                               std::map<std::size_t, std::size_t>& origin) {
+  std::set<std::size_t> seen;
+  std::deque<std::size_t> queue;
+  for (const std::size_t r : roots) {
+    if (g.nodes[r].cold || !seen.insert(r).second) continue;
+    origin[r] = r;
+    queue.push_back(r);
+  }
+  while (!queue.empty()) {
+    const std::size_t n = queue.front();
+    queue.pop_front();
+    for (const std::string& name : cg_callees(g.nodes[n])) {
+      const auto it = g.by_simple.find(name);
+      if (it == g.by_simple.end()) continue;
+      for (const std::size_t callee : it->second) {
+        if (g.nodes[callee].cold || !seen.insert(callee).second) continue;
+        origin[callee] = origin[n];
+        queue.push_back(callee);
+      }
+    }
+  }
+  return seen;
+}
+
+CgFrontiers build_frontiers(std::map<fs::path, LexedFile>& files,
+                            const fs::path& root) {
+  CgFrontiers f;
   f.graph = Builder(files, root).build();
   for (std::size_t n = 0; n < f.graph.nodes.size(); ++n) {
     if (f.graph.nodes[n].pool_root) f.pool_roots.push_back(n);
     if (f.graph.nodes[n].hot_root) f.hot_roots.push_back(n);
   }
-  f.pool = reach(f.graph, f.pool_roots, f.pool_origin);
-  f.hot = reach(f.graph, f.hot_roots, f.hot_origin);
+  f.pool = cg_reach(f.graph, f.pool_roots, f.pool_origin);
+  f.hot = cg_reach(f.graph, f.hot_roots, f.hot_origin);
   return f;
 }
 
-}  // namespace
-
-void run_callgraph_rules(std::map<fs::path, LexedFile>& files,
-                         const fs::path& root,
-                         std::vector<Finding>& findings) {
-  Frontiers f = build_frontiers(files, root);
+void run_callgraph_rules(CgFrontiers& f, std::vector<Finding>& findings) {
   Reporter rep{findings, {}};
   rule_shared_mutable_global(f.graph, f.pool, f.pool_origin, rep);
   rule_thread_local_escape(f.graph, f.pool, f.pool_origin, rep);
@@ -1061,15 +937,15 @@ void run_callgraph_rules(std::map<fs::path, LexedFile>& files,
 
 void dump_callgraph(std::map<fs::path, LexedFile>& files,
                     const fs::path& root, std::ostream& os) {
-  const Frontiers f = build_frontiers(files, root);
-  const Graph& g = f.graph;
+  const CgFrontiers f = build_frontiers(files, root);
+  const CgGraph& g = f.graph;
   std::size_t functions = 0;
   std::size_t tasks = 0;
   std::size_t regions = 0;
-  for (const Node& n : g.nodes) {
-    if (n.kind == Node::Kind::kFunction) ++functions;
-    if (n.kind == Node::Kind::kTask) ++tasks;
-    if (n.kind == Node::Kind::kRegion) ++regions;
+  for (const CgNode& n : g.nodes) {
+    if (n.kind == CgNode::Kind::kFunction) ++functions;
+    if (n.kind == CgNode::Kind::kTask) ++tasks;
+    if (n.kind == CgNode::Kind::kRegion) ++regions;
   }
   os << "callgraph: " << functions << " function(s), " << tasks
      << " pooled task(s), " << regions << " hot region(s); "
@@ -1082,17 +958,17 @@ void dump_callgraph(std::map<fs::path, LexedFile>& files,
   std::vector<std::size_t> order(g.nodes.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const Node& x = g.nodes[a];
-    const Node& y = g.nodes[b];
+    const CgNode& x = g.nodes[a];
+    const CgNode& y = g.nodes[b];
     if (x.rel != y.rel) return x.rel < y.rel;
     if (x.line != y.line) return x.line < y.line;
     return x.display < y.display;
   });
   for (const std::size_t n : order) {
-    const Node& node = g.nodes[n];
+    const CgNode& node = g.nodes[n];
     os << node.rel << ":" << node.line << " " << node.display;
     std::size_t resolved = 0;
-    const auto names = callees(node);
+    const auto names = cg_callees(node);
     for (const std::string& name : names) {
       const auto it = g.by_simple.find(name);
       if (it != g.by_simple.end()) resolved += it->second.size();

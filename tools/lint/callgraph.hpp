@@ -62,6 +62,8 @@
 #include <filesystem>
 #include <iosfwd>
 #include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "lint/rules.hpp"
@@ -69,11 +71,71 @@
 
 namespace nettag::lint {
 
-/// Runs the call-graph rules over the scanned file set.  `files` is
-/// mutable so pragma hits can be recorded; `root` derives repo-relative
-/// paths for findings.
-void run_callgraph_rules(std::map<std::filesystem::path, LexedFile>& files,
-                         const std::filesystem::path& root,
+/// One call-graph node: a function definition, a pooled-task lambda, or a
+/// marker-carved hot region.  The graph, roots and frontiers are exposed
+/// so downstream passes (the RNG provenance pass) can ride the same
+/// resolution instead of re-deriving it.
+struct CgNode {
+  enum class Kind { kFunction, kTask, kRegion };
+  Kind kind = Kind::kFunction;
+  std::string display;  // scope-qualified name, or a synthetic label
+  std::string simple;   // resolution key; empty for tasks/regions
+  const std::filesystem::path* path = nullptr;
+  LexedFile* file = nullptr;
+  std::string rel;
+  int line = 0;             // name token / call site / begin-marker line
+  std::size_t begin = 0;    // token range scanned for calls and rule sites
+  std::size_t end = 0;      // (body tokens for functions, lambda body for
+                            //  tasks, marker span for regions)
+  bool cold = false;
+  bool pool_root = false;
+  bool hot_root = false;
+  bool rng_root = false;     // sanctioned ambient-seed root (rng-root marker)
+  bool tl_accessor = false;  // returns a reference to a thread_local
+};
+
+struct CgGraph {
+  std::vector<CgNode> nodes;
+  // Definitions by simple name, in node order (deterministic: files are
+  // visited in sorted map order).
+  std::map<std::string, std::vector<std::size_t>> by_simple;
+  std::map<std::string, std::string> globals;  // name -> "rel:line"
+  std::set<std::string> thread_locals;
+  std::set<std::string> mutexes;
+};
+
+/// The graph plus its two reachability frontiers, built once per scan and
+/// shared by passes 4 and 5.
+struct CgFrontiers {
+  CgGraph graph;
+  std::vector<std::size_t> pool_roots;
+  std::vector<std::size_t> hot_roots;
+  std::set<std::size_t> pool;
+  std::set<std::size_t> hot;
+  std::map<std::size_t, std::size_t> pool_origin;
+  std::map<std::size_t, std::size_t> hot_origin;
+};
+
+/// Indexes every scanned file into the call graph and computes the pool
+/// and hot frontiers.  `files` is mutable so nodes can keep LexedFile
+/// pointers for pragma recording.
+CgFrontiers build_frontiers(std::map<std::filesystem::path, LexedFile>& files,
+                            const std::filesystem::path& root);
+
+/// Call sites in a node's token range, by simple callee name (member and
+/// scope qualifiers stripped — resolution is deliberately name-based).
+/// Sorted and deduplicated.
+std::vector<std::string> cg_callees(const CgNode& node);
+
+/// BFS over name-resolved edges from `roots`, honoring cold markers.
+/// `origin[n]` names the root that first discovered n, for provenance.
+std::set<std::size_t> cg_reach(const CgGraph& g,
+                               const std::vector<std::size_t>& roots,
+                               std::map<std::size_t, std::size_t>& origin);
+
+/// Runs the call-graph rules over prebuilt frontiers (the driver builds
+/// them once and shares them with the RNG provenance pass).
+void run_callgraph_rules(CgFrontiers& frontiers,
                          std::vector<Finding>& findings);
 
 /// Writes a deterministic text dump of the graph (nodes, roots, resolved

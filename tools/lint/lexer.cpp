@@ -35,7 +35,7 @@ bool is_raw_prefix(const std::string& ident) {
 bool is_marker_kind(const std::string& word) {
   return word == "pool-root" || word == "hot-path-root" ||
          word == "hot-path-begin" || word == "hot-path-end" ||
-         word == "cold-path";
+         word == "cold-path" || word == "rng-root";
 }
 
 /// Scans a comment's text for allow-pragmas and call-graph markers.

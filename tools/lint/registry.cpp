@@ -1,0 +1,199 @@
+#include "lint/registry.hpp"
+
+#include <algorithm>
+
+namespace nettag::lint {
+
+const std::vector<RuleInfo>& all_rules() {
+  static const std::vector<RuleInfo> rules = {
+      // -- pass 2: token rules ------------------------------------------
+      {"raw-rand", Level::kError,
+       "std::rand/srand is process-global and unseeded; use nettag::Rng",
+       "std::rand draws from one hidden process-wide state that every call "
+       "site mutates, so results depend on call order across the whole "
+       "binary and cannot be replayed from a recorded seed.  All randomness "
+       "flows through nettag::Rng, seeded explicitly per experiment."},
+      {"raw-engine", Level::kError,
+       "raw <random> engines bypass the one-seed-per-experiment discipline",
+       "mt19937, random_device and friends create seed state outside the "
+       "single 64-bit seed every artifact must be derivable from.  "
+       "random_device is nondeterministic by construction; the others "
+       "fragment provenance.  Derive a nettag::Rng instead (fork() for "
+       "independent streams)."},
+      {"wall-clock", Level::kError,
+       "wall-clock reads leak into artifacts and break SOURCE_DATE_EPOCH "
+       "reproducibility",
+       "std::time/system_clock values differ on every run, so any artifact "
+       "they touch can never be byte-identical across runs or machines.  "
+       "Simulated time comes from sim::Clock; timings that must appear in "
+       "artifacts are redacted through the SOURCE_DATE_EPOCH path."},
+      {"unordered-iter", Level::kError,
+       "unordered-container iteration follows bucket order, which differs "
+       "across standard libraries",
+       "Bucket order is an implementation detail: libstdc++, libc++ and MSVC "
+       "all disagree, and it shifts with load factors.  Iterating one into "
+       "anything observable makes the artifact depend on the standard "
+       "library.  Iterate a sorted structure, or sort the keys first."},
+      {"float-accum", Level::kError,
+       "std::accumulate/reduce over floats fixes a summation order outside "
+       "RunningStats",
+       "Floating-point addition is not associative; the summation order IS "
+       "the result.  std::reduce explicitly permits arbitrary regrouping.  "
+       "RunningStats pins one serial order for every aggregate the repo "
+       "publishes, so parallel folds replay it exactly."},
+      {"float-for-accum", Level::kError,
+       "float/double compound assignment accumulating across plain-for "
+       "iterations",
+       "A `sum += x` loop bakes the iteration order into the result.  That "
+       "is fine when the order is contractual, and silently wrong the day "
+       "the loop is parallelized or its container reordered.  Aggregate "
+       "through RunningStats, or annotate why the order is fixed."},
+      {"fold-order", Level::kError,
+       "run_ordered results consumed outside the strictly ordered fold",
+       "run_ordered guarantees the fold callback sees results in ascending "
+       "task order (FoldOrderGuard); state mutated from the *body* lambda is "
+       "observed in worker completion order instead, which varies with "
+       "thread count and scheduling.  Move the reduction into the fold."},
+      // -- pass 3: include graph ----------------------------------------
+      {"layering", Level::kError,
+       "include edge violates the repository layering contract",
+       "src/common is the leaf layer; src never includes the harness layers "
+       "(bench/tools/tests/examples); obs stays optional behind its three "
+       "sink headers.  The contract keeps the simulator linkable without "
+       "any harness and the obs layer strippable from production builds."},
+      {"include-cycle", Level::kError,
+       "cyclic include chain among repository headers",
+       "Cycles make compilation order-dependent and every refactor a "
+       "landmine: whichever header happens to be parsed first wins.  Break "
+       "the cycle with a forward declaration or an interface split."},
+      // -- pass 4: call graph -------------------------------------------
+      {"shared-mutable-global", Level::kError,
+       "pool-reachable write to non-const namespace-scope state — workers "
+       "race on it",
+       "Worker threads reaching a plain global write race on it, and even "
+       "when 'benign' the interleaving varies with worker count — the exact "
+       "variable the artifact contract holds fixed.  Fold per-worker state "
+       "through the ordered fold instead."},
+      {"thread-local-escape", Level::kError,
+       "a thread_local's address or a reference to it crosses a task "
+       "boundary",
+       "A thread_local names a different object on every thread.  A "
+       "reference bound on the driver and used inside a pooled task reads "
+       "the driver's instance from a worker — the counters land on the "
+       "wrong thread and the artifact depends on scheduling.  Call the "
+       "accessor inside the task body."},
+      {"blocking-in-pool", Level::kError,
+       "sleep/filesystem/iostream call reachable from a pool task body",
+       "Workers must stay compute-only: blocking calls serialize the pool "
+       "behind OS state, and interleaved I/O from workers is ordered by "
+       "scheduling.  Do I/O on the driver thread — the ordered fold runs "
+       "there and is the sanctioned place for it."},
+      {"lock-discipline", Level::kError,
+       "raw .lock()/.unlock() instead of a RAII guard, or a guard "
+       "temporary that dies at the semicolon",
+       "A raw .lock() leaks the mutex on every early return and exception "
+       "path; an unnamed lock_guard temporary unlocks at the end of its "
+       "own statement, guarding nothing.  Name a std::lock_guard or "
+       "std::unique_lock that spans the critical section."},
+      {"hot-path-alloc", Level::kError,
+       "allocation or container growth reachable from the per-slot/"
+       "per-frame session loops",
+       "The session kernels execute per slot, millions of times per trial; "
+       "an allocation there dominates the profile and drags the allocator's "
+       "lock into the scaling curves the paper reproduces.  Pre-allocate "
+       "outside the loop and reuse buffers (annotate amortized growth)."},
+      // -- pass 5: RNG provenance ---------------------------------------
+      {"rng-by-value", Level::kError,
+       "an Rng passed or captured by copy silently bifurcates the stream",
+       "Copying an Rng duplicates its state: both copies now emit the same "
+       "draws, and whichever advances is lost to the other.  The parent's "
+       "recorded seed no longer accounts for every draw in the run.  Pass "
+       "`Rng&`, or split the stream explicitly with `.fork()`."},
+      {"rng-ambient", Level::kError,
+       "an Rng seeded from a literal/default outside sanctioned roots",
+       "Every artifact must be reproducible from ONE recorded 64-bit seed.  "
+       "An Rng constructed from a hard-coded literal (or the default seed) "
+       "anywhere but an entry point creates a second, undocumented "
+       "provenance root.  Derive the seed from the experiment seed "
+       "(fmix64, fork()), or mark a deliberate per-case root function with "
+       "the rng-root marker; `main` sanctions its first ambient seed, and "
+       "tests/ fixtures are exempt."},
+      {"rng-in-fold", Level::kError,
+       "a draw reachable from a run_ordered/run_pooled_trials fold body",
+       "Folds are the deterministic replay half of the pool contract: they "
+       "run on the caller thread in strictly ascending task order and must "
+       "be pure functions of their inputs.  A draw inside one advances a "
+       "stream as a side effect of result arrival, so the stream position "
+       "depends on how many tasks completed — draw in the task body "
+       "instead, where the per-cell seed governs."},
+      {"rng-shared-across-pool", Level::kError,
+       "one generator reachable from pool task bodies without per-cell "
+       "forking",
+       "Tasks run concurrently; a shared generator drawn from several task "
+       "bodies races on its state, and even under a mutex the interleaving "
+       "— hence every stream — varies with worker count.  The TrialCell "
+       "contract: each cell derives its own generator from the master seed "
+       "and the cell index (fmix64 or fork() before dispatch)."},
+      {"rng-engine-divergent", Level::kError,
+       "a draw under a CcmConfig::engine-dependent branch",
+       "The scalar and word-parallel engines must be bit-exact replacements "
+       "for each other, which requires identical draw sequences on both "
+       "sides of every engine dispatch.  A draw executed on only one side "
+       "desynchronizes the streams, so NETTAG_ENGINE would change the "
+       "artifact.  Hoist draws above the dispatch (the documented "
+       "lossy-routing seam in session.cpp routes lossy configs to the "
+       "scalar engine precisely to keep this invariant)."},
+      // -- driver ------------------------------------------------------
+      {"unused-pragma", Level::kWarning,
+       "nettag-lint: allow(...) pragma that suppresses nothing",
+       "A pragma that no longer suppresses anything is stale documentation "
+       "— the hazard it excused was fixed or moved — or a typo'd rule ID "
+       "that never suppressed anything.  Both silently weaken the next "
+       "reader's trust in the remaining pragmas; remove or fix it."},
+  };
+  return rules;
+}
+
+const RuleInfo* find_rule(const std::string& id) {
+  for (const RuleInfo& r : all_rules())
+    if (id == r.id) return &r;
+  return nullptr;
+}
+
+bool is_known_rule(const std::string& id) { return find_rule(id) != nullptr; }
+
+namespace {
+
+/// Levenshtein distance, capped implicitly by the short rule-ID lengths.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::string suggest_rule(const std::string& id) {
+  // Beyond distance 3 a "suggestion" is noise, not help.
+  std::size_t best = 4;
+  std::string name;
+  for (const RuleInfo& r : all_rules()) {
+    const std::size_t d = edit_distance(id, r.id);
+    if (d < best) {
+      best = d;
+      name = r.id;
+    }
+  }
+  return name;
+}
+
+}  // namespace nettag::lint

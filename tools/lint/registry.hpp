@@ -1,0 +1,45 @@
+// nettag-lint rule registry — the single source of truth for rule IDs.
+//
+// Before this table existed the rule inventory was smeared across three
+// files: rules.cpp carried the SARIF metadata, callgraph.cpp hard-coded its
+// rule-id strings, and the driver re-derived "is this a known rule" for
+// pragma auditing.  Adding a rule meant touching all three and hoping the
+// spellings agreed.  Every consumer — the token rules, the call-graph pass,
+// the RNG provenance pass, the SARIF writer, the pragma auditor and
+// `nettag-lint --explain` — now reads this one table.
+//
+// Ordering is the stable reporting order: SARIF rule arrays and --explain
+// listings are emitted exactly as written here, so appending a rule never
+// reshuffles existing output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nettag::lint {
+
+enum class Level { kError, kWarning };
+
+struct RuleInfo {
+  const char* id;
+  Level level;
+  const char* summary;    // one line: what the rule flags (SARIF short text)
+  const char* rationale;  // why the repo forbids it (--explain / SARIF full
+                          // text)
+};
+
+/// Every rule the analyzer can emit, in stable (reporting) order.
+const std::vector<RuleInfo>& all_rules();
+
+/// The registry entry for `id`, or nullptr for unknown IDs.
+const RuleInfo* find_rule(const std::string& id);
+
+/// Whether `id` names a known rule (used to reject typo'd pragmas).
+bool is_known_rule(const std::string& id);
+
+/// The closest known rule ID within a small edit distance of `id`, or ""
+/// when nothing is near enough to be a plausible typo.  Deterministic:
+/// distance ties resolve to the earliest registry entry.
+std::string suggest_rule(const std::string& id);
+
+}  // namespace nettag::lint

@@ -1,0 +1,674 @@
+#include "lint/rng_flow.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "lint/registry.hpp"
+#include "lint/token_util.hpp"
+
+namespace nettag::lint {
+namespace {
+
+namespace fs = std::filesystem;
+using tok::is_ident;
+using tok::is_punct;
+using tok::match_angle;
+using tok::match_bracket;
+using tok::member_qualified;
+using tok::npos;
+using tok::split_args;
+
+std::string relative_to(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(fs::weakly_canonical(file, ec),
+                                    fs::weakly_canonical(root, ec), ec);
+  const std::string s = rel.generic_string();
+  if (ec || s.empty() || s.rfind("..", 0) == 0) return file.generic_string();
+  return s;
+}
+
+/// One tracked `Rng` declaration and its seed provenance.
+struct RngDecl {
+  // kDerived   seeded from an expression involving identifiers (trial seed,
+  //            fmix64, fork(), a later non-literal reseed()) — the sanctioned
+  //            provenance chain.
+  // kLiteral   seeded from a hard-coded literal (or default-constructed then
+  //            reseeded from a literal): ambient unless under a sanctioned
+  //            root.
+  // kDefault   default-constructed and never reseeded: the fixed default
+  //            seed, ambient like a literal.
+  // kExtern    an `extern Rng` declaration — the definition (and its
+  //            provenance) live in another TU; tracked for draw attribution
+  //            and for the cross-TU shared-generator rule.
+  // kParam     a reference/pointer/by-value parameter binding — the
+  //            generator was seeded by the caller; tracked for draw
+  //            attribution only.
+  enum class Seed { kDerived, kLiteral, kDefault, kExtern, kParam };
+  std::string name;
+  std::size_t name_tok = 0;
+  int line = 0;
+  Seed seed = Seed::kDerived;
+};
+
+struct DrawSite {
+  std::string name;
+  std::size_t tok = 0;
+  int line = 0;
+};
+
+/// Everything pass 5 knows about one file: tracked declarations (in token
+/// order) and every draw site through a tracked name.
+struct FileRng {
+  const fs::path* path = nullptr;
+  LexedFile* file = nullptr;
+  std::string rel;
+  std::vector<RngDecl> decls;
+  std::set<std::string> tracked;
+  std::set<std::size_t> decl_toks;  // name-token indices (not draw sites)
+  std::vector<DrawSite> draws;
+};
+
+struct Reporter {
+  std::vector<Finding>& findings;
+  // Dedup: overlapping scans (a then- and else-branch reaching the same
+  // function, a lexical draw the global rule also sees) must not
+  // double-report one site.
+  std::set<std::tuple<std::string, int, std::string>> seen;
+
+  void report(FileRng& f, int line, const char* rule, std::string message) {
+    if (!seen.insert({f.rel, line, rule}).second) return;
+    if (pragma_allows(*f.file, line, rule)) return;
+    const RuleInfo* info = find_rule(rule);
+    findings.push_back({f.path->string(), f.rel, line, rule,
+                        std::move(message),
+                        info != nullptr ? info->level : Level::kError});
+  }
+};
+
+/// True when no identifier contributes to a seed expression; the type name
+/// `Rng` itself does not count (`Rng a = Rng(5)` is still literal-seeded).
+bool literal_args(const std::vector<Token>& t, std::size_t begin,
+                  std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i)
+    if (t[i].kind == TokKind::kIdent && t[i].text != "Rng") return false;
+  return true;
+}
+
+bool contains_fork(const std::vector<Token>& t, std::size_t begin,
+                   std::size_t end) {
+  for (std::size_t i = begin; i + 1 < end; ++i)
+    if (is_ident(t[i], "fork") && is_punct(t[i + 1], "(")) return true;
+  return false;
+}
+
+/// Classifies a default-constructed generator by its first later
+/// `name.reseed(expr)`: a non-literal expr re-derives the stream (the
+/// fork() idiom in Rng::fork itself), a literal one is ambient, no reseed
+/// at all leaves the fixed default seed.
+RngDecl::Seed classify_default(const std::vector<Token>& t, std::size_t from,
+                               const std::string& name) {
+  for (std::size_t i = from; i + 3 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != name) continue;
+    if (!is_punct(t[i + 1], ".") && !is_punct(t[i + 1], "->")) continue;
+    if (!is_ident(t[i + 2], "reseed") || !is_punct(t[i + 3], "(")) continue;
+    const std::size_t rp = match_bracket(t, i + 3);
+    if (rp == npos) break;
+    return literal_args(t, i + 4, rp) ? RngDecl::Seed::kLiteral
+                                      : RngDecl::Seed::kDerived;
+  }
+  return RngDecl::Seed::kDefault;
+}
+
+const char* kCopyHint =
+    " — copying duplicates the stream state; pass by `Rng&` or split "
+    "explicitly with `.fork()`";
+
+/// Walks one file for `Rng` declarations.  Copy-constructions and by-value
+/// parameters are reported as they are classified; everything else is
+/// recorded for the flow rules.
+void index_decls(FileRng& f, Reporter& rep) {
+  const std::vector<Token>& t = f.file->tokens;
+  const auto track = [&](RngDecl d) {
+    f.tracked.insert(d.name);
+    f.decl_toks.insert(d.name_tok);
+    f.decls.push_back(std::move(d));
+  };
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind == TokKind::kIdent && t[i].text == "auto" &&
+        i + 2 < t.size() && t[i + 1].kind == TokKind::kIdent &&
+        is_punct(t[i + 2], "=")) {
+      // `auto child = parent.fork();` — the deduced type is Rng.
+      std::size_t semi = i + 3;
+      while (semi < t.size() && !is_punct(t[semi], ";")) ++semi;
+      if (contains_fork(t, i + 3, semi)) {
+        RngDecl d;
+        d.name = t[i + 1].text;
+        d.name_tok = i + 1;
+        d.line = t[i + 1].line;
+        d.seed = RngDecl::Seed::kDerived;
+        track(std::move(d));
+      }
+      continue;
+    }
+    if (t[i].kind != TokKind::kIdent || t[i].text != "Rng") continue;
+    if (i + 1 < t.size() && is_punct(t[i + 1], "::")) continue;  // Rng::max()
+    std::size_t j = i + 1;
+    bool indirect = false;
+    while (j < t.size() && (is_punct(t[j], "&") || is_punct(t[j], "&&") ||
+                            is_punct(t[j], "*") || is_ident(t[j], "const"))) {
+      indirect = true;
+      ++j;
+    }
+    if (j >= t.size() || t[j].kind != TokKind::kIdent) continue;
+    RngDecl d;
+    d.name = t[j].text;
+    d.name_tok = j;
+    d.line = t[j].line;
+    const std::size_t k = j + 1;
+    if (k >= t.size()) continue;
+    if (indirect) {
+      // Reference/pointer binding: seeded by the caller; track for draws.
+      d.seed = RngDecl::Seed::kParam;
+      track(std::move(d));
+      continue;
+    }
+    if (is_punct(t[k], "(") || is_punct(t[k], "{")) {
+      const std::size_t close = match_bracket(t, k);
+      if (close == npos) continue;
+      const auto args = split_args(t, k);
+      if (is_punct(t[k], "(")) {
+        if (args.empty()) continue;  // `Rng fork() noexcept;` — a declaration
+        if (close + 1 < t.size() &&
+            (is_punct(t[close + 1], "{") || is_punct(t[close + 1], "->") ||
+             is_ident(t[close + 1], "noexcept") ||
+             is_ident(t[close + 1], "const")))
+          continue;  // function definition returning Rng by value
+      }
+      if (args.size() == 1 && args[0].second - args[0].first == 1 &&
+          t[args[0].first].kind == TokKind::kIdent &&
+          f.tracked.count(t[args[0].first].text) > 0) {
+        rep.report(f, d.line, "rng-by-value",
+                   "'" + d.name + "' copy-constructed from generator '" +
+                       t[args[0].first].text + "'" + kCopyHint);
+        d.seed = RngDecl::Seed::kDerived;
+      } else {
+        d.seed = args.empty() ? classify_default(t, close + 1, d.name)
+                 : literal_args(t, k + 1, close) ? RngDecl::Seed::kLiteral
+                                                 : RngDecl::Seed::kDerived;
+      }
+      track(std::move(d));
+    } else if (is_punct(t[k], "=")) {
+      std::size_t semi = k + 1;
+      while (semi < t.size() && !is_punct(t[semi], ";")) ++semi;
+      if (semi - (k + 1) == 1 && t[k + 1].kind == TokKind::kIdent &&
+          f.tracked.count(t[k + 1].text) > 0) {
+        rep.report(f, d.line, "rng-by-value",
+                   "'" + d.name + "' copy-initialised from generator '" +
+                       t[k + 1].text + "'" + kCopyHint);
+        d.seed = RngDecl::Seed::kDerived;
+      } else if (contains_fork(t, k + 1, semi)) {
+        d.seed = RngDecl::Seed::kDerived;
+      } else {
+        d.seed = literal_args(t, k + 1, semi) ? RngDecl::Seed::kLiteral
+                                              : RngDecl::Seed::kDerived;
+      }
+      track(std::move(d));
+    } else if (is_punct(t[k], ";")) {
+      d.seed = (i > 0 && is_ident(t[i - 1], "extern"))
+                   ? RngDecl::Seed::kExtern
+                   : classify_default(t, k, d.name);
+      track(std::move(d));
+    } else if (is_punct(t[k], ",") || is_punct(t[k], ")")) {
+      rep.report(f, d.line, "rng-by-value",
+                 "parameter '" + d.name + "' takes Rng by value" + kCopyHint);
+      d.seed = RngDecl::Seed::kParam;
+      track(std::move(d));
+    }
+  }
+}
+
+/// Copy-assignment between two tracked generators (`child = parent;`).
+void scan_copy_assign(FileRng& f, Reporter& rep) {
+  const std::vector<Token>& t = f.file->tokens;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || f.tracked.count(t[i].text) == 0)
+      continue;
+    if (member_qualified(t, i)) continue;
+    if (i > 0 && is_ident(t[i - 1], "Rng")) continue;  // the decl path's job
+    if (!is_punct(t[i + 1], "=") || t[i + 2].kind != TokKind::kIdent ||
+        !is_punct(t[i + 3], ";"))
+      continue;
+    if (f.tracked.count(t[i + 2].text) == 0) continue;
+    rep.report(f, t[i].line, "rng-by-value",
+               "'" + t[i].text + "' copy-assigned from generator '" +
+                   t[i + 2].text + "'" + kCopyHint);
+  }
+}
+
+/// Lambda copy-captures of a tracked generator: `[rng]` and `[r = rng]`.
+void scan_captures(FileRng& f, Reporter& rep) {
+  const std::vector<Token>& t = f.file->tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_punct(t[i], "[")) continue;
+    if (is_punct(t[i + 1], "[")) continue;  // [[attribute]]
+    if (i > 0 && (t[i - 1].kind == TokKind::kIdent ||
+                  is_punct(t[i - 1], ")") || is_punct(t[i - 1], "]")))
+      continue;  // subscript, not a lambda introducer
+    const std::size_t close = match_bracket(t, i);
+    if (close == npos || close + 1 >= t.size()) continue;
+    if (!is_punct(t[close + 1], "(") && !is_punct(t[close + 1], "{") &&
+        !is_ident(t[close + 1], "mutable") && !is_punct(t[close + 1], "->") &&
+        !is_ident(t[close + 1], "noexcept"))
+      continue;
+    for (const auto& [a, b] : split_args(t, i)) {
+      if (b - a == 1 && t[a].kind == TokKind::kIdent &&
+          f.tracked.count(t[a].text) > 0) {
+        rep.report(f, t[a].line, "rng-by-value",
+                   "generator '" + t[a].text + "' captured by copy" +
+                       kCopyHint);
+      } else if (b - a == 3 && t[a].kind == TokKind::kIdent &&
+                 is_punct(t[a + 1], "=") &&
+                 t[a + 2].kind == TokKind::kIdent &&
+                 f.tracked.count(t[a + 2].text) > 0) {
+        rep.report(f, t[a].line, "rng-by-value",
+                   "init-capture '" + t[a].text +
+                       "' copies generator '" + t[a + 2].text + "'" +
+                       kCopyHint);
+      }
+    }
+  }
+}
+
+bool is_draw_method(const std::string& s) {
+  return s == "below" || s == "uniform_int" || s == "uniform01" ||
+         s == "uniform" || s == "bernoulli" || s == "fork";
+}
+
+/// Draw sites: `name()` (operator(), nullary — a call with arguments is a
+/// construction or member-init, not a draw) and `name.method(...)` for the
+/// drawing members.  `fork()` counts: it advances the parent stream.
+void collect_draws(FileRng& f) {
+  const std::vector<Token>& t = f.file->tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || f.tracked.count(t[i].text) == 0)
+      continue;
+    if (member_qualified(t, i) || f.decl_toks.count(i) > 0) continue;
+    const bool call = is_punct(t[i + 1], "(") && is_punct(t[i + 2], ")");
+    const bool member = (is_punct(t[i + 1], ".") || is_punct(t[i + 1], "->")) &&
+                        i + 3 < t.size() &&
+                        t[i + 2].kind == TokKind::kIdent &&
+                        is_draw_method(t[i + 2].text) &&
+                        is_punct(t[i + 3], "(");
+    if (call || member) f.draws.push_back({t[i].text, i, t[i].line});
+  }
+}
+
+bool any_draw_in(const FileRng& f, std::size_t begin, std::size_t end,
+                 std::string* name) {
+  for (const DrawSite& d : f.draws) {
+    if (d.tok < begin || d.tok >= end) continue;
+    if (name != nullptr) *name = d.name;
+    return true;
+  }
+  return false;
+}
+
+/// The innermost function node of `f.file` whose body covers token `i`, or
+/// npos at namespace/class scope.
+std::size_t enclosing_function(const CgGraph& g, const FileRng& f,
+                               std::size_t i) {
+  std::size_t best = npos;
+  for (std::size_t n = 0; n < g.nodes.size(); ++n) {
+    const CgNode& node = g.nodes[n];
+    if (node.kind != CgNode::Kind::kFunction || node.file != f.file) continue;
+    if (node.begin > i || i >= node.end) continue;
+    if (best == npos || node.begin > g.nodes[best].begin) best = n;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// rng-ambient
+
+void rule_ambient(std::vector<FileRng>& files, const CgFrontiers& fr,
+                  Reporter& rep) {
+  for (FileRng& f : files) {
+    if (f.rel.rfind("tests/", 0) == 0) continue;  // fixtures own their seeds
+    // `main` sanctions exactly one ambient seed; remember the first per
+    // node so the second onwards names it in the fix hint.
+    std::set<std::size_t> sanctioned_mains;
+    std::string first_name;
+    for (const RngDecl& d : f.decls) {
+      if (d.seed != RngDecl::Seed::kLiteral &&
+          d.seed != RngDecl::Seed::kDefault)
+        continue;
+      const std::string what =
+          d.seed == RngDecl::Seed::kLiteral
+              ? "seeded from a literal"
+              : "default-constructed (fixed default seed) and never "
+                "reseeded from a derived expression";
+      const std::size_t n = enclosing_function(fr.graph, f, d.name_tok);
+      if (n == npos) {
+        rep.report(f, d.line, "rng-ambient",
+                   "namespace-scope generator '" + d.name + "' " + what +
+                       " — globals cannot carry per-trial provenance; seed "
+                       "inside the trial cell instead");
+        continue;
+      }
+      const CgNode& node = fr.graph.nodes[n];
+      if (node.rng_root) continue;
+      if (node.simple == "main") {
+        if (sanctioned_mains.insert(n).second) {
+          first_name = d.name;
+          continue;  // the experiment's master seed
+        }
+        rep.report(f, d.line, "rng-ambient",
+                   "second ambient seed in main — only the first "
+                   "literal-seeded generator is the experiment's master "
+                   "seed; derive this one instead: `Rng " +
+                       d.name + " = " + first_name + ".fork();`");
+        continue;
+      }
+      rep.report(f, d.line, "rng-ambient",
+                 "generator '" + d.name + "' " + what + " inside '" +
+                     node.display +
+                     "' — derive the seed from the trial cell or CLI "
+                     "entry, fork() an existing generator, or mark a "
+                     "deliberate per-case root with the rng-root marker");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared lambda resolution for the fold rule (mirrors the call-graph pass:
+// an argument is either a lambda literal or a named lambda bound earlier in
+// the same file).
+
+std::pair<std::size_t, std::size_t> resolve_lambda(
+    const std::vector<Token>& t, std::pair<std::size_t, std::size_t> arg,
+    std::size_t call_site) {
+  const auto literal = tok::lambda_body(t, arg.first, arg.second);
+  if (literal.first != npos) return literal;
+  if (arg.second - arg.first != 1 || t[arg.first].kind != TokKind::kIdent)
+    return {npos, npos};
+  const std::string& name = t[arg.first].text;
+  for (std::size_t k = call_site; k-- > 0;) {
+    if (t[k].kind == TokKind::kIdent && t[k].text == name &&
+        k + 2 < t.size() && is_punct(t[k + 1], "=") &&
+        is_punct(t[k + 2], "[")) {
+      const auto bound = tok::lambda_body(t, k + 2, t.size());
+      if (bound.first != npos && bound.second <= call_site) return bound;
+    }
+  }
+  return {npos, npos};
+}
+
+/// BFS the call graph from every call inside `[begin, end)` of `f.file` and
+/// report (at `line`, under `rule`) every reached function that draws.
+void report_reachable_draws(std::vector<FileRng>& files,
+                            const std::map<const LexedFile*, std::size_t>& byf,
+                            const CgFrontiers& fr, FileRng& f,
+                            std::size_t begin, std::size_t end, int line,
+                            const char* rule, const std::string& context,
+                            Reporter& rep) {
+  CgNode probe;
+  probe.file = f.file;
+  probe.begin = begin;
+  probe.end = end;
+  std::vector<std::size_t> roots;
+  for (const std::string& name : cg_callees(probe)) {
+    const auto it = fr.graph.by_simple.find(name);
+    if (it == fr.graph.by_simple.end()) continue;
+    roots.insert(roots.end(), it->second.begin(), it->second.end());
+  }
+  if (roots.empty()) return;
+  std::map<std::size_t, std::size_t> origin;
+  for (const std::size_t n : cg_reach(fr.graph, roots, origin)) {
+    const CgNode& node = fr.graph.nodes[n];
+    const auto fit = byf.find(node.file);
+    if (fit == byf.end()) continue;
+    std::string drawn;
+    if (!any_draw_in(files[fit->second], node.begin, node.end, &drawn))
+      continue;
+    rep.report(f, line, rule,
+               context + " reaches '" + node.display + "' (" + node.rel +
+                   ":" + std::to_string(node.line) +
+                   ") which draws from generator '" + drawn + "'");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rng-in-fold
+
+void rule_in_fold(std::vector<FileRng>& files,
+                  const std::map<const LexedFile*, std::size_t>& byf,
+                  const CgFrontiers& fr, Reporter& rep) {
+  for (FileRng& f : files) {
+    const std::vector<Token>& t = f.file->tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      std::pair<std::size_t, std::size_t> fold{npos, npos};
+      std::string dispatch;
+      if (t[i].text == "run_ordered" && is_punct(t[i + 1], "(")) {
+        const auto args = split_args(t, i + 1);
+        if (args.size() >= 3) fold = resolve_lambda(t, args[2], i);
+        dispatch = "run_ordered";
+      } else if (t[i].text == "run_pooled_trials") {
+        std::size_t j = i + 1;
+        if (j < t.size() && is_punct(t[j], "<")) {
+          const std::size_t c = match_angle(t, j);
+          if (c == npos) continue;
+          j = c + 1;
+        }
+        if (j >= t.size() || !is_punct(t[j], "(")) continue;
+        const auto args = split_args(t, j);
+        if (args.size() >= 4) fold = resolve_lambda(t, args[3], i);
+        dispatch = "run_pooled_trials";
+      } else if (t[i].text == "run" && member_qualified(t, i) &&
+                 is_punct(t[i + 1], "(")) {
+        const auto args = split_args(t, i + 1);
+        if (args.size() >= 3 && resolve_lambda(t, args[1], i).first != npos)
+          fold = resolve_lambda(t, args[2], i);
+        dispatch = "pool.run";
+      } else {
+        continue;
+      }
+      if (fold.first == npos) continue;
+      for (const DrawSite& d : f.draws) {
+        if (d.tok < fold.first || d.tok >= fold.second) continue;
+        rep.report(f, d.line, "rng-in-fold",
+                   "draw from '" + d.name + "' inside the " + dispatch +
+                       " fold body — stream position would depend on the "
+                       "job decomposition; draw in the task body and pass "
+                       "results through the fold");
+      }
+      report_reachable_draws(files, byf, fr, f, fold.first, fold.second,
+                             t[i].line, "rng-in-fold",
+                             "the " + dispatch + " fold body", rep);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rng-shared-across-pool
+
+void rule_shared_across_pool(std::vector<FileRng>& files,
+                             const std::map<const LexedFile*, std::size_t>& byf,
+                             const CgFrontiers& fr, Reporter& rep) {
+  // Namespace-scope generators, by name, across every scanned TU (the
+  // defining TU and any `extern Rng` user both contribute).
+  std::set<std::string> global_rngs;
+  for (const FileRng& f : files) {
+    for (const RngDecl& d : f.decls) {
+      if (d.seed == RngDecl::Seed::kParam) continue;
+      if (d.seed == RngDecl::Seed::kExtern ||
+          enclosing_function(fr.graph, f, d.name_tok) == npos)
+        global_rngs.insert(d.name);
+    }
+  }
+  // Host-scope generator drawn inside a pooled task lambda in the same
+  // file; a declaration between the task's open brace and the draw is a
+  // per-cell child (the sanctioned fork() idiom), not sharing.
+  for (std::size_t n = 0; n < fr.graph.nodes.size(); ++n) {
+    const CgNode& task = fr.graph.nodes[n];
+    if (task.kind != CgNode::Kind::kTask) continue;
+    const auto fit = byf.find(task.file);
+    if (fit == byf.end()) continue;
+    FileRng& f = files[fit->second];
+    for (const DrawSite& d : f.draws) {
+      if (d.tok < task.begin || d.tok >= task.end) continue;
+      bool local = false;
+      bool host = false;
+      for (const RngDecl& decl : f.decls) {
+        if (decl.name != d.name) continue;
+        if (decl.name_tok >= task.begin && decl.name_tok < d.tok) local = true;
+        if (decl.name_tok < task.begin || decl.name_tok >= task.end)
+          host = true;
+      }
+      if (local || !host) continue;
+      rep.report(f, d.line, "rng-shared-across-pool",
+                 "generator '" + d.name +
+                     "' is declared outside the pooled task but drawn "
+                     "inside it — worker interleaving races the stream "
+                     "position; fork a per-cell child in the task body "
+                     "(`Rng cell = " + d.name + ".fork();` before dispatch, "
+                     "or derive from the cell index)");
+    }
+  }
+  // Namespace-scope generator drawn anywhere in the pool frontier (covers
+  // the cross-TU case: the draw may sit in a different file than the
+  // definition).
+  if (global_rngs.empty()) return;
+  for (const std::size_t n : fr.pool) {
+    const CgNode& node = fr.graph.nodes[n];
+    const auto fit = byf.find(node.file);
+    if (fit == byf.end()) continue;
+    FileRng& f = files[fit->second];
+    for (const DrawSite& d : f.draws) {
+      if (d.tok < node.begin || d.tok >= node.end) continue;
+      if (global_rngs.count(d.name) == 0) continue;
+      rep.report(f, d.line, "rng-shared-across-pool",
+                 "namespace-scope generator '" + d.name +
+                     "' drawn inside the pool frontier ('" + node.display +
+                     "') — every worker races one stream; give each task a "
+                     "forked or index-derived generator");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rng-engine-divergent
+
+bool mentions_engine(const std::vector<Token>& t, std::size_t begin,
+                     std::size_t end) {
+  static const std::set<std::string> kEngineTokens = {
+      "engine",         "engine_", "SessionEngine", "kScalar",
+      "kWordParallel",  "kAuto",   "resolve_engine", "NETTAG_ENGINE",
+  };
+  for (std::size_t i = begin; i < end; ++i) {
+    if (t[i].kind != TokKind::kIdent && t[i].kind != TokKind::kString)
+      continue;
+    if (kEngineTokens.count(t[i].text) > 0) return true;
+  }
+  return false;
+}
+
+/// The token ranges controlled by an engine-dependent `if`/`switch` whose
+/// condition closes at `rp`: the then-branch (braced or single statement),
+/// plus a plain else-branch.  An `else if` chain is left to its own
+/// condition check.
+std::vector<std::pair<std::size_t, std::size_t>> branch_ranges(
+    const std::vector<Token>& t, std::size_t rp) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const auto one = [&](std::size_t start) -> std::size_t {
+    if (start >= t.size()) return start;
+    if (is_punct(t[start], "{")) {
+      const std::size_t close = match_bracket(t, start);
+      if (close == npos) return t.size();
+      out.emplace_back(start + 1, close);
+      return close + 1;
+    }
+    std::size_t j = start;
+    int depth = 0;
+    for (; j < t.size(); ++j) {
+      if (t[j].kind != TokKind::kPunct) continue;
+      const std::string& s = t[j].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+      if (s == ";" && depth == 0) break;
+    }
+    out.emplace_back(start, j);
+    return j + 1;
+  };
+  std::size_t after = one(rp + 1);
+  if (after < t.size() && is_ident(t[after], "else") &&
+      !(after + 1 < t.size() && is_ident(t[after + 1], "if")))
+    one(after + 1);
+  return out;
+}
+
+void rule_engine_divergent(std::vector<FileRng>& files,
+                           const std::map<const LexedFile*, std::size_t>& byf,
+                           const CgFrontiers& fr, Reporter& rep) {
+  for (FileRng& f : files) {
+    const std::vector<Token>& t = f.file->tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent ||
+          (t[i].text != "if" && t[i].text != "switch") ||
+          !is_punct(t[i + 1], "("))
+        continue;
+      const std::size_t rp = match_bracket(t, i + 1);
+      if (rp == npos || !mentions_engine(t, i + 2, rp)) continue;
+      for (const auto& [begin, end] : branch_ranges(t, rp)) {
+        for (const DrawSite& d : f.draws) {
+          if (d.tok < begin || d.tok >= end) continue;
+          rep.report(f, d.line, "rng-engine-divergent",
+                     "draw from '" + d.name +
+                         "' under an engine-dependent branch — the scalar "
+                         "and word-parallel engines must consume identical "
+                         "streams; hoist the draw above the dispatch");
+        }
+        report_reachable_draws(files, byf, fr, f, begin, end, t[i].line,
+                               "rng-engine-divergent",
+                               "an engine-dependent branch", rep);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_rng_flow_rules(std::map<fs::path, LexedFile>& files,
+                        const fs::path& root, CgFrontiers& fr,
+                        std::vector<Finding>& findings) {
+  Reporter rep{findings, {}};
+  // Indexed in sorted-path (map) order so reporting order never depends on
+  // allocation addresses; `byf` is only ever used for lookups.
+  std::vector<FileRng> index;
+  index.reserve(files.size());
+  std::map<const LexedFile*, std::size_t> byf;
+  for (auto& [path, lexed] : files) {
+    FileRng f;
+    f.path = &path;
+    f.file = &lexed;
+    f.rel = relative_to(path, root);
+    index.push_back(std::move(f));
+    byf[&lexed] = index.size() - 1;
+  }
+  for (FileRng& f : index) {
+    index_decls(f, rep);
+    scan_copy_assign(f, rep);
+    scan_captures(f, rep);
+    collect_draws(f);
+  }
+  rule_ambient(index, fr, rep);
+  rule_in_fold(index, byf, fr, rep);
+  rule_shared_across_pool(index, byf, fr, rep);
+  rule_engine_divergent(index, byf, fr, rep);
+}
+
+}  // namespace nettag::lint

@@ -1,0 +1,70 @@
+// nettag-lint pass 5 — whole-program RNG provenance.
+//
+// The repo's reproducibility contract (docs/OBSERVABILITY.md) ultimately
+// rests on one dataflow property: every random artifact must trace back to
+// a named seed through `Rng::fork()` and arithmetic seed derivation, never
+// through generator copies, ambient literals, pooled sharing, or
+// engine-dependent draw ordering.  The token rules (pass 2) police the
+// *sources* (no std engines, no rand()); this pass polices the *flow*: it
+// tracks every `Rng` declaration in every scanned file, classifies its
+// seed provenance, finds every draw site, and rides the pass-4 call graph
+// (CgFrontiers) to reason about where those draws execute.
+//
+// Five rule families:
+//
+//   rng-by-value            a generator copied instead of forked: a by-value
+//                           `Rng` parameter, a copy-construction /
+//                           copy-assignment from a tracked generator, or a
+//                           lambda copy-capture of one.  Copies silently
+//                           split one stream into two correlated streams.
+//   rng-ambient             a generator constructed from a literal (or
+//                           default) seed outside a sanctioned root.
+//                           Sanctioned: the first ambient seed in `main`,
+//                           any seed inside a function carrying the
+//                           `rng-root` marker, and anything under tests/.
+//                           A default-constructed generator later reseeded
+//                           from a non-literal expression (the fork()
+//                           idiom) is derived, not ambient.
+//   rng-in-fold             a draw lexically inside — or call-graph
+//                           reachable from — a pool fold body
+//                           (`run_ordered` / `run_pooled_trials` /
+//                           `pool.run` final lambda).  Folds run on the
+//                           caller thread in ascending order, but a draw
+//                           there ties the consumed stream position to the
+//                           job decomposition: change the cell count and
+//                           every downstream draw shifts.
+//   rng-shared-across-pool  one generator reachable from pooled task
+//                           bodies: a host-scope generator drawn inside a
+//                           task lambda, or a namespace-scope generator
+//                           drawn anywhere in the pool frontier.  Worker
+//                           interleaving turns each draw into a race on the
+//                           stream position; fork a per-cell child instead.
+//   rng-engine-divergent    a draw under a `CcmConfig::engine`-dependent
+//                           branch (lexically or via the call graph).  The
+//                           scalar and word-parallel engines must consume
+//                           identical streams or artifacts silently change
+//                           with NETTAG_ENGINE; the one sanctioned seam
+//                           (the lossy-routing dispatch in session.cpp)
+//                           carries an explained allow-pragma.
+//
+// All findings flow through the ordinary pragma/baseline/SARIF machinery.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <vector>
+
+#include "lint/callgraph.hpp"
+#include "lint/rules.hpp"
+#include "lint/token.hpp"
+
+namespace nettag::lint {
+
+/// Runs the RNG provenance rules over every scanned file, riding the
+/// frontiers the driver already built for pass 4.  `files` is mutable so
+/// suppressing pragmas can be marked used.
+void run_rng_flow_rules(std::map<std::filesystem::path, LexedFile>& files,
+                        const std::filesystem::path& root, CgFrontiers& fr,
+                        std::vector<Finding>& findings);
+
+}  // namespace nettag::lint

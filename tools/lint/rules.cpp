@@ -6,10 +6,20 @@
 #include <set>
 #include <string>
 
+#include "lint/token_util.hpp"
+
 namespace nettag::lint {
 namespace {
 
-constexpr std::size_t npos = static_cast<std::size_t>(-1);
+using tok::foreign_qualified;
+using tok::is_ident;
+using tok::is_punct;
+using tok::match_angle;
+using tok::match_bracket;
+using tok::member_qualified;
+using tok::npos;
+using tok::split_args;
+using tok::std_qualified;
 
 const std::set<std::string>& engine_names() {
   static const std::set<std::string> s = {
@@ -28,30 +38,6 @@ const std::set<std::string>& unordered_names() {
   return s;
 }
 
-bool is_ident(const Token& t, const char* text) {
-  return t.kind == TokKind::kIdent && t.text == text;
-}
-bool is_punct(const Token& t, const char* text) {
-  return t.kind == TokKind::kPunct && t.text == text;
-}
-
-/// Previous token is a member-access or scope operator — the identifier is
-/// qualified by something we cannot see, so give it the benefit of doubt
-/// (std:: qualification is checked separately where it matters).
-bool member_qualified(const std::vector<Token>& t, std::size_t i) {
-  return i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
-}
-
-/// True when t[i] is qualified as std::... (possibly just `::std`-free).
-bool std_qualified(const std::vector<Token>& t, std::size_t i) {
-  return i >= 2 && is_punct(t[i - 1], "::") && is_ident(t[i - 2], "std");
-}
-
-/// Any `X::` qualifier other than std:: (e.g. sim::Clock::, MyRng::rand).
-bool foreign_qualified(const std::vector<Token>& t, std::size_t i) {
-  return i >= 2 && is_punct(t[i - 1], "::") && !is_ident(t[i - 2], "std");
-}
-
 /// A floating-point literal: not hex, and carrying a '.', an exponent, or
 /// an f/F suffix.
 bool is_float_literal(const Token& t) {
@@ -63,63 +49,6 @@ bool is_float_literal(const Token& t) {
   if (s.find('e') != std::string::npos || s.find('E') != std::string::npos)
     return true;
   return !s.empty() && (s.back() == 'f' || s.back() == 'F');
-}
-
-/// Index of the `>` closing the `<` at t[i], treating `>>` as two closers.
-/// Fails (npos) on statement punctuation, so `a < b; c > d` is not a
-/// template-argument list.
-std::size_t match_angle(const std::vector<Token>& t, std::size_t i) {
-  int depth = 0;
-  int parens = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    const Token& tok = t[j];
-    if (tok.kind != TokKind::kPunct) continue;
-    if (tok.text == "(") ++parens;
-    if (tok.text == ")") --parens;
-    if (parens > 0) continue;
-    if (tok.text == "<") ++depth;
-    if (tok.text == "<<") depth += 2;
-    if (tok.text == ">") --depth;
-    if (tok.text == ">>") depth -= 2;
-    if (depth <= 0) return j;
-    if (tok.text == ";" || tok.text == "{") return npos;
-  }
-  return npos;
-}
-
-/// Index of the token matching the opener at t[i] (one of ( [ {).
-std::size_t match_bracket(const std::vector<Token>& t, std::size_t i) {
-  const std::string& open = t[i].text;
-  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
-  int depth = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    if (t[j].kind != TokKind::kPunct) continue;
-    if (t[j].text == open) ++depth;
-    if (t[j].text == close && --depth == 0) return j;
-  }
-  return npos;
-}
-
-/// Top-level argument ranges [begin, end) of the call whose `(` is at t[lp].
-std::vector<std::pair<std::size_t, std::size_t>> split_args(
-    const std::vector<Token>& t, std::size_t lp) {
-  std::vector<std::pair<std::size_t, std::size_t>> args;
-  const std::size_t rp = match_bracket(t, lp);
-  if (rp == npos) return args;
-  int depth = 0;
-  std::size_t begin = lp + 1;
-  for (std::size_t j = lp + 1; j < rp; ++j) {
-    if (t[j].kind != TokKind::kPunct) continue;
-    const std::string& s = t[j].text;
-    if (s == "(" || s == "[" || s == "{") ++depth;
-    if (s == ")" || s == "]" || s == "}") --depth;
-    if (s == "," && depth == 0) {
-      args.emplace_back(begin, j);
-      begin = j + 1;
-    }
-  }
-  if (begin < rp || !args.empty()) args.emplace_back(begin, rp);
-  return args;
 }
 
 struct ForLoop {
@@ -404,20 +333,6 @@ void rule_float_accum(Ctx& ctx, const std::vector<Token>& t,
   }
 }
 
-/// Body token range of a lambda starting at t[begin] (or {npos, npos}).
-std::pair<std::size_t, std::size_t> lambda_body_range(
-    const std::vector<Token>& t, std::size_t begin, std::size_t end) {
-  if (begin >= end || !is_punct(t[begin], "[")) return {npos, npos};
-  const std::size_t cap_end = match_bracket(t, begin);
-  if (cap_end == npos || cap_end >= end) return {npos, npos};
-  std::size_t body = cap_end + 1;
-  while (body < end && !is_punct(t[body], "{")) ++body;
-  if (body >= end) return {npos, npos};
-  const std::size_t close = match_bracket(t, body);
-  if (close == npos) return {npos, npos};
-  return {body, close + 1};
-}
-
 /// Token ranges of fold-lambda bodies at pool dispatch sites.  Folds run
 /// on the caller thread in strictly ascending task order (FoldOrderGuard
 /// in src/common/thread_pool.hpp), so accumulation order inside them is
@@ -426,7 +341,7 @@ std::vector<std::pair<std::size_t, std::size_t>> fold_serial_ranges(
     const std::vector<Token>& t) {
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
   const auto add = [&](std::pair<std::size_t, std::size_t> arg) {
-    const auto r = lambda_body_range(t, arg.first, arg.second);
+    const auto r = tok::lambda_body(t, arg.first, arg.second);
     if (r.first != npos) ranges.push_back(r);
   };
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
@@ -448,7 +363,7 @@ std::vector<std::pair<std::size_t, std::size_t>> fold_serial_ranges(
                is_punct(t[i + 1], "(")) {
       const auto args = split_args(t, i + 1);
       if (args.size() >= 3 &&
-          lambda_body_range(t, args[1].first, args[1].second).first != npos)
+          tok::lambda_body(t, args[1].first, args[1].second).first != npos)
         add(args[2]);
     }
   }
@@ -601,56 +516,6 @@ void rule_fold_order(Ctx& ctx, const std::vector<Token>& t) {
 }
 
 }  // namespace
-
-const std::vector<RuleMeta>& all_rules() {
-  static const std::vector<RuleMeta> rules = {
-      {"raw-rand", Level::kError,
-       "std::rand/srand is process-global and unseeded; use nettag::Rng"},
-      {"raw-engine", Level::kError,
-       "raw <random> engines bypass the one-seed-per-experiment discipline"},
-      {"wall-clock", Level::kError,
-       "wall-clock reads leak into artifacts and break SOURCE_DATE_EPOCH "
-       "reproducibility"},
-      {"unordered-iter", Level::kError,
-       "unordered-container iteration follows bucket order, which differs "
-       "across standard libraries"},
-      {"float-accum", Level::kError,
-       "std::accumulate/reduce over floats fixes a summation order outside "
-       "RunningStats"},
-      {"float-for-accum", Level::kError,
-       "float/double compound assignment accumulating across plain-for "
-       "iterations"},
-      {"fold-order", Level::kError,
-       "run_ordered results consumed outside the strictly ordered fold"},
-      {"shared-mutable-global", Level::kError,
-       "pool-reachable write to non-const namespace-scope state — workers "
-       "race on it"},
-      {"thread-local-escape", Level::kError,
-       "a thread_local's address or a reference to it crosses a task "
-       "boundary"},
-      {"blocking-in-pool", Level::kError,
-       "sleep/filesystem/iostream call reachable from a pool task body"},
-      {"lock-discipline", Level::kError,
-       "raw .lock()/.unlock() instead of a RAII guard, or a guard "
-       "temporary that dies at the semicolon"},
-      {"hot-path-alloc", Level::kError,
-       "allocation or container growth reachable from the per-slot/"
-       "per-frame session loops"},
-      {"layering", Level::kError,
-       "include edge violates the repository layering contract"},
-      {"include-cycle", Level::kError,
-       "cyclic include chain among repository headers"},
-      {"unused-pragma", Level::kWarning,
-       "nettag-lint: allow(...) pragma that suppresses nothing"},
-  };
-  return rules;
-}
-
-bool is_known_rule(const std::string& id) {
-  for (const RuleMeta& r : all_rules())
-    if (id == r.id) return true;
-  return false;
-}
 
 bool pragma_allows(LexedFile& file, int line, const std::string& rule) {
   bool hit = false;

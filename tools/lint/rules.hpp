@@ -12,11 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "lint/registry.hpp"
 #include "lint/token.hpp"
 
 namespace nettag::lint {
-
-enum class Level { kError, kWarning };
 
 struct Finding {
   std::string file;  // path as scanned (absolute or as given)
@@ -26,18 +25,6 @@ struct Finding {
   std::string message;
   Level level = Level::kError;
 };
-
-struct RuleMeta {
-  const char* id;
-  Level level;
-  const char* summary;  // one-line description for SARIF rule metadata
-};
-
-/// Every rule the analyzer can emit, in stable (reporting) order.
-const std::vector<RuleMeta>& all_rules();
-
-/// Whether `id` names a known rule (used to reject typo'd pragmas).
-bool is_known_rule(const std::string& id);
 
 /// Runs every token-stream rule family over one lexed file, appending
 /// findings.  Pragma hits are recorded on `file.pragmas` (mutable).  The

@@ -46,14 +46,16 @@ void write_sarif(const std::vector<Finding>& findings, std::ostream& os) {
      << "          \"name\": \"nettag-lint\",\n"
      << "          \"informationUri\": \"https://github.com/nettag/nettag/"
         "blob/main/docs/STATIC_ANALYSIS.md\",\n"
-     << "          \"version\": \"2.0.0\",\n"
+     << "          \"version\": \"3.0.0\",\n"
      << "          \"rules\": [\n";
-  const std::vector<RuleMeta>& rules = all_rules();
+  const std::vector<RuleInfo>& rules = all_rules();
   for (std::size_t i = 0; i < rules.size(); ++i) {
     os << "            {\n"
        << "              \"id\": \"" << rules[i].id << "\",\n"
        << "              \"shortDescription\": { \"text\": \""
        << json_escape(rules[i].summary) << "\" },\n"
+       << "              \"fullDescription\": { \"text\": \""
+       << json_escape(rules[i].rationale) << "\" },\n"
        << "              \"defaultConfiguration\": { \"level\": \""
        << level_name(rules[i].level) << "\" }\n"
        << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";

@@ -67,6 +67,12 @@ struct Include {
 ///   cold-path       reachability does not traverse into the function
 ///                   defined on/below this line (observation/driver-only
 ///                   code a shared helper name would otherwise drag in)
+///   rng-root        the function defined on/below this line is a sanctioned
+///                   ambient-seed root: every literal-seed Rng it constructs
+///                   is a deliberate per-case stream (bench micro-cases,
+///                   trial-cell setup).  Consumed by the RNG provenance pass
+///                   (pass 5); `main` sanctions only its first ambient seed
+///                   without needing the marker.
 struct Marker {
   int line = 0;
   std::string kind;

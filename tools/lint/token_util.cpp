@@ -1,0 +1,103 @@
+#include "lint/token_util.hpp"
+
+#include <set>
+
+namespace nettag::lint::tok {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool member_qualified(const std::vector<Token>& t, std::size_t i) {
+  return i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+}
+
+bool std_qualified(const std::vector<Token>& t, std::size_t i) {
+  return i >= 2 && is_punct(t[i - 1], "::") && is_ident(t[i - 2], "std");
+}
+
+bool foreign_qualified(const std::vector<Token>& t, std::size_t i) {
+  return i >= 2 && is_punct(t[i - 1], "::") && !is_ident(t[i - 2], "std");
+}
+
+std::size_t match_bracket(const std::vector<Token>& t, std::size_t i) {
+  const std::string& open = t[i].text;
+  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == open) ++depth;
+    if (t[j].text == close && --depth == 0) return j;
+  }
+  return npos;
+}
+
+std::size_t match_angle(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  int parens = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const Token& tok = t[j];
+    if (tok.kind != TokKind::kPunct) continue;
+    if (tok.text == "(") ++parens;
+    if (tok.text == ")") --parens;
+    if (parens > 0) continue;
+    if (tok.text == "<") ++depth;
+    if (tok.text == "<<") depth += 2;
+    if (tok.text == ">") --depth;
+    if (tok.text == ">>") depth -= 2;
+    if (depth <= 0) return j;
+    if (tok.text == ";" || tok.text == "{") return npos;
+  }
+  return npos;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& t, std::size_t lp) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  const std::size_t rp = match_bracket(t, lp);
+  if (rp == npos) return args;
+  int depth = 0;
+  std::size_t begin = lp + 1;
+  for (std::size_t j = lp + 1; j < rp; ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    const std::string& s = t[j].text;
+    if (s == "(" || s == "[" || s == "{") ++depth;
+    if (s == ")" || s == "]" || s == "}") --depth;
+    if (s == "," && depth == 0) {
+      args.emplace_back(begin, j);
+      begin = j + 1;
+    }
+  }
+  if (begin < rp || !args.empty()) args.emplace_back(begin, rp);
+  return args;
+}
+
+std::pair<std::size_t, std::size_t> lambda_body(const std::vector<Token>& t,
+                                                std::size_t begin,
+                                                std::size_t end) {
+  if (begin >= end || !is_punct(t[begin], "[")) return {npos, npos};
+  const std::size_t cap_end = match_bracket(t, begin);
+  if (cap_end == npos || cap_end >= end) return {npos, npos};
+  std::size_t body = cap_end + 1;
+  while (body < end && !is_punct(t[body], "{")) ++body;
+  if (body >= end) return {npos, npos};
+  const std::size_t close = match_bracket(t, body);
+  if (close == npos) return {npos, npos};
+  return {body, close + 1};
+}
+
+bool is_control_keyword(const std::string& s) {
+  static const std::set<std::string> k = {
+      "if",       "for",      "while",    "switch",        "catch",
+      "return",   "sizeof",   "alignof",  "decltype",      "new",
+      "delete",   "throw",    "operator", "static_assert", "alignas",
+      "noexcept", "requires", "case",     "goto",          "defined",
+  };
+  return k.count(s) > 0;
+}
+
+}  // namespace nettag::lint::tok

@@ -1,0 +1,57 @@
+// Shared token-stream helpers for the rule passes.
+//
+// The token rules (pass 2), the call-graph pass (pass 4) and the RNG
+// provenance pass (pass 5) all walk the same LexedFile token streams and
+// grew identical copies of these primitives; this header is the single
+// home.  Everything here is pure lookup over an immutable token vector —
+// no pass state, no findings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace nettag::lint::tok {
+
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool is_ident(const Token& t, const char* text);
+bool is_punct(const Token& t, const char* text);
+
+/// Previous token is a member-access operator — the identifier is
+/// qualified by something we cannot see, so give it the benefit of doubt.
+bool member_qualified(const std::vector<Token>& t, std::size_t i);
+
+/// True when t[i] is qualified as std::...
+bool std_qualified(const std::vector<Token>& t, std::size_t i);
+
+/// Any `X::` qualifier other than std:: (e.g. sim::Clock::, MyRng::rand).
+bool foreign_qualified(const std::vector<Token>& t, std::size_t i);
+
+/// Index of the token matching the opener at t[i] (one of ( [ {), or npos.
+std::size_t match_bracket(const std::vector<Token>& t, std::size_t i);
+
+/// Index of the `>` closing the `<` at t[i], treating `>>` as two closers.
+/// Fails (npos) on statement punctuation, so `a < b; c > d` is not a
+/// template-argument list.
+std::size_t match_angle(const std::vector<Token>& t, std::size_t i);
+
+/// Top-level argument ranges [begin, end) of the call whose `(` is at
+/// t[lp].
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& t, std::size_t lp);
+
+/// Body brace range [open, close+1) of a lambda starting at t[begin]
+/// within [begin, end); {npos, npos} when the range is not a lambda.
+std::pair<std::size_t, std::size_t> lambda_body(const std::vector<Token>& t,
+                                                std::size_t begin,
+                                                std::size_t end);
+
+/// Keywords that look like `name(...)` but are neither calls nor
+/// definitions.
+bool is_control_keyword(const std::string& s);
+
+}  // namespace nettag::lint::tok

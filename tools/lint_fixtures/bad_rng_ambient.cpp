@@ -1,0 +1,16 @@
+// Known-bad fixture: ambient seeds in every shape — a namespace-scope
+// literal, a function-local literal, a default construction that is never
+// reseeded, and a default construction reseeded from another literal.
+// None of these sit under a sanctioned root (main's first seed, an
+// rng-root marked function, or tests/), so the artifact's provenance dies
+// at a hard-coded constant.
+// expect: rng-ambient 4
+Rng g_setup_rng(99);
+
+void build_world() {
+  Rng placement(42);
+  Rng backoff;
+  Rng schedule;
+  schedule.reseed(7);
+  (void)(placement() ^ backoff() ^ schedule());
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture: a second literal seed in main.  Only the first
+// literal-seeded generator is the experiment's master seed; a second one
+// forks the provenance tree at an unrelated constant — derive it from the
+// first instead (`Rng extra = world.fork();`).
+// expect: rng-ambient 1
+int main() {
+  Rng world(7);
+  Rng extra(8);
+  return static_cast<int>((world() ^ extra()) & 1U);
+}

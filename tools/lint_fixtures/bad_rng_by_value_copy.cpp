@@ -1,0 +1,15 @@
+// Known-bad fixture: three ways to copy a generator instead of forking it
+// — copy-initialisation, copy-assignment and a lambda copy-capture.  Every
+// copy duplicates the stream state; the derived construction from a seed
+// expression in between stays clean.
+// expect: rng-by-value 3
+long make_seed();
+
+void split_streams(Rng& parent) {
+  Rng copy = parent;
+  Rng fresh(make_seed());
+  fresh = parent;
+  auto job = [parent]() { return 0; };
+  (void)job;
+  (void)copy;
+}

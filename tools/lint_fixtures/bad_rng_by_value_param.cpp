@@ -1,0 +1,7 @@
+// Known-bad fixture: a function taking Rng by value.  The callee draws
+// from a private copy of the caller's state — both sides then replay the
+// same values, silently correlating "independent" randomness.
+// expect: rng-by-value 1
+#include <cstdint>
+
+std::uint64_t consume(Rng by_copy) { return by_copy(); }

@@ -1,0 +1,21 @@
+// Known-bad fixture: draws under an engine-dependent branch — one lexical
+// in the then-branch, one reachable through a call in the else-branch.
+// The scalar and word-parallel engines must consume identical streams or
+// artifacts silently change with NETTAG_ENGINE; hoist draws above the
+// dispatch.
+// expect: rng-engine-divergent 2
+#include <cstdint>
+
+enum class SessionEngine { kScalar, kWordParallel };
+
+std::uint64_t warm_up(Rng& rng) { return rng.below(5); }
+
+std::uint64_t sample(Rng& rng, SessionEngine engine) {
+  std::uint64_t x = 0;
+  if (engine == SessionEngine::kWordParallel) {
+    x = rng();
+  } else {
+    x = warm_up(rng);
+  }
+  return x;
+}

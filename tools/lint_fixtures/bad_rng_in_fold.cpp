@@ -1,0 +1,25 @@
+// Known-bad fixture: draws inside an ordered-fold body — one lexical, one
+// through a call.  Folds run serially on the caller thread, but a draw
+// there ties the consumed stream position to the job decomposition: change
+// the cell count and every later draw shifts.  The lexical draw is
+// reported at its own line; the reachable one at the dispatch.
+// expect: rng-in-fold 2
+#include <cstdint>
+
+struct Pool {
+  template <typename Body, typename Fold>
+  void run_ordered(int count, Body body, Fold fold);
+};
+
+std::uint64_t noisy_offset(Rng& rng) { return rng.below(17); }
+
+void reduce(Pool& pool, Rng& rng) {
+  long sum = 0;
+  pool.run_ordered(
+      4, [](int i) { return static_cast<long>(i); },
+      [&](int, long r) {
+        sum += r + static_cast<long>(rng());
+        sum += static_cast<long>(noisy_offset(rng));
+      });
+  (void)sum;
+}

@@ -1,0 +1,20 @@
+// Known-bad fixture: a host-scope generator drawn inside a pooled task
+// body.  Worker interleaving turns every draw into a race on the stream
+// position — results depend on completion order.  The host generator is
+// derived (seed expression), so only the sharing is flagged.
+// expect: rng-shared-across-pool 1
+long cell_seed();
+
+struct Pool {
+  template <typename Body, typename Fold>
+  void run_ordered(int count, Body body, Fold fold);
+};
+
+void sample_cells(Pool& pool) {
+  Rng rng(cell_seed());
+  long sum = 0;
+  pool.run_ordered(
+      4, [&](int i) { return static_cast<long>(rng.below(9)) + i; },
+      [&](int, long r) { sum += r; });
+  (void)sum;
+}

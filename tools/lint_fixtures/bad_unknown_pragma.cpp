@@ -1,0 +1,9 @@
+// Known-bad fixture: an allow() pragma naming a rule ID that does not
+// exist in the registry.  It can never suppress anything, so it is flagged
+// as unused — and the message should suggest the nearest real rule
+// (hot-path-alloc).
+// expect: unused-pragma 1
+int tidy_sum(int a, int b) {
+  int total = a + b;  // nettag-lint: allow(hot-path-aloc)
+  return total;
+}

@@ -1,0 +1,23 @@
+// Cross-TU RNG provenance, host half: a namespace-scope generator (seeded
+// from an expression, so not ambient) and a pool dispatch whose task body
+// calls the worker defined in the sibling file.  The worker draws from the
+// global inside the pool frontier — the finding lands there, at the draw.
+// expect: none
+long flow_master_seed();
+
+struct FlowPool {
+  template <typename Body, typename Fold>
+  void run_ordered(int count, Body body, Fold fold);
+};
+
+Rng g_flow_rng(flow_master_seed());
+
+long rng_flow_step(long item);
+
+void rng_flow_drive(FlowPool& pool) {
+  long sum = 0;
+  pool.run_ordered(
+      3, [](int i) { return rng_flow_step(i); },
+      [&](int, long r) { sum += r; });
+  (void)sum;
+}

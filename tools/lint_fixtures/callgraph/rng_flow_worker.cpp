@@ -1,0 +1,12 @@
+// Cross-TU RNG provenance, worker half: this function is reached from the
+// host's pooled task body, and `g_flow_rng` is a namespace-scope generator
+// — every worker races one stream, and no single-file analysis can see it.
+// expect: rng-shared-across-pool 1
+#include <cstdint>
+
+extern Rng g_flow_rng;
+
+long rng_flow_step(long item) {
+  return static_cast<long>(
+      g_flow_rng.below(static_cast<std::uint64_t>(item) + 2));
+}

@@ -1,0 +1,11 @@
+// Clean fixture: a line splice splitting a qualified call so the flagged
+// token begins on the continuation line.  The allow() pragma sits on that
+// physical line, so it both suppresses the raw-rand finding and counts as
+// used.
+// expect: none
+#include <cstdlib>
+
+inline int spliced_rand() {
+  return std::\
+rand();  // nettag-lint: allow(raw-rand)
+}

@@ -1,0 +1,10 @@
+// Clean fixture: a raw string with a custom delimiter that itself contains
+// "//".  Everything between the matching delimiters is string content —
+// the rand() call, the allow() pragma text, the ambient Rng seed, and the
+// rng-root marker inside it must all be ignored by the lexer.
+// expect: none
+const char* kSnippet = R"x//y(
+  std::rand();  // nettag-lint: allow(raw-rand)
+  Rng ambient(7);
+  // nettag-lint: rng-root
+)x//y";

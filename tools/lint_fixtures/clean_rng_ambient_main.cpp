@@ -1,0 +1,18 @@
+// Clean fixture: the two sanctioned ambient-seed roots.  `main` may seed
+// exactly one generator from a literal (the experiment's master seed —
+// everything else forks from it), and a function carrying the rng-root
+// marker owns all of its literal seeds (bench micro-cases that ARE the
+// case identity).
+// expect: none
+int main() {
+  Rng rng(1234);
+  Rng child = rng.fork();
+  return static_cast<int>(child() & 1U);
+}
+
+// nettag-lint: rng-root
+void fixed_micro_case() {
+  Rng bitmap_fill(1);
+  Rng slot_pick(2);
+  (void)(bitmap_fill() ^ slot_pick());
+}

@@ -1,0 +1,24 @@
+// Clean fixture: the per-cell pattern the pool rules demand — each task
+// body derives its own generator from the cell index, so no stream is
+// shared across workers and results are independent of scheduling.
+// expect: none
+#include <cstdint>
+
+std::uint64_t cell_seed_for(int cell);
+
+struct Pool {
+  template <typename Body, typename Fold>
+  void run_ordered(int count, Body body, Fold fold);
+};
+
+void sample_cells(Pool& pool) {
+  long sum = 0;
+  pool.run_ordered(
+      4,
+      [&](int i) {
+        Rng cell(cell_seed_for(i));
+        return static_cast<long>(cell.below(9));
+      },
+      [&](int, long r) { sum += r; });
+  (void)sum;
+}

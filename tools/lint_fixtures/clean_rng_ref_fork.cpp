@@ -1,0 +1,14 @@
+// Clean fixture: the sanctioned provenance chain.  Reference parameters
+// bind the caller's generator, fork() (including through auto) derives
+// independent children, and a default-constructed generator reseeded from
+// a non-literal expression is derived — the Rng::fork() idiom itself.
+// expect: none
+#include <cstdint>
+
+std::uint64_t draw_pair(Rng& rng) {
+  Rng child = rng.fork();
+  auto grand = child.fork();
+  Rng reseeded;
+  reseeded.reseed(rng());
+  return child() ^ grand() ^ reseeded();
+}

@@ -1,0 +1,9 @@
+// Clean fixture: backslash-newline splices inside an ordinary string
+// literal, splitting hazard tokens across physical lines.  The lexer must
+// resolve splices before string scanning, so none of the fragments below
+// ever surface as identifiers.
+// expect: none
+const char* kAdvice =
+    "call std::ra\
+nd() and std::system_cl\
+ock::now() all day";

@@ -3,7 +3,7 @@
 // The repo's core guarantee is byte-identical artifacts across compilers,
 // standard libraries and worker counts.  Generic static analyzers cannot
 // see the hazards that silently break it, because they are policy
-// violations, not language bugs.  The analyzer runs four passes:
+// violations, not language bugs.  The analyzer runs five passes:
 //
 //   pass 1  a real C++ tokenizer (tools/lint/lexer.cpp): raw strings, line
 //           splices, multi-line statements and comments are resolved before
@@ -46,6 +46,27 @@
 //                                    temporary dying at the semicolon
 //             hot-path-alloc         allocation or container growth
 //                                    reachable from the session loops
+//   pass 5  whole-program RNG provenance (tools/lint/rng_flow.cpp), riding
+//           the pass-4 graph and frontiers: every `Rng` declaration is
+//           tracked and its seed classified (derived / literal / default /
+//           extern / parameter), every draw site located, and dataflow
+//           policed:
+//             rng-by-value           a generator copied instead of forked
+//                                    (by-value parameter, copy-init/assign,
+//                                    lambda copy-capture)
+//             rng-ambient            literal/default seed outside sanctioned
+//                                    roots (first seed in main, rng-root
+//                                    marked functions, tests/)
+//             rng-in-fold            a draw lexically in — or reachable
+//                                    from — a pool fold body
+//             rng-shared-across-pool one generator drawn from pooled tasks
+//                                    without per-cell forking
+//             rng-engine-divergent   a draw under a CcmConfig::engine-
+//                                    dependent branch
+//
+// `nettag-lint --explain <rule|all>` prints the registry entry (summary,
+// severity, rationale) for any rule above; the same table drives the SARIF
+// rule metadata and pragma-typo suggestions.
 //
 // A line opts out with an explained pragma comment of the form
 // `nettag-lint: allow(<rule-id>)`.  Pragmas that suppress nothing are
@@ -58,6 +79,8 @@
 // Usage:
 //   nettag-lint [options] PATH...        scan files / directory trees
 //   nettag-lint --self-test DIR          run the fixture suite
+//   nettag-lint --explain RULE           print a rule's summary + rationale
+//                                        (RULE may be `all`)
 // Options:
 //   --report FILE          write the text findings to FILE as well
 //   --sarif FILE           write findings as SARIF 2.1.0 (code-scanning)
@@ -94,6 +117,8 @@
 #include "lint/baseline.hpp"
 #include "lint/callgraph.hpp"
 #include "lint/include_graph.hpp"
+#include "lint/registry.hpp"
+#include "lint/rng_flow.hpp"
 #include "lint/rules.hpp"
 #include "lint/sarif.hpp"
 #include "lint/token.hpp"
@@ -177,10 +202,14 @@ void append_unused_pragma_findings(
   for (auto& [path, lexed] : files) {
     for (const Pragma& p : lexed.pragmas) {
       if (p.used) continue;
-      const std::string detail =
-          nettag::lint::is_known_rule(p.rule)
-              ? "the pragma suppresses nothing on this line; remove it"
-              : "'" + p.rule + "' is not a nettag-lint rule";
+      std::string detail;
+      if (nettag::lint::is_known_rule(p.rule)) {
+        detail = "the pragma suppresses nothing on this line; remove it";
+      } else {
+        detail = "'" + p.rule + "' is not a nettag-lint rule";
+        const std::string near = nettag::lint::suggest_rule(p.rule);
+        if (!near.empty()) detail += " (did you mean '" + near + "'?)";
+      }
       findings.push_back({path.string(), relative_to_root(path, root),
                           p.line, "unused-pragma",
                           "unused nettag-lint: allow(" + p.rule + ") — " +
@@ -217,7 +246,11 @@ std::vector<Finding> analyze(const std::vector<fs::path>& inputs,
     nettag::lint::run_token_rules(lexed, path.string(),
                                   relative_to_root(path, root), findings);
   nettag::lint::run_include_graph_rules(files, root, findings);
-  nettag::lint::run_callgraph_rules(files, root, findings);
+  // Passes 4 and 5 share one symbol index and one pair of frontiers.
+  nettag::lint::CgFrontiers frontiers =
+      nettag::lint::build_frontiers(files, root);
+  nettag::lint::run_callgraph_rules(frontiers, findings);
+  nettag::lint::run_rng_flow_rules(files, root, frontiers, findings);
   append_unused_pragma_findings(files, root, findings);
   sort_findings(findings);
   return findings;
@@ -238,6 +271,7 @@ struct Options {
   std::string write_baseline_path;
   std::string root_override;
   std::string self_test_dir;
+  std::string explain_rule;
   bool dump_callgraph = false;
 };
 
@@ -408,12 +442,44 @@ int run_self_test(const std::string& dir) {
   return failures == 0 ? 0 : 1;
 }
 
+/// `--explain <rule>` / `--explain all`: prints the registry entry so a
+/// finding (or a rejected pragma) can be understood without opening the
+/// linter's sources.
+int run_explain(const std::string& rule) {
+  const auto print = [](const nettag::lint::RuleInfo& info) {
+    std::cout << info.id << " ("
+              << (info.level == Level::kError ? "error" : "warning")
+              << ")\n  " << info.summary << "\n\n  " << info.rationale
+              << "\n";
+  };
+  if (rule == "all") {
+    bool first = true;
+    for (const nettag::lint::RuleInfo& info : nettag::lint::all_rules()) {
+      if (!first) std::cout << "\n";
+      first = false;
+      print(info);
+    }
+    return 0;
+  }
+  const nettag::lint::RuleInfo* info = nettag::lint::find_rule(rule);
+  if (info == nullptr) {
+    std::cerr << "nettag-lint: unknown rule '" << rule << "'";
+    const std::string near = nettag::lint::suggest_rule(rule);
+    if (!near.empty()) std::cerr << " (did you mean '" << near << "'?)";
+    std::cerr << "; try --explain all\n";
+    return 64;
+  }
+  print(*info);
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "usage: nettag-lint [--report FILE] [--sarif FILE]\n"
          "                   [--baseline FILE | --write-baseline FILE]\n"
          "                   [--root DIR] [--dump-callgraph] PATH...\n"
-         "       nettag-lint --self-test FIXTURE_DIR\n";
+         "       nettag-lint --self-test FIXTURE_DIR\n"
+         "       nettag-lint --explain RULE|all\n";
   return 64;
 }
 
@@ -440,6 +506,8 @@ int main(int argc, char** argv) {
       if (!value(opt.root_override)) return usage();
     } else if (arg == "--self-test") {
       if (!value(opt.self_test_dir)) return usage();
+    } else if (arg == "--explain") {
+      if (!value(opt.explain_rule)) return usage();
     } else if (arg == "--dump-callgraph") {
       opt.dump_callgraph = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -452,6 +520,10 @@ int main(int argc, char** argv) {
   // contain the suppressed findings or not?) — the modes are exclusive.
   if (!opt.baseline_path.empty() && !opt.write_baseline_path.empty())
     return usage();
+  if (!opt.explain_rule.empty()) {
+    if (!opt.paths.empty() || !opt.self_test_dir.empty()) return usage();
+    return run_explain(opt.explain_rule);
+  }
   if (!opt.self_test_dir.empty()) {
     if (!opt.paths.empty()) return usage();
     return run_self_test(opt.self_test_dir);

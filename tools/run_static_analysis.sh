@@ -67,8 +67,8 @@ if [ ! -x "$lint_bin" ]; then
   exit 64
 fi
 "$lint_bin" --self-test "$repo_root/tools/lint_fixtures" || status=1
-# Full-tree scan (src, bench, tools, tests) against the checked-in
-# baseline; only findings absent from the baseline fail the run.
+# Full-tree scan (src, bench, tools, tests, examples) against the
+# checked-in baseline; only findings absent from the baseline fail the run.
 set -- --root "$repo_root" \
   --baseline "$repo_root/tools/lint_baseline.txt" \
   --report "$build_dir/nettag-lint-findings.txt"
@@ -77,7 +77,8 @@ if [ -n "$sarif_out" ]; then
 fi
 "$lint_bin" "$@" \
   "$repo_root/src" "$repo_root/bench" \
-  "$repo_root/tools" "$repo_root/tests" || status=1
+  "$repo_root/tools" "$repo_root/tests" \
+  "$repo_root/examples" || status=1
 
 echo "== cppcheck =="
 if command -v cppcheck >/dev/null 2>&1; then
